@@ -1,0 +1,45 @@
+//! Benchmark: showPotential discovery and abstraction serialization — the
+//! cost of the CONMan "narrow waist" compared with shipping thousands of MIB
+//! objects.
+
+use conman_bench::discovered_chain;
+use conman_modules::managed_chain;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_abstraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abstraction");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("announce_and_discover_figure4", |b| {
+        b.iter(|| {
+            let mut t = managed_chain(3);
+            t.discover();
+            t.mn.nm.device_count()
+        })
+    });
+
+    let t = discovered_chain(3);
+    let abstractions: Vec<_> = t
+        .mn
+        .nm
+        .abstractions
+        .values()
+        .flat_map(|v| v.iter().cloned())
+        .collect();
+    group.bench_function("serialize_all_abstractions", |b| {
+        b.iter(|| serde_json::to_vec(&abstractions).unwrap().len())
+    });
+    group.bench_function("render_table3_rows", |b| {
+        b.iter(|| {
+            abstractions
+                .iter()
+                .map(|a| a.as_table().len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_abstraction);
+criterion_main!(benches);

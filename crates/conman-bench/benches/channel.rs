@@ -1,0 +1,53 @@
+//! Benchmark: the two management-channel variants — direct out-of-band
+//! delivery vs the self-bootstrapping in-band flooding channel (§III-A).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mgmt_channel::{InBandChannel, ManagementChannel, MessageCategory, MgmtMessage, OutOfBandChannel};
+use netsim::device::{Device, DeviceRole, PortId};
+use netsim::link::LinkProperties;
+use netsim::network::Network;
+use std::time::Duration;
+
+fn line_network(n: usize) -> (Network, Vec<netsim::device::DeviceId>) {
+    let mut net = Network::new();
+    net.trace_enabled = false;
+    let ids: Vec<_> = (0..n)
+        .map(|i| net.add_device(Device::new(format!("d{i}"), DeviceRole::Router, 2)))
+        .collect();
+    for i in 0..n - 1 {
+        net.connect((ids[i], PortId(0)), (ids[i + 1], PortId(1)), LinkProperties::lan())
+            .unwrap();
+    }
+    (net, ids)
+}
+
+fn bench_channels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mgmt_channel");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("out_of_band_roundtrip", |b| {
+        let (mut net, ids) = line_network(8);
+        let mut ch = OutOfBandChannel::new();
+        b.iter(|| {
+            let msg = MgmtMessage::new(ids[0], ids[7], MessageCategory::Command, vec![0u8; 256]);
+            ch.send(&mut net, msg);
+            ch.recv(&mut net, ids[7]).len()
+        })
+    });
+
+    group.bench_function("in_band_flooding_8_hops", |b| {
+        b.iter(|| {
+            // The in-band channel keeps per-flood dedup state, so build it
+            // fresh per iteration to measure a full flood.
+            let (mut net, ids) = line_network(8);
+            let mut ch = InBandChannel::new();
+            let msg = MgmtMessage::new(ids[0], ids[7], MessageCategory::Command, vec![0u8; 256]);
+            ch.send(&mut net, msg);
+            ch.recv(&mut net, ids[7]).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_channels);
+criterion_main!(benches);

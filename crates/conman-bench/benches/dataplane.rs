@@ -1,0 +1,61 @@
+//! Benchmark: the simulated data plane forwarding customer traffic through
+//! a configured GRE VPN (packets per second through the ingress router's
+//! encapsulation path).
+
+use conman_bench::{discovered_chain, path_labelled};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_dataplane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataplane");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let mut t = discovered_chain(3);
+    let goal = t.vpn_goal();
+    let paths = t.mn.nm.find_paths(&goal);
+    let gre = path_labelled(&paths, "GRE-IP");
+    t.mn.execute_path(&gre, &goal);
+    // Warm the ARP caches once.
+    let _ = t.send_site1_to_site2(b"warmup");
+
+    const BATCH: u64 = 50;
+    group.throughput(Throughput::Elements(BATCH));
+    group.bench_function("gre_vpn_end_to_end_batch", |b| {
+        b.iter(|| {
+            for i in 0..BATCH {
+                t.mn.net
+                    .send_udp(t.host1, "10.0.2.5".parse().unwrap(), 40000, 7000, &i.to_be_bytes())
+                    .unwrap();
+            }
+            t.mn.net.run_to_quiescence(1_000_000);
+            t.mn.net.device_mut(t.host2).unwrap().take_delivered().len()
+        })
+    });
+
+    group.bench_function("gre_encapsulation_codec", |b| {
+        use netsim::gre::GreHeader;
+        use netsim::ipv4::{Ipv4Header, Ipv4Proto};
+        let inner = Ipv4Header::new(
+            "10.0.1.5".parse().unwrap(),
+            "10.0.2.5".parse().unwrap(),
+            Ipv4Proto::Udp,
+        )
+        .encode_packet(&[0u8; 512]);
+        b.iter(|| {
+            let gre = GreHeader::ipv4(Some(2001), Some(7), true).encode_packet(&inner);
+            let outer = Ipv4Header::new(
+                "204.9.168.1".parse().unwrap(),
+                "204.9.169.1".parse().unwrap(),
+                Ipv4Proto::Gre,
+            )
+            .encode_packet(&gre);
+            let (h, rest) = Ipv4Header::decode_packet(&outer).unwrap();
+            let (g, _) = GreHeader::decode_packet(&rest).unwrap();
+            (h.ttl, g.key)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataplane);
+criterion_main!(benches);

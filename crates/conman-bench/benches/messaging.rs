@@ -1,0 +1,27 @@
+//! Benchmark: full configuration runs (discovery + script execution + module
+//! negotiation) for the three VPN technologies — the wall-clock counterpart
+//! of Table VI's message counts.
+
+use conman_bench::{configure_and_count, configure_vlan_and_count};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_configuration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("configuration");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [3usize, 6] {
+        group.bench_with_input(BenchmarkId::new("gre_vpn", n), &n, |b, &n| {
+            b.iter(|| configure_and_count(n, "GRE-IP"))
+        });
+        group.bench_with_input(BenchmarkId::new("mpls_vpn", n), &n, |b, &n| {
+            b.iter(|| configure_and_count(n, "MPLS"))
+        });
+        group.bench_with_input(BenchmarkId::new("vlan_tunnel", n), &n, |b, &n| {
+            b.iter(|| configure_vlan_and_count(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_configuration);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Benchmark: the NM's path finder on the Figure 4 testbed and on longer
+//! chains (the cost of enumerating all protocol-sane paths, §III-C.1).
+
+use conman_bench::discovered_chain;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_pathfinder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pathfinder");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for n in [3usize, 5, 8] {
+        let t = discovered_chain(n);
+        let goal = t.vpn_goal();
+        group.bench_with_input(BenchmarkId::new("find_paths", n), &n, |b, _| {
+            b.iter(|| {
+                let paths = t.mn.nm.find_paths(&goal);
+                assert!(!paths.is_empty());
+                paths.len()
+            })
+        });
+    }
+    let t = discovered_chain(3);
+    let goal = t.vpn_goal();
+    group.bench_function("build_graph_figure4", |b| {
+        b.iter(|| t.mn.nm.build_graph().module_count())
+    });
+    group.bench_function("choose_path_figure4", |b| {
+        let paths = t.mn.nm.find_paths(&goal);
+        b.iter(|| t.mn.nm.choose_path(&paths).cloned())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pathfinder);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Benchmark: CONMan script generation and the Table V classification of
+//! both CONMan and legacy scripts.
+
+use conman_bench::{discovered_chain, path_labelled};
+use criterion::{criterion_group, criterion_main, Criterion};
+use legacy_config::{classify_conman_script, gre_script_today, GreVpnParams};
+use std::time::Duration;
+
+fn bench_scripts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scripts");
+    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    let t = discovered_chain(3);
+    let goal = t.vpn_goal();
+    let paths = t.mn.nm.find_paths(&goal);
+    let gre = path_labelled(&paths, "GRE-IP");
+    let mpls = path_labelled(&paths, "MPLS");
+    group.bench_function("generate_gre_scripts", |b| {
+        b.iter(|| t.mn.nm.generate_scripts(&gre, &goal).primitive_count())
+    });
+    group.bench_function("generate_mpls_scripts", |b| {
+        b.iter(|| t.mn.nm.generate_scripts(&mpls, &goal).primitive_count())
+    });
+    let rendered = t.mn.nm.generate_scripts(&gre, &goal).scripts[0].rendered.clone();
+    group.bench_function("classify_conman_script", |b| {
+        b.iter(|| classify_conman_script(&rendered).counts())
+    });
+    group.bench_function("legacy_gre_script_today", |b| {
+        b.iter(|| gre_script_today(&GreVpnParams::figure7_router_a()).counts())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scripts);
+criterion_main!(benches);

@@ -1,0 +1,241 @@
+//! Reproduction harness: regenerates every table and figure of the paper's
+//! evaluation from the simulated testbeds.
+//!
+//! ```text
+//! cargo run -p conman-bench --bin experiments            # everything
+//! cargo run -p conman-bench --bin experiments table5     # one artefact
+//! ```
+
+use conman_bench::{configure_and_count, configure_vlan_and_count, discovered_chain, discovered_vlan_chain, path_labelled};
+use conman_core::ids::ModuleKind;
+use legacy_config::{classify_conman_script, gre_script_today, mpls_script_today, vlan_script_today, GreVpnParams};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let all = which == "all";
+    if all || which == "table1" {
+        table1();
+    }
+    if all || which == "table2" || which == "table3" {
+        table2_and_3();
+    }
+    if all || which == "table4" || which == "figure4" || which == "figure5" {
+        table4_figure4_figure5();
+    }
+    if all || which == "figure6" || which == "figure4_paths" {
+        figure6_paths();
+    }
+    if all || which == "figure2_3" {
+        figure2_3();
+    }
+    if all || which == "figure7" || which == "figure8" || which == "figure9" || which == "table5" {
+        figures7_8_9_table5();
+    }
+    if all || which == "table6" {
+        table6();
+    }
+}
+
+fn heading(s: &str) {
+    println!("\n==================================================================");
+    println!("{s}");
+    println!("==================================================================");
+}
+
+fn table1() {
+    heading("Table I — CONMan primitives");
+    for (name, caller, callee) in [
+        ("showPotential", "NM", "MA of device"),
+        ("showActual", "NM", "MA of device"),
+        ("create / delete", "NM", "MA of device"),
+        ("conveyMessage", "Module (source)", "Module (destination), relayed via NM"),
+        ("listFieldsAndValues", "Module (inspecting)", "Module (target), relayed via NM"),
+    ] {
+        println!("{name:22} {caller:22} {callee}");
+    }
+}
+
+fn table2_and_3() {
+    heading("Table II / Table III — module abstraction; GRE module as advertised by showPotential");
+    let t = discovered_chain(3);
+    let a_id = t.core[0];
+    let gre = t
+        .mn
+        .nm
+        .find_module(a_id, &ModuleKind::Gre)
+        .expect("GRE module on router A");
+    let abs = t.mn.nm.abstraction_of(&gre).expect("abstraction recorded");
+    for (k, v) in abs.as_table() {
+        println!("{k:20} {v}");
+    }
+}
+
+fn table4_figure4_figure5() {
+    heading("Figure 4 — testbed and module map / Table IV — device A capabilities / Figure 5 — potential-connectivity sub-graph");
+    let t = discovered_chain(3);
+    println!("Managed devices (ISP): {}", t.mn.nm.device_count());
+    for (dev, name) in &t.mn.nm.device_names {
+        let modules = &t.mn.nm.abstractions[dev];
+        let kinds: Vec<String> = modules.iter().map(|m| m.name.kind.name()).collect();
+        println!("  {name:10} modules: {}", kinds.join(", "));
+    }
+    println!("\nTable IV — connectivity and switching of device A's modules:");
+    let a_id = t.core[0];
+    for m in &t.mn.nm.abstractions[&a_id] {
+        println!(
+            "  {:28} Up: {:18} Down: {:26} Phy: {:8} Switching: {}",
+            m.name.to_string(),
+            m.up_connectable.iter().map(|k| k.name()).collect::<Vec<_>>().join(","),
+            m.down_connectable.iter().map(|k| k.name()).collect::<Vec<_>>().join(","),
+            if m.physical_pipes.is_empty() { "None".into() } else { format!("port{}", m.physical_pipes[0].port.0) },
+            m.switch.kinds.iter().map(|k| k.notation()).collect::<Vec<_>>().join(",")
+        );
+    }
+    println!("\nFigure 5 — potential-connectivity sub-graph of device A:");
+    let graph = t.mn.nm.build_graph();
+    for line in graph.render_device_subgraph(a_id) {
+        println!("  {line}");
+    }
+}
+
+fn figure6_paths() {
+    heading("§III-C.1 / Figure 6 — path enumeration for the VPN goal (expected 3, the NM finds 9)");
+    let t = discovered_chain(3);
+    let goal = t.vpn_goal();
+    let paths = t.mn.nm.find_paths(&goal);
+    println!("paths found: {}", paths.len());
+    for (i, p) in paths.iter().enumerate() {
+        println!(
+            "  ({:2}) {:22} pipes={:2}  modules: {}",
+            i + 1,
+            p.technology_label(),
+            p.pipe_count(),
+            p.steps
+                .iter()
+                .map(|s| format!("{}:{}", s.module.kind, t.mn.nm.device_alias(s.module.device)))
+                .collect::<Vec<_>>()
+                .join(" -> ")
+        );
+    }
+    let chosen = t.mn.nm.choose_path(&paths).unwrap();
+    println!("NM's choice (fewest pipes, fast forwarding preferred): {}", chosen.technology_label());
+}
+
+fn figure2_3() {
+    heading("Figures 2 & 3 — GRE tunnel establishment and the conveyMessage sequence");
+    // The paper's Figure 2 places the tunnel endpoints on end hosts whose
+    // application originates the traffic; our path finder models traffic
+    // entering through a customer-facing interface, so we demonstrate the
+    // same §III-B establishment on the degenerate two-edge-router chain
+    // (tunnel endpoints directly adjacent, exactly Figure 2's A--D--B shape
+    // with the ISP hop collapsed).  The module abstractions of the Figure 2
+    // testbed itself are discovered below for completeness.
+    let mut f2 = conman_modules::managed_figure2();
+    f2.discover();
+    println!(
+        "Figure 2 testbed discovered: {} managed devices (A, B, layer-2 switch C, router D)",
+        f2.mn.nm.device_count()
+    );
+
+    let mut t = discovered_chain(2);
+    let goal = t.vpn_goal();
+    let paths = t.mn.nm.find_paths(&goal);
+    let gre = path_labelled(&paths, "GRE-IP");
+    let scripts = t.mn.nm.generate_scripts(&gre, &goal);
+    println!("\nCONMan script generated by the NM (cf. the six commands of §III-B):");
+    print!("{}", scripts.render());
+    t.mn.reset_counters();
+    t.mn.execute_path(&gre, &goal);
+    let c = t.mn.nm_counters();
+    println!("\nFigure 3 message sequence as seen by the NM (configuration phase):");
+    for (k, v) in &c.sent_by_category {
+        println!("  sent     {:?}: {}", k, v);
+    }
+    for (k, v) in &c.received_by_category {
+        println!("  received {:?}: {}", k, v);
+    }
+    let (fwd, _) = t.send_site1_to_site2(b"fig2 check");
+    println!("customer traffic delivered over the established tunnel: {fwd}");
+}
+
+fn figures7_8_9_table5() {
+    heading("Figures 7, 8, 9 — configuration today vs CONMan; Table V — generic vs protocol-specific counts");
+    let mut rows = Vec::new();
+
+    // GRE.
+    let mut t = discovered_chain(3);
+    let goal = t.vpn_goal();
+    let paths = t.mn.nm.find_paths(&goal);
+    for (label, today) in [
+        ("GRE-IP", gre_script_today(&GreVpnParams::figure7_router_a())),
+        ("MPLS", mpls_script_today()),
+    ] {
+        let path = path_labelled(&paths, label);
+        let scripts = t.mn.nm.generate_scripts(&path, &goal);
+        let router_a = &scripts.scripts[0];
+        println!("\n--- {} : configuration today (router A) ---", label);
+        println!("{}", today.text());
+        println!("--- {} : CONMan configuration (router A, generated by the NM) ---", label);
+        for l in &router_a.rendered {
+            println!("{l}");
+        }
+        let conman = classify_conman_script(&router_a.rendered);
+        rows.push((label.to_string(), today.counts(), conman.counts()));
+    }
+
+    // VLAN.
+    let mut v = discovered_vlan_chain(3);
+    let goal = v.vlan_goal();
+    let paths = v.mn.nm.find_paths(&goal);
+    let path = paths.first().expect("VLAN path").clone();
+    let scripts = v.mn.nm.generate_scripts(&path, &goal);
+    let today = vlan_script_today();
+    println!("\n--- VLAN : configuration today (CatOS, switch A) ---");
+    println!("{}", today.text());
+    println!("--- VLAN : CONMan configuration (switch A, generated by the NM) ---");
+    for l in &scripts.scripts[0].rendered {
+        println!("{l}");
+    }
+    rows.push((
+        "VLAN".to_string(),
+        today.counts(),
+        classify_conman_script(&scripts.scripts[0].rendered).counts(),
+    ));
+
+    println!("\nTable V — commands and state variables, Today (T) vs CONMan (C):");
+    println!("{:22} {:>6} {:>6} {:>6} {:>6}", "", "T", "C", "", "");
+    println!("{:22} {:>6} {:>6}", "scenario", "gen/spec cmds", "gen/spec vars");
+    for (label, t_counts, c_counts) in rows {
+        println!(
+            "{label:10} today : {:>2} generic cmds, {:>2} specific cmds, {:>2} generic vars, {:>2} specific vars",
+            t_counts.generic_commands, t_counts.specific_commands, t_counts.generic_variables, t_counts.specific_variables
+        );
+        println!(
+            "{label:10} conman: {:>2} generic cmds, {:>2} specific cmds, {:>2} generic vars, {:>2} specific vars",
+            c_counts.generic_commands, c_counts.specific_commands, c_counts.generic_variables, c_counts.specific_variables
+        );
+    }
+    println!("(paper, Table V: GRE T=1/6/9/11 C=2/0/21/2; MPLS T=1/6/6/8 C=2/0/18/2; VLAN T=3/4/3/5 C=2/0/14/1)");
+}
+
+fn table6() {
+    heading("Table VI — NM messages sent / received over the management channel vs n routers along the path");
+    println!("{:>4} {:>14} {:>14} {:>14} {:>18} {:>18}", "n", "GRE sent/recv", "paper 3n+2/2n+2", "MPLS sent/recv", "VLAN sent/recv", "paper 3n-2/2n-1");
+    // Beyond n ≈ 8 the number of protocol-sane paths grows exponentially
+    // (every core segment can independently ride on MPLS), which is exactly
+    // the "we should use more aggressive pruning rules" observation of
+    // §III-C.1; the message-count expressions themselves stay linear.
+    for n in [2usize, 3, 4, 6, 8] {
+        let (gs, gr) = configure_and_count(n, "GRE-IP");
+        let (ms, mr) = configure_and_count(n, "MPLS");
+        let (vs, vr) = configure_vlan_and_count(n);
+        println!(
+            "{n:>4} {:>14} {:>14} {:>14} {:>18} {:>18}",
+            format!("{gs}/{gr}"),
+            format!("{}/{}", 3 * n + 2, 2 * n + 2),
+            format!("{ms}/{mr}"),
+            format!("{vs}/{vr}"),
+            format!("{}/{}", 3 * n - 2, 2 * n - 1),
+        );
+    }
+}

@@ -1,0 +1,398 @@
+//! The per-device Management Agent (MA).
+//!
+//! Every CONMan device has an internal management agent that is responsible
+//! for the device's participation in the management plane (§II): it answers
+//! the NM's primitives by dispatching them to the right protocol modules,
+//! relays module-to-module envelopes to their destination module, and
+//! forwards module notifications to the NM.
+
+use crate::ids::{ModuleId, ModuleRef};
+use crate::module::{ModuleCtx, ModuleReaction, ProtocolModule};
+use crate::primitives::{
+    Announcement, ModuleActual, Primitive, PrimitiveResult, WireMessage,
+};
+use netsim::device::{Device, DeviceId, PortId};
+use std::collections::BTreeMap;
+
+/// How many times the agent re-polls its modules after an event before
+/// declaring the device quiescent.  Deferred work converges in one or two
+/// rounds; the bound only guards against buggy modules ping-ponging.
+const MAX_POLL_ROUNDS: usize = 8;
+
+/// The management agent of one device.
+pub struct ManagementAgent {
+    /// The device this agent manages.
+    pub device: DeviceId,
+    /// Human-readable device name (for announcements and script rendering).
+    pub device_name: String,
+    modules: BTreeMap<ModuleId, Box<dyn ProtocolModule>>,
+    /// Per-device blackboard shared by the modules.
+    blackboard: BTreeMap<String, String>,
+}
+
+impl ManagementAgent {
+    /// Create an agent for a device.
+    pub fn new(device: DeviceId, device_name: impl Into<String>) -> Self {
+        ManagementAgent {
+            device,
+            device_name: device_name.into(),
+            modules: BTreeMap::new(),
+            blackboard: BTreeMap::new(),
+        }
+    }
+
+    /// Register a protocol module.
+    pub fn register(&mut self, module: Box<dyn ProtocolModule>) {
+        let id = module.reference().module;
+        self.modules.insert(id, module);
+    }
+
+    /// References of all registered modules.
+    pub fn module_refs(&self) -> Vec<ModuleRef> {
+        self.modules.values().map(|m| m.reference()).collect()
+    }
+
+    /// Number of registered modules.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Read-only access to the blackboard (used by tests and debugging).
+    pub fn blackboard(&self) -> &BTreeMap<String, String> {
+        &self.blackboard
+    }
+
+    /// Build the physical-connectivity announcement this device sends to the
+    /// NM when it boots.
+    pub fn announcement(&self, neighbors: Vec<(PortId, DeviceId, PortId)>) -> WireMessage {
+        WireMessage::Announce(Announcement {
+            device: self.device,
+            device_name: self.device_name.clone(),
+            neighbors,
+        })
+    }
+
+    /// Handle a wire message addressed to this device.  `device` is the
+    /// simulated device whose configuration the modules manipulate.  Returns
+    /// the wire messages to send back to the NM.
+    pub fn handle(&mut self, device: &mut Device, msg: &WireMessage) -> Vec<WireMessage> {
+        let mut out = Vec::new();
+        match msg {
+            WireMessage::Script { request, primitives } => {
+                let mut results = Vec::with_capacity(primitives.len());
+                let mut reaction = ModuleReaction::none();
+                for p in primitives {
+                    let (res, r) = self.run_primitive(device, p);
+                    results.push(res);
+                    reaction.extend(r);
+                }
+                reaction.extend(self.poll_until_quiescent(device));
+                out.push(WireMessage::ScriptResult {
+                    request: *request,
+                    results,
+                });
+                Self::push_reaction(&mut out, reaction);
+            }
+            WireMessage::Module(env) => {
+                let mut reaction = ModuleReaction::none();
+                if let Some(module) = self.modules.get_mut(&env.to.module) {
+                    let mut ctx = Self::ctx(&mut self.blackboard, self.device, device);
+                    match module.handle_envelope(&mut ctx, env) {
+                        Ok(r) => reaction.extend(r),
+                        Err(e) => {
+                            out.push(WireMessage::Notify(crate::primitives::Notification {
+                                from: env.to.clone(),
+                                body: serde_json::json!({"error": e.to_string()}),
+                            }));
+                        }
+                    }
+                }
+                reaction.extend(self.poll_until_quiescent(device));
+                Self::push_reaction(&mut out, reaction);
+            }
+            // Announcements, notifications and script results are NM-bound;
+            // an agent receiving one ignores it.
+            WireMessage::Announce(_) | WireMessage::Notify(_) | WireMessage::ScriptResult { .. } => {}
+        }
+        out
+    }
+
+    fn push_reaction(out: &mut Vec<WireMessage>, reaction: ModuleReaction) {
+        for env in reaction.envelopes {
+            out.push(WireMessage::Module(env));
+        }
+        for n in reaction.notifications {
+            out.push(WireMessage::Notify(n));
+        }
+    }
+
+    fn ctx<'a>(
+        blackboard: &'a mut BTreeMap<String, String>,
+        id: DeviceId,
+        device: &'a mut Device,
+    ) -> ModuleCtx<'a> {
+        ModuleCtx {
+            device: id,
+            config: &mut device.config,
+            ports: &device.ports,
+            blackboard,
+        }
+    }
+
+    fn run_primitive(
+        &mut self,
+        device: &mut Device,
+        primitive: &Primitive,
+    ) -> (Result<PrimitiveResult, String>, ModuleReaction) {
+        let mut reaction = ModuleReaction::none();
+        let result = match primitive {
+            Primitive::ShowPotential => {
+                let mut abstractions = Vec::new();
+                for m in self.modules.values() {
+                    let mut a = m.descriptor();
+                    // Patch in live physical-pipe information (link ids) the
+                    // module object itself does not track.
+                    for p in &mut a.physical_pipes {
+                        if let Some(nic) = device.port(p.port) {
+                            p.link = nic.link;
+                        }
+                    }
+                    abstractions.push(a);
+                }
+                Ok(PrimitiveResult::Potential(abstractions))
+            }
+            Primitive::ShowActual => {
+                let mut map = BTreeMap::new();
+                for m in self.modules.values() {
+                    let ctx = ModuleCtx {
+                        device: self.device,
+                        config: &mut device.config,
+                        ports: &device.ports,
+                        blackboard: &mut self.blackboard,
+                    };
+                    let actual: ModuleActual = m.actual(&ctx);
+                    map.insert(m.reference().to_string(), actual);
+                }
+                Ok(PrimitiveResult::Actual(map))
+            }
+            Primitive::CreatePipe(spec) => {
+                // Both endpoints of the pipe live on this device; dispatch to
+                // the lower module first (it typically publishes values —
+                // e.g. the underlying port — that the upper module reads).
+                let order = [spec.lower.module, spec.upper.module];
+                let mut err = None;
+                for id in order {
+                    if let Some(module) = self.modules.get_mut(&id) {
+                        let mut ctx = Self::ctx(&mut self.blackboard, self.device, device);
+                        match module.create_pipe(&mut ctx, spec) {
+                            Ok(r) => reaction.extend(r),
+                            Err(e) => err = Some(e.to_string()),
+                        }
+                    } else {
+                        err = Some(format!("no module {id} on device"));
+                    }
+                }
+                match err {
+                    Some(e) => Err(e),
+                    None => Ok(PrimitiveResult::PipeCreated(spec.pipe)),
+                }
+            }
+            Primitive::CreateSwitch(spec) => {
+                match self.modules.get_mut(&spec.module.module) {
+                    Some(module) => {
+                        let mut ctx = Self::ctx(&mut self.blackboard, self.device, device);
+                        match module.create_switch(&mut ctx, spec) {
+                            Ok(r) => {
+                                reaction.extend(r);
+                                Ok(PrimitiveResult::Done)
+                            }
+                            Err(e) => Err(e.to_string()),
+                        }
+                    }
+                    None => Err(format!("no module {} on device", spec.module)),
+                }
+            }
+            Primitive::CreateFilter(spec) => match self.modules.get_mut(&spec.module.module) {
+                Some(module) => {
+                    let mut ctx = Self::ctx(&mut self.blackboard, self.device, device);
+                    match module.create_filter(&mut ctx, spec) {
+                        Ok(r) => {
+                            reaction.extend(r);
+                            Ok(PrimitiveResult::Done)
+                        }
+                        Err(e) => Err(e.to_string()),
+                    }
+                }
+                None => Err(format!("no module {} on device", spec.module)),
+            },
+            Primitive::Delete(component) => {
+                let mut last_err = None;
+                for module in self.modules.values_mut() {
+                    let mut ctx = Self::ctx(&mut self.blackboard, self.device, device);
+                    if let Err(e) = module.delete(&mut ctx, component) {
+                        last_err = Some(e.to_string());
+                    }
+                }
+                match last_err {
+                    Some(e) => Err(e),
+                    None => Ok(PrimitiveResult::Done),
+                }
+            }
+        };
+        (result, reaction)
+    }
+
+    /// Poll every module until none of them produces further output.
+    pub fn poll_until_quiescent(&mut self, device: &mut Device) -> ModuleReaction {
+        let mut total = ModuleReaction::none();
+        for _ in 0..MAX_POLL_ROUNDS {
+            let mut round = ModuleReaction::none();
+            let mut blackboard_before = self.blackboard.clone();
+            for module in self.modules.values_mut() {
+                let mut ctx = Self::ctx(&mut self.blackboard, self.device, device);
+                round.extend(module.poll(&mut ctx));
+            }
+            let changed = blackboard_before != self.blackboard;
+            blackboard_before.clear();
+            if round.is_empty() && !changed {
+                break;
+            }
+            total.extend(round);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::ModuleAbstraction;
+    use crate::ids::{ModuleKind, PipeId};
+    use crate::primitives::PipeSpec;
+    use netsim::device::DeviceRole;
+
+    /// A module that records pipe creations and publishes a value the test
+    /// can observe.
+    struct Recorder {
+        me: ModuleRef,
+        pipes: Vec<PipeId>,
+    }
+
+    impl ProtocolModule for Recorder {
+        fn reference(&self) -> ModuleRef {
+            self.me.clone()
+        }
+        fn descriptor(&self) -> ModuleAbstraction {
+            ModuleAbstraction::empty(self.me.clone())
+        }
+        fn create_pipe(
+            &mut self,
+            ctx: &mut ModuleCtx,
+            spec: &PipeSpec,
+        ) -> Result<ModuleReaction, crate::module::ModuleError> {
+            self.pipes.push(spec.pipe);
+            ctx.set_pipe_attr(spec.pipe, "seen-by", self.me.to_string());
+            Ok(ModuleReaction::none())
+        }
+        fn actual(&self, _ctx: &ModuleCtx) -> ModuleActual {
+            ModuleActual {
+                pipes: self.pipes.clone(),
+                ..Default::default()
+            }
+        }
+    }
+
+    fn setup() -> (Device, ManagementAgent, ModuleRef, ModuleRef) {
+        let device = Device::new("R", DeviceRole::Router, 2);
+        let mut agent = ManagementAgent::new(device.id, "R");
+        let upper = ModuleRef::new(ModuleKind::Ip, ModuleId(1), device.id);
+        let lower = ModuleRef::new(ModuleKind::Eth, ModuleId(2), device.id);
+        agent.register(Box::new(Recorder {
+            me: upper.clone(),
+            pipes: vec![],
+        }));
+        agent.register(Box::new(Recorder {
+            me: lower.clone(),
+            pipes: vec![],
+        }));
+        (device, agent, upper, lower)
+    }
+
+    #[test]
+    fn script_executes_primitives_and_reports_results() {
+        let (mut device, mut agent, upper, lower) = setup();
+        let script = WireMessage::Script {
+            request: 1,
+            primitives: vec![
+                Primitive::ShowPotential,
+                Primitive::CreatePipe(PipeSpec {
+                    pipe: PipeId(1),
+                    upper: upper.clone(),
+                    lower: lower.clone(),
+                    peer_upper: None,
+                    peer_lower: None,
+                    tradeoffs: vec![],
+                    initiate: false,
+                    resolved: BTreeMap::new(),
+                }),
+                Primitive::ShowActual,
+            ],
+        };
+        let out = agent.handle(&mut device, &script);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            WireMessage::ScriptResult { request, results } => {
+                assert_eq!(*request, 1);
+                assert_eq!(results.len(), 3);
+                assert!(matches!(results[0], Ok(PrimitiveResult::Potential(ref v)) if v.len() == 2));
+                assert!(matches!(results[1], Ok(PrimitiveResult::PipeCreated(PipeId(1)))));
+                match &results[2] {
+                    Ok(PrimitiveResult::Actual(map)) => {
+                        assert!(map.values().any(|a| a.pipes.contains(&PipeId(1))));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Both modules saw the pipe; the blackboard has the attribute.
+        assert!(agent.blackboard().contains_key("pipe.1.seen-by"));
+    }
+
+    #[test]
+    fn unknown_module_is_an_error_not_a_panic() {
+        let (mut device, mut agent, upper, _) = setup();
+        let bogus = ModuleRef::new(ModuleKind::Gre, ModuleId(99), device.id);
+        let script = WireMessage::Script {
+            request: 2,
+            primitives: vec![Primitive::CreatePipe(PipeSpec {
+                pipe: PipeId(1),
+                upper,
+                lower: bogus,
+                peer_upper: None,
+                peer_lower: None,
+                tradeoffs: vec![],
+                initiate: false,
+                resolved: BTreeMap::new(),
+            })],
+        };
+        let out = agent.handle(&mut device, &script);
+        match &out[0] {
+            WireMessage::ScriptResult { results, .. } => assert!(results[0].is_err()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn announcement_carries_name_and_neighbors() {
+        let (_, agent, _, _) = setup();
+        let msg = agent.announcement(vec![(PortId(0), DeviceId::from_raw(9), PortId(1))]);
+        match msg {
+            WireMessage::Announce(a) => {
+                assert_eq!(a.device_name, "R");
+                assert_eq!(a.neighbors.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

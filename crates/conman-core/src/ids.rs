@@ -1,0 +1,152 @@
+//! Identifiers: modules are referred to with `<module name, module-id,
+//! device-id>` tuples (§II), devices by their globally unique, topology
+//! independent device-id (re-used from `netsim`).
+
+use netsim::device::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The protocol a module implements ("module name" in the paper: "IPv4",
+/// "GRE", "RFC791", a URI for applications, ...).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ModuleKind {
+    /// An Ethernet module bound to one physical port.
+    Eth,
+    /// An IPv4 module (a "virtual router": a device may contain several,
+    /// e.g. one per customer VRF plus one for the ISP core).
+    Ip,
+    /// A GRE encapsulation module.
+    Gre,
+    /// An MPLS label-switching module.
+    Mpls,
+    /// An 802.1Q VLAN module on a layer-2 switch.
+    Vlan,
+    /// A UDP transport module.
+    Udp,
+    /// A TCP transport module.
+    Tcp,
+    /// An application endpoint, named by a URI-like string.
+    App(String),
+    /// A control-plane module (IKE, LCP, routing) — advertised but not part
+    /// of the data-module abstraction (§II-F).
+    Control(String),
+}
+
+impl ModuleKind {
+    /// The module name string used in showPotential output and scripts.
+    pub fn name(&self) -> String {
+        match self {
+            ModuleKind::Eth => "ETH".to_string(),
+            ModuleKind::Ip => "IP".to_string(),
+            ModuleKind::Gre => "GRE".to_string(),
+            ModuleKind::Mpls => "MPLS".to_string(),
+            ModuleKind::Vlan => "VLAN".to_string(),
+            ModuleKind::Udp => "UDP".to_string(),
+            ModuleKind::Tcp => "TCP".to_string(),
+            ModuleKind::App(n) => n.clone(),
+            ModuleKind::Control(n) => format!("ctl:{n}"),
+        }
+    }
+
+    /// Is this a data-plane module (as opposed to a control module)?
+    pub fn is_data(&self) -> bool {
+        !matches!(self, ModuleKind::Control(_))
+    }
+}
+
+impl fmt::Display for ModuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// Module identifier, unique within its device.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct ModuleId(pub u32);
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// The `<module name, module-id, device-id>` tuple that uniquely names a
+/// module across the network.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ModuleRef {
+    /// Protocol ("module name").
+    pub kind: ModuleKind,
+    /// Module id within the device.
+    pub module: ModuleId,
+    /// Owning device.
+    pub device: DeviceId,
+}
+
+impl ModuleRef {
+    /// Construct a reference.
+    pub fn new(kind: ModuleKind, module: ModuleId, device: DeviceId) -> Self {
+        ModuleRef {
+            kind,
+            module,
+            device,
+        }
+    }
+
+    /// Render with a human-readable device alias, approximating the paper's
+    /// `<GRE,A,b>` notation.
+    pub fn display_with(&self, device_alias: &str, module_alias: &str) -> String {
+        format!("<{},{},{}>", self.kind, device_alias, module_alias)
+    }
+}
+
+impl fmt::Display for ModuleRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{},{}>", self.kind, self.device, self.module)
+    }
+}
+
+/// Pipe identifier.  Pipes are created (and named) by the NM, so identifiers
+/// are allocated by the NM and unique within one configuration task.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct PipeId(pub u32);
+
+impl fmt::Display for PipeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let r = ModuleRef::new(ModuleKind::Gre, ModuleId(2), DeviceId::from_raw(0xA));
+        assert!(r.to_string().starts_with("<GRE,dev:"));
+        assert_eq!(r.display_with("A", "b"), "<GRE,A,b>");
+        assert_eq!(PipeId(1).to_string(), "P1");
+        assert_eq!(ModuleKind::App("HTTP-client".into()).name(), "HTTP-client");
+    }
+
+    #[test]
+    fn data_vs_control() {
+        assert!(ModuleKind::Ip.is_data());
+        assert!(!ModuleKind::Control("IKE".into()).is_data());
+    }
+
+    #[test]
+    fn refs_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let d = DeviceId::from_raw(1);
+        let mut s = BTreeSet::new();
+        s.insert(ModuleRef::new(ModuleKind::Ip, ModuleId(1), d));
+        s.insert(ModuleRef::new(ModuleKind::Ip, ModuleId(1), d));
+        s.insert(ModuleRef::new(ModuleKind::Eth, ModuleId(2), d));
+        assert_eq!(s.len(), 2);
+    }
+}

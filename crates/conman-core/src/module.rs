@@ -1,0 +1,255 @@
+//! The protocol-module interface.
+//!
+//! A CONMan protocol module is a wrapper around a protocol implementation
+//! (in this reproduction: around the `netsim` data plane) that exposes the
+//! generic module abstraction and reacts to the CONMan primitives.  All the
+//! protocol-specific intelligence — determining keys, addresses, labels,
+//! VLAN ids — lives behind this interface, exactly as the paper prescribes.
+
+use crate::abstraction::ModuleAbstraction;
+use crate::ids::{ModuleRef, PipeId};
+use crate::primitives::{
+    ComponentRef, FilterSpec, ModuleActual, ModuleEnvelope, Notification, PipeSpec, SwitchSpec,
+};
+use netsim::config::DeviceConfig;
+use netsim::device::DeviceId;
+use netsim::nic::Nic;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors a module can raise while executing a primitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModuleError {
+    /// The module does not support the requested operation.
+    Unsupported(String),
+    /// A dependency declared in the abstraction was not satisfied.
+    MissingDependency(String),
+    /// The specification referenced unknown components.
+    BadSpec(String),
+}
+
+impl fmt::Display for ModuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModuleError::Unsupported(s) => write!(f, "unsupported operation: {s}"),
+            ModuleError::MissingDependency(s) => write!(f, "missing dependency: {s}"),
+            ModuleError::BadSpec(s) => write!(f, "bad specification: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ModuleError {}
+
+/// What a module wants to happen after handling an event: messages to peer
+/// modules (relayed via the NM) and notifications to the NM.
+#[derive(Debug, Default, Clone)]
+pub struct ModuleReaction {
+    /// Module-to-module messages to relay through the NM.
+    pub envelopes: Vec<ModuleEnvelope>,
+    /// Notifications to the NM.
+    pub notifications: Vec<Notification>,
+}
+
+impl ModuleReaction {
+    /// An empty reaction.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A reaction carrying a single envelope.
+    pub fn envelope(env: ModuleEnvelope) -> Self {
+        ModuleReaction {
+            envelopes: vec![env],
+            notifications: Vec::new(),
+        }
+    }
+
+    /// Merge another reaction into this one.
+    pub fn extend(&mut self, other: ModuleReaction) {
+        self.envelopes.extend(other.envelopes);
+        self.notifications.extend(other.notifications);
+    }
+
+    /// Is there anything in this reaction?
+    pub fn is_empty(&self) -> bool {
+        self.envelopes.is_empty() && self.notifications.is_empty()
+    }
+}
+
+/// The context a module operates in: the device configuration it is allowed
+/// to write (this is "the protocol implementation" side of the wrapper), the
+/// device's ports, and a per-device blackboard that modules on the same
+/// device use to share resolved values (intra-device module interaction is an
+/// implementation detail the architecture does not constrain).
+pub struct ModuleCtx<'a> {
+    /// The device this module lives on.
+    pub device: DeviceId,
+    /// The device's data-plane configuration.
+    pub config: &'a mut DeviceConfig,
+    /// The device's ports (read-only).
+    pub ports: &'a [Nic],
+    /// Shared per-device key/value blackboard.
+    pub blackboard: &'a mut BTreeMap<String, String>,
+}
+
+impl ModuleCtx<'_> {
+    /// Convenience: read a blackboard value.
+    pub fn get(&self, key: &str) -> Option<&String> {
+        self.blackboard.get(key)
+    }
+
+    /// Convenience: write a blackboard value.
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.blackboard.insert(key.into(), value.into());
+    }
+
+    /// Blackboard key for a per-pipe attribute.
+    pub fn pipe_key(pipe: PipeId, attr: &str) -> String {
+        format!("pipe.{}.{}", pipe.0, attr)
+    }
+
+    /// Read a per-pipe attribute.
+    pub fn pipe_attr(&self, pipe: PipeId, attr: &str) -> Option<&String> {
+        self.blackboard.get(&Self::pipe_key(pipe, attr))
+    }
+
+    /// Write a per-pipe attribute.
+    pub fn set_pipe_attr(&mut self, pipe: PipeId, attr: &str, value: impl Into<String>) {
+        self.blackboard.insert(Self::pipe_key(pipe, attr), value.into());
+    }
+}
+
+/// A CONMan protocol module.
+///
+/// Default implementations make unsupported operations explicit errors, so a
+/// minimal module only has to provide its reference and descriptor.
+pub trait ProtocolModule: Send {
+    /// The `<name, module-id, device-id>` identity of this module.
+    fn reference(&self) -> ModuleRef;
+
+    /// The module abstraction (the `showPotential` answer for this module).
+    fn descriptor(&self) -> ModuleAbstraction;
+
+    /// The module's actual configured state (the `showActual` answer).
+    fn actual(&self, _ctx: &ModuleCtx) -> ModuleActual {
+        ModuleActual::default()
+    }
+
+    /// Create a pipe this module participates in (as upper or lower end).
+    fn create_pipe(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        _spec: &PipeSpec,
+    ) -> Result<ModuleReaction, ModuleError> {
+        Ok(ModuleReaction::none())
+    }
+
+    /// Create a switch rule on this module.
+    fn create_switch(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        _spec: &SwitchSpec,
+    ) -> Result<ModuleReaction, ModuleError> {
+        Ok(ModuleReaction::none())
+    }
+
+    /// Create a filter on this module.
+    fn create_filter(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        spec: &FilterSpec,
+    ) -> Result<ModuleReaction, ModuleError> {
+        Err(ModuleError::Unsupported(format!(
+            "{} cannot filter (asked to drop {} -> {})",
+            self.reference(),
+            spec.from,
+            spec.to
+        )))
+    }
+
+    /// Delete a previously created component.
+    fn delete(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        _component: &ComponentRef,
+    ) -> Result<ModuleReaction, ModuleError> {
+        Ok(ModuleReaction::none())
+    }
+
+    /// Handle a message from a peer module (relayed by the NM).
+    fn handle_envelope(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        _env: &ModuleEnvelope,
+    ) -> Result<ModuleReaction, ModuleError> {
+        Ok(ModuleReaction::none())
+    }
+
+    /// Make progress on deferred work.
+    ///
+    /// Modules often cannot finish configuring the data plane the moment a
+    /// primitive arrives (they may still be waiting for a peer's reply or for
+    /// a value another module on the same device has to produce).  The
+    /// management agent calls `poll` after every event so modules can pick up
+    /// newly available values from the blackboard and complete their work.
+    fn poll(&mut self, _ctx: &mut ModuleCtx) -> ModuleReaction {
+        ModuleReaction::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ModuleId, ModuleKind};
+
+    struct Dummy(ModuleRef);
+    impl ProtocolModule for Dummy {
+        fn reference(&self) -> ModuleRef {
+            self.0.clone()
+        }
+        fn descriptor(&self) -> ModuleAbstraction {
+            ModuleAbstraction::empty(self.0.clone())
+        }
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let r = ModuleRef::new(ModuleKind::Ip, ModuleId(1), DeviceId::from_raw(1));
+        let mut m = Dummy(r.clone());
+        let mut config = DeviceConfig::new();
+        let ports: Vec<Nic> = Vec::new();
+        let mut blackboard = BTreeMap::new();
+        let mut ctx = ModuleCtx {
+            device: DeviceId::from_raw(1),
+            config: &mut config,
+            ports: &ports,
+            blackboard: &mut blackboard,
+        };
+        assert!(m.poll(&mut ctx).is_empty());
+        assert_eq!(m.actual(&ctx), ModuleActual::default());
+        let filter = FilterSpec {
+            module: r.clone(),
+            from: r.clone(),
+            to: r.clone(),
+            resolved: BTreeMap::new(),
+        };
+        assert!(m.create_filter(&mut ctx, &filter).is_err());
+    }
+
+    #[test]
+    fn ctx_blackboard_helpers() {
+        let mut config = DeviceConfig::new();
+        let ports: Vec<Nic> = Vec::new();
+        let mut blackboard = BTreeMap::new();
+        let mut ctx = ModuleCtx {
+            device: DeviceId::from_raw(1),
+            config: &mut config,
+            ports: &ports,
+            blackboard: &mut blackboard,
+        };
+        ctx.set_pipe_attr(PipeId(3), "port", "2");
+        assert_eq!(ctx.pipe_attr(PipeId(3), "port").unwrap(), "2");
+        assert_eq!(ModuleCtx::pipe_key(PipeId(3), "port"), "pipe.3.port");
+        assert!(ctx.get("nope").is_none());
+    }
+}

@@ -1,0 +1,478 @@
+//! The NM's path finder (§III-C.1).
+//!
+//! Depth-first traversal of the potential-connectivity graph that keeps
+//! track of encapsulation and decapsulation along the way, so only paths
+//! that are "sane in the protocol sense" are generated (Figure 6(a)), and
+//! that uses address-domain information to rule out invalid peerings
+//! (Figure 6(b)).  On the paper's Figure 4 testbed this enumerates exactly
+//! the nine paths the authors report.
+
+use super::graph::PotentialGraph;
+use super::ConnectivityGoal;
+use crate::abstraction::SwitchKind;
+use crate::ids::{ModuleKind, ModuleRef};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// How a module was entered during the traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Entry {
+    /// Entered from a physical pipe.
+    Phys,
+    /// Entered from the module below (on its down pipe), i.e. the packet is
+    /// travelling up the stack.
+    Below,
+    /// Entered from the module above (on its up pipe), i.e. the packet is
+    /// travelling down the stack.
+    Above,
+}
+
+/// One step of a module-level path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathStep {
+    /// The module traversed.
+    pub module: ModuleRef,
+    /// The switching configuration it uses on this path.
+    pub switch: SwitchKind,
+    /// How the packet entered the module.
+    pub entered: Entry,
+    /// Identifier of the header instance this step pushes, pops or processes.
+    pub header: usize,
+    /// Stack depth (number of headers on the packet) when the step executes,
+    /// before any push/pop performed by the step itself.
+    pub depth: usize,
+}
+
+/// A complete module-level path satisfying a goal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModulePath {
+    /// The steps in travel order.
+    pub steps: Vec<PathStep>,
+}
+
+impl ModulePath {
+    /// Number of up-down pipes that would be instantiated in devices to
+    /// realise this path (the NM's selection metric): one pipe between every
+    /// pair of consecutive steps on the same device.
+    pub fn pipe_count(&self) -> usize {
+        self.steps
+            .windows(2)
+            .filter(|w| w[0].module.device == w[1].module.device)
+            .count()
+    }
+
+    /// The distinct devices along the path, in order of first appearance.
+    pub fn devices(&self) -> Vec<netsim::device::DeviceId> {
+        let mut out = Vec::new();
+        for s in &self.steps {
+            if out.last() != Some(&s.module.device) {
+                out.push(s.module.device);
+            }
+        }
+        out
+    }
+
+    /// A compact label of the technologies used, e.g. `GRE-IP`,
+    /// `MPLS`, `IP-IP over MPLS`, used to compare against the paper's list.
+    pub fn technology_label(&self) -> String {
+        let has = |k: &ModuleKind| self.steps.iter().any(|s| s.module.kind == *k);
+        let gre = has(&ModuleKind::Gre);
+        let mpls = has(&ModuleKind::Mpls);
+        let vlan = has(&ModuleKind::Vlan);
+        // Count encapsulating IP modules (UpDown switching) to distinguish
+        // plain forwarding from IP-IP tunnelling.
+        let ipip = self
+            .steps
+            .iter()
+            .any(|s| s.module.kind == ModuleKind::Ip && s.switch == SwitchKind::UpDown);
+        let mut parts = Vec::new();
+        if vlan {
+            parts.push("VLAN".to_string());
+        }
+        if gre {
+            parts.push("GRE-IP".to_string());
+        } else if ipip {
+            parts.push("IP-IP".to_string());
+        }
+        if mpls {
+            if parts.is_empty() {
+                parts.push("MPLS".to_string());
+            } else {
+                parts.push("over MPLS".to_string());
+            }
+        }
+        if parts.is_empty() {
+            parts.push("IP".to_string());
+        }
+        parts.join(" ")
+    }
+
+    /// Module-id sequence for compact display (mirrors the paper's
+    /// "a, g, h, b, c, i, d, e, j, k, f" notation).
+    pub fn module_sequence(&self) -> Vec<ModuleRef> {
+        self.steps.iter().map(|s| s.module.clone()).collect()
+    }
+}
+
+/// Limits guarding the exhaustive traversal.
+#[derive(Debug, Clone, Copy)]
+pub struct PathFinderLimits {
+    /// Maximum number of steps in a path.
+    pub max_steps: usize,
+    /// Maximum number of complete paths to return.
+    pub max_paths: usize,
+}
+
+impl Default for PathFinderLimits {
+    fn default() -> Self {
+        PathFinderLimits {
+            max_steps: 64,
+            max_paths: 4096,
+        }
+    }
+}
+
+/// One header on the simulated packet during traversal.
+#[derive(Debug, Clone, PartialEq)]
+struct HeaderInst {
+    id: usize,
+    kind: ModuleKind,
+    domain: Option<String>,
+}
+
+/// The path finder.
+pub struct PathFinder<'a> {
+    graph: &'a PotentialGraph,
+    limits: PathFinderLimits,
+}
+
+impl<'a> PathFinder<'a> {
+    /// Create a path finder over a potential graph.
+    pub fn new(graph: &'a PotentialGraph) -> Self {
+        PathFinder {
+            graph,
+            limits: PathFinderLimits::default(),
+        }
+    }
+
+    /// Override the traversal limits.
+    pub fn with_limits(mut self, limits: PathFinderLimits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Enumerate every path satisfying `goal`.
+    pub fn find(&self, goal: &ConnectivityGoal) -> Vec<ModulePath> {
+        let mut state = SearchState {
+            steps: Vec::new(),
+            stack: Vec::new(),
+            visited: BTreeSet::new(),
+            next_header: 0,
+            results: Vec::new(),
+        };
+        // The customer traffic entering the ingress physical pipe: an
+        // Ethernet frame, carrying an IP packet in the customer's address
+        // domain unless this is a pure layer-2 goal.  The stack is ordered
+        // innermost-first, so the outermost header (Ethernet) is pushed last
+        // and sits on top.
+        if goal.l2_only {
+            // Layer-2 goal: the customer's Ethernet frame is the payload that
+            // must be carried intact across the provider.
+            state.push_header(ModuleKind::Eth, Some(goal.traffic_domain.clone()));
+        } else {
+            state.push_header(ModuleKind::Ip, Some(goal.traffic_domain.clone()));
+        }
+        state.push_header(ModuleKind::Eth, None);
+        let expected_final: Vec<(ModuleKind, Option<String>)> =
+            state.stack.iter().map(|h| (h.kind.clone(), h.domain.clone())).collect();
+
+        self.explore(goal, &mut state, &goal.from, Entry::Phys, &expected_final);
+        state.results
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn explore(
+        &self,
+        goal: &ConnectivityGoal,
+        state: &mut SearchState,
+        module: &ModuleRef,
+        entered: Entry,
+        expected_final: &[(ModuleKind, Option<String>)],
+    ) {
+        if state.results.len() >= self.limits.max_paths
+            || state.steps.len() >= self.limits.max_steps
+            || state.visited.contains(module)
+        {
+            return;
+        }
+        let Some(abs) = self.graph.abstraction(module) else {
+            return;
+        };
+        state.visited.insert(module.clone());
+
+        match entered {
+            Entry::Phys | Entry::Below => {
+                let decap_kind = if entered == Entry::Phys {
+                    SwitchKind::PhyUp
+                } else {
+                    SwitchKind::DownUp
+                };
+                // Option 1: decapsulate and move up.
+                if abs.can_switch(decap_kind) {
+                    if let Some(top) = state.stack.last().cloned() {
+                        if top.kind == module.kind && self.domain_ok(abs, &top) {
+                            let depth = state.stack.len();
+                            state.stack.pop();
+                            state.steps.push(PathStep {
+                                module: module.clone(),
+                                switch: decap_kind,
+                                entered,
+                                header: top.id,
+                                depth,
+                            });
+                            for next in self.graph.ups(module).to_vec() {
+                                self.explore(goal, state, &next, Entry::Below, expected_final);
+                            }
+                            state.steps.pop();
+                            state.stack.push(top);
+                        }
+                    }
+                }
+                // Option 2: process in place.
+                if entered == Entry::Phys {
+                    // [phy => phy]: a layer-2 switch carries the frame across.
+                    if abs.can_switch(SwitchKind::PhyPhy) {
+                        if let Some(top) = state.stack.last().cloned() {
+                            let depth = state.stack.len();
+                            state.steps.push(PathStep {
+                                module: module.clone(),
+                                switch: SwitchKind::PhyPhy,
+                                entered,
+                                header: top.id,
+                                depth,
+                            });
+                            for next in self.graph.phys(module).to_vec() {
+                                self.explore(goal, state, &next, Entry::Phys, expected_final);
+                            }
+                            state.steps.pop();
+                        }
+                    }
+                } else if abs.can_switch(SwitchKind::DownDown) {
+                    // [down => down]: process the header and forward downwards.
+                    if let Some(top) = state.stack.last().cloned() {
+                        let transparent = module.kind == ModuleKind::Vlan;
+                        if (top.kind == module.kind && self.domain_ok(abs, &top)) || transparent {
+                            let depth = state.stack.len();
+                            state.steps.push(PathStep {
+                                module: module.clone(),
+                                switch: SwitchKind::DownDown,
+                                entered,
+                                header: top.id,
+                                depth,
+                            });
+                            for next in self.graph.downs(module).to_vec() {
+                                self.explore(goal, state, &next, Entry::Above, expected_final);
+                            }
+                            state.steps.pop();
+                        }
+                    }
+                }
+            }
+            Entry::Above => {
+                // Option 1: encapsulate and continue downwards.
+                if abs.can_switch(SwitchKind::UpDown) {
+                    let depth = state.stack.len();
+                    let id = state.push_header(module.kind.clone(), abs.address_domain.clone());
+                    state.steps.push(PathStep {
+                        module: module.clone(),
+                        switch: SwitchKind::UpDown,
+                        entered,
+                        header: id,
+                        depth,
+                    });
+                    for next in self.graph.downs(module).to_vec() {
+                        self.explore(goal, state, &next, Entry::Above, expected_final);
+                    }
+                    state.steps.pop();
+                    state.stack.pop();
+                }
+                // Option 2: encapsulate onto a physical pipe.
+                if abs.can_switch(SwitchKind::UpPhy) {
+                    let depth = state.stack.len();
+                    let id = state.push_header(ModuleKind::Eth, None);
+                    state.steps.push(PathStep {
+                        module: module.clone(),
+                        switch: SwitchKind::UpPhy,
+                        entered,
+                        header: id,
+                        depth,
+                    });
+                    if *module == goal.to {
+                        // Reached the egress interface: the path is valid only
+                        // if every header the ISP added has been removed again
+                        // (the customer sees the same packet it sent).
+                        let final_stack: Vec<(ModuleKind, Option<String>)> = state
+                            .stack
+                            .iter()
+                            .map(|h| (h.kind.clone(), h.domain.clone()))
+                            .collect();
+                        if final_stack == expected_final && state.results.len() < self.limits.max_paths {
+                            state.results.push(ModulePath {
+                                steps: state.steps.clone(),
+                            });
+                        }
+                    } else {
+                        for next in self.graph.phys(module).to_vec() {
+                            self.explore(goal, state, &next, Entry::Phys, expected_final);
+                        }
+                    }
+                    state.steps.pop();
+                    state.stack.pop();
+                }
+            }
+        }
+
+        state.visited.remove(module);
+    }
+
+    fn domain_ok(&self, abs: &crate::abstraction::ModuleAbstraction, header: &HeaderInst) -> bool {
+        if abs.name.kind != ModuleKind::Ip {
+            return true;
+        }
+        match (&abs.address_domain, &header.domain) {
+            (Some(a), Some(b)) => a == b,
+            _ => true,
+        }
+    }
+}
+
+struct SearchState {
+    steps: Vec<PathStep>,
+    stack: Vec<HeaderInst>,
+    visited: BTreeSet<ModuleRef>,
+    next_header: usize,
+    results: Vec<ModulePath>,
+}
+
+impl SearchState {
+    fn push_header(&mut self, kind: ModuleKind, domain: Option<String>) -> usize {
+        let id = self.next_header;
+        self.next_header += 1;
+        self.stack.push(HeaderInst { id, kind, domain });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::{ModuleAbstraction, PhysicalPipeInfo, SwitchKind};
+    use crate::ids::ModuleId;
+    use netsim::device::{DeviceId, PortId};
+    use std::collections::BTreeMap;
+
+    /// Build a tiny two-router network: each router has a customer-facing
+    /// ETH, an ISP ETH, a customer IP module and an ISP IP module.  The only
+    /// sane path between the customer-facing ETH modules is the IP-IP tunnel.
+    fn two_router_world() -> (PotentialGraph, ModuleRef, ModuleRef) {
+        let d1 = DeviceId::from_raw(1);
+        let d2 = DeviceId::from_raw(2);
+        let mut abstractions = BTreeMap::new();
+        let mut adjacency = BTreeMap::new();
+        for (d, other) in [(d1, d2), (d2, d1)] {
+            let mut mods = Vec::new();
+            for (id, port) in [(1u32, 0u32), (2, 1)] {
+                let mut eth = ModuleAbstraction::empty(ModuleRef::new(ModuleKind::Eth, ModuleId(id), d));
+                eth.up_connectable = vec![ModuleKind::Ip];
+                eth.switch.kinds = vec![SwitchKind::PhyUp, SwitchKind::UpPhy];
+                eth.physical_pipes.push(PhysicalPipeInfo {
+                    port: PortId(port),
+                    link: None,
+                    broadcast: false,
+                });
+                mods.push(eth);
+            }
+            let mut ip_cust = ModuleAbstraction::empty(ModuleRef::new(ModuleKind::Ip, ModuleId(3), d));
+            ip_cust.up_connectable = vec![ModuleKind::Ip];
+            ip_cust.down_connectable = vec![ModuleKind::Ip, ModuleKind::Eth];
+            ip_cust.switch.kinds = vec![
+                SwitchKind::DownUp,
+                SwitchKind::UpDown,
+                SwitchKind::DownDown,
+                SwitchKind::UpUp,
+            ];
+            ip_cust.address_domain = Some("customer1".to_string());
+            mods.push(ip_cust);
+            let mut ip_isp = ModuleAbstraction::empty(ModuleRef::new(ModuleKind::Ip, ModuleId(4), d));
+            ip_isp.up_connectable = vec![ModuleKind::Ip];
+            ip_isp.down_connectable = vec![ModuleKind::Ip, ModuleKind::Eth];
+            ip_isp.switch.kinds = vec![
+                SwitchKind::DownUp,
+                SwitchKind::UpDown,
+                SwitchKind::DownDown,
+                SwitchKind::UpUp,
+            ];
+            ip_isp.address_domain = Some("isp".to_string());
+            mods.push(ip_isp);
+            abstractions.insert(d, mods);
+            // Port 1 of each device faces the other device.
+            adjacency.insert(d, vec![(PortId(1), other, PortId(1))]);
+        }
+        let graph = PotentialGraph::build(&abstractions, &adjacency);
+        let from = ModuleRef::new(ModuleKind::Eth, ModuleId(1), d1);
+        let to = ModuleRef::new(ModuleKind::Eth, ModuleId(1), d2);
+        (graph, from, to)
+    }
+
+    #[test]
+    fn finds_the_ip_ip_tunnel_and_plain_forwarding_only() {
+        let (graph, from, to) = two_router_world();
+        let goal = ConnectivityGoal::vpn(from, to);
+        let finder = PathFinder::new(&graph);
+        let paths = finder.find(&goal);
+        // With adjacent edge routers, both direct forwarding between the two
+        // customer-domain IP modules and the IP-IP tunnel are protocol-sane.
+        assert_eq!(paths.len(), 2, "expected two sane paths: {paths:#?}");
+        let labels: Vec<String> = paths.iter().map(|p| p.technology_label()).collect();
+        assert!(labels.contains(&"IP".to_string()));
+        assert!(labels.contains(&"IP-IP".to_string()));
+        let p = paths.iter().find(|p| p.technology_label() == "IP-IP").unwrap();
+        // a, ip_cust, ip_isp, eth_isp | eth_isp, ip_isp, ip_cust, eth_cust
+        assert_eq!(p.steps.len(), 8);
+        assert_eq!(p.pipe_count(), 6);
+        assert_eq!(p.devices().len(), 2);
+        // Domain pruning: the ISP IP module never processes or pops the
+        // customer header (header id 0), only its own outer header.
+        for s in &p.steps {
+            if s.module.module == ModuleId(4) && s.switch != SwitchKind::UpDown {
+                assert_ne!(s.header, 0, "ISP IP module must not touch the customer header");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_forwarding_of_customer_traffic_is_rejected() {
+        // Remove the customer IP module's ability to be crossed: without the
+        // customer-domain IP module at the far end the traversal cannot
+        // terminate cleanly, so no path exists.
+        let (graph, from, to) = two_router_world();
+        let mut goal = ConnectivityGoal::vpn(from, to);
+        goal.traffic_domain = "customer2".to_string(); // no module carries this domain... still ok
+        let finder = PathFinder::new(&graph);
+        // Domain mismatch on both routers' customer IP modules prunes every
+        // path that would touch the customer header.
+        let paths = finder.find(&goal);
+        assert!(paths.is_empty());
+    }
+
+    #[test]
+    fn technology_labels_and_sequences() {
+        let (graph, from, to) = two_router_world();
+        let goal = ConnectivityGoal::vpn(from, to);
+        let paths = PathFinder::new(&graph).find(&goal);
+        for p in &paths {
+            assert!(["IP", "IP-IP"].contains(&p.technology_label().as_str()));
+            assert_eq!(p.module_sequence().len(), p.steps.len());
+        }
+    }
+}

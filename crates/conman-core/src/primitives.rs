@@ -1,0 +1,289 @@
+//! The CONMan primitives (Table I) and the wire messages that carry them
+//! over the management channel.
+//!
+//! The NM interacts with devices using only these protocol-independent
+//! primitives; everything protocol-specific is worked out by the modules
+//! themselves via `conveyMessage` / `listFieldsAndValues` exchanges relayed
+//! through the NM.
+
+use crate::abstraction::ModuleAbstraction;
+use crate::ids::{ModuleRef, PipeId};
+use netsim::device::{DeviceId, PortId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A performance trade-off choice the NM passes when creating a pipe
+/// (satisfying a dependency like Table III row iii).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TradeoffChoice {
+    /// Prefer in-order delivery at the cost of delay/jitter
+    /// (GRE: enables sequence numbers).
+    InOrderDelivery,
+    /// Prefer a low error rate at the cost of loss rate / bandwidth
+    /// (GRE: enables checksums).
+    LowErrorRate,
+    /// Prefer low delay (disables both of the above).
+    LowDelay,
+}
+
+/// Specification of a pipe to create between two modules in the same device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipeSpec {
+    /// NM-assigned pipe identifier (the `P1` in the paper's scripts).
+    pub pipe: PipeId,
+    /// The upper module of the pipe.
+    pub upper: ModuleRef,
+    /// The lower module of the pipe.
+    pub lower: ModuleRef,
+    /// Peer of the upper module at the far end of the path (if any).
+    pub peer_upper: Option<ModuleRef>,
+    /// Peer of the lower module at the far end of the path (if any).
+    pub peer_lower: Option<ModuleRef>,
+    /// Trade-off choices satisfying the modules' declared dependencies.
+    pub tradeoffs: Vec<TradeoffChoice>,
+    /// Whether the modules on this device should initiate the peer
+    /// negotiation (exactly one side of a peer pair initiates, so each
+    /// exchange costs two relayed messages as in Table VI).
+    pub initiate: bool,
+    /// Field values the NM has already resolved and is passing along opaquely
+    /// (high-level names such as `C1-S2` or `S2-gateway` mapped to values).
+    pub resolved: BTreeMap<String, String>,
+}
+
+/// Specification of a switch rule: packets from `in_pipe` are switched to
+/// `out_pipe`, optionally restricted to a named traffic class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchSpec {
+    /// The module whose switch is configured.
+    pub module: ModuleRef,
+    /// Incoming pipe.
+    pub in_pipe: PipeId,
+    /// Outgoing pipe.
+    pub out_pipe: PipeId,
+    /// Only traffic destined to this named class takes the rule
+    /// (e.g. `dst:C1-S2` in Figure 7(b)).
+    pub dst_class: Option<String>,
+    /// Gateway name used when switching towards a customer-facing pipe
+    /// (e.g. `S2-gateway` in Figure 7(b)).
+    pub gateway: Option<String>,
+    /// Resolved field values for the named class / gateway.
+    pub resolved: BTreeMap<String, String>,
+}
+
+/// Specification of a filter: drop traffic from one module to another
+/// (§II-E).  The inspecting module resolves the abstract references into
+/// protocol fields itself, using `listFieldsAndValues` if needed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterSpec {
+    /// The module that should perform the filtering.
+    pub module: ModuleRef,
+    /// Drop packets coming from this module.
+    pub from: ModuleRef,
+    /// Drop packets going to this module.
+    pub to: ModuleRef,
+    /// Resolved field values the NM already knows (dependency tracking).
+    pub resolved: BTreeMap<String, String>,
+}
+
+/// A component reference for `delete ()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ComponentRef {
+    /// A pipe by id.
+    Pipe(PipeId),
+    /// A switch rule by (module, in pipe, out pipe).
+    SwitchRule(ModuleRef, PipeId, PipeId),
+    /// A filter on a module identified by the (from, to) pair it drops.
+    Filter(ModuleRef, ModuleRef, ModuleRef),
+}
+
+/// A single CONMan primitive invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Primitive {
+    /// `showPotential ()`.
+    ShowPotential,
+    /// `showActual ()`.
+    ShowActual,
+    /// `create (pipe, ...)`.
+    CreatePipe(PipeSpec),
+    /// `create (switch, ...)`.
+    CreateSwitch(SwitchSpec),
+    /// `create (filter, ...)`.
+    CreateFilter(FilterSpec),
+    /// `delete (...)`.
+    Delete(ComponentRef),
+}
+
+impl Primitive {
+    /// Is this a read-only primitive?
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, Primitive::ShowPotential | Primitive::ShowActual)
+    }
+}
+
+/// The kind of module-to-module message being relayed through the NM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnvelopeKind {
+    /// `conveyMessage ()` — opaque module-to-module coordination
+    /// (e.g. GRE key / sequence-number negotiation).
+    Convey,
+    /// `listFieldsAndValues ()` — a query for the low-level fields behind a
+    /// component identifier (e.g. "what is your IP address?").
+    FieldQuery,
+    /// The response to a field query.
+    FieldResponse,
+}
+
+/// A module-to-module message.  The management channel only connects devices
+/// to the NM, so these are always relayed by the NM (§II-D.1 d).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleEnvelope {
+    /// Originating module.
+    pub from: ModuleRef,
+    /// Destination module.
+    pub to: ModuleRef,
+    /// What kind of exchange this is (for NM accounting).
+    pub kind: EnvelopeKind,
+    /// Opaque, protocol-specific body.  The NM never interprets it.
+    pub body: serde_json::Value,
+}
+
+/// An unsolicited module-to-NM notification (completion notices, dependency
+/// triggers installed by the NM, self-test results).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Notification {
+    /// Originating module.
+    pub from: ModuleRef,
+    /// What happened.
+    pub body: serde_json::Value,
+}
+
+/// The actual (configured) state of a module, returned by `showActual`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ModuleActual {
+    /// Pipes currently configured on the module.
+    pub pipes: Vec<PipeId>,
+    /// Switch rules as human-readable strings.
+    pub switch_rules: Vec<String>,
+    /// Filter rules as human-readable strings.
+    pub filters: Vec<String>,
+    /// Performance report (protocol-independent counters).
+    pub perf_report: BTreeMap<String, u64>,
+}
+
+/// Result of executing one primitive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PrimitiveResult {
+    /// showPotential: the device's modules and their abstractions.
+    Potential(Vec<ModuleAbstraction>),
+    /// showActual: per-module actual state.
+    Actual(BTreeMap<String, ModuleActual>),
+    /// A pipe was created.
+    PipeCreated(PipeId),
+    /// The primitive completed (possibly with deferred low-level work still
+    /// being negotiated between modules).
+    Done,
+}
+
+/// A device-level announcement: physical connectivity reported to the NM so
+/// it can build the topology (§II-D).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Announcement {
+    /// Announcing device.
+    pub device: DeviceId,
+    /// Device name (purely cosmetic, for experiment output).
+    pub device_name: String,
+    /// `(local port, neighbour device, neighbour port)` adjacency.
+    pub neighbors: Vec<(PortId, DeviceId, PortId)>,
+}
+
+/// Everything that can travel over the management channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireMessage {
+    /// Device → NM: physical connectivity announcement.
+    Announce(Announcement),
+    /// NM → device: a batch of primitives to execute ("the NM sends commands
+    /// to each router along the path").
+    Script {
+        /// Request identifier for matching responses.
+        request: u64,
+        /// The primitives, executed in order.
+        primitives: Vec<Primitive>,
+    },
+    /// Device → NM: the per-primitive results of a script.
+    ScriptResult {
+        /// Request identifier this responds to.
+        request: u64,
+        /// One result (or error string) per primitive.
+        results: Vec<Result<PrimitiveResult, String>>,
+    },
+    /// Module → module (relayed by the NM in both directions).
+    Module(ModuleEnvelope),
+    /// Module → NM notification.
+    Notify(Notification),
+}
+
+impl WireMessage {
+    /// Serialize for the management channel payload.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("wire messages always serialize")
+    }
+
+    /// Deserialize from a management channel payload.
+    pub fn decode(bytes: &[u8]) -> Option<WireMessage> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ModuleId, ModuleKind};
+
+    fn mref(kind: ModuleKind, m: u32, d: u64) -> ModuleRef {
+        ModuleRef::new(kind, ModuleId(m), DeviceId::from_raw(d))
+    }
+
+    #[test]
+    fn wire_roundtrip_script() {
+        let spec = PipeSpec {
+            pipe: PipeId(1),
+            upper: mref(ModuleKind::Ip, 1, 1),
+            lower: mref(ModuleKind::Gre, 2, 1),
+            peer_upper: Some(mref(ModuleKind::Ip, 1, 3)),
+            peer_lower: Some(mref(ModuleKind::Gre, 2, 3)),
+            tradeoffs: vec![TradeoffChoice::InOrderDelivery, TradeoffChoice::LowErrorRate],
+            initiate: true,
+            resolved: BTreeMap::new(),
+        };
+        let msg = WireMessage::Script {
+            request: 7,
+            primitives: vec![Primitive::CreatePipe(spec), Primitive::ShowActual],
+        };
+        let bytes = msg.encode();
+        let back = WireMessage::decode(&bytes).unwrap();
+        assert_eq!(back, msg);
+        assert!(WireMessage::decode(b"not json").is_none());
+    }
+
+    #[test]
+    fn wire_roundtrip_module_envelope() {
+        let env = ModuleEnvelope {
+            from: mref(ModuleKind::Gre, 2, 1),
+            to: mref(ModuleKind::Gre, 2, 3),
+            kind: EnvelopeKind::Convey,
+            body: serde_json::json!({"ikey": 1001, "okey": 2001, "seq": true}),
+        };
+        let msg = WireMessage::Module(env.clone());
+        let back = WireMessage::decode(&msg.encode()).unwrap();
+        match back {
+            WireMessage::Module(e) => assert_eq!(e, env),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn primitive_classification() {
+        assert!(Primitive::ShowPotential.is_read_only());
+        assert!(!Primitive::Delete(ComponentRef::Pipe(PipeId(1))).is_read_only());
+    }
+}

@@ -1,0 +1,401 @@
+//! Orchestration of a managed network: the simulated network, one management
+//! agent per managed device, the management channel between them, and the NM.
+//!
+//! This is the "harness" that the examples, integration tests and experiment
+//! binaries drive: announce → discover (showPotential) → map a high-level
+//! goal to paths → execute the chosen path's scripts while relaying
+//! module-to-module messages and counting everything for Table VI.
+
+use crate::agent::ManagementAgent;
+use crate::nm::{ConnectivityGoal, ModulePath, NetworkManager, ScriptSet};
+use crate::primitives::{
+    EnvelopeKind, ModuleEnvelope, Notification, Primitive, PrimitiveResult, WireMessage,
+};
+use mgmt_channel::{ChannelCounters, ManagementChannel, MessageCategory, MgmtMessage};
+use netsim::device::DeviceId;
+use netsim::network::Network;
+use std::collections::BTreeMap;
+
+/// Upper bound on relay rounds per management operation; real exchanges
+/// converge in a handful of rounds.
+const MAX_ROUNDS: usize = 64;
+
+/// The outcome of mapping and executing a connectivity goal.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigureOutcome {
+    /// Every path the path finder enumerated.
+    pub paths: Vec<ModulePath>,
+    /// The path the NM chose (None if no path satisfies the goal).
+    pub chosen: Option<ModulePath>,
+    /// The scripts generated and executed for the chosen path.
+    pub scripts: ScriptSet,
+}
+
+/// A network under CONMan management.
+pub struct ManagedNetwork<C: ManagementChannel> {
+    /// The simulated network (data plane).
+    pub net: Network,
+    /// Management agents by device.
+    pub agents: BTreeMap<DeviceId, ManagementAgent>,
+    /// The management channel.
+    pub channel: C,
+    /// The network manager state.
+    pub nm: NetworkManager,
+    nm_host: DeviceId,
+    next_request: u64,
+    /// Notifications received by the NM.
+    pub notifications: Vec<Notification>,
+    /// Script results received by the NM: (device, per-primitive results).
+    pub script_results: Vec<(DeviceId, Vec<Result<PrimitiveResult, String>>)>,
+}
+
+impl<C: ManagementChannel> ManagedNetwork<C> {
+    /// Create a managed network with the NM hosted on `nm_host`.
+    pub fn new(net: Network, nm_host: DeviceId, channel: C) -> Self {
+        ManagedNetwork {
+            net,
+            agents: BTreeMap::new(),
+            channel,
+            nm: NetworkManager::new(nm_host),
+            nm_host,
+            next_request: 0,
+            notifications: Vec::new(),
+            script_results: Vec::new(),
+        }
+    }
+
+    /// The device hosting the NM.
+    pub fn nm_host(&self) -> DeviceId {
+        self.nm_host
+    }
+
+    /// Register a management agent (a managed device).
+    pub fn add_agent(&mut self, agent: ManagementAgent) {
+        self.agents.insert(agent.device, agent);
+    }
+
+    /// Message counters of the NM host (Table VI).
+    pub fn nm_counters(&self) -> ChannelCounters {
+        self.channel.counters(self.nm_host)
+    }
+
+    /// Reset channel counters (e.g. after discovery, before configuration, so
+    /// Table VI counts only the configuration phase like the paper does).
+    pub fn reset_counters(&mut self) {
+        self.channel.reset_counters();
+    }
+
+    fn category_for(msg: &WireMessage) -> MessageCategory {
+        match msg {
+            WireMessage::Announce(_) => MessageCategory::Announcement,
+            WireMessage::Script { .. } => MessageCategory::Command,
+            WireMessage::ScriptResult { .. } => MessageCategory::Response,
+            WireMessage::Module(env) => match env.kind {
+                EnvelopeKind::Convey => MessageCategory::ConveyMessage,
+                EnvelopeKind::FieldQuery | EnvelopeKind::FieldResponse => MessageCategory::FieldQuery,
+            },
+            WireMessage::Notify(_) => MessageCategory::Notification,
+        }
+    }
+
+    fn send(&mut self, from: DeviceId, to: DeviceId, msg: &WireMessage) {
+        let m = MgmtMessage::new(from, to, Self::category_for(msg), msg.encode());
+        self.channel.send(&mut self.net, m);
+    }
+
+    /// Every managed device announces its physical connectivity to the NM.
+    pub fn announce_all(&mut self) {
+        let ids: Vec<DeviceId> = self.agents.keys().copied().collect();
+        for id in ids {
+            let neighbors = self.net.physical_neighbors(id);
+            let msg = self.agents[&id].announcement(neighbors);
+            self.send(id, self.nm_host, &msg);
+        }
+        self.run_management();
+    }
+
+    /// The NM invokes `showPotential` at every managed device and records the
+    /// returned module abstractions.
+    pub fn discover(&mut self) {
+        let ids: Vec<DeviceId> = self.agents.keys().copied().collect();
+        for id in ids {
+            self.next_request += 1;
+            let msg = WireMessage::Script {
+                request: self.next_request,
+                primitives: vec![Primitive::ShowPotential],
+            };
+            self.send(self.nm_host, id, &msg);
+        }
+        self.run_management();
+    }
+
+    /// The NM invokes `showActual` at one device and returns the per-module
+    /// state (used for debugging / Fig. reproduction).
+    pub fn show_actual(&mut self, device: DeviceId) -> Option<BTreeMap<String, crate::primitives::ModuleActual>> {
+        self.next_request += 1;
+        let req = self.next_request;
+        let msg = WireMessage::Script {
+            request: req,
+            primitives: vec![Primitive::ShowActual],
+        };
+        self.send(self.nm_host, device, &msg);
+        self.run_management();
+        self.script_results
+            .iter()
+            .rev()
+            .find(|(d, _)| *d == device)
+            .and_then(|(_, results)| {
+                results.iter().find_map(|r| match r {
+                    Ok(PrimitiveResult::Actual(map)) => Some(map.clone()),
+                    _ => None,
+                })
+            })
+    }
+
+    /// Map a goal to paths, choose one, and execute it.
+    pub fn configure(&mut self, goal: &ConnectivityGoal) -> ConfigureOutcome {
+        let paths = self.nm.find_paths(goal);
+        let chosen = self.nm.choose_path(&paths).cloned();
+        let scripts = match &chosen {
+            Some(p) => self.execute_path(p, goal),
+            None => ScriptSet::default(),
+        };
+        ConfigureOutcome {
+            paths,
+            chosen,
+            scripts,
+        }
+    }
+
+    /// Execute a specific path (used by the experiments to force the GRE,
+    /// MPLS or VLAN variant regardless of the NM's preference).
+    pub fn execute_path(&mut self, path: &ModulePath, goal: &ConnectivityGoal) -> ScriptSet {
+        let scripts = self.nm.generate_scripts(path, goal);
+        for ds in &scripts.scripts {
+            self.next_request += 1;
+            let msg = WireMessage::Script {
+                request: self.next_request,
+                primitives: ds.primitives.clone(),
+            };
+            self.send(self.nm_host, ds.device, &msg);
+        }
+        self.run_management();
+        scripts
+    }
+
+    /// Deliver queued management messages until the plane is quiescent.
+    /// Returns the number of messages processed.
+    pub fn run_management(&mut self) -> usize {
+        let mut total = 0;
+        for _ in 0..MAX_ROUNDS {
+            self.channel.run(&mut self.net);
+            let mut progressed = 0;
+            let ids: Vec<DeviceId> = {
+                let mut v: Vec<DeviceId> = self.agents.keys().copied().collect();
+                if !v.contains(&self.nm_host) {
+                    v.push(self.nm_host);
+                }
+                v
+            };
+            for id in ids {
+                let messages = self.channel.recv(&mut self.net, id);
+                for m in messages {
+                    progressed += 1;
+                    self.route_message(id, m);
+                }
+            }
+            total += progressed;
+            if progressed == 0 {
+                break;
+            }
+        }
+        total
+    }
+
+    /// Route a received management message either to the NM (if this device
+    /// hosts it and the message is NM-bound) or to the device's agent.
+    fn route_message(&mut self, at: DeviceId, msg: MgmtMessage) {
+        let Some(wire) = WireMessage::decode(&msg.payload) else {
+            return;
+        };
+        let nm_bound = match &wire {
+            WireMessage::Announce(_) | WireMessage::ScriptResult { .. } | WireMessage::Notify(_) => true,
+            WireMessage::Module(env) => env.to.device != at,
+            WireMessage::Script { .. } => false,
+        };
+        if nm_bound && at == self.nm_host {
+            self.nm_handle(msg.from, wire);
+            return;
+        }
+        // Agent-bound.
+        let Some(agent) = self.agents.get_mut(&at) else {
+            return;
+        };
+        let Ok(device) = self.net.device_mut(at) else {
+            return;
+        };
+        let outputs = agent.handle(device, &wire);
+        for out in outputs {
+            self.send(at, self.nm_host, &out);
+        }
+    }
+
+    /// NM-side handling of NM-bound messages.
+    fn nm_handle(&mut self, from: DeviceId, wire: WireMessage) {
+        match wire {
+            WireMessage::Announce(a) => self.nm.record_announcement(&a),
+            WireMessage::ScriptResult { results, .. } => {
+                for r in &results {
+                    if let Ok(PrimitiveResult::Potential(mods)) = r {
+                        self.nm.record_potential(from, mods.clone());
+                    }
+                }
+                self.script_results.push((from, results));
+            }
+            WireMessage::Module(env) => self.relay(env),
+            WireMessage::Notify(n) => self.notifications.push(n),
+            WireMessage::Script { .. } => {}
+        }
+    }
+
+    /// Relay a module-to-module envelope to its destination device, tracking
+    /// any field values it resolves (dependency maintenance, §II-E).
+    fn relay(&mut self, env: ModuleEnvelope) {
+        if env.kind == EnvelopeKind::FieldResponse {
+            if let Some(obj) = env.body.as_object() {
+                for (k, v) in obj {
+                    if let Some(s) = v.as_str() {
+                        self.nm.record_resolved(format!("{}:{}", env.from, k), s.to_string());
+                    }
+                }
+            }
+        }
+        let to_device = env.to.device;
+        let msg = WireMessage::Module(env);
+        self.send(self.nm_host, to_device, &msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::ModuleAbstraction;
+    use crate::ids::{ModuleId, ModuleKind, ModuleRef};
+    use crate::module::{ModuleCtx, ModuleReaction, ProtocolModule};
+    use crate::primitives::PipeSpec;
+    use mgmt_channel::OutOfBandChannel;
+    use netsim::device::{Device, DeviceRole, PortId};
+    use netsim::link::LinkProperties;
+
+    /// A module that, when a pipe with `initiate` is created, sends a Convey
+    /// to its peer; the peer replies; both record completion on the
+    /// blackboard.  This exercises the full relay round trip.
+    struct Chatty {
+        me: ModuleRef,
+    }
+
+    impl ProtocolModule for Chatty {
+        fn reference(&self) -> ModuleRef {
+            self.me.clone()
+        }
+        fn descriptor(&self) -> ModuleAbstraction {
+            ModuleAbstraction::empty(self.me.clone())
+        }
+        fn create_pipe(
+            &mut self,
+            _ctx: &mut ModuleCtx,
+            spec: &PipeSpec,
+        ) -> Result<ModuleReaction, crate::module::ModuleError> {
+            // Only the upper end of the pipe negotiates, so the exchange
+            // costs exactly two relayed messages.
+            if spec.initiate && spec.upper == self.me {
+                if let Some(peer) = spec.peer_upper.clone().or(spec.peer_lower.clone()) {
+                    return Ok(ModuleReaction::envelope(ModuleEnvelope {
+                        from: self.me.clone(),
+                        to: peer,
+                        kind: EnvelopeKind::Convey,
+                        body: serde_json::json!({"hello": true}),
+                    }));
+                }
+            }
+            Ok(ModuleReaction::none())
+        }
+        fn handle_envelope(
+            &mut self,
+            ctx: &mut ModuleCtx,
+            env: &ModuleEnvelope,
+        ) -> Result<ModuleReaction, crate::module::ModuleError> {
+            if env.body.get("hello").is_some() {
+                ctx.set("negotiated", "true");
+                return Ok(ModuleReaction::envelope(ModuleEnvelope {
+                    from: self.me.clone(),
+                    to: env.from.clone(),
+                    kind: EnvelopeKind::Convey,
+                    body: serde_json::json!({"ack": true}),
+                }));
+            }
+            ctx.set("negotiated", "true");
+            Ok(ModuleReaction::none())
+        }
+    }
+
+    #[test]
+    fn convey_messages_are_relayed_through_the_nm_and_counted() {
+        let mut net = Network::new();
+        let d1 = net.add_device(Device::new("RouterA", DeviceRole::Router, 1));
+        let d2 = net.add_device(Device::new("RouterB", DeviceRole::Router, 1));
+        net.connect((d1, PortId(0)), (d2, PortId(0)), LinkProperties::lan())
+            .unwrap();
+
+        let m1 = ModuleRef::new(ModuleKind::Gre, ModuleId(1), d1);
+        let low1 = ModuleRef::new(ModuleKind::Eth, ModuleId(2), d1);
+        let m2 = ModuleRef::new(ModuleKind::Gre, ModuleId(1), d2);
+        let mut a1 = ManagementAgent::new(d1, "RouterA");
+        a1.register(Box::new(Chatty { me: m1.clone() }));
+        a1.register(Box::new(Chatty { me: low1.clone() }));
+        let mut a2 = ManagementAgent::new(d2, "RouterB");
+        a2.register(Box::new(Chatty { me: m2.clone() }));
+
+        let mut mn = ManagedNetwork::new(net, d1, OutOfBandChannel::new());
+        mn.add_agent(a1);
+        mn.add_agent(a2);
+        mn.announce_all();
+        assert_eq!(mn.nm.device_count(), 2);
+        mn.reset_counters();
+
+        // Send a script to d1 creating a pipe whose peer is the module on d2.
+        let spec = PipeSpec {
+            pipe: crate::ids::PipeId(1),
+            upper: m1.clone(),
+            lower: low1,
+            peer_upper: Some(m2.clone()),
+            peer_lower: Some(m2.clone()),
+            tradeoffs: vec![],
+            initiate: true,
+            resolved: Default::default(),
+        };
+        mn.next_request += 1;
+        let msg = WireMessage::Script {
+            request: mn.next_request,
+            primitives: vec![Primitive::CreatePipe(spec)],
+        };
+        mn.send(mn.nm_host, d1, &msg);
+        mn.run_management();
+
+        // Both sides should have negotiated.
+        assert_eq!(
+            mn.agents[&d2].blackboard().get("negotiated"),
+            Some(&"true".to_string())
+        );
+        assert_eq!(
+            mn.agents[&d1].blackboard().get("negotiated"),
+            Some(&"true".to_string())
+        );
+        // NM accounting: 1 command sent + 2 relayed convey messages sent;
+        // 2 convey messages received (plus the script result).
+        let c = mn.nm_counters();
+        assert_eq!(c.sent_by_category[&MessageCategory::Command], 1);
+        assert_eq!(c.sent_by_category[&MessageCategory::ConveyMessage], 2);
+        assert_eq!(c.received_by_category[&MessageCategory::ConveyMessage], 2);
+    }
+}

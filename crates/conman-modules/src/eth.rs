@@ -1,0 +1,187 @@
+//! The Ethernet (ETH) protocol module.
+//!
+//! An ETH module is bound to one or more physical ports.  Its main job in
+//! the management plane is to advertise its physical pipes and, when a pipe
+//! to an upper module is created, to tell the other modules on the device
+//! (via the blackboard) which port underlies that pipe — the equivalent of
+//! `dev eth2` showing up in the Linux commands of Figure 7(a).
+
+use conman_core::abstraction::{ModuleAbstraction, PhysicalPipeInfo, SwitchKind};
+use conman_core::ids::{ModuleKind, ModuleRef};
+use conman_core::module::{ModuleCtx, ModuleError, ModuleReaction, ProtocolModule};
+use conman_core::primitives::{ModuleActual, PipeSpec, SwitchSpec};
+use netsim::device::PortId;
+
+/// The ETH protocol module.
+pub struct EthModule {
+    me: ModuleRef,
+    /// Ports this module is bound to (routers: one; a plain layer-2 switch
+    /// models all its ports as one ETH module with `[phy => phy]` switching).
+    ports: Vec<PortId>,
+    /// Module kinds that may sit above this ETH module.
+    up_kinds: Vec<ModuleKind>,
+    /// Can this module switch frames between its physical pipes?
+    phy_switching: bool,
+    pipes: Vec<(conman_core::ids::PipeId, ModuleRef)>,
+    switch_rules: Vec<String>,
+}
+
+impl EthModule {
+    /// An ETH module on a router or host, bound to a single port.
+    pub fn new(me: ModuleRef, port: PortId, up_kinds: Vec<ModuleKind>) -> Self {
+        EthModule {
+            me,
+            ports: vec![port],
+            up_kinds,
+            phy_switching: false,
+            pipes: Vec::new(),
+            switch_rules: Vec::new(),
+        }
+    }
+
+    /// An ETH module modelling a plain layer-2 switch: all ports, with
+    /// `[phy => phy]` switching and nothing above it.
+    pub fn layer2_switch(me: ModuleRef, ports: Vec<PortId>) -> Self {
+        EthModule {
+            me,
+            ports,
+            up_kinds: Vec::new(),
+            phy_switching: true,
+            pipes: Vec::new(),
+            switch_rules: Vec::new(),
+        }
+    }
+
+    /// The primary port of this module.
+    pub fn port(&self) -> PortId {
+        self.ports[0]
+    }
+}
+
+impl ProtocolModule for EthModule {
+    fn reference(&self) -> ModuleRef {
+        self.me.clone()
+    }
+
+    fn descriptor(&self) -> ModuleAbstraction {
+        let mut a = ModuleAbstraction::empty(self.me.clone());
+        a.up_connectable = self.up_kinds.clone();
+        a.peerable = vec![ModuleKind::Eth];
+        a.switch.kinds = if self.up_kinds.is_empty() {
+            vec![SwitchKind::PhyUp, SwitchKind::UpPhy]
+        } else {
+            vec![SwitchKind::PhyUp, SwitchKind::UpPhy]
+        };
+        if self.phy_switching {
+            a.switch.kinds.push(SwitchKind::PhyPhy);
+        }
+        if self.up_kinds.is_empty() && !self.phy_switching {
+            a.switch.kinds.clear();
+        }
+        for p in &self.ports {
+            a.physical_pipes.push(PhysicalPipeInfo {
+                port: *p,
+                link: None,
+                broadcast: false,
+            });
+        }
+        a.perf_reporting = vec!["frames received and transmitted per physical pipe".to_string()];
+        a
+    }
+
+    fn actual(&self, _ctx: &ModuleCtx) -> ModuleActual {
+        ModuleActual {
+            pipes: self.pipes.iter().map(|(p, _)| *p).collect(),
+            switch_rules: self.switch_rules.clone(),
+            ..Default::default()
+        }
+    }
+
+    fn create_pipe(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        spec: &PipeSpec,
+    ) -> Result<ModuleReaction, ModuleError> {
+        // The ETH module is always the lower end of an up-down pipe.  It
+        // publishes the underlying port so the modules above can translate
+        // abstract pipes into concrete interfaces.
+        if spec.lower == self.me {
+            ctx.set_pipe_attr(spec.pipe, "port", self.port().0.to_string());
+            self.pipes.push((spec.pipe, spec.upper.clone()));
+        } else {
+            self.pipes.push((spec.pipe, spec.lower.clone()));
+        }
+        Ok(ModuleReaction::none())
+    }
+
+    fn create_switch(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        spec: &SwitchSpec,
+    ) -> Result<ModuleReaction, ModuleError> {
+        // Switching between an up pipe and a physical pipe needs no extra
+        // data-plane state in the simulator (transmission on the port is
+        // already wired up); record it for showActual.
+        self.switch_rules
+            .push(format!("{} => {}", spec.in_pipe, spec.out_pipe));
+        Ok(ModuleReaction::none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conman_core::ids::{ModuleId, PipeId};
+    use netsim::config::DeviceConfig;
+    use netsim::device::DeviceId;
+    use std::collections::BTreeMap;
+
+    fn ctx<'a>(
+        config: &'a mut DeviceConfig,
+        blackboard: &'a mut BTreeMap<String, String>,
+    ) -> ModuleCtx<'a> {
+        ModuleCtx {
+            device: DeviceId::from_raw(1),
+            config,
+            ports: &[],
+            blackboard,
+        }
+    }
+
+    #[test]
+    fn publishes_port_on_pipe_creation() {
+        let me = ModuleRef::new(ModuleKind::Eth, ModuleId(1), DeviceId::from_raw(1));
+        let ip = ModuleRef::new(ModuleKind::Ip, ModuleId(2), DeviceId::from_raw(1));
+        let mut m = EthModule::new(me.clone(), PortId(2), vec![ModuleKind::Ip]);
+        let mut config = DeviceConfig::new();
+        let mut bb = BTreeMap::new();
+        let mut c = ctx(&mut config, &mut bb);
+        let spec = PipeSpec {
+            pipe: PipeId(3),
+            upper: ip,
+            lower: me,
+            peer_upper: None,
+            peer_lower: None,
+            tradeoffs: vec![],
+            initiate: false,
+            resolved: BTreeMap::new(),
+        };
+        m.create_pipe(&mut c, &spec).unwrap();
+        assert_eq!(bb.get("pipe.3.port").unwrap(), "2");
+    }
+
+    #[test]
+    fn descriptor_shapes() {
+        let me = ModuleRef::new(ModuleKind::Eth, ModuleId(1), DeviceId::from_raw(1));
+        let router_eth = EthModule::new(me.clone(), PortId(0), vec![ModuleKind::Ip, ModuleKind::Mpls]);
+        let d = router_eth.descriptor();
+        assert!(d.can_switch(SwitchKind::PhyUp));
+        assert!(!d.can_switch(SwitchKind::PhyPhy));
+        assert!(d.can_connect_up(&ModuleKind::Mpls));
+
+        let sw = EthModule::layer2_switch(me, vec![PortId(0), PortId(1)]);
+        let d = sw.descriptor();
+        assert!(d.can_switch(SwitchKind::PhyPhy));
+        assert_eq!(d.physical_pipes.len(), 2);
+    }
+}

@@ -1,0 +1,242 @@
+//! The GRE protocol module (§III-B, Table III).
+//!
+//! The module keeps every GRE-specific detail — key values, sequence
+//! numbers, checksums, the tunnel endpoints — away from the NM.  The NM only
+//! ever says "create a pipe with in-order delivery and low error-rate"; the
+//! GRE module negotiates keys and options with its peer GRE module through
+//! `conveyMessage` and eventually writes the tunnel into the device
+//! configuration (the equivalent of the `ip tunnel add ... ikey 1001 okey
+//! 2001 icsum ocsum iseq oseq` line of Figure 7(a)).
+
+use conman_core::abstraction::{
+    Dependency, ModuleAbstraction, PerfTradeoff, PerformanceMetric, SwitchKind,
+};
+use conman_core::ids::{ModuleKind, ModuleRef, PipeId};
+use conman_core::module::{ModuleCtx, ModuleError, ModuleReaction, ProtocolModule};
+use conman_core::primitives::{
+    EnvelopeKind, ModuleActual, ModuleEnvelope, PipeSpec, SwitchSpec, TradeoffChoice,
+};
+use netsim::config::TunnelConfig;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Negotiated GRE parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GreParams {
+    ikey: u32,
+    okey: u32,
+    sequencing: bool,
+    checksums: bool,
+}
+
+/// The GRE protocol module.
+pub struct GreModule {
+    me: ModuleRef,
+    /// The pipe to the payload protocol above (e.g. the customer IP module).
+    up_pipe: Option<PipeId>,
+    /// The pipe to the delivery protocol below (the ISP IP module).
+    down_pipe: Option<PipeId>,
+    peer: Option<ModuleRef>,
+    /// Trade-offs requested by the NM when the up pipe was created.
+    wants_sequencing: bool,
+    wants_checksums: bool,
+    params: Option<GreParams>,
+    pending_switch: bool,
+    configured_tunnel: Option<u32>,
+}
+
+impl GreModule {
+    /// Create a GRE module.
+    pub fn new(me: ModuleRef) -> Self {
+        GreModule {
+            me,
+            up_pipe: None,
+            down_pipe: None,
+            peer: None,
+            wants_sequencing: false,
+            wants_checksums: false,
+            params: None,
+            pending_switch: false,
+            configured_tunnel: None,
+        }
+    }
+
+    /// Deterministic key material derived from the two endpoints' device
+    /// identifiers — the NM never sees or chooses these.
+    fn propose_keys(&self, peer: &ModuleRef) -> (u32, u32) {
+        let a = 1000 + (self.me.device.as_u64() % 997) as u32 + 1;
+        let b = 2000 + (peer.device.as_u64() % 997) as u32 + 1;
+        (a, b)
+    }
+}
+
+impl ProtocolModule for GreModule {
+    fn reference(&self) -> ModuleRef {
+        self.me.clone()
+    }
+
+    fn descriptor(&self) -> ModuleAbstraction {
+        // Table III.
+        let mut a = ModuleAbstraction::empty(self.me.clone());
+        a.up_connectable = vec![ModuleKind::Ip];
+        a.up_dependencies = vec![Dependency::new(
+            "tradeoffs",
+            "Performance Trade-offs to be specified",
+        )];
+        a.down_connectable = vec![ModuleKind::Ip];
+        a.peerable = vec![ModuleKind::Gre];
+        a.switch.kinds = vec![SwitchKind::UpDown, SwitchKind::DownUp];
+        a.perf_reporting =
+            vec!["number of received and transmitted packets on each up and down pipe".to_string()];
+        a.perf_tradeoffs = vec![
+            PerfTradeoff {
+                costs: vec![PerformanceMetric::Jitter, PerformanceMetric::Delay],
+                improves: vec![PerformanceMetric::Ordering],
+                applies_to: "Up-pipe".to_string(),
+            },
+            PerfTradeoff {
+                costs: vec![PerformanceMetric::LossRate],
+                improves: vec![PerformanceMetric::ErrorRate],
+                applies_to: "Up-pipe".to_string(),
+            },
+        ];
+        a
+    }
+
+    fn actual(&self, ctx: &ModuleCtx) -> ModuleActual {
+        let mut perf = BTreeMap::new();
+        if let Some(id) = self.configured_tunnel {
+            if let Some(t) = ctx.config.tunnels.get(&id) {
+                perf.insert("tunnel-configured".to_string(), 1);
+                perf.insert("okey".to_string(), t.okey.unwrap_or(0) as u64);
+            }
+        }
+        ModuleActual {
+            pipes: self.up_pipe.iter().chain(self.down_pipe.iter()).copied().collect(),
+            switch_rules: if self.configured_tunnel.is_some() {
+                vec![format!("{:?} <=> {:?}", self.up_pipe, self.down_pipe)]
+            } else {
+                Vec::new()
+            },
+            filters: Vec::new(),
+            perf_report: perf,
+        }
+    }
+
+    fn create_pipe(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        spec: &PipeSpec,
+    ) -> Result<ModuleReaction, ModuleError> {
+        if spec.lower == self.me {
+            // Our up pipe: the module above us is the payload protocol.
+            if spec.tradeoffs.is_empty() {
+                return Err(ModuleError::MissingDependency(
+                    "performance trade-offs must be specified for a GRE up pipe".to_string(),
+                ));
+            }
+            self.up_pipe = Some(spec.pipe);
+            self.peer = spec.peer_lower.clone();
+            self.wants_sequencing = spec.tradeoffs.contains(&TradeoffChoice::InOrderDelivery);
+            self.wants_checksums = spec.tradeoffs.contains(&TradeoffChoice::LowErrorRate);
+            if spec.initiate {
+                if let Some(peer) = &self.peer {
+                    let (ikey, okey) = self.propose_keys(peer);
+                    self.params = Some(GreParams {
+                        ikey,
+                        okey,
+                        sequencing: self.wants_sequencing,
+                        checksums: self.wants_checksums,
+                    });
+                    return Ok(ModuleReaction::envelope(ModuleEnvelope {
+                        from: self.me.clone(),
+                        to: peer.clone(),
+                        kind: EnvelopeKind::Convey,
+                        body: serde_json::json!({
+                            "propose": {
+                                // The key the proposer will accept (peer's okey)
+                                "your_okey": ikey,
+                                // The key the responder should accept (proposer's okey)
+                                "your_ikey": okey,
+                                "sequencing": self.wants_sequencing,
+                                "checksums": self.wants_checksums,
+                            }
+                        }),
+                    }));
+                }
+            }
+        } else if spec.upper == self.me {
+            // Our down pipe: the delivery protocol below us.
+            self.down_pipe = Some(spec.pipe);
+        }
+        Ok(ModuleReaction::none())
+    }
+
+    fn create_switch(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        _spec: &SwitchSpec,
+    ) -> Result<ModuleReaction, ModuleError> {
+        self.pending_switch = true;
+        Ok(ModuleReaction::none())
+    }
+
+    fn handle_envelope(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        env: &ModuleEnvelope,
+    ) -> Result<ModuleReaction, ModuleError> {
+        if let Some(p) = env.body.get("propose") {
+            let ikey = p.get("your_ikey").and_then(|v| v.as_u64()).unwrap_or(0) as u32;
+            let okey = p.get("your_okey").and_then(|v| v.as_u64()).unwrap_or(0) as u32;
+            let sequencing = p.get("sequencing").and_then(|v| v.as_bool()).unwrap_or(false);
+            let checksums = p.get("checksums").and_then(|v| v.as_bool()).unwrap_or(false);
+            self.params = Some(GreParams {
+                ikey,
+                okey,
+                sequencing,
+                checksums,
+            });
+            self.wants_sequencing = sequencing;
+            self.wants_checksums = checksums;
+            return Ok(ModuleReaction::envelope(ModuleEnvelope {
+                from: self.me.clone(),
+                to: env.from.clone(),
+                kind: EnvelopeKind::Convey,
+                body: serde_json::json!({"accept": true}),
+            }));
+        }
+        // "accept": nothing further to do, the proposal already holds our
+        // parameters.
+        Ok(ModuleReaction::none())
+    }
+
+    fn poll(&mut self, ctx: &mut ModuleCtx) -> ModuleReaction {
+        if self.configured_tunnel.is_some() || !self.pending_switch {
+            return ModuleReaction::none();
+        }
+        let (Some(up), Some(down), Some(params)) = (self.up_pipe, self.down_pipe, self.params) else {
+            return ModuleReaction::none();
+        };
+        let (Some(local), Some(remote)) = (
+            ctx.pipe_attr(down, "local_addr")
+                .and_then(|s| s.parse::<Ipv4Addr>().ok()),
+            ctx.pipe_attr(down, "remote_addr")
+                .and_then(|s| s.parse::<Ipv4Addr>().ok()),
+        ) else {
+            return ModuleReaction::none();
+        };
+        let id = ctx.config.tunnels.keys().max().copied().unwrap_or(0) + 1;
+        let mut t = TunnelConfig::gre(id, format!("gre-{}-{}", up, down), local, remote);
+        t.ikey = Some(params.ikey);
+        t.okey = Some(params.okey);
+        t.iseq = params.sequencing;
+        t.oseq = params.sequencing;
+        t.icsum = params.checksums;
+        t.ocsum = params.checksums;
+        ctx.config.tunnels.insert(id, t);
+        ctx.set_pipe_attr(up, "attach", format!("tunnel:{id}"));
+        self.configured_tunnel = Some(id);
+        ModuleReaction::none()
+    }
+}

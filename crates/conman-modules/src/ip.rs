@@ -1,0 +1,550 @@
+//! The IPv4 protocol module.
+//!
+//! A device may contain several IP modules: the paper's Figure 4(b) shows a
+//! customer-facing IP module (a "virtual router" in the customer's address
+//! domain) and an ISP-facing IP module on the edge routers.  The module
+//! resolves everything address-related itself — it exchanges addresses with
+//! its peer IP modules through `listFieldsAndValues` relayed by the NM, and
+//! turns the NM's abstract pipe/switch primitives into routes, policy rules
+//! and (for IP-IP paths) tunnel state in the simulated data plane.
+
+use conman_core::abstraction::{
+    Dependency, FilterCapability, FilterClassifier, ModuleAbstraction, SwitchKind,
+};
+use conman_core::ids::{ModuleKind, ModuleRef, PipeId};
+use conman_core::module::{ModuleCtx, ModuleError, ModuleReaction, ProtocolModule};
+use conman_core::primitives::{
+    EnvelopeKind, FilterSpec, ModuleActual, ModuleEnvelope, PipeSpec, SwitchSpec,
+};
+use netsim::config::{FilterAction, FilterRule, TunnelConfig};
+use netsim::ipv4::Ipv4Cidr;
+use netsim::route::{PolicyRule, Route, RouteTableId, RouteTarget, RuleSelector};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Which end of a pipe this module is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Upper,
+    Lower,
+}
+
+#[derive(Debug, Clone)]
+struct PipeRec {
+    spec: PipeSpec,
+    role: Role,
+    /// Peer address learnt for this pipe (next hop or remote tunnel endpoint).
+    learned: Option<Ipv4Addr>,
+    /// Has the peer exchange for this pipe been initiated?
+    query_sent: bool,
+}
+
+/// The IPv4 protocol module.
+pub struct IpModule {
+    me: ModuleRef,
+    /// The address domain this module belongs to (customer VRF or ISP core).
+    pub domain: String,
+    /// The module's primary address, used when a pipe-specific address
+    /// cannot be determined.
+    pub primary: Ipv4Addr,
+    pipes: BTreeMap<PipeId, PipeRec>,
+    pending_switches: Vec<SwitchSpec>,
+    applied_switches: Vec<String>,
+    filters_installed: Vec<String>,
+    next_filter_id: u32,
+}
+
+impl IpModule {
+    /// Create an IP module.
+    pub fn new(me: ModuleRef, domain: impl Into<String>, primary: Ipv4Addr) -> Self {
+        IpModule {
+            me,
+            domain: domain.into(),
+            primary,
+            pipes: BTreeMap::new(),
+            pending_switches: Vec::new(),
+            applied_switches: Vec::new(),
+            filters_installed: Vec::new(),
+            next_filter_id: 1,
+        }
+    }
+
+    /// The peer of a pipe from this module's perspective.
+    fn peer_of(&self, rec: &PipeRec) -> Option<ModuleRef> {
+        match rec.role {
+            Role::Upper => rec.spec.peer_upper.clone(),
+            Role::Lower => rec.spec.peer_lower.clone(),
+        }
+    }
+
+    /// Is this pipe an "endpoint" pipe: this module is the lower end beneath
+    /// a tunnelling module (GRE, or another IP module for IP-IP)?
+    fn is_endpoint_pipe(rec: &PipeRec) -> bool {
+        rec.role == Role::Lower
+            && matches!(rec.spec.upper.kind, ModuleKind::Gre | ModuleKind::Ip)
+    }
+
+    /// Is this pipe an "adjacency" pipe: this module is the upper end above
+    /// an ETH module, with a peer on the neighbouring device?
+    fn is_adjacency_pipe(rec: &PipeRec) -> bool {
+        rec.role == Role::Upper && rec.spec.lower.kind == ModuleKind::Eth
+    }
+
+    /// The port underlying an adjacency pipe (published by its ETH module).
+    fn port_of(ctx: &ModuleCtx, pipe: PipeId) -> Option<u32> {
+        ctx.pipe_attr(pipe, "port").and_then(|s| s.parse().ok())
+    }
+
+    /// The address this module uses on a given adjacency pipe.
+    fn address_on_pipe(&self, ctx: &ModuleCtx, pipe: PipeId) -> Ipv4Addr {
+        Self::port_of(ctx, pipe)
+            .and_then(|p| ctx.config.address_on_port(p))
+            .map(|c| c.addr)
+            .unwrap_or(self.primary)
+    }
+
+    /// The address this module reports as its end of the path: the address
+    /// on its (unique) adjacency pipe when it has one, its primary otherwise.
+    fn path_address(&self, ctx: &ModuleCtx) -> Ipv4Addr {
+        let adj: Vec<&PipeRec> = self
+            .pipes
+            .values()
+            .filter(|r| Self::is_adjacency_pipe(r))
+            .collect();
+        match adj.as_slice() {
+            [only] => self.address_on_pipe(ctx, only.spec.pipe),
+            _ => self.primary,
+        }
+    }
+
+    fn record_learned(&mut self, ctx: &mut ModuleCtx, pipe: PipeId, their: Ipv4Addr, ours: Ipv4Addr) {
+        if let Some(rec) = self.pipes.get_mut(&pipe) {
+            rec.learned = Some(their);
+            if Self::is_endpoint_pipe(rec) {
+                ctx.set_pipe_attr(pipe, "remote_addr", their.to_string());
+                ctx.set_pipe_attr(pipe, "local_addr", ours.to_string());
+            } else {
+                ctx.set_pipe_attr(pipe, "nexthop", their.to_string());
+            }
+        }
+    }
+
+    /// Try to apply a pending switch rule; returns true when fully applied.
+    fn try_apply_switch(&mut self, ctx: &mut ModuleCtx, spec: &SwitchSpec) -> bool {
+        // Classified rule: customer traffic into the core-side attachment.
+        if let Some(class) = &spec.dst_class {
+            let Some(attach) = ctx.pipe_attr(spec.out_pipe, "attach").cloned() else {
+                return false;
+            };
+            let Some(prefix) = spec.resolved.get(class).and_then(|s| s.parse::<Ipv4Cidr>().ok())
+            else {
+                return false;
+            };
+            let table = RouteTableId(200 + spec.out_pipe.0);
+            let target = match parse_attach(&attach) {
+                Some(t) => t,
+                None => return false,
+            };
+            ctx.config.ip_forwarding = true;
+            ctx.config.rib.name_table(table, format!("conman-{}", spec.out_pipe));
+            ctx.config.rib.table_mut(table).add(Route {
+                dest: Ipv4Cidr::DEFAULT,
+                target,
+            });
+            ctx.config.rib.add_rule(PolicyRule {
+                priority: 100 + spec.out_pipe.0,
+                selector: RuleSelector::ToPrefix(prefix),
+                table,
+            });
+            self.applied_switches
+                .push(format!("[{} dst:{} => {}]", spec.in_pipe, class, spec.out_pipe));
+            return true;
+        }
+
+        // Gateway rule: traffic coming back from the core towards the
+        // customer-facing pipe.
+        if let Some(gateway) = &spec.gateway {
+            let Some(port) = Self::port_of(ctx, spec.out_pipe) else {
+                return false;
+            };
+            let Some(gw) = spec.resolved.get(gateway).and_then(|s| s.parse::<Ipv4Addr>().ok())
+            else {
+                return false;
+            };
+            ctx.config.ip_forwarding = true;
+            // Traffic decapsulated from a tunnel attachment gets a dedicated
+            // policy rule (mirroring `ip rule add iif greA` in Figure 7(a)).
+            if let Some(attach) = ctx.pipe_attr(spec.in_pipe, "attach").cloned() {
+                if let Some(tunnel) = attach.strip_prefix("tunnel:").and_then(|s| s.parse::<u32>().ok()) {
+                    let table = RouteTableId(220 + spec.in_pipe.0);
+                    ctx.config.rib.name_table(table, format!("conman-rev-{}", spec.in_pipe));
+                    ctx.config.rib.table_mut(table).add(Route {
+                        dest: Ipv4Cidr::DEFAULT,
+                        target: RouteTarget::Port {
+                            port,
+                            via: Some(gw),
+                        },
+                    });
+                    ctx.config.rib.add_rule(PolicyRule {
+                        priority: 120 + spec.in_pipe.0,
+                        selector: RuleSelector::FromTunnel(tunnel),
+                        table,
+                    });
+                }
+            }
+            // In every case, make the local site prefix reachable through the
+            // customer gateway so reverse traffic (including MPLS-decapped
+            // packets) is delivered.
+            if let Some(prefix) = spec
+                .resolved
+                .get("gateway-prefix")
+                .and_then(|s| s.parse::<Ipv4Cidr>().ok())
+            {
+                ctx.config.rib.add_main(Route {
+                    dest: prefix,
+                    target: RouteTarget::Port {
+                        port,
+                        via: Some(gw),
+                    },
+                });
+            }
+            self.applied_switches
+                .push(format!("[{} => {}, {}]", spec.in_pipe, spec.out_pipe, gateway));
+            return true;
+        }
+
+        // Unclassified rule between two of this module's pipes.
+        let (Some(in_rec), Some(out_rec)) = (
+            self.pipes.get(&spec.in_pipe).cloned(),
+            self.pipes.get(&spec.out_pipe).cloned(),
+        ) else {
+            return false;
+        };
+        let endpoint = [&in_rec, &out_rec].into_iter().find(|r| Self::is_endpoint_pipe(r));
+        let adjacency = [&in_rec, &out_rec].into_iter().find(|r| Self::is_adjacency_pipe(r));
+        match (endpoint, adjacency) {
+            // Tunnel-endpoint switch (Figure 7(b) command 8): route the
+            // remote tunnel endpoint via the adjacent peer.
+            (Some(ep), Some(adj)) => {
+                let Some(remote) = ctx
+                    .pipe_attr(ep.spec.pipe, "remote_addr")
+                    .and_then(|s| s.parse::<Ipv4Addr>().ok())
+                else {
+                    return false;
+                };
+                let Some(nexthop) = ctx
+                    .pipe_attr(adj.spec.pipe, "nexthop")
+                    .and_then(|s| s.parse::<Ipv4Addr>().ok())
+                else {
+                    return false;
+                };
+                let Some(port) = Self::port_of(ctx, adj.spec.pipe) else {
+                    return false;
+                };
+                ctx.config.ip_forwarding = true;
+                ctx.config.rib.add_main(Route {
+                    dest: Ipv4Cidr::new(remote, 32),
+                    target: RouteTarget::Port {
+                        port,
+                        via: Some(nexthop),
+                    },
+                });
+                // For an IP-IP path this module is itself the tunnelling
+                // protocol: create the IP-IP tunnel and expose the attachment
+                // to the customer IP module above.
+                if ep.spec.upper.kind == ModuleKind::Ip
+                    && ctx.pipe_attr(ep.spec.pipe, "attach").is_none()
+                {
+                    let local = ctx
+                        .pipe_attr(ep.spec.pipe, "local_addr")
+                        .and_then(|s| s.parse::<Ipv4Addr>().ok())
+                        .unwrap_or(self.primary);
+                    let id = ctx.config.tunnels.keys().max().copied().unwrap_or(0) + 1;
+                    let mut t = TunnelConfig::ipip(id, format!("ipip-{}", ep.spec.pipe), local, remote);
+                    t.ttl = 64;
+                    ctx.config.tunnels.insert(id, t);
+                    ctx.set_pipe_attr(ep.spec.pipe, "attach", format!("tunnel:{id}"));
+                }
+                self.applied_switches
+                    .push(format!("[{} <=> {}]", spec.in_pipe, spec.out_pipe));
+                true
+            }
+            // Transit switch between two adjacency pipes (the core router's
+            // IP module in the IP-IP / GRE-IP paths): interface-scoped
+            // default routes in both directions.
+            (None, Some(_)) => {
+                let both = [&in_rec, &out_rec];
+                if !both.iter().all(|r| Self::is_adjacency_pipe(r)) {
+                    return false;
+                }
+                let mut resolved = Vec::new();
+                for (a, b) in [(&in_rec, &out_rec), (&out_rec, &in_rec)] {
+                    let (Some(port_in), Some(port_out), Some(nexthop_out)) = (
+                        Self::port_of(ctx, a.spec.pipe),
+                        Self::port_of(ctx, b.spec.pipe),
+                        ctx.pipe_attr(b.spec.pipe, "nexthop")
+                            .and_then(|s| s.parse::<Ipv4Addr>().ok()),
+                    ) else {
+                        return false;
+                    };
+                    resolved.push((port_in, port_out, nexthop_out));
+                }
+                ctx.config.ip_forwarding = true;
+                for (i, (port_in, port_out, nexthop_out)) in resolved.into_iter().enumerate() {
+                    let table = RouteTableId(240 + spec.in_pipe.0 * 2 + i as u32);
+                    ctx.config.rib.name_table(table, format!("conman-transit-{}", table.0));
+                    ctx.config.rib.table_mut(table).add(Route {
+                        dest: Ipv4Cidr::DEFAULT,
+                        target: RouteTarget::Port {
+                            port: port_out,
+                            via: Some(nexthop_out),
+                        },
+                    });
+                    ctx.config.rib.add_rule(PolicyRule {
+                        priority: 140 + spec.in_pipe.0 * 2 + i as u32,
+                        selector: RuleSelector::FromPort(port_in),
+                        table,
+                    });
+                }
+                self.applied_switches
+                    .push(format!("[{} <=> {}]", spec.in_pipe, spec.out_pipe));
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+fn parse_attach(attach: &str) -> Option<RouteTarget> {
+    if let Some(id) = attach.strip_prefix("tunnel:") {
+        return Some(RouteTarget::Tunnel {
+            tunnel: id.parse().ok()?,
+        });
+    }
+    if let Some(key) = attach.strip_prefix("mpls:") {
+        return Some(RouteTarget::Mpls {
+            nhlfe: netsim::mpls::NhlfeKey(key.parse().ok()?),
+        });
+    }
+    None
+}
+
+impl ProtocolModule for IpModule {
+    fn reference(&self) -> ModuleRef {
+        self.me.clone()
+    }
+
+    fn descriptor(&self) -> ModuleAbstraction {
+        let mut a = ModuleAbstraction::empty(self.me.clone());
+        a.up_connectable = vec![ModuleKind::Ip, ModuleKind::Gre];
+        a.down_connectable = vec![
+            ModuleKind::Ip,
+            ModuleKind::Gre,
+            ModuleKind::Mpls,
+            ModuleKind::Eth,
+        ];
+        a.peerable = vec![ModuleKind::Ip];
+        a.switch.kinds = vec![
+            SwitchKind::DownUp,
+            SwitchKind::UpDown,
+            SwitchKind::DownDown,
+            SwitchKind::UpUp,
+        ];
+        a.filter = FilterCapability {
+            classifiers: vec![
+                FilterClassifier::SourceModule,
+                FilterClassifier::DestinationModule,
+                FilterClassifier::ModuleType,
+            ],
+        };
+        a.perf_reporting = vec!["packets forwarded, delivered and dropped".to_string()];
+        a.address_domain = Some(self.domain.clone());
+        a.up_dependencies = vec![];
+        a.down_dependencies = vec![Dependency::new(
+            "arp",
+            "relies on ARP for IP-to-MAC mapping on Ethernet down-pipes",
+        )];
+        a
+    }
+
+    fn actual(&self, ctx: &ModuleCtx) -> ModuleActual {
+        let mut perf = BTreeMap::new();
+        perf.insert("routes".to_string(), ctx
+            .config
+            .rib
+            .tables()
+            .map(|(_, t)| t.len() as u64)
+            .sum::<u64>());
+        ModuleActual {
+            pipes: self.pipes.keys().copied().collect(),
+            switch_rules: self.applied_switches.clone(),
+            filters: self.filters_installed.clone(),
+            perf_report: perf,
+        }
+    }
+
+    fn create_pipe(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        spec: &PipeSpec,
+    ) -> Result<ModuleReaction, ModuleError> {
+        let role = if spec.upper == self.me {
+            Role::Upper
+        } else {
+            Role::Lower
+        };
+        self.pipes.insert(
+            spec.pipe,
+            PipeRec {
+                spec: spec.clone(),
+                role,
+                learned: None,
+                query_sent: false,
+            },
+        );
+        Ok(ModuleReaction::none())
+    }
+
+    fn create_switch(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        spec: &SwitchSpec,
+    ) -> Result<ModuleReaction, ModuleError> {
+        if !self.try_apply_switch(ctx, spec) {
+            self.pending_switches.push(spec.clone());
+        }
+        Ok(ModuleReaction::none())
+    }
+
+    fn create_filter(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        spec: &FilterSpec,
+    ) -> Result<ModuleReaction, ModuleError> {
+        // The NM speaks in terms of modules; the IP module resolves them to
+        // protocol fields.  The resolved map carries any field values the NM
+        // already tracked; otherwise the module would query the target
+        // modules with listFieldsAndValues.
+        let src = spec
+            .resolved
+            .get("from-address")
+            .and_then(|s| s.parse::<Ipv4Cidr>().ok());
+        let dst = spec
+            .resolved
+            .get("to-address")
+            .and_then(|s| s.parse::<Ipv4Cidr>().ok());
+        let dst_port = spec.resolved.get("to-port").and_then(|s| s.parse::<u16>().ok());
+        if src.is_none() && dst.is_none() {
+            return Ok(ModuleReaction::envelope(ModuleEnvelope {
+                from: self.me.clone(),
+                to: spec.to.clone(),
+                kind: EnvelopeKind::FieldQuery,
+                body: serde_json::json!({"query": "fields-for-filter"}),
+            }));
+        }
+        let id = self.next_filter_id;
+        self.next_filter_id += 1;
+        ctx.config.filters.push(FilterRule {
+            id,
+            action: FilterAction::Drop,
+            src,
+            dst,
+            proto: None,
+            dst_port,
+        });
+        self.filters_installed
+            .push(format!("drop {} -> {}", spec.from, spec.to));
+        Ok(ModuleReaction::none())
+    }
+
+    fn handle_envelope(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        env: &ModuleEnvelope,
+    ) -> Result<ModuleReaction, ModuleError> {
+        let Some(their) = env
+            .body
+            .get("address")
+            .and_then(|v| v.as_str())
+            .and_then(|s| s.parse::<Ipv4Addr>().ok())
+        else {
+            return Ok(ModuleReaction::none());
+        };
+        // Find the pipe whose peer sent this message.
+        let pipe = self
+            .pipes
+            .values()
+            .find(|r| self.peer_of(r).as_ref() == Some(&env.from))
+            .map(|r| r.spec.pipe);
+        let Some(pipe) = pipe else {
+            return Ok(ModuleReaction::none());
+        };
+        let ours = {
+            let rec = &self.pipes[&pipe];
+            if Self::is_adjacency_pipe(rec) {
+                self.address_on_pipe(ctx, pipe)
+            } else {
+                self.path_address(ctx)
+            }
+        };
+        self.record_learned(ctx, pipe, their, ours);
+        if env.kind == EnvelopeKind::FieldQuery {
+            // Answer with our address for this pipe.
+            return Ok(ModuleReaction::envelope(ModuleEnvelope {
+                from: self.me.clone(),
+                to: env.from.clone(),
+                kind: EnvelopeKind::FieldResponse,
+                body: serde_json::json!({"address": ours.to_string()}),
+            }));
+        }
+        Ok(ModuleReaction::none())
+    }
+
+    fn poll(&mut self, ctx: &mut ModuleCtx) -> ModuleReaction {
+        let mut reaction = ModuleReaction::none();
+
+        // 1. Initiate pending peer exchanges once the underlying port (and
+        //    therefore our address) is known.
+        let pipe_ids: Vec<PipeId> = self.pipes.keys().copied().collect();
+        for id in pipe_ids {
+            let rec = self.pipes[&id].clone();
+            if rec.query_sent || !rec.spec.initiate {
+                continue;
+            }
+            let Some(peer) = self.peer_of(&rec) else {
+                continue;
+            };
+            if peer.kind != ModuleKind::Ip {
+                continue;
+            }
+            let needs_exchange = Self::is_endpoint_pipe(&rec) || Self::is_adjacency_pipe(&rec);
+            if !needs_exchange {
+                continue;
+            }
+            let ours = if Self::is_adjacency_pipe(&rec) {
+                if Self::port_of(ctx, id).is_none() {
+                    continue; // ETH module has not published the port yet
+                }
+                self.address_on_pipe(ctx, id)
+            } else {
+                self.path_address(ctx)
+            };
+            self.pipes.get_mut(&id).expect("pipe exists").query_sent = true;
+            reaction.envelopes.push(ModuleEnvelope {
+                from: self.me.clone(),
+                to: peer,
+                kind: EnvelopeKind::FieldQuery,
+                body: serde_json::json!({"query": "address", "address": ours.to_string()}),
+            });
+        }
+
+        // 2. Retry pending switch rules.
+        let pending = std::mem::take(&mut self.pending_switches);
+        for spec in pending {
+            if !self.try_apply_switch(ctx, &spec) {
+                self.pending_switches.push(spec);
+            }
+        }
+        reaction
+    }
+}

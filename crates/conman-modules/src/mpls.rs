@@ -1,0 +1,360 @@
+//! The MPLS protocol module.
+//!
+//! Labels are allocated and distributed between adjacent MPLS modules via
+//! `conveyMessage`; the NM never sees a label.  The module then installs the
+//! ILM / NHLFE / cross-connect entries that the Figure 8(a) script created by
+//! hand (`mpls nhlfe add`, `mpls ilm add`, `mpls xc add`).
+
+use conman_core::abstraction::{ModuleAbstraction, SwitchKind};
+use conman_core::ids::{ModuleKind, ModuleRef, PipeId};
+use conman_core::module::{ModuleCtx, ModuleError, ModuleReaction, ProtocolModule};
+use conman_core::primitives::{
+    EnvelopeKind, ModuleActual, ModuleEnvelope, Notification, PipeSpec, SwitchSpec,
+};
+use netsim::mpls::{IlmEntry, Label, LabelOp, Nhlfe};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Per-adjacency label state.
+#[derive(Debug, Clone, Default)]
+struct Adjacency {
+    /// Label we allocated for traffic we will receive from this peer.
+    in_label: Option<u32>,
+    /// Label the peer allocated (we push/swap to it when sending to them).
+    out_label: Option<u32>,
+    /// The peer's address on the shared link (the NHLFE next hop).
+    peer_addr: Option<Ipv4Addr>,
+    /// Whether we already sent our half of the exchange.
+    sent: bool,
+    /// Whether we initiate the exchange (we are the earlier device on the
+    /// path).
+    initiate: bool,
+    peer: Option<ModuleRef>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PipeKind {
+    /// Pipe to an IP module above us: the LSP enters/leaves here.
+    Access,
+    /// Pipe over an ETH module towards an adjacent MPLS module.
+    Adjacency,
+}
+
+/// The MPLS protocol module.
+pub struct MplsModule {
+    me: ModuleRef,
+    pipes: BTreeMap<PipeId, PipeKind>,
+    adjacencies: BTreeMap<PipeId, Adjacency>,
+    access_pipes: Vec<PipeId>,
+    pending_switches: Vec<SwitchSpec>,
+    applied: Vec<String>,
+    next_label: u32,
+    notified: bool,
+}
+
+impl MplsModule {
+    /// Create an MPLS module.  Label allocation is seeded from the device id
+    /// so labels are stable and distinct across devices.
+    pub fn new(me: ModuleRef) -> Self {
+        let next_label = 10_000 + (me.device.as_u64() % 89) as u32 * 100;
+        MplsModule {
+            me,
+            pipes: BTreeMap::new(),
+            adjacencies: BTreeMap::new(),
+            access_pipes: Vec::new(),
+            pending_switches: Vec::new(),
+            applied: Vec::new(),
+            next_label,
+            notified: false,
+        }
+    }
+
+    fn alloc_label(&mut self) -> u32 {
+        self.next_label += 1;
+        self.next_label
+    }
+
+    fn port_of(ctx: &ModuleCtx, pipe: PipeId) -> Option<u32> {
+        ctx.pipe_attr(pipe, "port").and_then(|s| s.parse().ok())
+    }
+
+    fn exchange_body(&self, label: u32, addr: Ipv4Addr, reply: bool) -> serde_json::Value {
+        serde_json::json!({
+            "mpls": {"label": label, "address": addr.to_string(), "reply": reply}
+        })
+    }
+
+    /// Apply a pending switch rule once the necessary label bindings exist.
+    fn try_apply_switch(&mut self, ctx: &mut ModuleCtx, spec: &SwitchSpec) -> Option<Vec<Notification>> {
+        let kinds = (
+            self.pipes.get(&spec.in_pipe).copied(),
+            self.pipes.get(&spec.out_pipe).copied(),
+        );
+        let mut notifications = Vec::new();
+        match kinds {
+            // LSP endpoint: one access pipe (to IP) and one adjacency pipe.
+            (Some(PipeKind::Access), Some(PipeKind::Adjacency))
+            | (Some(PipeKind::Adjacency), Some(PipeKind::Access)) => {
+                let (access, adjacency) = if kinds.0 == Some(PipeKind::Access) {
+                    (spec.in_pipe, spec.out_pipe)
+                } else {
+                    (spec.out_pipe, spec.in_pipe)
+                };
+                let adj = self.adjacencies.get(&adjacency)?.clone();
+                let (Some(in_label), Some(out_label), Some(peer_addr)) =
+                    (adj.in_label, adj.out_label, adj.peer_addr)
+                else {
+                    return None;
+                };
+                let port = Self::port_of(ctx, adjacency)?;
+                // Outgoing direction: push the peer's label.
+                let push_key = ctx.config.mpls.alloc_key();
+                ctx.config.mpls.add_nhlfe(Nhlfe {
+                    key: push_key,
+                    op: LabelOp::Push(Label::new(out_label).expect("20-bit label")),
+                    nexthop: peer_addr,
+                    out_port: port,
+                    mtu: 1500,
+                });
+                ctx.set_pipe_attr(access, "attach", format!("mpls:{}", push_key.0));
+                // Incoming direction: pop our label and hand the packet to
+                // the local IP module for routing towards the customer.
+                let pop_key = ctx.config.mpls.alloc_key();
+                ctx.config.mpls.add_nhlfe(Nhlfe {
+                    key: pop_key,
+                    op: LabelOp::Pop,
+                    nexthop: Ipv4Addr::UNSPECIFIED,
+                    out_port: port,
+                    mtu: 1500,
+                });
+                ctx.config.mpls.set_labelspace(port, 0);
+                ctx.config.mpls.add_xc(
+                    IlmEntry {
+                        labelspace: 0,
+                        label: Label::new(in_label).expect("20-bit label"),
+                    },
+                    pop_key,
+                );
+                self.applied.push(format!(
+                    "endpoint: push {} towards {}, pop {} locally",
+                    out_label, peer_addr, in_label
+                ));
+                // The egress end of the LSP (the endpoint that did not start
+                // the label exchange) notifies the NM that the LSP is up.
+                if !adj.initiate && !self.notified {
+                    self.notified = true;
+                    notifications.push(Notification {
+                        from: self.me.clone(),
+                        body: serde_json::json!({"established": "mpls-lsp"}),
+                    });
+                }
+                Some(notifications)
+            }
+            // Transit: two adjacency pipes; swap labels in both directions.
+            (Some(PipeKind::Adjacency), Some(PipeKind::Adjacency)) => {
+                let a = self.adjacencies.get(&spec.in_pipe)?.clone();
+                let b = self.adjacencies.get(&spec.out_pipe)?.clone();
+                for (from, to, from_pipe, to_pipe) in [(&a, &b, spec.in_pipe, spec.out_pipe), (&b, &a, spec.out_pipe, spec.in_pipe)] {
+                    let (Some(in_label), Some(out_label), Some(next)) =
+                        (from.in_label, to.out_label, to.peer_addr)
+                    else {
+                        return None;
+                    };
+                    let in_port = Self::port_of(ctx, from_pipe)?;
+                    let out_port = Self::port_of(ctx, to_pipe)?;
+                    let key = ctx.config.mpls.alloc_key();
+                    ctx.config.mpls.add_nhlfe(Nhlfe {
+                        key,
+                        op: LabelOp::Swap(Label::new(out_label).expect("20-bit label")),
+                        nexthop: next,
+                        out_port,
+                        mtu: 1500,
+                    });
+                    ctx.config.mpls.set_labelspace(in_port, 0);
+                    ctx.config.mpls.add_xc(
+                        IlmEntry {
+                            labelspace: 0,
+                            label: Label::new(in_label).expect("20-bit label"),
+                        },
+                        key,
+                    );
+                    self.applied
+                        .push(format!("transit: {} -> swap {}", in_label, out_label));
+                }
+                Some(notifications)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl ProtocolModule for MplsModule {
+    fn reference(&self) -> ModuleRef {
+        self.me.clone()
+    }
+
+    fn descriptor(&self) -> ModuleAbstraction {
+        let mut a = ModuleAbstraction::empty(self.me.clone());
+        a.up_connectable = vec![ModuleKind::Ip];
+        a.down_connectable = vec![ModuleKind::Eth];
+        a.peerable = vec![ModuleKind::Mpls];
+        a.switch.kinds = vec![SwitchKind::DownUp, SwitchKind::UpDown, SwitchKind::DownDown];
+        a.perf_reporting = vec!["labelled packets forwarded per cross-connect".to_string()];
+        // The paper's NM prefers the MPLS path because the abstraction
+        // advertises good forwarding bandwidth.
+        a.fast_forwarding = true;
+        a.perf_enforcement = vec!["label-switched forwarding at line rate".to_string()];
+        a
+    }
+
+    fn actual(&self, ctx: &ModuleCtx) -> ModuleActual {
+        let mut perf = BTreeMap::new();
+        perf.insert("nhlfe-entries".to_string(), ctx.config.mpls.nhlfe.len() as u64);
+        perf.insert("cross-connects".to_string(), ctx.config.mpls.xc.len() as u64);
+        ModuleActual {
+            pipes: self.pipes.keys().copied().collect(),
+            switch_rules: self.applied.clone(),
+            filters: Vec::new(),
+            perf_report: perf,
+        }
+    }
+
+    fn create_pipe(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        spec: &PipeSpec,
+    ) -> Result<ModuleReaction, ModuleError> {
+        if spec.lower == self.me {
+            // Pipe to the IP module above: the LSP access point.
+            self.pipes.insert(spec.pipe, PipeKind::Access);
+            self.access_pipes.push(spec.pipe);
+        } else {
+            // Pipe over an ETH module towards the adjacent MPLS module.
+            self.pipes.insert(spec.pipe, PipeKind::Adjacency);
+            self.adjacencies.insert(
+                spec.pipe,
+                Adjacency {
+                    initiate: spec.initiate,
+                    peer: spec.peer_upper.clone(),
+                    ..Default::default()
+                },
+            );
+        }
+        Ok(ModuleReaction::none())
+    }
+
+    fn create_switch(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        spec: &SwitchSpec,
+    ) -> Result<ModuleReaction, ModuleError> {
+        let mut reaction = ModuleReaction::none();
+        match self.try_apply_switch(ctx, spec) {
+            Some(n) => reaction.notifications.extend(n),
+            None => self.pending_switches.push(spec.clone()),
+        }
+        Ok(reaction)
+    }
+
+    fn handle_envelope(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        env: &ModuleEnvelope,
+    ) -> Result<ModuleReaction, ModuleError> {
+        let Some(m) = env.body.get("mpls") else {
+            return Ok(ModuleReaction::none());
+        };
+        let label = m.get("label").and_then(|v| v.as_u64()).unwrap_or(0) as u32;
+        let addr = m
+            .get("address")
+            .and_then(|v| v.as_str())
+            .and_then(|s| s.parse::<Ipv4Addr>().ok());
+        let is_reply = m.get("reply").and_then(|v| v.as_bool()).unwrap_or(false);
+        // Find the adjacency whose peer sent this.
+        let pipe = self
+            .adjacencies
+            .iter()
+            .find(|(_, a)| a.peer.as_ref() == Some(&env.from))
+            .map(|(p, _)| *p);
+        let Some(pipe) = pipe else {
+            return Ok(ModuleReaction::none());
+        };
+        let our_label = {
+            let adj = self.adjacencies.get(&pipe).expect("adjacency exists");
+            adj.in_label
+        };
+        let our_label = match our_label {
+            Some(l) => l,
+            None => {
+                let l = self.alloc_label();
+                l
+            }
+        };
+        let port = Self::port_of(ctx, pipe);
+        let our_addr = port
+            .and_then(|p| ctx.config.address_on_port(p))
+            .map(|c| c.addr)
+            .unwrap_or(Ipv4Addr::UNSPECIFIED);
+        {
+            let adj = self.adjacencies.get_mut(&pipe).expect("adjacency exists");
+            adj.in_label = Some(our_label);
+            adj.out_label = Some(label);
+            adj.peer_addr = addr;
+        }
+        if !is_reply {
+            let body = self.exchange_body(our_label, our_addr, true);
+            let adj = self.adjacencies.get_mut(&pipe).expect("adjacency exists");
+            adj.sent = true;
+            return Ok(ModuleReaction::envelope(ModuleEnvelope {
+                from: self.me.clone(),
+                to: env.from.clone(),
+                kind: EnvelopeKind::Convey,
+                body,
+            }));
+        }
+        Ok(ModuleReaction::none())
+    }
+
+    fn poll(&mut self, ctx: &mut ModuleCtx) -> ModuleReaction {
+        let mut reaction = ModuleReaction::none();
+        // Initiate label exchanges once the underlying port is known.
+        let pipes: Vec<PipeId> = self.adjacencies.keys().copied().collect();
+        for pipe in pipes {
+            let adj = self.adjacencies.get(&pipe).expect("adjacency exists").clone();
+            if adj.sent || !adj.initiate {
+                continue;
+            }
+            let Some(peer) = adj.peer.clone() else { continue };
+            let Some(port) = Self::port_of(ctx, pipe) else { continue };
+            let our_addr = ctx
+                .config
+                .address_on_port(port)
+                .map(|c| c.addr)
+                .unwrap_or(Ipv4Addr::UNSPECIFIED);
+            let label = match adj.in_label {
+                Some(l) => l,
+                None => self.alloc_label(),
+            };
+            {
+                let adj = self.adjacencies.get_mut(&pipe).expect("adjacency exists");
+                adj.in_label = Some(label);
+                adj.sent = true;
+            }
+            reaction.envelopes.push(ModuleEnvelope {
+                from: self.me.clone(),
+                to: peer,
+                kind: EnvelopeKind::Convey,
+                body: self.exchange_body(label, our_addr, false),
+            });
+        }
+        // Retry pending switch rules.
+        let pending = std::mem::take(&mut self.pending_switches);
+        for spec in pending {
+            match self.try_apply_switch(ctx, &spec) {
+                Some(n) => reaction.notifications.extend(n),
+                None => self.pending_switches.push(spec),
+            }
+        }
+        reaction
+    }
+}

@@ -1,0 +1,309 @@
+//! Managed testbeds: the paper's experimental set-ups with CONMan agents
+//! attached and an NM ready to manage them.
+//!
+//! The NM is hosted on a dedicated management station (a device with no data
+//! plane role), mirroring the paper's separate management machine; devices
+//! reach it over the management channel (out-of-band by default).
+
+use crate::builder::{
+    build_plain_router_agent, build_router_agent, build_tunnel_host_agent, build_vlan_switch_agent,
+    RouterPlan,
+};
+use conman_core::ids::ModuleKind;
+use conman_core::nm::ConnectivityGoal;
+use conman_core::runtime::ManagedNetwork;
+use mgmt_channel::{ManagementChannel, OutOfBandChannel};
+use netsim::device::{Device, DeviceId, DeviceRole, PortId};
+use netsim::topology::{self, ChainTopology, VlanChain};
+
+/// A managed version of the Figure 4 / chain VPN testbed.
+pub struct ManagedChain<C: ManagementChannel> {
+    /// The managed network (data plane + agents + NM + channel).
+    pub mn: ManagedNetwork<C>,
+    /// Host in customer site 1.
+    pub host1: DeviceId,
+    /// Customer router at site 1 (unmanaged by the ISP's NM).
+    pub customer1: DeviceId,
+    /// The ISP core routers, in path order.
+    pub core: Vec<DeviceId>,
+    /// Customer router at site 2 (unmanaged).
+    pub customer2: DeviceId,
+    /// Host in customer site 2.
+    pub host2: DeviceId,
+}
+
+/// Build a managed ISP chain with `n` core routers using the out-of-band
+/// management channel.  `n = 3` is the paper's Figure 4 testbed.
+pub fn managed_chain(n: usize) -> ManagedChain<OutOfBandChannel> {
+    managed_chain_with(n, OutOfBandChannel::new())
+}
+
+/// Build a managed ISP chain over an arbitrary management channel.
+pub fn managed_chain_with<C: ManagementChannel>(n: usize, channel: C) -> ManagedChain<C> {
+    let ChainTopology {
+        mut net,
+        host1,
+        customer1,
+        core,
+        customer2,
+        host2,
+        ..
+    } = topology::isp_chain(n);
+
+    // The NM's management station: present in the network but without any
+    // data-plane links (the out-of-band channel does not need them).
+    let station = net.add_device(Device::new("NMStation", DeviceRole::Host, 1));
+
+    let mut mn = ManagedNetwork::new(net, station, channel);
+    for (i, id) in core.iter().enumerate() {
+        let device = mn.net.device(*id).expect("core router exists");
+        let plan = if i == 0 || i == n - 1 {
+            RouterPlan::edge(0, device_core_ports(i, n))
+        } else {
+            RouterPlan::core(device_core_ports(i, n))
+        };
+        let agent = build_router_agent(device, &plan);
+        mn.add_agent(agent);
+    }
+    ManagedChain {
+        mn,
+        host1,
+        customer1,
+        core,
+        customer2,
+        host2,
+    }
+}
+
+/// Port plan used by `netsim::topology::isp_chain`: port 0 customer-facing,
+/// port 1 towards the previous core router, port 2 towards the next.
+fn device_core_ports(i: usize, n: usize) -> Vec<u32> {
+    let mut ports = Vec::new();
+    if i > 0 {
+        ports.push(1);
+    }
+    if i < n - 1 {
+        ports.push(2);
+    }
+    ports
+}
+
+impl<C: ManagementChannel> ManagedChain<C> {
+    /// Run the announce + discovery phase.
+    pub fn discover(&mut self) {
+        self.mn.announce_all();
+        self.mn.discover();
+    }
+
+    /// The paper's high-level VPN goal: connectivity between the customer
+    /// facing interfaces of the first and last core router for traffic
+    /// between customer-1 site 1 and site 2.
+    pub fn vpn_goal(&self) -> ConnectivityGoal {
+        let ingress = self.core.first().expect("at least one core router");
+        let egress = self.core.last().expect("at least one core router");
+        let from = self
+            .mn
+            .nm
+            .find_eth_on_port(*ingress, PortId(0))
+            .expect("ingress customer-facing ETH module (run discover() first)");
+        let to = self
+            .mn
+            .nm
+            .find_eth_on_port(*egress, PortId(0))
+            .expect("egress customer-facing ETH module (run discover() first)");
+        ConnectivityGoal::vpn(from, to)
+            .resolve("C1-S1", "10.0.1.0/24")
+            .resolve("C1-S2", "10.0.2.0/24")
+            .resolve("S1-gateway", "192.168.0.1")
+            .resolve("S2-gateway", "192.168.2.1")
+    }
+
+    /// Send a customer datagram from site 1 to site 2 and report whether it
+    /// arrived, together with the encapsulations observed inside the ISP.
+    pub fn send_site1_to_site2(&mut self, payload: &[u8]) -> (bool, Vec<String>) {
+        self.send_between(self.host1, "10.0.2.5", payload)
+    }
+
+    /// Send a customer datagram from site 2 to site 1.
+    pub fn send_site2_to_site1(&mut self, payload: &[u8]) -> (bool, Vec<String>) {
+        self.send_between(self.host2, "10.0.1.5", payload)
+    }
+
+    fn send_between(&mut self, from: DeviceId, dst: &str, payload: &[u8]) -> (bool, Vec<String>) {
+        let dst_host = if dst == "10.0.2.5" { self.host2 } else { self.host1 };
+        self.mn.net.clear_trace();
+        self.mn
+            .net
+            .send_udp(from, dst.parse().unwrap(), 40000, 7000, payload)
+            .expect("hosts exist");
+        self.mn.net.run_to_quiescence(100_000);
+        let delivered = self
+            .mn
+            .net
+            .device_mut(dst_host)
+            .unwrap()
+            .take_delivered()
+            .iter()
+            .any(|d| d.payload == payload);
+        let ingress = self.core[0];
+        let paths = self.mn.net.protocol_paths_from(ingress);
+        (delivered, paths)
+    }
+}
+
+/// A managed version of the Figure 9 VLAN-tunnelling testbed.
+pub struct ManagedVlanChain<C: ManagementChannel> {
+    /// The managed network.
+    pub mn: ManagedNetwork<C>,
+    /// Customer router at site 1.
+    pub customer1: DeviceId,
+    /// Provider switches in path order.
+    pub switches: Vec<DeviceId>,
+    /// Customer router at site 2.
+    pub customer2: DeviceId,
+}
+
+/// Build a managed VLAN chain with `n` provider switches.
+pub fn managed_vlan_chain(n: usize) -> ManagedVlanChain<OutOfBandChannel> {
+    let VlanChain {
+        mut net,
+        customer1,
+        switches,
+        customer2,
+    } = topology::vlan_chain(n);
+    let station = net.add_device(Device::new("NMStation", DeviceRole::Host, 1));
+    let mut mn = ManagedNetwork::new(net, station, OutOfBandChannel::new());
+    for (i, id) in switches.iter().enumerate() {
+        let device = mn.net.device(*id).expect("switch exists");
+        let mut ports = Vec::new();
+        if i == 0 || i == n - 1 {
+            ports.push(0);
+        }
+        if i > 0 {
+            ports.push(1);
+        }
+        if i < n - 1 {
+            ports.push(2);
+        }
+        let agent = build_vlan_switch_agent(device, &ports);
+        mn.add_agent(agent);
+    }
+    ManagedVlanChain {
+        mn,
+        customer1,
+        switches,
+        customer2,
+    }
+}
+
+impl<C: ManagementChannel> ManagedVlanChain<C> {
+    /// Run the announce + discovery phase.
+    pub fn discover(&mut self) {
+        self.mn.announce_all();
+        self.mn.discover();
+    }
+
+    /// The layer-2 VPN goal between the customer-facing ports of the first
+    /// and last provider switch.
+    pub fn vlan_goal(&self) -> ConnectivityGoal {
+        let from = self
+            .mn
+            .nm
+            .find_eth_on_port(self.switches[0], PortId(0))
+            .expect("ingress customer port ETH module (run discover() first)");
+        let to = self
+            .mn
+            .nm
+            .find_eth_on_port(*self.switches.last().unwrap(), PortId(0))
+            .expect("egress customer port ETH module");
+        let mut goal = ConnectivityGoal::vpn(from, to).resolve("vlan-name", "C1");
+        goal.l2_only = true;
+        goal
+    }
+
+    /// Send a customer frame end to end and report delivery plus the
+    /// encapsulations seen on the first provider trunk.
+    pub fn send_customer_frame(&mut self, payload: &[u8]) -> (bool, Vec<String>) {
+        self.mn.net.clear_trace();
+        self.mn
+            .net
+            .send_udp(self.customer1, "10.0.0.2".parse().unwrap(), 1111, 2222, payload)
+            .expect("customer exists");
+        self.mn.net.run_to_quiescence(100_000);
+        let delivered = self
+            .mn
+            .net
+            .device_mut(self.customer2)
+            .unwrap()
+            .take_delivered()
+            .iter()
+            .any(|d| d.payload == payload);
+        let paths = self.mn.net.protocol_paths_from(self.switches[0]);
+        (delivered, paths)
+    }
+}
+
+/// A managed version of the Figure 2 GRE-tunnel testbed.
+pub struct ManagedFigure2<C: ManagementChannel> {
+    /// The managed network.
+    pub mn: ManagedNetwork<C>,
+    /// End device A.
+    pub a: DeviceId,
+    /// End device B.
+    pub b: DeviceId,
+    /// The layer-2 switch C.
+    pub c: DeviceId,
+    /// The router D.
+    pub d: DeviceId,
+}
+
+/// Build the managed Figure 2 testbed (hosts A/B, switch C, router D).
+pub fn managed_figure2() -> ManagedFigure2<OutOfBandChannel> {
+    let topology::Figure2Testbed { mut net, a, b, c, d } = topology::figure2();
+    let station = net.add_device(Device::new("NMStation", DeviceRole::Host, 1));
+    let mut mn = ManagedNetwork::new(net, station, OutOfBandChannel::new());
+    for (id, domain) in [(a, "overlayA"), (b, "overlayA")] {
+        let device = mn.net.device(id).expect("host exists");
+        mn.add_agent(build_tunnel_host_agent(device, 0, domain));
+    }
+    {
+        let device = mn.net.device(c).expect("switch exists");
+        mn.add_agent(crate::builder::build_l2_switch_agent(device));
+    }
+    {
+        let device = mn.net.device(d).expect("router exists");
+        mn.add_agent(build_plain_router_agent(device, &[0, 1]));
+    }
+    ManagedFigure2 { mn, a, b, c, d }
+}
+
+impl<C: ManagementChannel> ManagedFigure2<C> {
+    /// Run the announce + discovery phase.
+    pub fn discover(&mut self) {
+        self.mn.announce_all();
+        self.mn.discover();
+    }
+
+    /// The Figure 2 goal: a tunnel between the overlay IP modules of A and B,
+    /// expressed as connectivity between their ETH modules for overlay
+    /// traffic.
+    pub fn tunnel_goal(&self) -> ConnectivityGoal {
+        let from = self
+            .mn
+            .nm
+            .find_module(self.a, &ModuleKind::Eth)
+            .expect("ETH module on A");
+        let to = self
+            .mn
+            .nm
+            .find_module(self.b, &ModuleKind::Eth)
+            .expect("ETH module on B");
+        let mut goal = ConnectivityGoal::vpn(from, to);
+        goal.traffic_domain = "overlayA".to_string();
+        goal.resolved.insert("C1-S1".into(), "192.168.3.1/32".into());
+        goal.resolved.insert("C1-S2".into(), "192.168.3.2/32".into());
+        goal.resolved.insert("S1-gateway".into(), "192.168.3.1".into());
+        goal.resolved.insert("S2-gateway".into(), "192.168.3.2".into());
+        goal
+    }
+}

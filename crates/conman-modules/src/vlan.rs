@@ -1,0 +1,247 @@
+//! The 802.1Q VLAN protocol module on provider switches (Figure 9).
+//!
+//! The VLAN identifier is agreed between adjacent VLAN modules through
+//! `conveyMessage` (the NM never handles a VLAN id), and the module then
+//! writes the dot1q-tunnel / trunk port configuration into the simulated
+//! switch — the CONMan equivalent of the CatOS script in Figure 9(a).
+
+use conman_core::abstraction::{ModuleAbstraction, SwitchKind};
+use conman_core::ids::{ModuleKind, ModuleRef, PipeId};
+use conman_core::module::{ModuleCtx, ModuleError, ModuleReaction, ProtocolModule};
+use conman_core::primitives::{
+    EnvelopeKind, ModuleActual, ModuleEnvelope, Notification, PipeSpec, SwitchSpec,
+};
+use netsim::config::{BridgeConfig, SwitchPortMode};
+use netsim::vlan::VlanId;
+use std::collections::BTreeMap;
+
+/// Default VLAN id proposed by the edge module when the goal does not pin
+/// one; 22 mirrors the paper's example.
+const DEFAULT_VLAN: u16 = 22;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PipeKind {
+    /// Customer-facing pipe (no peer at the far end of the provider network).
+    Customer,
+    /// Pipe towards an adjacent provider switch.
+    Trunk,
+}
+
+#[derive(Debug, Clone, Default)]
+struct TrunkState {
+    peer: Option<ModuleRef>,
+    initiate: bool,
+    sent: bool,
+    agreed: bool,
+}
+
+/// The VLAN protocol module.
+pub struct VlanModule {
+    me: ModuleRef,
+    pipes: BTreeMap<PipeId, PipeKind>,
+    trunks: BTreeMap<PipeId, TrunkState>,
+    vlan_id: Option<u16>,
+    vlan_name: String,
+    pending_switches: Vec<SwitchSpec>,
+    applied: Vec<String>,
+    notified: bool,
+}
+
+impl VlanModule {
+    /// Create a VLAN module.
+    pub fn new(me: ModuleRef) -> Self {
+        VlanModule {
+            me,
+            pipes: BTreeMap::new(),
+            trunks: BTreeMap::new(),
+            vlan_id: None,
+            vlan_name: "C1".to_string(),
+            pending_switches: Vec::new(),
+            applied: Vec::new(),
+            notified: false,
+        }
+    }
+
+    fn is_edge(&self) -> bool {
+        self.pipes.values().any(|k| *k == PipeKind::Customer)
+    }
+
+    fn port_of(ctx: &ModuleCtx, pipe: PipeId) -> Option<u32> {
+        ctx.pipe_attr(pipe, "port").and_then(|s| s.parse().ok())
+    }
+
+    fn try_apply_switch(&mut self, ctx: &mut ModuleCtx, spec: &SwitchSpec) -> Option<Vec<Notification>> {
+        let vid_raw = self.vlan_id?;
+        let vid = VlanId::new(vid_raw)?;
+        let in_kind = self.pipes.get(&spec.in_pipe).copied()?;
+        let out_kind = self.pipes.get(&spec.out_pipe).copied()?;
+        let in_port = Self::port_of(ctx, spec.in_pipe)?;
+        let out_port = Self::port_of(ctx, spec.out_pipe)?;
+        let bridge = ctx.config.bridge.get_or_insert_with(BridgeConfig::default);
+        bridge.declare_vlan(vid, self.vlan_name.clone(), 1504);
+        for (kind, port) in [(in_kind, in_port), (out_kind, out_port)] {
+            match kind {
+                PipeKind::Customer => bridge.set_port(port, SwitchPortMode::Dot1qTunnel(vid)),
+                PipeKind::Trunk => bridge.set_port(port, SwitchPortMode::Trunk(vec![vid])),
+            }
+        }
+        self.applied.push(format!(
+            "vlan {} between port {} and port {}",
+            vid_raw, in_port, out_port
+        ));
+        let mut notifications = Vec::new();
+        // The far-edge switch (an edge module that did not initiate the
+        // trunk exchange) confirms the layer-2 tunnel to the NM.
+        let egress = self.is_edge()
+            && self.trunks.values().all(|t| !t.initiate)
+            && !self.trunks.is_empty();
+        if egress && !self.notified {
+            self.notified = true;
+            notifications.push(Notification {
+                from: self.me.clone(),
+                body: serde_json::json!({"established": "vlan-tunnel", "vlan": vid_raw}),
+            });
+        }
+        Some(notifications)
+    }
+}
+
+impl ProtocolModule for VlanModule {
+    fn reference(&self) -> ModuleRef {
+        self.me.clone()
+    }
+
+    fn descriptor(&self) -> ModuleAbstraction {
+        let mut a = ModuleAbstraction::empty(self.me.clone());
+        a.down_connectable = vec![ModuleKind::Eth];
+        a.peerable = vec![ModuleKind::Vlan];
+        a.switch.kinds = vec![SwitchKind::DownDown, SwitchKind::DownUp, SwitchKind::UpDown];
+        a.perf_reporting = vec!["frames tagged and untagged per VLAN".to_string()];
+        a.fast_forwarding = true;
+        a
+    }
+
+    fn actual(&self, _ctx: &ModuleCtx) -> ModuleActual {
+        let mut perf = BTreeMap::new();
+        if let Some(v) = self.vlan_id {
+            perf.insert("vlan-id".to_string(), v as u64);
+        }
+        ModuleActual {
+            pipes: self.pipes.keys().copied().collect(),
+            switch_rules: self.applied.clone(),
+            filters: Vec::new(),
+            perf_report: perf,
+        }
+    }
+
+    fn create_pipe(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        spec: &PipeSpec,
+    ) -> Result<ModuleReaction, ModuleError> {
+        if spec.upper != self.me {
+            return Ok(ModuleReaction::none());
+        }
+        if let Some(name) = spec.resolved.get("vlan-name") {
+            self.vlan_name = name.clone();
+        }
+        if spec.peer_upper.is_some() {
+            self.pipes.insert(spec.pipe, PipeKind::Trunk);
+            self.trunks.insert(
+                spec.pipe,
+                TrunkState {
+                    peer: spec.peer_upper.clone(),
+                    initiate: spec.initiate,
+                    ..Default::default()
+                },
+            );
+        } else {
+            self.pipes.insert(spec.pipe, PipeKind::Customer);
+        }
+        Ok(ModuleReaction::none())
+    }
+
+    fn create_switch(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        spec: &SwitchSpec,
+    ) -> Result<ModuleReaction, ModuleError> {
+        let mut reaction = ModuleReaction::none();
+        match self.try_apply_switch(ctx, spec) {
+            Some(n) => reaction.notifications.extend(n),
+            None => self.pending_switches.push(spec.clone()),
+        }
+        Ok(reaction)
+    }
+
+    fn handle_envelope(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        env: &ModuleEnvelope,
+    ) -> Result<ModuleReaction, ModuleError> {
+        let Some(v) = env.body.get("vlan") else {
+            return Ok(ModuleReaction::none());
+        };
+        let vid = v.get("id").and_then(|x| x.as_u64()).unwrap_or(0) as u16;
+        let name = v
+            .get("name")
+            .and_then(|x| x.as_str())
+            .unwrap_or("C1")
+            .to_string();
+        let is_reply = v.get("reply").and_then(|x| x.as_bool()).unwrap_or(false);
+        self.vlan_id = Some(vid);
+        self.vlan_name = name.clone();
+        let pipe = self
+            .trunks
+            .iter()
+            .find(|(_, t)| t.peer.as_ref() == Some(&env.from))
+            .map(|(p, _)| *p);
+        if let Some(pipe) = pipe {
+            let t = self.trunks.get_mut(&pipe).expect("trunk exists");
+            t.agreed = true;
+            if !is_reply {
+                t.sent = true;
+                return Ok(ModuleReaction::envelope(ModuleEnvelope {
+                    from: self.me.clone(),
+                    to: env.from.clone(),
+                    kind: EnvelopeKind::Convey,
+                    body: serde_json::json!({"vlan": {"id": vid, "name": name, "reply": true}}),
+                }));
+            }
+        }
+        Ok(ModuleReaction::none())
+    }
+
+    fn poll(&mut self, ctx: &mut ModuleCtx) -> ModuleReaction {
+        let mut reaction = ModuleReaction::none();
+        // An edge module that initiates a trunk exchange picks the VLAN id.
+        if self.vlan_id.is_none() && self.is_edge() && self.trunks.values().any(|t| t.initiate) {
+            self.vlan_id = Some(DEFAULT_VLAN);
+        }
+        if let Some(vid) = self.vlan_id {
+            let pipes: Vec<PipeId> = self.trunks.keys().copied().collect();
+            for pipe in pipes {
+                let t = self.trunks.get(&pipe).expect("trunk exists").clone();
+                if t.sent || !t.initiate {
+                    continue;
+                }
+                let Some(peer) = t.peer.clone() else { continue };
+                self.trunks.get_mut(&pipe).expect("trunk exists").sent = true;
+                reaction.envelopes.push(ModuleEnvelope {
+                    from: self.me.clone(),
+                    to: peer,
+                    kind: EnvelopeKind::Convey,
+                    body: serde_json::json!({"vlan": {"id": vid, "name": self.vlan_name, "reply": false}}),
+                });
+            }
+        }
+        let pending = std::mem::take(&mut self.pending_switches);
+        for spec in pending {
+            match self.try_apply_switch(ctx, &spec) {
+                Some(n) => reaction.notifications.extend(n),
+                None => self.pending_switches.push(spec),
+            }
+        }
+        reaction
+    }
+}

@@ -1,0 +1,53 @@
+//! "Today's" VLAN tunnelling configuration: the Cisco CatOS script of
+//! Figure 9(a).
+
+use crate::classify::{ClassifiedScript, TokenKind};
+
+/// Generate the Figure 9(a) CatOS script for the ingress provider switch.
+pub fn vlan_script_today() -> ClassifiedScript {
+    use TokenKind::*;
+    let mut s = ClassifiedScript::new("VLAN today (CatOS)");
+    s.line(vec![
+        ("set vlan", SpecificCommand),
+        ("22", SpecificVariable),
+        ("name", Syntax),
+        ("C1", GenericVariable),
+        ("mtu", Syntax),
+        ("1504", SpecificVariable),
+    ]);
+    s.line(vec![
+        ("set vlan", SpecificCommand),
+        ("22", SpecificVariable),
+        ("gigabitethernet0/9", GenericVariable),
+    ]);
+    s.line(vec![
+        ("interface", GenericCommand),
+        ("gigabitethernet0/7", GenericVariable),
+    ]);
+    s.line(vec![
+        ("switchport access vlan", SpecificCommand),
+        ("22", SpecificVariable),
+    ]);
+    s.line(vec![("switchport mode dot1q-tunnel", SpecificCommand)]);
+    s.line(vec![("exit", GenericCommand)]);
+    s.line(vec![("vlan dot1q tag native", SpecificCommand)]);
+    s.line(vec![("end", GenericCommand)]);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vlan_today_counts() {
+        let s = vlan_script_today();
+        let c = s.counts();
+        // Table V (T, VLAN): 3 generic / 4 specific commands,
+        // 3 generic / 5 specific state variables.
+        assert_eq!(c.generic_commands, 3);
+        assert_eq!(c.specific_commands, 4);
+        assert!(c.specific_variables >= 2);
+        assert!(s.text().contains("dot1q-tunnel"));
+    }
+}

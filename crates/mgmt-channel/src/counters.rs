@@ -1,0 +1,97 @@
+//! Per-device message accounting.
+
+use crate::message::MessageCategory;
+use netsim::device::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counters for one device's use of the management channel.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelCounters {
+    /// Messages this device originated.
+    pub sent: u64,
+    /// Messages delivered to this device.
+    pub received: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
+    /// Sent messages broken down by category.
+    pub sent_by_category: BTreeMap<MessageCategory, u64>,
+    /// Received messages broken down by category.
+    pub received_by_category: BTreeMap<MessageCategory, u64>,
+}
+
+/// Counters for every device on a channel.
+#[derive(Debug, Clone, Default)]
+pub struct CounterBoard {
+    per_device: BTreeMap<DeviceId, ChannelCounters>,
+}
+
+impl CounterBoard {
+    /// Create an empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a send.
+    pub fn record_sent(&mut self, device: DeviceId, category: MessageCategory, bytes: usize) {
+        let c = self.per_device.entry(device).or_default();
+        c.sent += 1;
+        c.bytes_sent += bytes as u64;
+        *c.sent_by_category.entry(category).or_insert(0) += 1;
+    }
+
+    /// Record a delivery.
+    pub fn record_received(&mut self, device: DeviceId, category: MessageCategory, bytes: usize) {
+        let c = self.per_device.entry(device).or_default();
+        c.received += 1;
+        c.bytes_received += bytes as u64;
+        *c.received_by_category.entry(category).or_insert(0) += 1;
+    }
+
+    /// Counters for a device (zeroes if it never used the channel).
+    pub fn get(&self, device: DeviceId) -> ChannelCounters {
+        self.per_device.get(&device).cloned().unwrap_or_default()
+    }
+
+    /// Reset everything.
+    pub fn reset(&mut self) {
+        self.per_device.clear();
+    }
+
+    /// Total messages sent across all devices.
+    pub fn total_sent(&self) -> u64 {
+        self.per_device.values().map(|c| c.sent).sum()
+    }
+
+    /// Total messages received across all devices.
+    pub fn total_received(&self) -> u64 {
+        self.per_device.values().map(|c| c.received).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let mut b = CounterBoard::new();
+        let nm = DeviceId::from_raw(1);
+        let dev = DeviceId::from_raw(2);
+        b.record_sent(nm, MessageCategory::Command, 10);
+        b.record_sent(nm, MessageCategory::ConveyMessage, 20);
+        b.record_received(dev, MessageCategory::Command, 10);
+        let c = b.get(nm);
+        assert_eq!(c.sent, 2);
+        assert_eq!(c.bytes_sent, 30);
+        assert_eq!(c.sent_by_category[&MessageCategory::Command], 1);
+        assert_eq!(b.get(dev).received, 1);
+        assert_eq!(b.get(DeviceId::from_raw(99)), ChannelCounters::default());
+        assert_eq!(b.total_sent(), 2);
+        assert_eq!(b.total_received(), 1);
+        b.reset();
+        assert_eq!(b.total_sent(), 0);
+    }
+}

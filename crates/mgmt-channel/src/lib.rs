@@ -1,0 +1,98 @@
+//! # mgmt-channel — the CONMan management channel
+//!
+//! CONMan assumes a management channel that is independent of the data plane,
+//! requires no pre-configuration and lets every device talk to the Network
+//! Manager (§II-A).  The paper's implementation had two variants and so does
+//! this crate:
+//!
+//! * [`OutOfBandChannel`] — the dedicated management network (each testbed PC
+//!   had a separate management NIC); modelled as direct in-memory mailboxes.
+//! * [`InBandChannel`] — the straw-man 4D-style discovery/dissemination
+//!   channel: management messages are encapsulated in raw Ethernet frames
+//!   (EtherType 0x88B5) and flooded hop-by-hop over the same physical links
+//!   the data plane uses, with no pre-configuration at all.
+//!
+//! Both variants count messages sent and received per device, which is how
+//! Table VI (NM messaging overhead) is regenerated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod inband;
+pub mod message;
+pub mod oob;
+
+pub use counters::{ChannelCounters, CounterBoard};
+pub use inband::InBandChannel;
+pub use message::{MessageCategory, MgmtMessage};
+pub use oob::OutOfBandChannel;
+
+use netsim::device::DeviceId;
+use netsim::network::Network;
+
+/// A transport for management messages between devices (their management
+/// agents) and the NM.
+///
+/// The channel is deliberately dumb: it moves opaque payload bytes and counts
+/// them.  What the bytes mean (CONMan primitives, module-to-module
+/// conveyMessage relays, ...) is the business of `conman-core`.
+pub trait ManagementChannel {
+    /// Queue a message for delivery.
+    fn send(&mut self, net: &mut Network, msg: MgmtMessage);
+
+    /// Let queued traffic propagate (a no-op for the out-of-band channel;
+    /// drives flooding and the simulator event loop for the in-band one).
+    fn run(&mut self, net: &mut Network);
+
+    /// Drain messages addressed to `device`.
+    fn recv(&mut self, net: &mut Network, device: DeviceId) -> Vec<MgmtMessage>;
+
+    /// Counters for one device.
+    fn counters(&self, device: DeviceId) -> ChannelCounters;
+
+    /// Reset all counters (used between experiment runs).
+    fn reset_counters(&mut self);
+
+    /// Human-readable name of the channel variant (for experiment output).
+    fn variant(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::device::{Device, DeviceRole, PortId};
+    use netsim::link::LinkProperties;
+
+    /// Both channel variants deliver a message end to end and count it.
+    #[test]
+    fn both_variants_deliver_and_count() {
+        // Line of three devices so in-band flooding has to cross a hop.
+        let mut net = Network::new();
+        let a = net.add_device(Device::new("a", DeviceRole::Router, 2));
+        let b = net.add_device(Device::new("b", DeviceRole::Router, 2));
+        let c = net.add_device(Device::new("c", DeviceRole::Router, 2));
+        net.connect((a, PortId(0)), (b, PortId(1)), LinkProperties::lan())
+            .unwrap();
+        net.connect((b, PortId(0)), (c, PortId(1)), LinkProperties::lan())
+            .unwrap();
+
+        let channels: Vec<Box<dyn ManagementChannel>> = vec![
+            Box::new(OutOfBandChannel::new()),
+            Box::new(InBandChannel::new()),
+        ];
+        for mut ch in channels {
+            let msg = MgmtMessage::new(a, c, MessageCategory::Command, b"showPotential".to_vec());
+            ch.send(&mut net, msg);
+            ch.run(&mut net);
+            let got = ch.recv(&mut net, c);
+            assert_eq!(got.len(), 1, "{} should deliver", ch.variant());
+            assert_eq!(got[0].payload, b"showPotential");
+            assert_eq!(ch.counters(a).sent, 1);
+            assert_eq!(ch.counters(c).received, 1);
+            assert_eq!(ch.counters(b).received, 0, "transit devices do not consume");
+            ch.reset_counters();
+            assert_eq!(ch.counters(a).sent, 0);
+        }
+    }
+}

@@ -1,0 +1,1082 @@
+//! The forwarding engine: how a device processes a received frame.
+//!
+//! This is the simulated stand-in for the Linux 2.6.14 data plane the paper's
+//! protocol modules wrapped.  It implements:
+//!
+//! * Ethernet reception/transmission with ARP resolution,
+//! * IPv4 local delivery, forwarding (with policy routing), TTL and filters,
+//! * GRE and IP-IP tunnel encapsulation/decapsulation (keys, sequence
+//!   numbers, checksums),
+//! * MPLS label push/swap/pop via ILM/NHLFE/XC tables,
+//! * 802.1Q VLAN bridging with access, trunk and dot1q-tunnel (Q-in-Q) ports,
+//! * ICMP echo so CONMan module self-tests can ping across a configured path.
+
+use crate::arp::{ArpCache, ArpOp, ArpPacket, PendingPacket};
+use crate::config::{SwitchPortMode, TunnelMode};
+use crate::device::{Delivered, Device, DeviceRole, EngineOutput, MgmtFrame, PortId};
+use crate::ether::{EtherType, EthernetFrame};
+use crate::gre::{GreHeader, GRE_PROTO_IPV4};
+use crate::icmp::{IcmpKind, IcmpMessage};
+use crate::ipv4::{Ipv4Header, Ipv4Proto};
+use crate::mac::MacAddr;
+use crate::mpls::{self, LabelOp, LabelStackEntry};
+use crate::route::{IncomingIf, RouteTarget};
+use crate::stats::DropReason;
+use crate::udp::UdpHeader;
+use crate::vlan;
+use std::net::Ipv4Addr;
+
+/// Maximum tunnel-in-tunnel nesting the engine will encapsulate before
+/// declaring a configuration loop.
+const MAX_ENCAP_DEPTH: u8 = 8;
+
+impl Device {
+    /// Process a frame received on `port` and return the frames to transmit
+    /// in response.
+    pub fn handle_frame(&mut self, port: PortId, bytes: &[u8]) -> EngineOutput {
+        let mut out = EngineOutput::default();
+        self.stats.port(port.0).rx(bytes.len());
+        let frame = match EthernetFrame::decode(bytes) {
+            Ok(f) => f,
+            Err(_) => {
+                self.stats.record_drop(DropReason::Malformed);
+                self.stats.port(port.0).drop_packet();
+                return out;
+            }
+        };
+
+        // Management-channel frames bypass the data plane entirely on every
+        // device role: they are queued for the management agent.
+        if frame.ethertype == EtherType::Management {
+            self.mgmt_rx.push_back(MgmtFrame {
+                port: Some(port),
+                src_mac: frame.src,
+                payload: frame.payload,
+            });
+            return out;
+        }
+
+        match self.role {
+            DeviceRole::Switch => self.bridge_input(port, &frame, &mut out),
+            DeviceRole::Router | DeviceRole::Host => self.l3_input(port, &frame, &mut out),
+        }
+        out
+    }
+
+    /// Originate an IPv4 packet from this device (application traffic,
+    /// self-tests).  The source address is chosen from the egress interface
+    /// unless `src` is given.
+    pub fn originate_ip(
+        &mut self,
+        src: Option<Ipv4Addr>,
+        dst: Ipv4Addr,
+        proto: Ipv4Proto,
+        payload: Vec<u8>,
+    ) -> EngineOutput {
+        let mut out = EngineOutput::default();
+        self.stats.originated += 1;
+        let src = src.unwrap_or_else(|| self.default_source_for(dst));
+        let header = Ipv4Header::new(src, dst, proto);
+        self.ip_output(IncomingIf::Local, header, payload, 0, &mut out);
+        out
+    }
+
+    /// Originate a UDP datagram.
+    pub fn originate_udp(
+        &mut self,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> EngineOutput {
+        let datagram = UdpHeader::new(src_port, dst_port).encode_datagram(payload);
+        self.originate_ip(None, dst, Ipv4Proto::Udp, datagram)
+    }
+
+    /// Originate an ICMP echo request (the self-test primitive).
+    pub fn originate_ping(&mut self, dst: Ipv4Addr, identifier: u16, sequence: u16) -> EngineOutput {
+        let msg = IcmpMessage::echo_request(identifier, sequence, b"conman-self-test".to_vec());
+        self.originate_ip(None, dst, Ipv4Proto::Icmp, msg.encode())
+    }
+
+    /// Transmit a raw frame out of a specific port (used by the in-band
+    /// management channel, which floods frames without consulting the data
+    /// plane).
+    pub fn originate_frame(&mut self, port: PortId, frame: &EthernetFrame) -> EngineOutput {
+        let mut out = EngineOutput::default();
+        self.transmit(port, frame.encode(), &mut out);
+        out
+    }
+
+    fn default_source_for(&self, dst: Ipv4Addr) -> Ipv4Addr {
+        if let Some((_, cidr)) = self.config.port_for_subnet(dst) {
+            return cidr.addr;
+        }
+        self.config
+            .local_addresses()
+            .first()
+            .copied()
+            .unwrap_or(Ipv4Addr::UNSPECIFIED)
+    }
+
+    // ------------------------------------------------------------------
+    // Layer 3 (hosts and routers)
+    // ------------------------------------------------------------------
+
+    fn l3_input(&mut self, port: PortId, frame: &EthernetFrame, out: &mut EngineOutput) {
+        let our_mac = self.port_mac(port);
+        if frame.dst != our_mac && !frame.dst.is_broadcast() {
+            self.stats.record_drop(DropReason::NotForUs);
+            return;
+        }
+        match frame.ethertype {
+            EtherType::Arp => self.arp_input(port, &frame.payload, out),
+            EtherType::Ipv4 => self.ip_input(IncomingIf::Port(port.0), &frame.payload, out),
+            EtherType::Mpls => self.mpls_input(port, &frame.payload, out),
+            EtherType::Vlan => {
+                // Routers in this simulator do not terminate VLAN trunks.
+                self.stats.record_drop(DropReason::Malformed);
+            }
+            EtherType::Management => unreachable!("handled in handle_frame"),
+            EtherType::Other(_) => self.stats.record_drop(DropReason::Malformed),
+        }
+    }
+
+    fn arp_input(&mut self, port: PortId, payload: &[u8], out: &mut EngineOutput) {
+        let Ok(packet) = ArpPacket::decode(payload) else {
+            self.stats.record_drop(DropReason::Malformed);
+            return;
+        };
+        // Learn the sender mapping opportunistically, releasing any parked
+        // packets.
+        let released = self.arp.insert(packet.sender_ip, packet.sender_mac);
+        for pending in released {
+            self.transmit_resolved(pending, packet.sender_mac, out);
+        }
+        if packet.op == ArpOp::Request && self.config.is_local_address(packet.target_ip) {
+            let our_mac = self.port_mac(port);
+            let reply = packet.reply_to(our_mac);
+            let frame = EthernetFrame::new(packet.sender_mac, our_mac, EtherType::Arp, reply.encode());
+            self.transmit(port, frame.encode(), out);
+        }
+    }
+
+    fn transmit_resolved(&mut self, pending: PendingPacket, mac: MacAddr, out: &mut EngineOutput) {
+        let port = PortId(pending.port);
+        let our_mac = self.port_mac(port);
+        let frame = EthernetFrame::new(
+            mac,
+            our_mac,
+            EtherType::from_u16(pending.ethertype),
+            pending.bytes,
+        );
+        self.transmit(port, frame.encode(), out);
+    }
+
+    fn ip_input(&mut self, iif: IncomingIf, packet: &[u8], out: &mut EngineOutput) {
+        let (header, payload) = match Ipv4Header::decode_packet(packet) {
+            Ok(v) => v,
+            Err(_) => {
+                self.stats.record_drop(DropReason::Malformed);
+                return;
+            }
+        };
+        // Filters are evaluated on every IP packet the device handles.
+        let dst_port = transport_dst_port(&header, &payload);
+        if !self
+            .config
+            .filters_allow(header.src, header.dst, header.protocol, dst_port)
+        {
+            self.stats.record_drop(DropReason::Filtered);
+            return;
+        }
+        if self.config.is_local_address(header.dst) {
+            self.local_input(iif, header, payload, out);
+        } else {
+            self.ip_forward(iif, header, payload, out);
+        }
+    }
+
+    fn ip_forward(
+        &mut self,
+        iif: IncomingIf,
+        mut header: Ipv4Header,
+        payload: Vec<u8>,
+        out: &mut EngineOutput,
+    ) {
+        if !self.config.ip_forwarding {
+            self.stats.record_drop(DropReason::ForwardingDisabled);
+            return;
+        }
+        if header.ttl <= 1 {
+            self.stats.record_drop(DropReason::TtlExpired);
+            return;
+        }
+        header.ttl -= 1;
+        self.stats.forwarded += 1;
+        self.ip_output(iif, header, payload, 0, out);
+    }
+
+    fn local_input(
+        &mut self,
+        iif: IncomingIf,
+        header: Ipv4Header,
+        payload: Vec<u8>,
+        out: &mut EngineOutput,
+    ) {
+        match header.protocol {
+            Ipv4Proto::Gre => self.gre_decap(header, &payload, out),
+            Ipv4Proto::IpIp => self.ipip_decap(header, &payload, out),
+            Ipv4Proto::Icmp => self.icmp_input(header, &payload, out),
+            Ipv4Proto::Udp => {
+                match UdpHeader::decode_datagram(&payload) {
+                    Ok((udp, data)) => {
+                        self.stats.local_delivered += 1;
+                        self.delivered.push(Delivered {
+                            src: header.src,
+                            dst: header.dst,
+                            proto: Ipv4Proto::Udp,
+                            dst_port: Some(udp.dst_port),
+                            payload: data,
+                        });
+                    }
+                    Err(_) => self.stats.record_drop(DropReason::Malformed),
+                }
+                let _ = iif;
+            }
+            other => {
+                self.stats.local_delivered += 1;
+                self.delivered.push(Delivered {
+                    src: header.src,
+                    dst: header.dst,
+                    proto: other,
+                    dst_port: None,
+                    payload,
+                });
+            }
+        }
+    }
+
+    fn icmp_input(&mut self, header: Ipv4Header, payload: &[u8], out: &mut EngineOutput) {
+        match IcmpMessage::decode(payload) {
+            Ok(msg) => match msg.kind {
+                IcmpKind::EchoRequest => {
+                    let reply = msg.reply();
+                    let reply_header = Ipv4Header::new(header.dst, header.src, Ipv4Proto::Icmp);
+                    self.ip_output(IncomingIf::Local, reply_header, reply.encode(), 0, out);
+                }
+                IcmpKind::EchoReply | IcmpKind::Unreachable(_) => {
+                    self.stats.local_delivered += 1;
+                    self.delivered.push(Delivered {
+                        src: header.src,
+                        dst: header.dst,
+                        proto: Ipv4Proto::Icmp,
+                        dst_port: None,
+                        payload: msg.encode(),
+                    });
+                }
+            },
+            Err(_) => self.stats.record_drop(DropReason::Malformed),
+        }
+    }
+
+    fn gre_decap(&mut self, outer: Ipv4Header, payload: &[u8], out: &mut EngineOutput) {
+        let (gre, inner) = match GreHeader::decode_packet(payload) {
+            Ok(v) => v,
+            Err(_) => {
+                self.stats.record_drop(DropReason::Malformed);
+                return;
+            }
+        };
+        let Some(tunnel) = self
+            .config
+            .tunnel_for_incoming(outer.src, outer.dst, gre.key, TunnelMode::Gre)
+            .cloned()
+        else {
+            self.stats.record_drop(DropReason::TunnelMismatch);
+            return;
+        };
+        if tunnel.icsum && !gre.checksum_present {
+            self.stats.record_drop(DropReason::TunnelMismatch);
+            self.stats.tunnel(tunnel.id).drop_packet();
+            return;
+        }
+        if tunnel.iseq {
+            let Some(seq) = gre.sequence else {
+                self.stats.record_drop(DropReason::TunnelMismatch);
+                self.stats.tunnel(tunnel.id).drop_packet();
+                return;
+            };
+            let last = self.gre_rx_seq.entry(tunnel.id).or_insert(0);
+            if seq <= *last && *last != 0 {
+                // Out-of-order packet on an in-order tunnel: dropped, which is
+                // exactly the delay/jitter vs ordering trade-off Table III
+                // advertises.
+                self.stats.record_drop(DropReason::TunnelMismatch);
+                self.stats.tunnel(tunnel.id).drop_packet();
+                return;
+            }
+            *last = seq;
+        }
+        self.stats.tunnel(tunnel.id).rx(inner.len());
+        if gre.protocol != GRE_PROTO_IPV4 {
+            self.stats.record_drop(DropReason::Malformed);
+            return;
+        }
+        self.ip_input(IncomingIf::Tunnel(tunnel.id), &inner, out);
+    }
+
+    fn ipip_decap(&mut self, outer: Ipv4Header, payload: &[u8], out: &mut EngineOutput) {
+        let Some(tunnel) = self
+            .config
+            .tunnel_for_incoming(outer.src, outer.dst, None, TunnelMode::IpIp)
+            .cloned()
+        else {
+            self.stats.record_drop(DropReason::TunnelMismatch);
+            return;
+        };
+        self.stats.tunnel(tunnel.id).rx(payload.len());
+        self.ip_input(IncomingIf::Tunnel(tunnel.id), payload, out);
+    }
+
+    /// Route and transmit an IPv4 packet (already TTL-adjusted).
+    fn ip_output(
+        &mut self,
+        iif: IncomingIf,
+        header: Ipv4Header,
+        payload: Vec<u8>,
+        depth: u8,
+        out: &mut EngineOutput,
+    ) {
+        if depth > MAX_ENCAP_DEPTH {
+            self.stats.record_drop(DropReason::NoRoute);
+            return;
+        }
+        let Some(route) = self.config.rib.lookup(header.dst, header.src, iif).copied() else {
+            self.stats.record_drop(DropReason::NoRoute);
+            return;
+        };
+        match route.target {
+            RouteTarget::Port { port, via } => {
+                let nexthop = via.unwrap_or(header.dst);
+                let packet = header.encode_packet(&payload);
+                self.transmit_via_arp(PortId(port), nexthop, EtherType::Ipv4, packet, out);
+            }
+            RouteTarget::Tunnel { tunnel } => {
+                self.tunnel_encap(tunnel, header, payload, depth, out);
+            }
+            RouteTarget::Mpls { nhlfe } => {
+                let Some(entry) = self.config.mpls.nhlfe_by_key(nhlfe).cloned() else {
+                    self.stats.record_drop(DropReason::NoLabel);
+                    return;
+                };
+                let LabelOp::Push(label) = entry.op else {
+                    self.stats.record_drop(DropReason::NoLabel);
+                    return;
+                };
+                let packet = header.encode_packet(&payload);
+                let mpls_payload =
+                    mpls::encode_stack(&[LabelStackEntry::new(label, true)], &packet);
+                self.transmit_via_arp(
+                    PortId(entry.out_port),
+                    entry.nexthop,
+                    EtherType::Mpls,
+                    mpls_payload,
+                    out,
+                );
+            }
+        }
+    }
+
+    fn tunnel_encap(
+        &mut self,
+        tunnel_id: u32,
+        inner_header: Ipv4Header,
+        inner_payload: Vec<u8>,
+        depth: u8,
+        out: &mut EngineOutput,
+    ) {
+        let Some(tunnel) = self.config.tunnels.get(&tunnel_id).cloned() else {
+            self.stats.record_drop(DropReason::NoRoute);
+            return;
+        };
+        let inner_packet = inner_header.encode_packet(&inner_payload);
+        let (outer_payload, proto) = match tunnel.mode {
+            TunnelMode::Gre => {
+                let sequence = if tunnel.oseq {
+                    let seq = self.gre_tx_seq.entry(tunnel_id).or_insert(0);
+                    *seq += 1;
+                    Some(*seq)
+                } else {
+                    None
+                };
+                let gre = GreHeader {
+                    protocol: GRE_PROTO_IPV4,
+                    key: tunnel.okey,
+                    sequence,
+                    checksum_present: tunnel.ocsum,
+                };
+                (gre.encode_packet(&inner_packet), Ipv4Proto::Gre)
+            }
+            TunnelMode::IpIp => (inner_packet, Ipv4Proto::IpIp),
+        };
+        self.stats.tunnel(tunnel_id).tx(outer_payload.len());
+        let mut outer_header = Ipv4Header::new(tunnel.local, tunnel.remote, proto);
+        outer_header.ttl = tunnel.ttl;
+        // The outer packet is routed like locally-originated traffic.
+        self.ip_output(IncomingIf::Local, outer_header, outer_payload, depth + 1, out);
+    }
+
+    fn mpls_input(&mut self, port: PortId, payload: &[u8], out: &mut EngineOutput) {
+        let (stack, inner) = match mpls::decode_stack(payload) {
+            Ok(v) => v,
+            Err(_) => {
+                self.stats.record_drop(DropReason::Malformed);
+                return;
+            }
+        };
+        let top = stack[0];
+        if top.ttl <= 1 {
+            self.stats.record_drop(DropReason::TtlExpired);
+            return;
+        }
+        let Some(entry) = self.config.mpls.lookup(port.0, top.label).cloned() else {
+            self.stats.record_drop(DropReason::NoLabel);
+            return;
+        };
+        let mut new_stack: Vec<LabelStackEntry> = stack[1..].to_vec();
+        match entry.op {
+            LabelOp::Pop => {}
+            LabelOp::Swap(label) => {
+                let mut swapped = top;
+                swapped.label = label;
+                swapped.ttl = top.ttl - 1;
+                new_stack.insert(0, swapped);
+            }
+            LabelOp::Push(label) => {
+                let mut kept = top;
+                kept.ttl = top.ttl - 1;
+                new_stack.insert(0, kept);
+                new_stack.insert(0, LabelStackEntry::new(label, false));
+            }
+        }
+        if new_stack.is_empty() {
+            // Bottom of stack popped: the payload is an IPv4 packet.
+            if entry.nexthop == Ipv4Addr::UNSPECIFIED {
+                // Deliver to the local IP stack which re-routes it (the
+                // CONMan MPLS module uses this form: the IP module above
+                // decides where the packet goes next).
+                self.ip_input(IncomingIf::Port(port.0), &inner, out);
+            } else {
+                self.transmit_via_arp(
+                    PortId(entry.out_port),
+                    entry.nexthop,
+                    EtherType::Ipv4,
+                    inner,
+                    out,
+                );
+            }
+        } else {
+            // Fix bottom-of-stack flags after editing.
+            let last = new_stack.len() - 1;
+            for (i, e) in new_stack.iter_mut().enumerate() {
+                e.bottom = i == last;
+            }
+            let payload = mpls::encode_stack(&new_stack, &inner);
+            self.transmit_via_arp(
+                PortId(entry.out_port),
+                entry.nexthop,
+                EtherType::Mpls,
+                payload,
+                out,
+            );
+        }
+        self.stats.forwarded += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Layer 2 bridging (switches)
+    // ------------------------------------------------------------------
+
+    fn bridge_input(&mut self, port: PortId, frame: &EthernetFrame, out: &mut EngineOutput) {
+        let Some(bridge) = self.config.bridge.clone() else {
+            self.stats.record_drop(DropReason::ForwardingDisabled);
+            return;
+        };
+        let Some(mode) = bridge.ports.get(&port.0) else {
+            self.stats.record_drop(DropReason::PortDown);
+            return;
+        };
+        // Classify the frame into a VLAN and recover the "customer" frame
+        // that will be re-emitted on egress.
+        let (vlan_id, customer): (u16, EthernetFrame) = match mode {
+            SwitchPortMode::Access(v) | SwitchPortMode::Dot1qTunnel(v) => (v.value(), frame.clone()),
+            SwitchPortMode::Trunk(allowed) => {
+                if frame.ethertype != EtherType::Vlan {
+                    self.stats.record_drop(DropReason::Malformed);
+                    return;
+                }
+                let Ok((tag, inner_payload)) = vlan::pop_tag(&frame.payload) else {
+                    self.stats.record_drop(DropReason::Malformed);
+                    return;
+                };
+                if !allowed.iter().any(|v| *v == tag.vid) {
+                    self.stats.record_drop(DropReason::Filtered);
+                    return;
+                }
+                (
+                    tag.vid.value(),
+                    EthernetFrame::new(frame.dst, frame.src, tag.inner_ethertype, inner_payload),
+                )
+            }
+        };
+        // Check the MTU declared for the VLAN (Q-in-Q needs 1504).
+        if let Some(vc) = bridge.vlans.get(&vlan_id) {
+            if customer.wire_len() + vlan::VLAN_TAG_LEN > vc.mtu as usize + crate::ether::ETHERNET_HEADER_LEN {
+                self.stats.record_drop(DropReason::MtuExceeded);
+                return;
+            }
+        }
+        // Learn the source MAC.
+        self.mac_table.insert((vlan_id, customer.src), port.0);
+        // Decide egress ports.
+        let egress: Vec<u32> = if let Some(p) = self.mac_table.get(&(vlan_id, customer.dst)).copied() {
+            if p == port.0 {
+                return; // already on the right segment
+            }
+            vec![p]
+        } else {
+            bridge
+                .ports
+                .iter()
+                .filter(|(p, m)| {
+                    **p != port.0
+                        && match m {
+                            SwitchPortMode::Access(v) | SwitchPortMode::Dot1qTunnel(v) => {
+                                v.value() == vlan_id
+                            }
+                            SwitchPortMode::Trunk(allowed) => {
+                                allowed.iter().any(|v| v.value() == vlan_id)
+                            }
+                        }
+                })
+                .map(|(p, _)| *p)
+                .collect()
+        };
+        for p in egress {
+            let mode = &bridge.ports[&p];
+            let frame_out = match mode {
+                SwitchPortMode::Access(_) | SwitchPortMode::Dot1qTunnel(_) => customer.clone(),
+                SwitchPortMode::Trunk(_) => {
+                    let vid = vlan::VlanId::new(vlan_id).expect("vlan id validated on ingress");
+                    let tagged = vlan::push_tag(vid, customer.ethertype, &customer.payload);
+                    EthernetFrame::new(customer.dst, customer.src, EtherType::Vlan, tagged)
+                }
+            };
+            self.transmit(PortId(p), frame_out.encode(), out);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transmission helpers
+    // ------------------------------------------------------------------
+
+    fn transmit_via_arp(
+        &mut self,
+        port: PortId,
+        nexthop: Ipv4Addr,
+        ethertype: EtherType,
+        payload: Vec<u8>,
+        out: &mut EngineOutput,
+    ) {
+        let Some(nic) = self.port(port) else {
+            self.stats.record_drop(DropReason::PortDown);
+            return;
+        };
+        if !nic.is_usable() {
+            self.stats.record_drop(DropReason::PortDown);
+            return;
+        }
+        let our_mac = nic.mac;
+        if let Some(mac) = self.arp.lookup(nexthop) {
+            let frame = EthernetFrame::new(mac, our_mac, ethertype, payload);
+            self.transmit(port, frame.encode(), out);
+            return;
+        }
+        // Park the packet and emit an ARP request if this is the first one
+        // waiting for this next hop.
+        let first = self.arp.park(
+            nexthop,
+            PendingPacket {
+                port: port.0,
+                bytes: payload,
+                ethertype: ethertype.as_u16(),
+            },
+        );
+        if first {
+            let sender_ip = self
+                .config
+                .address_on_port(port.0)
+                .map(|c| c.addr)
+                .unwrap_or(Ipv4Addr::UNSPECIFIED);
+            let request = ArpPacket::request(our_mac, sender_ip, nexthop);
+            let frame = EthernetFrame::new(MacAddr::BROADCAST, our_mac, EtherType::Arp, request.encode());
+            self.transmit(port, frame.encode(), out);
+        }
+    }
+
+    fn transmit(&mut self, port: PortId, bytes: Vec<u8>, out: &mut EngineOutput) {
+        match self.port(port) {
+            Some(nic) if nic.is_usable() => {
+                self.stats.port(port.0).tx(bytes.len());
+                out.transmissions.push((port, bytes));
+            }
+            _ => {
+                self.stats.record_drop(DropReason::PortDown);
+            }
+        }
+    }
+
+    /// Reset runtime state that depends on configuration (ARP cache, MAC
+    /// table, sequence counters).  Used by tests that reconfigure devices.
+    pub fn flush_runtime_state(&mut self) {
+        self.arp = ArpCache::new();
+        self.mac_table.clear();
+        self.gre_tx_seq.clear();
+        self.gre_rx_seq.clear();
+    }
+}
+
+/// Extract the transport destination port for filter evaluation.
+fn transport_dst_port(header: &Ipv4Header, payload: &[u8]) -> Option<u16> {
+    if header.protocol == Ipv4Proto::Udp {
+        UdpHeader::decode_datagram(payload).ok().map(|(u, _)| u.dst_port)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FilterAction, FilterRule, TunnelConfig};
+    use crate::ipv4::Ipv4Cidr;
+    use crate::link::LinkId;
+    use crate::route::{Route, RouteTableId};
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// A router with two ports, addresses on both, forwarding enabled, and
+    /// both ports attached to (dummy) links so transmission works.
+    fn router() -> Device {
+        let mut d = Device::new("R", DeviceRole::Router, 2);
+        d.ports[0].link = Some(LinkId(0));
+        d.ports[1].link = Some(LinkId(1));
+        d.config.ip_forwarding = true;
+        d.config.assign_address(0, cidr("10.0.1.1/24"));
+        d.config.assign_address(1, cidr("204.9.168.1/24"));
+        d
+    }
+
+    fn udp_packet(src: &str, dst: &str, dst_port: u16) -> Vec<u8> {
+        let udp = UdpHeader::new(40000, dst_port).encode_datagram(b"payload");
+        Ipv4Header::new(ip(src), ip(dst), Ipv4Proto::Udp).encode_packet(&udp)
+    }
+
+    #[test]
+    fn local_udp_delivery() {
+        let mut d = router();
+        let frame = EthernetFrame::new(
+            d.port_mac(PortId(0)),
+            MacAddr::for_port(9, 9),
+            EtherType::Ipv4,
+            udp_packet("10.0.1.5", "10.0.1.1", 592),
+        );
+        let out = d.handle_frame(PortId(0), &frame.encode());
+        assert!(out.transmissions.is_empty());
+        let delivered = d.take_delivered();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].dst_port, Some(592));
+        assert_eq!(delivered[0].payload, b"payload");
+    }
+
+    #[test]
+    fn forwarding_disabled_drops() {
+        let mut d = router();
+        d.config.ip_forwarding = false;
+        let frame = EthernetFrame::new(
+            d.port_mac(PortId(0)),
+            MacAddr::for_port(9, 9),
+            EtherType::Ipv4,
+            udp_packet("10.0.1.5", "8.8.8.8", 53),
+        );
+        d.handle_frame(PortId(0), &frame.encode());
+        assert_eq!(d.stats.drops[&DropReason::ForwardingDisabled], 1);
+    }
+
+    #[test]
+    fn forwarding_emits_arp_then_packet() {
+        let mut d = router();
+        d.config.rib.add_main(Route {
+            dest: cidr("8.8.8.0/24"),
+            target: crate::route::RouteTarget::Port {
+                port: 1,
+                via: Some(ip("204.9.168.2")),
+            },
+        });
+        let frame = EthernetFrame::new(
+            d.port_mac(PortId(0)),
+            MacAddr::for_port(9, 9),
+            EtherType::Ipv4,
+            udp_packet("10.0.1.5", "8.8.8.8", 53),
+        );
+        let out = d.handle_frame(PortId(0), &frame.encode());
+        // The next hop is unresolved: an ARP request goes out instead.
+        assert_eq!(out.transmissions.len(), 1);
+        let arp_frame = EthernetFrame::decode(&out.transmissions[0].1).unwrap();
+        assert_eq!(arp_frame.ethertype, EtherType::Arp);
+        assert!(arp_frame.dst.is_broadcast());
+
+        // Deliver the ARP reply; the parked packet is then transmitted.
+        let peer_mac = MacAddr::for_port(7, 7);
+        let reply = ArpPacket {
+            op: ArpOp::Reply,
+            sender_mac: peer_mac,
+            sender_ip: ip("204.9.168.2"),
+            target_mac: d.port_mac(PortId(1)),
+            target_ip: ip("204.9.168.1"),
+        };
+        let reply_frame =
+            EthernetFrame::new(d.port_mac(PortId(1)), peer_mac, EtherType::Arp, reply.encode());
+        let out = d.handle_frame(PortId(1), &reply_frame.encode());
+        assert_eq!(out.transmissions.len(), 1);
+        let fwd = EthernetFrame::decode(&out.transmissions[0].1).unwrap();
+        assert_eq!(fwd.ethertype, EtherType::Ipv4);
+        assert_eq!(fwd.dst, peer_mac);
+        let (h, _) = Ipv4Header::decode_packet(&fwd.payload).unwrap();
+        assert_eq!(h.ttl, 63, "TTL must be decremented on forwarding");
+    }
+
+    #[test]
+    fn gre_encap_and_decap_roundtrip_with_keys() {
+        // Encapsulating router.
+        let mut a = router();
+        let mut tun = TunnelConfig::gre(1, "greA", ip("204.9.168.1"), ip("204.9.169.1"));
+        tun.okey = Some(2001);
+        tun.ikey = Some(1001);
+        tun.oseq = true;
+        tun.iseq = true;
+        tun.ocsum = true;
+        tun.icsum = true;
+        a.config.tunnels.insert(1, tun);
+        let t = RouteTableId(202);
+        a.config.rib.table_mut(t).add(Route {
+            dest: Ipv4Cidr::DEFAULT,
+            target: crate::route::RouteTarget::Tunnel { tunnel: 1 },
+        });
+        a.config.rib.add_rule(crate::route::PolicyRule {
+            priority: 100,
+            selector: crate::route::RuleSelector::ToPrefix(cidr("10.0.2.0/24")),
+            table: t,
+        });
+        a.config.rib.add_main(Route {
+            dest: cidr("204.9.169.1/32"),
+            target: crate::route::RouteTarget::Port {
+                port: 1,
+                via: Some(ip("204.9.168.2")),
+            },
+        });
+        // Pre-resolve ARP so the tunnel packet leaves immediately.
+        a.arp.insert(ip("204.9.168.2"), MacAddr::for_port(7, 7));
+
+        let frame = EthernetFrame::new(
+            a.port_mac(PortId(0)),
+            MacAddr::for_port(9, 9),
+            EtherType::Ipv4,
+            udp_packet("10.0.1.5", "10.0.2.5", 592),
+        );
+        let out = a.handle_frame(PortId(0), &frame.encode());
+        assert_eq!(out.transmissions.len(), 1);
+        let encap = EthernetFrame::decode(&out.transmissions[0].1).unwrap();
+        let summary = crate::trace::PacketSummary::parse(&out.transmissions[0].1);
+        assert_eq!(summary.layer_names(), vec!["ETH", "IP", "GRE", "IP", "PAYLOAD"]);
+        assert!(summary.protocol_path().contains("key=2001"));
+
+        // Decapsulating router: its ikey must equal the sender's okey.
+        let mut c = Device::new("C", DeviceRole::Router, 2);
+        c.ports[0].link = Some(LinkId(0));
+        c.ports[1].link = Some(LinkId(1));
+        c.config.ip_forwarding = true;
+        c.config.add_port_address(1, cidr("204.9.169.1/24"));
+        c.config.add_port_address(0, cidr("10.0.2.1/24"));
+        let mut tun = TunnelConfig::gre(1, "greC", ip("204.9.169.1"), ip("204.9.168.1"));
+        tun.ikey = Some(2001);
+        tun.okey = Some(1001);
+        tun.iseq = true;
+        tun.icsum = true;
+        c.config.tunnels.insert(1, tun);
+        let t21 = RouteTableId(203);
+        c.config.rib.table_mut(t21).add(Route {
+            dest: Ipv4Cidr::DEFAULT,
+            target: crate::route::RouteTarget::Port { port: 0, via: None },
+        });
+        c.config.rib.add_rule(crate::route::PolicyRule {
+            priority: 100,
+            selector: crate::route::RuleSelector::FromTunnel(1),
+            table: t21,
+        });
+        c.arp.insert(ip("10.0.2.5"), MacAddr::for_port(5, 5));
+
+        let arriving = EthernetFrame::new(c.port_mac(PortId(1)), encap.src, EtherType::Ipv4, encap.payload);
+        let out = c.handle_frame(PortId(1), &arriving.encode());
+        assert_eq!(out.transmissions.len(), 1);
+        let final_frame = EthernetFrame::decode(&out.transmissions[0].1).unwrap();
+        let (h, _) = Ipv4Header::decode_packet(&final_frame.payload).unwrap();
+        assert_eq!(h.dst, ip("10.0.2.5"));
+        assert_eq!(c.stats.tunnels[&1].rx_packets, 1);
+    }
+
+    #[test]
+    fn gre_key_mismatch_is_dropped() {
+        let mut c = Device::new("C", DeviceRole::Router, 1);
+        c.ports[0].link = Some(LinkId(0));
+        c.config.add_port_address(0, cidr("204.9.169.1/24"));
+        let mut tun = TunnelConfig::gre(1, "greC", ip("204.9.169.1"), ip("204.9.168.1"));
+        tun.ikey = Some(7777); // expects a different key
+        c.config.tunnels.insert(1, tun);
+
+        let inner = udp_packet("10.0.1.5", "10.0.2.5", 592);
+        let gre = GreHeader::ipv4(Some(2001), None, false).encode_packet(&inner);
+        let outer =
+            Ipv4Header::new(ip("204.9.168.1"), ip("204.9.169.1"), Ipv4Proto::Gre).encode_packet(&gre);
+        let frame = EthernetFrame::new(c.port_mac(PortId(0)), MacAddr::for_port(9, 9), EtherType::Ipv4, outer);
+        c.handle_frame(PortId(0), &frame.encode());
+        assert_eq!(c.stats.drops[&DropReason::TunnelMismatch], 1);
+        assert!(c.take_delivered().is_empty());
+    }
+
+    #[test]
+    fn filters_drop_matching_traffic() {
+        let mut d = router();
+        d.config.filters.push(FilterRule {
+            id: 1,
+            action: FilterAction::Drop,
+            src: Some(cidr("10.0.1.0/24")),
+            dst: None,
+            proto: Some(Ipv4Proto::Udp),
+            dst_port: Some(592),
+        });
+        let frame = EthernetFrame::new(
+            d.port_mac(PortId(0)),
+            MacAddr::for_port(9, 9),
+            EtherType::Ipv4,
+            udp_packet("10.0.1.5", "10.0.1.1", 592),
+        );
+        d.handle_frame(PortId(0), &frame.encode());
+        assert!(d.take_delivered().is_empty());
+        assert_eq!(d.stats.drops[&DropReason::Filtered], 1);
+    }
+
+    #[test]
+    fn icmp_echo_is_answered() {
+        let mut d = router();
+        d.arp.insert(ip("10.0.1.5"), MacAddr::for_port(9, 9));
+        let ping = IcmpMessage::echo_request(42, 1, vec![0u8; 8]).encode();
+        let pkt = Ipv4Header::new(ip("10.0.1.5"), ip("10.0.1.1"), Ipv4Proto::Icmp).encode_packet(&ping);
+        let frame = EthernetFrame::new(d.port_mac(PortId(0)), MacAddr::for_port(9, 9), EtherType::Ipv4, pkt);
+        let out = d.handle_frame(PortId(0), &frame.encode());
+        assert_eq!(out.transmissions.len(), 1);
+        let reply = EthernetFrame::decode(&out.transmissions[0].1).unwrap();
+        let (h, icmp_bytes) = Ipv4Header::decode_packet(&reply.payload).unwrap();
+        assert_eq!(h.dst, ip("10.0.1.5"));
+        let msg = IcmpMessage::decode(&icmp_bytes).unwrap();
+        assert_eq!(msg.kind, IcmpKind::EchoReply);
+        assert_eq!(msg.identifier, 42);
+    }
+
+    #[test]
+    fn mpls_push_swap_pop() {
+        use crate::mpls::{IlmEntry, Label, Nhlfe, NhlfeKey};
+        // Ingress: route into an LSP with label 2001.
+        let mut a = router();
+        let key = NhlfeKey(1);
+        a.config.mpls.add_nhlfe(Nhlfe {
+            key,
+            op: LabelOp::Push(Label::new(2001).unwrap()),
+            nexthop: ip("204.9.168.2"),
+            out_port: 1,
+            mtu: 1500,
+        });
+        a.config.rib.add_main(Route {
+            dest: cidr("10.0.2.0/24"),
+            target: crate::route::RouteTarget::Mpls { nhlfe: key },
+        });
+        a.arp.insert(ip("204.9.168.2"), MacAddr::for_port(7, 7));
+        let frame = EthernetFrame::new(
+            a.port_mac(PortId(0)),
+            MacAddr::for_port(9, 9),
+            EtherType::Ipv4,
+            udp_packet("10.0.1.5", "10.0.2.5", 592),
+        );
+        let out = a.handle_frame(PortId(0), &frame.encode());
+        assert_eq!(out.transmissions.len(), 1);
+        let s = crate::trace::PacketSummary::parse(&out.transmissions[0].1);
+        assert_eq!(s.layer_names(), vec!["ETH", "MPLS", "IP", "PAYLOAD"]);
+
+        // Transit: swap 2001 -> 3001.
+        let mut b = Device::new("B", DeviceRole::Router, 2);
+        b.ports[0].link = Some(LinkId(0));
+        b.ports[1].link = Some(LinkId(1));
+        b.config.ip_forwarding = true;
+        b.config.add_port_address(1, cidr("204.9.170.1/24"));
+        let bkey = NhlfeKey(1);
+        b.config.mpls.add_nhlfe(Nhlfe {
+            key: bkey,
+            op: LabelOp::Swap(Label::new(3001).unwrap()),
+            nexthop: ip("204.9.170.2"),
+            out_port: 1,
+            mtu: 1500,
+        });
+        b.config.mpls.set_labelspace(0, 0);
+        b.config.mpls.add_xc(
+            IlmEntry {
+                labelspace: 0,
+                label: Label::new(2001).unwrap(),
+            },
+            bkey,
+        );
+        b.arp.insert(ip("204.9.170.2"), MacAddr::for_port(8, 8));
+        let mpls_frame = EthernetFrame::decode(&out.transmissions[0].1).unwrap();
+        let arriving = EthernetFrame::new(b.port_mac(PortId(0)), mpls_frame.src, EtherType::Mpls, mpls_frame.payload);
+        let out_b = b.handle_frame(PortId(0), &arriving.encode());
+        assert_eq!(out_b.transmissions.len(), 1);
+        let s = crate::trace::PacketSummary::parse(&out_b.transmissions[0].1);
+        assert!(matches!(s.layers[1], crate::trace::Layer::Mpls(3001)));
+
+        // Egress: pop and deliver to the local IP stack for routing.
+        let mut c = Device::new("C", DeviceRole::Router, 2);
+        c.ports[0].link = Some(LinkId(0));
+        c.ports[1].link = Some(LinkId(1));
+        c.config.ip_forwarding = true;
+        c.config.add_port_address(1, cidr("10.0.2.1/24"));
+        let ckey = NhlfeKey(1);
+        c.config.mpls.add_nhlfe(Nhlfe {
+            key: ckey,
+            op: LabelOp::Pop,
+            nexthop: Ipv4Addr::UNSPECIFIED,
+            out_port: 1,
+            mtu: 1500,
+        });
+        c.config.mpls.add_xc(
+            IlmEntry {
+                labelspace: 0,
+                label: Label::new(3001).unwrap(),
+            },
+            ckey,
+        );
+        c.config.rib.add_main(Route {
+            dest: cidr("10.0.2.0/24"),
+            target: crate::route::RouteTarget::Port { port: 1, via: None },
+        });
+        c.arp.insert(ip("10.0.2.5"), MacAddr::for_port(5, 5));
+        let b_frame = EthernetFrame::decode(&out_b.transmissions[0].1).unwrap();
+        let arriving = EthernetFrame::new(c.port_mac(PortId(0)), b_frame.src, EtherType::Mpls, b_frame.payload);
+        let out_c = c.handle_frame(PortId(0), &arriving.encode());
+        assert_eq!(out_c.transmissions.len(), 1);
+        let s = crate::trace::PacketSummary::parse(&out_c.transmissions[0].1);
+        assert_eq!(s.layer_names(), vec!["ETH", "IP", "PAYLOAD"]);
+    }
+
+    #[test]
+    fn bridge_learns_and_floods_with_qinq() {
+        use crate::vlan::VlanId;
+        let mut sw = Device::new("SwitchA", DeviceRole::Switch, 3);
+        for p in &mut sw.ports {
+            p.link = Some(LinkId(p.index));
+        }
+        let mut bridge = crate::config::BridgeConfig::default();
+        bridge.declare_vlan(VlanId::new(22).unwrap(), "C1", 1504);
+        bridge.set_port(0, SwitchPortMode::Dot1qTunnel(VlanId::new(22).unwrap()));
+        bridge.set_port(1, SwitchPortMode::Trunk(vec![VlanId::new(22).unwrap()]));
+        bridge.set_port(2, SwitchPortMode::Access(VlanId::new(44).unwrap()));
+        sw.config.bridge = Some(bridge);
+
+        // Customer frame enters the dot1q-tunnel port: flooded only to ports
+        // in VLAN 22 (port 1), tagged on the trunk.
+        let customer = EthernetFrame::new(
+            MacAddr::for_port(20, 0),
+            MacAddr::for_port(10, 0),
+            EtherType::Ipv4,
+            vec![0u8; 64],
+        );
+        let out = sw.handle_frame(PortId(0), &customer.encode());
+        assert_eq!(out.transmissions.len(), 1);
+        assert_eq!(out.transmissions[0].0, PortId(1));
+        let tagged = EthernetFrame::decode(&out.transmissions[0].1).unwrap();
+        assert_eq!(tagged.ethertype, EtherType::Vlan);
+        let (tag, inner) = vlan::pop_tag(&tagged.payload).unwrap();
+        assert_eq!(tag.vid.value(), 22);
+        assert_eq!(inner.len(), 64);
+
+        // Return traffic on the trunk is learned and switched back untagged.
+        let reply_inner = EthernetFrame::new(
+            MacAddr::for_port(10, 0),
+            MacAddr::for_port(20, 0),
+            EtherType::Ipv4,
+            vec![1u8; 64],
+        );
+        let reply_tagged = EthernetFrame::new(
+            reply_inner.dst,
+            reply_inner.src,
+            EtherType::Vlan,
+            vlan::push_tag(VlanId::new(22).unwrap(), EtherType::Ipv4, &reply_inner.payload),
+        );
+        let out = sw.handle_frame(PortId(1), &reply_tagged.encode());
+        assert_eq!(out.transmissions.len(), 1);
+        assert_eq!(out.transmissions[0].0, PortId(0));
+        let untagged = EthernetFrame::decode(&out.transmissions[0].1).unwrap();
+        assert_eq!(untagged.ethertype, EtherType::Ipv4);
+    }
+
+    #[test]
+    fn management_frames_are_queued_not_forwarded() {
+        let mut sw = Device::new("SwitchA", DeviceRole::Switch, 2);
+        sw.ports[0].link = Some(LinkId(0));
+        sw.ports[1].link = Some(LinkId(1));
+        sw.config.bridge = Some(crate::config::BridgeConfig::default());
+        let frame = EthernetFrame::new(
+            MacAddr::BROADCAST,
+            MacAddr::for_port(1, 0),
+            EtherType::Management,
+            vec![1, 2, 3],
+        );
+        let out = sw.handle_frame(PortId(0), &frame.encode());
+        assert!(out.transmissions.is_empty());
+        let frames = sw.take_mgmt_frames();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].payload, vec![1, 2, 3]);
+        assert_eq!(frames[0].port, Some(PortId(0)));
+    }
+
+    #[test]
+    fn ping_originates_via_routing() {
+        let mut d = router();
+        d.config.rib.add_main(Route {
+            dest: cidr("204.9.169.0/24"),
+            target: crate::route::RouteTarget::Port {
+                port: 1,
+                via: Some(ip("204.9.168.2")),
+            },
+        });
+        d.arp.insert(ip("204.9.168.2"), MacAddr::for_port(7, 7));
+        let out = d.originate_ping(ip("204.9.169.1"), 1, 1);
+        assert_eq!(out.transmissions.len(), 1);
+        assert_eq!(d.stats.originated, 1);
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal ICMP echo codec, used by the CONMan debugging primitives
+//! (module self-tests send echo requests over the data plane, §II-D.2).
+
+use crate::ipv4::internet_checksum;
+use crate::{CodecError, CodecResult};
+use serde::{Deserialize, Serialize};
+
+/// ICMP header length for echo messages.
+pub const ICMP_ECHO_LEN: usize = 8;
+
+/// ICMP message kinds supported by the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IcmpKind {
+    /// Echo request (type 8).
+    EchoRequest,
+    /// Echo reply (type 0).
+    EchoReply,
+    /// Destination unreachable (type 3) with the given code.
+    Unreachable(u8),
+}
+
+/// A decoded ICMP echo-style message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IcmpMessage {
+    /// Message kind.
+    pub kind: IcmpKind,
+    /// Identifier (echo only; zero otherwise).
+    pub identifier: u16,
+    /// Sequence number (echo only; zero otherwise).
+    pub sequence: u16,
+    /// Payload carried in the echo.
+    pub payload: Vec<u8>,
+}
+
+impl IcmpMessage {
+    /// Build an echo request.
+    pub fn echo_request(identifier: u16, sequence: u16, payload: Vec<u8>) -> Self {
+        IcmpMessage {
+            kind: IcmpKind::EchoRequest,
+            identifier,
+            sequence,
+            payload,
+        }
+    }
+
+    /// Build the matching echo reply.
+    pub fn reply(&self) -> Self {
+        IcmpMessage {
+            kind: IcmpKind::EchoReply,
+            identifier: self.identifier,
+            sequence: self.sequence,
+            payload: self.payload.clone(),
+        }
+    }
+
+    /// Encode to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let (ty, code) = match self.kind {
+            IcmpKind::EchoRequest => (8u8, 0u8),
+            IcmpKind::EchoReply => (0u8, 0u8),
+            IcmpKind::Unreachable(code) => (3u8, code),
+        };
+        let mut out = Vec::with_capacity(ICMP_ECHO_LEN + self.payload.len());
+        out.push(ty);
+        out.push(code);
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&self.identifier.to_be_bytes());
+        out.extend_from_slice(&self.sequence.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        let csum = internet_checksum(&out);
+        out[2..4].copy_from_slice(&csum.to_be_bytes());
+        out
+    }
+
+    /// Decode from wire bytes, verifying the checksum.
+    pub fn decode(bytes: &[u8]) -> CodecResult<Self> {
+        if bytes.len() < ICMP_ECHO_LEN {
+            return Err(CodecError::Truncated {
+                what: "icmp",
+                needed: ICMP_ECHO_LEN,
+                got: bytes.len(),
+            });
+        }
+        if internet_checksum(bytes) != 0 {
+            return Err(CodecError::BadChecksum("icmp"));
+        }
+        let kind = match (bytes[0], bytes[1]) {
+            (8, 0) => IcmpKind::EchoRequest,
+            (0, 0) => IcmpKind::EchoReply,
+            (3, code) => IcmpKind::Unreachable(code),
+            (ty, _) => {
+                return Err(CodecError::BadField {
+                    what: "icmp type",
+                    value: ty as u64,
+                })
+            }
+        };
+        Ok(IcmpMessage {
+            kind,
+            identifier: u16::from_be_bytes([bytes[4], bytes[5]]),
+            sequence: u16::from_be_bytes([bytes[6], bytes[7]]),
+            payload: bytes[ICMP_ECHO_LEN..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let req = IcmpMessage::echo_request(0x1234, 7, vec![1, 2, 3]);
+        let dec = IcmpMessage::decode(&req.encode()).unwrap();
+        assert_eq!(req, dec);
+        let rep = req.reply();
+        assert_eq!(rep.kind, IcmpKind::EchoReply);
+        assert_eq!(rep.identifier, 0x1234);
+        assert_eq!(rep.sequence, 7);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = IcmpMessage::echo_request(1, 1, vec![0u8; 16]).encode();
+        bytes[10] ^= 0x55;
+        assert!(IcmpMessage::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn unreachable_roundtrip() {
+        let msg = IcmpMessage {
+            kind: IcmpKind::Unreachable(1),
+            identifier: 0,
+            sequence: 0,
+            payload: vec![],
+        };
+        let dec = IcmpMessage::decode(&msg.encode()).unwrap();
+        assert_eq!(dec.kind, IcmpKind::Unreachable(1));
+    }
+}

@@ -1,0 +1,143 @@
+//! Physical links.
+//!
+//! CONMan models real network links as *physical pipes* which the NM can
+//! discover and enable but not create (§II-C.1).  Links can be point-to-point
+//! or broadcast; the latter models a shared Ethernet segment.
+
+use crate::clock::SimDuration;
+use crate::device::{DeviceId, PortId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a link within a [`crate::network::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+/// Performance characteristics of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkProperties {
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+    /// Bandwidth in bits per second (0 means "infinite": no serialization
+    /// delay is modelled).
+    pub bandwidth_bps: u64,
+    /// Packet loss probability in parts per million (deterministic losses
+    /// are injected by the fault-injection tests, not sampled here).
+    pub loss_ppm: u32,
+    /// Administrative state; frames on a disabled link are dropped.
+    pub enabled: bool,
+}
+
+impl Default for LinkProperties {
+    fn default() -> Self {
+        LinkProperties {
+            latency: SimDuration::from_micros(50),
+            bandwidth_bps: 1_000_000_000,
+            loss_ppm: 0,
+            enabled: true,
+        }
+    }
+}
+
+impl LinkProperties {
+    /// A LAN-like link: 1 Gbps, 50 microseconds.
+    pub fn lan() -> Self {
+        Self::default()
+    }
+
+    /// A WAN-like link: 100 Mbps, 5 ms.
+    pub fn wan() -> Self {
+        LinkProperties {
+            latency: SimDuration::from_millis(5),
+            bandwidth_bps: 100_000_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// One attachment point of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Attached device.
+    pub device: DeviceId,
+    /// Attached port on that device.
+    pub port: PortId,
+}
+
+/// A physical link connecting two or more endpoints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// Link identifier.
+    pub id: LinkId,
+    /// Attached endpoints.  Two endpoints model a point-to-point cable; more
+    /// model a broadcast segment.
+    pub endpoints: Vec<Endpoint>,
+    /// Performance properties.
+    pub properties: LinkProperties,
+}
+
+impl Link {
+    /// Create a point-to-point link.
+    pub fn point_to_point(id: LinkId, a: Endpoint, b: Endpoint, properties: LinkProperties) -> Self {
+        Link {
+            id,
+            endpoints: vec![a, b],
+            properties,
+        }
+    }
+
+    /// All endpoints other than `from` (the receivers of a transmission).
+    pub fn other_endpoints(&self, from: Endpoint) -> impl Iterator<Item = Endpoint> + '_ {
+        self.endpoints.iter().copied().filter(move |e| *e != from)
+    }
+
+    /// Is this a broadcast (more than two endpoints) segment?
+    pub fn is_broadcast(&self) -> bool {
+        self.endpoints.len() > 2
+    }
+
+    /// Time for `bytes` to fully arrive at the far end(s).
+    pub fn transfer_time(&self, bytes: usize) -> SimDuration {
+        self.properties.latency + SimDuration::serialization(bytes, self.properties.bandwidth_bps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceId;
+
+    fn ep(d: u64, p: u32) -> Endpoint {
+        Endpoint {
+            device: DeviceId::from_raw(d),
+            port: PortId(p),
+        }
+    }
+
+    #[test]
+    fn point_to_point_other_endpoint() {
+        let l = Link::point_to_point(LinkId(0), ep(1, 0), ep(2, 1), LinkProperties::lan());
+        let others: Vec<_> = l.other_endpoints(ep(1, 0)).collect();
+        assert_eq!(others, vec![ep(2, 1)]);
+        assert!(!l.is_broadcast());
+    }
+
+    #[test]
+    fn broadcast_segment() {
+        let l = Link {
+            id: LinkId(1),
+            endpoints: vec![ep(1, 0), ep(2, 0), ep(3, 0)],
+            properties: LinkProperties::lan(),
+        };
+        assert!(l.is_broadcast());
+        assert_eq!(l.other_endpoints(ep(2, 0)).count(), 2);
+    }
+
+    #[test]
+    fn transfer_time_includes_serialization() {
+        let l = Link::point_to_point(LinkId(0), ep(1, 0), ep(2, 0), LinkProperties::lan());
+        let t = l.transfer_time(1500);
+        assert_eq!(t.as_micros(), 50 + 12);
+        let wan = Link::point_to_point(LinkId(0), ep(1, 0), ep(2, 0), LinkProperties::wan());
+        assert!(wan.transfer_time(1500) > t);
+    }
+}

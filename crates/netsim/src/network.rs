@@ -1,0 +1,508 @@
+//! The network: devices, links, the event loop and the packet trace.
+
+use crate::clock::{SimDuration, SimTime};
+use crate::device::{Device, DeviceId, EngineOutput, PortId};
+use crate::ether::EthernetFrame;
+use crate::event::{Event, EventQueue};
+use crate::link::{Endpoint, Link, LinkId, LinkProperties};
+use crate::trace::{PacketSummary, TraceEntry};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Errors raised by network construction and operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// Referenced device does not exist.
+    UnknownDevice(DeviceId),
+    /// Referenced device name does not exist.
+    UnknownDeviceName(String),
+    /// Referenced port does not exist on the device.
+    UnknownPort(DeviceId, PortId),
+    /// The port is already attached to a link.
+    PortInUse(DeviceId, PortId),
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::UnknownDevice(d) => write!(f, "unknown device {d}"),
+            NetworkError::UnknownDeviceName(n) => write!(f, "unknown device name {n}"),
+            NetworkError::UnknownPort(d, p) => write!(f, "unknown port {p} on {d}"),
+            NetworkError::PortInUse(d, p) => write!(f, "port {p} on {d} already attached"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// The simulated network.
+#[derive(Debug, Default)]
+pub struct Network {
+    devices: BTreeMap<DeviceId, Device>,
+    names: BTreeMap<String, DeviceId>,
+    links: Vec<Link>,
+    queue: EventQueue,
+    trace: Vec<TraceEntry>,
+    /// Record a [`TraceEntry`] for every transmitted frame (on by default).
+    pub trace_enabled: bool,
+    frames_delivered: u64,
+}
+
+impl Network {
+    /// Create an empty network.
+    pub fn new() -> Self {
+        Network {
+            trace_enabled: true,
+            ..Default::default()
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total frames delivered across all links so far.
+    pub fn frames_delivered(&self) -> u64 {
+        self.frames_delivered
+    }
+
+    /// Add a device, returning its id.
+    pub fn add_device(&mut self, device: Device) -> DeviceId {
+        let id = device.id;
+        self.names.insert(device.name.clone(), id);
+        self.devices.insert(id, device);
+        id
+    }
+
+    /// Look up a device id by name.
+    pub fn device_id(&self, name: &str) -> Result<DeviceId, NetworkError> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| NetworkError::UnknownDeviceName(name.to_string()))
+    }
+
+    /// Access a device.
+    pub fn device(&self, id: DeviceId) -> Result<&Device, NetworkError> {
+        self.devices.get(&id).ok_or(NetworkError::UnknownDevice(id))
+    }
+
+    /// Access a device mutably.
+    pub fn device_mut(&mut self, id: DeviceId) -> Result<&mut Device, NetworkError> {
+        self.devices
+            .get_mut(&id)
+            .ok_or(NetworkError::UnknownDevice(id))
+    }
+
+    /// Access a device by name.
+    pub fn device_by_name(&self, name: &str) -> Result<&Device, NetworkError> {
+        self.device(self.device_id(name)?)
+    }
+
+    /// Access a device by name, mutably.
+    pub fn device_by_name_mut(&mut self, name: &str) -> Result<&mut Device, NetworkError> {
+        let id = self.device_id(name)?;
+        self.device_mut(id)
+    }
+
+    /// All device ids.
+    pub fn device_ids(&self) -> Vec<DeviceId> {
+        self.devices.keys().copied().collect()
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> impl Iterator<Item = &Device> {
+        self.devices.values()
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Access a link.
+    pub fn link(&self, id: LinkId) -> Option<&Link> {
+        self.links.get(id.0 as usize)
+    }
+
+    /// Connect two ports with a point-to-point link.
+    pub fn connect(
+        &mut self,
+        a: (DeviceId, PortId),
+        b: (DeviceId, PortId),
+        properties: LinkProperties,
+    ) -> Result<LinkId, NetworkError> {
+        self.connect_many(&[a, b], properties)
+    }
+
+    /// Connect several ports to one (broadcast) link segment.
+    pub fn connect_many(
+        &mut self,
+        endpoints: &[(DeviceId, PortId)],
+        properties: LinkProperties,
+    ) -> Result<LinkId, NetworkError> {
+        let id = LinkId(self.links.len() as u32);
+        // Validate and attach every port first.
+        for (dev, port) in endpoints {
+            let device = self
+                .devices
+                .get_mut(dev)
+                .ok_or(NetworkError::UnknownDevice(*dev))?;
+            let nic = device
+                .port_mut(*port)
+                .ok_or(NetworkError::UnknownPort(*dev, *port))?;
+            if nic.link.is_some() {
+                return Err(NetworkError::PortInUse(*dev, *port));
+            }
+            nic.link = Some(id);
+        }
+        let link = Link {
+            id,
+            endpoints: endpoints
+                .iter()
+                .map(|(d, p)| Endpoint {
+                    device: *d,
+                    port: *p,
+                })
+                .collect(),
+            properties,
+        };
+        self.links.push(link);
+        Ok(id)
+    }
+
+    /// Enable or disable a link (models cutting a wire for fault-injection
+    /// tests, or the NM "enabling" a discovered physical pipe).
+    pub fn set_link_enabled(&mut self, id: LinkId, enabled: bool) {
+        if let Some(link) = self.links.get_mut(id.0 as usize) {
+            link.properties.enabled = enabled;
+        }
+    }
+
+    /// The physical adjacency of a device: for every attached port, the set
+    /// of `(neighbour device, neighbour port)` pairs on the same link.  This
+    /// is what each device reports to the NM over the management channel.
+    pub fn physical_neighbors(&self, id: DeviceId) -> Vec<(PortId, DeviceId, PortId)> {
+        let mut out = Vec::new();
+        for link in &self.links {
+            for ep in &link.endpoints {
+                if ep.device == id {
+                    for other in link.other_endpoints(*ep) {
+                        out.push((ep.port, other.device, other.port));
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|(p, d, dp)| (p.0, d.as_u64(), dp.0));
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Traffic injection
+    // ------------------------------------------------------------------
+
+    /// Have `device` originate a UDP datagram and dispatch whatever frames
+    /// result.
+    pub fn send_udp(
+        &mut self,
+        device: DeviceId,
+        dst: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Result<(), NetworkError> {
+        let out = self
+            .device_mut(device)?
+            .originate_udp(dst, src_port, dst_port, payload);
+        self.dispatch(device, out);
+        Ok(())
+    }
+
+    /// Have `device` originate an ICMP echo request.
+    pub fn send_ping(
+        &mut self,
+        device: DeviceId,
+        dst: Ipv4Addr,
+        identifier: u16,
+        sequence: u16,
+    ) -> Result<(), NetworkError> {
+        let out = self.device_mut(device)?.originate_ping(dst, identifier, sequence);
+        self.dispatch(device, out);
+        Ok(())
+    }
+
+    /// Have `device` transmit a raw frame out of `port` (management channel).
+    pub fn send_raw_frame(
+        &mut self,
+        device: DeviceId,
+        port: PortId,
+        frame: &EthernetFrame,
+    ) -> Result<(), NetworkError> {
+        let out = self.device_mut(device)?.originate_frame(port, frame);
+        self.dispatch(device, out);
+        Ok(())
+    }
+
+    /// Dispatch the transmissions a device produced: place each frame on the
+    /// link attached to its egress port and schedule arrival at the far end.
+    pub fn dispatch(&mut self, from: DeviceId, output: EngineOutput) {
+        let now = self.queue.now();
+        for (port, bytes) in output.transmissions {
+            let Some(link_id) = self
+                .devices
+                .get(&from)
+                .and_then(|d| d.port(port))
+                .and_then(|nic| nic.link)
+            else {
+                continue;
+            };
+            let Some(link) = self.links.get(link_id.0 as usize) else {
+                continue;
+            };
+            if !link.properties.enabled {
+                continue;
+            }
+            if self.trace_enabled {
+                self.trace.push(TraceEntry {
+                    time: now,
+                    from_device: from,
+                    from_port: port,
+                    link: link_id,
+                    summary: PacketSummary::parse(&bytes),
+                });
+            }
+            let arrival = now + link.transfer_time(bytes.len());
+            let from_ep = Endpoint { device: from, port };
+            for ep in link.other_endpoints(from_ep) {
+                self.queue.schedule(
+                    arrival,
+                    Event::FrameArrival {
+                        device: ep.device,
+                        port: ep.port,
+                        link: link_id,
+                        frame: bytes.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event loop
+    // ------------------------------------------------------------------
+
+    /// Process events until the queue is empty or `max_events` have been
+    /// handled.  Returns the number of events processed.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> u64 {
+        let mut handled = 0;
+        while handled < max_events {
+            let Some((_, event)) = self.queue.pop() else {
+                break;
+            };
+            self.handle_event(event);
+            handled += 1;
+        }
+        handled
+    }
+
+    /// Process events until simulated time reaches `deadline` or the queue
+    /// empties.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut handled = 0;
+        while let Some((_, event)) = self.queue.pop_before(deadline) {
+            self.handle_event(event);
+            handled += 1;
+        }
+        handled
+    }
+
+    /// Process events for `duration` of simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) -> u64 {
+        let deadline = self.now() + duration;
+        self.run_until(deadline)
+    }
+
+    fn handle_event(&mut self, event: Event) {
+        match event {
+            Event::FrameArrival {
+                device,
+                port,
+                frame,
+                ..
+            } => {
+                self.frames_delivered += 1;
+                let Some(dev) = self.devices.get_mut(&device) else {
+                    return;
+                };
+                let out = dev.handle_frame(port, &frame);
+                self.dispatch(device, out);
+            }
+            Event::Timer { .. } => {
+                // No device timers are used by the current engine; the event
+                // variant exists for extensions (ARP timeouts, periodic
+                // self-tests).
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Trace access
+    // ------------------------------------------------------------------
+
+    /// The packet trace collected so far.
+    pub fn trace(&self) -> &[TraceEntry] {
+        &self.trace
+    }
+
+    /// Clear the packet trace.
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    /// Convenience: the protocol paths (e.g. `ETH/IP/GRE/IP/payload`) of all
+    /// frames transmitted by the named device.
+    pub fn protocol_paths_from(&self, device: DeviceId) -> Vec<String> {
+        self.trace
+            .iter()
+            .filter(|t| t.from_device == device)
+            .map(|t| t.summary.protocol_path())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceRole;
+    use crate::ipv4::Ipv4Cidr;
+    use crate::route::{Route, RouteTarget};
+
+    fn cidr(s: &str) -> Ipv4Cidr {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// Two hosts on one link exchange a UDP datagram (including ARP).
+    #[test]
+    fn two_hosts_exchange_udp() {
+        let mut net = Network::new();
+        let mut h1 = Device::new("h1", DeviceRole::Host, 1);
+        h1.config.assign_address(0, cidr("10.0.0.1/24"));
+        let mut h2 = Device::new("h2", DeviceRole::Host, 1);
+        h2.config.assign_address(0, cidr("10.0.0.2/24"));
+        let h1 = net.add_device(h1);
+        let h2 = net.add_device(h2);
+        net.connect((h1, PortId(0)), (h2, PortId(0)), LinkProperties::lan())
+            .unwrap();
+
+        net.send_udp(h1, ip("10.0.0.2"), 1234, 5678, b"hello").unwrap();
+        net.run_to_quiescence(1000);
+
+        let delivered = net.device_mut(h2).unwrap().take_delivered();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].payload, b"hello");
+        assert_eq!(delivered[0].dst_port, Some(5678));
+        // ARP request + reply + data = at least 3 frames in the trace.
+        assert!(net.trace().len() >= 3);
+        assert!(net.now() > SimTime::ZERO);
+    }
+
+    /// A host pings a router one hop away through a forwarding router.
+    #[test]
+    fn ping_through_a_router() {
+        let mut net = Network::new();
+        let mut h1 = Device::new("h1", DeviceRole::Host, 1);
+        h1.config.assign_address(0, cidr("10.0.1.5/24"));
+        h1.config.rib.add_main(Route {
+            dest: Ipv4Cidr::DEFAULT,
+            target: RouteTarget::Port {
+                port: 0,
+                via: Some(ip("10.0.1.1")),
+            },
+        });
+        let mut r = Device::new("r", DeviceRole::Router, 2);
+        r.config.ip_forwarding = true;
+        r.config.assign_address(0, cidr("10.0.1.1/24"));
+        r.config.assign_address(1, cidr("10.0.2.1/24"));
+        let mut h2 = Device::new("h2", DeviceRole::Host, 1);
+        h2.config.assign_address(0, cidr("10.0.2.5/24"));
+        h2.config.rib.add_main(Route {
+            dest: Ipv4Cidr::DEFAULT,
+            target: RouteTarget::Port {
+                port: 0,
+                via: Some(ip("10.0.2.1")),
+            },
+        });
+        let h1 = net.add_device(h1);
+        let r = net.add_device(r);
+        let h2 = net.add_device(h2);
+        net.connect((h1, PortId(0)), (r, PortId(0)), LinkProperties::lan())
+            .unwrap();
+        net.connect((h2, PortId(0)), (r, PortId(1)), LinkProperties::lan())
+            .unwrap();
+
+        net.send_ping(h1, ip("10.0.2.5"), 99, 1).unwrap();
+        net.run_to_quiescence(1000);
+        let delivered = net.device_mut(h1).unwrap().take_delivered();
+        assert_eq!(delivered.len(), 1, "h1 should receive the echo reply");
+        assert_eq!(delivered[0].proto, crate::ipv4::Ipv4Proto::Icmp);
+    }
+
+    #[test]
+    fn disabled_link_blackholes_traffic() {
+        let mut net = Network::new();
+        let mut h1 = Device::new("h1", DeviceRole::Host, 1);
+        h1.config.assign_address(0, cidr("10.0.0.1/24"));
+        let mut h2 = Device::new("h2", DeviceRole::Host, 1);
+        h2.config.assign_address(0, cidr("10.0.0.2/24"));
+        let h1 = net.add_device(h1);
+        let h2 = net.add_device(h2);
+        let link = net
+            .connect((h1, PortId(0)), (h2, PortId(0)), LinkProperties::lan())
+            .unwrap();
+        net.set_link_enabled(link, false);
+        net.send_udp(h1, ip("10.0.0.2"), 1, 2, b"x").unwrap();
+        net.run_to_quiescence(1000);
+        assert!(net.device_mut(h2).unwrap().take_delivered().is_empty());
+    }
+
+    #[test]
+    fn physical_neighbors_reports_adjacency() {
+        let mut net = Network::new();
+        let a = net.add_device(Device::new("a", DeviceRole::Router, 2));
+        let b = net.add_device(Device::new("b", DeviceRole::Router, 2));
+        let c = net.add_device(Device::new("c", DeviceRole::Router, 2));
+        net.connect((a, PortId(1)), (b, PortId(0)), LinkProperties::lan())
+            .unwrap();
+        net.connect((b, PortId(1)), (c, PortId(0)), LinkProperties::lan())
+            .unwrap();
+        let nbrs = net.physical_neighbors(b);
+        assert_eq!(nbrs.len(), 2);
+        assert!(nbrs.contains(&(PortId(0), a, PortId(1))));
+        assert!(nbrs.contains(&(PortId(1), c, PortId(0))));
+        assert_eq!(net.physical_neighbors(a).len(), 1);
+    }
+
+    #[test]
+    fn connect_errors() {
+        let mut net = Network::new();
+        let a = net.add_device(Device::new("a", DeviceRole::Host, 1));
+        let b = net.add_device(Device::new("b", DeviceRole::Host, 1));
+        assert!(matches!(
+            net.connect((a, PortId(5)), (b, PortId(0)), LinkProperties::lan()),
+            Err(NetworkError::UnknownPort(..))
+        ));
+        net.connect((a, PortId(0)), (b, PortId(0)), LinkProperties::lan())
+            .unwrap();
+        assert!(matches!(
+            net.connect((a, PortId(0)), (b, PortId(0)), LinkProperties::lan()),
+            Err(NetworkError::PortInUse(..))
+        ));
+        assert!(net.device_by_name("a").is_ok());
+        assert!(net.device_by_name("zzz").is_err());
+    }
+}

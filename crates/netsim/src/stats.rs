@@ -1,0 +1,130 @@
+//! Per-device and per-port packet counters.
+//!
+//! The paper's GRE module advertises only "number of received and transmitted
+//! packets on each up and down pipe" as its performance reporting (Table III,
+//! row x); these counters are the substrate for that reporting.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Counters for one port or one logical interface (tunnel).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IfaceCounters {
+    /// Frames/packets received.
+    pub rx_packets: u64,
+    /// Bytes received.
+    pub rx_bytes: u64,
+    /// Frames/packets transmitted.
+    pub tx_packets: u64,
+    /// Bytes transmitted.
+    pub tx_bytes: u64,
+    /// Packets dropped (filter, TTL, no route, bad checksum...).
+    pub drops: u64,
+}
+
+impl IfaceCounters {
+    /// Record a reception.
+    pub fn rx(&mut self, bytes: usize) {
+        self.rx_packets += 1;
+        self.rx_bytes += bytes as u64;
+    }
+
+    /// Record a transmission.
+    pub fn tx(&mut self, bytes: usize) {
+        self.tx_packets += 1;
+        self.tx_bytes += bytes as u64;
+    }
+
+    /// Record a drop.
+    pub fn drop_packet(&mut self) {
+        self.drops += 1;
+    }
+}
+
+/// Why a packet was dropped; used by debugging tests and the CONMan
+/// self-test reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum DropReason {
+    /// No route to the destination.
+    NoRoute,
+    /// TTL expired in transit.
+    TtlExpired,
+    /// A filter rule dropped the packet.
+    Filtered,
+    /// Header failed to parse or checksum failed.
+    Malformed,
+    /// GRE key or sequencing expectation not met.
+    TunnelMismatch,
+    /// No MPLS cross-connect for the incoming label.
+    NoLabel,
+    /// Destination MAC is not ours and the device does not forward at L2.
+    NotForUs,
+    /// Port is down or not attached to a link.
+    PortDown,
+    /// Forwarding is disabled on this device.
+    ForwardingDisabled,
+    /// Frame exceeded the egress MTU.
+    MtuExceeded,
+}
+
+/// Aggregated statistics of one device.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DeviceStats {
+    /// Counters per physical port index.
+    pub ports: BTreeMap<u32, IfaceCounters>,
+    /// Counters per tunnel id.
+    pub tunnels: BTreeMap<u32, IfaceCounters>,
+    /// Packets delivered to a local sink (applications, self-tests).
+    pub local_delivered: u64,
+    /// Packets this device originated.
+    pub originated: u64,
+    /// Packets forwarded through the device.
+    pub forwarded: u64,
+    /// Drop counts by reason.
+    pub drops: BTreeMap<DropReason, u64>,
+}
+
+impl DeviceStats {
+    /// Counters for a port, creating them on first use.
+    pub fn port(&mut self, port: u32) -> &mut IfaceCounters {
+        self.ports.entry(port).or_default()
+    }
+
+    /// Counters for a tunnel, creating them on first use.
+    pub fn tunnel(&mut self, tunnel: u32) -> &mut IfaceCounters {
+        self.tunnels.entry(tunnel).or_default()
+    }
+
+    /// Record a drop with its reason.
+    pub fn record_drop(&mut self, reason: DropReason) {
+        *self.drops.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Total number of drops across all reasons.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = DeviceStats::default();
+        s.port(0).rx(100);
+        s.port(0).rx(200);
+        s.port(1).tx(50);
+        s.tunnel(1).tx(42);
+        s.record_drop(DropReason::NoRoute);
+        s.record_drop(DropReason::NoRoute);
+        s.record_drop(DropReason::Filtered);
+        assert_eq!(s.ports[&0].rx_packets, 2);
+        assert_eq!(s.ports[&0].rx_bytes, 300);
+        assert_eq!(s.ports[&1].tx_packets, 1);
+        assert_eq!(s.tunnels[&1].tx_bytes, 42);
+        assert_eq!(s.drops[&DropReason::NoRoute], 2);
+        assert_eq!(s.total_drops(), 3);
+    }
+}

@@ -1,0 +1,427 @@
+//! Canned topologies used by the experiments, including the paper's Figure 4
+//! VPN testbed (two customer sites connected across a three-router ISP) and
+//! the Figure 2 GRE-tunnel setup, plus parameterised chains for the scaling
+//! benchmarks (Table VI sweeps `n`, the number of routers along the path).
+
+use crate::config::{BridgeConfig, SwitchPortMode};
+use crate::device::{Device, DeviceId, DeviceRole, PortId};
+use crate::ipv4::Ipv4Cidr;
+use crate::link::LinkProperties;
+use crate::network::Network;
+use crate::route::{Route, RouteTarget};
+use crate::vlan::VlanId;
+use std::net::Ipv4Addr;
+
+fn cidr(s: &str) -> Ipv4Cidr {
+    s.parse().expect("valid CIDR literal")
+}
+
+fn ip(s: &str) -> Ipv4Addr {
+    s.parse().expect("valid IPv4 literal")
+}
+
+/// A layer-2 switch whose ports all start in VLAN 1 access mode (an
+/// unconfigured switch that floods everything, like a fresh device).
+pub fn basic_switch(name: &str, num_ports: u32) -> Device {
+    let mut d = Device::new(name, DeviceRole::Switch, num_ports);
+    let mut bridge = BridgeConfig::default();
+    bridge.declare_vlan(VlanId::new(1).unwrap(), "default", 1504);
+    for p in 0..num_ports {
+        bridge.set_port(p, SwitchPortMode::Access(VlanId::new(1).unwrap()));
+    }
+    d.config.bridge = Some(bridge);
+    d
+}
+
+/// The ISP chain topology of Section III-C generalised to `n` core routers.
+///
+/// ```text
+/// host1 -- D -- R1 -- R2 -- ... -- Rn -- E -- host2
+///          (customer 1, site 1)          (customer 1, site 2)
+/// ```
+///
+/// `n = 3` reproduces Figure 4 exactly (R1 = RouterA, R2 = RouterB,
+/// R3 = RouterC).  The ISP routers have forwarding enabled and connected
+/// routes only: the VPN path itself (tunnels, LSPs, customer routes) is what
+/// the NM or the legacy scripts configure.
+#[derive(Debug)]
+pub struct ChainTopology {
+    /// The network.
+    pub net: Network,
+    /// Host in customer site 1 (10.0.1.5).
+    pub host1: DeviceId,
+    /// Customer router at site 1 (Router D in the paper).
+    pub customer1: DeviceId,
+    /// ISP core routers in path order (Routers A, B, C for n = 3).
+    pub core: Vec<DeviceId>,
+    /// Customer router at site 2 (Router E in the paper).
+    pub customer2: DeviceId,
+    /// Host in customer site 2 (10.0.2.5).
+    pub host2: DeviceId,
+    /// The ISP-internal address of each core router on the link towards the
+    /// *next* core router (used by configuration generators).
+    pub core_link_addresses: Vec<(Ipv4Addr, Ipv4Addr)>,
+}
+
+impl ChainTopology {
+    /// Address of the first core router on its customer-facing port.
+    pub fn ingress_customer_facing(&self) -> Ipv4Addr {
+        ip("192.168.0.2")
+    }
+
+    /// Address of the last core router on its customer-facing port.
+    pub fn egress_customer_facing(&self) -> Ipv4Addr {
+        ip("192.168.2.2")
+    }
+
+    /// The "tunnel endpoint" addresses the paper uses: the ingress router's
+    /// address on its first core link and the egress router's address on its
+    /// last core link.
+    pub fn tunnel_endpoints(&self) -> (Ipv4Addr, Ipv4Addr) {
+        let ingress = self.core_link_addresses.first().expect("at least one core link").0;
+        let egress = self.core_link_addresses.last().expect("at least one core link").1;
+        (ingress, egress)
+    }
+}
+
+/// Build the ISP chain with `n >= 2` core routers.  Core routers are named
+/// `RouterA`, `RouterB`, ... (wrapping to `Router<k>` beyond 26).
+pub fn isp_chain(n: usize) -> ChainTopology {
+    assert!(n >= 2, "the chain needs at least two core routers");
+    let mut net = Network::new();
+
+    // Customer site 1.
+    let mut host1 = Device::new("Host1", DeviceRole::Host, 1);
+    host1.config.assign_address(0, cidr("10.0.1.5/24"));
+    host1.config.rib.add_main(Route {
+        dest: Ipv4Cidr::DEFAULT,
+        target: RouteTarget::Port {
+            port: 0,
+            via: Some(ip("10.0.1.1")),
+        },
+    });
+    let host1 = net.add_device(host1);
+
+    let mut d = Device::new("CustomerRouterD", DeviceRole::Router, 2);
+    d.config.ip_forwarding = true;
+    d.config.assign_address(0, cidr("10.0.1.1/24")); // site 1 LAN
+    d.config.assign_address(1, cidr("192.168.0.1/24")); // uplink to ingress
+    d.config.rib.add_main(Route {
+        dest: Ipv4Cidr::DEFAULT,
+        target: RouteTarget::Port {
+            port: 1,
+            via: Some(ip("192.168.0.2")),
+        },
+    });
+    let customer1 = net.add_device(d);
+
+    // Core routers.  Port plan: port 0 = customer-facing (edges only),
+    // port 1 = towards the previous core router, port 2 = towards the next.
+    let mut core = Vec::new();
+    let mut core_link_addresses = Vec::new();
+    for i in 0..n {
+        let name = if i < 26 {
+            format!("Router{}", (b'A' + i as u8) as char)
+        } else {
+            format!("Router{}", i)
+        };
+        let mut r = Device::new(&name, DeviceRole::Router, 3);
+        r.config.ip_forwarding = true;
+        if i == 0 {
+            r.config.assign_address(0, cidr("192.168.0.2/24"));
+        }
+        if i == n - 1 {
+            r.config.assign_address(0, cidr("192.168.2.2/24"));
+        }
+        core.push(net.add_device(r));
+    }
+
+    // Core links: subnet 204.9.(168+i).0/24 between core[i] and core[i+1].
+    // Octets are chosen so that n = 3 reproduces the paper's addresses:
+    // RouterA = 204.9.168.1, RouterB = 204.9.168.2 / 204.9.169.2,
+    // RouterC = 204.9.169.1.
+    for i in 0..n - 1 {
+        let third = 168 + i as u32;
+        let (left_host, right_host) = if n - 1 >= 2 && i == n - 2 {
+            (2u32, 1u32)
+        } else {
+            (1u32, 2u32)
+        };
+        let left_addr = Ipv4Addr::from((204u32 << 24) | (9 << 16) | (third << 8) | left_host);
+        let right_addr = Ipv4Addr::from((204u32 << 24) | (9 << 16) | (third << 8) | right_host);
+        {
+            let dev = net.device_mut(core[i]).unwrap();
+            dev.config.assign_address(2, Ipv4Cidr::new(left_addr, 24));
+        }
+        {
+            let dev = net.device_mut(core[i + 1]).unwrap();
+            dev.config.assign_address(1, Ipv4Cidr::new(right_addr, 24));
+        }
+        net.connect(
+            (core[i], PortId(2)),
+            (core[i + 1], PortId(1)),
+            LinkProperties::wan(),
+        )
+        .unwrap();
+        core_link_addresses.push((left_addr, right_addr));
+    }
+
+    // Customer site 2.
+    let mut e = Device::new("CustomerRouterE", DeviceRole::Router, 2);
+    e.config.ip_forwarding = true;
+    e.config.assign_address(0, cidr("10.0.2.1/24"));
+    e.config.assign_address(1, cidr("192.168.2.1/24"));
+    e.config.rib.add_main(Route {
+        dest: Ipv4Cidr::DEFAULT,
+        target: RouteTarget::Port {
+            port: 1,
+            via: Some(ip("192.168.2.2")),
+        },
+    });
+    let customer2 = net.add_device(e);
+
+    let mut host2 = Device::new("Host2", DeviceRole::Host, 1);
+    host2.config.assign_address(0, cidr("10.0.2.5/24"));
+    host2.config.rib.add_main(Route {
+        dest: Ipv4Cidr::DEFAULT,
+        target: RouteTarget::Port {
+            port: 0,
+            via: Some(ip("10.0.2.1")),
+        },
+    });
+    let host2 = net.add_device(host2);
+
+    // Edge links.
+    net.connect((host1, PortId(0)), (customer1, PortId(0)), LinkProperties::lan())
+        .unwrap();
+    net.connect((customer1, PortId(1)), (core[0], PortId(0)), LinkProperties::lan())
+        .unwrap();
+    net.connect((core[n - 1], PortId(0)), (customer2, PortId(1)), LinkProperties::lan())
+        .unwrap();
+    net.connect((customer2, PortId(0)), (host2, PortId(0)), LinkProperties::lan())
+        .unwrap();
+
+    ChainTopology {
+        net,
+        host1,
+        customer1,
+        core,
+        customer2,
+        host2,
+        core_link_addresses,
+    }
+}
+
+/// The exact Figure 4 testbed: three ISP routers A, B, C plus the customer
+/// routers D (site 1) and E (site 2) and one host per site.
+pub fn figure4() -> ChainTopology {
+    isp_chain(3)
+}
+
+/// The Figure 2 GRE-tunnel testbed: two end devices A and B, a layer-2
+/// switch C between A and the router D.
+///
+/// ```text
+/// A ---- C (layer-2 switch) ---- D (router) ---- B
+/// ```
+#[derive(Debug)]
+pub struct Figure2Testbed {
+    /// The network.
+    pub net: Network,
+    /// End device A (204.9.168.1).
+    pub a: DeviceId,
+    /// End device B (204.9.169.1).
+    pub b: DeviceId,
+    /// The layer-2 switch C.
+    pub c: DeviceId,
+    /// The router D (204.9.168.2 / 204.9.169.2).
+    pub d: DeviceId,
+}
+
+/// Build the Figure 2 testbed.
+pub fn figure2() -> Figure2Testbed {
+    let mut net = Network::new();
+
+    let mut a = Device::new("DeviceA", DeviceRole::Host, 1);
+    a.config.assign_address(0, cidr("204.9.168.1/24"));
+    a.config.rib.add_main(Route {
+        dest: Ipv4Cidr::DEFAULT,
+        target: RouteTarget::Port {
+            port: 0,
+            via: Some(ip("204.9.168.2")),
+        },
+    });
+    let a = net.add_device(a);
+
+    let c = net.add_device(basic_switch("DeviceC", 2));
+
+    let mut d = Device::new("DeviceD", DeviceRole::Router, 2);
+    d.config.ip_forwarding = true;
+    d.config.assign_address(0, cidr("204.9.168.2/24"));
+    d.config.assign_address(1, cidr("204.9.169.2/24"));
+    let d = net.add_device(d);
+
+    let mut b = Device::new("DeviceB", DeviceRole::Host, 1);
+    b.config.assign_address(0, cidr("204.9.169.1/24"));
+    b.config.rib.add_main(Route {
+        dest: Ipv4Cidr::DEFAULT,
+        target: RouteTarget::Port {
+            port: 0,
+            via: Some(ip("204.9.169.2")),
+        },
+    });
+    let b = net.add_device(b);
+
+    net.connect((a, PortId(0)), (c, PortId(0)), LinkProperties::lan())
+        .unwrap();
+    net.connect((c, PortId(1)), (d, PortId(0)), LinkProperties::lan())
+        .unwrap();
+    net.connect((d, PortId(1)), (b, PortId(0)), LinkProperties::lan())
+        .unwrap();
+
+    Figure2Testbed { net, a, b, c, d }
+}
+
+/// The Figure 9 layer-2 VPN testbed: a chain of provider switches carrying a
+/// customer VLAN tunnel between two customer routers on the same subnet.
+#[derive(Debug)]
+pub struct VlanChain {
+    /// The network.
+    pub net: Network,
+    /// Customer router at site 1 (10.0.0.1/24).
+    pub customer1: DeviceId,
+    /// Provider switches in path order (SwitchA, SwitchB, SwitchC for n = 3).
+    pub switches: Vec<DeviceId>,
+    /// Customer router at site 2 (10.0.0.2/24).
+    pub customer2: DeviceId,
+}
+
+/// Build a chain of `n >= 2` provider switches with a customer router at
+/// each end.  Switch port plan: port 0 = customer-facing (edges only),
+/// port 1 = previous switch, port 2 = next switch.  The switches start
+/// unconfigured (all ports in access VLAN 1): the VLAN-tunnel configuration
+/// is what the experiments apply.
+pub fn vlan_chain(n: usize) -> VlanChain {
+    assert!(n >= 2, "the chain needs at least two switches");
+    let mut net = Network::new();
+
+    let mut d = Device::new("CustomerD", DeviceRole::Host, 1);
+    d.config.assign_address(0, cidr("10.0.0.1/24"));
+    let customer1 = net.add_device(d);
+
+    let mut switches = Vec::new();
+    for i in 0..n {
+        let name = if i < 26 {
+            format!("Switch{}", (b'A' + i as u8) as char)
+        } else {
+            format!("Switch{}", i)
+        };
+        switches.push(net.add_device(basic_switch(&name, 3)));
+    }
+
+    let mut e = Device::new("CustomerE", DeviceRole::Host, 1);
+    e.config.assign_address(0, cidr("10.0.0.2/24"));
+    let customer2 = net.add_device(e);
+
+    net.connect((customer1, PortId(0)), (switches[0], PortId(0)), LinkProperties::lan())
+        .unwrap();
+    for i in 0..n - 1 {
+        net.connect(
+            (switches[i], PortId(2)),
+            (switches[i + 1], PortId(1)),
+            LinkProperties::lan(),
+        )
+        .unwrap();
+    }
+    net.connect(
+        (switches[n - 1], PortId(0)),
+        (customer2, PortId(0)),
+        LinkProperties::lan(),
+    )
+    .unwrap();
+
+    VlanChain {
+        net,
+        customer1,
+        switches,
+        customer2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_has_expected_devices_and_addresses() {
+        let t = figure4();
+        assert_eq!(t.core.len(), 3);
+        let a = t.net.device(t.core[0]).unwrap();
+        assert_eq!(a.name, "RouterA");
+        assert!(a.config.is_local_address(ip("204.9.168.1")));
+        assert!(a.config.is_local_address(ip("192.168.0.2")));
+        let b = t.net.device(t.core[1]).unwrap();
+        assert!(b.config.is_local_address(ip("204.9.168.2")));
+        assert!(b.config.is_local_address(ip("204.9.169.2")));
+        let c = t.net.device(t.core[2]).unwrap();
+        assert!(c.config.is_local_address(ip("204.9.169.1")));
+        assert_eq!(t.tunnel_endpoints(), (ip("204.9.168.1"), ip("204.9.169.1")));
+        // 7 devices, 6 links.
+        assert_eq!(t.net.device_ids().len(), 7);
+        assert_eq!(t.net.links().len(), 6);
+    }
+
+    #[test]
+    fn figure4_without_vpn_cannot_carry_customer_traffic() {
+        // Before any VPN configuration the ISP does not know the customer
+        // prefixes, so site-1 traffic to site 2 is dropped at the ingress.
+        let mut t = figure4();
+        t.net
+            .send_udp(t.host1, ip("10.0.2.5"), 1000, 2000, b"before-vpn")
+            .unwrap();
+        t.net.run_to_quiescence(10_000);
+        let delivered = t.net.device_mut(t.host2).unwrap().take_delivered();
+        assert!(delivered.is_empty());
+    }
+
+    #[test]
+    fn figure2_hosts_reach_the_router_but_not_each_other_without_tunnel_routes() {
+        let mut t = figure2();
+        // A can ping its gateway D across the switch.
+        t.net.send_ping(t.a, ip("204.9.168.2"), 7, 1).unwrap();
+        t.net.run_to_quiescence(10_000);
+        let got = t.net.device_mut(t.a).unwrap().take_delivered();
+        assert_eq!(got.len(), 1, "A should receive an echo reply from D");
+        // And A can even reach B directly because D forwards between its
+        // connected subnets — the tunnel the NM builds later adds ordering,
+        // keys and isolation on top of this raw reachability.
+        t.net.send_ping(t.a, ip("204.9.169.1"), 7, 2).unwrap();
+        t.net.run_to_quiescence(10_000);
+        let got = t.net.device_mut(t.a).unwrap().take_delivered();
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn isp_chain_scales() {
+        for n in [2usize, 4, 8] {
+            let t = isp_chain(n);
+            assert_eq!(t.core.len(), n);
+            assert_eq!(t.core_link_addresses.len(), n - 1);
+            assert_eq!(t.net.device_ids().len(), n + 4);
+        }
+    }
+
+    #[test]
+    fn vlan_chain_floods_untagged_frames_by_default() {
+        // With all ports in the default VLAN the two customers can already
+        // exchange frames (no isolation!) — the VLAN tunnel configuration is
+        // about isolating customer traffic, which the VPN tests verify.
+        let mut t = vlan_chain(3);
+        t.net
+            .send_udp(t.customer1, ip("10.0.0.2"), 5, 6, b"flooded")
+            .unwrap();
+        t.net.run_to_quiescence(10_000);
+        let delivered = t.net.device_mut(t.customer2).unwrap().take_delivered();
+        assert_eq!(delivered.len(), 1);
+    }
+}

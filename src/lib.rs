@@ -1,0 +1,27 @@
+//! # conman — umbrella crate for the CONMan reproduction
+//!
+//! Re-exports the workspace crates so examples, integration tests and
+//! downstream users can depend on a single crate:
+//!
+//! * [`netsim`] — the deterministic packet-level network simulator
+//!   (the data-plane substrate standing in for the paper's Linux testbed),
+//! * [`mgmt_channel`] — the out-of-band and in-band management channels,
+//! * [`core`] (`conman-core`) — module abstraction, primitives, management
+//!   agents and the Network Manager,
+//! * [`modules`] (`conman-modules`) — the ETH / IP / GRE / MPLS / VLAN
+//!   protocol modules and the managed testbeds,
+//! * [`legacy`] (`legacy-config`) — the "today" configuration baseline and
+//!   the Table V classifier.
+//!
+//! See `examples/quickstart.rs` for a end-to-end tour: build the Figure 4
+//! testbed, let the NM discover it, map the VPN goal to module paths and
+//! configure the chosen one, then verify customer traffic actually flows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use conman_core as core;
+pub use conman_modules as modules;
+pub use legacy_config as legacy;
+pub use mgmt_channel;
+pub use netsim;

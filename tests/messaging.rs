@@ -1,0 +1,112 @@
+//! Reproduction of Table VI: management messages sent and received by the NM
+//! while configuring the VPN over GRE, MPLS and VLAN paths, as a function of
+//! the number of routers along the path (n).
+//!
+//! Paper expressions:  GRE  sent 3n+2, received 2n+2
+//!                     MPLS sent 3n-2, received 2n-1
+//!                     VLAN sent 3n-2, received 2n-1
+//!
+//! Sent counts commands plus relayed module-to-module messages; received
+//! counts relayed messages plus module notifications (script results /
+//! responses are excluded, as in the paper).
+
+use conman_modules::{managed_chain, managed_vlan_chain};
+use mgmt_channel::MessageCategory;
+
+fn nm_config_counts<C: mgmt_channel::ManagementChannel>(
+    mn: &conman_core::runtime::ManagedNetwork<C>,
+) -> (u64, u64) {
+    let c = mn.nm_counters();
+    let sent = [
+        MessageCategory::Command,
+        MessageCategory::ConveyMessage,
+        MessageCategory::FieldQuery,
+    ]
+    .iter()
+    .map(|k| c.sent_by_category.get(k).copied().unwrap_or(0))
+    .sum();
+    let received = [
+        MessageCategory::ConveyMessage,
+        MessageCategory::FieldQuery,
+        MessageCategory::Notification,
+    ]
+    .iter()
+    .map(|k| c.received_by_category.get(k).copied().unwrap_or(0))
+    .sum();
+    (sent, received)
+}
+
+fn run_l3(n: usize, label: &str) -> (u64, u64) {
+    let mut t = managed_chain(n);
+    t.discover();
+    let goal = t.vpn_goal();
+    let paths = t.mn.nm.find_paths(&goal);
+    let path = paths
+        .iter()
+        .find(|p| p.technology_label() == label)
+        .unwrap_or_else(|| panic!("{label} path exists for n={n}"))
+        .clone();
+    // Count only the configuration phase, as the paper does.
+    t.mn.reset_counters();
+    t.mn.execute_path(&path, &goal);
+    nm_config_counts(&t.mn)
+}
+
+fn run_vlan(n: usize) -> (u64, u64) {
+    let mut t = managed_vlan_chain(n);
+    t.discover();
+    let goal = t.vlan_goal();
+    let paths = t.mn.nm.find_paths(&goal);
+    let path = paths.first().expect("VLAN path exists").clone();
+    t.mn.reset_counters();
+    t.mn.execute_path(&path, &goal);
+    nm_config_counts(&t.mn)
+}
+
+#[test]
+fn table6_gre_matches_the_papers_expressions() {
+    for n in [3usize, 4, 6] {
+        let (sent, received) = run_l3(n, "GRE-IP");
+        assert_eq!(sent, (3 * n + 2) as u64, "GRE sent for n={n}");
+        assert_eq!(received, (2 * n + 2) as u64, "GRE received for n={n}");
+    }
+}
+
+#[test]
+fn table6_mpls_matches_the_papers_expressions() {
+    for n in [3usize, 4, 6] {
+        let (sent, received) = run_l3(n, "MPLS");
+        assert_eq!(sent, (3 * n - 2) as u64, "MPLS sent for n={n}");
+        assert_eq!(received, (2 * n - 1) as u64, "MPLS received for n={n}");
+    }
+}
+
+#[test]
+fn table6_vlan_matches_the_papers_expressions() {
+    for n in [3usize, 4, 6] {
+        let (sent, received) = run_vlan(n);
+        assert_eq!(sent, (3 * n - 2) as u64, "VLAN sent for n={n}");
+        assert_eq!(received, (2 * n - 1) as u64, "VLAN received for n={n}");
+    }
+}
+
+#[test]
+fn larger_chains_still_carry_traffic_after_configuration() {
+    // The scaling sweep is only meaningful if the configured path actually
+    // works for larger n as well.
+    for n in [4usize, 6] {
+        let mut t = managed_chain(n);
+        t.discover();
+        let goal = t.vpn_goal();
+        let paths = t.mn.nm.find_paths(&goal);
+        let path = paths
+            .iter()
+            .find(|p| p.technology_label() == "GRE-IP")
+            .unwrap()
+            .clone();
+        t.mn.execute_path(&path, &goal);
+        let (fwd, _) = t.send_site1_to_site2(b"scaled");
+        let (rev, _) = t.send_site2_to_site1(b"scaled-back");
+        assert!(fwd && rev, "GRE VPN works across {n} routers");
+    }
+}

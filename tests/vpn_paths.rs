@@ -1,0 +1,52 @@
+//! Reproduction of §III-C.1: on the Figure 4 testbed the NM's path finder
+//! was expected to produce 3 paths (IP-IP, GRE-IP, MPLS) but enumerated 9
+//! (the extra six being combinations over MPLS segments).
+
+use conman_modules::managed_chain;
+
+#[test]
+fn figure4_pathfinder_enumerates_exactly_nine_paths() {
+    let mut t = managed_chain(3);
+    t.discover();
+    assert_eq!(t.mn.nm.device_count(), 3, "routers A, B, C announce");
+
+    let goal = t.vpn_goal();
+    let paths = t.mn.nm.find_paths(&goal);
+    let mut labels: Vec<String> = paths.iter().map(|p| p.technology_label()).collect();
+    labels.sort();
+    assert_eq!(
+        paths.len(),
+        9,
+        "the paper's NM generated nine paths, got: {labels:?}"
+    );
+
+    // The three "expected" paths...
+    assert!(labels.contains(&"IP-IP".to_string()));
+    assert!(labels.contains(&"GRE-IP".to_string()));
+    assert!(labels.contains(&"MPLS".to_string()));
+    // ...and the six extra combinations over MPLS (full-path or one segment).
+    assert_eq!(
+        labels.iter().filter(|l| l.contains("over MPLS")).count(),
+        6,
+        "six additional MPLS-underlay combinations"
+    );
+    assert_eq!(labels.iter().filter(|l| *l == "IP-IP over MPLS").count(), 3);
+    assert_eq!(labels.iter().filter(|l| *l == "GRE-IP over MPLS").count(), 3);
+}
+
+#[test]
+fn nm_prefers_the_mpls_path() {
+    let mut t = managed_chain(3);
+    t.discover();
+    let goal = t.vpn_goal();
+    let paths = t.mn.nm.find_paths(&goal);
+    let chosen = t.mn.nm.choose_path(&paths).expect("a path is chosen");
+    // §III-C.1: the MPLS-based path and the IP-IP tunnel instantiate the
+    // fewest pipes; the NM prefers MPLS because of its forwarding-bandwidth
+    // advertisement.
+    assert_eq!(chosen.technology_label(), "MPLS");
+    let ipip = paths.iter().find(|p| p.technology_label() == "IP-IP").unwrap();
+    assert_eq!(chosen.pipe_count(), ipip.pipe_count());
+    let gre = paths.iter().find(|p| p.technology_label() == "GRE-IP").unwrap();
+    assert!(gre.pipe_count() > chosen.pipe_count());
+}
