@@ -9,7 +9,9 @@ use std::time::Duration;
 
 fn bench_abstraction(c: &mut Criterion) {
     let mut group = c.benchmark_group("abstraction");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("announce_and_discover_figure4", |b| {
         b.iter(|| {
@@ -20,13 +22,12 @@ fn bench_abstraction(c: &mut Criterion) {
     });
 
     let t = discovered_chain(3);
-    let abstractions: Vec<_> = t
-        .mn
-        .nm
-        .abstractions
-        .values()
-        .flat_map(|v| v.iter().cloned())
-        .collect();
+    let abstractions: Vec<_> =
+        t.mn.nm
+            .abstractions
+            .values()
+            .flat_map(|v| v.iter().cloned())
+            .collect();
     group.bench_function("serialize_all_abstractions", |b| {
         b.iter(|| serde_json::to_vec(&abstractions).unwrap().len())
     });

@@ -2,7 +2,9 @@
 //! delivery vs the self-bootstrapping in-band flooding channel (§III-A).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use mgmt_channel::{InBandChannel, ManagementChannel, MessageCategory, MgmtMessage, OutOfBandChannel};
+use mgmt_channel::{
+    InBandChannel, ManagementChannel, MessageCategory, MgmtMessage, OutOfBandChannel,
+};
 use netsim::device::{Device, DeviceRole, PortId};
 use netsim::link::LinkProperties;
 use netsim::network::Network;
@@ -15,15 +17,21 @@ fn line_network(n: usize) -> (Network, Vec<netsim::device::DeviceId>) {
         .map(|i| net.add_device(Device::new(format!("d{i}"), DeviceRole::Router, 2)))
         .collect();
     for i in 0..n - 1 {
-        net.connect((ids[i], PortId(0)), (ids[i + 1], PortId(1)), LinkProperties::lan())
-            .unwrap();
+        net.connect(
+            (ids[i], PortId(0)),
+            (ids[i + 1], PortId(1)),
+            LinkProperties::lan(),
+        )
+        .unwrap();
     }
     (net, ids)
 }
 
 fn bench_channels(c: &mut Criterion) {
     let mut group = c.benchmark_group("mgmt_channel");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("out_of_band_roundtrip", |b| {
         let (mut net, ids) = line_network(8);

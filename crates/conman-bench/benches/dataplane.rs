@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_dataplane(c: &mut Criterion) {
     let mut group = c.benchmark_group("dataplane");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let mut t = discovered_chain(3);
     let goal = t.vpn_goal();
@@ -24,7 +26,13 @@ fn bench_dataplane(c: &mut Criterion) {
         b.iter(|| {
             for i in 0..BATCH {
                 t.mn.net
-                    .send_udp(t.host1, "10.0.2.5".parse().unwrap(), 40000, 7000, &i.to_be_bytes())
+                    .send_udp(
+                        t.host1,
+                        "10.0.2.5".parse().unwrap(),
+                        40000,
+                        7000,
+                        &i.to_be_bytes(),
+                    )
                     .unwrap();
             }
             t.mn.net.run_to_quiescence(1_000_000);

@@ -1,0 +1,45 @@
+//! Benchmark: the diagnosis closed loop — time to detect, localise and
+//! repair an injected fault (wall-clock), across chain sizes.
+
+use conman_bench::{closed_loop_run, DiagnosisScenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_diagnosis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diagnosis");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    for n in [4usize, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("closed_loop_routing_loss", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let r = closed_loop_run(n, DiagnosisScenario::MidRouterRoutingLoss);
+                    assert!(r.heal.healed());
+                    r.repair_wall_us
+                })
+            },
+        );
+    }
+    group.bench_function("closed_loop_gre_key_corruption_3", |b| {
+        b.iter(|| {
+            let r = closed_loop_run(3, DiagnosisScenario::EgressGreKeyCorruption);
+            assert!(r.heal.healed());
+            r.repair_wall_us
+        })
+    });
+    group.bench_function("closed_loop_link_cut_localisation_3", |b| {
+        b.iter(|| {
+            let r = closed_loop_run(3, DiagnosisScenario::CoreLinkCut);
+            assert!(!r.report.healthy);
+            r.detect_wall_us
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diagnosis);
+criterion_main!(benches);

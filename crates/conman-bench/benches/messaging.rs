@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_configuration(c: &mut Criterion) {
     let mut group = c.benchmark_group("configuration");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [3usize, 6] {
         group.bench_with_input(BenchmarkId::new("gre_vpn", n), &n, |b, &n| {
             b.iter(|| configure_and_count(n, "GRE-IP"))

@@ -7,7 +7,9 @@ use std::time::Duration;
 
 fn bench_pathfinder(c: &mut Criterion) {
     let mut group = c.benchmark_group("pathfinder");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     for n in [3usize, 5, 8] {
         let t = discovered_chain(n);
         let goal = t.vpn_goal();

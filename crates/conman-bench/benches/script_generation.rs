@@ -8,7 +8,9 @@ use std::time::Duration;
 
 fn bench_scripts(c: &mut Criterion) {
     let mut group = c.benchmark_group("scripts");
-    group.sample_size(30).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
     let t = discovered_chain(3);
     let goal = t.vpn_goal();
     let paths = t.mn.nm.find_paths(&goal);
@@ -20,7 +22,9 @@ fn bench_scripts(c: &mut Criterion) {
     group.bench_function("generate_mpls_scripts", |b| {
         b.iter(|| t.mn.nm.generate_scripts(&mpls, &goal).primitive_count())
     });
-    let rendered = t.mn.nm.generate_scripts(&gre, &goal).scripts[0].rendered.clone();
+    let rendered = t.mn.nm.generate_scripts(&gre, &goal).scripts[0]
+        .rendered
+        .clone();
     group.bench_function("classify_conman_script", |b| {
         b.iter(|| classify_conman_script(&rendered).counts())
     });

@@ -6,9 +6,14 @@
 //! cargo run -p conman-bench --bin experiments table5     # one artefact
 //! ```
 
-use conman_bench::{configure_and_count, configure_vlan_and_count, discovered_chain, discovered_vlan_chain, path_labelled};
+use conman_bench::{
+    closed_loop_run, configure_and_count, configure_vlan_and_count, discovered_chain,
+    discovered_vlan_chain, path_labelled, DiagnosisScenario,
+};
 use conman_core::ids::ModuleKind;
-use legacy_config::{classify_conman_script, gre_script_today, mpls_script_today, vlan_script_today, GreVpnParams};
+use legacy_config::{
+    classify_conman_script, gre_script_today, mpls_script_today, vlan_script_today, GreVpnParams,
+};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -34,6 +39,9 @@ fn main() {
     if all || which == "table6" {
         table6();
     }
+    if all || which == "diagnosis" {
+        diagnosis();
+    }
 }
 
 fn heading(s: &str) {
@@ -48,8 +56,16 @@ fn table1() {
         ("showPotential", "NM", "MA of device"),
         ("showActual", "NM", "MA of device"),
         ("create / delete", "NM", "MA of device"),
-        ("conveyMessage", "Module (source)", "Module (destination), relayed via NM"),
-        ("listFieldsAndValues", "Module (inspecting)", "Module (target), relayed via NM"),
+        (
+            "conveyMessage",
+            "Module (source)",
+            "Module (destination), relayed via NM",
+        ),
+        (
+            "listFieldsAndValues",
+            "Module (inspecting)",
+            "Module (target), relayed via NM",
+        ),
     ] {
         println!("{name:22} {caller:22} {callee}");
     }
@@ -59,11 +75,10 @@ fn table2_and_3() {
     heading("Table II / Table III — module abstraction; GRE module as advertised by showPotential");
     let t = discovered_chain(3);
     let a_id = t.core[0];
-    let gre = t
-        .mn
-        .nm
-        .find_module(a_id, &ModuleKind::Gre)
-        .expect("GRE module on router A");
+    let gre =
+        t.mn.nm
+            .find_module(a_id, &ModuleKind::Gre)
+            .expect("GRE module on router A");
     let abs = t.mn.nm.abstraction_of(&gre).expect("abstraction recorded");
     for (k, v) in abs.as_table() {
         println!("{k:20} {v}");
@@ -85,10 +100,27 @@ fn table4_figure4_figure5() {
         println!(
             "  {:28} Up: {:18} Down: {:26} Phy: {:8} Switching: {}",
             m.name.to_string(),
-            m.up_connectable.iter().map(|k| k.name()).collect::<Vec<_>>().join(","),
-            m.down_connectable.iter().map(|k| k.name()).collect::<Vec<_>>().join(","),
-            if m.physical_pipes.is_empty() { "None".into() } else { format!("port{}", m.physical_pipes[0].port.0) },
-            m.switch.kinds.iter().map(|k| k.notation()).collect::<Vec<_>>().join(",")
+            m.up_connectable
+                .iter()
+                .map(|k| k.name())
+                .collect::<Vec<_>>()
+                .join(","),
+            m.down_connectable
+                .iter()
+                .map(|k| k.name())
+                .collect::<Vec<_>>()
+                .join(","),
+            if m.physical_pipes.is_empty() {
+                "None".into()
+            } else {
+                format!("port{}", m.physical_pipes[0].port.0)
+            },
+            m.switch
+                .kinds
+                .iter()
+                .map(|k| k.notation())
+                .collect::<Vec<_>>()
+                .join(",")
         );
     }
     println!("\nFigure 5 — potential-connectivity sub-graph of device A:");
@@ -112,13 +144,20 @@ fn figure6_paths() {
             p.pipe_count(),
             p.steps
                 .iter()
-                .map(|s| format!("{}:{}", s.module.kind, t.mn.nm.device_alias(s.module.device)))
+                .map(|s| format!(
+                    "{}:{}",
+                    s.module.kind,
+                    t.mn.nm.device_alias(s.module.device)
+                ))
                 .collect::<Vec<_>>()
                 .join(" -> ")
         );
     }
     let chosen = t.mn.nm.choose_path(&paths).unwrap();
-    println!("NM's choice (fewest pipes, fast forwarding preferred): {}", chosen.technology_label());
+    println!(
+        "NM's choice (fewest pipes, fast forwarding preferred): {}",
+        chosen.technology_label()
+    );
 }
 
 fn figure2_3() {
@@ -163,11 +202,14 @@ fn figures7_8_9_table5() {
     let mut rows = Vec::new();
 
     // GRE.
-    let mut t = discovered_chain(3);
+    let t = discovered_chain(3);
     let goal = t.vpn_goal();
     let paths = t.mn.nm.find_paths(&goal);
     for (label, today) in [
-        ("GRE-IP", gre_script_today(&GreVpnParams::figure7_router_a())),
+        (
+            "GRE-IP",
+            gre_script_today(&GreVpnParams::figure7_router_a()),
+        ),
         ("MPLS", mpls_script_today()),
     ] {
         let path = path_labelled(&paths, label);
@@ -175,7 +217,10 @@ fn figures7_8_9_table5() {
         let router_a = &scripts.scripts[0];
         println!("\n--- {} : configuration today (router A) ---", label);
         println!("{}", today.text());
-        println!("--- {} : CONMan configuration (router A, generated by the NM) ---", label);
+        println!(
+            "--- {} : CONMan configuration (router A, generated by the NM) ---",
+            label
+        );
         for l in &router_a.rendered {
             println!("{l}");
         }
@@ -184,7 +229,7 @@ fn figures7_8_9_table5() {
     }
 
     // VLAN.
-    let mut v = discovered_vlan_chain(3);
+    let v = discovered_vlan_chain(3);
     let goal = v.vlan_goal();
     let paths = v.mn.nm.find_paths(&goal);
     let path = paths.first().expect("VLAN path").clone();
@@ -204,7 +249,10 @@ fn figures7_8_9_table5() {
 
     println!("\nTable V — commands and state variables, Today (T) vs CONMan (C):");
     println!("{:22} {:>6} {:>6} {:>6} {:>6}", "", "T", "C", "", "");
-    println!("{:22} {:>6} {:>6}", "scenario", "gen/spec cmds", "gen/spec vars");
+    println!(
+        "{:22} {:>6} {:>6}",
+        "scenario", "gen/spec cmds", "gen/spec vars"
+    );
     for (label, t_counts, c_counts) in rows {
         println!(
             "{label:10} today : {:>2} generic cmds, {:>2} specific cmds, {:>2} generic vars, {:>2} specific vars",
@@ -218,9 +266,38 @@ fn figures7_8_9_table5() {
     println!("(paper, Table V: GRE T=1/6/9/11 C=2/0/21/2; MPLS T=1/6/6/8 C=2/0/18/2; VLAN T=3/4/3/5 C=2/0/14/1)");
 }
 
+fn diagnosis() {
+    heading("Diagnosis closed loop — time-to-detect / time-to-repair (conman-diagnose, beyond the paper)");
+    println!("Periodic telemetry every 100ms of simulated time; one watchdog probe per round;");
+    println!("counter-delta localisation along the configured path; repair = teardown + re-plan");
+    println!("excluding suspects + execute + end-to-end verification.\n");
+    // Per-fault scenarios on the Figure 4 chain.
+    for scenario in [
+        DiagnosisScenario::EgressGreKeyCorruption,
+        DiagnosisScenario::CoreLinkCut,
+    ] {
+        println!("{}", closed_loop_run(3, scenario).render());
+    }
+    // The scaling sweep the acceptance criteria ask for: 3, 10, 50 routers.
+    for n in [4usize, 10, 50] {
+        println!(
+            "{}",
+            closed_loop_run(n, DiagnosisScenario::MidRouterRoutingLoss).render()
+        );
+    }
+}
+
 fn table6() {
     heading("Table VI — NM messages sent / received over the management channel vs n routers along the path");
-    println!("{:>4} {:>14} {:>14} {:>14} {:>18} {:>18}", "n", "GRE sent/recv", "paper 3n+2/2n+2", "MPLS sent/recv", "VLAN sent/recv", "paper 3n-2/2n-1");
+    println!(
+        "{:>4} {:>14} {:>14} {:>14} {:>18} {:>18}",
+        "n",
+        "GRE sent/recv",
+        "paper 3n+2/2n+2",
+        "MPLS sent/recv",
+        "VLAN sent/recv",
+        "paper 3n-2/2n-1"
+    );
     // Beyond n ≈ 8 the number of protocol-sane paths grows exponentially
     // (every core segment can independently ride on MPLS), which is exactly
     // the "we should use more aggressive pruning rules" observation of

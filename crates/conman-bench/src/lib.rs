@@ -1,7 +1,12 @@
 //! Shared helpers for the CONMan benchmarks and the table/figure
-//! reproduction harness (`src/bin/experiments.rs`).
+//! reproduction harness (`src/bin/experiments.rs`), including the
+//! closed-loop diagnosis experiments (time-to-detect / time-to-repair).
 
 #![forbid(unsafe_code)]
+
+pub mod diagnosis;
+
+pub use diagnosis::{closed_loop_run, ClosedLoopReport, DiagnosisScenario};
 
 use conman_core::nm::ModulePath;
 use conman_core::runtime::ManagedNetwork;
@@ -27,7 +32,15 @@ pub fn path_labelled(paths: &[ModulePath], label: &str) -> ModulePath {
     paths
         .iter()
         .find(|p| p.technology_label() == label)
-        .unwrap_or_else(|| panic!("no {label} path among {:?}", paths.iter().map(|p| p.technology_label()).collect::<Vec<_>>()))
+        .unwrap_or_else(|| {
+            panic!(
+                "no {label} path among {:?}",
+                paths
+                    .iter()
+                    .map(|p| p.technology_label())
+                    .collect::<Vec<_>>()
+            )
+        })
         .clone()
 }
 

@@ -8,9 +8,7 @@
 
 use crate::ids::{ModuleId, ModuleRef};
 use crate::module::{ModuleCtx, ModuleReaction, ProtocolModule};
-use crate::primitives::{
-    Announcement, ModuleActual, Primitive, PrimitiveResult, WireMessage,
-};
+use crate::primitives::{Announcement, ModuleActual, Primitive, PrimitiveResult, WireMessage};
 use netsim::device::{Device, DeviceId, PortId};
 use std::collections::BTreeMap;
 
@@ -78,7 +76,10 @@ impl ManagementAgent {
     pub fn handle(&mut self, device: &mut Device, msg: &WireMessage) -> Vec<WireMessage> {
         let mut out = Vec::new();
         match msg {
-            WireMessage::Script { request, primitives } => {
+            WireMessage::Script {
+                request,
+                primitives,
+            } => {
                 let mut results = Vec::with_capacity(primitives.len());
                 let mut reaction = ModuleReaction::none();
                 for p in primitives {
@@ -110,9 +111,29 @@ impl ManagementAgent {
                 reaction.extend(self.poll_until_quiescent(device));
                 Self::push_reaction(&mut out, reaction);
             }
-            // Announcements, notifications and script results are NM-bound;
-            // an agent receiving one ignores it.
-            WireMessage::Announce(_) | WireMessage::Notify(_) | WireMessage::ScriptResult { .. } => {}
+            WireMessage::PollCounters { request } => {
+                let mut snapshots = Vec::with_capacity(self.modules.len());
+                for m in self.modules.values() {
+                    let ctx = ModuleCtx {
+                        device: self.device,
+                        config: &mut device.config,
+                        ports: &device.ports,
+                        stats: &device.stats,
+                        blackboard: &mut self.blackboard,
+                    };
+                    snapshots.push(m.counters(&ctx));
+                }
+                out.push(WireMessage::CounterReport {
+                    request: *request,
+                    snapshots,
+                });
+            }
+            // Announcements, notifications, script results and counter
+            // reports are NM-bound; an agent receiving one ignores it.
+            WireMessage::Announce(_)
+            | WireMessage::Notify(_)
+            | WireMessage::ScriptResult { .. }
+            | WireMessage::CounterReport { .. } => {}
         }
         out
     }
@@ -135,6 +156,7 @@ impl ManagementAgent {
             device: id,
             config: &mut device.config,
             ports: &device.ports,
+            stats: &device.stats,
             blackboard,
         }
     }
@@ -168,6 +190,7 @@ impl ManagementAgent {
                         device: self.device,
                         config: &mut device.config,
                         ports: &device.ports,
+                        stats: &device.stats,
                         blackboard: &mut self.blackboard,
                     };
                     let actual: ModuleActual = m.actual(&ctx);
@@ -197,21 +220,19 @@ impl ManagementAgent {
                     None => Ok(PrimitiveResult::PipeCreated(spec.pipe)),
                 }
             }
-            Primitive::CreateSwitch(spec) => {
-                match self.modules.get_mut(&spec.module.module) {
-                    Some(module) => {
-                        let mut ctx = Self::ctx(&mut self.blackboard, self.device, device);
-                        match module.create_switch(&mut ctx, spec) {
-                            Ok(r) => {
-                                reaction.extend(r);
-                                Ok(PrimitiveResult::Done)
-                            }
-                            Err(e) => Err(e.to_string()),
+            Primitive::CreateSwitch(spec) => match self.modules.get_mut(&spec.module.module) {
+                Some(module) => {
+                    let mut ctx = Self::ctx(&mut self.blackboard, self.device, device);
+                    match module.create_switch(&mut ctx, spec) {
+                        Ok(r) => {
+                            reaction.extend(r);
+                            Ok(PrimitiveResult::Done)
                         }
+                        Err(e) => Err(e.to_string()),
                     }
-                    None => Err(format!("no module {} on device", spec.module)),
                 }
-            }
+                None => Err(format!("no module {} on device", spec.module)),
+            },
             Primitive::CreateFilter(spec) => match self.modules.get_mut(&spec.module.module) {
                 Some(module) => {
                     let mut ctx = Self::ctx(&mut self.blackboard, self.device, device);
@@ -232,6 +253,13 @@ impl ManagementAgent {
                     if let Err(e) = module.delete(&mut ctx, component) {
                         last_err = Some(e.to_string());
                     }
+                }
+                // A deleted pipe's blackboard attributes (port, attach,
+                // addresses) must not leak into a later path that happens to
+                // reuse the same pipe identifier.
+                if let crate::primitives::ComponentRef::Pipe(pipe) = component {
+                    let prefix = format!("pipe.{}.", pipe.0);
+                    self.blackboard.retain(|k, _| !k.starts_with(&prefix));
                 }
                 match last_err {
                     Some(e) => Err(e),
@@ -344,8 +372,13 @@ mod tests {
             WireMessage::ScriptResult { request, results } => {
                 assert_eq!(*request, 1);
                 assert_eq!(results.len(), 3);
-                assert!(matches!(results[0], Ok(PrimitiveResult::Potential(ref v)) if v.len() == 2));
-                assert!(matches!(results[1], Ok(PrimitiveResult::PipeCreated(PipeId(1)))));
+                assert!(
+                    matches!(results[0], Ok(PrimitiveResult::Potential(ref v)) if v.len() == 2)
+                );
+                assert!(matches!(
+                    results[1],
+                    Ok(PrimitiveResult::PipeCreated(PipeId(1)))
+                ));
                 match &results[2] {
                     Ok(PrimitiveResult::Actual(map)) => {
                         assert!(map.values().any(|a| a.pipes.contains(&PipeId(1))));

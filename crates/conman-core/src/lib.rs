@@ -31,10 +31,10 @@ pub mod nm;
 pub mod primitives;
 pub mod runtime;
 
-pub use abstraction::{ModuleAbstraction, SwitchKind};
+pub use abstraction::{CounterSnapshot, ModuleAbstraction, PipeCounters, SwitchKind};
 pub use agent::ManagementAgent;
 pub use ids::{ModuleId, ModuleKind, ModuleRef, PipeId};
 pub use module::{ModuleCtx, ModuleError, ModuleReaction, ProtocolModule};
-pub use nm::{ConnectivityGoal, ModulePath, NetworkManager};
+pub use nm::{ConnectivityGoal, ModulePath, NetworkManager, PathFinderLimits};
 pub use primitives::{Primitive, WireMessage};
 pub use runtime::{ConfigureOutcome, ManagedNetwork};

@@ -6,7 +6,7 @@
 //! protocol-specific intelligence — determining keys, addresses, labels,
 //! VLAN ids — lives behind this interface, exactly as the paper prescribes.
 
-use crate::abstraction::ModuleAbstraction;
+use crate::abstraction::{CounterSnapshot, ModuleAbstraction};
 use crate::ids::{ModuleRef, PipeId};
 use crate::primitives::{
     ComponentRef, FilterSpec, ModuleActual, ModuleEnvelope, Notification, PipeSpec, SwitchSpec,
@@ -14,6 +14,7 @@ use crate::primitives::{
 use netsim::config::DeviceConfig;
 use netsim::device::DeviceId;
 use netsim::nic::Nic;
+use netsim::stats::DeviceStats;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -88,6 +89,10 @@ pub struct ModuleCtx<'a> {
     pub config: &'a mut DeviceConfig,
     /// The device's ports (read-only).
     pub ports: &'a [Nic],
+    /// The device's packet counters (read-only), the substrate for the
+    /// per-module performance reporting of Table III and the telemetry
+    /// snapshots of the diagnosis layer.
+    pub stats: &'a DeviceStats,
     /// Shared per-device key/value blackboard.
     pub blackboard: &'a mut BTreeMap<String, String>,
 }
@@ -115,7 +120,8 @@ impl ModuleCtx<'_> {
 
     /// Write a per-pipe attribute.
     pub fn set_pipe_attr(&mut self, pipe: PipeId, attr: &str, value: impl Into<String>) {
-        self.blackboard.insert(Self::pipe_key(pipe, attr), value.into());
+        self.blackboard
+            .insert(Self::pipe_key(pipe, attr), value.into());
     }
 }
 
@@ -133,6 +139,15 @@ pub trait ProtocolModule: Send {
     /// The module's actual configured state (the `showActual` answer).
     fn actual(&self, _ctx: &ModuleCtx) -> ModuleActual {
         ModuleActual::default()
+    }
+
+    /// The module's current counter snapshot (the `pollCounters` answer).
+    ///
+    /// The default reports nothing, which is a valid (if unhelpful) answer
+    /// for modules with no performance reporting; concrete modules translate
+    /// the device stats into per-pipe counters here.
+    fn counters(&self, _ctx: &ModuleCtx) -> CounterSnapshot {
+        CounterSnapshot::empty(self.reference())
     }
 
     /// Create a pipe this module participates in (as upper or lower end).
@@ -218,11 +233,13 @@ mod tests {
         let mut m = Dummy(r.clone());
         let mut config = DeviceConfig::new();
         let ports: Vec<Nic> = Vec::new();
+        let stats = DeviceStats::default();
         let mut blackboard = BTreeMap::new();
         let mut ctx = ModuleCtx {
             device: DeviceId::from_raw(1),
             config: &mut config,
             ports: &ports,
+            stats: &stats,
             blackboard: &mut blackboard,
         };
         assert!(m.poll(&mut ctx).is_empty());
@@ -240,11 +257,13 @@ mod tests {
     fn ctx_blackboard_helpers() {
         let mut config = DeviceConfig::new();
         let ports: Vec<Nic> = Vec::new();
+        let stats = DeviceStats::default();
         let mut blackboard = BTreeMap::new();
         let mut ctx = ModuleCtx {
             device: DeviceId::from_raw(1),
             config: &mut config,
             ports: &ports,
+            stats: &stats,
             blackboard: &mut blackboard,
         };
         ctx.set_pipe_attr(PipeId(3), "port", "2");

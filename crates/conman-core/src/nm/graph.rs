@@ -76,11 +76,7 @@ impl PotentialGraph {
                 ) else {
                     continue;
                 };
-                graph
-                    .phys_neighbors
-                    .entry(local)
-                    .or_default()
-                    .push(remote);
+                graph.phys_neighbors.entry(local).or_default().push(remote);
             }
         }
         // Deduplicate and sort for determinism.
@@ -240,8 +236,8 @@ mod tests {
         let eth1 = ModuleRef::new(ModuleKind::Eth, ModuleId(1), d1);
         let ip1 = ModuleRef::new(ModuleKind::Ip, ModuleId(2), d1);
         let eth2 = ModuleRef::new(ModuleKind::Eth, ModuleId(1), d2);
-        assert_eq!(g.ups(&eth1), &[ip1.clone()]);
-        assert_eq!(g.downs(&ip1), &[eth1.clone()]);
+        assert_eq!(g.ups(&eth1), std::slice::from_ref(&ip1));
+        assert_eq!(g.downs(&ip1), std::slice::from_ref(&eth1));
         assert_eq!(g.phys(&eth1), &[eth2]);
         assert!(!g.render_device_subgraph(d1).is_empty());
         assert_eq!(g.modules_of_kind(d1, &ModuleKind::Ip), vec![ip1]);
@@ -256,7 +252,14 @@ mod tests {
             vec![
                 // GRE can only connect up to IP, so ETH-GRE has no edge.
                 module(ModuleKind::Eth, 1, 1, vec![ModuleKind::Ip], vec![], Some(0)),
-                module(ModuleKind::Gre, 2, 1, vec![ModuleKind::Ip], vec![ModuleKind::Ip], None),
+                module(
+                    ModuleKind::Gre,
+                    2,
+                    1,
+                    vec![ModuleKind::Ip],
+                    vec![ModuleKind::Ip],
+                    None,
+                ),
             ],
         );
         let g = PotentialGraph::build(&abstractions, &BTreeMap::new());

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 pub use graph::PotentialGraph;
-pub use pathfinder::{Entry, ModulePath, PathFinder, PathStep};
+pub use pathfinder::{Entry, ModulePath, PathFinder, PathFinderLimits, PathStep};
 pub use script::{DeviceScript, ScriptSet};
 
 /// A high-level connectivity goal: "configure connectivity between the
@@ -65,7 +65,10 @@ impl ConnectivityGoal {
             src_gateway: "S1-gateway".to_string(),
             dst_gateway: "S2-gateway".to_string(),
             resolved: BTreeMap::new(),
-            tradeoffs: vec![TradeoffChoice::InOrderDelivery, TradeoffChoice::LowErrorRate],
+            tradeoffs: vec![
+                TradeoffChoice::InOrderDelivery,
+                TradeoffChoice::LowErrorRate,
+            ],
         }
     }
 
@@ -176,6 +179,33 @@ impl NetworkManager {
         PathFinder::new(&graph).find(goal)
     }
 
+    /// Enumerate paths under explicit traversal limits (long chains need a
+    /// larger step budget and a smaller path budget than the defaults).
+    pub fn find_paths_with(
+        &self,
+        goal: &ConnectivityGoal,
+        limits: pathfinder::PathFinderLimits,
+    ) -> Vec<ModulePath> {
+        let graph = self.build_graph();
+        PathFinder::new(&graph).with_limits(limits).find(goal)
+    }
+
+    /// Enumerate paths that avoid the given modules — the re-planning step
+    /// of self-healing: suspects reported by the diagnoser are excluded from
+    /// the traversal itself (§III-C's "route around the faulty module").
+    pub fn find_paths_avoiding(
+        &self,
+        goal: &ConnectivityGoal,
+        excluded: &std::collections::BTreeSet<ModuleRef>,
+        limits: pathfinder::PathFinderLimits,
+    ) -> Vec<ModulePath> {
+        let graph = self.build_graph();
+        PathFinder::new(&graph)
+            .with_limits(limits)
+            .excluding(excluded.clone())
+            .find(goal)
+    }
+
     /// Choose the best path among candidates.
     ///
     /// The selection metric follows §III-C.1: minimise the number of pipes
@@ -213,9 +243,12 @@ mod tests {
     #[test]
     fn aliases_strip_common_prefixes() {
         let mut nm = NetworkManager::new(DeviceId::from_raw(1));
-        nm.device_names.insert(DeviceId::from_raw(1), "RouterA".into());
-        nm.device_names.insert(DeviceId::from_raw(2), "SwitchB".into());
-        nm.device_names.insert(DeviceId::from_raw(3), "weird".into());
+        nm.device_names
+            .insert(DeviceId::from_raw(1), "RouterA".into());
+        nm.device_names
+            .insert(DeviceId::from_raw(2), "SwitchB".into());
+        nm.device_names
+            .insert(DeviceId::from_raw(3), "weird".into());
         assert_eq!(nm.device_alias(DeviceId::from_raw(1)), "A");
         assert_eq!(nm.device_alias(DeviceId::from_raw(2)), "B");
         assert_eq!(nm.device_alias(DeviceId::from_raw(3)), "weird");

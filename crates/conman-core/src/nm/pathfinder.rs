@@ -144,6 +144,7 @@ struct HeaderInst {
 pub struct PathFinder<'a> {
     graph: &'a PotentialGraph,
     limits: PathFinderLimits,
+    excluded: BTreeSet<ModuleRef>,
 }
 
 impl<'a> PathFinder<'a> {
@@ -152,12 +153,22 @@ impl<'a> PathFinder<'a> {
         PathFinder {
             graph,
             limits: PathFinderLimits::default(),
+            excluded: BTreeSet::new(),
         }
     }
 
     /// Override the traversal limits.
     pub fn with_limits(mut self, limits: PathFinderLimits) -> Self {
         self.limits = limits;
+        self
+    }
+
+    /// Never traverse the given modules.  This is how the self-healing NM
+    /// re-plans around a diagnosed fault: the suspects are excluded *inside*
+    /// the search, so pruning happens before the exponential fan-out rather
+    /// than by filtering complete paths afterwards.
+    pub fn excluding(mut self, excluded: BTreeSet<ModuleRef>) -> Self {
+        self.excluded = excluded;
         self
     }
 
@@ -183,8 +194,11 @@ impl<'a> PathFinder<'a> {
             state.push_header(ModuleKind::Ip, Some(goal.traffic_domain.clone()));
         }
         state.push_header(ModuleKind::Eth, None);
-        let expected_final: Vec<(ModuleKind, Option<String>)> =
-            state.stack.iter().map(|h| (h.kind.clone(), h.domain.clone())).collect();
+        let expected_final: Vec<(ModuleKind, Option<String>)> = state
+            .stack
+            .iter()
+            .map(|h| (h.kind.clone(), h.domain.clone()))
+            .collect();
 
         self.explore(goal, &mut state, &goal.from, Entry::Phys, &expected_final);
         state.results
@@ -202,6 +216,7 @@ impl<'a> PathFinder<'a> {
         if state.results.len() >= self.limits.max_paths
             || state.steps.len() >= self.limits.max_steps
             || state.visited.contains(module)
+            || self.excluded.contains(module)
         {
             return;
         }
@@ -316,7 +331,9 @@ impl<'a> PathFinder<'a> {
                             .iter()
                             .map(|h| (h.kind.clone(), h.domain.clone()))
                             .collect();
-                        if final_stack == expected_final && state.results.len() < self.limits.max_paths {
+                        if final_stack == expected_final
+                            && state.results.len() < self.limits.max_paths
+                        {
                             state.results.push(ModulePath {
                                 steps: state.steps.clone(),
                             });
@@ -382,7 +399,8 @@ mod tests {
         for (d, other) in [(d1, d2), (d2, d1)] {
             let mut mods = Vec::new();
             for (id, port) in [(1u32, 0u32), (2, 1)] {
-                let mut eth = ModuleAbstraction::empty(ModuleRef::new(ModuleKind::Eth, ModuleId(id), d));
+                let mut eth =
+                    ModuleAbstraction::empty(ModuleRef::new(ModuleKind::Eth, ModuleId(id), d));
                 eth.up_connectable = vec![ModuleKind::Ip];
                 eth.switch.kinds = vec![SwitchKind::PhyUp, SwitchKind::UpPhy];
                 eth.physical_pipes.push(PhysicalPipeInfo {
@@ -392,7 +410,8 @@ mod tests {
                 });
                 mods.push(eth);
             }
-            let mut ip_cust = ModuleAbstraction::empty(ModuleRef::new(ModuleKind::Ip, ModuleId(3), d));
+            let mut ip_cust =
+                ModuleAbstraction::empty(ModuleRef::new(ModuleKind::Ip, ModuleId(3), d));
             ip_cust.up_connectable = vec![ModuleKind::Ip];
             ip_cust.down_connectable = vec![ModuleKind::Ip, ModuleKind::Eth];
             ip_cust.switch.kinds = vec![
@@ -403,7 +422,8 @@ mod tests {
             ];
             ip_cust.address_domain = Some("customer1".to_string());
             mods.push(ip_cust);
-            let mut ip_isp = ModuleAbstraction::empty(ModuleRef::new(ModuleKind::Ip, ModuleId(4), d));
+            let mut ip_isp =
+                ModuleAbstraction::empty(ModuleRef::new(ModuleKind::Ip, ModuleId(4), d));
             ip_isp.up_connectable = vec![ModuleKind::Ip];
             ip_isp.down_connectable = vec![ModuleKind::Ip, ModuleKind::Eth];
             ip_isp.switch.kinds = vec![
@@ -436,7 +456,10 @@ mod tests {
         let labels: Vec<String> = paths.iter().map(|p| p.technology_label()).collect();
         assert!(labels.contains(&"IP".to_string()));
         assert!(labels.contains(&"IP-IP".to_string()));
-        let p = paths.iter().find(|p| p.technology_label() == "IP-IP").unwrap();
+        let p = paths
+            .iter()
+            .find(|p| p.technology_label() == "IP-IP")
+            .unwrap();
         // a, ip_cust, ip_isp, eth_isp | eth_isp, ip_isp, ip_cust, eth_cust
         assert_eq!(p.steps.len(), 8);
         assert_eq!(p.pipe_count(), 6);
@@ -445,7 +468,10 @@ mod tests {
         // customer header (header id 0), only its own outer header.
         for s in &p.steps {
             if s.module.module == ModuleId(4) && s.switch != SwitchKind::UpDown {
-                assert_ne!(s.header, 0, "ISP IP module must not touch the customer header");
+                assert_ne!(
+                    s.header, 0,
+                    "ISP IP module must not touch the customer header"
+                );
             }
         }
     }

@@ -181,7 +181,7 @@ pub fn generate(nm: &NetworkManager, path: &ModulePath, goal: &ConnectivityGoal)
         for (i, s) in steps.iter().enumerate() {
             if i != target && s.module.device == device && s.header == header {
                 let dist = i.abs_diff(target);
-                if best.map_or(true, |(_, d)| dist < d) {
+                if best.is_none_or(|(_, d)| dist < d) {
                     best = Some((i, dist));
                 }
             }
@@ -192,7 +192,9 @@ pub fn generate(nm: &NetworkManager, path: &ModulePath, goal: &ConnectivityGoal)
     // ------------------------------------------------------------------
     // 3. Build per-device primitives.
     // ------------------------------------------------------------------
-    let num_initial_headers = if goal.l2_only { 2 } else { 2 };
+    // Two initial headers either way: customer ETH + customer IP for L3
+    // goals, customer ETH + the provider's own ETH hand-off for L2 goals.
+    let num_initial_headers = 2;
     let is_edge_ip = |idx: usize| -> bool {
         !goal.l2_only
             && steps[idx].module.kind == ModuleKind::Ip
@@ -265,8 +267,14 @@ pub fn generate(nm: &NetworkManager, path: &ModulePath, goal: &ConnectivityGoal)
         let mut args = vec![
             render_module(&upper),
             render_module(&lower),
-            peer_upper.as_ref().map(|m| render_module(m)).unwrap_or_else(|| "None".into()),
-            peer_lower.as_ref().map(|m| render_module(m)).unwrap_or_else(|| "None".into()),
+            peer_upper
+                .as_ref()
+                .map(&render_module)
+                .unwrap_or_else(|| "None".into()),
+            peer_lower
+                .as_ref()
+                .map(&render_module)
+                .unwrap_or_else(|| "None".into()),
         ];
         if tradeoffs.is_empty() {
             args.push("None".into());
@@ -307,9 +315,17 @@ pub fn generate(nm: &NetworkManager, path: &ModulePath, goal: &ConnectivityGoal)
                 (out_slot, in_slot)
             };
             let (dst_class, gateway, local_class) = if is_first_device {
-                (goal.dst_class.clone(), goal.src_gateway.clone(), goal.src_class.clone())
+                (
+                    goal.dst_class.clone(),
+                    goal.src_gateway.clone(),
+                    goal.src_class.clone(),
+                )
             } else {
-                (goal.src_class.clone(), goal.dst_gateway.clone(), goal.dst_class.clone())
+                (
+                    goal.src_class.clone(),
+                    goal.dst_gateway.clone(),
+                    goal.dst_class.clone(),
+                )
             };
             // The reverse rule needs the local site's prefix so the module can
             // install the return route towards the customer gateway; the NM
@@ -386,8 +402,16 @@ mod tests {
     fn empty_and_tiny_paths_do_not_panic() {
         let nm = NetworkManager::new(DeviceId::from_raw(1));
         let goal = ConnectivityGoal::vpn(
-            ModuleRef::new(ModuleKind::Eth, crate::ids::ModuleId(1), DeviceId::from_raw(1)),
-            ModuleRef::new(ModuleKind::Eth, crate::ids::ModuleId(2), DeviceId::from_raw(2)),
+            ModuleRef::new(
+                ModuleKind::Eth,
+                crate::ids::ModuleId(1),
+                DeviceId::from_raw(1),
+            ),
+            ModuleRef::new(
+                ModuleKind::Eth,
+                crate::ids::ModuleId(2),
+                DeviceId::from_raw(2),
+            ),
         );
         let empty = ModulePath { steps: vec![] };
         assert_eq!(generate(&nm, &empty, &goal).scripts.len(), 0);

@@ -6,7 +6,7 @@
 //! themselves via `conveyMessage` / `listFieldsAndValues` exchanges relayed
 //! through the NM.
 
-use crate::abstraction::ModuleAbstraction;
+use crate::abstraction::{CounterSnapshot, ModuleAbstraction};
 use crate::ids::{ModuleRef, PipeId};
 use netsim::device::{DeviceId, PortId};
 use serde::{Deserialize, Serialize};
@@ -220,6 +220,18 @@ pub enum WireMessage {
     Module(ModuleEnvelope),
     /// Module → NM notification.
     Notify(Notification),
+    /// NM → device: sample every module's counters (telemetry).
+    PollCounters {
+        /// Request identifier for matching reports.
+        request: u64,
+    },
+    /// Device → NM: one counter snapshot per module (telemetry).
+    CounterReport {
+        /// Request identifier this responds to.
+        request: u64,
+        /// Per-module snapshots.
+        snapshots: Vec<CounterSnapshot>,
+    },
 }
 
 impl WireMessage {
@@ -251,7 +263,10 @@ mod tests {
             lower: mref(ModuleKind::Gre, 2, 1),
             peer_upper: Some(mref(ModuleKind::Ip, 1, 3)),
             peer_lower: Some(mref(ModuleKind::Gre, 2, 3)),
-            tradeoffs: vec![TradeoffChoice::InOrderDelivery, TradeoffChoice::LowErrorRate],
+            tradeoffs: vec![
+                TradeoffChoice::InOrderDelivery,
+                TradeoffChoice::LowErrorRate,
+            ],
             initiate: true,
             resolved: BTreeMap::new(),
         };

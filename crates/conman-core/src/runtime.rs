@@ -6,6 +6,7 @@
 //! goal to paths → execute the chosen path's scripts while relaying
 //! module-to-module messages and counting everything for Table VI.
 
+use crate::abstraction::CounterSnapshot;
 use crate::agent::ManagementAgent;
 use crate::nm::{ConnectivityGoal, ModulePath, NetworkManager, ScriptSet};
 use crate::primitives::{
@@ -47,6 +48,9 @@ pub struct ManagedNetwork<C: ManagementChannel> {
     pub notifications: Vec<Notification>,
     /// Script results received by the NM: (device, per-primitive results).
     pub script_results: Vec<(DeviceId, Vec<Result<PrimitiveResult, String>>)>,
+    /// Counter reports received by the NM and not yet consumed:
+    /// (device, request, snapshots).  Drained by [`Self::poll_counters`].
+    pub counter_reports: Vec<(DeviceId, u64, Vec<CounterSnapshot>)>,
 }
 
 impl<C: ManagementChannel> ManagedNetwork<C> {
@@ -61,6 +65,7 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             next_request: 0,
             notifications: Vec::new(),
             script_results: Vec::new(),
+            counter_reports: Vec::new(),
         }
     }
 
@@ -92,9 +97,14 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             WireMessage::ScriptResult { .. } => MessageCategory::Response,
             WireMessage::Module(env) => match env.kind {
                 EnvelopeKind::Convey => MessageCategory::ConveyMessage,
-                EnvelopeKind::FieldQuery | EnvelopeKind::FieldResponse => MessageCategory::FieldQuery,
+                EnvelopeKind::FieldQuery | EnvelopeKind::FieldResponse => {
+                    MessageCategory::FieldQuery
+                }
             },
             WireMessage::Notify(_) => MessageCategory::Notification,
+            WireMessage::PollCounters { .. } | WireMessage::CounterReport { .. } => {
+                MessageCategory::Telemetry
+            }
         }
     }
 
@@ -131,7 +141,10 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
 
     /// The NM invokes `showActual` at one device and returns the per-module
     /// state (used for debugging / Fig. reproduction).
-    pub fn show_actual(&mut self, device: DeviceId) -> Option<BTreeMap<String, crate::primitives::ModuleActual>> {
+    pub fn show_actual(
+        &mut self,
+        device: DeviceId,
+    ) -> Option<BTreeMap<String, crate::primitives::ModuleActual>> {
         self.next_request += 1;
         let req = self.next_request;
         let msg = WireMessage::Script {
@@ -152,6 +165,35 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             })
     }
 
+    /// Poll every listed device's module counters over the management
+    /// channel (one `PollCounters` each) and return the snapshots of the
+    /// devices that answered.  Crashed devices simply do not answer — their
+    /// absence from the result is itself diagnostic evidence.
+    pub fn poll_counters(
+        &mut self,
+        devices: &[DeviceId],
+    ) -> BTreeMap<DeviceId, Vec<CounterSnapshot>> {
+        let first_request = self.next_request + 1;
+        for id in devices {
+            self.next_request += 1;
+            let msg = WireMessage::PollCounters {
+                request: self.next_request,
+            };
+            self.send(self.nm_host, *id, &msg);
+        }
+        self.run_management();
+        // Drain the report buffer: matched reports become this poll's
+        // result, anything older is stale (its poller already returned) and
+        // would otherwise accumulate for the lifetime of the network.
+        let mut out = BTreeMap::new();
+        for (device, request, snapshots) in self.counter_reports.drain(..) {
+            if request >= first_request && request <= self.next_request {
+                out.insert(device, snapshots);
+            }
+        }
+        out
+    }
+
     /// Map a goal to paths, choose one, and execute it.
     pub fn configure(&mut self, goal: &ConnectivityGoal) -> ConfigureOutcome {
         let paths = self.nm.find_paths(goal);
@@ -165,6 +207,19 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             chosen,
             scripts,
         }
+    }
+
+    /// Send an ad-hoc primitive script to one device and pump the
+    /// management plane until quiescent.  Used by the diagnosis layer for
+    /// teardown scripts (`delete` primitives) during self-healing.
+    pub fn run_script(&mut self, device: DeviceId, primitives: Vec<Primitive>) {
+        self.next_request += 1;
+        let msg = WireMessage::Script {
+            request: self.next_request,
+            primitives,
+        };
+        self.send(self.nm_host, device, &msg);
+        self.run_management();
     }
 
     /// Execute a specific path (used by the experiments to force the GRE,
@@ -215,13 +270,21 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
     /// Route a received management message either to the NM (if this device
     /// hosts it and the message is NM-bound) or to the device's agent.
     fn route_message(&mut self, at: DeviceId, msg: MgmtMessage) {
+        // A crashed device consumes nothing: whatever the channel delivered
+        // is lost, exactly as with a powered-off box.
+        if !self.net.device(at).map(|d| d.up).unwrap_or(false) {
+            return;
+        }
         let Some(wire) = WireMessage::decode(&msg.payload) else {
             return;
         };
         let nm_bound = match &wire {
-            WireMessage::Announce(_) | WireMessage::ScriptResult { .. } | WireMessage::Notify(_) => true,
+            WireMessage::Announce(_)
+            | WireMessage::ScriptResult { .. }
+            | WireMessage::Notify(_)
+            | WireMessage::CounterReport { .. } => true,
             WireMessage::Module(env) => env.to.device != at,
-            WireMessage::Script { .. } => false,
+            WireMessage::Script { .. } | WireMessage::PollCounters { .. } => false,
         };
         if nm_bound && at == self.nm_host {
             self.nm_handle(msg.from, wire);
@@ -254,7 +317,10 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             }
             WireMessage::Module(env) => self.relay(env),
             WireMessage::Notify(n) => self.notifications.push(n),
-            WireMessage::Script { .. } => {}
+            WireMessage::CounterReport { request, snapshots } => {
+                self.counter_reports.push((from, request, snapshots));
+            }
+            WireMessage::Script { .. } | WireMessage::PollCounters { .. } => {}
         }
     }
 
@@ -265,7 +331,8 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             if let Some(obj) = env.body.as_object() {
                 for (k, v) in obj {
                     if let Some(s) = v.as_str() {
-                        self.nm.record_resolved(format!("{}:{}", env.from, k), s.to_string());
+                        self.nm
+                            .record_resolved(format!("{}:{}", env.from, k), s.to_string());
                     }
                 }
             }

@@ -1,0 +1,307 @@
+//! Counter-based fault localisation along a configured module path.
+
+use crate::report::{FaultReport, Suspect, SuspectTarget};
+use crate::telemetry::TelemetryRound;
+use conman_core::abstraction::CounterSnapshot;
+use conman_core::ids::ModuleRef;
+use conman_core::nm::ModulePath;
+use conman_core::runtime::ManagedNetwork;
+use mgmt_channel::ManagementChannel;
+use netsim::device::DeviceId;
+use std::collections::BTreeMap;
+
+/// Localises faults on a configured path by comparing per-module counter
+/// snapshots taken before and after a burst of end-to-end probes.
+///
+/// The algorithm is exactly the paper's sketch (§III-C): walk the pipe's
+/// module path, compare per-module counters, and find where the traffic
+/// disappears.  The NM never interprets a protocol field — only generic
+/// rx/tx/drop counters and drop-reason names the modules chose to expose.
+///
+/// ## Known limitation: counter sharing
+///
+/// Several modules (IP, MPLS) derive their snapshots from device-level
+/// tallies, and ETH pipes count all data-plane traffic on their port, so
+/// the counter deltas assume the probe burst dominates the sampling window.
+/// Heavy unrelated traffic through the same devices — a second managed
+/// goal, background flows — can mask a frontier or misattribute drops
+/// between same-kind modules on one device.  Per-flow counter attribution
+/// in the engine is the planned fix; until then, diagnose during a quiet
+/// window or with enough probes to dominate it.
+#[derive(Debug, Clone, Copy)]
+pub struct Diagnoser {
+    /// End-to-end probes sent per diagnosis pass (values below 1 are
+    /// treated as 1 — zero probes could only ever produce a vacuous
+    /// "healthy" verdict).
+    pub probes: u32,
+}
+
+impl Default for Diagnoser {
+    fn default() -> Self {
+        Diagnoser { probes: 3 }
+    }
+}
+
+impl Diagnoser {
+    /// A diagnoser sending `probes` probes per pass.
+    pub fn new(probes: u32) -> Self {
+        assert!(probes > 0, "at least one probe is required");
+        Diagnoser { probes }
+    }
+
+    /// Run one diagnosis pass: snapshot counters along `path`, drive
+    /// `probe` (which must inject one end-to-end datagram for the goal and
+    /// report delivery), snapshot again, and localise any loss.
+    pub fn diagnose<C, P>(
+        &self,
+        mn: &mut ManagedNetwork<C>,
+        path: &ModulePath,
+        probe: &mut P,
+    ) -> FaultReport
+    where
+        C: ManagementChannel,
+        P: FnMut(&mut ManagedNetwork<C>) -> bool,
+    {
+        // Clamp: `probes` is a public field, and zero probes would make
+        // `delivered == probes` vacuously true for a dead path.
+        let probes = self.probes.max(1);
+        let devices = path.devices();
+        let before = TelemetryRound {
+            at: mn.net.now(),
+            snapshots: mn.poll_counters(&devices),
+        };
+        let mut delivered = 0u32;
+        for _ in 0..probes {
+            if probe(mn) {
+                delivered += 1;
+            }
+        }
+        let after = TelemetryRound {
+            at: mn.net.now(),
+            snapshots: mn.poll_counters(&devices),
+        };
+        if delivered == probes {
+            return FaultReport::healthy(probes);
+        }
+        self.localise(mn, path, &devices, &before, &after, delivered)
+    }
+
+    fn localise<C: ManagementChannel>(
+        &self,
+        mn: &ManagedNetwork<C>,
+        path: &ModulePath,
+        devices: &[DeviceId],
+        before: &TelemetryRound,
+        after: &TelemetryRound,
+        delivered: u32,
+    ) -> FaultReport {
+        let mut suspects = Vec::new();
+
+        // Devices that did not answer the telemetry poll at all.
+        let unresponsive: Vec<DeviceId> = devices
+            .iter()
+            .copied()
+            .filter(|d| !after.snapshots.contains_key(d))
+            .collect();
+        for d in &unresponsive {
+            suspects.push(Suspect {
+                target: SuspectTarget::Device(*d),
+                confidence_pct: 95,
+                evidence: vec![format!(
+                    "device {} did not answer the telemetry poll",
+                    mn.nm.device_alias(*d)
+                )],
+            });
+        }
+
+        // Per-module counter deltas for the devices that did answer.
+        let deltas = module_deltas(before, after);
+        let need = u64::from(self.probes.max(1));
+
+        // Per-device ingress/egress counters, read off the path's first and
+        // last step on each device (the modules facing the previous and next
+        // hop).
+        let entries = device_entry_exit(path, devices);
+        let advanced = |m: Option<&ModuleRef>, rx: bool| -> Option<u64> {
+            let module = m?;
+            let d = deltas.get(module)?;
+            Some(if rx {
+                d.totals.rx_packets
+            } else {
+                d.totals.tx_packets
+            })
+        };
+
+        // Walk the device chain looking for the loss frontier.
+        for (i, device) in devices.iter().enumerate() {
+            let (entry, exit) = &entries[i];
+            let responded = after.snapshots.contains_key(device);
+            let rx_in = advanced(entry.as_ref(), true);
+            let tx_out = advanced(exit.as_ref(), false);
+
+            // Inter-device check: we forwarded towards the next device —
+            // did its ingress see anything?
+            if let (Some(tx), true) = (tx_out, i + 1 < devices.len()) {
+                let next = devices[i + 1];
+                let (next_entry, _) = &entries[i + 1];
+                let next_rx = advanced(next_entry.as_ref(), true);
+                // Total blackhole (nothing arrived) is near-certain; partial
+                // loss (fewer frames than were sent) still points at the
+                // link, with lower confidence.
+                if let (true, true, Some(rx)) =
+                    (tx >= need, after.snapshots.contains_key(&next), next_rx)
+                {
+                    if rx < need {
+                        suspects.push(Suspect {
+                            target: SuspectTarget::Link {
+                                a: *device,
+                                b: next,
+                                link: mn.net.link_between(*device, next),
+                            },
+                            confidence_pct: if rx == 0 { 90 } else { 70 },
+                            evidence: vec![format!(
+                                "{} transmitted {} frame(s) towards {} but its ingress pipe saw only {}",
+                                mn.nm.device_alias(*device),
+                                tx,
+                                mn.nm.device_alias(next),
+                                rx,
+                            )],
+                        });
+                    }
+                }
+            }
+
+            // Intra-device check: traffic entered but never left — blame the
+            // module whose drop counters moved.
+            if !responded {
+                continue;
+            }
+            if let (Some(rx), Some(tx)) = (rx_in, tx_out) {
+                if rx >= need && tx < need {
+                    if let Some((module, reasons)) = biggest_dropper(path, *device, &deltas) {
+                        suspects.push(Suspect {
+                            target: SuspectTarget::Module(module.clone()),
+                            confidence_pct: 85,
+                            evidence: vec![format!(
+                                "{} entered {} ({} frame(s) in, {} out); drop counters moved: {}",
+                                mn.nm.device_alias(*device),
+                                module,
+                                rx,
+                                tx,
+                                reasons,
+                            )],
+                        });
+                    } else {
+                        suspects.push(Suspect {
+                            target: SuspectTarget::Device(*device),
+                            confidence_pct: 60,
+                            evidence: vec![format!(
+                                "traffic entered {} ({} frame(s)) but never left ({}), with no attributable drop counter",
+                                mn.nm.device_alias(*device),
+                                rx,
+                                tx,
+                            )],
+                        });
+                    }
+                }
+            }
+        }
+
+        if suspects.is_empty() {
+            suspects.push(Suspect {
+                target: SuspectTarget::Unlocated,
+                confidence_pct: 30,
+                evidence: vec![
+                    "every managed module forwarded the probes; the loss is outside the managed path"
+                        .to_string(),
+                ],
+            });
+        }
+        suspects.sort_by_key(|s| std::cmp::Reverse(s.confidence_pct));
+
+        FaultReport {
+            probes_sent: self.probes.max(1),
+            probes_delivered: delivered,
+            healthy: false,
+            suspects,
+            unresponsive,
+        }
+    }
+}
+
+/// Counter deltas (`after - before`) for every module present in *both*
+/// rounds.  A module that missed the baseline poll contributes no delta at
+/// all — treating its lifetime counters as a probe-window delta would
+/// manufacture spurious suspects out of historical drops.
+fn module_deltas(
+    before: &TelemetryRound,
+    after: &TelemetryRound,
+) -> BTreeMap<ModuleRef, CounterSnapshot> {
+    let mut out = BTreeMap::new();
+    for snapshots in after.snapshots.values() {
+        for snap in snapshots {
+            if let Some(earlier) = before.module(&snap.module) {
+                out.insert(snap.module.clone(), snap.delta_since(earlier));
+            }
+        }
+    }
+    out
+}
+
+/// For each device on the path, the modules its first and last step touch —
+/// the ingress and egress ends the frontier walk compares.
+fn device_entry_exit(
+    path: &ModulePath,
+    devices: &[DeviceId],
+) -> Vec<(Option<ModuleRef>, Option<ModuleRef>)> {
+    devices
+        .iter()
+        .map(|d| {
+            let entry = path
+                .steps
+                .iter()
+                .find(|s| s.module.device == *d)
+                .map(|s| s.module.clone());
+            let exit = path
+                .steps
+                .iter()
+                .rev()
+                .find(|s| s.module.device == *d)
+                .map(|s| s.module.clone());
+            (entry, exit)
+        })
+        .collect()
+}
+
+/// The module on `device` (anywhere on the path) whose drop counters grew
+/// the most, with a rendered reason list.
+fn biggest_dropper<'a>(
+    path: &'a ModulePath,
+    device: DeviceId,
+    deltas: &BTreeMap<ModuleRef, CounterSnapshot>,
+) -> Option<(&'a ModuleRef, String)> {
+    let mut best: Option<(&ModuleRef, u64, String)> = None;
+    for step in &path.steps {
+        if step.module.device != device {
+            continue;
+        }
+        let Some(delta) = deltas.get(&step.module) else {
+            continue;
+        };
+        let dropped: u64 = delta.drop_breakdown.values().sum();
+        if dropped == 0 {
+            continue;
+        }
+        let reasons = delta
+            .drop_breakdown
+            .iter()
+            .filter(|(_, n)| **n > 0)
+            .map(|(r, n)| format!("{r} +{n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        if best.as_ref().is_none_or(|(_, d, _)| dropped > *d) {
+            best = Some((&step.module, dropped, reasons));
+        }
+    }
+    best.map(|(m, _, r)| (m, r))
+}

@@ -1,0 +1,234 @@
+//! Self-healing reconfiguration: tear down a failed path, re-plan around
+//! the diagnosed suspects, execute the alternative and verify it.
+
+use crate::report::{FaultReport, SuspectTarget};
+use conman_core::ids::ModuleRef;
+use conman_core::nm::{ConnectivityGoal, ModulePath, PathFinderLimits};
+use conman_core::primitives::{ComponentRef, Primitive};
+use conman_core::runtime::ManagedNetwork;
+use mgmt_channel::ManagementChannel;
+use netsim::device::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// What a healing attempt did.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealOutcome {
+    /// Candidate replacement paths that avoided every suspect.
+    pub candidates: usize,
+    /// The replacement path that was executed, if any.
+    pub replacement: Option<ModulePath>,
+    /// Technology label of the replacement (e.g. `GRE-IP` after an MPLS
+    /// core failure).
+    pub replacement_label: Option<String>,
+    /// Delete primitives issued while tearing down the failed path.
+    pub teardown_primitives: usize,
+    /// Did an end-to-end probe confirm the repair?
+    pub verified: bool,
+    /// When every candidate failed verification, the original path is
+    /// re-executed as a best-effort rollback (a partially impaired path
+    /// beats no path at all); this records that the rollback ran.
+    pub original_restored: bool,
+}
+
+impl HealOutcome {
+    /// Was the network actually repaired?
+    pub fn healed(&self) -> bool {
+        self.replacement.is_some() && self.verified
+    }
+}
+
+/// Re-plans and re-configures a goal around diagnosed faults.
+#[derive(Debug, Clone)]
+pub struct Healer {
+    /// Traversal limits for the re-planning path search.  Long chains need
+    /// a larger step budget and a much smaller path budget than the
+    /// defaults, so healing stays fast at 50 routers.
+    pub limits: PathFinderLimits,
+    /// How many candidate paths to try before giving up.
+    pub max_attempts: usize,
+}
+
+impl Default for Healer {
+    fn default() -> Self {
+        Healer {
+            limits: PathFinderLimits::default(),
+            max_attempts: 3,
+        }
+    }
+}
+
+impl Healer {
+    /// A healer with explicit search limits.
+    pub fn with_limits(limits: PathFinderLimits) -> Self {
+        Healer {
+            limits,
+            ..Default::default()
+        }
+    }
+
+    /// The modules the path search must avoid, derived from the report:
+    /// suspected modules directly, and every module of a suspected device.
+    pub fn excluded_modules<C: ManagementChannel>(
+        mn: &ManagedNetwork<C>,
+        report: &FaultReport,
+    ) -> BTreeSet<ModuleRef> {
+        let mut excluded = BTreeSet::new();
+        for suspect in &report.suspects {
+            match &suspect.target {
+                SuspectTarget::Module(m) => {
+                    excluded.insert(m.clone());
+                }
+                SuspectTarget::Device(d) => {
+                    if let Some(mods) = mn.nm.abstractions.get(d) {
+                        excluded.extend(mods.iter().map(|a| a.name.clone()));
+                    }
+                }
+                SuspectTarget::Link { .. } | SuspectTarget::Unlocated => {}
+            }
+        }
+        excluded
+    }
+
+    /// Does `path` cross any suspected link (as a consecutive device pair)?
+    fn crosses_suspect_link(path: &ModulePath, report: &FaultReport) -> bool {
+        let devices = path.devices();
+        devices.windows(2).any(|w| report.blames_link(w[0], w[1]))
+    }
+
+    /// Tear down the failed path: mirror every `create` of its scripts with
+    /// a `delete`, in reverse order, skipping devices the report declared
+    /// unresponsive (they would not answer anyway — and a rebooted device
+    /// comes back with clean state).
+    pub fn teardown<C: ManagementChannel>(
+        &self,
+        mn: &mut ManagedNetwork<C>,
+        goal: &ConnectivityGoal,
+        failed: &ModulePath,
+        report: &FaultReport,
+    ) -> usize {
+        let scripts = mn.nm.generate_scripts(failed, goal);
+        let mut issued = 0;
+        for ds in &scripts.scripts {
+            if report.unresponsive.contains(&ds.device) {
+                continue;
+            }
+            let mut deletes: Vec<Primitive> = Vec::new();
+            for p in ds.primitives.iter().rev() {
+                match p {
+                    Primitive::CreateSwitch(spec) => deletes.push(Primitive::Delete(
+                        ComponentRef::SwitchRule(spec.module.clone(), spec.in_pipe, spec.out_pipe),
+                    )),
+                    Primitive::CreatePipe(spec) => {
+                        deletes.push(Primitive::Delete(ComponentRef::Pipe(spec.pipe)));
+                    }
+                    _ => {}
+                }
+            }
+            issued += deletes.len();
+            mn.run_script(ds.device, deletes);
+        }
+        issued
+    }
+
+    /// Attempt a repair: tear the failed path down, search for alternatives
+    /// avoiding every suspect, execute them best-first and verify each with
+    /// end-to-end probes until one works (or `max_attempts` is exhausted).
+    pub fn heal<C, P>(
+        &self,
+        mn: &mut ManagedNetwork<C>,
+        goal: &ConnectivityGoal,
+        failed: &ModulePath,
+        report: &FaultReport,
+        probe: &mut P,
+    ) -> HealOutcome
+    where
+        C: ManagementChannel,
+        P: FnMut(&mut ManagedNetwork<C>) -> bool,
+    {
+        let excluded = Self::excluded_modules(mn, report);
+        let mut candidates: Vec<ModulePath> = mn
+            .nm
+            .find_paths_avoiding(goal, &excluded, self.limits)
+            .into_iter()
+            .filter(|p| p != failed && !Self::crosses_suspect_link(p, report))
+            .collect();
+        // Best first: the NM's usual metric — fewest pipes, then prefer
+        // fast-forwarding modules.
+        candidates.sort_by_key(|p| {
+            let fast = p
+                .steps
+                .iter()
+                .filter(|s| {
+                    mn.nm
+                        .abstraction_of(&s.module)
+                        .map(|a| a.fast_forwarding)
+                        .unwrap_or(false)
+                })
+                .count();
+            (p.pipe_count(), usize::MAX - fast)
+        });
+
+        let mut outcome = HealOutcome {
+            candidates: candidates.len(),
+            replacement: None,
+            replacement_label: None,
+            teardown_primitives: 0,
+            verified: false,
+            original_restored: false,
+        };
+        if candidates.is_empty() {
+            return outcome;
+        }
+        outcome.teardown_primitives = self.teardown(mn, goal, failed, report);
+
+        let empty_report = FaultReport {
+            probes_sent: 0,
+            probes_delivered: 0,
+            healthy: false,
+            suspects: Vec::new(),
+            unresponsive: report.unresponsive.clone(),
+        };
+        for candidate in candidates.into_iter().take(self.max_attempts.max(1)) {
+            mn.execute_path(&candidate, goal);
+            let verified = probe(mn) && probe(mn);
+            if verified {
+                outcome.replacement_label = Some(candidate.technology_label());
+                outcome.replacement = Some(candidate);
+                outcome.verified = true;
+                return outcome;
+            }
+            // This candidate did not carry traffic either: undo it before
+            // trying the next one (its suspects stay unknown — the caller
+            // can re-diagnose on the new path if it sticks).
+            outcome.teardown_primitives += self.teardown(mn, goal, &candidate, &empty_report);
+        }
+        // Nothing verified: roll the original configuration back.  Under a
+        // partial impairment (a lossy but live link) the old path still
+        // carries some traffic, which beats leaving the goal unconfigured.
+        mn.execute_path(failed, goal);
+        outcome.original_restored = true;
+        outcome
+    }
+}
+
+/// Convenience: the devices a report's suspects implicate (for display).
+pub fn implicated_devices(report: &FaultReport) -> Vec<DeviceId> {
+    let mut out = BTreeSet::new();
+    for s in &report.suspects {
+        match &s.target {
+            SuspectTarget::Module(m) => {
+                out.insert(m.device);
+            }
+            SuspectTarget::Device(d) => {
+                out.insert(*d);
+            }
+            SuspectTarget::Link { a, b, .. } => {
+                out.insert(*a);
+                out.insert(*b);
+            }
+            SuspectTarget::Unlocated => {}
+        }
+    }
+    out.into_iter().collect()
+}

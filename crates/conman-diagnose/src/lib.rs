@@ -1,0 +1,38 @@
+//! # conman-diagnose — closed-loop diagnosis and self-healing
+//!
+//! CONMan's §III-C argues that the module abstraction is enough not only to
+//! *configure* a network but to *diagnose* it: the NM knows the exact module
+//! path it configured for a goal, every module reports generic per-pipe
+//! counters, and comparing counter deltas along the path localises where
+//! traffic is being lost without the NM understanding a single protocol
+//! field.  This crate turns that sketch into a subsystem:
+//!
+//! * [`telemetry`] — periodic counter-snapshot collection over the
+//!   management channel (either variant), driven by the deterministic clock;
+//! * [`report`] — the [`FaultReport`] produced by diagnosis: ranked
+//!   suspects (module, link or device) with evidence and confidence;
+//! * [`diagnose`] — the [`Diagnoser`]: probe the goal end to end, pull
+//!   snapshots along the configured [`ModulePath`](conman_core::ModulePath),
+//!   compute deltas and localise the fault;
+//! * [`heal`] — the [`Healer`]: tear down the failed path, re-invoke the
+//!   path finder with the suspects excluded, execute the best alternative
+//!   (e.g. the GRE-IP fallback when the MPLS core dies) and verify the
+//!   repair with end-to-end probes.
+//!
+//! The companion fault-injection machinery ([`netsim::fault`]) produces the
+//! failures this crate hunts: link cuts and flaps, loss spikes, device
+//! crashes and module misconfigurations, all on deterministic, replayable
+//! timelines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnose;
+pub mod heal;
+pub mod report;
+pub mod telemetry;
+
+pub use diagnose::Diagnoser;
+pub use heal::{HealOutcome, Healer};
+pub use report::{FaultReport, Suspect, SuspectTarget};
+pub use telemetry::{TelemetryCollector, TelemetryRound};

@@ -1,0 +1,140 @@
+//! Diagnosis results: ranked suspects with evidence.
+
+use conman_core::ids::ModuleRef;
+use netsim::device::DeviceId;
+use netsim::link::LinkId;
+use serde::{Deserialize, Serialize};
+
+/// What the diagnoser believes is at fault.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SuspectTarget {
+    /// A specific module (e.g. a GRE module rejecting every packet).
+    Module(ModuleRef),
+    /// The physical pipe between two adjacent devices on the path.
+    Link {
+        /// Device on the near side (in path order).
+        a: DeviceId,
+        /// Device on the far side.
+        b: DeviceId,
+        /// The concrete simulator link, when the NM's topology map names
+        /// one.
+        link: Option<LinkId>,
+    },
+    /// A whole device (crashed or silently dropping everything).
+    Device(DeviceId),
+    /// The loss could not be pinned inside the managed path (e.g. it happens
+    /// beyond the egress, in the unmanaged customer site).
+    Unlocated,
+}
+
+/// One ranked fault hypothesis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Suspect {
+    /// What is suspected.
+    pub target: SuspectTarget,
+    /// Confidence, 0–100.  Purely ordinal: used to rank hypotheses, not as
+    /// a calibrated probability.
+    pub confidence_pct: u8,
+    /// Human-readable counter evidence backing the hypothesis.
+    pub evidence: Vec<String>,
+}
+
+/// The outcome of one diagnosis pass over a configured path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// End-to-end probes sent during the pass.
+    pub probes_sent: u32,
+    /// Probes that arrived.
+    pub probes_delivered: u32,
+    /// Did the path carry every probe (no fault observed)?
+    pub healthy: bool,
+    /// Ranked fault hypotheses, most confident first.  Empty iff `healthy`
+    /// or the diagnoser had nothing to go on.
+    pub suspects: Vec<Suspect>,
+    /// Devices on the path that did not answer the telemetry poll.
+    pub unresponsive: Vec<DeviceId>,
+}
+
+impl FaultReport {
+    /// A healthy report (all probes delivered).
+    pub fn healthy(probes: u32) -> Self {
+        FaultReport {
+            probes_sent: probes,
+            probes_delivered: probes,
+            healthy: true,
+            suspects: Vec::new(),
+            unresponsive: Vec::new(),
+        }
+    }
+
+    /// The most confident suspect, if any.
+    pub fn prime_suspect(&self) -> Option<&Suspect> {
+        self.suspects.first()
+    }
+
+    /// Does any suspect blame the given module?
+    pub fn blames_module(&self, module: &ModuleRef) -> bool {
+        self.suspects
+            .iter()
+            .any(|s| matches!(&s.target, SuspectTarget::Module(m) if m == module))
+    }
+
+    /// Does any suspect blame the link between these two devices (either
+    /// direction)?
+    pub fn blames_link(&self, x: DeviceId, y: DeviceId) -> bool {
+        self.suspects.iter().any(|s| {
+            matches!(&s.target, SuspectTarget::Link { a, b, .. }
+                if (*a == x && *b == y) || (*a == y && *b == x))
+        })
+    }
+
+    /// Does any suspect blame the given device as a whole?
+    pub fn blames_device(&self, device: DeviceId) -> bool {
+        self.suspects
+            .iter()
+            .any(|s| matches!(&s.target, SuspectTarget::Device(d) if *d == device))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conman_core::ids::{ModuleId, ModuleKind};
+
+    #[test]
+    fn report_queries() {
+        let d1 = DeviceId::from_raw(1);
+        let d2 = DeviceId::from_raw(2);
+        let m = ModuleRef::new(ModuleKind::Gre, ModuleId(5), d2);
+        let report = FaultReport {
+            probes_sent: 4,
+            probes_delivered: 0,
+            healthy: false,
+            suspects: vec![
+                Suspect {
+                    target: SuspectTarget::Module(m.clone()),
+                    confidence_pct: 85,
+                    evidence: vec!["TunnelMismatch +4".into()],
+                },
+                Suspect {
+                    target: SuspectTarget::Link {
+                        a: d1,
+                        b: d2,
+                        link: None,
+                    },
+                    confidence_pct: 40,
+                    evidence: vec![],
+                },
+            ],
+            unresponsive: vec![],
+        };
+        assert!(report.blames_module(&m));
+        assert!(
+            report.blames_link(d2, d1),
+            "link blame is direction-agnostic"
+        );
+        assert!(!report.blames_device(d1));
+        assert_eq!(report.prime_suspect().unwrap().confidence_pct, 85);
+        assert!(FaultReport::healthy(3).suspects.is_empty());
+    }
+}

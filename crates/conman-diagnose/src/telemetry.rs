@@ -1,0 +1,97 @@
+//! Periodic counter-snapshot collection over the management channel.
+
+use conman_core::abstraction::CounterSnapshot;
+use conman_core::ids::ModuleRef;
+use conman_core::runtime::ManagedNetwork;
+use mgmt_channel::{ManagementChannel, TelemetrySchedule};
+use netsim::clock::{SimDuration, SimTime};
+use netsim::device::DeviceId;
+use std::collections::BTreeMap;
+
+/// One round of counter snapshots: every responding device's modules at one
+/// instant of simulated time.
+#[derive(Debug, Clone)]
+pub struct TelemetryRound {
+    /// Simulated time the round was taken.
+    pub at: SimTime,
+    /// Snapshots per responding device.  Devices that were polled but did
+    /// not answer are simply absent — which is itself evidence.
+    pub snapshots: BTreeMap<DeviceId, Vec<CounterSnapshot>>,
+}
+
+impl TelemetryRound {
+    /// The snapshot of one module in this round.
+    pub fn module(&self, module: &ModuleRef) -> Option<&CounterSnapshot> {
+        self.snapshots
+            .get(&module.device)?
+            .iter()
+            .find(|s| s.module == *module)
+    }
+}
+
+/// Collects counter snapshots from a set of devices on a periodic schedule
+/// of simulated time, keeping a bounded history of rounds.
+#[derive(Debug)]
+pub struct TelemetryCollector {
+    schedule: TelemetrySchedule,
+    devices: Vec<DeviceId>,
+    /// Collected rounds, oldest first.
+    pub rounds: Vec<TelemetryRound>,
+    max_rounds: usize,
+}
+
+impl TelemetryCollector {
+    /// A collector polling `devices` every `period` of simulated time.
+    pub fn new(devices: Vec<DeviceId>, period: SimDuration) -> Self {
+        TelemetryCollector {
+            schedule: TelemetrySchedule::new(period),
+            devices,
+            rounds: Vec::new(),
+            max_rounds: 64,
+        }
+    }
+
+    /// Cap the kept history (older rounds are discarded).
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> Self {
+        self.max_rounds = max_rounds.max(2);
+        self
+    }
+
+    /// The devices this collector polls.
+    pub fn devices(&self) -> &[DeviceId] {
+        &self.devices
+    }
+
+    /// Sample now regardless of the schedule.
+    pub fn sample<C: ManagementChannel>(&mut self, mn: &mut ManagedNetwork<C>) -> &TelemetryRound {
+        let at = mn.net.now();
+        let snapshots = mn.poll_counters(&self.devices);
+        self.rounds.push(TelemetryRound { at, snapshots });
+        if self.rounds.len() > self.max_rounds {
+            let excess = self.rounds.len() - self.max_rounds;
+            self.rounds.drain(..excess);
+        }
+        self.rounds.last().expect("just pushed")
+    }
+
+    /// Sample iff a round is due at the network's current simulated time.
+    /// Returns whether a sample was taken (a backlog of missed rounds
+    /// collapses into one sample — counters are cumulative).
+    pub fn tick<C: ManagementChannel>(&mut self, mn: &mut ManagedNetwork<C>) -> bool {
+        if self.schedule.due_rounds(mn.net.now()) == 0 {
+            return false;
+        }
+        self.sample(mn);
+        true
+    }
+
+    /// The most recent round.
+    pub fn latest(&self) -> Option<&TelemetryRound> {
+        self.rounds.last()
+    }
+
+    /// The round before the most recent one.
+    pub fn previous(&self) -> Option<&TelemetryRound> {
+        self.rounds.len().checked_sub(2).map(|i| &self.rounds[i])
+    }
+}

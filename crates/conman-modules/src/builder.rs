@@ -146,7 +146,11 @@ pub fn build_l2_switch_agent(device: &Device) -> ManagementAgent {
 /// Build the agent of an end host participating in a GRE tunnel (devices A
 /// and B of Figure 2): an overlay IP module, a GRE module, an underlay IP
 /// module and an ETH module.
-pub fn build_tunnel_host_agent(device: &Device, port: u32, overlay_domain: &str) -> ManagementAgent {
+pub fn build_tunnel_host_agent(
+    device: &Device,
+    port: u32,
+    overlay_domain: &str,
+) -> ManagementAgent {
     let mut agent = ManagementAgent::new(device.id, device.name.clone());
     let eth = ModuleRef::new(ModuleKind::Eth, ModuleId(1), device.id);
     agent.register(Box::new(EthModule::new(
@@ -161,7 +165,11 @@ pub fn build_tunnel_host_agent(device: &Device, port: u32, overlay_domain: &str)
         addr_on(device, port),
     )));
     let underlay = ModuleRef::new(ModuleKind::Ip, ModuleId(3), device.id);
-    agent.register(Box::new(IpModule::new(underlay, "isp", addr_on(device, port))));
+    agent.register(Box::new(IpModule::new(
+        underlay,
+        "isp",
+        addr_on(device, port),
+    )));
     let gre = ModuleRef::new(ModuleKind::Gre, ModuleId(4), device.id);
     agent.register(Box::new(GreModule::new(gre)));
     agent
@@ -181,7 +189,10 @@ pub fn build_plain_router_agent(device: &Device, ports: &[u32]) -> ManagementAge
             vec![ModuleKind::Ip, ModuleKind::Mpls],
         )));
     }
-    let primary = ports.first().map(|p| addr_on(device, *p)).unwrap_or(Ipv4Addr::UNSPECIFIED);
+    let primary = ports
+        .first()
+        .map(|p| addr_on(device, *p))
+        .unwrap_or(Ipv4Addr::UNSPECIFIED);
     let r = ModuleRef::new(ModuleKind::Ip, ModuleId(next), device.id);
     agent.register(Box::new(IpModule::new(r, "isp", primary)));
     agent
@@ -196,8 +207,10 @@ mod tests {
     #[test]
     fn edge_router_has_the_figure4_module_set() {
         let mut d = Device::new("RouterA", DeviceRole::Router, 3);
-        d.config.assign_address(0, "192.168.0.2/24".parse::<Ipv4Cidr>().unwrap());
-        d.config.assign_address(2, "204.9.168.1/24".parse::<Ipv4Cidr>().unwrap());
+        d.config
+            .assign_address(0, "192.168.0.2/24".parse::<Ipv4Cidr>().unwrap());
+        d.config
+            .assign_address(2, "204.9.168.1/24".parse::<Ipv4Cidr>().unwrap());
         let agent = build_router_agent(&d, &RouterPlan::edge(0, vec![2]));
         // ETH a, ETH b, IP g, IP h, GRE l, MPLS o
         assert_eq!(agent.module_count(), 6);
@@ -211,8 +224,10 @@ mod tests {
     #[test]
     fn core_router_has_no_customer_vrf_or_gre() {
         let mut d = Device::new("RouterB", DeviceRole::Router, 3);
-        d.config.assign_address(1, "204.9.168.2/24".parse::<Ipv4Cidr>().unwrap());
-        d.config.assign_address(2, "204.9.169.2/24".parse::<Ipv4Cidr>().unwrap());
+        d.config
+            .assign_address(1, "204.9.168.2/24".parse::<Ipv4Cidr>().unwrap());
+        d.config
+            .assign_address(2, "204.9.169.2/24".parse::<Ipv4Cidr>().unwrap());
         let agent = build_router_agent(&d, &RouterPlan::core(vec![1, 2]));
         // ETH c, ETH d, IP i, MPLS p
         assert_eq!(agent.module_count(), 4);

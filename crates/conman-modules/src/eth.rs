@@ -6,11 +6,14 @@
 //! (via the blackboard) which port underlies that pipe — the equivalent of
 //! `dev eth2` showing up in the Linux commands of Figure 7(a).
 
-use conman_core::abstraction::{ModuleAbstraction, PhysicalPipeInfo, SwitchKind};
+use conman_core::abstraction::{
+    CounterSnapshot, ModuleAbstraction, PhysicalPipeInfo, PipeCounters, SwitchKind,
+};
 use conman_core::ids::{ModuleKind, ModuleRef};
 use conman_core::module::{ModuleCtx, ModuleError, ModuleReaction, ProtocolModule};
 use conman_core::primitives::{ModuleActual, PipeSpec, SwitchSpec};
 use netsim::device::PortId;
+use netsim::stats::DropReason;
 
 /// The ETH protocol module.
 pub struct EthModule {
@@ -67,11 +70,7 @@ impl ProtocolModule for EthModule {
         let mut a = ModuleAbstraction::empty(self.me.clone());
         a.up_connectable = self.up_kinds.clone();
         a.peerable = vec![ModuleKind::Eth];
-        a.switch.kinds = if self.up_kinds.is_empty() {
-            vec![SwitchKind::PhyUp, SwitchKind::UpPhy]
-        } else {
-            vec![SwitchKind::PhyUp, SwitchKind::UpPhy]
-        };
+        a.switch.kinds = vec![SwitchKind::PhyUp, SwitchKind::UpPhy];
         if self.phy_switching {
             a.switch.kinds.push(SwitchKind::PhyPhy);
         }
@@ -95,6 +94,32 @@ impl ProtocolModule for EthModule {
             switch_rules: self.switch_rules.clone(),
             ..Default::default()
         }
+    }
+
+    fn counters(&self, ctx: &ModuleCtx) -> CounterSnapshot {
+        // "Frames received and transmitted per physical pipe": the device's
+        // per-port counters, one pipe label per bound port.
+        let mut snap = CounterSnapshot::empty(self.me.clone());
+        for p in &self.ports {
+            let c = ctx.stats.ports.get(&p.0).copied().unwrap_or_default();
+            let pipe = PipeCounters {
+                rx_packets: c.rx_packets,
+                tx_packets: c.tx_packets,
+                drops: c.drops,
+            };
+            snap.totals.absorb(&pipe);
+            snap.pipes.insert(format!("phy:{p}"), pipe);
+        }
+        for reason in [
+            DropReason::PortDown,
+            DropReason::NotForUs,
+            DropReason::Malformed,
+        ] {
+            if let Some(n) = ctx.stats.drops.get(&reason) {
+                snap.drop_breakdown.insert(format!("{reason:?}"), *n);
+            }
+        }
+        snap
     }
 
     fn create_pipe(
@@ -138,12 +163,14 @@ mod tests {
 
     fn ctx<'a>(
         config: &'a mut DeviceConfig,
+        stats: &'a netsim::stats::DeviceStats,
         blackboard: &'a mut BTreeMap<String, String>,
     ) -> ModuleCtx<'a> {
         ModuleCtx {
             device: DeviceId::from_raw(1),
             config,
             ports: &[],
+            stats,
             blackboard,
         }
     }
@@ -154,8 +181,9 @@ mod tests {
         let ip = ModuleRef::new(ModuleKind::Ip, ModuleId(2), DeviceId::from_raw(1));
         let mut m = EthModule::new(me.clone(), PortId(2), vec![ModuleKind::Ip]);
         let mut config = DeviceConfig::new();
+        let stats = netsim::stats::DeviceStats::default();
         let mut bb = BTreeMap::new();
-        let mut c = ctx(&mut config, &mut bb);
+        let mut c = ctx(&mut config, &stats, &mut bb);
         let spec = PipeSpec {
             pipe: PipeId(3),
             upper: ip,
@@ -173,7 +201,11 @@ mod tests {
     #[test]
     fn descriptor_shapes() {
         let me = ModuleRef::new(ModuleKind::Eth, ModuleId(1), DeviceId::from_raw(1));
-        let router_eth = EthModule::new(me.clone(), PortId(0), vec![ModuleKind::Ip, ModuleKind::Mpls]);
+        let router_eth = EthModule::new(
+            me.clone(),
+            PortId(0),
+            vec![ModuleKind::Ip, ModuleKind::Mpls],
+        );
         let d = router_eth.descriptor();
         assert!(d.can_switch(SwitchKind::PhyUp));
         assert!(!d.can_switch(SwitchKind::PhyPhy));

@@ -9,14 +9,16 @@
 //! 2001 icsum ocsum iseq oseq` line of Figure 7(a)).
 
 use conman_core::abstraction::{
-    Dependency, ModuleAbstraction, PerfTradeoff, PerformanceMetric, SwitchKind,
+    CounterSnapshot, Dependency, ModuleAbstraction, PerfTradeoff, PerformanceMetric, PipeCounters,
+    SwitchKind,
 };
 use conman_core::ids::{ModuleKind, ModuleRef, PipeId};
 use conman_core::module::{ModuleCtx, ModuleError, ModuleReaction, ProtocolModule};
 use conman_core::primitives::{
-    EnvelopeKind, ModuleActual, ModuleEnvelope, PipeSpec, SwitchSpec, TradeoffChoice,
+    ComponentRef, EnvelopeKind, ModuleActual, ModuleEnvelope, PipeSpec, SwitchSpec, TradeoffChoice,
 };
 use netsim::config::TunnelConfig;
+use netsim::stats::DropReason;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -112,7 +114,12 @@ impl ProtocolModule for GreModule {
             }
         }
         ModuleActual {
-            pipes: self.up_pipe.iter().chain(self.down_pipe.iter()).copied().collect(),
+            pipes: self
+                .up_pipe
+                .iter()
+                .chain(self.down_pipe.iter())
+                .copied()
+                .collect(),
             switch_rules: if self.configured_tunnel.is_some() {
                 vec![format!("{:?} <=> {:?}", self.up_pipe, self.down_pipe)]
             } else {
@@ -121,6 +128,73 @@ impl ProtocolModule for GreModule {
             filters: Vec::new(),
             perf_report: perf,
         }
+    }
+
+    fn counters(&self, ctx: &ModuleCtx) -> CounterSnapshot {
+        // Table III row x: packets received and transmitted per pipe.  The
+        // up pipe carries decapsulated customer packets (tunnel rx) and the
+        // down pipe carries encapsulated ones (tunnel tx).
+        let mut snap = CounterSnapshot::empty(self.me.clone());
+        if let Some(id) = self.configured_tunnel {
+            let c = ctx.stats.tunnels.get(&id).copied().unwrap_or_default();
+            if let Some(up) = self.up_pipe {
+                snap.pipes.insert(
+                    format!("up:{up}"),
+                    PipeCounters {
+                        rx_packets: c.tx_packets, // handed down by the payload protocol
+                        tx_packets: c.rx_packets, // handed up after decapsulation
+                        drops: 0,
+                    },
+                );
+            }
+            if let Some(down) = self.down_pipe {
+                snap.pipes.insert(
+                    format!("down:{down}"),
+                    PipeCounters {
+                        rx_packets: c.rx_packets,
+                        tx_packets: c.tx_packets,
+                        drops: c.drops,
+                    },
+                );
+            }
+            snap.totals = PipeCounters {
+                rx_packets: c.rx_packets,
+                tx_packets: c.tx_packets,
+                drops: c.drops,
+            };
+        }
+        // Key/sequencing/checksum mismatches are this module's fault domain.
+        if let Some(n) = ctx.stats.drops.get(&DropReason::TunnelMismatch) {
+            snap.drop_breakdown
+                .insert(format!("{:?}", DropReason::TunnelMismatch), *n);
+        }
+        snap
+    }
+
+    fn delete(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        component: &ComponentRef,
+    ) -> Result<ModuleReaction, ModuleError> {
+        let ComponentRef::Pipe(pipe) = component else {
+            return Ok(ModuleReaction::none());
+        };
+        if Some(*pipe) != self.up_pipe && Some(*pipe) != self.down_pipe {
+            return Ok(ModuleReaction::none());
+        }
+        // Losing either pipe tears the tunnel down; the module returns to
+        // its unconfigured state so a later path can rebuild it.
+        if let Some(id) = self.configured_tunnel.take() {
+            ctx.config.tunnels.remove(&id);
+        }
+        if Some(*pipe) == self.up_pipe {
+            self.up_pipe = None;
+        } else {
+            self.down_pipe = None;
+        }
+        self.params = None;
+        self.pending_switch = false;
+        Ok(ModuleReaction::none())
     }
 
     fn create_pipe(
@@ -189,8 +263,14 @@ impl ProtocolModule for GreModule {
         if let Some(p) = env.body.get("propose") {
             let ikey = p.get("your_ikey").and_then(|v| v.as_u64()).unwrap_or(0) as u32;
             let okey = p.get("your_okey").and_then(|v| v.as_u64()).unwrap_or(0) as u32;
-            let sequencing = p.get("sequencing").and_then(|v| v.as_bool()).unwrap_or(false);
-            let checksums = p.get("checksums").and_then(|v| v.as_bool()).unwrap_or(false);
+            let sequencing = p
+                .get("sequencing")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false);
+            let checksums = p
+                .get("checksums")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false);
             self.params = Some(GreParams {
                 ikey,
                 okey,
@@ -215,7 +295,8 @@ impl ProtocolModule for GreModule {
         if self.configured_tunnel.is_some() || !self.pending_switch {
             return ModuleReaction::none();
         }
-        let (Some(up), Some(down), Some(params)) = (self.up_pipe, self.down_pipe, self.params) else {
+        let (Some(up), Some(down), Some(params)) = (self.up_pipe, self.down_pipe, self.params)
+        else {
             return ModuleReaction::none();
         };
         let (Some(local), Some(remote)) = (

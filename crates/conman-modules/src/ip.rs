@@ -9,16 +9,18 @@
 //! and (for IP-IP paths) tunnel state in the simulated data plane.
 
 use conman_core::abstraction::{
-    Dependency, FilterCapability, FilterClassifier, ModuleAbstraction, SwitchKind,
+    CounterSnapshot, Dependency, FilterCapability, FilterClassifier, ModuleAbstraction, SwitchKind,
 };
 use conman_core::ids::{ModuleKind, ModuleRef, PipeId};
 use conman_core::module::{ModuleCtx, ModuleError, ModuleReaction, ProtocolModule};
 use conman_core::primitives::{
-    EnvelopeKind, FilterSpec, ModuleActual, ModuleEnvelope, PipeSpec, SwitchSpec,
+    ComponentRef, EnvelopeKind, FilterSpec, ModuleActual, ModuleEnvelope, PipeSpec, SwitchSpec,
 };
 use netsim::config::{FilterAction, FilterRule, TunnelConfig};
 use netsim::ipv4::Ipv4Cidr;
+use netsim::mpls::NhlfeKey;
 use netsim::route::{PolicyRule, Route, RouteTableId, RouteTarget, RuleSelector};
+use netsim::stats::DropReason;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -39,6 +41,45 @@ struct PipeRec {
     query_sent: bool,
 }
 
+/// How a pipe reaches the next device: a raw Ethernet adjacency or an MPLS
+/// LSP entry installed by the MPLS module on the same device.
+#[derive(Debug, Clone, Copy)]
+enum Attachment {
+    /// Ethernet adjacency: egress port plus the peer's learnt address.
+    Adjacency { port: u32, nexthop: Ipv4Addr },
+    /// LSP access point: the push NHLFE and the port it transmits on.
+    Mpls { key: NhlfeKey, port: u32 },
+}
+
+impl Attachment {
+    fn port(&self) -> u32 {
+        match self {
+            Attachment::Adjacency { port, .. } | Attachment::Mpls { port, .. } => *port,
+        }
+    }
+
+    fn target(&self) -> RouteTarget {
+        match self {
+            Attachment::Adjacency { port, nexthop } => RouteTarget::Port {
+                port: *port,
+                via: Some(*nexthop),
+            },
+            Attachment::Mpls { key, .. } => RouteTarget::Mpls { nhlfe: *key },
+        }
+    }
+}
+
+/// Data-plane artifacts one switch rule installed, remembered so `delete`
+/// can undo exactly what `create` did (the NM's teardown scripts during
+/// self-healing rely on this).
+#[derive(Debug, Clone, Default)]
+struct InstalledSwitch {
+    rules: Vec<(u32, RouteTableId)>,
+    tables: Vec<RouteTableId>,
+    main_routes: Vec<Ipv4Cidr>,
+    tunnels: Vec<u32>,
+}
+
 /// The IPv4 protocol module.
 pub struct IpModule {
     me: ModuleRef,
@@ -49,7 +90,8 @@ pub struct IpModule {
     pub primary: Ipv4Addr,
     pipes: BTreeMap<PipeId, PipeRec>,
     pending_switches: Vec<SwitchSpec>,
-    applied_switches: Vec<String>,
+    applied_switches: Vec<((PipeId, PipeId), String)>,
+    installed: BTreeMap<(PipeId, PipeId), InstalledSwitch>,
     filters_installed: Vec<String>,
     next_filter_id: u32,
 }
@@ -64,6 +106,7 @@ impl IpModule {
             pipes: BTreeMap::new(),
             pending_switches: Vec::new(),
             applied_switches: Vec::new(),
+            installed: BTreeMap::new(),
             filters_installed: Vec::new(),
             next_filter_id: 1,
         }
@@ -80,8 +123,7 @@ impl IpModule {
     /// Is this pipe an "endpoint" pipe: this module is the lower end beneath
     /// a tunnelling module (GRE, or another IP module for IP-IP)?
     fn is_endpoint_pipe(rec: &PipeRec) -> bool {
-        rec.role == Role::Lower
-            && matches!(rec.spec.upper.kind, ModuleKind::Gre | ModuleKind::Ip)
+        rec.role == Role::Lower && matches!(rec.spec.upper.kind, ModuleKind::Gre | ModuleKind::Ip)
     }
 
     /// Is this pipe an "adjacency" pipe: this module is the upper end above
@@ -93,6 +135,26 @@ impl IpModule {
     /// The port underlying an adjacency pipe (published by its ETH module).
     fn port_of(ctx: &ModuleCtx, pipe: PipeId) -> Option<u32> {
         ctx.pipe_attr(pipe, "port").and_then(|s| s.parse().ok())
+    }
+
+    /// How this module can reach the far side through one of its pipes:
+    /// either a plain Ethernet adjacency (port + learnt next hop) or an
+    /// MPLS LSP access point published by the MPLS module below.  Paths like
+    /// `IP-IP over MPLS` hang tunnel endpoints and transit hops over LSPs
+    /// instead of raw links, and healing routinely picks them.
+    fn attachment_of(&self, ctx: &ModuleCtx, rec: &PipeRec) -> Option<Attachment> {
+        if Self::is_adjacency_pipe(rec) {
+            let port = Self::port_of(ctx, rec.spec.pipe)?;
+            let nexthop = ctx
+                .pipe_attr(rec.spec.pipe, "nexthop")?
+                .parse::<Ipv4Addr>()
+                .ok()?;
+            return Some(Attachment::Adjacency { port, nexthop });
+        }
+        let attach = ctx.pipe_attr(rec.spec.pipe, "attach")?;
+        let key = NhlfeKey(attach.strip_prefix("mpls:")?.parse().ok()?);
+        let port = ctx.config.mpls.nhlfe_by_key(key)?.out_port;
+        Some(Attachment::Mpls { key, port })
     }
 
     /// The address this module uses on a given adjacency pipe.
@@ -117,7 +179,13 @@ impl IpModule {
         }
     }
 
-    fn record_learned(&mut self, ctx: &mut ModuleCtx, pipe: PipeId, their: Ipv4Addr, ours: Ipv4Addr) {
+    fn record_learned(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        pipe: PipeId,
+        their: Ipv4Addr,
+        ours: Ipv4Addr,
+    ) {
         if let Some(rec) = self.pipes.get_mut(&pipe) {
             rec.learned = Some(their);
             if Self::is_endpoint_pipe(rec) {
@@ -136,7 +204,10 @@ impl IpModule {
             let Some(attach) = ctx.pipe_attr(spec.out_pipe, "attach").cloned() else {
                 return false;
             };
-            let Some(prefix) = spec.resolved.get(class).and_then(|s| s.parse::<Ipv4Cidr>().ok())
+            let Some(prefix) = spec
+                .resolved
+                .get(class)
+                .and_then(|s| s.parse::<Ipv4Cidr>().ok())
             else {
                 return false;
             };
@@ -146,18 +217,29 @@ impl IpModule {
                 None => return false,
             };
             ctx.config.ip_forwarding = true;
-            ctx.config.rib.name_table(table, format!("conman-{}", spec.out_pipe));
+            ctx.config
+                .rib
+                .name_table(table, format!("conman-{}", spec.out_pipe));
             ctx.config.rib.table_mut(table).add(Route {
                 dest: Ipv4Cidr::DEFAULT,
                 target,
             });
+            let priority = 100 + spec.out_pipe.0;
             ctx.config.rib.add_rule(PolicyRule {
-                priority: 100 + spec.out_pipe.0,
+                priority,
                 selector: RuleSelector::ToPrefix(prefix),
                 table,
             });
-            self.applied_switches
-                .push(format!("[{} dst:{} => {}]", spec.in_pipe, class, spec.out_pipe));
+            let installed = self
+                .installed
+                .entry((spec.in_pipe, spec.out_pipe))
+                .or_default();
+            installed.rules.push((priority, table));
+            installed.tables.push(table);
+            self.applied_switches.push((
+                (spec.in_pipe, spec.out_pipe),
+                format!("[{} dst:{} => {}]", spec.in_pipe, class, spec.out_pipe),
+            ));
             return true;
         }
 
@@ -167,17 +249,29 @@ impl IpModule {
             let Some(port) = Self::port_of(ctx, spec.out_pipe) else {
                 return false;
             };
-            let Some(gw) = spec.resolved.get(gateway).and_then(|s| s.parse::<Ipv4Addr>().ok())
+            let Some(gw) = spec
+                .resolved
+                .get(gateway)
+                .and_then(|s| s.parse::<Ipv4Addr>().ok())
             else {
                 return false;
             };
             ctx.config.ip_forwarding = true;
+            let installed = self
+                .installed
+                .entry((spec.in_pipe, spec.out_pipe))
+                .or_default();
             // Traffic decapsulated from a tunnel attachment gets a dedicated
             // policy rule (mirroring `ip rule add iif greA` in Figure 7(a)).
             if let Some(attach) = ctx.pipe_attr(spec.in_pipe, "attach").cloned() {
-                if let Some(tunnel) = attach.strip_prefix("tunnel:").and_then(|s| s.parse::<u32>().ok()) {
+                if let Some(tunnel) = attach
+                    .strip_prefix("tunnel:")
+                    .and_then(|s| s.parse::<u32>().ok())
+                {
                     let table = RouteTableId(220 + spec.in_pipe.0);
-                    ctx.config.rib.name_table(table, format!("conman-rev-{}", spec.in_pipe));
+                    ctx.config
+                        .rib
+                        .name_table(table, format!("conman-rev-{}", spec.in_pipe));
                     ctx.config.rib.table_mut(table).add(Route {
                         dest: Ipv4Cidr::DEFAULT,
                         target: RouteTarget::Port {
@@ -185,11 +279,14 @@ impl IpModule {
                             via: Some(gw),
                         },
                     });
+                    let priority = 120 + spec.in_pipe.0;
                     ctx.config.rib.add_rule(PolicyRule {
-                        priority: 120 + spec.in_pipe.0,
+                        priority,
                         selector: RuleSelector::FromTunnel(tunnel),
                         table,
                     });
+                    installed.rules.push((priority, table));
+                    installed.tables.push(table);
                 }
             }
             // In every case, make the local site prefix reachable through the
@@ -207,9 +304,12 @@ impl IpModule {
                         via: Some(gw),
                     },
                 });
+                installed.main_routes.push(prefix);
             }
-            self.applied_switches
-                .push(format!("[{} => {}, {}]", spec.in_pipe, spec.out_pipe, gateway));
+            self.applied_switches.push((
+                (spec.in_pipe, spec.out_pipe),
+                format!("[{} => {}, {}]", spec.in_pipe, spec.out_pipe, gateway),
+            ));
             return true;
         }
 
@@ -220,35 +320,38 @@ impl IpModule {
         ) else {
             return false;
         };
-        let endpoint = [&in_rec, &out_rec].into_iter().find(|r| Self::is_endpoint_pipe(r));
-        let adjacency = [&in_rec, &out_rec].into_iter().find(|r| Self::is_adjacency_pipe(r));
-        match (endpoint, adjacency) {
+        let endpoint = [&in_rec, &out_rec]
+            .into_iter()
+            .find(|r| Self::is_endpoint_pipe(r));
+        match endpoint {
             // Tunnel-endpoint switch (Figure 7(b) command 8): route the
-            // remote tunnel endpoint via the adjacent peer.
-            (Some(ep), Some(adj)) => {
+            // remote tunnel endpoint through the other pipe's attachment —
+            // an Ethernet adjacency or, on `... over MPLS` paths, an LSP.
+            Some(ep) => {
+                let other = if ep.spec.pipe == in_rec.spec.pipe {
+                    &out_rec
+                } else {
+                    &in_rec
+                };
                 let Some(remote) = ctx
                     .pipe_attr(ep.spec.pipe, "remote_addr")
                     .and_then(|s| s.parse::<Ipv4Addr>().ok())
                 else {
                     return false;
                 };
-                let Some(nexthop) = ctx
-                    .pipe_attr(adj.spec.pipe, "nexthop")
-                    .and_then(|s| s.parse::<Ipv4Addr>().ok())
-                else {
-                    return false;
-                };
-                let Some(port) = Self::port_of(ctx, adj.spec.pipe) else {
+                let Some(attachment) = self.attachment_of(ctx, other) else {
                     return false;
                 };
                 ctx.config.ip_forwarding = true;
                 ctx.config.rib.add_main(Route {
                     dest: Ipv4Cidr::new(remote, 32),
-                    target: RouteTarget::Port {
-                        port,
-                        via: Some(nexthop),
-                    },
+                    target: attachment.target(),
                 });
+                let installed = self
+                    .installed
+                    .entry((spec.in_pipe, spec.out_pipe))
+                    .or_default();
+                installed.main_routes.push(Ipv4Cidr::new(remote, 32));
                 // For an IP-IP path this module is itself the tunnelling
                 // protocol: create the IP-IP tunnel and expose the attachment
                 // to the customer IP module above.
@@ -260,57 +363,67 @@ impl IpModule {
                         .and_then(|s| s.parse::<Ipv4Addr>().ok())
                         .unwrap_or(self.primary);
                     let id = ctx.config.tunnels.keys().max().copied().unwrap_or(0) + 1;
-                    let mut t = TunnelConfig::ipip(id, format!("ipip-{}", ep.spec.pipe), local, remote);
+                    let mut t =
+                        TunnelConfig::ipip(id, format!("ipip-{}", ep.spec.pipe), local, remote);
                     t.ttl = 64;
                     ctx.config.tunnels.insert(id, t);
                     ctx.set_pipe_attr(ep.spec.pipe, "attach", format!("tunnel:{id}"));
+                    self.installed
+                        .entry((spec.in_pipe, spec.out_pipe))
+                        .or_default()
+                        .tunnels
+                        .push(id);
                 }
-                self.applied_switches
-                    .push(format!("[{} <=> {}]", spec.in_pipe, spec.out_pipe));
+                self.applied_switches.push((
+                    (spec.in_pipe, spec.out_pipe),
+                    format!("[{} <=> {}]", spec.in_pipe, spec.out_pipe),
+                ));
                 true
             }
-            // Transit switch between two adjacency pipes (the core router's
-            // IP module in the IP-IP / GRE-IP paths): interface-scoped
-            // default routes in both directions.
-            (None, Some(_)) => {
-                let both = [&in_rec, &out_rec];
-                if !both.iter().all(|r| Self::is_adjacency_pipe(r)) {
+            // Transit switch between two attachments (the core router's IP
+            // module): interface-scoped default routes in both directions.
+            // Either side may be an Ethernet adjacency or an LSP access
+            // point (a transit hop where the packet leaves/rejoins an MPLS
+            // segment).
+            None => {
+                let (Some(att_in), Some(att_out)) = (
+                    self.attachment_of(ctx, &in_rec),
+                    self.attachment_of(ctx, &out_rec),
+                ) else {
                     return false;
-                }
-                let mut resolved = Vec::new();
-                for (a, b) in [(&in_rec, &out_rec), (&out_rec, &in_rec)] {
-                    let (Some(port_in), Some(port_out), Some(nexthop_out)) = (
-                        Self::port_of(ctx, a.spec.pipe),
-                        Self::port_of(ctx, b.spec.pipe),
-                        ctx.pipe_attr(b.spec.pipe, "nexthop")
-                            .and_then(|s| s.parse::<Ipv4Addr>().ok()),
-                    ) else {
-                        return false;
-                    };
-                    resolved.push((port_in, port_out, nexthop_out));
-                }
+                };
                 ctx.config.ip_forwarding = true;
-                for (i, (port_in, port_out, nexthop_out)) in resolved.into_iter().enumerate() {
+                let installed = self
+                    .installed
+                    .entry((spec.in_pipe, spec.out_pipe))
+                    .or_default();
+                for (i, (from, to)) in [(att_in, att_out), (att_out, att_in)]
+                    .into_iter()
+                    .enumerate()
+                {
                     let table = RouteTableId(240 + spec.in_pipe.0 * 2 + i as u32);
-                    ctx.config.rib.name_table(table, format!("conman-transit-{}", table.0));
+                    ctx.config
+                        .rib
+                        .name_table(table, format!("conman-transit-{}", table.0));
                     ctx.config.rib.table_mut(table).add(Route {
                         dest: Ipv4Cidr::DEFAULT,
-                        target: RouteTarget::Port {
-                            port: port_out,
-                            via: Some(nexthop_out),
-                        },
+                        target: to.target(),
                     });
+                    let priority = 140 + spec.in_pipe.0 * 2 + i as u32;
                     ctx.config.rib.add_rule(PolicyRule {
-                        priority: 140 + spec.in_pipe.0 * 2 + i as u32,
-                        selector: RuleSelector::FromPort(port_in),
+                        priority,
+                        selector: RuleSelector::FromPort(from.port()),
                         table,
                     });
+                    installed.rules.push((priority, table));
+                    installed.tables.push(table);
                 }
-                self.applied_switches
-                    .push(format!("[{} <=> {}]", spec.in_pipe, spec.out_pipe));
+                self.applied_switches.push((
+                    (spec.in_pipe, spec.out_pipe),
+                    format!("[{} <=> {}]", spec.in_pipe, spec.out_pipe),
+                ));
                 true
             }
-            _ => false,
         }
     }
 }
@@ -369,18 +482,81 @@ impl ProtocolModule for IpModule {
 
     fn actual(&self, ctx: &ModuleCtx) -> ModuleActual {
         let mut perf = BTreeMap::new();
-        perf.insert("routes".to_string(), ctx
-            .config
-            .rib
-            .tables()
-            .map(|(_, t)| t.len() as u64)
-            .sum::<u64>());
+        perf.insert(
+            "routes".to_string(),
+            ctx.config
+                .rib
+                .tables()
+                .map(|(_, t)| t.len() as u64)
+                .sum::<u64>(),
+        );
         ModuleActual {
             pipes: self.pipes.keys().copied().collect(),
-            switch_rules: self.applied_switches.clone(),
+            switch_rules: self
+                .applied_switches
+                .iter()
+                .map(|(_, s)| s.clone())
+                .collect(),
             filters: self.filters_installed.clone(),
             perf_report: perf,
         }
+    }
+
+    fn counters(&self, ctx: &ModuleCtx) -> CounterSnapshot {
+        // Packets forwarded, delivered and dropped — the engine does not
+        // attribute IP processing to individual pipes, so the module reports
+        // totals plus the drop reasons in its fault domain.
+        let mut snap = CounterSnapshot::empty(self.me.clone());
+        snap.totals.rx_packets = ctx.stats.forwarded + ctx.stats.local_delivered;
+        snap.totals.tx_packets = ctx.stats.forwarded + ctx.stats.originated;
+        for reason in [
+            DropReason::NoRoute,
+            DropReason::TtlExpired,
+            DropReason::Filtered,
+            DropReason::ForwardingDisabled,
+        ] {
+            if let Some(n) = ctx.stats.drops.get(&reason) {
+                snap.totals.drops += *n;
+                snap.drop_breakdown.insert(format!("{reason:?}"), *n);
+            }
+        }
+        snap
+    }
+
+    fn delete(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        component: &ComponentRef,
+    ) -> Result<ModuleReaction, ModuleError> {
+        match component {
+            ComponentRef::SwitchRule(module, in_pipe, out_pipe) if *module == self.me => {
+                if let Some(installed) = self.installed.remove(&(*in_pipe, *out_pipe)) {
+                    for (priority, table) in &installed.rules {
+                        ctx.config.rib.remove_rule(*priority, *table);
+                    }
+                    for table in &installed.tables {
+                        ctx.config.rib.drop_table(*table);
+                    }
+                    for dest in &installed.main_routes {
+                        ctx.config.rib.table_mut(RouteTableId::MAIN).remove(*dest);
+                    }
+                    for tunnel in &installed.tunnels {
+                        ctx.config.tunnels.remove(tunnel);
+                    }
+                }
+                self.applied_switches
+                    .retain(|(key, _)| *key != (*in_pipe, *out_pipe));
+                self.pending_switches
+                    .retain(|s| !(s.in_pipe == *in_pipe && s.out_pipe == *out_pipe));
+            }
+            ComponentRef::Pipe(pipe) => {
+                self.pipes.remove(pipe);
+                self.pending_switches
+                    .retain(|s| s.in_pipe != *pipe && s.out_pipe != *pipe);
+            }
+            _ => {}
+        }
+        Ok(ModuleReaction::none())
     }
 
     fn create_pipe(
@@ -433,7 +609,10 @@ impl ProtocolModule for IpModule {
             .resolved
             .get("to-address")
             .and_then(|s| s.parse::<Ipv4Cidr>().ok());
-        let dst_port = spec.resolved.get("to-port").and_then(|s| s.parse::<u16>().ok());
+        let dst_port = spec
+            .resolved
+            .get("to-port")
+            .and_then(|s| s.parse::<u16>().ok());
         if src.is_none() && dst.is_none() {
             return Ok(ModuleReaction::envelope(ModuleEnvelope {
                 from: self.me.clone(),

@@ -5,13 +5,14 @@
 //! ILM / NHLFE / cross-connect entries that the Figure 8(a) script created by
 //! hand (`mpls nhlfe add`, `mpls ilm add`, `mpls xc add`).
 
-use conman_core::abstraction::{ModuleAbstraction, SwitchKind};
+use conman_core::abstraction::{CounterSnapshot, ModuleAbstraction, SwitchKind};
 use conman_core::ids::{ModuleKind, ModuleRef, PipeId};
 use conman_core::module::{ModuleCtx, ModuleError, ModuleReaction, ProtocolModule};
 use conman_core::primitives::{
-    EnvelopeKind, ModuleActual, ModuleEnvelope, Notification, PipeSpec, SwitchSpec,
+    ComponentRef, EnvelopeKind, ModuleActual, ModuleEnvelope, Notification, PipeSpec, SwitchSpec,
 };
-use netsim::mpls::{IlmEntry, Label, LabelOp, Nhlfe};
+use netsim::mpls::{IlmEntry, Label, LabelOp, Nhlfe, NhlfeKey};
+use netsim::stats::DropReason;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
@@ -40,6 +41,14 @@ enum PipeKind {
     Adjacency,
 }
 
+/// Label-plane artifacts one switch rule installed, so `delete` can undo
+/// them during self-healing teardown.
+#[derive(Debug, Clone, Default)]
+struct InstalledLsp {
+    nhlfe: Vec<NhlfeKey>,
+    xc: Vec<(u16, u32)>,
+}
+
 /// The MPLS protocol module.
 pub struct MplsModule {
     me: ModuleRef,
@@ -48,6 +57,7 @@ pub struct MplsModule {
     access_pipes: Vec<PipeId>,
     pending_switches: Vec<SwitchSpec>,
     applied: Vec<String>,
+    installed: BTreeMap<(PipeId, PipeId), InstalledLsp>,
     next_label: u32,
     notified: bool,
 }
@@ -64,6 +74,7 @@ impl MplsModule {
             access_pipes: Vec::new(),
             pending_switches: Vec::new(),
             applied: Vec::new(),
+            installed: BTreeMap::new(),
             next_label,
             notified: false,
         }
@@ -85,7 +96,11 @@ impl MplsModule {
     }
 
     /// Apply a pending switch rule once the necessary label bindings exist.
-    fn try_apply_switch(&mut self, ctx: &mut ModuleCtx, spec: &SwitchSpec) -> Option<Vec<Notification>> {
+    fn try_apply_switch(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        spec: &SwitchSpec,
+    ) -> Option<Vec<Notification>> {
         let kinds = (
             self.pipes.get(&spec.in_pipe).copied(),
             self.pipes.get(&spec.out_pipe).copied(),
@@ -107,6 +122,10 @@ impl MplsModule {
                     return None;
                 };
                 let port = Self::port_of(ctx, adjacency)?;
+                let installed = self
+                    .installed
+                    .entry((spec.in_pipe, spec.out_pipe))
+                    .or_default();
                 // Outgoing direction: push the peer's label.
                 let push_key = ctx.config.mpls.alloc_key();
                 ctx.config.mpls.add_nhlfe(Nhlfe {
@@ -135,6 +154,8 @@ impl MplsModule {
                     },
                     pop_key,
                 );
+                installed.nhlfe.extend([push_key, pop_key]);
+                installed.xc.push((0, in_label));
                 self.applied.push(format!(
                     "endpoint: push {} towards {}, pop {} locally",
                     out_label, peer_addr, in_label
@@ -154,7 +175,10 @@ impl MplsModule {
             (Some(PipeKind::Adjacency), Some(PipeKind::Adjacency)) => {
                 let a = self.adjacencies.get(&spec.in_pipe)?.clone();
                 let b = self.adjacencies.get(&spec.out_pipe)?.clone();
-                for (from, to, from_pipe, to_pipe) in [(&a, &b, spec.in_pipe, spec.out_pipe), (&b, &a, spec.out_pipe, spec.in_pipe)] {
+                for (from, to, from_pipe, to_pipe) in [
+                    (&a, &b, spec.in_pipe, spec.out_pipe),
+                    (&b, &a, spec.out_pipe, spec.in_pipe),
+                ] {
                     let (Some(in_label), Some(out_label), Some(next)) =
                         (from.in_label, to.out_label, to.peer_addr)
                     else {
@@ -178,6 +202,12 @@ impl MplsModule {
                         },
                         key,
                     );
+                    let installed = self
+                        .installed
+                        .entry((spec.in_pipe, spec.out_pipe))
+                        .or_default();
+                    installed.nhlfe.push(key);
+                    installed.xc.push((0, in_label));
                     self.applied
                         .push(format!("transit: {} -> swap {}", in_label, out_label));
                 }
@@ -209,14 +239,71 @@ impl ProtocolModule for MplsModule {
 
     fn actual(&self, ctx: &ModuleCtx) -> ModuleActual {
         let mut perf = BTreeMap::new();
-        perf.insert("nhlfe-entries".to_string(), ctx.config.mpls.nhlfe.len() as u64);
-        perf.insert("cross-connects".to_string(), ctx.config.mpls.xc.len() as u64);
+        perf.insert(
+            "nhlfe-entries".to_string(),
+            ctx.config.mpls.nhlfe.len() as u64,
+        );
+        perf.insert(
+            "cross-connects".to_string(),
+            ctx.config.mpls.xc.len() as u64,
+        );
         ModuleActual {
             pipes: self.pipes.keys().copied().collect(),
             switch_rules: self.applied.clone(),
             filters: Vec::new(),
             perf_report: perf,
         }
+    }
+
+    fn counters(&self, ctx: &ModuleCtx) -> CounterSnapshot {
+        // Labelled packets forwarded per cross-connect: the engine counts
+        // label forwarding in the device-wide `forwarded` tally; unmatched
+        // labels are this module's fault domain.
+        let mut snap = CounterSnapshot::empty(self.me.clone());
+        snap.totals.rx_packets = ctx.stats.forwarded;
+        snap.totals.tx_packets = ctx.stats.forwarded;
+        if let Some(n) = ctx.stats.drops.get(&DropReason::NoLabel) {
+            snap.totals.drops += *n;
+            snap.drop_breakdown
+                .insert(format!("{:?}", DropReason::NoLabel), *n);
+        }
+        snap
+    }
+
+    fn delete(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        component: &ComponentRef,
+    ) -> Result<ModuleReaction, ModuleError> {
+        match component {
+            ComponentRef::SwitchRule(module, in_pipe, out_pipe) if *module == self.me => {
+                if let Some(installed) = self.installed.remove(&(*in_pipe, *out_pipe)) {
+                    for key in &installed.nhlfe {
+                        ctx.config.mpls.remove_nhlfe(*key);
+                    }
+                    for (labelspace, label) in &installed.xc {
+                        if let Some(label) = Label::new(*label) {
+                            ctx.config.mpls.remove_xc(IlmEntry {
+                                labelspace: *labelspace,
+                                label,
+                            });
+                        }
+                    }
+                }
+                self.pending_switches
+                    .retain(|s| !(s.in_pipe == *in_pipe && s.out_pipe == *out_pipe));
+            }
+            ComponentRef::Pipe(pipe) => {
+                self.pipes.remove(pipe);
+                self.adjacencies.remove(pipe);
+                self.access_pipes.retain(|p| p != pipe);
+                self.pending_switches
+                    .retain(|s| s.in_pipe != *pipe && s.out_pipe != *pipe);
+                self.notified = false;
+            }
+            _ => {}
+        }
+        Ok(ModuleReaction::none())
     }
 
     fn create_pipe(
@@ -285,10 +372,7 @@ impl ProtocolModule for MplsModule {
         };
         let our_label = match our_label {
             Some(l) => l,
-            None => {
-                let l = self.alloc_label();
-                l
-            }
+            None => self.alloc_label(),
         };
         let port = Self::port_of(ctx, pipe);
         let our_addr = port
@@ -320,12 +404,20 @@ impl ProtocolModule for MplsModule {
         // Initiate label exchanges once the underlying port is known.
         let pipes: Vec<PipeId> = self.adjacencies.keys().copied().collect();
         for pipe in pipes {
-            let adj = self.adjacencies.get(&pipe).expect("adjacency exists").clone();
+            let adj = self
+                .adjacencies
+                .get(&pipe)
+                .expect("adjacency exists")
+                .clone();
             if adj.sent || !adj.initiate {
                 continue;
             }
-            let Some(peer) = adj.peer.clone() else { continue };
-            let Some(port) = Self::port_of(ctx, pipe) else { continue };
+            let Some(peer) = adj.peer.clone() else {
+                continue;
+            };
+            let Some(port) = Self::port_of(ctx, pipe) else {
+                continue;
+            };
             let our_addr = ctx
                 .config
                 .address_on_port(port)

@@ -14,6 +14,7 @@ use conman_core::nm::ConnectivityGoal;
 use conman_core::runtime::ManagedNetwork;
 use mgmt_channel::{ManagementChannel, OutOfBandChannel};
 use netsim::device::{Device, DeviceId, DeviceRole, PortId};
+use netsim::link::LinkProperties;
 use netsim::topology::{self, ChainTopology, VlanChain};
 
 /// A managed version of the Figure 4 / chain VPN testbed.
@@ -30,6 +31,8 @@ pub struct ManagedChain<C: ManagementChannel> {
     pub customer2: DeviceId,
     /// Host in customer site 2.
     pub host2: DeviceId,
+    /// Monotonic probe payload counter (each diagnosis probe is distinct).
+    probe_seq: u64,
 }
 
 /// Build a managed ISP chain with `n` core routers using the out-of-band
@@ -50,9 +53,17 @@ pub fn managed_chain_with<C: ManagementChannel>(n: usize, channel: C) -> Managed
         ..
     } = topology::isp_chain(n);
 
-    // The NM's management station: present in the network but without any
-    // data-plane links (the out-of-band channel does not need them).
+    // The NM's management station.  The out-of-band channel needs no
+    // physical attachment (direct mailboxes), but the in-band variant floods
+    // over real links, so the station is plugged into the ingress router's
+    // free port — the paper's "NM is attached somewhere in the network".
     let station = net.add_device(Device::new("NMStation", DeviceRole::Host, 1));
+    net.connect(
+        (station, PortId(0)),
+        (core[0], PortId(1)),
+        LinkProperties::lan(),
+    )
+    .expect("the first core router's previous-hop port is free");
 
     let mut mn = ManagedNetwork::new(net, station, channel);
     for (i, id) in core.iter().enumerate() {
@@ -72,6 +83,7 @@ pub fn managed_chain_with<C: ManagementChannel>(n: usize, channel: C) -> Managed
         core,
         customer2,
         host2,
+        probe_seq: 0,
     }
 }
 
@@ -129,8 +141,55 @@ impl<C: ManagementChannel> ManagedChain<C> {
         self.send_between(self.host2, "10.0.1.5", payload)
     }
 
+    /// One end-to-end diagnosis probe (site 1 → site 2) with a distinct
+    /// payload; returns whether it was delivered.  This is the probe closure
+    /// the `conman-diagnose` Diagnoser/Healer drive.
+    pub fn probe(&mut self) -> bool {
+        self.probe_seq += 1;
+        let payload = format!("diag-probe-{}", self.probe_seq).into_bytes();
+        self.send_site1_to_site2(&payload).0
+    }
+
+    /// A self-contained probe closure for the diagnosis layer: captures the
+    /// site hosts by id (not the testbed), so it can be handed to
+    /// `Diagnoser::diagnose` / `Healer::heal` alongside `&mut self.mn`.
+    pub fn probe_fn(&self) -> impl FnMut(&mut ManagedNetwork<C>) -> bool {
+        let (host1, host2) = (self.host1, self.host2);
+        let mut seq = 0u64;
+        move |mn: &mut ManagedNetwork<C>| {
+            seq += 1;
+            let payload = format!("diag-fn-{seq}").into_bytes();
+            mn.net
+                .send_udp(host1, "10.0.2.5".parse().unwrap(), 40000, 7000, &payload)
+                .expect("site host exists");
+            mn.net.run_to_quiescence(100_000);
+            mn.net
+                .device_mut(host2)
+                .map(|d| d.take_delivered().iter().any(|p| p.payload == payload))
+                .unwrap_or(false)
+        }
+    }
+
+    /// The core link between `core[i]` and `core[i + 1]` — the usual target
+    /// of link-cut/flap/loss fault injection.
+    pub fn core_link(&self, i: usize) -> Option<netsim::link::LinkId> {
+        let a = *self.core.get(i)?;
+        let b = *self.core.get(i + 1)?;
+        self.mn.net.link_between(a, b)
+    }
+
+    /// The modules the NM discovered on a core router, by kind — handy for
+    /// asserting which module a fault report blames.
+    pub fn core_module(&self, i: usize, kind: &ModuleKind) -> Option<conman_core::ids::ModuleRef> {
+        self.mn.nm.find_module(*self.core.get(i)?, kind)
+    }
+
     fn send_between(&mut self, from: DeviceId, dst: &str, payload: &[u8]) -> (bool, Vec<String>) {
-        let dst_host = if dst == "10.0.2.5" { self.host2 } else { self.host1 };
+        let dst_host = if dst == "10.0.2.5" {
+            self.host2
+        } else {
+            self.host1
+        };
         self.mn.net.clear_trace();
         self.mn
             .net
@@ -227,7 +286,13 @@ impl<C: ManagementChannel> ManagedVlanChain<C> {
         self.mn.net.clear_trace();
         self.mn
             .net
-            .send_udp(self.customer1, "10.0.0.2".parse().unwrap(), 1111, 2222, payload)
+            .send_udp(
+                self.customer1,
+                "10.0.0.2".parse().unwrap(),
+                1111,
+                2222,
+                payload,
+            )
             .expect("customer exists");
         self.mn.net.run_to_quiescence(100_000);
         let delivered = self
@@ -259,7 +324,13 @@ pub struct ManagedFigure2<C: ManagementChannel> {
 
 /// Build the managed Figure 2 testbed (hosts A/B, switch C, router D).
 pub fn managed_figure2() -> ManagedFigure2<OutOfBandChannel> {
-    let topology::Figure2Testbed { mut net, a, b, c, d } = topology::figure2();
+    let topology::Figure2Testbed {
+        mut net,
+        a,
+        b,
+        c,
+        d,
+    } = topology::figure2();
     let station = net.add_device(Device::new("NMStation", DeviceRole::Host, 1));
     let mut mn = ManagedNetwork::new(net, station, OutOfBandChannel::new());
     for (id, domain) in [(a, "overlayA"), (b, "overlayA")] {
@@ -300,10 +371,14 @@ impl<C: ManagementChannel> ManagedFigure2<C> {
             .expect("ETH module on B");
         let mut goal = ConnectivityGoal::vpn(from, to);
         goal.traffic_domain = "overlayA".to_string();
-        goal.resolved.insert("C1-S1".into(), "192.168.3.1/32".into());
-        goal.resolved.insert("C1-S2".into(), "192.168.3.2/32".into());
-        goal.resolved.insert("S1-gateway".into(), "192.168.3.1".into());
-        goal.resolved.insert("S2-gateway".into(), "192.168.3.2".into());
+        goal.resolved
+            .insert("C1-S1".into(), "192.168.3.1/32".into());
+        goal.resolved
+            .insert("C1-S2".into(), "192.168.3.2/32".into());
+        goal.resolved
+            .insert("S1-gateway".into(), "192.168.3.1".into());
+        goal.resolved
+            .insert("S2-gateway".into(), "192.168.3.2".into());
         goal
     }
 }

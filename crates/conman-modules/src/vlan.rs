@@ -5,7 +5,7 @@
 //! writes the dot1q-tunnel / trunk port configuration into the simulated
 //! switch — the CONMan equivalent of the CatOS script in Figure 9(a).
 
-use conman_core::abstraction::{ModuleAbstraction, SwitchKind};
+use conman_core::abstraction::{CounterSnapshot, ModuleAbstraction, PipeCounters, SwitchKind};
 use conman_core::ids::{ModuleKind, ModuleRef, PipeId};
 use conman_core::module::{ModuleCtx, ModuleError, ModuleReaction, ProtocolModule};
 use conman_core::primitives::{
@@ -70,7 +70,11 @@ impl VlanModule {
         ctx.pipe_attr(pipe, "port").and_then(|s| s.parse().ok())
     }
 
-    fn try_apply_switch(&mut self, ctx: &mut ModuleCtx, spec: &SwitchSpec) -> Option<Vec<Notification>> {
+    fn try_apply_switch(
+        &mut self,
+        ctx: &mut ModuleCtx,
+        spec: &SwitchSpec,
+    ) -> Option<Vec<Notification>> {
         let vid_raw = self.vlan_id?;
         let vid = VlanId::new(vid_raw)?;
         let in_kind = self.pipes.get(&spec.in_pipe).copied()?;
@@ -92,9 +96,8 @@ impl VlanModule {
         let mut notifications = Vec::new();
         // The far-edge switch (an edge module that did not initiate the
         // trunk exchange) confirms the layer-2 tunnel to the NM.
-        let egress = self.is_edge()
-            && self.trunks.values().all(|t| !t.initiate)
-            && !self.trunks.is_empty();
+        let egress =
+            self.is_edge() && self.trunks.values().all(|t| !t.initiate) && !self.trunks.is_empty();
         if egress && !self.notified {
             self.notified = true;
             notifications.push(Notification {
@@ -132,6 +135,34 @@ impl ProtocolModule for VlanModule {
             filters: Vec::new(),
             perf_report: perf,
         }
+    }
+
+    fn counters(&self, ctx: &ModuleCtx) -> CounterSnapshot {
+        // Frames in and out of the ports this module's pipes are bound to,
+        // plus the drop reasons of its fault domain (tag filtering, Q-in-Q
+        // MTU violations).
+        let mut snap = CounterSnapshot::empty(self.me.clone());
+        for pipe in self.pipes.keys() {
+            if let Some(port) = Self::port_of(ctx, *pipe) {
+                let c = ctx.stats.ports.get(&port).copied().unwrap_or_default();
+                let counters = PipeCounters {
+                    rx_packets: c.rx_packets,
+                    tx_packets: c.tx_packets,
+                    drops: c.drops,
+                };
+                snap.totals.absorb(&counters);
+                snap.pipes.insert(format!("port{port}:{pipe}"), counters);
+            }
+        }
+        for reason in [
+            netsim::stats::DropReason::Filtered,
+            netsim::stats::DropReason::MtuExceeded,
+        ] {
+            if let Some(n) = ctx.stats.drops.get(&reason) {
+                snap.drop_breakdown.insert(format!("{reason:?}"), *n);
+            }
+        }
+        snap
     }
 
     fn create_pipe(

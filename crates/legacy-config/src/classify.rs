@@ -100,10 +100,7 @@ impl ClassifiedScript {
     /// Append a line built from `(text, kind)` pairs.
     pub fn line(&mut self, tokens: Vec<(&str, TokenKind)>) -> &mut Self {
         self.lines.push(ScriptLine {
-            tokens: tokens
-                .into_iter()
-                .map(|(t, k)| Token::new(t, k))
-                .collect(),
+            tokens: tokens.into_iter().map(|(t, k)| Token::new(t, k)).collect(),
         });
         self
     }

@@ -87,7 +87,10 @@ pub fn gre_script_today(p: &GreVpnParams) -> ClassifiedScript {
     let core_if = format!("eth{}", p.core_port);
     let cust_if = format!("eth{}", p.customer_port);
 
-    s.line(vec![("insmod", GenericCommand), ("/lib/modules/2.6.14-2/ip_gre.ko", SpecificVariable)]);
+    s.line(vec![
+        ("insmod", GenericCommand),
+        ("/lib/modules/2.6.14-2/ip_gre.ko", SpecificVariable),
+    ]);
     s.line(vec![
         ("ip tunnel add", SpecificCommand),
         ("name", Syntax),
@@ -226,8 +229,14 @@ pub fn apply_gre_today(device: &mut Device, p: &GreVpnParams) {
 pub fn mpls_script_today() -> ClassifiedScript {
     use TokenKind::*;
     let mut s = ClassifiedScript::new("MPLS today");
-    s.line(vec![("modprobe", GenericCommand), ("mpls", SpecificVariable)]);
-    s.line(vec![("modprobe", GenericCommand), ("mpls4", SpecificVariable)]);
+    s.line(vec![
+        ("modprobe", GenericCommand),
+        ("mpls", SpecificVariable),
+    ]);
+    s.line(vec![
+        ("modprobe", GenericCommand),
+        ("mpls4", SpecificVariable),
+    ]);
     s.line(vec![
         ("mpls labelspace set", SpecificCommand),
         ("dev", Syntax),
@@ -317,8 +326,10 @@ mod tests {
     fn apply_gre_today_installs_tunnel_and_routes() {
         use netsim::device::DeviceRole;
         let mut d = Device::new("RouterA", DeviceRole::Router, 3);
-        d.config.assign_address(0, "192.168.0.2/24".parse().unwrap());
-        d.config.assign_address(2, "204.9.168.1/24".parse().unwrap());
+        d.config
+            .assign_address(0, "192.168.0.2/24".parse().unwrap());
+        d.config
+            .assign_address(2, "204.9.168.1/24".parse().unwrap());
         apply_gre_today(&mut d, &GreVpnParams::figure7_router_a());
         assert!(d.config.ip_forwarding);
         assert_eq!(d.config.tunnels.len(), 1);

@@ -83,8 +83,16 @@ impl InBandChannel {
             Err(_) => return,
         };
         for port in ports {
-            let src_mac = net.device(device).map(|d| d.port_mac(port)).unwrap_or(MacAddr::ZERO);
-            let eth = EthernetFrame::new(MacAddr::BROADCAST, src_mac, EtherType::Management, payload.clone());
+            let src_mac = net
+                .device(device)
+                .map(|d| d.port_mac(port))
+                .unwrap_or(MacAddr::ZERO);
+            let eth = EthernetFrame::new(
+                MacAddr::BROADCAST,
+                src_mac,
+                EtherType::Management,
+                payload.clone(),
+            );
             let _ = net.send_raw_frame(device, port, &eth);
             self.frames_flooded += 1;
         }
@@ -112,7 +120,10 @@ impl InBandChannel {
                 if flood.msg.to == id {
                     self.counters
                         .record_received(id, flood.msg.category, flood.msg.payload_len());
-                    self.mailboxes.entry(id).or_default().push_back(flood.msg.clone());
+                    self.mailboxes
+                        .entry(id)
+                        .or_default()
+                        .push_back(flood.msg.clone());
                     continue;
                 }
                 if flood.ttl == 0 {
@@ -204,8 +215,12 @@ mod tests {
             .collect();
         for i in 0..n {
             let j = (i + 1) % n;
-            net.connect((ids[i], PortId(0)), (ids[j], PortId(1)), LinkProperties::lan())
-                .unwrap();
+            net.connect(
+                (ids[i], PortId(0)),
+                (ids[j], PortId(1)),
+                LinkProperties::lan(),
+            )
+            .unwrap();
         }
         (net, ids)
     }
@@ -237,8 +252,13 @@ mod tests {
         let nm_host = t.core[1];
         for target in [t.core[0], t.core[2], t.customer1, t.customer2] {
             ch.send(
-                &mut net_ref(&mut t),
-                MgmtMessage::new(nm_host, target, MessageCategory::Command, b"showPotential".to_vec()),
+                net_ref(&mut t),
+                MgmtMessage::new(
+                    nm_host,
+                    target,
+                    MessageCategory::Command,
+                    b"showPotential".to_vec(),
+                ),
             );
         }
         for target in [t.core[0], t.core[2], t.customer1, t.customer2] {

@@ -23,6 +23,11 @@ pub enum MessageCategory {
     /// An unsolicited notification from a module to the NM (dependency
     /// triggers, completion notices).
     Notification,
+    /// Periodic counter-snapshot traffic: the NM's `pollCounters` requests
+    /// and the per-module snapshot reports they elicit.  Accounted
+    /// separately so diagnosis overhead never pollutes the Table VI
+    /// configuration counts.
+    Telemetry,
 }
 
 /// One management message.

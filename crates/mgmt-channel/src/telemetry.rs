@@ -1,0 +1,74 @@
+//! Periodic counter-snapshot scheduling.
+//!
+//! The diagnosis layer samples per-module pipe counters at a fixed period of
+//! *simulated* time.  [`TelemetrySchedule`] tracks when the next sample is
+//! due against the deterministic simulation clock, so telemetry collection —
+//! like everything else in the reproduction — replays identically from run
+//! to run, over either channel variant.
+
+use netsim::clock::{SimDuration, SimTime};
+
+/// Tracks when periodic counter polls are due.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySchedule {
+    period: SimDuration,
+    next: SimTime,
+}
+
+impl TelemetrySchedule {
+    /// A schedule firing every `period`, with the first round due
+    /// immediately.
+    pub fn new(period: SimDuration) -> Self {
+        assert!(period.as_nanos() > 0, "telemetry period must be non-zero");
+        TelemetrySchedule {
+            period,
+            next: SimTime::ZERO,
+        }
+    }
+
+    /// The sampling period.
+    pub fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    /// When the next round is due.
+    pub fn next_due(&self) -> SimTime {
+        self.next
+    }
+
+    /// How many rounds are due at time `now`, advancing the schedule past
+    /// them.  Callers typically collect one snapshot per due round (or one
+    /// snapshot total, treating a backlog as a missed-round gap).
+    pub fn due_rounds(&mut self, now: SimTime) -> u32 {
+        let mut due = 0;
+        while self.next <= now {
+            self.next += self.period;
+            due += 1;
+        }
+        due
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_fire_per_period() {
+        let mut s = TelemetrySchedule::new(SimDuration::from_millis(100));
+        assert_eq!(s.period(), SimDuration::from_millis(100));
+        // First round is due at t = 0.
+        assert_eq!(s.due_rounds(SimTime::ZERO), 1);
+        assert_eq!(s.due_rounds(SimTime::from_millis(50)), 0);
+        assert_eq!(s.due_rounds(SimTime::from_millis(100)), 1);
+        // A long gap yields the backlog.
+        assert_eq!(s.due_rounds(SimTime::from_millis(450)), 3);
+        assert_eq!(s.next_due(), SimTime::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_is_rejected() {
+        let _ = TelemetrySchedule::new(SimDuration::ZERO);
+    }
+}

@@ -212,12 +212,9 @@ mod tests {
     #[test]
     fn decode_errors() {
         assert!(ArpPacket::decode(&[0u8; 4]).is_err());
-        let mut bytes = ArpPacket::request(
-            MacAddr::ZERO,
-            Ipv4Addr::UNSPECIFIED,
-            Ipv4Addr::UNSPECIFIED,
-        )
-        .encode();
+        let mut bytes =
+            ArpPacket::request(MacAddr::ZERO, Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED)
+                .encode();
         bytes[7] = 9; // bogus op
         assert!(ArpPacket::decode(&bytes).is_err());
     }

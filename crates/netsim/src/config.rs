@@ -170,9 +170,9 @@ impl FilterRule {
         proto: Ipv4Proto,
         dst_port: Option<u16>,
     ) -> bool {
-        self.src.map_or(true, |p| p.contains(src))
-            && self.dst.map_or(true, |p| p.contains(dst))
-            && self.proto.map_or(true, |p| p == proto)
+        self.src.is_none_or(|p| p.contains(src))
+            && self.dst.is_none_or(|p| p.contains(dst))
+            && self.proto.is_none_or(|p| p == proto)
             && match (self.dst_port, dst_port) {
                 (None, _) => true,
                 (Some(want), Some(got)) => want == got,
@@ -234,7 +234,11 @@ impl DeviceConfig {
             .flatten()
             .map(|c| c.addr)
             .collect();
-        out.extend(self.tunnels.values().filter_map(|t| t.address.map(|c| c.addr)));
+        out.extend(
+            self.tunnels
+                .values()
+                .filter_map(|t| t.address.map(|c| c.addr)),
+        );
         out
     }
 
@@ -258,7 +262,10 @@ impl DeviceConfig {
     /// The address assigned to a port within the given subnet, used as the
     /// source of locally originated packets.
     pub fn address_on_port(&self, port: u32) -> Option<Ipv4Cidr> {
-        self.port_addresses.get(&port).and_then(|v| v.first()).copied()
+        self.port_addresses
+            .get(&port)
+            .and_then(|v| v.first())
+            .copied()
     }
 
     /// Evaluate filters: `true` means the packet may proceed.
@@ -308,13 +315,21 @@ mod tests {
     fn local_addresses_include_tunnels() {
         let mut cfg = DeviceConfig::new();
         cfg.add_port_address(0, cidr("10.0.1.1/24"));
-        let mut t = TunnelConfig::gre(1, "greA", "204.9.168.1".parse().unwrap(), "204.9.169.1".parse().unwrap());
+        let mut t = TunnelConfig::gre(
+            1,
+            "greA",
+            "204.9.168.1".parse().unwrap(),
+            "204.9.169.1".parse().unwrap(),
+        );
         t.address = Some(cidr("192.168.3.1/24"));
         cfg.tunnels.insert(1, t);
         assert!(cfg.is_local_address("10.0.1.1".parse().unwrap()));
         assert!(cfg.is_local_address("192.168.3.1".parse().unwrap()));
         assert!(!cfg.is_local_address("10.0.1.2".parse().unwrap()));
-        assert_eq!(cfg.port_for_subnet("10.0.1.200".parse().unwrap()), Some((0, cidr("10.0.1.1/24"))));
+        assert_eq!(
+            cfg.port_for_subnet("10.0.1.200".parse().unwrap()),
+            Some((0, cidr("10.0.1.1/24")))
+        );
     }
 
     #[test]
@@ -392,7 +407,12 @@ mod tests {
     #[test]
     fn tunnel_matching_checks_keys() {
         let mut cfg = DeviceConfig::new();
-        let mut t = TunnelConfig::gre(1, "greA", "204.9.169.1".parse().unwrap(), "204.9.168.1".parse().unwrap());
+        let mut t = TunnelConfig::gre(
+            1,
+            "greA",
+            "204.9.169.1".parse().unwrap(),
+            "204.9.168.1".parse().unwrap(),
+        );
         t.ikey = Some(1001);
         cfg.tunnels.insert(1, t);
         // Incoming packet: outer src = remote end, outer dst = our local.

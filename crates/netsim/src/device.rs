@@ -124,6 +124,9 @@ pub struct Device {
     pub name: String,
     /// Role.
     pub role: DeviceRole,
+    /// Is the device powered on?  A crashed device neither forwards traffic
+    /// nor answers the management channel (fault injection).
+    pub up: bool,
     /// Ports.
     pub ports: Vec<Nic>,
     /// Configuration (written by CONMan modules or legacy scripts).
@@ -156,6 +159,7 @@ impl Device {
             id,
             name,
             role,
+            up: true,
             ports,
             config: DeviceConfig::new(),
             arp: ArpCache::new(),
@@ -206,8 +210,14 @@ mod tests {
 
     #[test]
     fn device_ids_are_stable_and_distinct() {
-        assert_eq!(DeviceId::from_name("RouterA"), DeviceId::from_name("RouterA"));
-        assert_ne!(DeviceId::from_name("RouterA"), DeviceId::from_name("RouterB"));
+        assert_eq!(
+            DeviceId::from_name("RouterA"),
+            DeviceId::from_name("RouterA")
+        );
+        assert_ne!(
+            DeviceId::from_name("RouterA"),
+            DeviceId::from_name("RouterB")
+        );
         assert_eq!(DeviceId::from_raw(7).as_u64(), 7);
     }
 
@@ -226,7 +236,12 @@ mod tests {
         assert_eq!(d.next_tunnel_id(), 1);
         d.config.tunnels.insert(
             5,
-            crate::config::TunnelConfig::gre(5, "gre5", Ipv4Addr::UNSPECIFIED, Ipv4Addr::UNSPECIFIED),
+            crate::config::TunnelConfig::gre(
+                5,
+                "gre5",
+                Ipv4Addr::UNSPECIFIED,
+                Ipv4Addr::UNSPECIFIED,
+            ),
         );
         assert_eq!(d.next_tunnel_id(), 6);
     }

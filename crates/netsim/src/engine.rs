@@ -35,10 +35,10 @@ impl Device {
     /// in response.
     pub fn handle_frame(&mut self, port: PortId, bytes: &[u8]) -> EngineOutput {
         let mut out = EngineOutput::default();
-        self.stats.port(port.0).rx(bytes.len());
         let frame = match EthernetFrame::decode(bytes) {
             Ok(f) => f,
             Err(_) => {
+                self.stats.port(port.0).rx(bytes.len());
                 self.stats.record_drop(DropReason::Malformed);
                 self.stats.port(port.0).drop_packet();
                 return out;
@@ -46,7 +46,10 @@ impl Device {
         };
 
         // Management-channel frames bypass the data plane entirely on every
-        // device role: they are queued for the management agent.
+        // device role: they are queued for the management agent.  They are
+        // also invisible to the data-plane counters — otherwise the in-band
+        // channel's own flooding would mask the very counter deltas the
+        // diagnosis layer compares.
         if frame.ethertype == EtherType::Management {
             self.mgmt_rx.push_back(MgmtFrame {
                 port: Some(port),
@@ -55,6 +58,7 @@ impl Device {
             });
             return out;
         }
+        self.stats.port(port.0).rx(bytes.len());
 
         match self.role {
             DeviceRole::Switch => self.bridge_input(port, &frame, &mut out),
@@ -94,7 +98,12 @@ impl Device {
     }
 
     /// Originate an ICMP echo request (the self-test primitive).
-    pub fn originate_ping(&mut self, dst: Ipv4Addr, identifier: u16, sequence: u16) -> EngineOutput {
+    pub fn originate_ping(
+        &mut self,
+        dst: Ipv4Addr,
+        identifier: u16,
+        sequence: u16,
+    ) -> EngineOutput {
         let msg = IcmpMessage::echo_request(identifier, sequence, b"conman-self-test".to_vec());
         self.originate_ip(None, dst, Ipv4Proto::Icmp, msg.encode())
     }
@@ -156,7 +165,8 @@ impl Device {
         if packet.op == ArpOp::Request && self.config.is_local_address(packet.target_ip) {
             let our_mac = self.port_mac(port);
             let reply = packet.reply_to(our_mac);
-            let frame = EthernetFrame::new(packet.sender_mac, our_mac, EtherType::Arp, reply.encode());
+            let frame =
+                EthernetFrame::new(packet.sender_mac, our_mac, EtherType::Arp, reply.encode());
             self.transmit(port, frame.encode(), out);
         }
     }
@@ -424,7 +434,13 @@ impl Device {
         let mut outer_header = Ipv4Header::new(tunnel.local, tunnel.remote, proto);
         outer_header.ttl = tunnel.ttl;
         // The outer packet is routed like locally-originated traffic.
-        self.ip_output(IncomingIf::Local, outer_header, outer_payload, depth + 1, out);
+        self.ip_output(
+            IncomingIf::Local,
+            outer_header,
+            outer_payload,
+            depth + 1,
+            out,
+        );
     }
 
     fn mpls_input(&mut self, port: PortId, payload: &[u8], out: &mut EngineOutput) {
@@ -510,7 +526,9 @@ impl Device {
         // Classify the frame into a VLAN and recover the "customer" frame
         // that will be re-emitted on egress.
         let (vlan_id, customer): (u16, EthernetFrame) = match mode {
-            SwitchPortMode::Access(v) | SwitchPortMode::Dot1qTunnel(v) => (v.value(), frame.clone()),
+            SwitchPortMode::Access(v) | SwitchPortMode::Dot1qTunnel(v) => {
+                (v.value(), frame.clone())
+            }
             SwitchPortMode::Trunk(allowed) => {
                 if frame.ethertype != EtherType::Vlan {
                     self.stats.record_drop(DropReason::Malformed);
@@ -520,7 +538,7 @@ impl Device {
                     self.stats.record_drop(DropReason::Malformed);
                     return;
                 };
-                if !allowed.iter().any(|v| *v == tag.vid) {
+                if !allowed.contains(&tag.vid) {
                     self.stats.record_drop(DropReason::Filtered);
                     return;
                 }
@@ -532,7 +550,9 @@ impl Device {
         };
         // Check the MTU declared for the VLAN (Q-in-Q needs 1504).
         if let Some(vc) = bridge.vlans.get(&vlan_id) {
-            if customer.wire_len() + vlan::VLAN_TAG_LEN > vc.mtu as usize + crate::ether::ETHERNET_HEADER_LEN {
+            if customer.wire_len() + vlan::VLAN_TAG_LEN
+                > vc.mtu as usize + crate::ether::ETHERNET_HEADER_LEN
+            {
                 self.stats.record_drop(DropReason::MtuExceeded);
                 return;
             }
@@ -540,29 +560,30 @@ impl Device {
         // Learn the source MAC.
         self.mac_table.insert((vlan_id, customer.src), port.0);
         // Decide egress ports.
-        let egress: Vec<u32> = if let Some(p) = self.mac_table.get(&(vlan_id, customer.dst)).copied() {
-            if p == port.0 {
-                return; // already on the right segment
-            }
-            vec![p]
-        } else {
-            bridge
-                .ports
-                .iter()
-                .filter(|(p, m)| {
-                    **p != port.0
-                        && match m {
-                            SwitchPortMode::Access(v) | SwitchPortMode::Dot1qTunnel(v) => {
-                                v.value() == vlan_id
+        let egress: Vec<u32> =
+            if let Some(p) = self.mac_table.get(&(vlan_id, customer.dst)).copied() {
+                if p == port.0 {
+                    return; // already on the right segment
+                }
+                vec![p]
+            } else {
+                bridge
+                    .ports
+                    .iter()
+                    .filter(|(p, m)| {
+                        **p != port.0
+                            && match m {
+                                SwitchPortMode::Access(v) | SwitchPortMode::Dot1qTunnel(v) => {
+                                    v.value() == vlan_id
+                                }
+                                SwitchPortMode::Trunk(allowed) => {
+                                    allowed.iter().any(|v| v.value() == vlan_id)
+                                }
                             }
-                            SwitchPortMode::Trunk(allowed) => {
-                                allowed.iter().any(|v| v.value() == vlan_id)
-                            }
-                        }
-                })
-                .map(|(p, _)| *p)
-                .collect()
-        };
+                    })
+                    .map(|(p, _)| *p)
+                    .collect()
+            };
         for p in egress {
             let mode = &bridge.ports[&p];
             let frame_out = match mode {
@@ -620,7 +641,12 @@ impl Device {
                 .map(|c| c.addr)
                 .unwrap_or(Ipv4Addr::UNSPECIFIED);
             let request = ArpPacket::request(our_mac, sender_ip, nexthop);
-            let frame = EthernetFrame::new(MacAddr::BROADCAST, our_mac, EtherType::Arp, request.encode());
+            let frame = EthernetFrame::new(
+                MacAddr::BROADCAST,
+                our_mac,
+                EtherType::Arp,
+                request.encode(),
+            );
             self.transmit(port, frame.encode(), out);
         }
     }
@@ -628,7 +654,14 @@ impl Device {
     fn transmit(&mut self, port: PortId, bytes: Vec<u8>, out: &mut EngineOutput) {
         match self.port(port) {
             Some(nic) if nic.is_usable() => {
-                self.stats.port(port.0).tx(bytes.len());
+                // Management frames are invisible to data-plane counters
+                // (see handle_frame): check the EtherType in the raw bytes.
+                let is_mgmt = bytes.len() >= 14
+                    && EtherType::from_u16(u16::from_be_bytes([bytes[12], bytes[13]]))
+                        == EtherType::Management;
+                if !is_mgmt {
+                    self.stats.port(port.0).tx(bytes.len());
+                }
                 out.transmissions.push((port, bytes));
             }
             _ => {
@@ -650,7 +683,9 @@ impl Device {
 /// Extract the transport destination port for filter evaluation.
 fn transport_dst_port(header: &Ipv4Header, payload: &[u8]) -> Option<u16> {
     if header.protocol == Ipv4Proto::Udp {
-        UdpHeader::decode_datagram(payload).ok().map(|(u, _)| u.dst_port)
+        UdpHeader::decode_datagram(payload)
+            .ok()
+            .map(|(u, _)| u.dst_port)
     } else {
         None
     }
@@ -752,8 +787,12 @@ mod tests {
             target_mac: d.port_mac(PortId(1)),
             target_ip: ip("204.9.168.1"),
         };
-        let reply_frame =
-            EthernetFrame::new(d.port_mac(PortId(1)), peer_mac, EtherType::Arp, reply.encode());
+        let reply_frame = EthernetFrame::new(
+            d.port_mac(PortId(1)),
+            peer_mac,
+            EtherType::Arp,
+            reply.encode(),
+        );
         let out = d.handle_frame(PortId(1), &reply_frame.encode());
         assert_eq!(out.transmissions.len(), 1);
         let fwd = EthernetFrame::decode(&out.transmissions[0].1).unwrap();
@@ -805,7 +844,10 @@ mod tests {
         assert_eq!(out.transmissions.len(), 1);
         let encap = EthernetFrame::decode(&out.transmissions[0].1).unwrap();
         let summary = crate::trace::PacketSummary::parse(&out.transmissions[0].1);
-        assert_eq!(summary.layer_names(), vec!["ETH", "IP", "GRE", "IP", "PAYLOAD"]);
+        assert_eq!(
+            summary.layer_names(),
+            vec!["ETH", "IP", "GRE", "IP", "PAYLOAD"]
+        );
         assert!(summary.protocol_path().contains("key=2001"));
 
         // Decapsulating router: its ikey must equal the sender's okey.
@@ -833,7 +875,12 @@ mod tests {
         });
         c.arp.insert(ip("10.0.2.5"), MacAddr::for_port(5, 5));
 
-        let arriving = EthernetFrame::new(c.port_mac(PortId(1)), encap.src, EtherType::Ipv4, encap.payload);
+        let arriving = EthernetFrame::new(
+            c.port_mac(PortId(1)),
+            encap.src,
+            EtherType::Ipv4,
+            encap.payload,
+        );
         let out = c.handle_frame(PortId(1), &arriving.encode());
         assert_eq!(out.transmissions.len(), 1);
         let final_frame = EthernetFrame::decode(&out.transmissions[0].1).unwrap();
@@ -853,9 +900,14 @@ mod tests {
 
         let inner = udp_packet("10.0.1.5", "10.0.2.5", 592);
         let gre = GreHeader::ipv4(Some(2001), None, false).encode_packet(&inner);
-        let outer =
-            Ipv4Header::new(ip("204.9.168.1"), ip("204.9.169.1"), Ipv4Proto::Gre).encode_packet(&gre);
-        let frame = EthernetFrame::new(c.port_mac(PortId(0)), MacAddr::for_port(9, 9), EtherType::Ipv4, outer);
+        let outer = Ipv4Header::new(ip("204.9.168.1"), ip("204.9.169.1"), Ipv4Proto::Gre)
+            .encode_packet(&gre);
+        let frame = EthernetFrame::new(
+            c.port_mac(PortId(0)),
+            MacAddr::for_port(9, 9),
+            EtherType::Ipv4,
+            outer,
+        );
         c.handle_frame(PortId(0), &frame.encode());
         assert_eq!(c.stats.drops[&DropReason::TunnelMismatch], 1);
         assert!(c.take_delivered().is_empty());
@@ -888,8 +940,14 @@ mod tests {
         let mut d = router();
         d.arp.insert(ip("10.0.1.5"), MacAddr::for_port(9, 9));
         let ping = IcmpMessage::echo_request(42, 1, vec![0u8; 8]).encode();
-        let pkt = Ipv4Header::new(ip("10.0.1.5"), ip("10.0.1.1"), Ipv4Proto::Icmp).encode_packet(&ping);
-        let frame = EthernetFrame::new(d.port_mac(PortId(0)), MacAddr::for_port(9, 9), EtherType::Ipv4, pkt);
+        let pkt =
+            Ipv4Header::new(ip("10.0.1.5"), ip("10.0.1.1"), Ipv4Proto::Icmp).encode_packet(&ping);
+        let frame = EthernetFrame::new(
+            d.port_mac(PortId(0)),
+            MacAddr::for_port(9, 9),
+            EtherType::Ipv4,
+            pkt,
+        );
         let out = d.handle_frame(PortId(0), &frame.encode());
         assert_eq!(out.transmissions.len(), 1);
         let reply = EthernetFrame::decode(&out.transmissions[0].1).unwrap();
@@ -953,7 +1011,12 @@ mod tests {
         );
         b.arp.insert(ip("204.9.170.2"), MacAddr::for_port(8, 8));
         let mpls_frame = EthernetFrame::decode(&out.transmissions[0].1).unwrap();
-        let arriving = EthernetFrame::new(b.port_mac(PortId(0)), mpls_frame.src, EtherType::Mpls, mpls_frame.payload);
+        let arriving = EthernetFrame::new(
+            b.port_mac(PortId(0)),
+            mpls_frame.src,
+            EtherType::Mpls,
+            mpls_frame.payload,
+        );
         let out_b = b.handle_frame(PortId(0), &arriving.encode());
         assert_eq!(out_b.transmissions.len(), 1);
         let s = crate::trace::PacketSummary::parse(&out_b.transmissions[0].1);
@@ -986,7 +1049,12 @@ mod tests {
         });
         c.arp.insert(ip("10.0.2.5"), MacAddr::for_port(5, 5));
         let b_frame = EthernetFrame::decode(&out_b.transmissions[0].1).unwrap();
-        let arriving = EthernetFrame::new(c.port_mac(PortId(0)), b_frame.src, EtherType::Mpls, b_frame.payload);
+        let arriving = EthernetFrame::new(
+            c.port_mac(PortId(0)),
+            b_frame.src,
+            EtherType::Mpls,
+            b_frame.payload,
+        );
         let out_c = c.handle_frame(PortId(0), &arriving.encode());
         assert_eq!(out_c.transmissions.len(), 1);
         let s = crate::trace::PacketSummary::parse(&out_c.transmissions[0].1);
@@ -1035,7 +1103,11 @@ mod tests {
             reply_inner.dst,
             reply_inner.src,
             EtherType::Vlan,
-            vlan::push_tag(VlanId::new(22).unwrap(), EtherType::Ipv4, &reply_inner.payload),
+            vlan::push_tag(
+                VlanId::new(22).unwrap(),
+                EtherType::Ipv4,
+                &reply_inner.payload,
+            ),
         );
         let out = sw.handle_frame(PortId(1), &reply_tagged.encode());
         assert_eq!(out.transmissions.len(), 1);

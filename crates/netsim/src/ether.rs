@@ -148,7 +148,13 @@ mod tests {
     #[test]
     fn decode_truncated() {
         let err = EthernetFrame::decode(&[0u8; 5]).unwrap_err();
-        assert!(matches!(err, CodecError::Truncated { what: "ethernet", .. }));
+        assert!(matches!(
+            err,
+            CodecError::Truncated {
+                what: "ethernet",
+                ..
+            }
+        ));
     }
 
     #[test]

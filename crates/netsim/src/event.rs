@@ -128,6 +128,13 @@ impl EventQueue {
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|s| s.at)
     }
+
+    /// Advance the clock to `t` (never backwards).  Used when simulated time
+    /// must pass even though no events are pending — e.g. between telemetry
+    /// sampling rounds or while waiting for a scheduled fault.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
 }
 
 #[cfg(test)]

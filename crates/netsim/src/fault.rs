@@ -1,0 +1,373 @@
+//! Fault injection: deterministic, replayable fault timelines.
+//!
+//! CONMan's §III-C argues that the same machinery that configures a network
+//! can diagnose it.  To exercise that claim the simulator needs faults worth
+//! diagnosing: link cuts and flaps, loss spikes, device crashes and module
+//! misconfigurations.  A [`FaultPlan`] is a time-ordered list of such events
+//! driven by the deterministic simulation clock, so a scenario replays
+//! *exactly* — same seed, same timeline, same packet-level outcome — which is
+//! what the diagnosis tests and the time-to-detect/time-to-repair experiments
+//! rely on.
+
+use crate::clock::SimTime;
+use crate::device::DeviceId;
+use crate::link::LinkId;
+use crate::network::Network;
+use crate::route::RouteTableId;
+use serde::{Deserialize, Serialize};
+
+/// A configuration-level fault: state on a device is corrupted or lost, the
+/// classic "confused/buggy/malicious station" failures of §III-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Misconfiguration {
+    /// Shift every GRE tunnel's receive key on the device (`ikey += delta`),
+    /// the key-mismatch misconfiguration the paper repeatedly cites.
+    CorruptGreKey {
+        /// Device whose tunnels are corrupted.
+        device: DeviceId,
+        /// Amount added to each configured `ikey`.
+        delta: u32,
+    },
+    /// Drop the device's MPLS ILM/NHLFE/cross-connect state, killing every
+    /// LSP through it while leaving IP forwarding intact.
+    ClearMplsState {
+        /// Device whose label state is flushed.
+        device: DeviceId,
+    },
+    /// Flush all policy-routing rules and non-main tables, the
+    /// "operator fat-fingers the router config" failure.
+    FlushPolicyRouting {
+        /// Device whose policy routing is flushed.
+        device: DeviceId,
+    },
+}
+
+impl Misconfiguration {
+    /// The device the misconfiguration hits.
+    pub fn device(&self) -> DeviceId {
+        match self {
+            Misconfiguration::CorruptGreKey { device, .. }
+            | Misconfiguration::ClearMplsState { device }
+            | Misconfiguration::FlushPolicyRouting { device } => *device,
+        }
+    }
+}
+
+/// One injectable fault (or repair) action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Administratively cut a link (the wire is yanked).
+    LinkCut(LinkId),
+    /// Re-enable a previously cut link.
+    LinkRestore(LinkId),
+    /// Set a link's deterministic loss rate in parts per million
+    /// (1_000_000 = blackhole while staying administratively up).
+    LossSpike {
+        /// Affected link.
+        link: LinkId,
+        /// New loss rate in parts per million.
+        loss_ppm: u32,
+    },
+    /// Power off a device: it stops forwarding *and* stops answering the
+    /// management channel.
+    DeviceCrash(DeviceId),
+    /// Power a crashed device back on (its configuration survives; runtime
+    /// caches are flushed as after a reboot).
+    DeviceRestore(DeviceId),
+    /// Corrupt or lose configuration state on a device.
+    Misconfigure(Misconfiguration),
+}
+
+/// A fault scheduled at a point in simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, time-ordered fault timeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule an event (builder style).  Events are kept sorted by time;
+    /// ties preserve insertion order.
+    pub fn at(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.push(at, kind);
+        self
+    }
+
+    /// Schedule an event in place.
+    pub fn push(&mut self, at: SimTime, kind: FaultKind) {
+        let pos = self.events.partition_point(|e| e.at <= at);
+        self.events.insert(pos, FaultEvent { at, kind });
+    }
+
+    /// Schedule a link flap: `cycles` repetitions of cut-then-restore,
+    /// starting at `start`, down for `down_for` and up for `up_for` per
+    /// cycle.
+    pub fn flap(
+        mut self,
+        link: LinkId,
+        start: SimTime,
+        down_for: crate::clock::SimDuration,
+        up_for: crate::clock::SimDuration,
+        cycles: u32,
+    ) -> Self {
+        let mut t = start;
+        for _ in 0..cycles {
+            self.push(t, FaultKind::LinkCut(link));
+            t += down_for;
+            self.push(t, FaultKind::LinkRestore(link));
+            t += up_for;
+        }
+        self
+    }
+
+    /// Generate a pseudo-random flap schedule over `links`.  The schedule is
+    /// a pure function of `seed`: the same seed always yields the identical
+    /// timeline (splitmix64, no global RNG), so experiments replay exactly.
+    pub fn random_flaps(
+        seed: u64,
+        links: &[LinkId],
+        start: SimTime,
+        horizon: crate::clock::SimDuration,
+        count: u32,
+    ) -> Self {
+        let mut plan = FaultPlan::new();
+        if links.is_empty() || horizon.as_nanos() == 0 {
+            return plan;
+        }
+        let mut counter = seed;
+        let mut next = move || -> u64 {
+            counter = counter.wrapping_add(1);
+            crate::clock::splitmix64(counter)
+        };
+        for _ in 0..count {
+            let link = links[(next() % links.len() as u64) as usize];
+            let offset = next() % horizon.as_nanos();
+            let down = 1 + next() % (horizon.as_nanos() / 4).max(1);
+            let cut_at = start + crate::clock::SimDuration::from_nanos(offset);
+            plan.push(cut_at, FaultKind::LinkCut(link));
+            plan.push(
+                cut_at + crate::clock::SimDuration::from_nanos(down),
+                FaultKind::LinkRestore(link),
+            );
+        }
+        plan
+    }
+
+    /// The scheduled events in time order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the plan empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Applies a [`FaultPlan`] to a network as simulated time advances.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    cursor: usize,
+    /// Events applied so far, in application order.
+    pub applied: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// Create an injector over a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            cursor: 0,
+            applied: Vec::new(),
+        }
+    }
+
+    /// Events not yet applied.
+    pub fn pending(&self) -> usize {
+        self.plan.events.len() - self.cursor
+    }
+
+    /// Apply every event whose time has come (`at <= net.now()`).  Returns
+    /// the number of events applied.
+    pub fn apply_due(&mut self, net: &mut Network) -> usize {
+        let now = net.now();
+        let mut applied = 0;
+        while let Some(event) = self.plan.events.get(self.cursor) {
+            if event.at > now {
+                break;
+            }
+            apply_fault(net, event.kind);
+            self.applied.push(*event);
+            self.cursor += 1;
+            applied += 1;
+        }
+        applied
+    }
+}
+
+/// Apply a single fault to the network, immediately.
+pub fn apply_fault(net: &mut Network, kind: FaultKind) {
+    match kind {
+        FaultKind::LinkCut(link) => net.set_link_enabled(link, false),
+        FaultKind::LinkRestore(link) => net.set_link_enabled(link, true),
+        FaultKind::LossSpike { link, loss_ppm } => net.set_link_loss(link, loss_ppm),
+        FaultKind::DeviceCrash(device) => net.set_device_up(device, false),
+        FaultKind::DeviceRestore(device) => net.set_device_up(device, true),
+        FaultKind::Misconfigure(m) => apply_misconfiguration(net, m),
+    }
+}
+
+fn apply_misconfiguration(net: &mut Network, m: Misconfiguration) {
+    let Ok(device) = net.device_mut(m.device()) else {
+        return;
+    };
+    match m {
+        Misconfiguration::CorruptGreKey { delta, .. } => {
+            for tunnel in device.config.tunnels.values_mut() {
+                if let Some(ikey) = tunnel.ikey.as_mut() {
+                    *ikey = ikey.wrapping_add(delta);
+                }
+            }
+        }
+        Misconfiguration::ClearMplsState { .. } => {
+            device.config.mpls = crate::mpls::MplsTables::new();
+        }
+        Misconfiguration::FlushPolicyRouting { .. } => {
+            let main = device
+                .config
+                .rib
+                .table(RouteTableId::MAIN)
+                .cloned()
+                .unwrap_or_default();
+            let mut rib = crate::route::Rib::new();
+            for route in main.routes() {
+                rib.add_main(*route);
+            }
+            device.config.rib = rib;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimDuration;
+    use crate::config::TunnelConfig;
+    use crate::device::{Device, DeviceRole, PortId};
+    use crate::link::LinkProperties;
+
+    #[test]
+    fn plans_stay_sorted_and_flaps_expand() {
+        let plan = FaultPlan::new()
+            .at(SimTime::from_millis(50), FaultKind::LinkCut(LinkId(1)))
+            .at(SimTime::from_millis(10), FaultKind::LinkCut(LinkId(0)))
+            .flap(
+                LinkId(2),
+                SimTime::from_millis(20),
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(5),
+                2,
+            );
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at.as_nanos()).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        assert_eq!(plan.len(), 6); // 2 cuts + 2 flap cycles x 2 events
+    }
+
+    #[test]
+    fn random_flaps_are_deterministic() {
+        let links = [LinkId(0), LinkId(1), LinkId(2)];
+        let a = FaultPlan::random_flaps(42, &links, SimTime::ZERO, SimDuration::from_secs(1), 8);
+        let b = FaultPlan::random_flaps(42, &links, SimTime::ZERO, SimDuration::from_secs(1), 8);
+        assert_eq!(a, b, "same seed must give the identical timeline");
+        let c = FaultPlan::random_flaps(43, &links, SimTime::ZERO, SimDuration::from_secs(1), 8);
+        assert_ne!(a, c, "different seeds should diverge");
+        assert_eq!(a.len(), 16);
+    }
+
+    #[test]
+    fn injector_applies_events_as_time_passes() {
+        let mut net = Network::new();
+        let mut h1 = Device::new("h1", DeviceRole::Host, 1);
+        h1.config.assign_address(0, "10.0.0.1/24".parse().unwrap());
+        let mut h2 = Device::new("h2", DeviceRole::Host, 1);
+        h2.config.assign_address(0, "10.0.0.2/24".parse().unwrap());
+        let h1 = net.add_device(h1);
+        let h2 = net.add_device(h2);
+        let link = net
+            .connect((h1, PortId(0)), (h2, PortId(0)), LinkProperties::lan())
+            .unwrap();
+
+        let plan = FaultPlan::new().at(SimTime::from_millis(1), FaultKind::LinkCut(link));
+        let mut injector = FaultInjector::new(plan);
+        assert_eq!(injector.apply_due(&mut net), 0, "not due yet");
+
+        net.send_udp(h1, "10.0.0.2".parse().unwrap(), 1, 2, b"pre")
+            .unwrap();
+        net.run_to_quiescence(1000);
+        assert_eq!(net.device_mut(h2).unwrap().take_delivered().len(), 1);
+
+        net.run_for(SimDuration::from_millis(2));
+        assert_eq!(injector.apply_due(&mut net), 1);
+        net.send_udp(h1, "10.0.0.2".parse().unwrap(), 1, 2, b"post")
+            .unwrap();
+        net.run_to_quiescence(1000);
+        assert!(net.device_mut(h2).unwrap().take_delivered().is_empty());
+        assert_eq!(injector.pending(), 0);
+    }
+
+    #[test]
+    fn misconfigurations_mutate_device_state() {
+        let mut net = Network::new();
+        let mut r = Device::new("r", DeviceRole::Router, 1);
+        let mut tun = TunnelConfig::gre(
+            1,
+            "gre1",
+            "1.1.1.1".parse().unwrap(),
+            "2.2.2.2".parse().unwrap(),
+        );
+        tun.ikey = Some(1001);
+        r.config.tunnels.insert(1, tun);
+        r.config.rib.add_rule(crate::route::PolicyRule {
+            priority: 100,
+            selector: crate::route::RuleSelector::All,
+            table: RouteTableId(200),
+        });
+        let r = net.add_device(r);
+
+        apply_fault(
+            &mut net,
+            FaultKind::Misconfigure(Misconfiguration::CorruptGreKey {
+                device: r,
+                delta: 7,
+            }),
+        );
+        assert_eq!(net.device(r).unwrap().config.tunnels[&1].ikey, Some(1008));
+
+        apply_fault(
+            &mut net,
+            FaultKind::Misconfigure(Misconfiguration::FlushPolicyRouting { device: r }),
+        );
+        assert!(net.device(r).unwrap().config.rib.rules().is_empty());
+    }
+}

@@ -27,6 +27,8 @@
 //! * [`topology`] — canned topologies, including the paper's Figure 4 testbed.
 //! * [`trace`], [`stats`] — packet traces and counters used by the tests and
 //!   the experiment harness.
+//! * [`fault`] — deterministic fault injection (link cuts/flaps, loss
+//!   spikes, device crashes, misconfigurations) for the diagnosis layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +40,7 @@ pub mod device;
 pub mod engine;
 pub mod ether;
 pub mod event;
+pub mod fault;
 pub mod gre;
 pub mod icmp;
 pub mod ipv4;
@@ -57,6 +60,7 @@ pub use clock::{SimDuration, SimTime};
 pub use config::DeviceConfig;
 pub use device::{Device, DeviceId, DeviceRole, PortId};
 pub use ether::{EtherType, EthernetFrame};
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultPlan, Misconfiguration};
 pub use ipv4::{Ipv4Cidr, Ipv4Header, Ipv4Proto};
 pub use link::{Link, LinkId, LinkProperties};
 pub use mac::MacAddr;
@@ -97,7 +101,10 @@ impl std::fmt::Display for CodecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodecError::Truncated { what, needed, got } => {
-                write!(f, "{what}: truncated header (need {needed} bytes, got {got})")
+                write!(
+                    f,
+                    "{what}: truncated header (need {needed} bytes, got {got})"
+                )
             }
             CodecError::BadChecksum(what) => write!(f, "{what}: checksum mismatch"),
             CodecError::BadField { what, value } => {

@@ -77,7 +77,12 @@ pub struct Link {
 
 impl Link {
     /// Create a point-to-point link.
-    pub fn point_to_point(id: LinkId, a: Endpoint, b: Endpoint, properties: LinkProperties) -> Self {
+    pub fn point_to_point(
+        id: LinkId,
+        a: Endpoint,
+        b: Endpoint,
+        properties: LinkProperties,
+    ) -> Self {
         Link {
             id,
             endpoints: vec![a, b],

@@ -214,6 +214,18 @@ impl MplsTables {
     pub fn nhlfe_by_key(&self, key: NhlfeKey) -> Option<&Nhlfe> {
         self.nhlfe.get(&key.0)
     }
+
+    /// Remove an NHLFE entry (`mpls nhlfe del`).
+    pub fn remove_nhlfe(&mut self, key: NhlfeKey) -> bool {
+        self.nhlfe.remove(&key.0).is_some()
+    }
+
+    /// Remove a cross-connect (`mpls xc del`).
+    pub fn remove_xc(&mut self, ilm: IlmEntry) -> bool {
+        self.xc
+            .remove(&(ilm.labelspace, ilm.label.value()))
+            .is_some()
+    }
 }
 
 #[cfg(test)]

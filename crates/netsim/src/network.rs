@@ -46,6 +46,9 @@ pub struct Network {
     /// Record a [`TraceEntry`] for every transmitted frame (on by default).
     pub trace_enabled: bool,
     frames_delivered: u64,
+    frames_lost: u64,
+    /// Monotonic counter feeding the deterministic per-link loss sampler.
+    loss_sequence: u64,
 }
 
 impl Network {
@@ -65,6 +68,11 @@ impl Network {
     /// Total frames delivered across all links so far.
     pub fn frames_delivered(&self) -> u64 {
         self.frames_delivered
+    }
+
+    /// Total frames dropped by link loss (`loss_ppm`) so far.
+    pub fn frames_lost(&self) -> u64 {
+        self.frames_lost
     }
 
     /// Add a device, returning its id.
@@ -180,6 +188,39 @@ impl Network {
         }
     }
 
+    /// Set a link's loss rate in parts per million.  Losses are sampled
+    /// deterministically (a hash of a per-network sequence number), so runs
+    /// replay exactly.
+    pub fn set_link_loss(&mut self, id: LinkId, loss_ppm: u32) {
+        if let Some(link) = self.links.get_mut(id.0 as usize) {
+            link.properties.loss_ppm = loss_ppm;
+        }
+    }
+
+    /// Power a device on or off.  Powering off models a crash: pending
+    /// frames addressed to it are dropped on arrival and its management
+    /// agent stops being reachable.  Powering back on flushes runtime caches
+    /// (ARP, MAC learning, tunnel sequence state), as a reboot would.
+    pub fn set_device_up(&mut self, id: DeviceId, up: bool) {
+        if let Some(device) = self.devices.get_mut(&id) {
+            device.up = up;
+            if up {
+                device.flush_runtime_state();
+            }
+        }
+    }
+
+    /// The point-to-point link connecting two devices, if any.
+    pub fn link_between(&self, a: DeviceId, b: DeviceId) -> Option<LinkId> {
+        self.links
+            .iter()
+            .find(|l| {
+                l.endpoints.iter().any(|e| e.device == a)
+                    && l.endpoints.iter().any(|e| e.device == b)
+            })
+            .map(|l| l.id)
+    }
+
     /// The physical adjacency of a device: for every attached port, the set
     /// of `(neighbour device, neighbour port)` pairs on the same link.  This
     /// is what each device reports to the NM over the management channel.
@@ -227,7 +268,9 @@ impl Network {
         identifier: u16,
         sequence: u16,
     ) -> Result<(), NetworkError> {
-        let out = self.device_mut(device)?.originate_ping(dst, identifier, sequence);
+        let out = self
+            .device_mut(device)?
+            .originate_ping(dst, identifier, sequence);
         self.dispatch(device, out);
         Ok(())
     }
@@ -248,6 +291,9 @@ impl Network {
     /// link attached to its egress port and schedule arrival at the far end.
     pub fn dispatch(&mut self, from: DeviceId, output: EngineOutput) {
         let now = self.queue.now();
+        if !self.devices.get(&from).is_some_and(|d| d.up) {
+            return; // crashed devices transmit nothing
+        }
         for (port, bytes) in output.transmissions {
             let Some(link_id) = self
                 .devices
@@ -263,6 +309,12 @@ impl Network {
             if !link.properties.enabled {
                 continue;
             }
+            let loss_ppm = link.properties.loss_ppm;
+            if loss_ppm > 0 && self.sample_loss(link_id, loss_ppm) {
+                self.frames_lost += 1;
+                continue;
+            }
+            let link = &self.links[link_id.0 as usize];
             if self.trace_enabled {
                 self.trace.push(TraceEntry {
                     time: now,
@@ -307,13 +359,15 @@ impl Network {
     }
 
     /// Process events until simulated time reaches `deadline` or the queue
-    /// empties.
+    /// empties.  The clock always ends up at `deadline`, even when no events
+    /// were pending — "run for 10ms" really advances 10ms of simulated time.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut handled = 0;
         while let Some((_, event)) = self.queue.pop_before(deadline) {
             self.handle_event(event);
             handled += 1;
         }
+        self.queue.advance_to(deadline);
         handled
     }
 
@@ -321,6 +375,14 @@ impl Network {
     pub fn run_for(&mut self, duration: SimDuration) -> u64 {
         let deadline = self.now() + duration;
         self.run_until(deadline)
+    }
+
+    /// Deterministic loss decision: a splitmix64 hash of the per-network
+    /// frame sequence and the link id, compared against the loss rate.
+    fn sample_loss(&mut self, link: LinkId, loss_ppm: u32) -> bool {
+        self.loss_sequence += 1;
+        let z = crate::clock::splitmix64(self.loss_sequence.wrapping_add(u64::from(link.0) << 32));
+        (z % 1_000_000) < u64::from(loss_ppm)
     }
 
     fn handle_event(&mut self, event: Event) {
@@ -335,6 +397,9 @@ impl Network {
                 let Some(dev) = self.devices.get_mut(&device) else {
                     return;
                 };
+                if !dev.up {
+                    return; // crashed devices drop everything on the floor
+                }
                 let out = dev.handle_frame(port, &frame);
                 self.dispatch(device, out);
             }
@@ -399,7 +464,8 @@ mod tests {
         net.connect((h1, PortId(0)), (h2, PortId(0)), LinkProperties::lan())
             .unwrap();
 
-        net.send_udp(h1, ip("10.0.0.2"), 1234, 5678, b"hello").unwrap();
+        net.send_udp(h1, ip("10.0.0.2"), 1234, 5678, b"hello")
+            .unwrap();
         net.run_to_quiescence(1000);
 
         let delivered = net.device_mut(h2).unwrap().take_delivered();

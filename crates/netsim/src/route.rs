@@ -62,11 +62,9 @@ impl RouteTable {
 
     /// Add a route (duplicates by prefix replace the earlier entry).
     pub fn add(&mut self, route: Route) {
-        if let Some(existing) = self
-            .routes
-            .iter_mut()
-            .find(|r| r.dest.network() == route.dest.network() && r.dest.prefix_len == route.dest.prefix_len)
-        {
+        if let Some(existing) = self.routes.iter_mut().find(|r| {
+            r.dest.network() == route.dest.network() && r.dest.prefix_len == route.dest.prefix_len
+        }) {
             *existing = route;
         } else {
             self.routes.push(route);
@@ -76,8 +74,9 @@ impl RouteTable {
     /// Remove routes for an exact prefix, returning how many were removed.
     pub fn remove(&mut self, dest: Ipv4Cidr) -> usize {
         let before = self.routes.len();
-        self.routes
-            .retain(|r| !(r.dest.network() == dest.network() && r.dest.prefix_len == dest.prefix_len));
+        self.routes.retain(|r| {
+            !(r.dest.network() == dest.network() && r.dest.prefix_len == dest.prefix_len)
+        });
         before - self.routes.len()
     }
 
@@ -188,6 +187,24 @@ impl Rib {
         self.rules.sort_by_key(|r| r.priority);
     }
 
+    /// Remove every policy rule pointing at `table` with the given priority
+    /// (the inverse of `add_rule`; used by module `delete` handlers).
+    /// Returns how many rules were removed.
+    pub fn remove_rule(&mut self, priority: u32, table: RouteTableId) -> usize {
+        let before = self.rules.len();
+        self.rules
+            .retain(|r| !(r.priority == priority && r.table == table));
+        before - self.rules.len()
+    }
+
+    /// Drop a whole table (and its name).  The main table is never dropped.
+    pub fn drop_table(&mut self, id: RouteTableId) {
+        if id != RouteTableId::MAIN {
+            self.tables.remove(&id);
+            self.table_names.remove(&id);
+        }
+    }
+
     /// All rules in priority order.
     pub fn rules(&self) -> &[PolicyRule] {
         &self.rules
@@ -215,7 +232,9 @@ impl Rib {
                 }
             }
         }
-        self.tables.get(&RouteTableId::MAIN).and_then(|t| t.lookup(dst))
+        self.tables
+            .get(&RouteTableId::MAIN)
+            .and_then(|t| t.lookup(dst))
     }
 }
 

@@ -78,8 +78,16 @@ impl ChainTopology {
     /// address on its first core link and the egress router's address on its
     /// last core link.
     pub fn tunnel_endpoints(&self) -> (Ipv4Addr, Ipv4Addr) {
-        let ingress = self.core_link_addresses.first().expect("at least one core link").0;
-        let egress = self.core_link_addresses.last().expect("at least one core link").1;
+        let ingress = self
+            .core_link_addresses
+            .first()
+            .expect("at least one core link")
+            .0;
+        let egress = self
+            .core_link_addresses
+            .last()
+            .expect("at least one core link")
+            .1;
         (ingress, egress)
     }
 }
@@ -142,7 +150,7 @@ pub fn isp_chain(n: usize) -> ChainTopology {
     // RouterC = 204.9.169.1.
     for i in 0..n - 1 {
         let third = 168 + i as u32;
-        let (left_host, right_host) = if n - 1 >= 2 && i == n - 2 {
+        let (left_host, right_host) = if n > 2 && i == n - 2 {
             (2u32, 1u32)
         } else {
             (1u32, 2u32)
@@ -192,14 +200,30 @@ pub fn isp_chain(n: usize) -> ChainTopology {
     let host2 = net.add_device(host2);
 
     // Edge links.
-    net.connect((host1, PortId(0)), (customer1, PortId(0)), LinkProperties::lan())
-        .unwrap();
-    net.connect((customer1, PortId(1)), (core[0], PortId(0)), LinkProperties::lan())
-        .unwrap();
-    net.connect((core[n - 1], PortId(0)), (customer2, PortId(1)), LinkProperties::lan())
-        .unwrap();
-    net.connect((customer2, PortId(0)), (host2, PortId(0)), LinkProperties::lan())
-        .unwrap();
+    net.connect(
+        (host1, PortId(0)),
+        (customer1, PortId(0)),
+        LinkProperties::lan(),
+    )
+    .unwrap();
+    net.connect(
+        (customer1, PortId(1)),
+        (core[0], PortId(0)),
+        LinkProperties::lan(),
+    )
+    .unwrap();
+    net.connect(
+        (core[n - 1], PortId(0)),
+        (customer2, PortId(1)),
+        LinkProperties::lan(),
+    )
+    .unwrap();
+    net.connect(
+        (customer2, PortId(0)),
+        (host2, PortId(0)),
+        LinkProperties::lan(),
+    )
+    .unwrap();
 
     ChainTopology {
         net,
@@ -323,8 +347,12 @@ pub fn vlan_chain(n: usize) -> VlanChain {
     e.config.assign_address(0, cidr("10.0.0.2/24"));
     let customer2 = net.add_device(e);
 
-    net.connect((customer1, PortId(0)), (switches[0], PortId(0)), LinkProperties::lan())
-        .unwrap();
+    net.connect(
+        (customer1, PortId(0)),
+        (switches[0], PortId(0)),
+        LinkProperties::lan(),
+    )
+    .unwrap();
     for i in 0..n - 1 {
         net.connect(
             (switches[i], PortId(2)),

@@ -211,7 +211,10 @@ mod tests {
             outer,
         );
         let summary = PacketSummary::parse(&frame.encode());
-        assert_eq!(summary.layer_names(), vec!["ETH", "IP", "GRE", "IP", "PAYLOAD"]);
+        assert_eq!(
+            summary.layer_names(),
+            vec!["ETH", "IP", "GRE", "IP", "PAYLOAD"]
+        );
         assert!(summary.protocol_path().contains("key=2001"));
     }
 
@@ -224,7 +227,10 @@ mod tests {
         )
         .encode_packet(&[]);
         let mpls_payload = mpls::encode_stack(
-            &[mpls::LabelStackEntry::new(mpls::Label::new(10001).unwrap(), true)],
+            &[mpls::LabelStackEntry::new(
+                mpls::Label::new(10001).unwrap(),
+                true,
+            )],
             &ip,
         );
         let frame = EthernetFrame::new(

@@ -1,14 +1,15 @@
-//! Debugging with CONMan (§III-C.2 flavour): after configuring the VPN, the
-//! NM can read each module's *actual* state with `showActual`, inject a
-//! fault (cut a core link), observe that customer traffic stops, and localise
-//! the failure from the topology map it maintains.
+//! Debugging with CONMan (§III-C.2), now as a closed loop: configure the
+//! VPN, inject a fault, let the `Diagnoser` localise it from per-module
+//! counter deltas along the configured path, and let the `Healer`
+//! reconfigure an alternative path and verify the repair end to end.
 //!
 //! ```text
 //! cargo run --example debugging
 //! ```
 
+use conman::diagnose::{Diagnoser, Healer};
 use conman::modules::managed_chain;
-use netsim::link::LinkId;
+use conman::netsim::fault::{apply_fault, FaultKind, Misconfiguration};
 
 fn main() {
     let mut testbed = managed_chain(3);
@@ -18,54 +19,71 @@ fn main() {
     let gre = paths
         .iter()
         .find(|p| p.technology_label() == "GRE-IP")
-        .unwrap()
+        .expect("GRE path exists")
         .clone();
     testbed.mn.execute_path(&gre, &goal);
+    println!(
+        "configured: {} across {} routers",
+        gre.technology_label(),
+        testbed.core.len()
+    );
 
     // Healthy VPN.
-    let (ok, _) = testbed.send_site1_to_site2(b"healthy");
+    let ok = testbed.probe();
     println!("before fault: delivered = {ok}");
 
-    // showActual at the ingress router: the NM sees the tunnel and routes the
-    // GRE and IP modules installed, without understanding GRE keys itself.
-    let ingress = testbed.core[0];
-    if let Some(actual) = testbed.mn.show_actual(ingress) {
-        println!("\nshowActual(<RouterA>):");
-        for (module, state) in &actual {
-            if !state.switch_rules.is_empty() || !state.perf_report.is_empty() {
-                println!("  {module}: rules={:?} perf={:?}", state.switch_rules, state.perf_report);
-            }
+    // Fault injection: corrupt the GRE receive key on the egress router —
+    // the classic silent misconfiguration the paper cites.  Only counters
+    // can reveal it: the topology map still looks perfect.
+    let egress = *testbed.core.last().expect("chain has routers");
+    apply_fault(
+        &mut testbed.mn.net,
+        FaultKind::Misconfigure(Misconfiguration::CorruptGreKey {
+            device: egress,
+            delta: 17,
+        }),
+    );
+    println!(
+        "\ninjected: GRE ikey corrupted on router {}",
+        testbed.mn.nm.device_alias(egress)
+    );
+
+    // Diagnosis: probe end to end, snapshot per-module counters along the
+    // configured module path, and localise from the deltas.
+    let mut probe = testbed.probe_fn();
+    let report = Diagnoser::default().diagnose(&mut testbed.mn, &gre, &mut probe);
+    println!(
+        "\ndiagnosis: {}/{} probes delivered",
+        report.probes_delivered, report.probes_sent
+    );
+    for s in &report.suspects {
+        println!("  suspect ({:>3}%): {:?}", s.confidence_pct, s.target);
+        for e in &s.evidence {
+            println!("           {e}");
         }
     }
+    let prime = report.prime_suspect().expect("a suspect was found");
+    assert!(
+        matches!(&prime.target, conman::diagnose::SuspectTarget::Module(m) if m.device == egress),
+        "the egress GRE module should be blamed"
+    );
 
-    // Fault injection: cut the A--B core link (the wire between the second
-    // and third links of the topology is the first core link).
-    let core_link = testbed
-        .mn
-        .net
-        .links()
-        .iter()
-        .find(|l| {
-            l.endpoints
-                .iter()
-                .all(|e| testbed.core.contains(&e.device))
-        })
-        .map(|l| l.id)
-        .unwrap_or(LinkId(0));
-    testbed.mn.net.set_link_enabled(core_link, false);
-    let (after, _) = testbed.send_site1_to_site2(b"after fault");
-    println!("\nafter cutting core link {:?}: delivered = {after}", core_link);
+    // Self-healing: tear the GRE path down, re-plan with the suspect
+    // excluded, execute the alternative and verify it with probes.
+    let outcome = Healer::default().heal(&mut testbed.mn, &goal, &gre, &report, &mut probe);
+    println!(
+        "\nself-healing: {} candidate path(s); replacement = {}; {} delete primitive(s) issued",
+        outcome.candidates,
+        outcome.replacement_label.as_deref().unwrap_or("none"),
+        outcome.teardown_primitives,
+    );
+    assert!(
+        outcome.healed(),
+        "the NM must route around the corrupted module"
+    );
 
-    // Fault localisation from the NM's own topology map: which adjacency
-    // does the disabled link correspond to?
-    let link = testbed.mn.net.link(core_link).unwrap();
-    let names: Vec<String> = link
-        .endpoints
-        .iter()
-        .map(|e| testbed.mn.nm.device_alias(e.device))
-        .collect();
-    println!("NM localises the failure to the physical pipe between routers {:?}", names);
-    println!("(the paper: \"errors like a wire getting cut off ... will show up in the topology map that the NM maintains\")");
-
-    assert!(ok && !after);
+    let after = testbed.probe();
+    println!("after repair: delivered = {after}");
+    assert!(after);
+    println!("\n(the paper, §III-C: the NM \"can systematically debug the configuration\n problem by determining the status of each module in the path\" — here it\n also repaired it.)");
 }

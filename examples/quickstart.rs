@@ -31,7 +31,11 @@ fn main() {
         println!("  - {:18} ({} pipes)", p.technology_label(), p.pipe_count());
     }
     let chosen = outcome.chosen.expect("a path was chosen");
-    println!("chosen: {} — scripts:\n{}", chosen.technology_label(), outcome.scripts.render());
+    println!(
+        "chosen: {} — scripts:\n{}",
+        chosen.technology_label(),
+        outcome.scripts.render()
+    );
 
     // 5. Verify the data plane: a site-1 host sends a datagram to a site-2
     //    host and it arrives, encapsulated inside the ISP.

@@ -1,26 +1,34 @@
 //! # conman — umbrella crate for the CONMan reproduction
 //!
 //! Re-exports the workspace crates so examples, integration tests and
-//! downstream users can depend on a single crate:
+//! downstream users can depend on a single crate.
 //!
-//! * [`netsim`] — the deterministic packet-level network simulator
-//!   (the data-plane substrate standing in for the paper's Linux testbed),
-//! * [`mgmt_channel`] — the out-of-band and in-band management channels,
-//! * [`core`] (`conman-core`) — module abstraction, primitives, management
-//!   agents and the Network Manager,
-//! * [`modules`] (`conman-modules`) — the ETH / IP / GRE / MPLS / VLAN
-//!   protocol modules and the managed testbeds,
-//! * [`legacy`] (`legacy-config`) — the "today" configuration baseline and
-//!   the Table V classifier.
+//! ## Module map
 //!
-//! See `examples/quickstart.rs` for a end-to-end tour: build the Figure 4
-//! testbed, let the NM discover it, map the VPN goal to module paths and
-//! configure the chosen one, then verify customer traffic actually flows.
+//! | Crate | Re-export | What lives there |
+//! |-------|-----------|------------------|
+//! | `netsim` | [`netsim`] | Deterministic packet-level simulator: codecs (ETH/ARP/IP/GRE/MPLS/VLAN/UDP/ICMP), forwarding engine, topologies, packet traces — and [`netsim::fault`], the deterministic fault-injection layer (link cuts/flaps, loss spikes, device crashes, misconfigurations). |
+//! | `mgmt-channel` | [`mgmt_channel`] | The out-of-band and in-band management channels, per-device message accounting (Table VI) and the periodic telemetry schedule. |
+//! | `conman-core` | [`core`] | Protocol-independent CONMan: module abstraction (Table II) with per-pipe [`CounterSnapshot`](core::CounterSnapshot)s, primitives (Table I), management agents, the NM (topology map, potential graph, path finder with suspect exclusion, script generation) and the runtime orchestration loop. |
+//! | `conman-modules` | [`modules`] | The ETH / IP / GRE / MPLS / VLAN protocol modules over the simulated data plane, plus the managed testbeds of Figures 2, 4 and 9 with diagnosis probe hooks. |
+//! | `conman-diagnose` | [`diagnose`] | The closed-loop manager of §III-C: telemetry collection over the management channel, counter-delta fault localisation ([`diagnose::Diagnoser`] → [`diagnose::FaultReport`]) and self-healing reconfiguration ([`diagnose::Healer`] — e.g. GRE-IP fallback when the MPLS core dies). |
+//! | `legacy-config` | [`legacy`] | The "today" configuration baseline (Figures 7a/8a/9a) and the Table V generic-vs-specific classifier. |
+//!
+//! ## Tours
+//!
+//! * `examples/quickstart.rs` — build the Figure 4 testbed, discover it,
+//!   map the VPN goal to module paths, configure the chosen one and verify
+//!   customer traffic flows.
+//! * `examples/debugging.rs` — the closed loop: inject a fault, let the
+//!   [`diagnose::Diagnoser`] localise it from counter deltas along the
+//!   configured path, and let the [`diagnose::Healer`] reconfigure an
+//!   alternative path and verify the repair.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use conman_core as core;
+pub use conman_diagnose as diagnose;
 pub use conman_modules as modules;
 pub use legacy_config as legacy;
 pub use mgmt_channel;

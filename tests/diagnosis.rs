@@ -1,0 +1,347 @@
+//! Fault-scenario integration tests for the `conman-diagnose` subsystem:
+//! inject a fault with `netsim::fault`, let the `Diagnoser` localise it from
+//! counter deltas along the configured module path, and (where the topology
+//! permits) let the `Healer` reconfigure an alternative path and verify the
+//! repair end to end.
+
+use conman::core::ids::ModuleKind;
+use conman::core::nm::{ConnectivityGoal, ModulePath};
+use conman::diagnose::{Diagnoser, Healer, SuspectTarget};
+use conman::modules::{managed_chain, managed_chain_with, ManagedChain};
+use conman::netsim::clock::SimDuration;
+use conman::netsim::fault::{apply_fault, FaultInjector, FaultKind, FaultPlan, Misconfiguration};
+use mgmt_channel::{InBandChannel, OutOfBandChannel};
+
+/// Build a discovered chain and configure the path with `label`, asserting
+/// it initially carries traffic.
+fn configured(
+    n: usize,
+    label: &str,
+) -> (ManagedChain<OutOfBandChannel>, ConnectivityGoal, ModulePath) {
+    let mut t = managed_chain(n);
+    t.discover();
+    let goal = t.vpn_goal();
+    let paths = t.mn.nm.find_paths(&goal);
+    let path = paths
+        .iter()
+        .find(|p| p.technology_label() == label)
+        .unwrap_or_else(|| panic!("{label} path exists"))
+        .clone();
+    t.mn.execute_path(&path, &goal);
+    assert!(t.probe(), "the {label} path must work before the fault");
+    (t, goal, path)
+}
+
+/// Scenario 1 — link cut.  A chain has no alternate physical route, so the
+/// NM must localise the cut precisely and admit it cannot re-plan around it.
+#[test]
+fn link_cut_is_localised_and_correctly_declared_unrepairable() {
+    let (mut t, goal, path) = configured(3, "GRE-IP");
+    let link = t.core_link(0).expect("A–B core link");
+    apply_fault(&mut t.mn.net, FaultKind::LinkCut(link));
+
+    let mut probe = t.probe_fn();
+    let report = Diagnoser::default().diagnose(&mut t.mn, &path, &mut probe);
+    assert!(!report.healthy);
+    assert_eq!(report.probes_delivered, 0);
+    assert!(
+        report.blames_link(t.core[0], t.core[1]),
+        "the cut A–B link must be the suspect: {:#?}",
+        report.suspects
+    );
+    match &report.prime_suspect().unwrap().target {
+        SuspectTarget::Link { link: found, .. } => assert_eq!(*found, Some(link)),
+        other => panic!("expected a link suspect, got {other:?}"),
+    }
+
+    // Healing is impossible on a chain: every path crosses the cut link.
+    let outcome = Healer::default().heal(&mut t.mn, &goal, &path, &report, &mut probe);
+    assert!(
+        !outcome.healed(),
+        "no alternate path exists across a cut chain"
+    );
+    assert_eq!(outcome.candidates, 0);
+}
+
+/// Scenario 2 — MPLS core dies (cross-connects flushed on the middle
+/// router).  The NM localises the MPLS module and falls back to GRE-IP,
+/// restoring end-to-end delivery: the ISSUE's flagship scenario.
+#[test]
+fn mpls_core_failure_heals_onto_gre_fallback() {
+    let (mut t, goal, path) = configured(3, "MPLS");
+    apply_fault(
+        &mut t.mn.net,
+        FaultKind::Misconfigure(Misconfiguration::ClearMplsState { device: t.core[1] }),
+    );
+
+    let mut probe = t.probe_fn();
+    let report = Diagnoser::default().diagnose(&mut t.mn, &path, &mut probe);
+    assert!(!report.healthy);
+    let mpls_b = t.core_module(1, &ModuleKind::Mpls).unwrap();
+    assert!(
+        report.blames_module(&mpls_b),
+        "router B's MPLS module must be the suspect: {:#?}",
+        report.suspects
+    );
+
+    let outcome = Healer::default().heal(&mut t.mn, &goal, &path, &report, &mut probe);
+    assert!(outcome.healed(), "healing must succeed: {outcome:#?}");
+    let label = outcome.replacement_label.as_deref().unwrap();
+    assert!(
+        !label.contains("MPLS"),
+        "the replacement must avoid the dead MPLS core, got {label}"
+    );
+    assert!(
+        outcome.teardown_primitives > 0,
+        "the failed path must be torn down"
+    );
+    // And the repair holds for ordinary traffic, both directions.
+    let (fwd, _) = t.send_site1_to_site2(b"after-heal");
+    let (rev, _) = t.send_site2_to_site1(b"after-heal-back");
+    assert!(fwd && rev, "customer traffic must flow after self-healing");
+}
+
+/// Scenario 3 — GRE key misconfiguration at the egress router.  Counter
+/// evidence (TunnelMismatch drops) pins the egress GRE module; healing
+/// moves the VPN onto a path avoiding it.
+#[test]
+fn gre_key_misconfiguration_is_pinned_to_the_egress_module_and_healed() {
+    let (mut t, goal, path) = configured(3, "GRE-IP");
+    let egress = *t.core.last().unwrap();
+    apply_fault(
+        &mut t.mn.net,
+        FaultKind::Misconfigure(Misconfiguration::CorruptGreKey {
+            device: egress,
+            delta: 7,
+        }),
+    );
+
+    let mut probe = t.probe_fn();
+    let report = Diagnoser::default().diagnose(&mut t.mn, &path, &mut probe);
+    assert!(!report.healthy);
+    let gre_c = t.core_module(2, &ModuleKind::Gre).unwrap();
+    assert!(
+        report.blames_module(&gre_c),
+        "the egress GRE module must be the suspect: {:#?}",
+        report.suspects
+    );
+
+    let outcome = Healer::default().heal(&mut t.mn, &goal, &path, &report, &mut probe);
+    assert!(outcome.healed(), "healing must succeed: {outcome:#?}");
+    assert!(
+        !outcome
+            .replacement_label
+            .as_deref()
+            .unwrap()
+            .contains("GRE"),
+        "the replacement must avoid the corrupted GRE module"
+    );
+    assert!(t.probe(), "traffic flows after the repair");
+}
+
+/// Scenario 4 — device crash.  The crashed router answers neither the data
+/// plane nor the management channel; the diagnoser reports the device
+/// itself, and healing correctly finds no path around it on a chain.
+#[test]
+fn device_crash_is_attributed_to_the_device() {
+    let (mut t, goal, path) = configured(3, "GRE-IP");
+    apply_fault(&mut t.mn.net, FaultKind::DeviceCrash(t.core[1]));
+
+    let mut probe = t.probe_fn();
+    let report = Diagnoser::default().diagnose(&mut t.mn, &path, &mut probe);
+    assert!(!report.healthy);
+    assert_eq!(report.unresponsive, vec![t.core[1]]);
+    assert!(
+        report.blames_device(t.core[1]),
+        "the crashed router must be the prime suspect: {:#?}",
+        report.suspects
+    );
+    assert_eq!(report.prime_suspect().unwrap().confidence_pct, 95);
+
+    let outcome = Healer::default().heal(&mut t.mn, &goal, &path, &report, &mut probe);
+    assert!(
+        !outcome.healed(),
+        "a chain cannot route around a crashed core router"
+    );
+}
+
+/// Scenario 5 — 100% loss spike on the B–C link (the link stays
+/// administratively up, so only counters reveal it).
+#[test]
+fn loss_spike_blackhole_is_localised_to_the_link() {
+    let (mut t, goal, path) = configured(3, "GRE-IP");
+    let link = t.core_link(1).expect("B–C core link");
+    apply_fault(
+        &mut t.mn.net,
+        FaultKind::LossSpike {
+            link,
+            loss_ppm: 1_000_000,
+        },
+    );
+
+    let mut probe = t.probe_fn();
+    let report = Diagnoser::default().diagnose(&mut t.mn, &path, &mut probe);
+    assert!(!report.healthy);
+    assert!(
+        report.blames_link(t.core[1], t.core[2]),
+        "the lossy B–C link must be the suspect: {:#?}",
+        report.suspects
+    );
+    assert!(
+        t.mn.net.frames_lost() > 0,
+        "the loss sampler must account for the drops"
+    );
+
+    // Still unrepairable on a chain — but clearing the spike restores
+    // delivery without any reconfiguration, which the NM can verify.
+    let outcome = Healer::default().heal(&mut t.mn, &goal, &path, &report, &mut probe);
+    assert!(!outcome.healed());
+    apply_fault(&mut t.mn.net, FaultKind::LossSpike { link, loss_ppm: 0 });
+    assert!(t.probe(), "delivery resumes once the loss clears");
+}
+
+/// Scenario 5b — *partial* loss spike (50%): some probes survive, so only
+/// the rx-shortfall on the far side of the link reveals it.
+#[test]
+fn partial_loss_spike_is_still_localised_to_the_link() {
+    let (mut t, _goal, path) = configured(3, "GRE-IP");
+    let link = t.core_link(1).expect("B–C core link");
+    apply_fault(
+        &mut t.mn.net,
+        FaultKind::LossSpike {
+            link,
+            loss_ppm: 500_000,
+        },
+    );
+
+    let mut probe = t.probe_fn();
+    // More probes than the default so the deterministic sampler is certain
+    // to drop at least one and pass at least one.
+    let report = Diagnoser::new(8).diagnose(&mut t.mn, &path, &mut probe);
+    assert!(!report.healthy);
+    assert!(
+        report.probes_delivered > 0 && report.probes_delivered < report.probes_sent,
+        "a 50% spike should let some probes through: {}/{}",
+        report.probes_delivered,
+        report.probes_sent
+    );
+    assert!(
+        report.blames_link(t.core[1], t.core[2]),
+        "partial loss must still be pinned to the lossy link: {:#?}",
+        report.suspects
+    );
+}
+
+/// Scenario 6 — link flap from a deterministic fault plan.  Diagnosis during
+/// the down window localises the link; once the plan restores it, the same
+/// probe confirms recovery.  The whole timeline replays from a seed.
+#[test]
+fn link_flap_is_detected_while_down_and_recovers_when_the_plan_restores_it() {
+    let (mut t, goal, path) = configured(3, "GRE-IP");
+    let link = t.core_link(0).expect("A–B core link");
+    let start = t.mn.net.now() + SimDuration::from_millis(10);
+    let plan = FaultPlan::new().flap(
+        link,
+        start,
+        SimDuration::from_millis(500),
+        SimDuration::from_millis(500),
+        1,
+    );
+    let mut injector = FaultInjector::new(plan);
+
+    // Advance into the down window.
+    t.mn.net.run_for(SimDuration::from_millis(20));
+    assert_eq!(injector.apply_due(&mut t.mn.net), 1, "the cut fires");
+
+    let mut probe = t.probe_fn();
+    let report = Diagnoser::default().diagnose(&mut t.mn, &path, &mut probe);
+    assert!(!report.healthy);
+    assert!(report.blames_link(t.core[0], t.core[1]));
+    let _ = Healer::default().heal(&mut t.mn, &goal, &path, &report, &mut probe);
+
+    // Advance past the restore; the flap heals itself.
+    t.mn.net.run_for(SimDuration::from_millis(600));
+    assert_eq!(injector.apply_due(&mut t.mn.net), 1, "the restore fires");
+    assert_eq!(injector.pending(), 0);
+    let verify = Diagnoser::default().diagnose(&mut t.mn, &path, &mut probe);
+    assert!(
+        verify.healthy,
+        "the path is healthy again after the flap: {verify:#?}"
+    );
+}
+
+/// Scenario 7 — policy routing flushed on a middle router while a GRE path
+/// is active.  (On a 4-router chain the GRE outer endpoints are not on the
+/// middle routers' connected subnets, so losing the policy rules really
+/// blackholes the tunnel.)  The transit IP module is blamed (NoRoute drops)
+/// and the NM heals onto the pure-MPLS path, which crosses the router in
+/// the label plane and therefore survives.
+#[test]
+fn flushed_routing_heals_onto_the_mpls_path() {
+    let (mut t, goal, path) = configured(4, "GRE-IP");
+    apply_fault(
+        &mut t.mn.net,
+        FaultKind::Misconfigure(Misconfiguration::FlushPolicyRouting { device: t.core[1] }),
+    );
+
+    let mut probe = t.probe_fn();
+    let report = Diagnoser::default().diagnose(&mut t.mn, &path, &mut probe);
+    assert!(!report.healthy);
+    let ip_b = t.core_module(1, &ModuleKind::Ip).unwrap();
+    assert!(
+        report.blames_module(&ip_b),
+        "router B's transit IP module must be the suspect: {:#?}",
+        report.suspects
+    );
+
+    let outcome = Healer::default().heal(&mut t.mn, &goal, &path, &report, &mut probe);
+    assert!(outcome.healed(), "healing must succeed: {outcome:#?}");
+    assert_eq!(
+        outcome.replacement_label.as_deref(),
+        Some("MPLS"),
+        "the pure-MPLS path avoids B's IP module entirely"
+    );
+    assert!(t.probe());
+}
+
+/// Telemetry works over the in-band flooding channel too: the same fault
+/// scenario diagnoses identically with no out-of-band network at all.
+#[test]
+fn diagnosis_works_over_the_in_band_channel() {
+    let mut t = managed_chain_with(3, InBandChannel::new());
+    t.discover();
+    let goal = t.vpn_goal();
+    let paths = t.mn.nm.find_paths(&goal);
+    let path = paths
+        .iter()
+        .find(|p| p.technology_label() == "GRE-IP")
+        .unwrap()
+        .clone();
+    t.mn.execute_path(&path, &goal);
+    assert!(t.probe());
+
+    apply_fault(
+        &mut t.mn.net,
+        FaultKind::Misconfigure(Misconfiguration::CorruptGreKey {
+            device: *t.core.last().unwrap(),
+            delta: 3,
+        }),
+    );
+    let mut probe = t.probe_fn();
+    let report = Diagnoser::default().diagnose(&mut t.mn, &path, &mut probe);
+    assert!(!report.healthy);
+    let gre_c = t.core_module(2, &ModuleKind::Gre).unwrap();
+    assert!(
+        report.blames_module(&gre_c),
+        "in-band telemetry reaches the same verdict: {:#?}",
+        report.suspects
+    );
+    // Telemetry traffic is accounted in its own category on the channel.
+    let telemetry =
+        t.mn.nm_counters()
+            .sent_by_category
+            .get(&mgmt_channel::MessageCategory::Telemetry)
+            .copied()
+            .unwrap_or(0);
+    assert!(telemetry > 0, "telemetry polls are accounted as Telemetry");
+}

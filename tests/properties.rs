@@ -6,7 +6,7 @@ use conman::netsim::ether::{EtherType, EthernetFrame};
 use conman::netsim::gre::GreHeader;
 use conman::netsim::ipv4::{internet_checksum, Ipv4Cidr, Ipv4Header, Ipv4Proto};
 use conman::netsim::mac::MacAddr;
-use conman::netsim::mpls::{encode_stack, decode_stack, Label, LabelStackEntry};
+use conman::netsim::mpls::{decode_stack, encode_stack, Label, LabelStackEntry};
 use conman::netsim::route::{Route, RouteTable, RouteTarget};
 use conman::netsim::udp::UdpHeader;
 use proptest::prelude::*;
@@ -40,10 +40,7 @@ proptest! {
         // Either decoding fails (checksum / version / length) or the decoded
         // header differs from the original — corruption never passes silently
         // as the same header.
-        match Ipv4Header::decode_packet(&packet) {
-            Ok((decoded, _)) => prop_assert_ne!(decoded, header),
-            Err(_) => {}
-        }
+        if let Ok((decoded, _)) = Ipv4Header::decode_packet(&packet) { prop_assert_ne!(decoded, header) }
     }
 
     #[test]

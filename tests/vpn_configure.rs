@@ -30,7 +30,9 @@ fn gre_path_carries_customer_traffic_with_gre_encapsulation() {
     // Frames leaving the ingress router towards the core must be
     // ETH / outer IP / GRE / customer IP.
     assert!(
-        trace.iter().any(|p| p.contains("GRE(key=") && p.contains("10.0.2.5")),
+        trace
+            .iter()
+            .any(|p| p.contains("GRE(key=") && p.contains("10.0.2.5")),
         "expected GRE encapsulation on the core link, saw: {trace:?}"
     );
 }
@@ -64,7 +66,10 @@ fn without_configuration_no_customer_traffic_flows() {
     let mut t = managed_chain(3);
     t.discover();
     let (fwd, _) = t.send_site1_to_site2(b"should not arrive");
-    assert!(!fwd, "the ISP does not carry customer traffic before the VPN is configured");
+    assert!(
+        !fwd,
+        "the ISP does not carry customer traffic before the VPN is configured"
+    );
 }
 
 #[test]
@@ -73,7 +78,10 @@ fn vlan_tunnel_carries_customer_frames() {
     t.discover();
     let goal = t.vlan_goal();
     let paths = t.mn.nm.find_paths(&goal);
-    assert!(!paths.is_empty(), "a VLAN path exists across the provider switches");
+    assert!(
+        !paths.is_empty(),
+        "a VLAN path exists across the provider switches"
+    );
     let path = paths
         .iter()
         .find(|p| p.technology_label().contains("VLAN"))

@@ -31,7 +31,10 @@ fn figure4_pathfinder_enumerates_exactly_nine_paths() {
         "six additional MPLS-underlay combinations"
     );
     assert_eq!(labels.iter().filter(|l| *l == "IP-IP over MPLS").count(), 3);
-    assert_eq!(labels.iter().filter(|l| *l == "GRE-IP over MPLS").count(), 3);
+    assert_eq!(
+        labels.iter().filter(|l| *l == "GRE-IP over MPLS").count(),
+        3
+    );
 }
 
 #[test]
@@ -45,8 +48,14 @@ fn nm_prefers_the_mpls_path() {
     // fewest pipes; the NM prefers MPLS because of its forwarding-bandwidth
     // advertisement.
     assert_eq!(chosen.technology_label(), "MPLS");
-    let ipip = paths.iter().find(|p| p.technology_label() == "IP-IP").unwrap();
+    let ipip = paths
+        .iter()
+        .find(|p| p.technology_label() == "IP-IP")
+        .unwrap();
     assert_eq!(chosen.pipe_count(), ipip.pipe_count());
-    let gre = paths.iter().find(|p| p.technology_label() == "GRE-IP").unwrap();
+    let gre = paths
+        .iter()
+        .find(|p| p.technology_label() == "GRE-IP")
+        .unwrap();
     assert!(gre.pipe_count() > chosen.pipe_count());
 }

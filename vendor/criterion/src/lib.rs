@@ -1,0 +1,216 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the slice of criterion's API the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, the `criterion_group!`/`criterion_main!` macros) with a
+//! simple warm-up + timed-loop measurement.  Statistical analysis, plots and
+//! baselines are out of scope — the point is that `cargo bench` runs offline
+//! and reports a useful mean time per iteration.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("find_paths", 8)` renders as `find_paths/8`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    /// Mean nanoseconds per iteration, recorded by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly, measuring mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: a few untimed runs.
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if iters >= self.samples as u64 && start.elapsed() >= self.budget {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters;
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower bound on iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        // Benches set multi-second budgets meant for criterion's statistics;
+        // cap the simple loop so `cargo bench` stays quick.
+        self.measurement_time = d.min(Duration::from_millis(300));
+        self
+    }
+
+    /// Annotate throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            budget: self.measurement_time,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let mut line = format!(
+            "{}/{}: {} ({} iterations)",
+            self.name,
+            id,
+            format_ns(b.mean_ns),
+            b.iters
+        );
+        if let Some(t) = self.throughput {
+            let per_sec = match t {
+                Throughput::Elements(n) => format!("{:.0} elem/s", n as f64 / (b.mean_ns / 1e9)),
+                Throughput::Bytes(n) => format!("{:.0} B/s", n as f64 / (b.mean_ns / 1e9)),
+            };
+            line.push_str(&format!(" [{per_sec}]"));
+        }
+        println!("{line}");
+    }
+
+    /// Run a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Run a parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run_one(&id.name.clone(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (a no-op in the shim).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Entry point collecting benchmark groups.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(300),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_millis(300),
+            throughput: None,
+            _criterion: self,
+        };
+        let mut f = f;
+        g.run_one(id, &mut f);
+        self
+    }
+}
+
+/// Declare a group-runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,49 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this vendored shim provides the subset of serde's surface the workspace
+//! uses: the [`Serialize`] / [`Deserialize`] traits, derive macros of the
+//! same names, and impls for the std types that appear in the crates'
+//! serialized structures.  Instead of serde's visitor-based data model, the
+//! shim converts values to and from an in-tree JSON [`value::Value`]; the
+//! companion `serde_json` shim renders and parses that value as JSON text.
+
+pub mod value;
+
+mod impls;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{Map, Number, Value};
+
+use std::fmt;
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Build an error from a message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be converted into a JSON [`Value`].
+pub trait Serialize {
+    /// Convert `self` into a value.
+    fn serialize(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a value.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}

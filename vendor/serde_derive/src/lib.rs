@@ -1,0 +1,404 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Parses the derive input with nothing but `proc_macro` (no syn/quote —
+//! the build environment is fully offline) and emits impls of the shim
+//! `serde::Serialize` / `serde::Deserialize` traits.  Supports the shapes
+//! this workspace uses: structs with named fields, tuple structs, unit
+//! structs, and enums with unit / tuple / struct variants.  Generic types
+//! and `#[serde(...)]` attributes are intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Derive the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derive the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive shim: expected enum body, found {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Skip any `#[...]` attributes (including doc comments) and visibility
+/// modifiers starting at `*i`.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, skipping types (angle-bracket aware).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect ':' then the type, which runs to the next comma at angle
+        // depth zero.
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected ':' after field, found {other:?}"),
+        }
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Count the fields of a tuple struct / tuple variant.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1usize;
+    let mut angle = 0i32;
+    let mut saw_content = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => saw_content = true,
+        }
+    }
+    if !saw_content {
+        0
+    } else {
+        count
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip to past the next top-level comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Kind::TupleStruct(0) => "::serde::value::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from("{ let mut m = ::serde::value::Map::new(); ");
+            for f in fields {
+                let _ = write!(
+                    s,
+                    "m.insert(String::from(\"{f}\"), ::serde::Serialize::serialize(&self.{f})); "
+                );
+            }
+            s.push_str("::serde::value::Value::Object(m) }");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut s = String::from("match self { ");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        let _ = write!(
+                            s,
+                            "{name}::{vn} => ::serde::value::Value::String(String::from(\"{vn}\")), "
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::serialize(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        let _ = write!(
+                            s,
+                            "{name}::{vn}({binds}) => {{ let mut m = ::serde::value::Map::new(); \
+                             m.insert(String::from(\"{vn}\"), {inner}); \
+                             ::serde::value::Value::Object(m) }}, ",
+                            binds = binds.join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let mut inner = String::from("{ let mut fm = ::serde::value::Map::new(); ");
+                        for f in fields {
+                            let _ = write!(
+                                inner,
+                                "fm.insert(String::from(\"{f}\"), ::serde::Serialize::serialize({f})); "
+                            );
+                        }
+                        inner.push_str("::serde::value::Value::Object(fm) }");
+                        let _ = write!(
+                            s,
+                            "{name}::{vn} {{ {fields} }} => {{ let mut m = ::serde::value::Map::new(); \
+                             m.insert(String::from(\"{vn}\"), {inner}); \
+                             ::serde::value::Value::Object(m) }}, ",
+                            fields = fields.join(", ")
+                        );
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn serialize(&self) -> ::serde::value::Value {{ {body} }} }}"
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => format!("{{ let _ = v; Ok({name}) }}"),
+        Kind::TupleStruct(0) => format!("{{ let _ = v; Ok({name}()) }}"),
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize(&a[{i}])?"))
+                .collect();
+            format!(
+                "{{ let a = v.as_array().ok_or_else(|| ::serde::Error::custom(\"{name}: expected array\"))?; \
+                 if a.len() != {n} {{ return Err(::serde::Error::custom(\"{name}: wrong arity\")); }} \
+                 Ok({name}({items})) }}",
+                items = items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let mut s = format!(
+                "{{ let m = v.as_object().ok_or_else(|| ::serde::Error::custom(\"{name}: expected object\"))?; Ok({name} {{ "
+            );
+            for f in fields {
+                let _ = write!(
+                    s,
+                    "{f}: ::serde::Deserialize::deserialize(m.get(\"{f}\").unwrap_or(&::serde::value::Value::Null)).map_err(|e| ::serde::Error::custom(format!(\"{name}.{f}: {{e}}\")))?, "
+                );
+            }
+            s.push_str("}) }");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut s = String::new();
+            // Unit variants arrive as bare strings.
+            let units: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .collect();
+            if !units.is_empty() {
+                s.push_str("if let ::serde::value::Value::String(s) = v { match s.as_str() { ");
+                for v in &units {
+                    let _ = write!(s, "\"{vn}\" => return Ok({name}::{vn}), ", vn = v.name);
+                }
+                s.push_str("_ => {} } } ");
+            }
+            // Data variants arrive as single-key objects.
+            s.push_str(
+                "if let Some(m) = v.as_object() { if let Some((k, inner)) = m.iter().next() { match k.as_str() { ",
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Tuple(1) => {
+                        let _ = write!(
+                            s,
+                            "\"{vn}\" => return Ok({name}::{vn}(::serde::Deserialize::deserialize(inner)?)), "
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&a[{i}])?"))
+                            .collect();
+                        let _ = write!(
+                            s,
+                            "\"{vn}\" => {{ let a = inner.as_array().ok_or_else(|| ::serde::Error::custom(\"{name}::{vn}: expected array\"))?; \
+                             if a.len() != {n} {{ return Err(::serde::Error::custom(\"{name}::{vn}: wrong arity\")); }} \
+                             return Ok({name}::{vn}({items})); }} ",
+                            items = items.join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let mut inner_s = String::from(
+                            "{ let fm = inner.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object variant\"))?; ",
+                        );
+                        let _ = write!(inner_s, "return Ok({name}::{vn} {{ ");
+                        for f in fields {
+                            let _ = write!(
+                                inner_s,
+                                "{f}: ::serde::Deserialize::deserialize(fm.get(\"{f}\").unwrap_or(&::serde::value::Value::Null)).map_err(|e| ::serde::Error::custom(format!(\"{name}::{vn}.{f}: {{e}}\")))?, "
+                            );
+                        }
+                        inner_s.push_str("}); }");
+                        let _ = write!(s, "\"{vn}\" => {inner_s} ");
+                    }
+                }
+            }
+            s.push_str("_ => {} } } } ");
+            let _ = write!(
+                s,
+                "Err(::serde::Error::custom(\"{name}: unrecognised enum value\"))"
+            );
+            format!("{{ {s} }}")
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn deserialize(v: &::serde::value::Value) -> Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}

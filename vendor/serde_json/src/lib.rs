@@ -1,0 +1,208 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! A thin facade over the value model and JSON codec that live in the
+//! vendored `serde` shim: `to_string` / `to_vec` / `from_str` / `from_slice`
+//! plus the [`json!`] macro, which is the subset of serde_json this
+//! workspace uses.
+
+pub use serde::value::{Map, Number, Value};
+
+/// Serialization/deserialization error (shared with the serde shim).
+pub type Error = serde::Error;
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.serialize().to_json())
+}
+
+/// Serialize a value to compact JSON bytes.
+pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    Ok(value.serialize().to_json().into_bytes())
+}
+
+/// Serialize a value into a [`Value`].
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.serialize())
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T> {
+    let v = Value::from_json(text)?;
+    T::deserialize(&v)
+}
+
+/// Deserialize a value from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|_| Error::custom("invalid UTF-8"))?;
+    from_str(text)
+}
+
+/// Deserialize a typed value from a [`Value`].
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T> {
+    T::deserialize(value)
+}
+
+#[doc(hidden)]
+pub fn value_from<T: serde::Serialize>(value: T) -> Value {
+    value.serialize()
+}
+
+/// Construct a [`Value`] from JSON-like syntax, e.g.
+/// `json!({"key": some_expr, "list": [1, 2], "flag": true})`.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ----- array element muncher: (@array [built elems] rest...) -----
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($arr)*]),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($obj:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($obj)*}),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $val:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($val),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $val:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($val),])
+    };
+    (@array [$($elems:expr,)*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ----- object muncher: (@object map (partial key) (rest) (copy)) -----
+    (@object $object:ident () () ()) => {};
+    // Insert the finished key/value pair, then continue with the rest.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    // Munch a value after the colon.
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($arr:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($arr)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($obj:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($obj)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Accumulate key tokens until the colon.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) $copy);
+    };
+
+    // ----- leaves -----
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+        $crate::Value::Object(object)
+    }};
+    ($other:expr) => {
+        $crate::value_from(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_nested_objects() {
+        let vid = 22u16;
+        let name = "C1".to_string();
+        let v = json!({"vlan": {"id": vid, "name": name, "reply": true}});
+        assert_eq!(
+            v.get("vlan")
+                .and_then(|x| x.get("id"))
+                .and_then(|x| x.as_u64()),
+            Some(22)
+        );
+        assert_eq!(
+            v.get("vlan")
+                .and_then(|x| x.get("name"))
+                .and_then(|x| x.as_str()),
+            Some("C1")
+        );
+        assert_eq!(
+            v.get("vlan")
+                .and_then(|x| x.get("reply"))
+                .and_then(|x| x.as_bool()),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn macro_supports_expressions_and_arrays() {
+        let e = "boom";
+        let v = json!({"error": e.to_string(), "codes": [1, 2, 3], "none": null});
+        assert_eq!(v.get("error").and_then(|x| x.as_str()), Some("boom"));
+        assert_eq!(
+            v.get("codes").and_then(|x| x.as_array()).map(Vec::len),
+            Some(3)
+        );
+        assert!(v.get("none").unwrap().is_null());
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let v = json!({"ikey": 1001u32, "okey": 2001u32, "seq": true});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+}
