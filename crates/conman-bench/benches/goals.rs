@@ -1,0 +1,32 @@
+//! Benchmark: multi-goal reconciliation — submit `goals` concurrent VPN
+//! goals on the 10-router chain and reconcile them in one pass.  Tracks the
+//! goal-count scaling trajectory (1 / 8 / 64 goals).
+
+use conman_bench::{goals::assert_converged, multi_goal_run};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_goals(c: &mut Criterion) {
+    let mut group = c.benchmark_group("goals");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    for goals in [1usize, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("reconcile_chain10", goals),
+            &goals,
+            |b, &goals| {
+                b.iter(|| {
+                    let report = multi_goal_run(10, goals);
+                    assert_converged(&report);
+                    report.reconcile_wall_us
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_goals);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Multi-goal scaling experiments: how reconciliation behaves as the number
+//! of concurrent goals grows on a fixed chain.
+//!
+//! Each synthetic goal is a VPN between the same customer-facing interfaces
+//! for a distinct pair of site classes (`C<k>-S1` = `10.<k>.1.0/24`,
+//! `C<k>-S2` = `10.<k>.2.0/24`), so every goal plans its own path, executes
+//! its own two-phase transaction in a disjoint pipe-id block, and shares
+//! the ISP core module instances with every other goal — the goal-count
+//! axis the ROADMAP's scaling trajectory tracks.
+
+use crate::diagnosis::chain_limits;
+use conman_core::nm::{ConnectivityGoal, GoalId};
+use conman_modules::{managed_chain, ManagedChain};
+use mgmt_channel::{ManagementChannel, OutOfBandChannel};
+use std::time::Instant;
+
+/// What one multi-goal run measured.
+#[derive(Debug, Clone)]
+pub struct MultiGoalReport {
+    /// Chain size (core routers).
+    pub n: usize,
+    /// Goals submitted.
+    pub goals: usize,
+    /// Goals `Active` after the reconcile pass.
+    pub active: usize,
+    /// Transactions the pass executed (one per goal on a fresh network).
+    pub transactions: usize,
+    /// Wall-clock for the single `reconcile()` call, microseconds.
+    pub reconcile_wall_us: u128,
+    /// NM management messages sent during reconciliation.
+    pub nm_sent: u64,
+    /// NM management messages received during reconciliation.
+    pub nm_received: u64,
+    /// Module instances shared by at least two goals afterwards.
+    pub shared_modules: usize,
+}
+
+/// The `k`-th synthetic goal on a chain testbed.
+pub fn synthetic_goal<C: ManagementChannel>(t: &ManagedChain<C>, k: usize) -> ConnectivityGoal {
+    let mut goal = t.vpn_goal();
+    let k = k + 1; // keep 10.0.x.0 (the real customer) out of the space
+    goal.src_class = format!("C{k}-S1");
+    goal.dst_class = format!("C{k}-S2");
+    goal.resolved.remove("C1-S1");
+    goal.resolved.remove("C1-S2");
+    goal.resolved
+        .insert(format!("C{k}-S1"), format!("10.{k}.1.0/24"));
+    goal.resolved
+        .insert(format!("C{k}-S2"), format!("10.{k}.2.0/24"));
+    goal
+}
+
+/// Submit `goals` concurrent goals on an `n`-router chain and reconcile
+/// them in one pass, measuring the pass.
+pub fn multi_goal_run(n: usize, goals: usize) -> MultiGoalReport {
+    assert!((1..=200).contains(&goals), "goal count out of range");
+    let mut t: ManagedChain<OutOfBandChannel> = managed_chain(n);
+    t.discover();
+    t.mn.goals.limits = chain_limits(n);
+    let ids: Vec<GoalId> = (0..goals)
+        .map(|k| t.mn.submit(synthetic_goal(&t, k)))
+        .collect();
+    t.mn.reset_counters();
+    let start = Instant::now();
+    let report = t.mn.reconcile();
+    let reconcile_wall_us = start.elapsed().as_micros();
+    let counters = t.mn.nm_counters();
+    let shared_modules =
+        t.mn.goals
+            .module_users()
+            .values()
+            .filter(|g| g.len() >= 2)
+            .count();
+    debug_assert_eq!(ids.len(), goals);
+    MultiGoalReport {
+        n,
+        goals,
+        active: report.active(),
+        transactions: report.transactions,
+        reconcile_wall_us,
+        nm_sent: counters.sent_by_category.values().sum(),
+        nm_received: counters.received_by_category.values().sum(),
+        shared_modules,
+    }
+}
+
+/// Sanity-check a run: every goal must converge.
+pub fn assert_converged(report: &MultiGoalReport) {
+    assert_eq!(
+        report.active, report.goals,
+        "every goal must be active after reconcile: {report:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_goals_converge_on_a_short_chain() {
+        let report = multi_goal_run(3, 8);
+        assert_converged(&report);
+        assert_eq!(report.transactions, 8);
+        assert!(report.shared_modules > 0, "goals share the core modules");
+    }
+
+    #[test]
+    fn reconcile_is_idempotent_across_synthetic_goals() {
+        let mut t = managed_chain(3);
+        t.discover();
+        for k in 0..4 {
+            let goal = synthetic_goal(&t, k);
+            t.mn.submit(goal);
+        }
+        let report = t.mn.reconcile();
+        assert_eq!(report.active(), 4);
+        assert_eq!(t.mn.reconcile().transactions, 0);
+    }
+}

@@ -5,8 +5,10 @@
 #![forbid(unsafe_code)]
 
 pub mod diagnosis;
+pub mod goals;
 
 pub use diagnosis::{closed_loop_run, ClosedLoopReport, DiagnosisScenario};
+pub use goals::{multi_goal_run, synthetic_goal, MultiGoalReport};
 
 use conman_core::nm::ModulePath;
 use conman_core::runtime::ManagedNetwork;

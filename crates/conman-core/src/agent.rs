@@ -26,6 +26,9 @@ pub struct ManagementAgent {
     modules: BTreeMap<ModuleId, Box<dyn ProtocolModule>>,
     /// Per-device blackboard shared by the modules.
     blackboard: BTreeMap<String, String>,
+    /// Primitives staged under a transaction id, validated but not yet
+    /// applied to the data plane (two-phase configuration).
+    staged: BTreeMap<u64, Vec<Primitive>>,
 }
 
 impl ManagementAgent {
@@ -36,6 +39,33 @@ impl ManagementAgent {
             device_name: device_name.into(),
             modules: BTreeMap::new(),
             blackboard: BTreeMap::new(),
+            staged: BTreeMap::new(),
+        }
+    }
+
+    /// Number of transactions currently staged and awaiting commit/abort.
+    pub fn staged_count(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Validate one primitive against this device's module set without
+    /// touching the data plane — the staging check of the two-phase
+    /// protocol.  Returns the reason the primitive cannot execute, if any.
+    fn validate_primitive(&self, primitive: &Primitive) -> Option<String> {
+        let missing = |m: &ModuleRef| -> Option<String> {
+            if self.modules.contains_key(&m.module) {
+                None
+            } else {
+                Some(format!("no module {m} on device"))
+            }
+        };
+        match primitive {
+            Primitive::CreatePipe(spec) => missing(&spec.upper).or_else(|| missing(&spec.lower)),
+            Primitive::CreateSwitch(spec) => missing(&spec.module),
+            Primitive::CreateFilter(spec) => missing(&spec.module),
+            // Reads and deletes are always admissible: a delete of something
+            // absent is a no-op by design (idempotent teardown).
+            Primitive::ShowPotential | Primitive::ShowActual | Primitive::Delete(_) => None,
         }
     }
 
@@ -128,12 +158,58 @@ impl ManagementAgent {
                     snapshots,
                 });
             }
-            // Announcements, notifications, script results and counter
-            // reports are NM-bound; an agent receiving one ignores it.
+            WireMessage::Stage { txn, primitives } => {
+                // Transactions are serial per NM and txn ids monotonic, so
+                // a newer Stage means any older held entry is dead — its
+                // Abort may have been lost while this device was down.
+                self.staged.retain(|held, _| *held >= *txn);
+                // Phase one: validate everything, hold on success.  Nothing
+                // touches the data plane until the commit arrives.
+                let errors: Vec<String> = primitives
+                    .iter()
+                    .filter_map(|p| self.validate_primitive(p))
+                    .collect();
+                if errors.is_empty() {
+                    self.staged.insert(*txn, primitives.clone());
+                }
+                out.push(WireMessage::StageResult { txn: *txn, errors });
+            }
+            WireMessage::Commit { txn } => {
+                // Phase two: execute the held primitives exactly as a
+                // direct script would.
+                match self.staged.remove(txn) {
+                    Some(primitives) => {
+                        let mut results = Vec::with_capacity(primitives.len());
+                        let mut reaction = ModuleReaction::none();
+                        for p in &primitives {
+                            let (res, r) = self.run_primitive(device, p);
+                            results.push(res);
+                            reaction.extend(r);
+                        }
+                        reaction.extend(self.poll_until_quiescent(device));
+                        out.push(WireMessage::CommitResult { txn: *txn, results });
+                        Self::push_reaction(&mut out, reaction);
+                    }
+                    None => {
+                        out.push(WireMessage::CommitResult {
+                            txn: *txn,
+                            results: vec![Err(format!("transaction {txn} was never staged"))],
+                        });
+                    }
+                }
+            }
+            WireMessage::Abort { txn } => {
+                self.staged.remove(txn);
+            }
+            // Announcements, notifications, script results, counter reports
+            // and transaction verdicts are NM-bound; an agent receiving one
+            // ignores it.
             WireMessage::Announce(_)
             | WireMessage::Notify(_)
             | WireMessage::ScriptResult { .. }
-            | WireMessage::CounterReport { .. } => {}
+            | WireMessage::CounterReport { .. }
+            | WireMessage::StageResult { .. }
+            | WireMessage::CommitResult { .. } => {}
         }
         out
     }
@@ -412,6 +488,85 @@ mod tests {
         let out = agent.handle(&mut device, &script);
         match &out[0] {
             WireMessage::ScriptResult { results, .. } => assert!(results[0].is_err()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stage_validates_without_touching_state_and_commit_applies() {
+        let (mut device, mut agent, upper, lower) = setup();
+        let spec = PipeSpec {
+            pipe: PipeId(5),
+            upper: upper.clone(),
+            lower: lower.clone(),
+            peer_upper: None,
+            peer_lower: None,
+            tradeoffs: vec![],
+            initiate: false,
+            resolved: BTreeMap::new(),
+        };
+        let stage = WireMessage::Stage {
+            txn: 9,
+            primitives: vec![Primitive::CreatePipe(spec)],
+        };
+        let out = agent.handle(&mut device, &stage);
+        assert!(matches!(
+            &out[0],
+            WireMessage::StageResult { txn: 9, errors } if errors.is_empty()
+        ));
+        // Nothing applied yet: the blackboard has no pipe attribute.
+        assert!(!agent.blackboard().contains_key("pipe.5.seen-by"));
+        assert_eq!(agent.staged_count(), 1);
+
+        let out = agent.handle(&mut device, &WireMessage::Commit { txn: 9 });
+        match &out[0] {
+            WireMessage::CommitResult { txn: 9, results } => {
+                assert!(matches!(
+                    results[0],
+                    Ok(PrimitiveResult::PipeCreated(PipeId(5)))
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(agent.blackboard().contains_key("pipe.5.seen-by"));
+        assert_eq!(agent.staged_count(), 0);
+    }
+
+    #[test]
+    fn stage_rejects_unknown_modules_and_abort_discards() {
+        let (mut device, mut agent, upper, _) = setup();
+        let bogus = ModuleRef::new(ModuleKind::Gre, ModuleId(99), device.id);
+        let stage = WireMessage::Stage {
+            txn: 4,
+            primitives: vec![Primitive::CreatePipe(PipeSpec {
+                pipe: PipeId(1),
+                upper: upper.clone(),
+                lower: bogus,
+                peer_upper: None,
+                peer_lower: None,
+                tradeoffs: vec![],
+                initiate: false,
+                resolved: BTreeMap::new(),
+            })],
+        };
+        let out = agent.handle(&mut device, &stage);
+        assert!(matches!(
+            &out[0],
+            WireMessage::StageResult { txn: 4, errors } if errors.len() == 1
+        ));
+        assert_eq!(agent.staged_count(), 0);
+
+        // Stage something valid, then abort it: committing afterwards fails.
+        let ok = WireMessage::Stage {
+            txn: 5,
+            primitives: vec![Primitive::ShowActual],
+        };
+        agent.handle(&mut device, &ok);
+        agent.handle(&mut device, &WireMessage::Abort { txn: 5 });
+        assert_eq!(agent.staged_count(), 0);
+        let out = agent.handle(&mut device, &WireMessage::Commit { txn: 5 });
+        match &out[0] {
+            WireMessage::CommitResult { results, .. } => assert!(results[0].is_err()),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -35,6 +35,11 @@ pub use abstraction::{CounterSnapshot, ModuleAbstraction, PipeCounters, SwitchKi
 pub use agent::ManagementAgent;
 pub use ids::{ModuleId, ModuleKind, ModuleRef, PipeId};
 pub use module::{ModuleCtx, ModuleError, ModuleReaction, ProtocolModule};
-pub use nm::{ConnectivityGoal, ModulePath, NetworkManager, PathFinderLimits};
+pub use nm::{
+    ConnectivityGoal, GoalId, GoalStatus, GoalStore, ModulePath, NetworkManager, PathFinderLimits,
+    Plan,
+};
 pub use primitives::{Primitive, WireMessage};
-pub use runtime::{ConfigureOutcome, ManagedNetwork};
+pub use runtime::{
+    ConfigureOutcome, ManagedNetwork, ReconcileReport, TransactionOutcome, WithdrawOutcome,
+};

@@ -1,0 +1,437 @@
+//! Declarative goal management: the NM's desired-state store.
+//!
+//! The original CONMan interface was a one-shot imperative call — map a
+//! [`ConnectivityGoal`](super::ConnectivityGoal) to a path and fire scripts.
+//! This module gives goals *identity and a lifecycle* instead: a
+//! [`GoalStore`] holds every goal the human manager has declared, each with a
+//! [`GoalId`] and a [`GoalStatus`], and the runtime's `reconcile()` entry
+//! point drives the network toward the store's desired state (push-style
+//! ongoing management rather than pull-style one-shots).
+//!
+//! Planning is separated from execution: a [`Plan`] is a pure dry-run
+//! artifact (chosen path + generated scripts + which modules the plan would
+//! start using vs. which it shares with already-active goals) that the
+//! runtime turns into a two-phase [`Transaction`](crate::runtime::txn)
+//! over the management channel.
+//!
+//! Concurrent goals share module instances: the store tracks which goals use
+//! which modules, so `withdraw` only releases a module once no surviving
+//! goal's applied plan traverses it.
+
+use super::pathfinder::PathFinderLimits;
+use super::script::ScriptSet;
+use super::{ConnectivityGoal, ModulePath};
+use crate::ids::ModuleRef;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Stable identity of a stored goal.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct GoalId(pub u64);
+
+impl fmt::Display for GoalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
+/// Where a goal is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GoalStatus {
+    /// Declared (or updated) but not yet applied to the network; the next
+    /// `reconcile()` will plan and execute it.
+    Pending,
+    /// The applied configuration matches the desired goal as far as the NM
+    /// knows.
+    Active,
+    /// The goal is configured but probes or diagnosis say it is not carrying
+    /// traffic; `reconcile()` will re-plan it (avoiding any recorded
+    /// suspects).
+    Degraded,
+    /// A repair attempt is in flight.
+    Repairing,
+    /// Planning or execution gave up (e.g. no path avoids the suspects);
+    /// the goal is left alone until it is updated or its failure cleared.
+    Failed,
+}
+
+impl GoalStatus {
+    /// Does this status ask `reconcile()` to (re)apply the goal?
+    pub fn needs_work(self) -> bool {
+        matches!(
+            self,
+            GoalStatus::Pending | GoalStatus::Degraded | GoalStatus::Repairing
+        )
+    }
+}
+
+impl fmt::Display for GoalStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GoalStatus::Pending => "pending",
+            GoalStatus::Active => "active",
+            GoalStatus::Degraded => "degraded",
+            GoalStatus::Repairing => "repairing",
+            GoalStatus::Failed => "failed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The configuration a goal currently has on the network: the executed
+/// path, the scripts that realised it (the teardown mirror is derived from
+/// them) and the pipe-id block they were numbered in.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppliedPlan {
+    /// The module-level path that was executed.
+    pub path: ModulePath,
+    /// The per-device scripts that were committed.
+    pub scripts: ScriptSet,
+    /// First pipe id of the block allocated to this execution (every goal
+    /// gets a disjoint block so concurrent goals never collide on pipe ids,
+    /// blackboard keys or derived table ids).
+    pub pipe_base: u32,
+}
+
+/// One stored goal.
+#[derive(Debug, Clone)]
+pub struct GoalRecord {
+    /// The goal's identity.
+    pub id: GoalId,
+    /// What the manager wants.
+    pub desired: ConnectivityGoal,
+    /// Lifecycle status.
+    pub status: GoalStatus,
+    /// What is currently configured for this goal (None when nothing is).
+    pub applied: Option<AppliedPlan>,
+    /// Modules the planner must avoid for this goal (diagnosed suspects).
+    pub excluded: BTreeSet<ModuleRef>,
+    /// Last planning/execution error, for the manager's eyes.
+    pub last_error: Option<String>,
+}
+
+/// A pure dry-run planning artifact: what executing the goal *would* do.
+///
+/// Produced by `ManagedNetwork::plan_goal` without sending a single
+/// management message; executing it is a separate, explicit step.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The goal this plan realises.
+    pub goal: GoalId,
+    /// The chosen module-level path.
+    pub path: ModulePath,
+    /// The per-device scripts that would be staged and committed.
+    pub scripts: ScriptSet,
+    /// The pipe-id block the scripts are numbered in.
+    pub pipe_base: u32,
+    /// Modules no other active goal uses: executing the plan takes their
+    /// first reference.
+    pub modules_created: Vec<ModuleRef>,
+    /// Modules already used by other goals' applied plans: executing the
+    /// plan shares them (their reference count grows).
+    pub modules_reused: Vec<ModuleRef>,
+}
+
+/// Why planning failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The goal id is not in the store.
+    UnknownGoal(GoalId),
+    /// No module-level path satisfies the goal (after exclusions).
+    NoPath,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::UnknownGoal(id) => write!(f, "unknown goal {id}"),
+            PlanError::NoPath => write!(f, "no module path satisfies the goal"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The NM's desired-state store: every declared goal, its status, and the
+/// shared-module bookkeeping.
+#[derive(Debug, Default)]
+pub struct GoalStore {
+    goals: BTreeMap<GoalId, GoalRecord>,
+    next_goal: u64,
+    next_txn: u64,
+    next_pipe: u32,
+    /// Path-search limits used when planning (long chains need a larger
+    /// step budget and a smaller path budget than the defaults).
+    pub limits: PathFinderLimits,
+}
+
+impl GoalStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        GoalStore::default()
+    }
+
+    /// Declare a goal; it starts `Pending` and is applied by the next
+    /// `reconcile()`.
+    pub fn submit(&mut self, desired: ConnectivityGoal) -> GoalId {
+        self.next_goal += 1;
+        let id = GoalId(self.next_goal);
+        self.goals.insert(
+            id,
+            GoalRecord {
+                id,
+                desired,
+                status: GoalStatus::Pending,
+                applied: None,
+                excluded: BTreeSet::new(),
+                last_error: None,
+            },
+        );
+        id
+    }
+
+    /// Replace a goal's desired state.  The goal returns to `Pending`; the
+    /// next `reconcile()` tears down the stale configuration and applies the
+    /// new one.  Returns false for an unknown id.
+    pub fn update(&mut self, id: GoalId, desired: ConnectivityGoal) -> bool {
+        match self.goals.get_mut(&id) {
+            Some(rec) => {
+                rec.desired = desired;
+                rec.status = GoalStatus::Pending;
+                rec.last_error = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove a goal record (the runtime's `withdraw` tears the applied
+    /// configuration down first).  Returns the removed record.
+    pub fn remove(&mut self, id: GoalId) -> Option<GoalRecord> {
+        self.goals.remove(&id)
+    }
+
+    /// A stored goal.
+    pub fn get(&self, id: GoalId) -> Option<&GoalRecord> {
+        self.goals.get(&id)
+    }
+
+    /// A stored goal, mutably.
+    pub fn get_mut(&mut self, id: GoalId) -> Option<&mut GoalRecord> {
+        self.goals.get_mut(&id)
+    }
+
+    /// All goal ids, in submission order.
+    pub fn ids(&self) -> Vec<GoalId> {
+        self.goals.keys().copied().collect()
+    }
+
+    /// All goal records.
+    pub fn iter(&self) -> impl Iterator<Item = &GoalRecord> {
+        self.goals.values()
+    }
+
+    /// Number of stored goals.
+    pub fn len(&self) -> usize {
+        self.goals.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.goals.is_empty()
+    }
+
+    /// The status of a goal.
+    pub fn status(&self, id: GoalId) -> Option<GoalStatus> {
+        self.goals.get(&id).map(|r| r.status)
+    }
+
+    /// Mark a goal degraded (e.g. after a failed probe or a diagnosis),
+    /// recording modules its next plan must avoid.  Returns false for an
+    /// unknown id.
+    pub fn mark_degraded(&mut self, id: GoalId, excluded: BTreeSet<ModuleRef>) -> bool {
+        match self.goals.get_mut(&id) {
+            Some(rec) => {
+                rec.status = GoalStatus::Degraded;
+                rec.excluded = excluded;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Clear a goal's `Failed` status (back to `Pending`) so `reconcile()`
+    /// retries it.
+    pub fn retry(&mut self, id: GoalId) -> bool {
+        match self.goals.get_mut(&id) {
+            Some(rec) if rec.status == GoalStatus::Failed => {
+                rec.status = GoalStatus::Pending;
+                rec.last_error = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Allocate a fresh transaction id.
+    pub fn next_txn(&mut self) -> u64 {
+        self.next_txn += 1;
+        self.next_txn
+    }
+
+    /// The pipe-id base the next plan will be numbered from (dry-run
+    /// planning peeks; execution consumes via [`Self::take_pipe_block`]).
+    pub fn peek_pipe_base(&self) -> u32 {
+        self.next_pipe
+    }
+
+    /// Reserve a block of `slots` pipe ids, returning its base.
+    pub fn take_pipe_block(&mut self, slots: u32) -> u32 {
+        let base = self.next_pipe;
+        self.next_pipe = self.next_pipe.saturating_add(slots);
+        base
+    }
+
+    /// Ensure the allocator is past `end` (used when adopting externally
+    /// executed configuration numbered from pipe 0).
+    pub fn reserve_pipes_through(&mut self, end: u32) {
+        self.next_pipe = self.next_pipe.max(end);
+    }
+
+    /// Which goals' applied plans traverse each module — the reference
+    /// counts behind shared-module withdraw semantics.
+    pub fn module_users(&self) -> BTreeMap<ModuleRef, BTreeSet<GoalId>> {
+        let mut users: BTreeMap<ModuleRef, BTreeSet<GoalId>> = BTreeMap::new();
+        for rec in self.goals.values() {
+            if let Some(applied) = &rec.applied {
+                for step in &applied.path.steps {
+                    users.entry(step.module.clone()).or_default().insert(rec.id);
+                }
+            }
+        }
+        users
+    }
+
+    /// Number of goals whose applied plans traverse `module`.
+    pub fn module_refcount(&self, module: &ModuleRef) -> usize {
+        self.module_users().get(module).map_or(0, |s| s.len())
+    }
+
+    /// Split `path`'s modules into (first-use, shared) relative to every
+    /// *other* goal's applied plan — the "will be created vs. reused"
+    /// report of a dry-run [`Plan`].
+    pub fn classify_modules(
+        &self,
+        id: GoalId,
+        path: &ModulePath,
+    ) -> (Vec<ModuleRef>, Vec<ModuleRef>) {
+        let users = self.module_users();
+        let mut created = Vec::new();
+        let mut reused = Vec::new();
+        let mut seen = BTreeSet::new();
+        for step in &path.steps {
+            if !seen.insert(step.module.clone()) {
+                continue;
+            }
+            let shared = users
+                .get(&step.module)
+                .is_some_and(|goals| goals.iter().any(|g| *g != id));
+            if shared {
+                reused.push(step.module.clone());
+            } else {
+                created.push(step.module.clone());
+            }
+        }
+        (created, reused)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstraction::SwitchKind;
+    use crate::ids::{ModuleId, ModuleKind};
+    use crate::nm::pathfinder::{Entry, PathStep};
+    use netsim::device::DeviceId;
+
+    fn goal() -> ConnectivityGoal {
+        ConnectivityGoal::vpn(
+            ModuleRef::new(ModuleKind::Eth, ModuleId(1), DeviceId::from_raw(1)),
+            ModuleRef::new(ModuleKind::Eth, ModuleId(1), DeviceId::from_raw(2)),
+        )
+    }
+
+    fn path_over(modules: &[(u64, u32)]) -> ModulePath {
+        ModulePath {
+            steps: modules
+                .iter()
+                .map(|(d, m)| PathStep {
+                    module: ModuleRef::new(ModuleKind::Ip, ModuleId(*m), DeviceId::from_raw(*d)),
+                    switch: SwitchKind::DownUp,
+                    entered: Entry::Below,
+                    header: 0,
+                    depth: 1,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn lifecycle_and_ids() {
+        let mut store = GoalStore::new();
+        let a = store.submit(goal());
+        let b = store.submit(goal());
+        assert_ne!(a, b);
+        assert_eq!(store.status(a), Some(GoalStatus::Pending));
+        assert!(store.update(a, goal()));
+        assert!(store.mark_degraded(b, BTreeSet::new()));
+        assert_eq!(store.status(b), Some(GoalStatus::Degraded));
+        assert!(store.status(b).unwrap().needs_work());
+        store.get_mut(b).unwrap().status = GoalStatus::Failed;
+        assert!(!store.status(b).unwrap().needs_work());
+        assert!(store.retry(b));
+        assert_eq!(store.status(b), Some(GoalStatus::Pending));
+        assert!(store.remove(a).is_some());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn pipe_blocks_are_disjoint() {
+        let mut store = GoalStore::new();
+        assert_eq!(store.take_pipe_block(10), 0);
+        assert_eq!(store.peek_pipe_base(), 10);
+        assert_eq!(store.take_pipe_block(5), 10);
+        store.reserve_pipes_through(100);
+        assert_eq!(store.take_pipe_block(1), 100);
+    }
+
+    #[test]
+    fn refcounts_follow_applied_plans() {
+        let mut store = GoalStore::new();
+        let a = store.submit(goal());
+        let b = store.submit(goal());
+        let shared = path_over(&[(1, 1), (2, 1)]);
+        let private = path_over(&[(1, 1), (3, 7)]);
+        store.get_mut(a).unwrap().applied = Some(AppliedPlan {
+            path: shared.clone(),
+            scripts: ScriptSet::default(),
+            pipe_base: 0,
+        });
+        // Before B applies anything, its plan over (1,1)+(3,7) reuses (1,1).
+        let (created, reused) = store.classify_modules(b, &private);
+        assert_eq!(reused.len(), 1);
+        assert_eq!(created.len(), 1);
+        store.get_mut(b).unwrap().applied = Some(AppliedPlan {
+            path: private,
+            scripts: ScriptSet::default(),
+            pipe_base: 10,
+        });
+        let m = ModuleRef::new(ModuleKind::Ip, ModuleId(1), DeviceId::from_raw(1));
+        assert_eq!(store.module_refcount(&m), 2);
+        store.get_mut(a).unwrap().applied = None;
+        assert_eq!(store.module_refcount(&m), 1);
+    }
+}

@@ -6,6 +6,7 @@
 //! module-level paths, generates the CONMan primitive scripts that realise a
 //! chosen path, and relays module-to-module messages during configuration.
 
+pub mod goal;
 pub mod graph;
 pub mod pathfinder;
 pub mod script;
@@ -17,6 +18,7 @@ use netsim::device::{DeviceId, PortId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
+pub use goal::{AppliedPlan, GoalId, GoalRecord, GoalStatus, GoalStore, Plan, PlanError};
 pub use graph::PotentialGraph;
 pub use pathfinder::{Entry, ModulePath, PathFinder, PathFinderLimits, PathStep};
 pub use script::{DeviceScript, ScriptSet};

@@ -60,6 +60,52 @@ impl ScriptSet {
     pub fn primitive_count(&self) -> usize {
         self.scripts.iter().map(|s| s.primitives.len()).sum()
     }
+
+    /// The teardown mirror of this script set: every `create` undone with a
+    /// `delete`, per device in *reverse* path order and within each device in
+    /// reverse primitive order (switch rules before the pipes they
+    /// reference).  This is the single source of teardown scripts — the
+    /// transactional withdraw path, self-healing and mid-commit rollback all
+    /// derive their deletes here.
+    pub fn teardown(&self) -> Vec<(netsim::device::DeviceId, Vec<Primitive>)> {
+        self.scripts
+            .iter()
+            .rev()
+            .map(|ds| (ds.device, Self::teardown_of(ds)))
+            .collect()
+    }
+
+    /// The delete primitives undoing one device's script.
+    pub fn teardown_of(ds: &DeviceScript) -> Vec<Primitive> {
+        use crate::primitives::ComponentRef;
+        let mut deletes = Vec::new();
+        for p in ds.primitives.iter().rev() {
+            match p {
+                Primitive::CreateSwitch(spec) => deletes.push(Primitive::Delete(
+                    ComponentRef::SwitchRule(spec.module.clone(), spec.in_pipe, spec.out_pipe),
+                )),
+                Primitive::CreatePipe(spec) => {
+                    deletes.push(Primitive::Delete(ComponentRef::Pipe(spec.pipe)));
+                }
+                Primitive::CreateFilter(spec) => deletes.push(Primitive::Delete(
+                    ComponentRef::Filter(spec.module.clone(), spec.from.clone(), spec.to.clone()),
+                )),
+                _ => {}
+            }
+        }
+        deletes
+    }
+}
+
+/// Number of pipe-id slots `generate` assigns for `path`: one per step
+/// boundary (up-down *and* physical pipes both consume an id).  Used by the
+/// goal store to reserve disjoint pipe-id blocks per goal.
+pub fn slot_count(path: &ModulePath) -> u32 {
+    if path.steps.is_empty() {
+        0
+    } else {
+        path.steps.len() as u32 + 1
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -72,8 +118,24 @@ struct PipeSlot {
     lower: Option<usize>,
 }
 
-/// Generate the scripts realising `path` for `goal`.
+/// Generate the scripts realising `path` for `goal`, numbering pipes from 0
+/// (the paper's numbering — correct when only one goal exists).
 pub fn generate(nm: &NetworkManager, path: &ModulePath, goal: &ConnectivityGoal) -> ScriptSet {
+    generate_with_base(nm, path, goal, 0)
+}
+
+/// Generate the scripts realising `path` for `goal`, numbering pipes from
+/// `pipe_base`.  Concurrent goals must execute in disjoint pipe-id blocks:
+/// pipe ids key per-device blackboard attributes, module pipe state and
+/// derived route-table ids, so two goals sharing a device must never reuse
+/// an id.  The goal store reserves one block per execution (see
+/// [`slot_count`]).
+pub fn generate_with_base(
+    nm: &NetworkManager,
+    path: &ModulePath,
+    goal: &ConnectivityGoal,
+    pipe_base: u32,
+) -> ScriptSet {
     let steps = &path.steps;
     if steps.is_empty() {
         return ScriptSet::default();
@@ -114,7 +176,7 @@ pub fn generate(nm: &NetworkManager, path: &ModulePath, goal: &ConnectivityGoal)
             lower,
         });
     }
-    let mut next_id = 0u32;
+    let mut next_id = pipe_base;
     for slot in slots.iter_mut().filter(|s| !s.physical) {
         slot.id = PipeId(next_id);
         next_id += 1;

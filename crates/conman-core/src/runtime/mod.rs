@@ -6,9 +6,12 @@
 //! goal to paths → execute the chosen path's scripts while relaying
 //! module-to-module messages and counting everything for Table VI.
 
+pub mod reconcile;
+pub mod txn;
+
 use crate::abstraction::CounterSnapshot;
 use crate::agent::ManagementAgent;
-use crate::nm::{ConnectivityGoal, ModulePath, NetworkManager, ScriptSet};
+use crate::nm::{ConnectivityGoal, GoalStore, ModulePath, NetworkManager, ScriptSet};
 use crate::primitives::{
     EnvelopeKind, ModuleEnvelope, Notification, Primitive, PrimitiveResult, WireMessage,
 };
@@ -16,6 +19,12 @@ use mgmt_channel::{ChannelCounters, ManagementChannel, MessageCategory, MgmtMess
 use netsim::device::DeviceId;
 use netsim::network::Network;
 use std::collections::BTreeMap;
+
+pub use reconcile::{ReconcileAction, ReconcileOutcome, ReconcileReport, WithdrawOutcome};
+pub use txn::{TransactionOutcome, TxnEvent, TxnHook};
+
+/// A buffered commit reply: (device, txn, per-primitive results).
+pub(crate) type CommitReply = (DeviceId, u64, Vec<Result<PrimitiveResult, String>>);
 
 /// Upper bound on relay rounds per management operation; real exchanges
 /// converge in a handful of rounds.
@@ -51,6 +60,18 @@ pub struct ManagedNetwork<C: ManagementChannel> {
     /// Counter reports received by the NM and not yet consumed:
     /// (device, request, snapshots).  Drained by [`Self::poll_counters`].
     pub counter_reports: Vec<(DeviceId, u64, Vec<CounterSnapshot>)>,
+    /// The NM's declarative goal store (see [`reconcile`]).
+    pub goals: GoalStore,
+    /// Staging verdicts received by the NM: (device, txn, errors).  Drained
+    /// by the transaction executor.
+    pub(crate) stage_results: Vec<(DeviceId, u64, Vec<String>)>,
+    /// Commit results received by the NM: (device, txn, per-primitive
+    /// results).  Drained by the transaction executor.
+    pub(crate) commit_results: Vec<CommitReply>,
+    /// Deterministic fault-injection hook invoked between transaction
+    /// phases (see [`TxnEvent`]); used by tests and the fault experiments to
+    /// crash devices mid-commit.
+    pub txn_hook: Option<TxnHook>,
 }
 
 impl<C: ManagementChannel> ManagedNetwork<C> {
@@ -66,6 +87,10 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             notifications: Vec::new(),
             script_results: Vec::new(),
             counter_reports: Vec::new(),
+            goals: GoalStore::new(),
+            stage_results: Vec::new(),
+            commit_results: Vec::new(),
+            txn_hook: None,
         }
     }
 
@@ -93,8 +118,13 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
     fn category_for(msg: &WireMessage) -> MessageCategory {
         match msg {
             WireMessage::Announce(_) => MessageCategory::Announcement,
-            WireMessage::Script { .. } => MessageCategory::Command,
-            WireMessage::ScriptResult { .. } => MessageCategory::Response,
+            WireMessage::Script { .. }
+            | WireMessage::Stage { .. }
+            | WireMessage::Commit { .. }
+            | WireMessage::Abort { .. } => MessageCategory::Command,
+            WireMessage::ScriptResult { .. }
+            | WireMessage::StageResult { .. }
+            | WireMessage::CommitResult { .. } => MessageCategory::Response,
             WireMessage::Module(env) => match env.kind {
                 EnvelopeKind::Convey => MessageCategory::ConveyMessage,
                 EnvelopeKind::FieldQuery | EnvelopeKind::FieldResponse => {
@@ -194,7 +224,11 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         out
     }
 
-    /// Map a goal to paths, choose one, and execute it.
+    /// Map a goal to paths, choose one, and execute it — the original
+    /// one-shot imperative call, kept for Table VI parity experiments.  New
+    /// code should prefer the declarative flow ([`Self::submit`] +
+    /// [`Self::reconcile`]), which adds goal identity, dry-run planning,
+    /// two-phase atomicity and shared-module withdraw semantics on top.
     pub fn configure(&mut self, goal: &ConnectivityGoal) -> ConfigureOutcome {
         let paths = self.nm.find_paths(goal);
         let chosen = self.nm.choose_path(&paths).cloned();
@@ -282,9 +316,15 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             WireMessage::Announce(_)
             | WireMessage::ScriptResult { .. }
             | WireMessage::Notify(_)
-            | WireMessage::CounterReport { .. } => true,
+            | WireMessage::CounterReport { .. }
+            | WireMessage::StageResult { .. }
+            | WireMessage::CommitResult { .. } => true,
             WireMessage::Module(env) => env.to.device != at,
-            WireMessage::Script { .. } | WireMessage::PollCounters { .. } => false,
+            WireMessage::Script { .. }
+            | WireMessage::PollCounters { .. }
+            | WireMessage::Stage { .. }
+            | WireMessage::Commit { .. }
+            | WireMessage::Abort { .. } => false,
         };
         if nm_bound && at == self.nm_host {
             self.nm_handle(msg.from, wire);
@@ -320,7 +360,17 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             WireMessage::CounterReport { request, snapshots } => {
                 self.counter_reports.push((from, request, snapshots));
             }
-            WireMessage::Script { .. } | WireMessage::PollCounters { .. } => {}
+            WireMessage::StageResult { txn, errors } => {
+                self.stage_results.push((from, txn, errors));
+            }
+            WireMessage::CommitResult { txn, results } => {
+                self.commit_results.push((from, txn, results));
+            }
+            WireMessage::Script { .. }
+            | WireMessage::PollCounters { .. }
+            | WireMessage::Stage { .. }
+            | WireMessage::Commit { .. }
+            | WireMessage::Abort { .. } => {}
         }
     }
 

@@ -1,0 +1,405 @@
+//! The declarative management loop: drive every stored goal toward its
+//! desired state.
+//!
+//! `submit` / `update` / `withdraw` manipulate the NM's [`GoalStore`];
+//! [`ManagedNetwork::reconcile`] is the single entry point that makes the
+//! network match it — planning each goal that needs work (a pure dry-run
+//! [`Plan`]), executing the plan as a two-phase transaction, and optionally
+//! verifying with per-goal probes.  It subsumes the old one-shot
+//! `configure` call and is what the self-healing layer drives: heal = mark
+//! the goal `Degraded` with the diagnosed suspects excluded, reconcile.
+
+use super::txn::TransactionOutcome;
+use super::ManagedNetwork;
+use crate::ids::ModuleRef;
+use crate::nm::goal::{AppliedPlan, GoalId, GoalStatus, Plan, PlanError};
+use crate::nm::{script, ConnectivityGoal, ModulePath};
+use mgmt_channel::ManagementChannel;
+use netsim::device::DeviceId;
+use std::collections::BTreeSet;
+
+/// What `reconcile()` did for one goal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconcileAction {
+    /// The goal was already converged; nothing was sent.
+    Unchanged,
+    /// The goal was planned and its transaction committed.
+    Applied,
+    /// Stale configuration was torn down before re-applying.
+    Reapplied,
+    /// Planning found no path (goal is now `Failed`).
+    PlanFailed,
+    /// The transaction failed and was rolled back (goal stays `Pending`).
+    ExecuteFailed,
+    /// The transaction committed but the verification probe failed (goal is
+    /// now `Degraded`).
+    ProbeFailed,
+}
+
+/// Per-goal reconcile result.
+#[derive(Debug, Clone)]
+pub struct ReconcileOutcome {
+    /// The goal.
+    pub goal: GoalId,
+    /// What happened.
+    pub action: ReconcileAction,
+    /// The goal's status after the pass.
+    pub status: GoalStatus,
+    /// Error detail for the failed actions.
+    pub error: Option<String>,
+}
+
+/// The result of one reconcile pass.
+#[derive(Debug, Clone, Default)]
+pub struct ReconcileReport {
+    /// One outcome per stored goal, in id order.
+    pub outcomes: Vec<ReconcileOutcome>,
+    /// Transactions executed during the pass (0 on a converged network —
+    /// reconcile is idempotent).
+    pub transactions: usize,
+}
+
+impl ReconcileReport {
+    /// Goals whose status is `Active` after the pass.
+    pub fn active(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == GoalStatus::Active)
+            .count()
+    }
+
+    /// Did the pass leave every goal `Active`?
+    pub fn converged(&self) -> bool {
+        self.outcomes.iter().all(|o| o.status == GoalStatus::Active)
+    }
+
+    /// The outcome for one goal.
+    pub fn outcome(&self, id: GoalId) -> Option<&ReconcileOutcome> {
+        self.outcomes.iter().find(|o| o.goal == id)
+    }
+}
+
+/// What `withdraw` did.
+#[derive(Debug, Clone, Default)]
+pub struct WithdrawOutcome {
+    /// Was the goal found (and removed)?
+    pub removed: bool,
+    /// Delete primitives committed while tearing the goal down.
+    pub teardown_primitives: usize,
+    /// Modules whose last reference this withdraw released — no surviving
+    /// goal uses them any more.  Modules still referenced by other goals'
+    /// applied plans are *not* touched (shared-module semantics).
+    pub released: Vec<ModuleRef>,
+}
+
+impl<C: ManagementChannel> ManagedNetwork<C> {
+    /// Declare a goal.  It is applied by the next [`Self::reconcile`].
+    pub fn submit(&mut self, goal: ConnectivityGoal) -> GoalId {
+        self.goals.submit(goal)
+    }
+
+    /// Replace a goal's desired state; the next reconcile tears down the
+    /// stale configuration and applies the new one.
+    pub fn update_goal(&mut self, id: GoalId, goal: ConnectivityGoal) -> bool {
+        self.goals.update(id, goal)
+    }
+
+    /// Adopt configuration that was executed outside the store (the legacy
+    /// `configure`/`execute_path` flow): register `goal` as `Active` with
+    /// `path` as its applied plan, so withdraw/heal can manage it.  If an
+    /// identical desired goal is already stored, its id is returned instead
+    /// of creating a duplicate.
+    pub fn adopt_goal(&mut self, goal: &ConnectivityGoal, path: &ModulePath) -> GoalId {
+        let existing = self.goals.iter().find(|r| r.desired == *goal).map(|r| r.id);
+        // A store-managed record that already tracks applied configuration
+        // wins over the caller's view.
+        if let Some(id) = existing {
+            if self.goals.get(id).is_some_and(|r| r.applied.is_some()) {
+                return id;
+            }
+        }
+        let scripts = self.nm.generate_scripts(path, goal);
+        let id = existing.unwrap_or_else(|| self.goals.submit(goal.clone()));
+        // Legacy executions are numbered from pipe 0; keep future blocks
+        // clear of them.
+        self.goals.reserve_pipes_through(script::slot_count(path));
+        if let Some(rec) = self.goals.get_mut(id) {
+            rec.applied = Some(AppliedPlan {
+                path: path.clone(),
+                scripts,
+                pipe_base: 0,
+            });
+            rec.status = GoalStatus::Active;
+        }
+        id
+    }
+
+    /// Dry-run planning: choose the best path for the goal (avoiding its
+    /// excluded modules) and generate — but do not send — its scripts.
+    pub fn plan_goal(&self, id: GoalId) -> Result<Plan, PlanError> {
+        let rec = self.goals.get(id).ok_or(PlanError::UnknownGoal(id))?;
+        let paths = self
+            .nm
+            .find_paths_avoiding(&rec.desired, &rec.excluded, self.goals.limits);
+        let path = self
+            .nm
+            .choose_path(&paths)
+            .cloned()
+            .ok_or(PlanError::NoPath)?;
+        Ok(self.plan_for_path(id, &path))
+    }
+
+    /// Dry-run planning for an explicit path (used by the self-healing
+    /// layer, which ranks its own candidate list).
+    ///
+    /// The scripts are numbered from the store's next free pipe block; the
+    /// block is only consumed when the plan is executed.
+    pub fn plan_for_path(&self, id: GoalId, path: &ModulePath) -> Plan {
+        let rec = self.goals.get(id).expect("goal exists");
+        let pipe_base = self.goals.peek_pipe_base();
+        let scripts = script::generate_with_base(&self.nm, path, &rec.desired, pipe_base);
+        let (modules_created, modules_reused) = self.goals.classify_modules(id, path);
+        Plan {
+            goal: id,
+            path: path.clone(),
+            scripts,
+            pipe_base,
+            modules_created,
+            modules_reused,
+        }
+    }
+
+    /// Execute a plan as a two-phase transaction.  On commit the goal
+    /// becomes `Active` and the plan is recorded as applied (module
+    /// references included); on failure everything the transaction touched
+    /// has been rolled back and the goal keeps its previous applied state
+    /// (none) with `last_error` set.
+    pub fn execute_plan(&mut self, plan: Plan) -> TransactionOutcome {
+        let mut plan = plan;
+        // The block may have moved since the dry run (another goal executed
+        // in between): renumber onto the current base.
+        if plan.pipe_base != self.goals.peek_pipe_base() {
+            let rec = self.goals.get(plan.goal).expect("goal exists");
+            plan.pipe_base = self.goals.peek_pipe_base();
+            plan.scripts =
+                script::generate_with_base(&self.nm, &plan.path, &rec.desired, plan.pipe_base);
+        }
+        let outcome = self.run_transaction(&plan.scripts);
+        if outcome.committed {
+            self.goals.take_pipe_block(script::slot_count(&plan.path));
+            if let Some(rec) = self.goals.get_mut(plan.goal) {
+                rec.applied = Some(AppliedPlan {
+                    path: plan.path,
+                    scripts: plan.scripts,
+                    pipe_base: plan.pipe_base,
+                });
+                rec.status = GoalStatus::Active;
+                rec.last_error = None;
+            }
+        } else if let Some(rec) = self.goals.get_mut(plan.goal) {
+            rec.last_error = Some(outcome.summary());
+        }
+        outcome
+    }
+
+    /// Tear down a goal's applied configuration with a lenient transaction
+    /// (devices in `skip` or not answering are passed over).  The goal stays
+    /// stored, back in `Pending`.  Returns the number of delete primitives
+    /// committed.
+    pub fn teardown_goal(&mut self, id: GoalId, skip: &[DeviceId]) -> usize {
+        let Some(applied) = self.goals.get_mut(id).and_then(|r| r.applied.take()) else {
+            return 0;
+        };
+        if let Some(rec) = self.goals.get_mut(id) {
+            if rec.status == GoalStatus::Active {
+                rec.status = GoalStatus::Pending;
+            }
+        }
+        let teardown = applied.scripts.teardown();
+        let outcome = self.run_teardown(&teardown, skip);
+        outcome.primitives
+    }
+
+    /// Withdraw a goal: tear its configuration down (sharing-aware — the
+    /// components are per-goal, and module instances survive while any
+    /// other goal's applied plan still traverses them) and remove it from
+    /// the store.
+    pub fn withdraw(&mut self, id: GoalId) -> WithdrawOutcome {
+        let mut outcome = WithdrawOutcome::default();
+        let Some(rec) = self.goals.get(id) else {
+            return outcome;
+        };
+        // Modules only this goal uses — released once it is gone.
+        let users = self.goals.module_users();
+        if let Some(applied) = &rec.applied {
+            let mut seen = BTreeSet::new();
+            for step in &applied.path.steps {
+                if seen.insert(step.module.clone())
+                    && users
+                        .get(&step.module)
+                        .is_some_and(|g| g.len() == 1 && g.contains(&id))
+                {
+                    outcome.released.push(step.module.clone());
+                }
+            }
+        }
+        outcome.teardown_primitives = self.teardown_goal(id, &[]);
+        outcome.removed = self.goals.remove(id).is_some();
+        outcome
+    }
+
+    /// Drive every stored goal toward its desired state without
+    /// verification probes.  Idempotent: a converged network produces no
+    /// transactions.
+    pub fn reconcile(&mut self) -> ReconcileReport {
+        self.reconcile_with(|_, _| None)
+    }
+
+    /// Reconcile with per-goal verification.  `probe` receives the managed
+    /// network and a goal id and returns `Some(delivered)` when it can test
+    /// that goal end to end (`None` = no probe available, trust the
+    /// transaction).  Probe traffic runs inside a flow-attribution window
+    /// tagged with the goal id, so counter deltas of concurrent goals stay
+    /// separable (see `netsim::stats::FlowCounters`).
+    pub fn reconcile_with<P>(&mut self, mut probe: P) -> ReconcileReport
+    where
+        P: FnMut(&mut Self, GoalId) -> Option<bool>,
+    {
+        let mut report = ReconcileReport::default();
+        for id in self.goals.ids() {
+            let Some(status) = self.goals.status(id) else {
+                continue;
+            };
+            let outcome = match status {
+                GoalStatus::Failed => ReconcileOutcome {
+                    goal: id,
+                    action: ReconcileAction::Unchanged,
+                    status,
+                    error: self.goals.get(id).and_then(|r| r.last_error.clone()),
+                },
+                GoalStatus::Active => {
+                    match self.probe_goal(id, &mut probe) {
+                        Some(false) => {
+                            // The goal looked converged but is not carrying
+                            // traffic: degrade and repair in this same pass.
+                            self.goals.get_mut(id).expect("goal exists").status =
+                                GoalStatus::Degraded;
+                            self.apply_goal(id, &mut probe, &mut report.transactions)
+                        }
+                        _ => ReconcileOutcome {
+                            goal: id,
+                            action: ReconcileAction::Unchanged,
+                            status,
+                            error: None,
+                        },
+                    }
+                }
+                GoalStatus::Pending | GoalStatus::Degraded | GoalStatus::Repairing => {
+                    self.apply_goal(id, &mut probe, &mut report.transactions)
+                }
+            };
+            report.outcomes.push(outcome);
+        }
+        report
+    }
+
+    /// Probe one goal inside its flow-attribution window.
+    fn probe_goal<P>(&mut self, id: GoalId, probe: &mut P) -> Option<bool>
+    where
+        P: FnMut(&mut Self, GoalId) -> Option<bool>,
+    {
+        self.net.begin_flow_window(id.0);
+        let verdict = probe(self, id);
+        self.net.end_flow_window();
+        verdict
+    }
+
+    /// Plan + execute + verify one goal that needs work.
+    fn apply_goal<P>(
+        &mut self,
+        id: GoalId,
+        probe: &mut P,
+        transactions: &mut usize,
+    ) -> ReconcileOutcome
+    where
+        P: FnMut(&mut Self, GoalId) -> Option<bool>,
+    {
+        let had_applied = self.goals.get(id).is_some_and(|r| r.applied.is_some());
+        // Plan first — it is a pure dry run, and if no path exists the
+        // stale-but-possibly-working configuration must be left standing (a
+        // degraded path carrying some traffic beats no path at all).
+        let plan = match self.plan_goal(id) {
+            Ok(plan) => plan,
+            Err(e) => {
+                let rec = self.goals.get_mut(id).expect("goal exists");
+                rec.status = GoalStatus::Failed;
+                rec.last_error = Some(e.to_string());
+                return ReconcileOutcome {
+                    goal: id,
+                    action: ReconcileAction::PlanFailed,
+                    status: GoalStatus::Failed,
+                    error: Some(e.to_string()),
+                };
+            }
+        };
+        if let Some(rec) = self.goals.get_mut(id) {
+            rec.status = GoalStatus::Repairing;
+        }
+        let previous = self.goals.get(id).and_then(|r| r.applied.clone());
+        if had_applied {
+            // A replacement exists: tear the stale configuration down
+            // before applying it.
+            self.teardown_goal(id, &[]);
+            *transactions += 1;
+        }
+        let txn = self.execute_plan(plan);
+        *transactions += 1;
+        if !txn.committed {
+            let error = txn.summary();
+            // Best effort: put the previous configuration back rather than
+            // leave the goal with nothing (its scripts re-execute verbatim —
+            // their pipe-id block was just freed by the teardown).
+            if let Some(prev) = previous {
+                let restore = self.run_transaction(&prev.scripts);
+                *transactions += 1;
+                if restore.committed {
+                    if let Some(rec) = self.goals.get_mut(id) {
+                        rec.applied = Some(prev);
+                    }
+                }
+            }
+            let rec = self.goals.get_mut(id).expect("goal exists");
+            rec.status = GoalStatus::Pending;
+            rec.last_error = Some(error.clone());
+            return ReconcileOutcome {
+                goal: id,
+                action: ReconcileAction::ExecuteFailed,
+                status: GoalStatus::Pending,
+                error: Some(error),
+            };
+        }
+        match self.probe_goal(id, probe) {
+            Some(false) => {
+                let rec = self.goals.get_mut(id).expect("goal exists");
+                rec.status = GoalStatus::Degraded;
+                rec.last_error = Some("verification probe failed".into());
+                ReconcileOutcome {
+                    goal: id,
+                    action: ReconcileAction::ProbeFailed,
+                    status: GoalStatus::Degraded,
+                    error: rec.last_error.clone(),
+                }
+            }
+            _ => ReconcileOutcome {
+                goal: id,
+                action: if had_applied {
+                    ReconcileAction::Reapplied
+                } else {
+                    ReconcileAction::Applied
+                },
+                status: GoalStatus::Active,
+                error: None,
+            },
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Two-phase configuration transactions over the management channel.
+//!
+//! A goal's scripts touch several devices; executing them fire-and-forget
+//! (the original `configure` behaviour) can strand half-configured state
+//! when a mid-path device is missing a module or crashes mid-flight.  The
+//! transaction executor makes multi-device configuration atomic:
+//!
+//! 1. **Stage** — every device in the script set validates its primitives
+//!    (are the referenced modules present?) and holds them without touching
+//!    the data plane.  Any rejection or silence (a crashed device) aborts
+//!    the transaction everywhere before anything is applied.
+//! 2. **Commit** — devices commit one at a time in reverse path order (so
+//!    every peer-negotiation initiator finds its peers already configured).
+//!    A device that fails its commit (or never answers) triggers a
+//!    rollback: every already-committed device gets the teardown mirror of
+//!    its script (`delete` per `create`, reverse order), and still-staged
+//!    devices get an abort.
+//!
+//! Teardown transactions (withdraw, self-healing) run **lenient**: a device
+//! that does not answer is skipped rather than failing the transaction — it
+//! is either crashed (nothing to delete; a reboot clears state anyway) or
+//! will be cleaned up by a later reconcile.
+
+use super::ManagedNetwork;
+use crate::nm::ScriptSet;
+use crate::primitives::{Primitive, WireMessage};
+use mgmt_channel::ManagementChannel;
+use netsim::device::DeviceId;
+use netsim::network::Network;
+
+/// Moments a [`TxnHook`] is invoked at, for deterministic fault injection
+/// between transaction phases (e.g. crash a device after it staged but
+/// before it commits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnEvent {
+    /// Every device staged successfully; commits are about to start.
+    Staged {
+        /// The transaction id.
+        txn: u64,
+    },
+    /// The commit for `device` is about to be sent.
+    BeforeCommit {
+        /// The transaction id.
+        txn: u64,
+        /// The device about to commit.
+        device: DeviceId,
+    },
+    /// `device` acknowledged its commit successfully.
+    Committed {
+        /// The transaction id.
+        txn: u64,
+        /// The device that committed.
+        device: DeviceId,
+    },
+}
+
+/// A hook invoked between transaction phases with mutable access to the
+/// simulated network — the injection point for mid-transaction faults.
+pub type TxnHook = Box<dyn FnMut(&TxnEvent, &mut Network) + Send>;
+
+/// What a transaction did.
+#[derive(Debug, Clone, Default)]
+pub struct TransactionOutcome {
+    /// The transaction id.
+    pub txn: u64,
+    /// Did every device commit successfully?
+    pub committed: bool,
+    /// Devices that staged successfully.
+    pub staged: Vec<DeviceId>,
+    /// Devices that committed successfully (in commit order).
+    pub committed_devices: Vec<DeviceId>,
+    /// The device whose staging or commit failed, if any.
+    pub failed_device: Option<DeviceId>,
+    /// Errors reported by the failed device (empty when it simply never
+    /// answered).
+    pub errors: Vec<String>,
+    /// Devices whose already-committed state was rolled back with the
+    /// teardown mirror of their scripts.
+    pub rolled_back: Vec<DeviceId>,
+    /// Devices skipped by a lenient transaction (they did not answer).
+    pub skipped: Vec<DeviceId>,
+    /// Total primitives committed (configuration) or issued (teardown).
+    pub primitives: usize,
+}
+
+impl TransactionOutcome {
+    /// A one-line summary for error reporting.
+    pub fn summary(&self) -> String {
+        if self.committed {
+            format!(
+                "txn {} committed on {} device(s)",
+                self.txn,
+                self.committed_devices.len()
+            )
+        } else {
+            format!(
+                "txn {} failed at {:?}: {} (rolled back {} device(s))",
+                self.txn,
+                self.failed_device,
+                self.errors
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| "no answer".into()),
+                self.rolled_back.len()
+            )
+        }
+    }
+}
+
+impl<C: ManagementChannel> ManagedNetwork<C> {
+    fn fire_hook(&mut self, event: TxnEvent) {
+        if let Some(mut hook) = self.txn_hook.take() {
+            hook(&event, &mut self.net);
+            self.txn_hook = Some(hook);
+        }
+    }
+
+    /// Drain the staging verdict for (`device`, `txn`), if one arrived.
+    fn take_stage_result(&mut self, device: DeviceId, txn: u64) -> Option<Vec<String>> {
+        let idx = self
+            .stage_results
+            .iter()
+            .position(|(d, t, _)| *d == device && *t == txn)?;
+        Some(self.stage_results.swap_remove(idx).2)
+    }
+
+    /// Drain the commit result for (`device`, `txn`), if one arrived.
+    fn take_commit_result(
+        &mut self,
+        device: DeviceId,
+        txn: u64,
+    ) -> Option<Vec<Result<crate::primitives::PrimitiveResult, String>>> {
+        let idx = self
+            .commit_results
+            .iter()
+            .position(|(d, t, _)| *d == device && *t == txn)?;
+        Some(self.commit_results.swap_remove(idx).2)
+    }
+
+    /// Execute `scripts` as a strict two-phase transaction: stage on every
+    /// device, then commit device by device, rolling back on any failure.
+    /// On return either every device committed (`outcome.committed`) or no
+    /// device retains any of the transaction's configuration.
+    pub fn run_transaction(&mut self, scripts: &ScriptSet) -> TransactionOutcome {
+        let txn = self.goals.next_txn();
+        let mut outcome = TransactionOutcome {
+            txn,
+            ..Default::default()
+        };
+        if scripts.scripts.is_empty() {
+            outcome.committed = true;
+            return outcome;
+        }
+
+        // ---- Phase 1: stage everywhere. -------------------------------
+        for ds in &scripts.scripts {
+            let msg = WireMessage::Stage {
+                txn,
+                primitives: ds.primitives.clone(),
+            };
+            self.send(self.nm_host(), ds.device, &msg);
+        }
+        self.run_management();
+        for ds in &scripts.scripts {
+            match self.take_stage_result(ds.device, txn) {
+                Some(errors) if errors.is_empty() => outcome.staged.push(ds.device),
+                // First failure in path order wins, so the reported device
+                // and errors stay consistent when several devices fail.
+                Some(errors) => {
+                    if outcome.failed_device.is_none() {
+                        outcome.failed_device = Some(ds.device);
+                        outcome.errors = errors;
+                    }
+                }
+                None => {
+                    // Silence: crashed or unreachable.
+                    if outcome.failed_device.is_none() {
+                        outcome.failed_device = Some(ds.device);
+                    }
+                }
+            }
+        }
+        if outcome.staged.len() < scripts.scripts.len() {
+            // Abort everything that staged; nothing was applied anywhere.
+            let staged = outcome.staged.clone();
+            for device in staged {
+                self.send(self.nm_host(), device, &WireMessage::Abort { txn });
+            }
+            self.run_management();
+            return outcome;
+        }
+        self.fire_hook(TxnEvent::Staged { txn });
+
+        // ---- Phase 2: commit in *reverse* path order. -----------------
+        // Peer negotiations (field queries, GRE keys, MPLS labels) are
+        // always initiated by the earlier device of a peer pair, so
+        // committing back-to-front guarantees every initiator's peers are
+        // already configured and can answer within the initiator's own
+        // management round.
+        for i in (0..scripts.scripts.len()).rev() {
+            let ds = &scripts.scripts[i];
+            let device = ds.device;
+            self.fire_hook(TxnEvent::BeforeCommit { txn, device });
+            self.send(self.nm_host(), device, &WireMessage::Commit { txn });
+            self.run_management();
+            let ok = match self.take_commit_result(device, txn) {
+                Some(results) => {
+                    let errs: Vec<String> =
+                        results.iter().filter_map(|r| r.clone().err()).collect();
+                    outcome.primitives += results.len();
+                    if errs.is_empty() {
+                        true
+                    } else {
+                        outcome.errors = errs;
+                        false
+                    }
+                }
+                None => false,
+            };
+            if ok {
+                outcome.committed_devices.push(device);
+                self.fire_hook(TxnEvent::Committed { txn, device });
+                continue;
+            }
+            // Commit failed here: roll back what already committed (and the
+            // failing device itself, whose partial creates may have landed),
+            // abort the rest.
+            outcome.failed_device = Some(device);
+            let mut to_rollback: Vec<&crate::nm::DeviceScript> =
+                scripts.scripts[i..].iter().collect();
+            // A silent device (crashed) cannot be rolled back; skip it.
+            to_rollback.retain(|d| self.net.device(d.device).map(|dev| dev.up).unwrap_or(false));
+            for ds in to_rollback {
+                let deletes = ScriptSet::teardown_of(ds);
+                if deletes.is_empty() {
+                    continue;
+                }
+                self.run_script(ds.device, deletes);
+                outcome.rolled_back.push(ds.device);
+            }
+            for ds in &scripts.scripts[..i] {
+                self.send(self.nm_host(), ds.device, &WireMessage::Abort { txn });
+            }
+            self.run_management();
+            return outcome;
+        }
+        outcome.committed = true;
+        outcome
+    }
+
+    /// Execute a teardown (all-`delete`) script set as a lenient
+    /// transaction: devices that fail to stage or commit are skipped, never
+    /// rolled back — deletes are idempotent and a crashed device loses the
+    /// state at reboot anyway.  `skip` lists devices known unresponsive
+    /// (e.g. from a fault report); they are not contacted at all.
+    pub fn run_teardown(
+        &mut self,
+        teardown: &[(DeviceId, Vec<Primitive>)],
+        skip: &[DeviceId],
+    ) -> TransactionOutcome {
+        let txn = self.goals.next_txn();
+        let mut outcome = TransactionOutcome {
+            txn,
+            ..Default::default()
+        };
+        let work: Vec<&(DeviceId, Vec<Primitive>)> = teardown
+            .iter()
+            .filter(|(d, prims)| !skip.contains(d) && !prims.is_empty())
+            .collect();
+        if work.is_empty() {
+            outcome.committed = true;
+            return outcome;
+        }
+        for (device, primitives) in &work {
+            let msg = WireMessage::Stage {
+                txn,
+                primitives: primitives.clone(),
+            };
+            self.send(self.nm_host(), *device, &msg);
+        }
+        self.run_management();
+        let mut committable = Vec::new();
+        for (device, _) in &work {
+            match self.take_stage_result(*device, txn) {
+                Some(errors) if errors.is_empty() => {
+                    outcome.staged.push(*device);
+                    committable.push(*device);
+                }
+                _ => outcome.skipped.push(*device),
+            }
+        }
+        for device in committable {
+            self.send(self.nm_host(), device, &WireMessage::Commit { txn });
+            self.run_management();
+            match self.take_commit_result(device, txn) {
+                Some(results) => {
+                    outcome.primitives += results.len();
+                    outcome.committed_devices.push(device);
+                }
+                None => {
+                    // Staged but silent (crashed between the phases): abort
+                    // so the agent does not hold the staged deletes forever
+                    // if it comes back.
+                    self.send(self.nm_host(), device, &WireMessage::Abort { txn });
+                    outcome.skipped.push(device);
+                }
+            }
+        }
+        self.run_management();
+        outcome.committed = true;
+        outcome
+    }
+}

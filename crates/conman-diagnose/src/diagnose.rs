@@ -25,20 +25,30 @@ use std::collections::BTreeMap;
 /// the counter deltas assume the probe burst dominates the sampling window.
 /// Heavy unrelated traffic through the same devices — a second managed
 /// goal, background flows — can mask a frontier or misattribute drops
-/// between same-kind modules on one device.  Per-flow counter attribution
-/// in the engine is the planned fix; until then, diagnose during a quiet
-/// window or with enough probes to dominate it.
+/// between same-kind modules on one device.  Setting [`Diagnoser::flow_tag`]
+/// (or using [`Diagnoser::for_goal`]) runs the burst inside a per-goal
+/// flow-attribution window, so the device-level tallies stay separable per
+/// goal (`netsim::stats::FlowCounters`); feeding those per-goal deltas into
+/// the frontier walk itself is the remaining step — until then, diagnose
+/// during a quiet window or with enough probes to dominate it.
 #[derive(Debug, Clone, Copy)]
 pub struct Diagnoser {
     /// End-to-end probes sent per diagnosis pass (values below 1 are
     /// treated as 1 — zero probes could only ever produce a vacuous
     /// "healthy" verdict).
     pub probes: u32,
+    /// Flow tag (the owning goal's id) the probe burst runs under.  When
+    /// set, the burst is wrapped in a `netsim` flow-attribution window so
+    /// its per-device counters stay separable from other goals' traffic.
+    pub flow_tag: Option<u64>,
 }
 
 impl Default for Diagnoser {
     fn default() -> Self {
-        Diagnoser { probes: 3 }
+        Diagnoser {
+            probes: 3,
+            flow_tag: None,
+        }
     }
 }
 
@@ -46,7 +56,16 @@ impl Diagnoser {
     /// A diagnoser sending `probes` probes per pass.
     pub fn new(probes: u32) -> Self {
         assert!(probes > 0, "at least one probe is required");
-        Diagnoser { probes }
+        Diagnoser {
+            probes,
+            ..Default::default()
+        }
+    }
+
+    /// Tag this diagnoser's probe bursts with the owning goal's id.
+    pub fn for_goal(mut self, goal: conman_core::nm::GoalId) -> Self {
+        self.flow_tag = Some(goal.0);
+        self
     }
 
     /// Run one diagnosis pass: snapshot counters along `path`, drive
@@ -70,11 +89,17 @@ impl Diagnoser {
             at: mn.net.now(),
             snapshots: mn.poll_counters(&devices),
         };
+        if let Some(tag) = self.flow_tag {
+            mn.net.begin_flow_window(tag);
+        }
         let mut delivered = 0u32;
         for _ in 0..probes {
             if probe(mn) {
                 delivered += 1;
             }
+        }
+        if self.flow_tag.is_some() {
+            mn.net.end_flow_window();
         }
         let after = TelemetryRound {
             at: mn.net.now(),

@@ -1,10 +1,15 @@
-//! Self-healing reconfiguration: tear down a failed path, re-plan around
-//! the diagnosed suspects, execute the alternative and verify it.
+//! Self-healing reconfiguration as a reconciler client.
+//!
+//! The Healer no longer hand-rolls teardown or fire-and-forget execution:
+//! a repair is "mark the goal `Degraded` with the diagnosed suspects
+//! excluded, tear the failed configuration down through the transactional
+//! withdraw path, and drive candidate re-plans through two-phase
+//! transactions until end-to-end probes verify one" — the same machinery
+//! `ManagedNetwork::reconcile` uses for every stored goal.
 
 use crate::report::{FaultReport, SuspectTarget};
 use conman_core::ids::ModuleRef;
-use conman_core::nm::{ConnectivityGoal, ModulePath, PathFinderLimits};
-use conman_core::primitives::{ComponentRef, Primitive};
+use conman_core::nm::{ConnectivityGoal, GoalStatus, ModulePath, PathFinderLimits};
 use conman_core::runtime::ManagedNetwork;
 use mgmt_channel::ManagementChannel;
 use netsim::device::DeviceId;
@@ -21,7 +26,8 @@ pub struct HealOutcome {
     /// Technology label of the replacement (e.g. `GRE-IP` after an MPLS
     /// core failure).
     pub replacement_label: Option<String>,
-    /// Delete primitives issued while tearing down the failed path.
+    /// Delete primitives committed while tearing down failed paths (the
+    /// initial teardown plus any unverified candidates).
     pub teardown_primitives: usize,
     /// Did an end-to-end probe confirm the repair?
     pub verified: bool,
@@ -96,44 +102,11 @@ impl Healer {
         devices.windows(2).any(|w| report.blames_link(w[0], w[1]))
     }
 
-    /// Tear down the failed path: mirror every `create` of its scripts with
-    /// a `delete`, in reverse order, skipping devices the report declared
-    /// unresponsive (they would not answer anyway — and a rebooted device
-    /// comes back with clean state).
-    pub fn teardown<C: ManagementChannel>(
-        &self,
-        mn: &mut ManagedNetwork<C>,
-        goal: &ConnectivityGoal,
-        failed: &ModulePath,
-        report: &FaultReport,
-    ) -> usize {
-        let scripts = mn.nm.generate_scripts(failed, goal);
-        let mut issued = 0;
-        for ds in &scripts.scripts {
-            if report.unresponsive.contains(&ds.device) {
-                continue;
-            }
-            let mut deletes: Vec<Primitive> = Vec::new();
-            for p in ds.primitives.iter().rev() {
-                match p {
-                    Primitive::CreateSwitch(spec) => deletes.push(Primitive::Delete(
-                        ComponentRef::SwitchRule(spec.module.clone(), spec.in_pipe, spec.out_pipe),
-                    )),
-                    Primitive::CreatePipe(spec) => {
-                        deletes.push(Primitive::Delete(ComponentRef::Pipe(spec.pipe)));
-                    }
-                    _ => {}
-                }
-            }
-            issued += deletes.len();
-            mn.run_script(ds.device, deletes);
-        }
-        issued
-    }
-
-    /// Attempt a repair: tear the failed path down, search for alternatives
-    /// avoiding every suspect, execute them best-first and verify each with
-    /// end-to-end probes until one works (or `max_attempts` is exhausted).
+    /// Attempt a repair: register the goal with the reconciler (degraded,
+    /// suspects excluded), tear the failed configuration down through the
+    /// transactional withdraw path, then execute candidate re-plans as
+    /// two-phase transactions best-first, verifying each with end-to-end
+    /// probes until one works (or `max_attempts` is exhausted).
     pub fn heal<C, P>(
         &self,
         mn: &mut ManagedNetwork<C>,
@@ -147,6 +120,9 @@ impl Healer {
         P: FnMut(&mut ManagedNetwork<C>) -> bool,
     {
         let excluded = Self::excluded_modules(mn, report);
+        let id = mn.adopt_goal(goal, failed);
+        mn.goals.mark_degraded(id, excluded.clone());
+
         let mut candidates: Vec<ModulePath> = mn
             .nm
             .find_paths_avoiding(goal, &excluded, self.limits)
@@ -180,34 +156,51 @@ impl Healer {
         if candidates.is_empty() {
             return outcome;
         }
-        outcome.teardown_primitives = self.teardown(mn, goal, failed, report);
+        // Transactional teardown of the failed configuration, skipping
+        // devices the report declared unresponsive (they would not answer —
+        // and a rebooted device comes back with clean state).
+        outcome.teardown_primitives = mn.teardown_goal(id, &report.unresponsive);
 
-        let empty_report = FaultReport {
-            probes_sent: 0,
-            probes_delivered: 0,
-            healthy: false,
-            suspects: Vec::new(),
-            unresponsive: report.unresponsive.clone(),
-        };
         for candidate in candidates.into_iter().take(self.max_attempts.max(1)) {
-            mn.execute_path(&candidate, goal);
+            let plan = mn.plan_for_path(id, &candidate);
+            let txn = mn.execute_plan(plan);
+            if !txn.committed {
+                // The transaction rolled itself back; try the next one.
+                continue;
+            }
+            // Verify inside the goal's flow-attribution window so the probe
+            // burst stays attributable when other goals are active.
+            mn.net.begin_flow_window(id.0);
             let verified = probe(mn) && probe(mn);
+            mn.net.end_flow_window();
             if verified {
                 outcome.replacement_label = Some(candidate.technology_label());
                 outcome.replacement = Some(candidate);
                 outcome.verified = true;
                 return outcome;
             }
-            // This candidate did not carry traffic either: undo it before
-            // trying the next one (its suspects stay unknown — the caller
-            // can re-diagnose on the new path if it sticks).
-            outcome.teardown_primitives += self.teardown(mn, goal, &candidate, &empty_report);
+            // This candidate did not carry traffic either: tear it down
+            // before trying the next one.
+            outcome.teardown_primitives += mn.teardown_goal(id, &[]);
         }
         // Nothing verified: roll the original configuration back.  Under a
         // partial impairment (a lossy but live link) the old path still
         // carries some traffic, which beats leaving the goal unconfigured.
-        mn.execute_path(failed, goal);
-        outcome.original_restored = true;
+        // A strict transaction cannot commit through an unresponsive device,
+        // so only report the restore when it actually happened.
+        let plan = mn.plan_for_path(id, failed);
+        let restore = mn.execute_plan(plan);
+        // Park the goal as Failed: every suspect-avoiding candidate was
+        // tried and carried no traffic, so a later probe-less reconcile()
+        // must not tear the restored partial service down just to reinstall
+        // one of those candidates.  `GoalStore::retry` re-arms it.
+        if let Some(rec) = mn.goals.get_mut(id) {
+            rec.status = GoalStatus::Failed;
+            rec.excluded = excluded;
+            rec.last_error =
+                Some("no replacement path verified; original configuration restored".into());
+        }
+        outcome.original_restored = restore.committed;
         outcome
     }
 }

@@ -14,10 +14,12 @@
 //! * [`diagnose`] — the [`Diagnoser`]: probe the goal end to end, pull
 //!   snapshots along the configured [`ModulePath`](conman_core::ModulePath),
 //!   compute deltas and localise the fault;
-//! * [`heal`] — the [`Healer`]: tear down the failed path, re-invoke the
-//!   path finder with the suspects excluded, execute the best alternative
-//!   (e.g. the GRE-IP fallback when the MPLS core dies) and verify the
-//!   repair with end-to-end probes.
+//! * [`heal`] — the [`Healer`], a client of the NM's reconciler: mark the
+//!   goal degraded with the suspects excluded, tear the failed
+//!   configuration down through the transactional withdraw path, execute
+//!   candidate re-plans as two-phase transactions (e.g. the GRE-IP
+//!   fallback when the MPLS core dies) and verify the repair with
+//!   end-to-end probes.
 //!
 //! The companion fault-injection machinery ([`netsim::fault`]) produces the
 //! failures this crate hunts: link cuts and flaps, loss spikes, device

@@ -11,7 +11,7 @@ use conman_core::abstraction::{
 };
 use conman_core::ids::{ModuleKind, ModuleRef};
 use conman_core::module::{ModuleCtx, ModuleError, ModuleReaction, ProtocolModule};
-use conman_core::primitives::{ModuleActual, PipeSpec, SwitchSpec};
+use conman_core::primitives::{ComponentRef, ModuleActual, PipeSpec, SwitchSpec};
 use netsim::device::PortId;
 use netsim::stats::DropReason;
 
@@ -149,6 +149,29 @@ impl ProtocolModule for EthModule {
         // already wired up); record it for showActual.
         self.switch_rules
             .push(format!("{} => {}", spec.in_pipe, spec.out_pipe));
+        Ok(ModuleReaction::none())
+    }
+
+    fn delete(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        component: &ComponentRef,
+    ) -> Result<ModuleReaction, ModuleError> {
+        // Forget the pipe / rule so `showActual` reflects a clean teardown
+        // (transactional rollback asserts on this).
+        match component {
+            ComponentRef::Pipe(pipe) => {
+                self.pipes.retain(|(p, _)| p != pipe);
+                let label = format!("{pipe} ");
+                self.switch_rules
+                    .retain(|r| !r.starts_with(&label) && !r.ends_with(&pipe.to_string()));
+            }
+            ComponentRef::SwitchRule(module, in_pipe, out_pipe) if *module == self.me => {
+                let rendered = format!("{in_pipe} => {out_pipe}");
+                self.switch_rules.retain(|r| *r != rendered);
+            }
+            _ => {}
+        }
         Ok(ModuleReaction::none())
     }
 }

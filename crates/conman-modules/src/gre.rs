@@ -209,6 +209,14 @@ impl ProtocolModule for GreModule {
                     "performance trade-offs must be specified for a GRE up pipe".to_string(),
                 ));
             }
+            // This module carries a single tunnel: a second concurrent goal
+            // must fail its transaction (and roll back cleanly) rather than
+            // silently hijack the configured tunnel's state.
+            if self.up_pipe.is_some_and(|p| p != spec.pipe) {
+                return Err(ModuleError::Unsupported(
+                    "GRE module already carries a tunnel for another goal".to_string(),
+                ));
+            }
             self.up_pipe = Some(spec.pipe);
             self.peer = spec.peer_lower.clone();
             self.wants_sequencing = spec.tradeoffs.contains(&TradeoffChoice::InOrderDelivery);
@@ -241,6 +249,11 @@ impl ProtocolModule for GreModule {
             }
         } else if spec.upper == self.me {
             // Our down pipe: the delivery protocol below us.
+            if self.down_pipe.is_some_and(|p| p != spec.pipe) {
+                return Err(ModuleError::Unsupported(
+                    "GRE module already carries a tunnel for another goal".to_string(),
+                ));
+            }
             self.down_pipe = Some(spec.pipe);
         }
         Ok(ModuleReaction::none())

@@ -211,7 +211,7 @@ impl IpModule {
             else {
                 return false;
             };
-            let table = RouteTableId(200 + spec.out_pipe.0);
+            let table = table_for(spec.out_pipe, ROLE_CLASS);
             let target = match parse_attach(&attach) {
                 Some(t) => t,
                 None => return false,
@@ -224,7 +224,7 @@ impl IpModule {
                 dest: Ipv4Cidr::DEFAULT,
                 target,
             });
-            let priority = 100 + spec.out_pipe.0;
+            let priority = priority_for(spec.out_pipe, ROLE_CLASS);
             ctx.config.rib.add_rule(PolicyRule {
                 priority,
                 selector: RuleSelector::ToPrefix(prefix),
@@ -268,7 +268,7 @@ impl IpModule {
                     .strip_prefix("tunnel:")
                     .and_then(|s| s.parse::<u32>().ok())
                 {
-                    let table = RouteTableId(220 + spec.in_pipe.0);
+                    let table = table_for(spec.in_pipe, ROLE_REVERSE);
                     ctx.config
                         .rib
                         .name_table(table, format!("conman-rev-{}", spec.in_pipe));
@@ -279,7 +279,7 @@ impl IpModule {
                             via: Some(gw),
                         },
                     });
-                    let priority = 120 + spec.in_pipe.0;
+                    let priority = priority_for(spec.in_pipe, ROLE_REVERSE);
                     ctx.config.rib.add_rule(PolicyRule {
                         priority,
                         selector: RuleSelector::FromTunnel(tunnel),
@@ -401,7 +401,12 @@ impl IpModule {
                     .into_iter()
                     .enumerate()
                 {
-                    let table = RouteTableId(240 + spec.in_pipe.0 * 2 + i as u32);
+                    let role = if i == 0 {
+                        ROLE_TRANSIT_FWD
+                    } else {
+                        ROLE_TRANSIT_REV
+                    };
+                    let table = table_for(spec.in_pipe, role);
                     ctx.config
                         .rib
                         .name_table(table, format!("conman-transit-{}", table.0));
@@ -409,7 +414,7 @@ impl IpModule {
                         dest: Ipv4Cidr::DEFAULT,
                         target: to.target(),
                     });
-                    let priority = 140 + spec.in_pipe.0 * 2 + i as u32;
+                    let priority = priority_for(spec.in_pipe, role);
                     ctx.config.rib.add_rule(PolicyRule {
                         priority,
                         selector: RuleSelector::FromPort(from.port()),
@@ -426,6 +431,26 @@ impl IpModule {
             }
         }
     }
+}
+
+/// Role of a derived route table / policy rule, used to keep identifiers
+/// unique per (pipe, role) pair.
+const ROLE_CLASS: u32 = 0; // classified forward rule, keyed by the out pipe
+const ROLE_REVERSE: u32 = 1; // reverse gateway rule, keyed by the in pipe
+const ROLE_TRANSIT_FWD: u32 = 2; // transit direction 1, keyed by the in pipe
+const ROLE_TRANSIT_REV: u32 = 3; // transit direction 2, keyed by the in pipe
+
+/// The route table a switch rule installs into.  Injective in (pipe, role):
+/// concurrent goals execute in disjoint pipe-id blocks, so their tables can
+/// never collide with each other — nor with the reserved main table (254),
+/// which the old `240 + 2 * pipe` scheme could reach on long chains.
+fn table_for(pipe: PipeId, role: u32) -> RouteTableId {
+    RouteTableId(1000 + pipe.0 * 4 + role)
+}
+
+/// The policy-rule priority paired with [`table_for`], unique the same way.
+fn priority_for(pipe: PipeId, role: u32) -> u32 {
+    100 + pipe.0 * 4 + role
 }
 
 fn parse_attach(attach: &str) -> Option<RouteTarget> {
@@ -649,11 +674,16 @@ impl ProtocolModule for IpModule {
         else {
             return Ok(ModuleReaction::none());
         };
-        // Find the pipe whose peer sent this message.
+        // Find the pipe whose peer sent this message.  Concurrent goals can
+        // each run a pipe to the *same* peer module; the exchange in flight
+        // belongs to the pipe still awaiting its peer value, so prefer
+        // unlearned pipes (configuration transactions execute serially, so
+        // at most one exchange per peer pair is ever incomplete).
         let pipe = self
             .pipes
             .values()
-            .find(|r| self.peer_of(r).as_ref() == Some(&env.from))
+            .filter(|r| self.peer_of(r).as_ref() == Some(&env.from))
+            .min_by_key(|r| (r.learned.is_some(), r.spec.pipe.0))
             .map(|r| r.spec.pipe);
         let Some(pipe) = pipe else {
             return Ok(ModuleReaction::none());

@@ -36,7 +36,7 @@ pub use gre::GreModule;
 pub use ip::IpModule;
 pub use mpls::MplsModule;
 pub use testbed::{
-    managed_chain, managed_chain_with, managed_figure2, managed_vlan_chain, ManagedChain,
-    ManagedFigure2, ManagedVlanChain,
+    managed_chain, managed_chain_with, managed_dual_chain, managed_figure2, managed_vlan_chain,
+    ManagedChain, ManagedFigure2, ManagedVlanChain,
 };
 pub use vlan::VlanModule;

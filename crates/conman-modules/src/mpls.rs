@@ -357,11 +357,16 @@ impl ProtocolModule for MplsModule {
             .and_then(|v| v.as_str())
             .and_then(|s| s.parse::<Ipv4Addr>().ok());
         let is_reply = m.get("reply").and_then(|v| v.as_bool()).unwrap_or(false);
-        // Find the adjacency whose peer sent this.
+        // Find the adjacency whose peer sent this.  Concurrent goals run
+        // separate LSPs over the same physical adjacency, so several of our
+        // adjacency pipes can share a peer module: the exchange in flight
+        // belongs to the one still missing its peer label (transactions
+        // execute serially, so at most one exchange per peer is incomplete).
         let pipe = self
             .adjacencies
             .iter()
-            .find(|(_, a)| a.peer.as_ref() == Some(&env.from))
+            .filter(|(_, a)| a.peer.as_ref() == Some(&env.from))
+            .min_by_key(|(p, a)| (a.out_label.is_some(), p.0))
             .map(|(p, _)| *p);
         let Some(pipe) = pipe else {
             return Ok(ModuleReaction::none());

@@ -31,6 +31,10 @@ pub struct ManagedChain<C: ManagementChannel> {
     pub customer2: DeviceId,
     /// Host in customer site 2.
     pub host2: DeviceId,
+    /// Second customer host pair (dual chains only): a host in 10.0.3.0/24
+    /// behind customer router 1 and one in 10.0.4.0/24 behind customer
+    /// router 2 — the endpoints of a second concurrent VPN goal.
+    pub second_pair: Option<(DeviceId, DeviceId)>,
     /// Monotonic probe payload counter (each diagnosis probe is distinct).
     probe_seq: u64,
 }
@@ -41,8 +45,24 @@ pub fn managed_chain(n: usize) -> ManagedChain<OutOfBandChannel> {
     managed_chain_with(n, OutOfBandChannel::new())
 }
 
+/// Build a managed ISP chain with a second customer pair behind the same
+/// customer routers (see [`topology::isp_chain_dual`]) — the multi-goal
+/// testbed: two VPN goals between the same customer-facing interfaces for
+/// different site classes, sharing the ISP core modules.
+pub fn managed_dual_chain(n: usize) -> ManagedChain<OutOfBandChannel> {
+    managed_from_topology(topology::isp_chain_dual(n), n, OutOfBandChannel::new())
+}
+
 /// Build a managed ISP chain over an arbitrary management channel.
 pub fn managed_chain_with<C: ManagementChannel>(n: usize, channel: C) -> ManagedChain<C> {
+    managed_from_topology(topology::isp_chain(n), n, channel)
+}
+
+fn managed_from_topology<C: ManagementChannel>(
+    topo: ChainTopology,
+    n: usize,
+    channel: C,
+) -> ManagedChain<C> {
     let ChainTopology {
         mut net,
         host1,
@@ -50,8 +70,9 @@ pub fn managed_chain_with<C: ManagementChannel>(n: usize, channel: C) -> Managed
         core,
         customer2,
         host2,
+        second_pair,
         ..
-    } = topology::isp_chain(n);
+    } = topo;
 
     // The NM's management station.  The out-of-band channel needs no
     // physical attachment (direct mailboxes), but the in-band variant floods
@@ -83,6 +104,7 @@ pub fn managed_chain_with<C: ManagementChannel>(n: usize, channel: C) -> Managed
         core,
         customer2,
         host2,
+        second_pair,
         probe_seq: 0,
     }
 }
@@ -130,6 +152,24 @@ impl<C: ManagementChannel> ManagedChain<C> {
             .resolve("S2-gateway", "192.168.2.1")
     }
 
+    /// The second customer's VPN goal (dual chains): the same customer
+    /// facing interfaces, a different pair of site classes (`C2-S1` =
+    /// 10.0.3.0/24, `C2-S2` = 10.0.4.0/24).  Submitted alongside
+    /// [`Self::vpn_goal`] it exercises concurrent goals sharing the ISP
+    /// core modules.
+    pub fn vpn_goal2(&self) -> ConnectivityGoal {
+        let mut goal = self.vpn_goal();
+        goal.src_class = "C2-S1".to_string();
+        goal.dst_class = "C2-S2".to_string();
+        goal.resolved.remove("C1-S1");
+        goal.resolved.remove("C1-S2");
+        goal.resolved
+            .insert("C2-S1".to_string(), "10.0.3.0/24".to_string());
+        goal.resolved
+            .insert("C2-S2".to_string(), "10.0.4.0/24".to_string());
+        goal
+    }
+
     /// Send a customer datagram from site 1 to site 2 and report whether it
     /// arrived, together with the encapsulations observed inside the ISP.
     pub fn send_site1_to_site2(&mut self, payload: &[u8]) -> (bool, Vec<String>) {
@@ -150,21 +190,54 @@ impl<C: ManagementChannel> ManagedChain<C> {
         self.send_site1_to_site2(&payload).0
     }
 
+    /// One end-to-end probe for the second customer pair (dual chains):
+    /// host 10.0.3.5 → 10.0.4.5.  Panics unless built with
+    /// [`managed_dual_chain`].
+    pub fn probe2(&mut self) -> bool {
+        let (host3, host4) = self.second_pair.expect("dual chain");
+        self.probe_seq += 1;
+        let payload = format!("diag2-probe-{}", self.probe_seq).into_bytes();
+        self.mn
+            .net
+            .send_udp(host3, "10.0.4.5".parse().unwrap(), 40000, 7000, &payload)
+            .expect("second-pair host exists");
+        self.mn.net.run_to_quiescence(100_000);
+        self.mn
+            .net
+            .device_mut(host4)
+            .map(|d| d.take_delivered().iter().any(|p| p.payload == payload))
+            .unwrap_or(false)
+    }
+
     /// A self-contained probe closure for the diagnosis layer: captures the
     /// site hosts by id (not the testbed), so it can be handed to
     /// `Diagnoser::diagnose` / `Healer::heal` alongside `&mut self.mn`.
     pub fn probe_fn(&self) -> impl FnMut(&mut ManagedNetwork<C>) -> bool {
-        let (host1, host2) = (self.host1, self.host2);
+        Self::probe_between(self.host1, self.host2, "10.0.2.5")
+    }
+
+    /// A probe closure for the second customer pair (dual chains).
+    pub fn probe2_fn(&self) -> impl FnMut(&mut ManagedNetwork<C>) -> bool {
+        let (host3, host4) = self.second_pair.expect("dual chain");
+        Self::probe_between(host3, host4, "10.0.4.5")
+    }
+
+    fn probe_between(
+        src: DeviceId,
+        dst: DeviceId,
+        dst_ip: &str,
+    ) -> impl FnMut(&mut ManagedNetwork<C>) -> bool {
+        let dst_ip: std::net::Ipv4Addr = dst_ip.parse().unwrap();
         let mut seq = 0u64;
         move |mn: &mut ManagedNetwork<C>| {
             seq += 1;
-            let payload = format!("diag-fn-{seq}").into_bytes();
+            let payload = format!("diag-fn-{src}-{seq}").into_bytes();
             mn.net
-                .send_udp(host1, "10.0.2.5".parse().unwrap(), 40000, 7000, &payload)
+                .send_udp(src, dst_ip, 40000, 7000, &payload)
                 .expect("site host exists");
             mn.net.run_to_quiescence(100_000);
             mn.net
-                .device_mut(host2)
+                .device_mut(dst)
                 .map(|d| d.take_delivered().iter().any(|p| p.payload == payload))
                 .unwrap_or(false)
         }

@@ -205,6 +205,23 @@ impl ProtocolModule for VlanModule {
         Ok(reaction)
     }
 
+    fn delete(
+        &mut self,
+        _ctx: &mut ModuleCtx,
+        component: &conman_core::primitives::ComponentRef,
+    ) -> Result<ModuleReaction, ModuleError> {
+        if let conman_core::primitives::ComponentRef::Pipe(pipe) = component {
+            self.pipes.remove(pipe);
+            self.trunks.remove(pipe);
+            self.pending_switches
+                .retain(|s| s.in_pipe != *pipe && s.out_pipe != *pipe);
+            if self.pipes.is_empty() {
+                self.notified = false;
+            }
+        }
+        Ok(ModuleReaction::none())
+    }
+
     fn handle_envelope(
         &mut self,
         _ctx: &mut ModuleCtx,

@@ -65,6 +65,7 @@ pub use ipv4::{Ipv4Cidr, Ipv4Header, Ipv4Proto};
 pub use link::{Link, LinkId, LinkProperties};
 pub use mac::MacAddr;
 pub use network::Network;
+pub use stats::{DeviceStats, DropReason, FlowCounters};
 pub use trace::{PacketSummary, TraceEntry};
 
 /// Errors produced while encoding or decoding wire formats.

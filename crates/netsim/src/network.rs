@@ -49,6 +49,29 @@ pub struct Network {
     frames_lost: u64,
     /// Monotonic counter feeding the deterministic per-link loss sampler.
     loss_sequence: u64,
+    /// Open flow-attribution window: the tag plus the per-device tallies at
+    /// the moment the window opened (see [`Network::begin_flow_window`]).
+    flow_window: Option<(u64, BTreeMap<DeviceId, FlowSample>)>,
+}
+
+/// Snapshot of the device tallies a flow window diffs against.
+#[derive(Debug, Clone, Copy, Default)]
+struct FlowSample {
+    originated: u64,
+    forwarded: u64,
+    local_delivered: u64,
+    drops: u64,
+}
+
+impl FlowSample {
+    fn of(stats: &crate::stats::DeviceStats) -> Self {
+        FlowSample {
+            originated: stats.originated,
+            forwarded: stats.forwarded,
+            local_delivered: stats.local_delivered,
+            drops: stats.total_drops(),
+        }
+    }
 }
 
 impl Network {
@@ -237,6 +260,61 @@ impl Network {
         }
         out.sort_by_key(|(p, d, dp)| (p.0, d.as_u64(), dp.0));
         out
+    }
+
+    // ------------------------------------------------------------------
+    // Flow attribution windows
+    // ------------------------------------------------------------------
+
+    /// Open a flow-attribution window for `tag`.  Every change to the
+    /// device-level tallies (originated / forwarded / delivered / drops)
+    /// between now and the matching [`Self::end_flow_window`] is credited to
+    /// `tag` in each device's [`stats.flows`](crate::stats::DeviceStats).
+    ///
+    /// The simulator is single-threaded and traffic bursts run to
+    /// quiescence, so a window contains exactly the traffic injected inside
+    /// it; the management layers use the owning goal id as the tag so probe
+    /// bursts of concurrent goals attribute separately.  Opening a new
+    /// window closes any window still open.
+    pub fn begin_flow_window(&mut self, tag: u64) {
+        self.end_flow_window();
+        let samples = self
+            .devices
+            .iter()
+            .map(|(id, d)| (*id, FlowSample::of(&d.stats)))
+            .collect();
+        self.flow_window = Some((tag, samples));
+    }
+
+    /// Close the open flow window (if any), crediting the per-device deltas
+    /// to the window's tag.  Returns the tag that was closed.
+    pub fn end_flow_window(&mut self) -> Option<u64> {
+        let (tag, samples) = self.flow_window.take()?;
+        for (id, before) in samples {
+            let Some(device) = self.devices.get_mut(&id) else {
+                continue;
+            };
+            let now = FlowSample::of(&device.stats);
+            let delta = crate::stats::FlowCounters {
+                originated: now.originated.saturating_sub(before.originated),
+                forwarded: now.forwarded.saturating_sub(before.forwarded),
+                local_delivered: now.local_delivered.saturating_sub(before.local_delivered),
+                drops: now.drops.saturating_sub(before.drops),
+            };
+            if !delta.is_empty() {
+                device.stats.flows.entry(tag).or_default().absorb(&delta);
+            }
+        }
+        Some(tag)
+    }
+
+    /// The counters attributed to `tag` on one device (zero counters when
+    /// the flow never touched it).
+    pub fn flow_counters(&self, device: DeviceId, tag: u64) -> crate::stats::FlowCounters {
+        self.devices
+            .get(&device)
+            .map(|d| d.stats.flow(tag))
+            .unwrap_or_default()
     }
 
     // ------------------------------------------------------------------

@@ -67,6 +67,43 @@ pub enum DropReason {
     MtuExceeded,
 }
 
+/// Per-flow counters: the slice of a device's activity attributed to one
+/// tagged traffic flow (in the CONMan layers above, the flow tag is the
+/// owning goal's id).
+///
+/// Flow attribution is window-based: the network snapshots the device
+/// tallies when a tagged window opens and accumulates the deltas here when
+/// it closes (see `Network::begin_flow_window`).  Because the simulator is
+/// single-threaded and probe bursts run to quiescence, a window contains
+/// exactly the tagged flow's traffic, so counter-delta localisation is not
+/// confounded when several goals are active.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowCounters {
+    /// Packets this device originated during the flow's windows.
+    pub originated: u64,
+    /// Packets forwarded through the device for the flow.
+    pub forwarded: u64,
+    /// Packets delivered to a local sink for the flow.
+    pub local_delivered: u64,
+    /// Packets dropped (all reasons) during the flow's windows.
+    pub drops: u64,
+}
+
+impl FlowCounters {
+    /// Accumulate another sample into this one.
+    pub fn absorb(&mut self, other: &FlowCounters) {
+        self.originated += other.originated;
+        self.forwarded += other.forwarded;
+        self.local_delivered += other.local_delivered;
+        self.drops += other.drops;
+    }
+
+    /// Did the flow touch this device at all?
+    pub fn is_empty(&self) -> bool {
+        self.originated == 0 && self.forwarded == 0 && self.local_delivered == 0 && self.drops == 0
+    }
+}
+
 /// Aggregated statistics of one device.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DeviceStats {
@@ -82,6 +119,9 @@ pub struct DeviceStats {
     pub forwarded: u64,
     /// Drop counts by reason.
     pub drops: BTreeMap<DropReason, u64>,
+    /// Per-flow attribution, keyed by flow tag (a goal id in the management
+    /// layers).  Filled by the network's flow windows.
+    pub flows: BTreeMap<u64, FlowCounters>,
 }
 
 impl DeviceStats {
@@ -103,6 +143,12 @@ impl DeviceStats {
     /// Total number of drops across all reasons.
     pub fn total_drops(&self) -> u64 {
         self.drops.values().sum()
+    }
+
+    /// The counters attributed to one flow tag (zero counters if the flow
+    /// never touched this device).
+    pub fn flow(&self, tag: u64) -> FlowCounters {
+        self.flows.get(&tag).copied().unwrap_or_default()
     }
 }
 

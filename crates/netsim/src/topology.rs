@@ -61,6 +61,10 @@ pub struct ChainTopology {
     /// The ISP-internal address of each core router on the link towards the
     /// *next* core router (used by configuration generators).
     pub core_link_addresses: Vec<(Ipv4Addr, Ipv4Addr)>,
+    /// Second customer pair, present on dual-customer chains
+    /// ([`isp_chain_dual`]): a host in the 10.0.3.0/24 LAN behind the site-1
+    /// customer router and one in 10.0.4.0/24 behind the site-2 router.
+    pub second_pair: Option<(DeviceId, DeviceId)>,
 }
 
 impl ChainTopology {
@@ -95,8 +99,22 @@ impl ChainTopology {
 /// Build the ISP chain with `n >= 2` core routers.  Core routers are named
 /// `RouterA`, `RouterB`, ... (wrapping to `Router<k>` beyond 26).
 pub fn isp_chain(n: usize) -> ChainTopology {
+    build_isp_chain(n, false)
+}
+
+/// Build the ISP chain with a *second* customer pair: each customer router
+/// gets an extra LAN (10.0.3.0/24 at site 1, 10.0.4.0/24 at site 2) with one
+/// host.  The second pair shares the customer routers, uplinks and ISP core
+/// with the first, which is exactly the multi-goal scenario: two VPN goals
+/// between the same customer-facing interfaces for different site classes.
+pub fn isp_chain_dual(n: usize) -> ChainTopology {
+    build_isp_chain(n, true)
+}
+
+fn build_isp_chain(n: usize, dual: bool) -> ChainTopology {
     assert!(n >= 2, "the chain needs at least two core routers");
     let mut net = Network::new();
+    let customer_ports = if dual { 3 } else { 2 };
 
     // Customer site 1.
     let mut host1 = Device::new("Host1", DeviceRole::Host, 1);
@@ -110,10 +128,13 @@ pub fn isp_chain(n: usize) -> ChainTopology {
     });
     let host1 = net.add_device(host1);
 
-    let mut d = Device::new("CustomerRouterD", DeviceRole::Router, 2);
+    let mut d = Device::new("CustomerRouterD", DeviceRole::Router, customer_ports);
     d.config.ip_forwarding = true;
     d.config.assign_address(0, cidr("10.0.1.1/24")); // site 1 LAN
     d.config.assign_address(1, cidr("192.168.0.1/24")); // uplink to ingress
+    if dual {
+        d.config.assign_address(2, cidr("10.0.3.1/24")); // site 1 second LAN
+    }
     d.config.rib.add_main(Route {
         dest: Ipv4Cidr::DEFAULT,
         target: RouteTarget::Port {
@@ -175,10 +196,13 @@ pub fn isp_chain(n: usize) -> ChainTopology {
     }
 
     // Customer site 2.
-    let mut e = Device::new("CustomerRouterE", DeviceRole::Router, 2);
+    let mut e = Device::new("CustomerRouterE", DeviceRole::Router, customer_ports);
     e.config.ip_forwarding = true;
     e.config.assign_address(0, cidr("10.0.2.1/24"));
     e.config.assign_address(1, cidr("192.168.2.1/24"));
+    if dual {
+        e.config.assign_address(2, cidr("10.0.4.1/24")); // site 2 second LAN
+    }
     e.config.rib.add_main(Route {
         dest: Ipv4Cidr::DEFAULT,
         target: RouteTarget::Port {
@@ -225,6 +249,45 @@ pub fn isp_chain(n: usize) -> ChainTopology {
     )
     .unwrap();
 
+    // Second customer pair (dual chains): one host per extra LAN.
+    let second_pair = if dual {
+        let mut host3 = Device::new("Host3", DeviceRole::Host, 1);
+        host3.config.assign_address(0, cidr("10.0.3.5/24"));
+        host3.config.rib.add_main(Route {
+            dest: Ipv4Cidr::DEFAULT,
+            target: RouteTarget::Port {
+                port: 0,
+                via: Some(ip("10.0.3.1")),
+            },
+        });
+        let host3 = net.add_device(host3);
+        let mut host4 = Device::new("Host4", DeviceRole::Host, 1);
+        host4.config.assign_address(0, cidr("10.0.4.5/24"));
+        host4.config.rib.add_main(Route {
+            dest: Ipv4Cidr::DEFAULT,
+            target: RouteTarget::Port {
+                port: 0,
+                via: Some(ip("10.0.4.1")),
+            },
+        });
+        let host4 = net.add_device(host4);
+        net.connect(
+            (host3, PortId(0)),
+            (customer1, PortId(2)),
+            LinkProperties::lan(),
+        )
+        .unwrap();
+        net.connect(
+            (host4, PortId(0)),
+            (customer2, PortId(2)),
+            LinkProperties::lan(),
+        )
+        .unwrap();
+        Some((host3, host4))
+    } else {
+        None
+    };
+
     ChainTopology {
         net,
         host1,
@@ -233,6 +296,7 @@ pub fn isp_chain(n: usize) -> ChainTopology {
         customer2,
         host2,
         core_link_addresses,
+        second_pair,
     }
 }
 
@@ -437,6 +501,55 @@ mod tests {
             assert_eq!(t.core_link_addresses.len(), n - 1);
             assert_eq!(t.net.device_ids().len(), n + 4);
         }
+    }
+
+    #[test]
+    fn dual_chain_adds_a_second_customer_pair_behind_the_same_routers() {
+        let t = isp_chain_dual(3);
+        let (h3, h4) = t.second_pair.expect("dual chain has a second pair");
+        // 3 core + 2 customer routers + 4 hosts.
+        assert_eq!(t.net.device_ids().len(), 9);
+        assert!(t
+            .net
+            .device(h3)
+            .unwrap()
+            .config
+            .is_local_address(ip("10.0.3.5")));
+        assert!(t
+            .net
+            .device(h4)
+            .unwrap()
+            .config
+            .is_local_address(ip("10.0.4.5")));
+        // Without VPN state the ISP carries neither customer's traffic.
+        let mut t = t;
+        t.net
+            .send_udp(h3, ip("10.0.4.5"), 1000, 2000, b"before-vpn-2")
+            .unwrap();
+        t.net.run_to_quiescence(10_000);
+        assert!(t.net.device_mut(h4).unwrap().take_delivered().is_empty());
+    }
+
+    #[test]
+    fn flow_windows_attribute_device_tallies_per_tag() {
+        let mut t = isp_chain(2);
+        // A tagged window around a burst credits the traffic to the tag.
+        t.net.begin_flow_window(7);
+        t.net
+            .send_udp(t.host1, ip("10.0.1.1"), 1, 2, b"to-gateway")
+            .unwrap();
+        t.net.run_to_quiescence(10_000);
+        t.net.end_flow_window();
+        let f = t.net.flow_counters(t.host1, 7);
+        assert_eq!(f.originated, 1);
+        // A different tag saw nothing.
+        assert!(t.net.flow_counters(t.host1, 8).is_empty());
+        // Untagged traffic is credited to no flow.
+        t.net
+            .send_udp(t.host1, ip("10.0.1.1"), 1, 2, b"untagged")
+            .unwrap();
+        t.net.run_to_quiescence(10_000);
+        assert_eq!(t.net.flow_counters(t.host1, 7).originated, 1);
     }
 
     #[test]

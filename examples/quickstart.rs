@@ -1,9 +1,11 @@
-//! Quickstart: the whole CONMan loop in one page.
+//! Quickstart: the whole CONMan loop in one page — declarative style.
 //!
 //! Build the paper's Figure 4 testbed (two customer sites across a
 //! three-router ISP), let the NM discover the devices' module abstractions,
-//! map the high-level VPN goal onto module-level paths, execute the chosen
-//! path's CONMan scripts, and verify that customer traffic actually flows.
+//! *declare* the high-level VPN goal (`submit`), inspect the NM's dry-run
+//! `Plan`, and let `reconcile()` drive the network to the desired state
+//! with a two-phase transaction.  Then verify that customer traffic
+//! actually flows.
 //!
 //! ```text
 //! cargo run --example quickstart
@@ -22,22 +24,36 @@ fn main() {
 
     // 3. The human manager's goal: connectivity between the customer-facing
     //    interfaces of routers A and C for customer-1 site-1/site-2 traffic.
-    let goal = testbed.vpn_goal();
-
-    // 4. The NM enumerates every protocol-sane module path and picks one.
-    let outcome = testbed.mn.configure(&goal);
-    println!("paths found by the NM: {}", outcome.paths.len());
-    for p in &outcome.paths {
-        println!("  - {:18} ({} pipes)", p.technology_label(), p.pipe_count());
-    }
-    let chosen = outcome.chosen.expect("a path was chosen");
+    //    Declaring it gives it an identity and a lifecycle — nothing is
+    //    configured yet.
+    let goal_id = testbed.mn.submit(testbed.vpn_goal());
     println!(
-        "chosen: {} — scripts:\n{}",
-        chosen.technology_label(),
-        outcome.scripts.render()
+        "declared goal {goal_id}: {}",
+        testbed.mn.goals.status(goal_id).unwrap()
     );
 
-    // 5. Verify the data plane: a site-1 host sends a datagram to a site-2
+    // 4. Dry run: the NM enumerates protocol-sane module paths, picks the
+    //    best one and generates its scripts — without sending a message.
+    let plan = testbed.mn.plan_goal(goal_id).expect("a path exists");
+    println!(
+        "plan: {} over {} device(s), {} module(s) first-used",
+        plan.path.technology_label(),
+        plan.scripts.scripts.len(),
+        plan.modules_created.len()
+    );
+    println!("scripts:\n{}", plan.scripts.render());
+
+    // 5. Reconcile: every stored goal is driven to its desired state.  The
+    //    scripts execute as a two-phase transaction (stage everywhere,
+    //    commit device by device, roll back on any failure).
+    let report = testbed.mn.reconcile();
+    println!(
+        "reconciled: goal is {} after {} transaction(s)",
+        testbed.mn.goals.status(goal_id).unwrap(),
+        report.transactions
+    );
+
+    // 6. Verify the data plane: a site-1 host sends a datagram to a site-2
     //    host and it arrives, encapsulated inside the ISP.
     let (delivered, encaps) = testbed.send_site1_to_site2(b"hello through the VPN");
     println!("delivered across the VPN: {delivered}");
@@ -46,4 +62,12 @@ fn main() {
         println!("  {e}");
     }
     assert!(delivered);
+
+    // 7. Reconcile is idempotent: a converged network needs no messages.
+    let report = testbed.mn.reconcile();
+    println!(
+        "second reconcile: {} transaction(s) (converged)",
+        report.transactions
+    );
+    assert_eq!(report.transactions, 0);
 }

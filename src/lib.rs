@@ -7,18 +7,21 @@
 //!
 //! | Crate | Re-export | What lives there |
 //! |-------|-----------|------------------|
-//! | `netsim` | [`netsim`] | Deterministic packet-level simulator: codecs (ETH/ARP/IP/GRE/MPLS/VLAN/UDP/ICMP), forwarding engine, topologies, packet traces — and [`netsim::fault`], the deterministic fault-injection layer (link cuts/flaps, loss spikes, device crashes, misconfigurations). |
+//! | `netsim` | [`netsim`] | Deterministic packet-level simulator: codecs (ETH/ARP/IP/GRE/MPLS/VLAN/UDP/ICMP), forwarding engine, topologies, packet traces, per-goal flow-attribution windows ([`netsim::stats::FlowCounters`]) — and [`netsim::fault`], the deterministic fault-injection layer (link cuts/flaps, loss spikes, device crashes, misconfigurations). |
 //! | `mgmt-channel` | [`mgmt_channel`] | The out-of-band and in-band management channels, per-device message accounting (Table VI) and the periodic telemetry schedule. |
-//! | `conman-core` | [`core`] | Protocol-independent CONMan: module abstraction (Table II) with per-pipe [`CounterSnapshot`](core::CounterSnapshot)s, primitives (Table I), management agents, the NM (topology map, potential graph, path finder with suspect exclusion, script generation) and the runtime orchestration loop. |
-//! | `conman-modules` | [`modules`] | The ETH / IP / GRE / MPLS / VLAN protocol modules over the simulated data plane, plus the managed testbeds of Figures 2, 4 and 9 with diagnosis probe hooks. |
-//! | `conman-diagnose` | [`diagnose`] | The closed-loop manager of §III-C: telemetry collection over the management channel, counter-delta fault localisation ([`diagnose::Diagnoser`] → [`diagnose::FaultReport`]) and self-healing reconfiguration ([`diagnose::Healer`] — e.g. GRE-IP fallback when the MPLS core dies). |
+//! | `conman-core` | [`core`] | Protocol-independent CONMan: module abstraction (Table II) with per-pipe [`CounterSnapshot`](core::CounterSnapshot)s, primitives (Table I) plus the Stage/Commit/Abort transaction wire protocol, management agents, the NM (topology map, potential graph, path finder with suspect exclusion, script generation) and the declarative runtime: a [`GoalStore`](core::GoalStore) of goals with identity and lifecycle (`submit`/`update`/`withdraw`, `Pending → Active → Degraded → Repairing → Failed`), dry-run [`Plan`](core::Plan)s reporting created-vs-shared modules, two-phase [`Transaction`](core::runtime::txn)s with rollback, and the [`reconcile()`](core::ManagedNetwork::reconcile) loop that drives every stored goal to its desired state. |
+//! | `conman-modules` | [`modules`] | The ETH / IP / GRE / MPLS / VLAN protocol modules over the simulated data plane, plus the managed testbeds of Figures 2, 4 and 9 (including the dual-customer multi-goal chain) with diagnosis probe hooks. |
+//! | `conman-diagnose` | [`diagnose`] | The closed-loop manager of §III-C: telemetry collection over the management channel, counter-delta fault localisation ([`diagnose::Diagnoser`] → [`diagnose::FaultReport`]) and self-healing as a reconciler client ([`diagnose::Healer`]: mark the goal degraded with suspects excluded, transactional teardown, re-plan, verify — e.g. GRE-IP fallback when the MPLS core dies). |
 //! | `legacy-config` | [`legacy`] | The "today" configuration baseline (Figures 7a/8a/9a) and the Table V generic-vs-specific classifier. |
 //!
 //! ## Tours
 //!
 //! * `examples/quickstart.rs` — build the Figure 4 testbed, discover it,
-//!   map the VPN goal to module paths, configure the chosen one and verify
-//!   customer traffic flows.
+//!   declare the VPN goal (`submit`), inspect the dry-run `Plan`, and let
+//!   `reconcile()` configure it transactionally; verify traffic flows.
+//! * `examples/goals.rs` — two concurrent goals on the dual-customer chain:
+//!   shared core modules, disjoint pipe-id blocks, reference-counted
+//!   withdraw leaving the surviving goal intact.
 //! * `examples/debugging.rs` — the closed loop: inject a fault, let the
 //!   [`diagnose::Diagnoser`] localise it from counter deltas along the
 //!   configured path, and let the [`diagnose::Healer`] reconfigure an

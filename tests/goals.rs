@@ -1,0 +1,252 @@
+//! Integration tests for the declarative multi-goal API: GoalStore → Plan →
+//! Transaction with reconciliation.
+//!
+//! The acceptance scenarios of the API redesign: two concurrent goals
+//! sharing core modules both configure through `reconcile()`; withdrawing
+//! one leaves the other carrying traffic; a mid-commit device crash rolls
+//! back cleanly leaving no partially-configured modules; and `reconcile()`
+//! is idempotent on a converged network.
+
+use conman::core::nm::GoalStatus;
+use conman::core::runtime::{ReconcileAction, TxnEvent};
+use conman::modules::{managed_chain, managed_dual_chain};
+
+#[test]
+fn two_concurrent_goals_share_core_modules_and_withdraw_is_isolated() {
+    let mut t = managed_dual_chain(3);
+    t.discover();
+    let g1 = t.mn.submit(t.vpn_goal());
+    let g2 = t.mn.submit(t.vpn_goal2());
+
+    // Dry-run planning before anything is applied: no module is shared yet.
+    let plan = t.mn.plan_goal(g2).expect("a path exists");
+    assert!(plan.modules_reused.is_empty());
+    assert!(!plan.modules_created.is_empty());
+    // Planning sent nothing: both goals are still pending.
+    assert_eq!(t.mn.goals.status(g1), Some(GoalStatus::Pending));
+    assert_eq!(t.mn.goals.status(g2), Some(GoalStatus::Pending));
+
+    // One reconcile pass configures both goals transactionally.
+    let report = t.mn.reconcile();
+    assert!(report.converged(), "both goals active: {report:#?}");
+    assert_eq!(report.transactions, 2);
+    assert!(t.probe(), "customer 1 traffic flows");
+    assert!(t.probe2(), "customer 2 traffic flows");
+
+    // The goals share module instances (the ISP core at minimum): the
+    // store's reference counts see modules used by both.
+    let users = t.mn.goals.module_users();
+    let shared: Vec<_> = users.iter().filter(|(_, g)| g.len() == 2).collect();
+    assert!(
+        !shared.is_empty(),
+        "concurrent goals must share core modules: {users:#?}"
+    );
+    // A fresh dry-run for goal 2's path now reports the sharing.
+    let plan = t.mn.plan_goal(g2).expect("a path exists");
+    assert!(!plan.modules_reused.is_empty());
+
+    // Withdrawing goal 1 deletes only its own components: modules used by
+    // goal 2 are not released, and goal 2 still carries traffic end to end.
+    let w = t.mn.withdraw(g1);
+    assert!(w.removed);
+    assert!(w.teardown_primitives > 0);
+    for released in &w.released {
+        assert_eq!(
+            t.mn.goals.module_refcount(released),
+            0,
+            "released modules have no surviving users"
+        );
+    }
+    assert!(t.probe2(), "goal 2 survives goal 1's withdraw");
+    assert!(!t.probe(), "goal 1's VPN is gone after withdraw");
+    assert_eq!(t.mn.goals.len(), 1);
+}
+
+#[test]
+fn mid_commit_device_crash_rolls_back_cleanly_and_reconcile_retries() {
+    let mut t = managed_chain(3);
+    t.discover();
+    let id = t.mn.submit(t.vpn_goal());
+
+    // Crash the middle router after staging, right before its commit.
+    let b = t.core[1];
+    t.mn.txn_hook = Some(Box::new(move |event, net| {
+        if let TxnEvent::BeforeCommit { device, .. } = event {
+            if *device == b {
+                net.set_device_up(b, false);
+            }
+        }
+    }));
+    let report = t.mn.reconcile();
+    let outcome = report.outcome(id).expect("goal reconciled");
+    assert_eq!(outcome.action, ReconcileAction::ExecuteFailed);
+    assert_eq!(t.mn.goals.status(id), Some(GoalStatus::Pending));
+    assert!(!t.probe(), "the goal is not configured");
+    t.mn.txn_hook = None;
+
+    // No partially-configured modules anywhere that answers: every commit
+    // that landed was rolled back, every staged script aborted.
+    for d in [t.core[0], t.core[2]] {
+        let actual = t.mn.show_actual(d).expect("device answers");
+        for (name, module) in actual {
+            assert!(
+                module.pipes.is_empty(),
+                "{name} kept pipes after rollback: {:?}",
+                module.pipes
+            );
+            assert!(
+                module.switch_rules.is_empty(),
+                "{name} kept switch rules after rollback: {:?}",
+                module.switch_rules
+            );
+        }
+    }
+
+    // The crashed router reboots; the goal is still desired, so the next
+    // reconcile converges it.
+    t.mn.net.set_device_up(b, true);
+    let report = t.mn.reconcile();
+    assert!(report.converged(), "{report:#?}");
+    assert!(t.probe(), "traffic flows after the retry");
+}
+
+#[test]
+fn reconcile_is_idempotent_on_a_converged_network() {
+    let mut t = managed_dual_chain(3);
+    t.discover();
+    t.mn.submit(t.vpn_goal());
+    t.mn.submit(t.vpn_goal2());
+    let first = t.mn.reconcile();
+    assert!(first.converged());
+    assert_eq!(first.transactions, 2);
+
+    // A second pass has nothing to do: no transactions, no new messages.
+    t.mn.reset_counters();
+    let second = t.mn.reconcile();
+    assert!(second.converged());
+    assert_eq!(second.transactions, 0);
+    let counters = t.mn.nm_counters();
+    assert!(
+        counters.sent_by_category.is_empty(),
+        "a converged reconcile sends nothing: {counters:?}"
+    );
+    assert!(t.probe() && t.probe2());
+}
+
+#[test]
+fn reconcile_with_probes_verifies_and_repairs_degraded_goals() {
+    let mut t = managed_dual_chain(3);
+    t.discover();
+    let g1 = t.mn.submit(t.vpn_goal());
+    let g2 = t.mn.submit(t.vpn_goal2());
+    let mut p1 = t.probe_fn();
+    let mut p2 = t.probe2_fn();
+    let report = t.mn.reconcile_with(|mn, id| {
+        if id == g1 {
+            Some(p1(mn))
+        } else if id == g2 {
+            Some(p2(mn))
+        } else {
+            None
+        }
+    });
+    assert!(report.converged(), "{report:#?}");
+
+    // Wipe the middle router's data-plane state behind the NM's back: the
+    // goals look Active but their probes fail, so a verifying reconcile
+    // degrades and re-applies them in the same pass.
+    conman::netsim::fault::apply_fault(
+        &mut t.mn.net,
+        conman::netsim::fault::FaultKind::Misconfigure(
+            conman::netsim::fault::Misconfiguration::ClearMplsState { device: t.core[1] },
+        ),
+    );
+    let mut p1 = t.probe_fn();
+    let mut p2 = t.probe2_fn();
+    let report = t.mn.reconcile_with(|mn, id| {
+        if id == g1 {
+            Some(p1(mn))
+        } else if id == g2 {
+            Some(p2(mn))
+        } else {
+            None
+        }
+    });
+    assert!(report.transactions > 0, "repair work happened");
+    assert!(report.converged(), "{report:#?}");
+    assert!(t.probe() && t.probe2());
+}
+
+#[test]
+fn per_goal_probe_attribution_separates_concurrent_goals() {
+    let mut t = managed_dual_chain(3);
+    t.discover();
+    let g1 = t.mn.submit(t.vpn_goal());
+    let g2 = t.mn.submit(t.vpn_goal2());
+    let mut p1 = t.probe_fn();
+    let mut p2 = t.probe2_fn();
+    let report = t.mn.reconcile_with(|mn, id| {
+        if id == g1 {
+            Some(p1(mn))
+        } else if id == g2 {
+            Some(p2(mn))
+        } else {
+            None
+        }
+    });
+    assert!(report.converged());
+
+    // The verification probes ran inside per-goal flow windows: the middle
+    // router's tallies are attributed to each owning goal separately.
+    let b = t.core[1];
+    let f1 = t.mn.net.flow_counters(b, g1.0);
+    let f2 = t.mn.net.flow_counters(b, g2.0);
+    assert!(f1.forwarded > 0, "goal 1's probe crossed the core: {f1:?}");
+    assert!(f2.forwarded > 0, "goal 2's probe crossed the core: {f2:?}");
+    // And the source hosts only appear in their own goal's flow.
+    assert!(t.mn.net.flow_counters(t.host1, g1.0).originated > 0);
+    assert!(t.mn.net.flow_counters(t.host1, g2.0).is_empty());
+    let (host3, _) = t.second_pair.unwrap();
+    assert!(t.mn.net.flow_counters(host3, g2.0).originated > 0);
+    assert!(t.mn.net.flow_counters(host3, g1.0).is_empty());
+}
+
+#[test]
+fn goal_lifecycle_plan_failure_update_and_retry() {
+    let mut t = managed_chain(3);
+    t.discover();
+    let id = t.mn.submit(t.vpn_goal());
+
+    // Exclude every module of the (unavoidable) middle router: planning
+    // must fail and the goal parks as Failed.
+    let excluded: std::collections::BTreeSet<_> = t.mn.nm.abstractions[&t.core[1]]
+        .iter()
+        .map(|a| a.name.clone())
+        .collect();
+    t.mn.goals.mark_degraded(id, excluded);
+    let report = t.mn.reconcile();
+    let outcome = report.outcome(id).unwrap();
+    assert_eq!(outcome.action, ReconcileAction::PlanFailed);
+    assert_eq!(t.mn.goals.status(id), Some(GoalStatus::Failed));
+    // Failed goals are left alone by later passes.
+    let report = t.mn.reconcile();
+    assert_eq!(report.transactions, 0);
+
+    // Clearing the exclusions and retrying converges the goal.
+    t.mn.goals.get_mut(id).unwrap().excluded.clear();
+    assert!(t.mn.goals.retry(id));
+    let report = t.mn.reconcile();
+    assert!(report.converged());
+    assert!(t.probe());
+
+    // An update returns the goal to Pending and the next reconcile
+    // re-applies it (teardown + fresh transaction).
+    let goal = t.vpn_goal();
+    assert!(t.mn.update_goal(id, goal));
+    assert_eq!(t.mn.goals.status(id), Some(GoalStatus::Pending));
+    let report = t.mn.reconcile();
+    let outcome = report.outcome(id).unwrap();
+    assert_eq!(outcome.action, ReconcileAction::Reapplied);
+    assert!(report.converged());
+    assert!(t.probe());
+}
