@@ -1,8 +1,10 @@
 //! Benchmark: multi-goal reconciliation — submit `goals` concurrent VPN
 //! goals on the 10-router chain and reconcile them in one pass.  Tracks the
-//! goal-count scaling trajectory (1 / 8 / 64 goals).
+//! goal-count scaling trajectory (1 / 8 / 64 / 256 / 512 goals batched,
+//! with the per-goal-transaction baseline at the shared 1 / 8 / 64 points
+//! so the batching win stays a measured artefact).
 
-use conman_bench::{goals::assert_converged, multi_goal_run};
+use conman_bench::{goals::assert_converged, multi_goal_run_mode, ReconcileMode};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -12,13 +14,26 @@ fn bench_goals(c: &mut Criterion) {
         .sample_size(10)
         .measurement_time(Duration::from_secs(2));
 
-    for goals in [1usize, 8, 64] {
+    for goals in [1usize, 8, 64, 256, 512] {
         group.bench_with_input(
-            BenchmarkId::new("reconcile_chain10", goals),
+            BenchmarkId::new("reconcile_chain10_batched", goals),
             &goals,
             |b, &goals| {
                 b.iter(|| {
-                    let report = multi_goal_run(10, goals);
+                    let report = multi_goal_run_mode(10, goals, ReconcileMode::Batched);
+                    assert_converged(&report);
+                    report.reconcile_wall_us
+                })
+            },
+        );
+    }
+    for goals in [1usize, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("reconcile_chain10_per_goal", goals),
+            &goals,
+            |b, &goals| {
+                b.iter(|| {
+                    let report = multi_goal_run_mode(10, goals, ReconcileMode::PerGoal);
                     assert_converged(&report);
                     report.reconcile_wall_us
                 })

@@ -8,7 +8,8 @@
 
 use conman_bench::{
     closed_loop_run, configure_and_count, configure_vlan_and_count, discovered_chain,
-    discovered_vlan_chain, multi_goal_run, path_labelled, DiagnosisScenario,
+    discovered_vlan_chain, multi_goal_run_mode, path_labelled, DiagnosisScenario, MultiGoalReport,
+    ReconcileMode,
 };
 use conman_core::ids::ModuleKind;
 use legacy_config::{
@@ -295,24 +296,100 @@ fn goals() {
         "Multi-goal reconciliation — goal-count scaling on the 10-router chain (beyond the paper)",
     );
     println!("Each goal is a VPN for a distinct pair of site classes between the same edge");
-    println!("interfaces; reconcile() plans every goal, executes a two-phase transaction per");
-    println!("goal in a disjoint pipe-id block, and shares the ISP core module instances.\n");
+    println!("interfaces.  The batched pass plans every goal in a disjoint pipe-id block and");
+    println!("stages/commits each device once per pass; the per-goal baseline runs one");
+    println!("two-phase transaction per goal (the pre-batching executor).\n");
     println!(
-        "{:>6} {:>8} {:>12} {:>14} {:>12} {:>12} {:>14}",
-        "goals", "active", "txns", "reconcile", "NM sent", "NM recv", "shared mods"
+        "{:>9} {:>6} {:>8} {:>6} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "mode", "goals", "active", "txns", "reconcile", "NM sent", "NM recv", "msg/goal", "µs/goal"
     );
-    for goals in [1usize, 8, 64] {
-        let r = multi_goal_run(10, goals);
+    let mut rows: Vec<MultiGoalReport> = Vec::new();
+    let print_row = |r: &MultiGoalReport| {
         println!(
-            "{:>6} {:>8} {:>12} {:>11} µs {:>12} {:>12} {:>14}",
+            "{:>9} {:>6} {:>8} {:>6} {:>9} µs {:>12} {:>12} {:>10.1} {:>10.1}",
+            r.mode.label(),
             r.goals,
             r.active,
             r.transactions,
             r.reconcile_wall_us,
             r.nm_sent,
             r.nm_received,
-            r.shared_modules
+            r.messages_per_goal(),
+            r.wall_us_per_goal()
         );
+    };
+    for goals in [1usize, 8, 64, 256, 512] {
+        let r = multi_goal_run_mode(10, goals, ReconcileMode::Batched);
+        assert_eq!(
+            r.active, r.goals,
+            "every goal must converge in the batched pass"
+        );
+        print_row(&r);
+        rows.push(r);
+    }
+    for goals in [1usize, 8, 64] {
+        let r = multi_goal_run_mode(10, goals, ReconcileMode::PerGoal);
+        // The baseline must converge too, or the message ratio below would
+        // be computed against a partially failed (cheaper) baseline.
+        assert_eq!(
+            r.active, r.goals,
+            "every goal must converge in the per-goal baseline"
+        );
+        print_row(&r);
+        rows.push(r);
+    }
+    // The headline ratio the acceptance criteria track: at 64 goals the
+    // batched pass must send at most 25% of the baseline's NM messages.
+    let batched64 = rows
+        .iter()
+        .find(|r| r.mode == ReconcileMode::Batched && r.goals == 64)
+        .expect("batched 64-goal row");
+    let per_goal64 = rows
+        .iter()
+        .find(|r| r.mode == ReconcileMode::PerGoal && r.goals == 64)
+        .expect("per-goal 64-goal row");
+    let ratio = batched64.nm_sent as f64 / per_goal64.nm_sent as f64;
+    println!(
+        "\nNM sends at 64 goals: batched {} vs per-goal baseline {} ({:.1}% of baseline)",
+        batched64.nm_sent,
+        per_goal64.nm_sent,
+        100.0 * ratio
+    );
+    assert!(
+        ratio <= 0.25,
+        "batched reconcile must send <= 25% of the per-goal baseline's messages"
+    );
+
+    // Machine-readable artefact so CI tracks the perf trajectory across PRs.
+    let series: Vec<serde_json::Value> = rows
+        .iter()
+        .map(|r| {
+            serde_json::json!({
+                "mode": r.mode.label(),
+                "goals": r.goals,
+                "active": r.active,
+                "transactions": r.transactions,
+                "wall_us": r.reconcile_wall_us as u64,
+                "nm_sent": r.nm_sent,
+                "nm_received": r.nm_received,
+                "shared_modules": r.shared_modules,
+                "messages_per_goal": r.messages_per_goal(),
+                "wall_us_per_goal": r.wall_us_per_goal(),
+            })
+        })
+        .collect();
+    let artefact = serde_json::json!({
+        "bench": "goals",
+        "chain_routers": 10,
+        "series": series,
+    });
+    let path = "BENCH_goals.json";
+    match std::fs::write(
+        path,
+        serde_json::to_string(&artefact).expect("artefact serializes"),
+    ) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => println!("could not write {path}: {e}"),
     }
 }
 

@@ -4,15 +4,41 @@
 //! Each synthetic goal is a VPN between the same customer-facing interfaces
 //! for a distinct pair of site classes (`C<k>-S1` = `10.<k>.1.0/24`,
 //! `C<k>-S2` = `10.<k>.2.0/24`), so every goal plans its own path, executes
-//! its own two-phase transaction in a disjoint pipe-id block, and shares
-//! the ISP core module instances with every other goal — the goal-count
-//! axis the ROADMAP's scaling trajectory tracks.
+//! in a disjoint pipe-id block, and shares the ISP core module instances
+//! with every other goal — the goal-count axis the ROADMAP's scaling
+//! trajectory tracks.
+//!
+//! Two reconcile executors are measured: the **batched** pass (one staged +
+//! one committed round-trip per device per pass, relays coalesced) and the
+//! pre-batching **per-goal** baseline (one full two-phase transaction per
+//! goal).  Messages-per-goal and wall-time-per-goal are the headline
+//! numbers; `BENCH_goals.json` tracks them across PRs.
 
 use crate::diagnosis::chain_limits;
 use conman_core::nm::{ConnectivityGoal, GoalId};
 use conman_modules::{managed_chain, ManagedChain};
 use mgmt_channel::{ManagementChannel, OutOfBandChannel};
 use std::time::Instant;
+
+/// Which reconcile executor a run measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconcileMode {
+    /// One batched transaction per pass (`reconcile`).
+    Batched,
+    /// One two-phase transaction per goal (`reconcile_per_goal`) — the
+    /// pre-batching baseline.
+    PerGoal,
+}
+
+impl ReconcileMode {
+    /// Short label for artefact output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReconcileMode::Batched => "batched",
+            ReconcileMode::PerGoal => "per-goal",
+        }
+    }
+}
 
 /// What one multi-goal run measured.
 #[derive(Debug, Clone)]
@@ -21,18 +47,35 @@ pub struct MultiGoalReport {
     pub n: usize,
     /// Goals submitted.
     pub goals: usize,
+    /// Which executor ran the pass.
+    pub mode: ReconcileMode,
     /// Goals `Active` after the reconcile pass.
     pub active: usize,
-    /// Transactions the pass executed (one per goal on a fresh network).
+    /// Transactions the pass executed (one per goal for the per-goal
+    /// baseline; one batch for the batched pass on a fresh network).
     pub transactions: usize,
-    /// Wall-clock for the single `reconcile()` call, microseconds.
+    /// Wall-clock for the single reconcile call, microseconds.
     pub reconcile_wall_us: u128,
-    /// NM management messages sent during reconciliation.
+    /// NM management messages sent during reconciliation (from the pass's
+    /// [`ReconcileReport`](conman_core::runtime::ReconcileReport) counters).
     pub nm_sent: u64,
     /// NM management messages received during reconciliation.
     pub nm_received: u64,
     /// Module instances shared by at least two goals afterwards.
     pub shared_modules: usize,
+}
+
+impl MultiGoalReport {
+    /// NM messages sent per goal — the scaling currency of the management
+    /// plane.
+    pub fn messages_per_goal(&self) -> f64 {
+        self.nm_sent as f64 / self.goals.max(1) as f64
+    }
+
+    /// Reconcile wall-clock per goal, microseconds.
+    pub fn wall_us_per_goal(&self) -> f64 {
+        self.reconcile_wall_us as f64 / self.goals.max(1) as f64
+    }
 }
 
 /// The `k`-th synthetic goal on a chain testbed.
@@ -51,9 +94,15 @@ pub fn synthetic_goal<C: ManagementChannel>(t: &ManagedChain<C>, k: usize) -> Co
 }
 
 /// Submit `goals` concurrent goals on an `n`-router chain and reconcile
-/// them in one pass, measuring the pass.
+/// them in one batched pass, measuring the pass.
 pub fn multi_goal_run(n: usize, goals: usize) -> MultiGoalReport {
-    assert!((1..=200).contains(&goals), "goal count out of range");
+    multi_goal_run_mode(n, goals, ReconcileMode::Batched)
+}
+
+/// Submit `goals` concurrent goals on an `n`-router chain and reconcile
+/// them in one pass with the chosen executor, measuring the pass.
+pub fn multi_goal_run_mode(n: usize, goals: usize, mode: ReconcileMode) -> MultiGoalReport {
+    assert!((1..=512).contains(&goals), "goal count out of range");
     let mut t: ManagedChain<OutOfBandChannel> = managed_chain(n);
     t.discover();
     t.mn.goals.limits = chain_limits(n);
@@ -62,9 +111,11 @@ pub fn multi_goal_run(n: usize, goals: usize) -> MultiGoalReport {
         .collect();
     t.mn.reset_counters();
     let start = Instant::now();
-    let report = t.mn.reconcile();
+    let report = match mode {
+        ReconcileMode::Batched => t.mn.reconcile(),
+        ReconcileMode::PerGoal => t.mn.reconcile_per_goal(),
+    };
     let reconcile_wall_us = start.elapsed().as_micros();
-    let counters = t.mn.nm_counters();
     let shared_modules =
         t.mn.goals
             .module_users()
@@ -75,11 +126,12 @@ pub fn multi_goal_run(n: usize, goals: usize) -> MultiGoalReport {
     MultiGoalReport {
         n,
         goals,
+        mode,
         active: report.active(),
         transactions: report.transactions,
         reconcile_wall_us,
-        nm_sent: counters.sent_by_category.values().sum(),
-        nm_received: counters.received_by_category.values().sum(),
+        nm_sent: report.nm_sent,
+        nm_received: report.nm_received,
         shared_modules,
     }
 }
@@ -100,8 +152,30 @@ mod tests {
     fn eight_goals_converge_on_a_short_chain() {
         let report = multi_goal_run(3, 8);
         assert_converged(&report);
-        assert_eq!(report.transactions, 8);
+        // The whole fresh pass is one batched transaction.
+        assert_eq!(report.transactions, 1);
         assert!(report.shared_modules > 0, "goals share the core modules");
+    }
+
+    #[test]
+    fn per_goal_baseline_still_converges_with_one_txn_per_goal() {
+        let report = multi_goal_run_mode(3, 8, ReconcileMode::PerGoal);
+        assert_converged(&report);
+        assert_eq!(report.transactions, 8);
+    }
+
+    #[test]
+    fn batched_pass_sends_fewer_messages_than_per_goal_baseline() {
+        let batched = multi_goal_run(3, 8);
+        let per_goal = multi_goal_run_mode(3, 8, ReconcileMode::PerGoal);
+        assert_converged(&batched);
+        assert_converged(&per_goal);
+        assert!(
+            batched.nm_sent < per_goal.nm_sent,
+            "batching must cut NM sends: batched {} vs per-goal {}",
+            batched.nm_sent,
+            per_goal.nm_sent
+        );
     }
 
     #[test]
@@ -114,6 +188,8 @@ mod tests {
         }
         let report = t.mn.reconcile();
         assert_eq!(report.active(), 4);
-        assert_eq!(t.mn.reconcile().transactions, 0);
+        let second = t.mn.reconcile();
+        assert_eq!(second.transactions, 0);
+        assert_eq!(second.nm_sent, 0, "a converged pass sends nothing");
     }
 }

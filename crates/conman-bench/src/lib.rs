@@ -8,7 +8,9 @@ pub mod diagnosis;
 pub mod goals;
 
 pub use diagnosis::{closed_loop_run, ClosedLoopReport, DiagnosisScenario};
-pub use goals::{multi_goal_run, synthetic_goal, MultiGoalReport};
+pub use goals::{
+    multi_goal_run, multi_goal_run_mode, synthetic_goal, MultiGoalReport, ReconcileMode,
+};
 
 use conman_core::nm::ModulePath;
 use conman_core::runtime::ManagedNetwork;

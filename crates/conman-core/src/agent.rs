@@ -8,7 +8,10 @@
 
 use crate::ids::{ModuleId, ModuleRef};
 use crate::module::{ModuleCtx, ModuleReaction, ProtocolModule};
-use crate::primitives::{Announcement, ModuleActual, Primitive, PrimitiveResult, WireMessage};
+use crate::primitives::{
+    Announcement, ModuleActual, Primitive, PrimitiveResult, SegmentCommit, SegmentVerdict,
+    WireMessage,
+};
 use netsim::device::{Device, DeviceId, PortId};
 use std::collections::BTreeMap;
 
@@ -29,6 +32,9 @@ pub struct ManagementAgent {
     /// Primitives staged under a transaction id, validated but not yet
     /// applied to the data plane (two-phase configuration).
     staged: BTreeMap<u64, Vec<Primitive>>,
+    /// Per-goal segments staged under a batched transaction id, keyed by
+    /// (txn, goal) so each goal can be committed or aborted independently.
+    staged_batches: BTreeMap<u64, BTreeMap<u64, Vec<Primitive>>>,
 }
 
 impl ManagementAgent {
@@ -40,12 +46,18 @@ impl ManagementAgent {
             modules: BTreeMap::new(),
             blackboard: BTreeMap::new(),
             staged: BTreeMap::new(),
+            staged_batches: BTreeMap::new(),
         }
     }
 
     /// Number of transactions currently staged and awaiting commit/abort.
     pub fn staged_count(&self) -> usize {
         self.staged.len()
+    }
+
+    /// Number of goal segments held by staged batched transactions.
+    pub fn staged_segment_count(&self) -> usize {
+        self.staged_batches.values().map(|g| g.len()).sum()
     }
 
     /// Validate one primitive against this device's module set without
@@ -163,6 +175,7 @@ impl ManagementAgent {
                 // a newer Stage means any older held entry is dead — its
                 // Abort may have been lost while this device was down.
                 self.staged.retain(|held, _| *held >= *txn);
+                self.staged_batches.retain(|held, _| *held >= *txn);
                 // Phase one: validate everything, hold on success.  Nothing
                 // touches the data plane until the commit arrives.
                 let errors: Vec<String> = primitives
@@ -200,6 +213,102 @@ impl ManagementAgent {
             }
             WireMessage::Abort { txn } => {
                 self.staged.remove(txn);
+                self.staged_batches.remove(txn);
+            }
+            WireMessage::StageBatch { txn, segments } => {
+                // Same staleness rule as `Stage`: a newer transaction makes
+                // older held entries dead.
+                self.staged.retain(|held, _| *held >= *txn);
+                self.staged_batches.retain(|held, _| *held >= *txn);
+                // Validate each goal's segment independently; hold the valid
+                // ones.  Nothing touches the data plane until the commit.
+                let mut verdicts = Vec::with_capacity(segments.len());
+                let mut held = BTreeMap::new();
+                for seg in segments {
+                    let errors: Vec<String> = seg
+                        .primitives
+                        .iter()
+                        .filter_map(|p| self.validate_primitive(p))
+                        .collect();
+                    if errors.is_empty() {
+                        held.insert(seg.goal, seg.primitives.clone());
+                    }
+                    verdicts.push(SegmentVerdict {
+                        goal: seg.goal,
+                        errors,
+                    });
+                }
+                self.staged_batches.insert(*txn, held);
+                out.push(WireMessage::StageBatchResult {
+                    txn: *txn,
+                    verdicts,
+                });
+            }
+            WireMessage::CommitBatch { txn, goals } => {
+                // Execute the listed segments in order, then run one shared
+                // quiescence pass for the whole device — this is where the
+                // batching win comes from: every goal's deferred work (peer
+                // exchanges, pending switch rules) resolves in one round.
+                let mut held = self.staged_batches.remove(txn).unwrap_or_default();
+                let mut segments = Vec::with_capacity(goals.len());
+                let mut reaction = ModuleReaction::none();
+                for goal in goals {
+                    match held.remove(goal) {
+                        Some(primitives) => {
+                            let mut results = Vec::with_capacity(primitives.len());
+                            for p in &primitives {
+                                let (res, r) = self.run_primitive(device, p);
+                                results.push(res);
+                                reaction.extend(r);
+                            }
+                            segments.push(SegmentCommit {
+                                goal: *goal,
+                                results,
+                            });
+                        }
+                        None => segments.push(SegmentCommit {
+                            goal: *goal,
+                            results: vec![Err(format!(
+                                "goal {goal} was never staged under transaction {txn}"
+                            ))],
+                        }),
+                    }
+                }
+                reaction.extend(self.poll_until_quiescent(device));
+                out.push(WireMessage::CommitBatchResult {
+                    txn: *txn,
+                    segments,
+                });
+                Self::push_reaction(&mut out, reaction);
+            }
+            WireMessage::AbortBatch { txn, goals } => {
+                if let Some(held) = self.staged_batches.get_mut(txn) {
+                    for goal in goals {
+                        held.remove(goal);
+                    }
+                    if held.is_empty() {
+                        self.staged_batches.remove(txn);
+                    }
+                }
+            }
+            WireMessage::RelayBatch { envelopes } => {
+                let mut reaction = ModuleReaction::none();
+                for env in envelopes {
+                    if let Some(module) = self.modules.get_mut(&env.to.module) {
+                        let mut ctx = Self::ctx(&mut self.blackboard, self.device, device);
+                        match module.handle_envelope(&mut ctx, env) {
+                            Ok(r) => reaction.extend(r),
+                            Err(e) => {
+                                out.push(WireMessage::Notify(crate::primitives::Notification {
+                                    from: env.to.clone(),
+                                    body: serde_json::json!({"error": e.to_string()}),
+                                }));
+                            }
+                        }
+                    }
+                }
+                reaction.extend(self.poll_until_quiescent(device));
+                Self::push_reaction(&mut out, reaction);
             }
             // Announcements, notifications, script results, counter reports
             // and transaction verdicts are NM-bound; an agent receiving one
@@ -209,7 +318,9 @@ impl ManagementAgent {
             | WireMessage::ScriptResult { .. }
             | WireMessage::CounterReport { .. }
             | WireMessage::StageResult { .. }
-            | WireMessage::CommitResult { .. } => {}
+            | WireMessage::CommitResult { .. }
+            | WireMessage::StageBatchResult { .. }
+            | WireMessage::CommitBatchResult { .. } => {}
         }
         out
     }
@@ -346,18 +457,34 @@ impl ManagementAgent {
         (result, reaction)
     }
 
+    /// A cheap content fingerprint of the blackboard, used to detect that a
+    /// poll round published new values without cloning the whole map (the
+    /// blackboard holds an entry per pipe attribute, so a clone per round
+    /// is O(goals) allocations on busy devices).
+    fn blackboard_fingerprint(&self) -> u64 {
+        use std::hash::{DefaultHasher, Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.blackboard.len().hash(&mut h);
+        for (k, v) in &self.blackboard {
+            k.hash(&mut h);
+            v.hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Poll every module until none of them produces further output.
     pub fn poll_until_quiescent(&mut self, device: &mut Device) -> ModuleReaction {
         let mut total = ModuleReaction::none();
+        let mut before = self.blackboard_fingerprint();
         for _ in 0..MAX_POLL_ROUNDS {
             let mut round = ModuleReaction::none();
-            let mut blackboard_before = self.blackboard.clone();
             for module in self.modules.values_mut() {
                 let mut ctx = Self::ctx(&mut self.blackboard, self.device, device);
                 round.extend(module.poll(&mut ctx));
             }
-            let changed = blackboard_before != self.blackboard;
-            blackboard_before.clear();
+            let after = self.blackboard_fingerprint();
+            let changed = after != before;
+            before = after;
             if round.is_empty() && !changed {
                 break;
             }
@@ -569,6 +696,92 @@ mod tests {
             WireMessage::CommitResult { results, .. } => assert!(results[0].is_err()),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn stage_batch_validates_per_segment_and_commit_batch_applies_per_goal() {
+        use crate::primitives::ScriptSegment;
+        let (mut device, mut agent, upper, lower) = setup();
+        let pipe_spec = |pipe: u32, lower: ModuleRef| PipeSpec {
+            pipe: PipeId(pipe),
+            upper: upper.clone(),
+            lower,
+            peer_upper: None,
+            peer_lower: None,
+            tradeoffs: vec![],
+            initiate: false,
+            resolved: BTreeMap::new(),
+        };
+        let bogus = ModuleRef::new(ModuleKind::Gre, ModuleId(99), device.id);
+        let stage = WireMessage::StageBatch {
+            txn: 11,
+            segments: vec![
+                ScriptSegment {
+                    goal: 1,
+                    primitives: vec![Primitive::CreatePipe(pipe_spec(10, lower.clone()))],
+                },
+                ScriptSegment {
+                    goal: 2,
+                    primitives: vec![Primitive::CreatePipe(pipe_spec(20, bogus))],
+                },
+                ScriptSegment {
+                    goal: 3,
+                    primitives: vec![Primitive::CreatePipe(pipe_spec(30, lower.clone()))],
+                },
+            ],
+        };
+        let out = agent.handle(&mut device, &stage);
+        match &out[0] {
+            WireMessage::StageBatchResult { txn: 11, verdicts } => {
+                assert_eq!(verdicts.len(), 3);
+                assert!(verdicts[0].errors.is_empty());
+                assert_eq!(
+                    verdicts[1].errors.len(),
+                    1,
+                    "goal 2 references a bogus module"
+                );
+                assert!(verdicts[2].errors.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Only the valid segments are held; nothing touched the data plane.
+        assert_eq!(agent.staged_segment_count(), 2);
+        assert!(!agent.blackboard().contains_key("pipe.10.seen-by"));
+
+        // Abort goal 3 (it failed staging elsewhere), commit the rest.
+        agent.handle(
+            &mut device,
+            &WireMessage::AbortBatch {
+                txn: 11,
+                goals: vec![3],
+            },
+        );
+        assert_eq!(agent.staged_segment_count(), 1);
+        let out = agent.handle(
+            &mut device,
+            &WireMessage::CommitBatch {
+                txn: 11,
+                goals: vec![1, 3],
+            },
+        );
+        match &out[0] {
+            WireMessage::CommitBatchResult { txn: 11, segments } => {
+                assert_eq!(segments.len(), 2);
+                assert_eq!(segments[0].goal, 1);
+                assert!(matches!(
+                    segments[0].results[0],
+                    Ok(PrimitiveResult::PipeCreated(PipeId(10)))
+                ));
+                // Goal 3's segment was aborted: its commit reports an error
+                // instead of silently succeeding.
+                assert_eq!(segments[1].goal, 3);
+                assert!(segments[1].results[0].is_err());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(agent.blackboard().contains_key("pipe.10.seen-by"));
+        assert!(!agent.blackboard().contains_key("pipe.30.seen-by"));
+        assert_eq!(agent.staged_segment_count(), 0);
     }
 
     #[test]

@@ -106,11 +106,21 @@ pub struct GoalRecord {
     /// Lifecycle status.
     pub status: GoalStatus,
     /// What is currently configured for this goal (None when nothing is).
-    pub applied: Option<AppliedPlan>,
+    /// Private so every mutation goes through [`GoalStore::set_applied`] /
+    /// [`GoalStore::take_applied`] and the incremental module-usage index
+    /// cannot silently go stale; read via [`GoalRecord::applied`].
+    applied: Option<AppliedPlan>,
     /// Modules the planner must avoid for this goal (diagnosed suspects).
     pub excluded: BTreeSet<ModuleRef>,
     /// Last planning/execution error, for the manager's eyes.
     pub last_error: Option<String>,
+}
+
+impl GoalRecord {
+    /// What is currently configured for this goal (None when nothing is).
+    pub fn applied(&self) -> Option<&AppliedPlan> {
+        self.applied.as_ref()
+    }
 }
 
 /// A pure dry-run planning artifact: what executing the goal *would* do.
@@ -142,6 +152,17 @@ pub enum PlanError {
     UnknownGoal(GoalId),
     /// No module-level path satisfies the goal (after exclusions).
     NoPath,
+    /// The pipe-id allocator cannot hand out a disjoint block of the
+    /// required size without exceeding [`GoalStore::MAX_PIPE_ID`] — beyond
+    /// it the identifier spaces *derived* from pipe ids (per-(pipe, role)
+    /// route-table and policy-priority ids) would wrap or collide.  The
+    /// plan is refused cleanly instead of corrupting live goals.
+    PipeSpaceExhausted {
+        /// Pipe-id slots the plan needs.
+        needed: u32,
+        /// Slots left below the cap.
+        remaining: u32,
+    },
 }
 
 impl fmt::Display for PlanError {
@@ -149,6 +170,11 @@ impl fmt::Display for PlanError {
         match self {
             PlanError::UnknownGoal(id) => write!(f, "unknown goal {id}"),
             PlanError::NoPath => write!(f, "no module path satisfies the goal"),
+            PlanError::PipeSpaceExhausted { needed, remaining } => write!(
+                f,
+                "pipe-id space exhausted: plan needs {needed} slot(s), {remaining} remain \
+                 below the derived-id cap"
+            ),
         }
     }
 }
@@ -163,6 +189,11 @@ pub struct GoalStore {
     next_goal: u64,
     next_txn: u64,
     next_pipe: u32,
+    /// The module → using-goals index, maintained incrementally by
+    /// [`Self::set_applied`] / [`Self::take_applied`] / [`Self::remove`] so
+    /// plan classification and withdraw refcounts are O(path) instead of
+    /// rescanning every applied plan (O(goals²) across a reconcile pass).
+    module_index: BTreeMap<ModuleRef, BTreeSet<GoalId>>,
     /// Path-search limits used when planning (long chains need a larger
     /// step budget and a smaller path budget than the defaults).
     pub limits: PathFinderLimits,
@@ -211,7 +242,55 @@ impl GoalStore {
     /// Remove a goal record (the runtime's `withdraw` tears the applied
     /// configuration down first).  Returns the removed record.
     pub fn remove(&mut self, id: GoalId) -> Option<GoalRecord> {
-        self.goals.remove(&id)
+        let rec = self.goals.remove(&id);
+        if let Some(rec) = &rec {
+            if let Some(applied) = &rec.applied {
+                Self::unindex(&mut self.module_index, id, applied);
+            }
+        }
+        rec
+    }
+
+    /// Replace a goal's applied plan, keeping the module-usage index in
+    /// sync.  Returns the previous applied plan.  This is the **only** way
+    /// applied plans should change (see [`GoalRecord::applied`]).
+    pub fn set_applied(&mut self, id: GoalId, applied: Option<AppliedPlan>) -> Option<AppliedPlan> {
+        let rec = self.goals.get_mut(&id)?;
+        let previous = rec.applied.take();
+        rec.applied = applied;
+        let added = rec.applied.clone();
+        if let Some(prev) = &previous {
+            Self::unindex(&mut self.module_index, id, prev);
+        }
+        if let Some(now) = &added {
+            for step in &now.path.steps {
+                self.module_index
+                    .entry(step.module.clone())
+                    .or_default()
+                    .insert(id);
+            }
+        }
+        previous
+    }
+
+    /// Clear a goal's applied plan (index-maintaining), returning it.
+    pub fn take_applied(&mut self, id: GoalId) -> Option<AppliedPlan> {
+        self.set_applied(id, None)
+    }
+
+    fn unindex(
+        index: &mut BTreeMap<ModuleRef, BTreeSet<GoalId>>,
+        id: GoalId,
+        applied: &AppliedPlan,
+    ) {
+        for step in &applied.path.steps {
+            if let Some(users) = index.get_mut(&step.module) {
+                users.remove(&id);
+                if users.is_empty() {
+                    index.remove(&step.module);
+                }
+            }
+        }
     }
 
     /// A stored goal.
@@ -282,6 +361,29 @@ impl GoalStore {
         self.next_txn
     }
 
+    /// Largest pipe id the NM will ever allocate.  Derived identifier
+    /// schemes are injective in (pipe, role) with role < 4 — route tables
+    /// are `1000 + 4·pipe + role` and policy-rule priorities
+    /// `100 + 4·pipe + role` (see the IP module) — so pipe ids must stay
+    /// below this cap for those u32 spaces not to wrap.
+    pub const MAX_PIPE_ID: u32 = (u32::MAX - 1000) / 4 - 1;
+
+    /// Can a disjoint block of `slots` pipe ids still be allocated without
+    /// crossing [`Self::MAX_PIPE_ID`]?  Planning calls this before handing
+    /// out a block so exhaustion surfaces as a clean
+    /// [`PlanError::PipeSpaceExhausted`] instead of wrapped derived ids
+    /// silently colliding with live goals.
+    pub fn check_pipe_block(&self, slots: u32) -> Result<(), PlanError> {
+        let remaining = Self::MAX_PIPE_ID.saturating_sub(self.next_pipe);
+        if slots > remaining {
+            return Err(PlanError::PipeSpaceExhausted {
+                needed: slots,
+                remaining,
+            });
+        }
+        Ok(())
+    }
+
     /// The pipe-id base the next plan will be numbered from (dry-run
     /// planning peeks; execution consumes via [`Self::take_pipe_block`]).
     pub fn peek_pipe_base(&self) -> u32 {
@@ -301,23 +403,28 @@ impl GoalStore {
         self.next_pipe = self.next_pipe.max(end);
     }
 
+    /// Roll the allocator back to `watermark` if it currently sits above
+    /// it.  The batched reconcile pass allocates one block per planned goal
+    /// up front and then releases the tail blocks of goals whose execution
+    /// failed (mirroring the per-goal executor, which only consumes a block
+    /// on commit) — otherwise a repeatedly failing goal would march the
+    /// allocator toward [`Self::MAX_PIPE_ID`].  Callers must pass a
+    /// watermark at or above every block still in use.
+    pub fn release_pipes_to(&mut self, watermark: u32) {
+        self.next_pipe = self.next_pipe.min(watermark);
+    }
+
     /// Which goals' applied plans traverse each module — the reference
-    /// counts behind shared-module withdraw semantics.
-    pub fn module_users(&self) -> BTreeMap<ModuleRef, BTreeSet<GoalId>> {
-        let mut users: BTreeMap<ModuleRef, BTreeSet<GoalId>> = BTreeMap::new();
-        for rec in self.goals.values() {
-            if let Some(applied) = &rec.applied {
-                for step in &applied.path.steps {
-                    users.entry(step.module.clone()).or_default().insert(rec.id);
-                }
-            }
-        }
-        users
+    /// counts behind shared-module withdraw semantics.  Served from the
+    /// incrementally maintained index (no per-call rescan of applied
+    /// plans).
+    pub fn module_users(&self) -> &BTreeMap<ModuleRef, BTreeSet<GoalId>> {
+        &self.module_index
     }
 
     /// Number of goals whose applied plans traverse `module`.
     pub fn module_refcount(&self, module: &ModuleRef) -> usize {
-        self.module_users().get(module).map_or(0, |s| s.len())
+        self.module_index.get(module).map_or(0, |s| s.len())
     }
 
     /// Split `path`'s modules into (first-use, shared) relative to every
@@ -328,7 +435,6 @@ impl GoalStore {
         id: GoalId,
         path: &ModulePath,
     ) -> (Vec<ModuleRef>, Vec<ModuleRef>) {
-        let users = self.module_users();
         let mut created = Vec::new();
         let mut reused = Vec::new();
         let mut seen = BTreeSet::new();
@@ -336,7 +442,8 @@ impl GoalStore {
             if !seen.insert(step.module.clone()) {
                 continue;
             }
-            let shared = users
+            let shared = self
+                .module_index
                 .get(&step.module)
                 .is_some_and(|goals| goals.iter().any(|g| *g != id));
             if shared {
@@ -409,29 +516,89 @@ mod tests {
     }
 
     #[test]
+    fn pipe_space_exhaustion_is_a_clean_plan_error() {
+        let mut store = GoalStore::new();
+        // A 512-goal pass on a long chain stays far below the cap...
+        store.reserve_pipes_through(512 * 32);
+        assert!(store.check_pipe_block(32).is_ok());
+        // ...but near the derived-id cap the allocator refuses cleanly
+        // instead of letting route-table / priority ids wrap.
+        store.reserve_pipes_through(GoalStore::MAX_PIPE_ID - 5);
+        assert!(store.check_pipe_block(5).is_ok());
+        match store.check_pipe_block(13) {
+            Err(PlanError::PipeSpaceExhausted { needed, remaining }) => {
+                assert_eq!(needed, 13);
+                assert_eq!(remaining, 5);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        // The derived route-table scheme (1000 + 4·pipe + role, role < 4)
+        // cannot wrap below the cap.
+        assert!(1000u64 + 4 * GoalStore::MAX_PIPE_ID as u64 + 3 <= u32::MAX as u64);
+    }
+
+    #[test]
     fn refcounts_follow_applied_plans() {
         let mut store = GoalStore::new();
         let a = store.submit(goal());
         let b = store.submit(goal());
         let shared = path_over(&[(1, 1), (2, 1)]);
         let private = path_over(&[(1, 1), (3, 7)]);
-        store.get_mut(a).unwrap().applied = Some(AppliedPlan {
-            path: shared.clone(),
-            scripts: ScriptSet::default(),
-            pipe_base: 0,
-        });
+        store.set_applied(
+            a,
+            Some(AppliedPlan {
+                path: shared.clone(),
+                scripts: ScriptSet::default(),
+                pipe_base: 0,
+            }),
+        );
         // Before B applies anything, its plan over (1,1)+(3,7) reuses (1,1).
         let (created, reused) = store.classify_modules(b, &private);
         assert_eq!(reused.len(), 1);
         assert_eq!(created.len(), 1);
-        store.get_mut(b).unwrap().applied = Some(AppliedPlan {
-            path: private,
-            scripts: ScriptSet::default(),
-            pipe_base: 10,
-        });
+        store.set_applied(
+            b,
+            Some(AppliedPlan {
+                path: private,
+                scripts: ScriptSet::default(),
+                pipe_base: 10,
+            }),
+        );
         let m = ModuleRef::new(ModuleKind::Ip, ModuleId(1), DeviceId::from_raw(1));
         assert_eq!(store.module_refcount(&m), 2);
-        store.get_mut(a).unwrap().applied = None;
+        store.set_applied(a, None);
         assert_eq!(store.module_refcount(&m), 1);
+    }
+
+    #[test]
+    fn module_index_follows_set_take_and_remove() {
+        let mut store = GoalStore::new();
+        let a = store.submit(goal());
+        let b = store.submit(goal());
+        let path_a = path_over(&[(1, 1), (2, 1)]);
+        let path_b = path_over(&[(2, 1), (3, 1)]);
+        let plan = |path: &ModulePath, base: u32| AppliedPlan {
+            path: path.clone(),
+            scripts: ScriptSet::default(),
+            pipe_base: base,
+        };
+        store.set_applied(a, Some(plan(&path_a, 0)));
+        store.set_applied(b, Some(plan(&path_b, 10)));
+        let shared = ModuleRef::new(ModuleKind::Ip, ModuleId(1), DeviceId::from_raw(2));
+        assert_eq!(store.module_refcount(&shared), 2);
+        // Replacing A's plan with one avoiding the shared module drops A's
+        // reference but keeps B's.
+        let replacement = path_over(&[(1, 1), (4, 1)]);
+        let previous = store.set_applied(a, Some(plan(&replacement, 20)));
+        assert_eq!(previous.unwrap().pipe_base, 0);
+        assert_eq!(store.module_refcount(&shared), 1);
+        // take_applied and remove both release references.
+        assert!(store.take_applied(b).is_some());
+        assert_eq!(store.module_refcount(&shared), 0);
+        store.set_applied(a, Some(plan(&path_a, 30)));
+        assert_eq!(store.module_refcount(&shared), 1);
+        store.remove(a);
+        assert_eq!(store.module_refcount(&shared), 0);
+        assert!(store.module_users().is_empty());
     }
 }

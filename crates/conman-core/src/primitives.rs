@@ -196,6 +196,35 @@ pub struct Announcement {
     pub neighbors: Vec<(PortId, DeviceId, PortId)>,
 }
 
+/// One goal's slice of a batched transaction on one device: the primitives
+/// realising that goal on that device, tagged with the owning goal id so the
+/// agent can validate, commit and roll back each goal independently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScriptSegment {
+    /// The owning goal (`GoalId.0`).
+    pub goal: u64,
+    /// The primitives of this goal's script for this device.
+    pub primitives: Vec<Primitive>,
+}
+
+/// The staging verdict for one segment of a batched transaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentVerdict {
+    /// The owning goal (`GoalId.0`).
+    pub goal: u64,
+    /// Validation failures (empty = the segment is held, ready to commit).
+    pub errors: Vec<String>,
+}
+
+/// The commit results for one segment of a batched transaction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SegmentCommit {
+    /// The owning goal (`GoalId.0`).
+    pub goal: u64,
+    /// One result (or error string) per staged primitive of the segment.
+    pub results: Vec<Result<PrimitiveResult, String>>,
+}
+
 /// Everything that can travel over the management channel.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WireMessage {
@@ -267,6 +296,57 @@ pub enum WireMessage {
     Abort {
         /// Transaction to discard.
         txn: u64,
+    },
+    /// NM → device: phase one of a *batched* two-phase transaction — every
+    /// goal the reconcile pass touches on this device, in one round trip.
+    /// The agent validates each segment independently and holds the valid
+    /// ones; per-goal atomicity is preserved inside the batch.
+    StageBatch {
+        /// Transaction identifier (shared by every device in the batch).
+        txn: u64,
+        /// One segment per goal with work on this device.
+        segments: Vec<ScriptSegment>,
+    },
+    /// Device → NM: one staging verdict per segment of a `StageBatch`.
+    StageBatchResult {
+        /// Transaction this responds to.
+        txn: u64,
+        /// Per-segment verdicts, in segment order.
+        verdicts: Vec<SegmentVerdict>,
+    },
+    /// NM → device: phase two of a batched transaction — execute the listed
+    /// goals' segments staged under `txn` (goals that failed staging on a
+    /// sibling device are simply not listed).
+    CommitBatch {
+        /// Transaction to commit.
+        txn: u64,
+        /// The goals whose segments to execute, in order.
+        goals: Vec<u64>,
+    },
+    /// Device → NM: per-segment results of a committed batch.
+    CommitBatchResult {
+        /// Transaction this responds to.
+        txn: u64,
+        /// One entry per committed segment, in commit order.
+        segments: Vec<SegmentCommit>,
+    },
+    /// NM → device: discard the listed goals' segments staged under `txn`
+    /// (they failed on a sibling device); other segments stay held.  No
+    /// response is expected.
+    AbortBatch {
+        /// The transaction holding the segments.
+        txn: u64,
+        /// The goals whose segments to discard.
+        goals: Vec<u64>,
+    },
+    /// NM → device: a round's worth of module-to-module envelopes bound for
+    /// this device, relayed as one message.  Batched reconcile passes
+    /// coalesce relays per (device, round) so peer negotiations of many
+    /// concurrent goals do not dominate the NM's message budget; envelope
+    /// order within the batch is preserved.
+    RelayBatch {
+        /// The relayed envelopes, in relay order.
+        envelopes: Vec<ModuleEnvelope>,
     },
 }
 
@@ -355,6 +435,65 @@ mod tests {
                 results: vec![Ok(PrimitiveResult::Done)],
             },
             WireMessage::Abort { txn: 3 },
+        ] {
+            let back = WireMessage::decode(&msg.encode()).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_batch_messages() {
+        let env = ModuleEnvelope {
+            from: mref(ModuleKind::Mpls, 3, 1),
+            to: mref(ModuleKind::Mpls, 3, 2),
+            kind: EnvelopeKind::Convey,
+            body: serde_json::json!({"mpls": {"label": 10001}}),
+        };
+        for msg in [
+            WireMessage::StageBatch {
+                txn: 7,
+                segments: vec![
+                    ScriptSegment {
+                        goal: 1,
+                        primitives: vec![Primitive::ShowActual],
+                    },
+                    ScriptSegment {
+                        goal: 2,
+                        primitives: vec![],
+                    },
+                ],
+            },
+            WireMessage::StageBatchResult {
+                txn: 7,
+                verdicts: vec![
+                    SegmentVerdict {
+                        goal: 1,
+                        errors: vec![],
+                    },
+                    SegmentVerdict {
+                        goal: 2,
+                        errors: vec!["no module".into()],
+                    },
+                ],
+            },
+            WireMessage::CommitBatch {
+                txn: 7,
+                goals: vec![1],
+            },
+            WireMessage::CommitBatchResult {
+                txn: 7,
+                segments: vec![SegmentCommit {
+                    goal: 1,
+                    results: vec![Ok(PrimitiveResult::Done)],
+                }],
+            },
+            WireMessage::AbortBatch {
+                txn: 7,
+                goals: vec![2],
+            },
+            WireMessage::RelayBatch {
+                envelopes: vec![env.clone(), env],
+            },
         ] {
             let back = WireMessage::decode(&msg.encode()).unwrap();
             assert_eq!(back, msg);

@@ -13,7 +13,8 @@ use crate::abstraction::CounterSnapshot;
 use crate::agent::ManagementAgent;
 use crate::nm::{ConnectivityGoal, GoalStore, ModulePath, NetworkManager, ScriptSet};
 use crate::primitives::{
-    EnvelopeKind, ModuleEnvelope, Notification, Primitive, PrimitiveResult, WireMessage,
+    EnvelopeKind, ModuleEnvelope, Notification, Primitive, PrimitiveResult, SegmentCommit,
+    SegmentVerdict, WireMessage,
 };
 use mgmt_channel::{ChannelCounters, ManagementChannel, MessageCategory, MgmtMessage};
 use netsim::device::DeviceId;
@@ -21,10 +22,10 @@ use netsim::network::Network;
 use std::collections::BTreeMap;
 
 pub use reconcile::{ReconcileAction, ReconcileOutcome, ReconcileReport, WithdrawOutcome};
-pub use txn::{TransactionOutcome, TxnEvent, TxnHook};
+pub use txn::{BatchOutcome, TransactionOutcome, TxnEvent, TxnHook};
 
-/// A buffered commit reply: (device, txn, per-primitive results).
-pub(crate) type CommitReply = (DeviceId, u64, Vec<Result<PrimitiveResult, String>>);
+/// Per-primitive results of one device's commit.
+pub(crate) type CommitResults = Vec<Result<PrimitiveResult, String>>;
 
 /// Upper bound on relay rounds per management operation; real exchanges
 /// converge in a handful of rounds.
@@ -62,12 +63,26 @@ pub struct ManagedNetwork<C: ManagementChannel> {
     pub counter_reports: Vec<(DeviceId, u64, Vec<CounterSnapshot>)>,
     /// The NM's declarative goal store (see [`reconcile`]).
     pub goals: GoalStore,
-    /// Staging verdicts received by the NM: (device, txn, errors).  Drained
-    /// by the transaction executor.
-    pub(crate) stage_results: Vec<(DeviceId, u64, Vec<String>)>,
-    /// Commit results received by the NM: (device, txn, per-primitive
-    /// results).  Drained by the transaction executor.
-    pub(crate) commit_results: Vec<CommitReply>,
+    /// Staging verdicts received by the NM, indexed by (device, txn) so the
+    /// executor's drain is a map lookup rather than a linear scan (batch
+    /// replies arrive in bulk; scanning per response is quadratic).
+    pub(crate) stage_results: BTreeMap<(DeviceId, u64), Vec<String>>,
+    /// Commit results received by the NM, indexed by (device, txn).
+    pub(crate) commit_results: BTreeMap<(DeviceId, u64), CommitResults>,
+    /// Batched staging verdicts (one per goal segment), indexed by
+    /// (device, txn).
+    pub(crate) stage_batch_results: BTreeMap<(DeviceId, u64), Vec<SegmentVerdict>>,
+    /// Batched commit results (one per goal segment), indexed by
+    /// (device, txn).
+    pub(crate) commit_batch_results: BTreeMap<(DeviceId, u64), Vec<SegmentCommit>>,
+    /// When set, module-to-module relays are coalesced into one
+    /// [`WireMessage::RelayBatch`] per (destination device, management
+    /// round) instead of one message per envelope.  Enabled by the batched
+    /// transaction executor; off by default so the per-message Table VI
+    /// parity counts stay intact.
+    pub(crate) batch_relays: bool,
+    /// Relays buffered for the current management round (relay batching).
+    pending_relays: BTreeMap<DeviceId, Vec<ModuleEnvelope>>,
     /// Deterministic fault-injection hook invoked between transaction
     /// phases (see [`TxnEvent`]); used by tests and the fault experiments to
     /// crash devices mid-commit.
@@ -88,8 +103,12 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             script_results: Vec::new(),
             counter_reports: Vec::new(),
             goals: GoalStore::new(),
-            stage_results: Vec::new(),
-            commit_results: Vec::new(),
+            stage_results: BTreeMap::new(),
+            commit_results: BTreeMap::new(),
+            stage_batch_results: BTreeMap::new(),
+            commit_batch_results: BTreeMap::new(),
+            batch_relays: false,
+            pending_relays: BTreeMap::new(),
             txn_hook: None,
         }
     }
@@ -121,16 +140,24 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             WireMessage::Script { .. }
             | WireMessage::Stage { .. }
             | WireMessage::Commit { .. }
-            | WireMessage::Abort { .. } => MessageCategory::Command,
+            | WireMessage::Abort { .. }
+            | WireMessage::StageBatch { .. }
+            | WireMessage::CommitBatch { .. }
+            | WireMessage::AbortBatch { .. } => MessageCategory::Command,
             WireMessage::ScriptResult { .. }
             | WireMessage::StageResult { .. }
-            | WireMessage::CommitResult { .. } => MessageCategory::Response,
+            | WireMessage::CommitResult { .. }
+            | WireMessage::StageBatchResult { .. }
+            | WireMessage::CommitBatchResult { .. } => MessageCategory::Response,
             WireMessage::Module(env) => match env.kind {
                 EnvelopeKind::Convey => MessageCategory::ConveyMessage,
                 EnvelopeKind::FieldQuery | EnvelopeKind::FieldResponse => {
                     MessageCategory::FieldQuery
                 }
             },
+            // A relay batch is one management message carrying many
+            // envelopes; it is counted once, under the convey category.
+            WireMessage::RelayBatch { .. } => MessageCategory::ConveyMessage,
             WireMessage::Notify(_) => MessageCategory::Notification,
             WireMessage::PollCounters { .. } | WireMessage::CounterReport { .. } => {
                 MessageCategory::Telemetry
@@ -294,11 +321,29 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                 }
             }
             total += progressed;
-            if progressed == 0 {
+            // Flush the round's buffered relays as one message per
+            // destination device (relay batching); the flush itself queues
+            // messages, so the loop keeps running until both the channel and
+            // the relay buffer are empty.
+            let flushed = self.flush_pending_relays();
+            if progressed == 0 && !flushed {
                 break;
             }
         }
         total
+    }
+
+    /// Send every buffered relay as one `RelayBatch` per destination.
+    /// Returns whether anything was flushed.
+    fn flush_pending_relays(&mut self) -> bool {
+        if self.pending_relays.is_empty() {
+            return false;
+        }
+        let pending = std::mem::take(&mut self.pending_relays);
+        for (device, envelopes) in pending {
+            self.send(self.nm_host, device, &WireMessage::RelayBatch { envelopes });
+        }
+        true
     }
 
     /// Route a received management message either to the NM (if this device
@@ -318,13 +363,19 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             | WireMessage::Notify(_)
             | WireMessage::CounterReport { .. }
             | WireMessage::StageResult { .. }
-            | WireMessage::CommitResult { .. } => true,
+            | WireMessage::CommitResult { .. }
+            | WireMessage::StageBatchResult { .. }
+            | WireMessage::CommitBatchResult { .. } => true,
             WireMessage::Module(env) => env.to.device != at,
             WireMessage::Script { .. }
             | WireMessage::PollCounters { .. }
             | WireMessage::Stage { .. }
             | WireMessage::Commit { .. }
-            | WireMessage::Abort { .. } => false,
+            | WireMessage::Abort { .. }
+            | WireMessage::StageBatch { .. }
+            | WireMessage::CommitBatch { .. }
+            | WireMessage::AbortBatch { .. }
+            | WireMessage::RelayBatch { .. } => false,
         };
         if nm_bound && at == self.nm_host {
             self.nm_handle(msg.from, wire);
@@ -361,21 +412,33 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                 self.counter_reports.push((from, request, snapshots));
             }
             WireMessage::StageResult { txn, errors } => {
-                self.stage_results.push((from, txn, errors));
+                self.stage_results.insert((from, txn), errors);
             }
             WireMessage::CommitResult { txn, results } => {
-                self.commit_results.push((from, txn, results));
+                self.commit_results.insert((from, txn), results);
+            }
+            WireMessage::StageBatchResult { txn, verdicts } => {
+                self.stage_batch_results.insert((from, txn), verdicts);
+            }
+            WireMessage::CommitBatchResult { txn, segments } => {
+                self.commit_batch_results.insert((from, txn), segments);
             }
             WireMessage::Script { .. }
             | WireMessage::PollCounters { .. }
             | WireMessage::Stage { .. }
             | WireMessage::Commit { .. }
-            | WireMessage::Abort { .. } => {}
+            | WireMessage::Abort { .. }
+            | WireMessage::StageBatch { .. }
+            | WireMessage::CommitBatch { .. }
+            | WireMessage::AbortBatch { .. }
+            | WireMessage::RelayBatch { .. } => {}
         }
     }
 
     /// Relay a module-to-module envelope to its destination device, tracking
-    /// any field values it resolves (dependency maintenance, §II-E).
+    /// any field values it resolves (dependency maintenance, §II-E).  With
+    /// relay batching on, the envelope is buffered and flushed at the end of
+    /// the management round as part of one `RelayBatch` per destination.
     fn relay(&mut self, env: ModuleEnvelope) {
         if env.kind == EnvelopeKind::FieldResponse {
             if let Some(obj) = env.body.as_object() {
@@ -388,6 +451,10 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             }
         }
         let to_device = env.to.device;
+        if self.batch_relays {
+            self.pending_relays.entry(to_device).or_default().push(env);
+            return;
+        }
         let msg = WireMessage::Module(env);
         self.send(self.nm_host, to_device, &msg);
     }

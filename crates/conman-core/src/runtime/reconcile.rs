@@ -3,11 +3,19 @@
 //!
 //! `submit` / `update` / `withdraw` manipulate the NM's [`GoalStore`];
 //! [`ManagedNetwork::reconcile`] is the single entry point that makes the
-//! network match it — planning each goal that needs work (a pure dry-run
-//! [`Plan`]), executing the plan as a two-phase transaction, and optionally
-//! verifying with per-goal probes.  It subsumes the old one-shot
-//! `configure` call and is what the self-healing layer drives: heal = mark
-//! the goal `Degraded` with the diagnosed suspects excluded, reconcile.
+//! network match it — planning every goal that needs work first (pure
+//! dry-run [`Plan`]s in disjoint pipe-id blocks), then executing them all
+//! as **one batched two-phase transaction** (each device staged once and
+//! committed once per pass, per-goal atomicity preserved inside the
+//! batch), and optionally verifying with per-goal probes.  It subsumes the
+//! old one-shot `configure` call and is what the self-healing layer
+//! drives: heal = mark the goal `Degraded` with the diagnosed suspects
+//! excluded, reconcile.
+//!
+//! [`ManagedNetwork::reconcile_per_goal`] keeps the pre-batching executor
+//! (one full two-phase transaction per goal) as the message-count baseline
+//! the `goals` bench compares against, and as an equivalence oracle for
+//! the batched path.
 
 use super::txn::TransactionOutcome;
 use super::ManagedNetwork;
@@ -16,7 +24,7 @@ use crate::nm::goal::{AppliedPlan, GoalId, GoalStatus, Plan, PlanError};
 use crate::nm::{script, ConnectivityGoal, ModulePath};
 use mgmt_channel::ManagementChannel;
 use netsim::device::DeviceId;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// What `reconcile()` did for one goal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,8 +63,16 @@ pub struct ReconcileReport {
     /// One outcome per stored goal, in id order.
     pub outcomes: Vec<ReconcileOutcome>,
     /// Transactions executed during the pass (0 on a converged network —
-    /// reconcile is idempotent).
+    /// reconcile is idempotent).  A batched pass counts one transaction for
+    /// the whole batch, plus one per stale-configuration teardown and one
+    /// per best-effort restore.
     pub transactions: usize,
+    /// Management messages the NM sent during this pass (counter delta
+    /// around the call, so callers no longer diff `nm_counters()`
+    /// themselves).
+    pub nm_sent: u64,
+    /// Management messages the NM received during this pass.
+    pub nm_received: u64,
 }
 
 impl ReconcileReport {
@@ -114,7 +130,7 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         // A store-managed record that already tracks applied configuration
         // wins over the caller's view.
         if let Some(id) = existing {
-            if self.goals.get(id).is_some_and(|r| r.applied.is_some()) {
+            if self.goals.get(id).is_some_and(|r| r.applied().is_some()) {
                 return id;
             }
         }
@@ -123,12 +139,15 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         // Legacy executions are numbered from pipe 0; keep future blocks
         // clear of them.
         self.goals.reserve_pipes_through(script::slot_count(path));
-        if let Some(rec) = self.goals.get_mut(id) {
-            rec.applied = Some(AppliedPlan {
+        self.goals.set_applied(
+            id,
+            Some(AppliedPlan {
                 path: path.clone(),
                 scripts,
                 pipe_base: 0,
-            });
+            }),
+        );
+        if let Some(rec) = self.goals.get_mut(id) {
             rec.status = GoalStatus::Active;
         }
         id
@@ -146,27 +165,30 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             .choose_path(&paths)
             .cloned()
             .ok_or(PlanError::NoPath)?;
-        Ok(self.plan_for_path(id, &path))
+        self.plan_for_path(id, &path)
     }
 
     /// Dry-run planning for an explicit path (used by the self-healing
     /// layer, which ranks its own candidate list).
     ///
     /// The scripts are numbered from the store's next free pipe block; the
-    /// block is only consumed when the plan is executed.
-    pub fn plan_for_path(&self, id: GoalId, path: &ModulePath) -> Plan {
-        let rec = self.goals.get(id).expect("goal exists");
+    /// block is only consumed when the plan is executed.  Fails cleanly
+    /// with [`PlanError::PipeSpaceExhausted`] when the block would cross
+    /// the derived-identifier cap.
+    pub fn plan_for_path(&self, id: GoalId, path: &ModulePath) -> Result<Plan, PlanError> {
+        let rec = self.goals.get(id).ok_or(PlanError::UnknownGoal(id))?;
+        self.goals.check_pipe_block(script::slot_count(path))?;
         let pipe_base = self.goals.peek_pipe_base();
         let scripts = script::generate_with_base(&self.nm, path, &rec.desired, pipe_base);
         let (modules_created, modules_reused) = self.goals.classify_modules(id, path);
-        Plan {
+        Ok(Plan {
             goal: id,
             path: path.clone(),
             scripts,
             pipe_base,
             modules_created,
             modules_reused,
-        }
+        })
     }
 
     /// Execute a plan as a two-phase transaction.  On commit the goal
@@ -179,6 +201,18 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         // The block may have moved since the dry run (another goal executed
         // in between): renumber onto the current base.
         if plan.pipe_base != self.goals.peek_pipe_base() {
+            if let Err(e) = self.goals.check_pipe_block(script::slot_count(&plan.path)) {
+                // Renumbering would cross the derived-id cap: fail the
+                // execution cleanly instead of wrapping.
+                let outcome = TransactionOutcome {
+                    errors: vec![e.to_string()],
+                    ..Default::default()
+                };
+                if let Some(rec) = self.goals.get_mut(plan.goal) {
+                    rec.last_error = Some(e.to_string());
+                }
+                return outcome;
+            }
             let rec = self.goals.get(plan.goal).expect("goal exists");
             plan.pipe_base = self.goals.peek_pipe_base();
             plan.scripts =
@@ -187,12 +221,15 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         let outcome = self.run_transaction(&plan.scripts);
         if outcome.committed {
             self.goals.take_pipe_block(script::slot_count(&plan.path));
-            if let Some(rec) = self.goals.get_mut(plan.goal) {
-                rec.applied = Some(AppliedPlan {
+            self.goals.set_applied(
+                plan.goal,
+                Some(AppliedPlan {
                     path: plan.path,
                     scripts: plan.scripts,
                     pipe_base: plan.pipe_base,
-                });
+                }),
+            );
+            if let Some(rec) = self.goals.get_mut(plan.goal) {
                 rec.status = GoalStatus::Active;
                 rec.last_error = None;
             }
@@ -207,7 +244,7 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
     /// stored, back in `Pending`.  Returns the number of delete primitives
     /// committed.
     pub fn teardown_goal(&mut self, id: GoalId, skip: &[DeviceId]) -> usize {
-        let Some(applied) = self.goals.get_mut(id).and_then(|r| r.applied.take()) else {
+        let Some(applied) = self.goals.take_applied(id) else {
             return 0;
         };
         if let Some(rec) = self.goals.get_mut(id) {
@@ -231,7 +268,7 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         };
         // Modules only this goal uses — released once it is gone.
         let users = self.goals.module_users();
-        if let Some(applied) = &rec.applied {
+        if let Some(applied) = rec.applied() {
             let mut seen = BTreeSet::new();
             for step in &applied.path.steps {
                 if seen.insert(step.module.clone())
@@ -249,22 +286,184 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
     }
 
     /// Drive every stored goal toward its desired state without
-    /// verification probes.  Idempotent: a converged network produces no
-    /// transactions.
+    /// verification probes, executing all pending work as **one batched
+    /// transaction** (each device staged and committed once per pass).
+    /// Idempotent: a converged network produces no transactions.
     pub fn reconcile(&mut self) -> ReconcileReport {
         self.reconcile_with(|_, _| None)
     }
 
-    /// Reconcile with per-goal verification.  `probe` receives the managed
-    /// network and a goal id and returns `Some(delivered)` when it can test
-    /// that goal end to end (`None` = no probe available, trust the
-    /// transaction).  Probe traffic runs inside a flow-attribution window
-    /// tagged with the goal id, so counter deltas of concurrent goals stay
-    /// separable (see `netsim::stats::FlowCounters`).
+    /// Batched reconcile with per-goal verification.  `probe` receives the
+    /// managed network and a goal id and returns `Some(delivered)` when it
+    /// can test that goal end to end (`None` = no probe available, trust
+    /// the transaction).  Probe traffic runs inside a flow-attribution
+    /// window tagged with the goal id, so counter deltas of concurrent
+    /// goals stay separable (see `netsim::stats::FlowCounters`).
+    ///
+    /// The pass: probe `Active` goals (failures degrade and join the work
+    /// list), plan every goal that needs work in a disjoint pipe-id block,
+    /// tear down stale configurations, execute all plans as one batched
+    /// two-phase transaction (per-goal atomicity inside the batch — a goal
+    /// whose segment fails anywhere is rolled back via its teardown mirror
+    /// without disturbing siblings), then verify each committed goal.
     pub fn reconcile_with<P>(&mut self, mut probe: P) -> ReconcileReport
     where
         P: FnMut(&mut Self, GoalId) -> Option<bool>,
     {
+        let before = self.nm_counters();
+        let mut report = ReconcileReport::default();
+        let ids = self.goals.ids();
+        let mut outcomes: BTreeMap<GoalId, ReconcileOutcome> = BTreeMap::new();
+        let mut work: Vec<GoalId> = Vec::new();
+        for &id in &ids {
+            let Some(status) = self.goals.status(id) else {
+                continue;
+            };
+            match status {
+                GoalStatus::Failed => {
+                    outcomes.insert(
+                        id,
+                        ReconcileOutcome {
+                            goal: id,
+                            action: ReconcileAction::Unchanged,
+                            status,
+                            error: self.goals.get(id).and_then(|r| r.last_error.clone()),
+                        },
+                    );
+                }
+                GoalStatus::Active => match self.probe_goal(id, &mut probe) {
+                    Some(false) => {
+                        // The goal looked converged but is not carrying
+                        // traffic: degrade and repair in this same pass.
+                        self.goals.get_mut(id).expect("goal exists").status = GoalStatus::Degraded;
+                        work.push(id);
+                    }
+                    _ => {
+                        outcomes.insert(
+                            id,
+                            ReconcileOutcome {
+                                goal: id,
+                                action: ReconcileAction::Unchanged,
+                                status,
+                                error: None,
+                            },
+                        );
+                    }
+                },
+                GoalStatus::Pending | GoalStatus::Degraded | GoalStatus::Repairing => {
+                    work.push(id);
+                }
+            }
+        }
+
+        // Plan first — planning is a pure dry run, and a goal whose
+        // planning fails must leave its stale-but-possibly-working
+        // configuration standing.  Each successful plan consumes its pipe
+        // block immediately so every plan in the batch is numbered in a
+        // disjoint block; blocks of goals that end up not committing are
+        // released again below, so failed passes do not leak id space.
+        let pipe_floor = self.goals.peek_pipe_base();
+        let mut items: Vec<(GoalId, bool, Option<AppliedPlan>, Plan)> = Vec::new();
+        for id in work {
+            let plan = match self.plan_goal(id) {
+                Ok(plan) => plan,
+                Err(e) => {
+                    let rec = self.goals.get_mut(id).expect("goal exists");
+                    rec.status = GoalStatus::Failed;
+                    rec.last_error = Some(e.to_string());
+                    outcomes.insert(
+                        id,
+                        ReconcileOutcome {
+                            goal: id,
+                            action: ReconcileAction::PlanFailed,
+                            status: GoalStatus::Failed,
+                            error: Some(e.to_string()),
+                        },
+                    );
+                    continue;
+                }
+            };
+            self.goals.take_pipe_block(script::slot_count(&plan.path));
+            if let Some(rec) = self.goals.get_mut(id) {
+                rec.status = GoalStatus::Repairing;
+            }
+            let previous = self.goals.get(id).and_then(|r| r.applied().cloned());
+            let had_applied = previous.is_some();
+            if had_applied {
+                // A replacement exists: tear the stale configuration down
+                // before the batch applies the new one.
+                self.teardown_goal(id, &[]);
+                report.transactions += 1;
+            }
+            items.push((id, had_applied, previous, plan));
+        }
+
+        if !items.is_empty() {
+            let batch_items: Vec<(GoalId, &crate::nm::ScriptSet)> = items
+                .iter()
+                .map(|(id, _, _, plan)| (*id, &plan.scripts))
+                .collect();
+            let batch = self.run_batch(&batch_items);
+            report.transactions += 1;
+            // Release the blocks of goals that did not commit (the per-goal
+            // baseline only consumes a block on commit); blocks below a
+            // committed goal's block stay reserved — the allocator is
+            // monotonic, holes cannot be returned individually.
+            let watermark = items
+                .iter()
+                .filter(|(id, _, _, _)| batch.committed.contains(id))
+                .map(|(_, _, _, plan)| plan.pipe_base + script::slot_count(&plan.path))
+                .max()
+                .unwrap_or(pipe_floor);
+            self.goals.release_pipes_to(watermark);
+            for (id, had_applied, previous, plan) in items {
+                let outcome = if batch.committed.contains(&id) {
+                    self.goals.set_applied(
+                        id,
+                        Some(AppliedPlan {
+                            path: plan.path,
+                            scripts: plan.scripts,
+                            pipe_base: plan.pipe_base,
+                        }),
+                    );
+                    if let Some(rec) = self.goals.get_mut(id) {
+                        rec.status = GoalStatus::Active;
+                        rec.last_error = None;
+                    }
+                    self.verify_applied_goal(id, had_applied, &mut probe)
+                } else {
+                    let error = batch
+                        .error_for(id)
+                        .unwrap_or("batched transaction failed")
+                        .to_string();
+                    self.fail_goal_with_restore(id, error, previous, &mut report.transactions)
+                };
+                outcomes.insert(id, outcome);
+            }
+        }
+        report.outcomes = ids.iter().filter_map(|id| outcomes.remove(id)).collect();
+        let after = self.nm_counters();
+        report.nm_sent = after.sent.saturating_sub(before.sent);
+        report.nm_received = after.received.saturating_sub(before.received);
+        report
+    }
+
+    /// The pre-batching reconcile loop: one full two-phase transaction per
+    /// goal, without verification probes.  Kept as the message-count
+    /// baseline for the `goals` bench and as an equivalence oracle for the
+    /// batched pass — end state (statuses, module refcounts, data-plane
+    /// connectivity) is identical; only the message shape differs.
+    pub fn reconcile_per_goal(&mut self) -> ReconcileReport {
+        self.reconcile_per_goal_with(|_, _| None)
+    }
+
+    /// Per-goal-transaction reconcile with verification probes (see
+    /// [`Self::reconcile_per_goal`]).
+    pub fn reconcile_per_goal_with<P>(&mut self, mut probe: P) -> ReconcileReport
+    where
+        P: FnMut(&mut Self, GoalId) -> Option<bool>,
+    {
+        let before = self.nm_counters();
         let mut report = ReconcileReport::default();
         for id in self.goals.ids() {
             let Some(status) = self.goals.status(id) else {
@@ -300,6 +499,9 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             };
             report.outcomes.push(outcome);
         }
+        let after = self.nm_counters();
+        report.nm_sent = after.sent.saturating_sub(before.sent);
+        report.nm_received = after.received.saturating_sub(before.received);
         report
     }
 
@@ -324,7 +526,7 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
     where
         P: FnMut(&mut Self, GoalId) -> Option<bool>,
     {
-        let had_applied = self.goals.get(id).is_some_and(|r| r.applied.is_some());
+        let had_applied = self.goals.get(id).is_some_and(|r| r.applied().is_some());
         // Plan first — it is a pure dry run, and if no path exists the
         // stale-but-possibly-working configuration must be left standing (a
         // degraded path carrying some traffic beats no path at all).
@@ -345,7 +547,7 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         if let Some(rec) = self.goals.get_mut(id) {
             rec.status = GoalStatus::Repairing;
         }
-        let previous = self.goals.get(id).and_then(|r| r.applied.clone());
+        let previous = self.goals.get(id).and_then(|r| r.applied().cloned());
         if had_applied {
             // A replacement exists: tear the stale configuration down
             // before applying it.
@@ -355,29 +557,23 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         let txn = self.execute_plan(plan);
         *transactions += 1;
         if !txn.committed {
-            let error = txn.summary();
-            // Best effort: put the previous configuration back rather than
-            // leave the goal with nothing (its scripts re-execute verbatim —
-            // their pipe-id block was just freed by the teardown).
-            if let Some(prev) = previous {
-                let restore = self.run_transaction(&prev.scripts);
-                *transactions += 1;
-                if restore.committed {
-                    if let Some(rec) = self.goals.get_mut(id) {
-                        rec.applied = Some(prev);
-                    }
-                }
-            }
-            let rec = self.goals.get_mut(id).expect("goal exists");
-            rec.status = GoalStatus::Pending;
-            rec.last_error = Some(error.clone());
-            return ReconcileOutcome {
-                goal: id,
-                action: ReconcileAction::ExecuteFailed,
-                status: GoalStatus::Pending,
-                error: Some(error),
-            };
+            return self.fail_goal_with_restore(id, txn.summary(), previous, transactions);
         }
+        self.verify_applied_goal(id, had_applied, probe)
+    }
+
+    /// Shared post-commit bookkeeping: probe the freshly applied goal and
+    /// settle its status/outcome.  Used by both the batched pass and the
+    /// per-goal baseline so the two executors cannot drift apart.
+    fn verify_applied_goal<P>(
+        &mut self,
+        id: GoalId,
+        had_applied: bool,
+        probe: &mut P,
+    ) -> ReconcileOutcome
+    where
+        P: FnMut(&mut Self, GoalId) -> Option<bool>,
+    {
         match self.probe_goal(id, probe) {
             Some(false) => {
                 let rec = self.goals.get_mut(id).expect("goal exists");
@@ -400,6 +596,35 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                 status: GoalStatus::Active,
                 error: None,
             },
+        }
+    }
+
+    /// Shared execution-failure bookkeeping: best-effort restore of the
+    /// previous configuration (its scripts re-execute verbatim — the
+    /// teardown freed their blackboard state) and park the goal `Pending`
+    /// with the error recorded.  Used by both executors.
+    fn fail_goal_with_restore(
+        &mut self,
+        id: GoalId,
+        error: String,
+        previous: Option<AppliedPlan>,
+        transactions: &mut usize,
+    ) -> ReconcileOutcome {
+        if let Some(prev) = previous {
+            let restore = self.run_transaction(&prev.scripts);
+            *transactions += 1;
+            if restore.committed {
+                self.goals.set_applied(id, Some(prev));
+            }
+        }
+        let rec = self.goals.get_mut(id).expect("goal exists");
+        rec.status = GoalStatus::Pending;
+        rec.last_error = Some(error.clone());
+        ReconcileOutcome {
+            goal: id,
+            action: ReconcileAction::ExecuteFailed,
+            status: GoalStatus::Pending,
+            error: Some(error),
         }
     }
 }

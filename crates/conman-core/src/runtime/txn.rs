@@ -22,11 +22,13 @@
 //! will be cleaned up by a later reconcile.
 
 use super::ManagedNetwork;
+use crate::nm::goal::GoalId;
 use crate::nm::ScriptSet;
-use crate::primitives::{Primitive, WireMessage};
+use crate::primitives::{Primitive, ScriptSegment, SegmentCommit, SegmentVerdict, WireMessage};
 use mgmt_channel::ManagementChannel;
 use netsim::device::DeviceId;
 use netsim::network::Network;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Moments a [`TxnHook`] is invoked at, for deterministic fault injection
 /// between transaction phases (e.g. crash a device after it staged but
@@ -57,6 +59,39 @@ pub enum TxnEvent {
 /// A hook invoked between transaction phases with mutable access to the
 /// simulated network — the injection point for mid-transaction faults.
 pub type TxnHook = Box<dyn FnMut(&TxnEvent, &mut Network) + Send>;
+
+/// What a batched transaction did: per-goal verdicts plus the message-level
+/// shape of the batch (how many devices were contacted — one stage and one
+/// commit round-trip each, regardless of how many goals the pass carries).
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// The transaction id shared by every device in the batch.
+    pub txn: u64,
+    /// Goals whose every segment committed.
+    pub committed: Vec<GoalId>,
+    /// Goals that failed staging or commit (with the first error), each
+    /// rolled back via its teardown mirror without disturbing siblings.
+    pub failed: Vec<(GoalId, String)>,
+    /// Goals whose reverse path order could not share the batch's single
+    /// commit order; each ran as its own strict transaction instead (their
+    /// verdicts still land in `committed`/`failed`).
+    pub fallback: Vec<GoalId>,
+    /// Devices that carried at least one segment of the batch proper
+    /// (fallback transactions not included).
+    pub devices_contacted: usize,
+    /// Total primitives committed across all segments.
+    pub primitives: usize,
+}
+
+impl BatchOutcome {
+    /// The recorded error for a failed goal.
+    pub fn error_for(&self, goal: GoalId) -> Option<&str> {
+        self.failed
+            .iter()
+            .find(|(g, _)| *g == goal)
+            .map(|(_, e)| e.as_str())
+    }
+}
 
 /// What a transaction did.
 #[derive(Debug, Clone, Default)]
@@ -117,11 +152,7 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
 
     /// Drain the staging verdict for (`device`, `txn`), if one arrived.
     fn take_stage_result(&mut self, device: DeviceId, txn: u64) -> Option<Vec<String>> {
-        let idx = self
-            .stage_results
-            .iter()
-            .position(|(d, t, _)| *d == device && *t == txn)?;
-        Some(self.stage_results.swap_remove(idx).2)
+        self.stage_results.remove(&(device, txn))
     }
 
     /// Drain the commit result for (`device`, `txn`), if one arrived.
@@ -130,11 +161,25 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         device: DeviceId,
         txn: u64,
     ) -> Option<Vec<Result<crate::primitives::PrimitiveResult, String>>> {
-        let idx = self
-            .commit_results
-            .iter()
-            .position(|(d, t, _)| *d == device && *t == txn)?;
-        Some(self.commit_results.swap_remove(idx).2)
+        self.commit_results.remove(&(device, txn))
+    }
+
+    /// Drain the batched staging verdicts for (`device`, `txn`).
+    fn take_stage_batch_result(
+        &mut self,
+        device: DeviceId,
+        txn: u64,
+    ) -> Option<Vec<SegmentVerdict>> {
+        self.stage_batch_results.remove(&(device, txn))
+    }
+
+    /// Drain the batched commit results for (`device`, `txn`).
+    fn take_commit_batch_result(
+        &mut self,
+        device: DeviceId,
+        txn: u64,
+    ) -> Option<Vec<SegmentCommit>> {
+        self.commit_batch_results.remove(&(device, txn))
     }
 
     /// Execute `scripts` as a strict two-phase transaction: stage on every
@@ -309,5 +354,317 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         self.run_management();
         outcome.committed = true;
         outcome
+    }
+
+    /// Execute many goals' script sets as **one** batched two-phase
+    /// transaction: every device is staged once (all its goals' segments in
+    /// one `StageBatch`) and committed once (one `CommitBatch`), so the
+    /// NM's command count per pass is proportional to the number of devices
+    /// touched, not `goals × devices`.  Relays are coalesced per
+    /// (device, round) for the duration of the batch.
+    ///
+    /// Per-goal atomicity is preserved inside the batch: a goal whose
+    /// segment fails staging or commit on any device is rolled back via its
+    /// teardown mirror (and its still-held segments aborted) without
+    /// aborting sibling goals.  Commit order across devices follows the
+    /// reverse of the latest path position any goal assigns a device, so
+    /// every peer-negotiation initiator still finds its peers committed.
+    /// A goal whose own reverse path order cannot be embedded in that
+    /// single global order (e.g. two goals traversing shared devices in
+    /// opposite directions) is excluded from the batch and executed as its
+    /// own strict transaction afterwards — correctness first, batching
+    /// where it is sound (`BatchOutcome::fallback` records them).
+    pub fn run_batch(&mut self, items: &[(GoalId, &ScriptSet)]) -> BatchOutcome {
+        let txn = self.goals.next_txn();
+        let mut outcome = BatchOutcome {
+            txn,
+            ..Default::default()
+        };
+        // Partition into goals that can share one commit order and goals
+        // that must fall back to per-goal transactions.  Removing a
+        // conflicting goal changes the aggregate order, so iterate to a
+        // fixed point (immediate for same-direction goal sets, the common
+        // case on every chain topology).
+        let mut batchable: Vec<(GoalId, &ScriptSet)> = items.to_vec();
+        let mut fallback: Vec<(GoalId, &ScriptSet)> = Vec::new();
+        let mut position: BTreeMap<DeviceId, usize>;
+        loop {
+            position = BTreeMap::new();
+            for (_, scripts) in &batchable {
+                for (i, ds) in scripts.scripts.iter().enumerate() {
+                    let p = position.entry(ds.device).or_insert(0);
+                    *p = (*p).max(i);
+                }
+            }
+            let mut order: Vec<DeviceId> = position.keys().copied().collect();
+            order.sort_by(|a, b| position[b].cmp(&position[a]).then(a.cmp(b)));
+            let commit_index: BTreeMap<DeviceId, usize> =
+                order.iter().enumerate().map(|(i, d)| (*d, i)).collect();
+            // A goal is batchable iff its devices' commit positions strictly
+            // decrease along its path (its own reverse path order is a
+            // subsequence of the global commit order).
+            let violators: Vec<usize> = batchable
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, scripts))| {
+                    scripts
+                        .scripts
+                        .windows(2)
+                        .any(|w| commit_index[&w[0].device] < commit_index[&w[1].device])
+                })
+                .map(|(k, _)| k)
+                .collect();
+            if violators.is_empty() {
+                break;
+            }
+            for k in violators.into_iter().rev() {
+                fallback.push(batchable.remove(k));
+            }
+        }
+        // Preserve submission order for the fallback executions.
+        fallback.reverse();
+
+        // Coalesce: one segment list per device (goal order preserved) for
+        // the StageBatch messages, plus a lighter per-device goal-id list
+        // for the bookkeeping that follows (so the primitives are cloned
+        // once, into the messages, not twice).
+        let mut segments: BTreeMap<DeviceId, Vec<ScriptSegment>> = BTreeMap::new();
+        let mut goals_by_device: BTreeMap<DeviceId, Vec<u64>> = BTreeMap::new();
+        for (goal, scripts) in &batchable {
+            for ds in &scripts.scripts {
+                segments.entry(ds.device).or_default().push(ScriptSegment {
+                    goal: goal.0,
+                    primitives: ds.primitives.clone(),
+                });
+                goals_by_device.entry(ds.device).or_default().push(goal.0);
+            }
+        }
+        let mut alive: BTreeSet<GoalId> = batchable.iter().map(|(g, _)| *g).collect();
+        let mut errors: BTreeMap<GoalId, String> = BTreeMap::new();
+        outcome.devices_contacted = goals_by_device.len();
+        if goals_by_device.is_empty() && fallback.is_empty() {
+            outcome.committed = alive.into_iter().collect();
+            return outcome;
+        }
+        let prev_batch_relays = self.batch_relays;
+        self.batch_relays = true;
+
+        // ---- Phase 1: stage every device once. ------------------------
+        if !segments.is_empty() {
+            for (device, segs) in std::mem::take(&mut segments) {
+                let msg = WireMessage::StageBatch {
+                    txn,
+                    segments: segs,
+                };
+                self.send(self.nm_host(), device, &msg);
+            }
+            self.run_management();
+        }
+        let mut silent: BTreeSet<DeviceId> = BTreeSet::new();
+        for (device, goals) in &goals_by_device {
+            match self.take_stage_batch_result(*device, txn) {
+                Some(verdicts) => {
+                    for v in verdicts {
+                        if v.errors.is_empty() {
+                            continue;
+                        }
+                        let goal = GoalId(v.goal);
+                        if alive.remove(&goal) {
+                            errors.insert(
+                                goal,
+                                format!("txn {txn}: staging failed on {device}: {}", v.errors[0]),
+                            );
+                        }
+                    }
+                }
+                None => {
+                    // Silence: crashed or unreachable — every segment it
+                    // holds is lost.
+                    silent.insert(*device);
+                    for goal in goals.iter().map(|g| GoalId(*g)) {
+                        if alive.remove(&goal) {
+                            errors.insert(
+                                goal,
+                                format!("txn {txn}: {device} did not answer staging"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Abort dead goals' segments still held on answering devices.
+        let mut aborted_any = false;
+        for (device, goals) in &goals_by_device {
+            if silent.contains(device) {
+                continue;
+            }
+            let dead: Vec<u64> = goals
+                .iter()
+                .copied()
+                .filter(|g| !alive.contains(&GoalId(*g)))
+                .collect();
+            if !dead.is_empty() {
+                self.send(
+                    self.nm_host(),
+                    *device,
+                    &WireMessage::AbortBatch { txn, goals: dead },
+                );
+                aborted_any = true;
+            }
+        }
+        if aborted_any {
+            self.run_management();
+        }
+        if !alive.is_empty() {
+            self.fire_hook(TxnEvent::Staged { txn });
+        }
+
+        // ---- Phase 2: commit each device once, latest-position first. --
+        // Peer negotiations are initiated by the earlier device of a peer
+        // pair, so committing devices in reverse path position guarantees
+        // every initiator's peers are already configured (the same argument
+        // as the per-goal executor, lifted to the batch).
+        let mut order: Vec<DeviceId> = goals_by_device
+            .keys()
+            .copied()
+            .filter(|d| !silent.contains(d))
+            .collect();
+        order.sort_by(|a, b| position[b].cmp(&position[a]).then(a.cmp(b)));
+        if alive.is_empty() {
+            order.clear();
+        }
+        for (idx, device) in order.iter().copied().enumerate() {
+            let goals_here: Vec<u64> = goals_by_device[&device]
+                .iter()
+                .copied()
+                .filter(|g| alive.contains(&GoalId(*g)))
+                .collect();
+            if goals_here.is_empty() {
+                continue;
+            }
+            self.fire_hook(TxnEvent::BeforeCommit { txn, device });
+            self.send(
+                self.nm_host(),
+                device,
+                &WireMessage::CommitBatch {
+                    txn,
+                    goals: goals_here.clone(),
+                },
+            );
+            self.run_management();
+            let mut newly_failed: Vec<GoalId> = Vec::new();
+            match self.take_commit_batch_result(device, txn) {
+                Some(segs) => {
+                    let mut clean = true;
+                    for sc in segs {
+                        let goal = GoalId(sc.goal);
+                        outcome.primitives += sc.results.len();
+                        let first_err = sc.results.iter().find_map(|r| r.clone().err());
+                        match first_err {
+                            None => {}
+                            Some(e) => {
+                                clean = false;
+                                if alive.remove(&goal) {
+                                    errors.insert(
+                                        goal,
+                                        format!("txn {txn}: commit failed on {device}: {e}"),
+                                    );
+                                    newly_failed.push(goal);
+                                }
+                            }
+                        }
+                    }
+                    if clean {
+                        self.fire_hook(TxnEvent::Committed { txn, device });
+                    }
+                }
+                None => {
+                    // The whole device went silent mid-commit: every goal it
+                    // was asked to commit fails (its partial creates are
+                    // unreachable anyway — a reboot clears them).
+                    for goal in goals_here.iter().map(|g| GoalId(*g)) {
+                        if alive.remove(&goal) {
+                            errors
+                                .insert(goal, format!("txn {txn}: {device} did not answer commit"));
+                            newly_failed.push(goal);
+                        }
+                    }
+                }
+            }
+            for goal in newly_failed {
+                self.rollback_goal_in_batch(txn, goal, items, &order[..=idx], &order[idx + 1..]);
+            }
+        }
+        self.run_management();
+
+        // ---- Fallback: conflicting goals run as their own strict
+        // transactions (correct commit order per goal, per-goal rollback as
+        // before batching existed). ------------------------------------
+        for (goal, scripts) in fallback {
+            outcome.fallback.push(goal);
+            let t = self.run_transaction(scripts);
+            outcome.primitives += t.primitives;
+            if t.committed {
+                alive.insert(goal);
+            } else {
+                errors.insert(goal, t.summary());
+            }
+        }
+
+        outcome.committed = items
+            .iter()
+            .map(|(g, _)| *g)
+            .filter(|g| alive.contains(g))
+            .collect();
+        outcome.failed = errors.into_iter().collect();
+        self.batch_relays = prev_batch_relays;
+        outcome
+    }
+
+    /// Undo one failed goal inside a batch: teardown-mirror its segments on
+    /// devices that already (possibly partially) committed, abort its
+    /// still-staged segments on devices yet to commit.  Sibling goals are
+    /// untouched — their segments live in disjoint pipe-id blocks.
+    fn rollback_goal_in_batch(
+        &mut self,
+        txn: u64,
+        goal: GoalId,
+        items: &[(GoalId, &ScriptSet)],
+        committed_devices: &[DeviceId],
+        pending_devices: &[DeviceId],
+    ) {
+        let Some(scripts) = items.iter().find(|(g, _)| *g == goal).map(|(_, s)| *s) else {
+            return;
+        };
+        for ds in &scripts.scripts {
+            if !committed_devices.contains(&ds.device) {
+                continue;
+            }
+            // A silent device (crashed) cannot be rolled back; skip it.
+            if !self
+                .net
+                .device(ds.device)
+                .map(|dev| dev.up)
+                .unwrap_or(false)
+            {
+                continue;
+            }
+            let deletes = ScriptSet::teardown_of(ds);
+            if !deletes.is_empty() {
+                self.run_script(ds.device, deletes);
+            }
+        }
+        for device in pending_devices {
+            if scripts.scripts.iter().any(|ds| ds.device == *device) {
+                self.send(
+                    self.nm_host(),
+                    *device,
+                    &WireMessage::AbortBatch {
+                        txn,
+                        goals: vec![goal.0],
+                    },
+                );
+            }
+        }
     }
 }

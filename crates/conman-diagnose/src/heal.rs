@@ -162,7 +162,11 @@ impl Healer {
         outcome.teardown_primitives = mn.teardown_goal(id, &report.unresponsive);
 
         for candidate in candidates.into_iter().take(self.max_attempts.max(1)) {
-            let plan = mn.plan_for_path(id, &candidate);
+            let Ok(plan) = mn.plan_for_path(id, &candidate) else {
+                // Pipe-id space exhausted (or the goal vanished): this
+                // candidate cannot be numbered; try the next one.
+                continue;
+            };
             let txn = mn.execute_plan(plan);
             if !txn.committed {
                 // The transaction rolled itself back; try the next one.
@@ -188,8 +192,10 @@ impl Healer {
         // carries some traffic, which beats leaving the goal unconfigured.
         // A strict transaction cannot commit through an unresponsive device,
         // so only report the restore when it actually happened.
-        let plan = mn.plan_for_path(id, failed);
-        let restore = mn.execute_plan(plan);
+        let restored = match mn.plan_for_path(id, failed) {
+            Ok(plan) => mn.execute_plan(plan).committed,
+            Err(_) => false,
+        };
         // Park the goal as Failed: every suspect-avoiding candidate was
         // tried and carried no traffic, so a later probe-less reconcile()
         // must not tear the restored partial service down just to reinstall
@@ -200,7 +206,7 @@ impl Healer {
             rec.last_error =
                 Some("no replacement path verified; original configuration restored".into());
         }
-        outcome.original_restored = restore.committed;
+        outcome.original_restored = restored;
         outcome
     }
 }

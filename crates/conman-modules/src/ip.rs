@@ -21,7 +21,7 @@ use netsim::ipv4::Ipv4Cidr;
 use netsim::mpls::NhlfeKey;
 use netsim::route::{PolicyRule, Route, RouteTableId, RouteTarget, RuleSelector};
 use netsim::stats::DropReason;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// Which end of a pipe this module is.
@@ -89,6 +89,17 @@ pub struct IpModule {
     /// cannot be determined.
     pub primary: Ipv4Addr,
     pipes: BTreeMap<PipeId, PipeRec>,
+    /// Pipes indexed by their peer module — with hundreds of concurrent
+    /// goals sharing one adjacency, matching an incoming envelope to its
+    /// pipe must not scan every pipe (that made batched reconcile passes
+    /// O(goals²) in envelope handling).
+    by_peer: BTreeMap<ModuleRef, BTreeSet<PipeId>>,
+    /// The subset of [`Self::by_peer`] still awaiting its peer value; an
+    /// incoming exchange belongs to the lowest unlearned pipe of its peer.
+    unlearned_by_peer: BTreeMap<ModuleRef, BTreeSet<PipeId>>,
+    /// Adjacency pipes (upper end above an ETH module), so
+    /// [`Self::path_address`] is O(1) instead of a per-call pipe scan.
+    adjacency_pipes: BTreeSet<PipeId>,
     pending_switches: Vec<SwitchSpec>,
     applied_switches: Vec<((PipeId, PipeId), String)>,
     installed: BTreeMap<(PipeId, PipeId), InstalledSwitch>,
@@ -104,6 +115,9 @@ impl IpModule {
             domain: domain.into(),
             primary,
             pipes: BTreeMap::new(),
+            by_peer: BTreeMap::new(),
+            unlearned_by_peer: BTreeMap::new(),
+            adjacency_pipes: BTreeSet::new(),
             pending_switches: Vec::new(),
             applied_switches: Vec::new(),
             installed: BTreeMap::new(),
@@ -168,13 +182,9 @@ impl IpModule {
     /// The address this module reports as its end of the path: the address
     /// on its (unique) adjacency pipe when it has one, its primary otherwise.
     fn path_address(&self, ctx: &ModuleCtx) -> Ipv4Addr {
-        let adj: Vec<&PipeRec> = self
-            .pipes
-            .values()
-            .filter(|r| Self::is_adjacency_pipe(r))
-            .collect();
-        match adj.as_slice() {
-            [only] => self.address_on_pipe(ctx, only.spec.pipe),
+        let mut adj = self.adjacency_pipes.iter();
+        match (adj.next(), adj.next()) {
+            (Some(&only), None) => self.address_on_pipe(ctx, only),
             _ => self.primary,
         }
     }
@@ -186,13 +196,43 @@ impl IpModule {
         their: Ipv4Addr,
         ours: Ipv4Addr,
     ) {
-        if let Some(rec) = self.pipes.get_mut(&pipe) {
-            rec.learned = Some(their);
-            if Self::is_endpoint_pipe(rec) {
-                ctx.set_pipe_attr(pipe, "remote_addr", their.to_string());
-                ctx.set_pipe_attr(pipe, "local_addr", ours.to_string());
-            } else {
-                ctx.set_pipe_attr(pipe, "nexthop", their.to_string());
+        let peer = match self.pipes.get_mut(&pipe) {
+            Some(rec) => {
+                rec.learned = Some(their);
+                if Self::is_endpoint_pipe(rec) {
+                    ctx.set_pipe_attr(pipe, "remote_addr", their.to_string());
+                    ctx.set_pipe_attr(pipe, "local_addr", ours.to_string());
+                } else {
+                    ctx.set_pipe_attr(pipe, "nexthop", their.to_string());
+                }
+                match rec.role {
+                    Role::Upper => rec.spec.peer_upper.clone(),
+                    Role::Lower => rec.spec.peer_lower.clone(),
+                }
+            }
+            None => None,
+        };
+        if let Some(peer) = peer {
+            if let Some(unlearned) = self.unlearned_by_peer.get_mut(&peer) {
+                unlearned.remove(&pipe);
+                if unlearned.is_empty() {
+                    self.unlearned_by_peer.remove(&peer);
+                }
+            }
+        }
+    }
+
+    /// Drop a pipe from the peer / adjacency indexes.
+    fn unindex_pipe(&mut self, pipe: PipeId, rec: &PipeRec) {
+        self.adjacency_pipes.remove(&pipe);
+        if let Some(peer) = self.peer_of(rec) {
+            for index in [&mut self.by_peer, &mut self.unlearned_by_peer] {
+                if let Some(set) = index.get_mut(&peer) {
+                    set.remove(&pipe);
+                    if set.is_empty() {
+                        index.remove(&peer);
+                    }
+                }
             }
         }
     }
@@ -575,7 +615,9 @@ impl ProtocolModule for IpModule {
                     .retain(|s| !(s.in_pipe == *in_pipe && s.out_pipe == *out_pipe));
             }
             ComponentRef::Pipe(pipe) => {
-                self.pipes.remove(pipe);
+                if let Some(rec) = self.pipes.remove(pipe) {
+                    self.unindex_pipe(*pipe, &rec);
+                }
                 self.pending_switches
                     .retain(|s| s.in_pipe != *pipe && s.out_pipe != *pipe);
             }
@@ -594,15 +636,26 @@ impl ProtocolModule for IpModule {
         } else {
             Role::Lower
         };
-        self.pipes.insert(
-            spec.pipe,
-            PipeRec {
-                spec: spec.clone(),
-                role,
-                learned: None,
-                query_sent: false,
-            },
-        );
+        let rec = PipeRec {
+            spec: spec.clone(),
+            role,
+            learned: None,
+            query_sent: false,
+        };
+        if let Some(peer) = self.peer_of(&rec) {
+            self.by_peer
+                .entry(peer.clone())
+                .or_default()
+                .insert(spec.pipe);
+            self.unlearned_by_peer
+                .entry(peer)
+                .or_default()
+                .insert(spec.pipe);
+        }
+        if Self::is_adjacency_pipe(&rec) {
+            self.adjacency_pipes.insert(spec.pipe);
+        }
+        self.pipes.insert(spec.pipe, rec);
         Ok(ModuleReaction::none())
     }
 
@@ -676,15 +729,20 @@ impl ProtocolModule for IpModule {
         };
         // Find the pipe whose peer sent this message.  Concurrent goals can
         // each run a pipe to the *same* peer module; the exchange in flight
-        // belongs to the pipe still awaiting its peer value, so prefer
-        // unlearned pipes (configuration transactions execute serially, so
-        // at most one exchange per peer pair is ever incomplete).
+        // belongs to the lowest pipe still awaiting its peer value (batched
+        // passes run many exchanges per peer pair concurrently, but both
+        // sides issue and answer them in ascending pipe — i.e. goal-block —
+        // order, so lowest-unlearned matching pairs them correctly).  The
+        // peer index makes this O(log pipes) instead of a full pipe scan.
         let pipe = self
-            .pipes
-            .values()
-            .filter(|r| self.peer_of(r).as_ref() == Some(&env.from))
-            .min_by_key(|r| (r.learned.is_some(), r.spec.pipe.0))
-            .map(|r| r.spec.pipe);
+            .unlearned_by_peer
+            .get(&env.from)
+            .and_then(|pipes| pipes.first().copied())
+            .or_else(|| {
+                self.by_peer
+                    .get(&env.from)
+                    .and_then(|pipes| pipes.first().copied())
+            });
         let Some(pipe) = pipe else {
             return Ok(ModuleReaction::none());
         };

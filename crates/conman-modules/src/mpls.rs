@@ -13,7 +13,7 @@ use conman_core::primitives::{
 };
 use netsim::mpls::{IlmEntry, Label, LabelOp, Nhlfe, NhlfeKey};
 use netsim::stats::DropReason;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// Per-adjacency label state.
@@ -54,6 +54,12 @@ pub struct MplsModule {
     me: ModuleRef,
     pipes: BTreeMap<PipeId, PipeKind>,
     adjacencies: BTreeMap<PipeId, Adjacency>,
+    /// Adjacency pipes indexed by peer module, so matching an incoming
+    /// label exchange is O(log pipes) even when hundreds of concurrent
+    /// goals run separate LSPs over the same physical adjacency.
+    by_peer: BTreeMap<ModuleRef, BTreeSet<PipeId>>,
+    /// The subset of [`Self::by_peer`] still missing its peer label.
+    unfilled_by_peer: BTreeMap<ModuleRef, BTreeSet<PipeId>>,
     access_pipes: Vec<PipeId>,
     pending_switches: Vec<SwitchSpec>,
     applied: Vec<String>,
@@ -71,6 +77,8 @@ impl MplsModule {
             me,
             pipes: BTreeMap::new(),
             adjacencies: BTreeMap::new(),
+            by_peer: BTreeMap::new(),
+            unfilled_by_peer: BTreeMap::new(),
             access_pipes: Vec::new(),
             pending_switches: Vec::new(),
             applied: Vec::new(),
@@ -295,7 +303,18 @@ impl ProtocolModule for MplsModule {
             }
             ComponentRef::Pipe(pipe) => {
                 self.pipes.remove(pipe);
-                self.adjacencies.remove(pipe);
+                if let Some(adj) = self.adjacencies.remove(pipe) {
+                    if let Some(peer) = &adj.peer {
+                        for index in [&mut self.by_peer, &mut self.unfilled_by_peer] {
+                            if let Some(set) = index.get_mut(peer) {
+                                set.remove(pipe);
+                                if set.is_empty() {
+                                    index.remove(peer);
+                                }
+                            }
+                        }
+                    }
+                }
                 self.access_pipes.retain(|p| p != pipe);
                 self.pending_switches
                     .retain(|s| s.in_pipe != *pipe && s.out_pipe != *pipe);
@@ -318,6 +337,16 @@ impl ProtocolModule for MplsModule {
         } else {
             // Pipe over an ETH module towards the adjacent MPLS module.
             self.pipes.insert(spec.pipe, PipeKind::Adjacency);
+            if let Some(peer) = spec.peer_upper.clone() {
+                self.by_peer
+                    .entry(peer.clone())
+                    .or_default()
+                    .insert(spec.pipe);
+                self.unfilled_by_peer
+                    .entry(peer)
+                    .or_default()
+                    .insert(spec.pipe);
+            }
             self.adjacencies.insert(
                 spec.pipe,
                 Adjacency {
@@ -360,14 +389,20 @@ impl ProtocolModule for MplsModule {
         // Find the adjacency whose peer sent this.  Concurrent goals run
         // separate LSPs over the same physical adjacency, so several of our
         // adjacency pipes can share a peer module: the exchange in flight
-        // belongs to the one still missing its peer label (transactions
-        // execute serially, so at most one exchange per peer is incomplete).
+        // belongs to the lowest pipe still missing its peer label (batched
+        // passes run many exchanges per peer concurrently, but both sides
+        // issue and answer them in ascending pipe — i.e. goal-block —
+        // order, so lowest-unfilled matching pairs the per-goal labels
+        // correctly).  The peer index makes this O(log pipes).
         let pipe = self
-            .adjacencies
-            .iter()
-            .filter(|(_, a)| a.peer.as_ref() == Some(&env.from))
-            .min_by_key(|(p, a)| (a.out_label.is_some(), p.0))
-            .map(|(p, _)| *p);
+            .unfilled_by_peer
+            .get(&env.from)
+            .and_then(|pipes| pipes.first().copied())
+            .or_else(|| {
+                self.by_peer
+                    .get(&env.from)
+                    .and_then(|pipes| pipes.first().copied())
+            });
         let Some(pipe) = pipe else {
             return Ok(ModuleReaction::none());
         };
@@ -384,11 +419,20 @@ impl ProtocolModule for MplsModule {
             .and_then(|p| ctx.config.address_on_port(p))
             .map(|c| c.addr)
             .unwrap_or(Ipv4Addr::UNSPECIFIED);
-        {
+        let peer = {
             let adj = self.adjacencies.get_mut(&pipe).expect("adjacency exists");
             adj.in_label = Some(our_label);
             adj.out_label = Some(label);
             adj.peer_addr = addr;
+            adj.peer.clone()
+        };
+        if let Some(peer) = peer {
+            if let Some(unfilled) = self.unfilled_by_peer.get_mut(&peer) {
+                unfilled.remove(&pipe);
+                if unfilled.is_empty() {
+                    self.unfilled_by_peer.remove(&peer);
+                }
+            }
         }
         if !is_reply {
             let body = self.exchange_body(our_label, our_addr, true);

@@ -48,7 +48,7 @@ fn main() {
         .mn
         .goals
         .module_users()
-        .into_iter()
+        .iter()
         .filter(|(_, goals)| goals.len() == 2)
         .count();
     println!("module instances shared by both goals: {shared}");

@@ -9,7 +9,7 @@
 //! |-------|-----------|------------------|
 //! | `netsim` | [`netsim`] | Deterministic packet-level simulator: codecs (ETH/ARP/IP/GRE/MPLS/VLAN/UDP/ICMP), forwarding engine, topologies, packet traces, per-goal flow-attribution windows ([`netsim::stats::FlowCounters`]) — and [`netsim::fault`], the deterministic fault-injection layer (link cuts/flaps, loss spikes, device crashes, misconfigurations). |
 //! | `mgmt-channel` | [`mgmt_channel`] | The out-of-band and in-band management channels, per-device message accounting (Table VI) and the periodic telemetry schedule. |
-//! | `conman-core` | [`core`] | Protocol-independent CONMan: module abstraction (Table II) with per-pipe [`CounterSnapshot`](core::CounterSnapshot)s, primitives (Table I) plus the Stage/Commit/Abort transaction wire protocol, management agents, the NM (topology map, potential graph, path finder with suspect exclusion, script generation) and the declarative runtime: a [`GoalStore`](core::GoalStore) of goals with identity and lifecycle (`submit`/`update`/`withdraw`, `Pending → Active → Degraded → Repairing → Failed`), dry-run [`Plan`](core::Plan)s reporting created-vs-shared modules, two-phase [`Transaction`](core::runtime::txn)s with rollback, and the [`reconcile()`](core::ManagedNetwork::reconcile) loop that drives every stored goal to its desired state. |
+//! | `conman-core` | [`core`] | Protocol-independent CONMan: module abstraction (Table II) with per-pipe [`CounterSnapshot`](core::CounterSnapshot)s, primitives (Table I) plus the Stage/Commit/Abort transaction wire protocol — and its batched extension (StageBatch/CommitBatch/AbortBatch carrying per-goal [`ScriptSegment`](core::primitives::ScriptSegment)s, RelayBatch coalescing module relays per device per round) — management agents, the NM (topology map, potential graph, path finder with suspect exclusion, script generation) and the declarative runtime: a [`GoalStore`](core::GoalStore) of goals with identity and lifecycle (`submit`/`update`/`withdraw`, `Pending → Active → Degraded → Repairing → Failed`) plus an incrementally maintained module→goals usage index, dry-run [`Plan`](core::Plan)s reporting created-vs-shared modules in pipe-id blocks guarded against derived-id exhaustion, and the [`reconcile()`](core::ManagedNetwork::reconcile) loop that drives every stored goal to its desired state as **one batched two-phase transaction per pass** (each device staged once, committed once; per-goal rollback inside the batch; [`reconcile_per_goal()`](core::ManagedNetwork::reconcile_per_goal) keeps the one-transaction-per-goal baseline). |
 //! | `conman-modules` | [`modules`] | The ETH / IP / GRE / MPLS / VLAN protocol modules over the simulated data plane, plus the managed testbeds of Figures 2, 4 and 9 (including the dual-customer multi-goal chain) with diagnosis probe hooks. |
 //! | `conman-diagnose` | [`diagnose`] | The closed-loop manager of §III-C: telemetry collection over the management channel, counter-delta fault localisation ([`diagnose::Diagnoser`] → [`diagnose::FaultReport`]) and self-healing as a reconciler client ([`diagnose::Healer`]: mark the goal degraded with suspects excluded, transactional teardown, re-plan, verify — e.g. GRE-IP fallback when the MPLS core dies). |
 //! | `legacy-config` | [`legacy`] | The "today" configuration baseline (Figures 7a/8a/9a) and the Table V generic-vs-specific classifier. |

@@ -7,9 +7,43 @@
 //! back cleanly leaving no partially-configured modules; and `reconcile()`
 //! is idempotent on a converged network.
 
-use conman::core::nm::GoalStatus;
-use conman::core::runtime::{ReconcileAction, TxnEvent};
+use conman::core::nm::{GoalStatus, PlanError};
+use conman::core::runtime::{ReconcileAction, ReconcileReport, TxnEvent};
 use conman::modules::{managed_chain, managed_dual_chain};
+use mgmt_channel::OutOfBandChannel;
+
+type Chain = conman::modules::ManagedChain<OutOfBandChannel>;
+
+/// The observable end state of a reconcile scenario, for comparing the
+/// batched executor against the per-goal baseline: per-goal statuses (in
+/// submission order), the module-usage refcount multiset, how many modules
+/// are shared, and end-to-end connectivity.  Module refs and pipe ids are
+/// instance-specific, so the comparison is over shapes, not raw ids.
+#[derive(Debug, PartialEq)]
+struct EndState {
+    statuses: Vec<GoalStatus>,
+    refcounts: Vec<usize>,
+    shared_modules: usize,
+    probes: Vec<bool>,
+}
+
+fn end_state(t: &mut Chain, report: &ReconcileReport, probes: Vec<bool>) -> EndState {
+    let statuses = report.outcomes.iter().map(|o| o.status).collect();
+    let mut refcounts: Vec<usize> =
+        t.mn.goals
+            .module_users()
+            .values()
+            .map(|g| g.len())
+            .collect();
+    refcounts.sort_unstable();
+    let shared_modules = refcounts.iter().filter(|&&n| n >= 2).count();
+    EndState {
+        statuses,
+        refcounts,
+        shared_modules,
+        probes,
+    }
+}
 
 #[test]
 fn two_concurrent_goals_share_core_modules_and_withdraw_is_isolated() {
@@ -26,10 +60,12 @@ fn two_concurrent_goals_share_core_modules_and_withdraw_is_isolated() {
     assert_eq!(t.mn.goals.status(g1), Some(GoalStatus::Pending));
     assert_eq!(t.mn.goals.status(g2), Some(GoalStatus::Pending));
 
-    // One reconcile pass configures both goals transactionally.
+    // One reconcile pass configures both goals as a single batched
+    // transaction (each device staged once, committed once).
     let report = t.mn.reconcile();
     assert!(report.converged(), "both goals active: {report:#?}");
-    assert_eq!(report.transactions, 2);
+    assert_eq!(report.transactions, 1);
+    assert!(report.nm_sent > 0, "the pass reports its message deltas");
     assert!(t.probe(), "customer 1 traffic flows");
     assert!(t.probe2(), "customer 2 traffic flows");
 
@@ -118,13 +154,15 @@ fn reconcile_is_idempotent_on_a_converged_network() {
     t.mn.submit(t.vpn_goal2());
     let first = t.mn.reconcile();
     assert!(first.converged());
-    assert_eq!(first.transactions, 2);
+    assert_eq!(first.transactions, 1, "one batched transaction per pass");
 
     // A second pass has nothing to do: no transactions, no new messages.
     t.mn.reset_counters();
     let second = t.mn.reconcile();
     assert!(second.converged());
     assert_eq!(second.transactions, 0);
+    assert_eq!(second.nm_sent, 0, "a converged pass reports zero sends");
+    assert_eq!(second.nm_received, 0);
     let counters = t.mn.nm_counters();
     assert!(
         counters.sent_by_category.is_empty(),
@@ -249,4 +287,247 @@ fn goal_lifecycle_plan_failure_update_and_retry() {
     assert_eq!(outcome.action, ReconcileAction::Reapplied);
     assert!(report.converged());
     assert!(t.probe());
+}
+
+// ---------------------------------------------------------------------------
+// Batched vs per-goal equivalence: both executors must produce identical
+// goal statuses, module refcounts and data-plane connectivity — only the
+// message shape differs.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn report_message_counters_match_channel_deltas() {
+    let mut t = managed_dual_chain(3);
+    t.discover();
+    t.mn.submit(t.vpn_goal());
+    t.mn.submit(t.vpn_goal2());
+    t.mn.reset_counters();
+    let report = t.mn.reconcile();
+    let counters = t.mn.nm_counters();
+    assert_eq!(
+        report.nm_sent, counters.sent,
+        "ReconcileReport.nm_sent is the pass's channel delta"
+    );
+    assert_eq!(report.nm_received, counters.received);
+    assert!(report.nm_sent > 0);
+}
+
+#[test]
+fn batched_and_per_goal_reconcile_are_equivalent_on_fresh_goals() {
+    let run = |batched: bool| {
+        let mut t = managed_dual_chain(3);
+        t.discover();
+        t.mn.submit(t.vpn_goal());
+        t.mn.submit(t.vpn_goal2());
+        let report = if batched {
+            t.mn.reconcile()
+        } else {
+            t.mn.reconcile_per_goal()
+        };
+        let probes = vec![t.probe(), t.probe2()];
+        let sent = report.nm_sent;
+        (end_state(&mut t, &report, probes), sent)
+    };
+    let (batched, batched_sent) = run(true);
+    let (per_goal, per_goal_sent) = run(false);
+    assert_eq!(batched, per_goal, "identical end state");
+    assert_eq!(batched.statuses, vec![GoalStatus::Active; 2]);
+    assert!(batched.probes.iter().all(|&p| p));
+    assert!(
+        batched_sent < per_goal_sent,
+        "batching sends fewer messages: {batched_sent} vs {per_goal_sent}"
+    );
+}
+
+#[test]
+fn batched_and_per_goal_equivalent_under_mid_commit_crash() {
+    // Crash the middle router right before its commit: in both modes every
+    // affected goal rolls back cleanly and parks Pending, and no partial
+    // configuration survives anywhere that answers.
+    let run = |batched: bool| {
+        let mut t = managed_dual_chain(3);
+        t.discover();
+        t.mn.submit(t.vpn_goal());
+        t.mn.submit(t.vpn_goal2());
+        let b = t.core[1];
+        t.mn.txn_hook = Some(Box::new(move |event, net| {
+            if let TxnEvent::BeforeCommit { device, .. } = event {
+                if *device == b {
+                    net.set_device_up(b, false);
+                }
+            }
+        }));
+        let pipe_base_before = t.mn.goals.peek_pipe_base();
+        let report = if batched {
+            t.mn.reconcile()
+        } else {
+            t.mn.reconcile_per_goal()
+        };
+        t.mn.txn_hook = None;
+        // Neither executor may leak pipe-id blocks for goals that failed to
+        // commit (the batched pass releases blocks it allocated up front).
+        assert_eq!(
+            t.mn.goals.peek_pipe_base(),
+            pipe_base_before,
+            "failed pass must not consume pipe-id space (batched={batched})"
+        );
+        for d in [t.core[0], t.core[2]] {
+            let actual = t.mn.show_actual(d).expect("device answers");
+            for (name, module) in actual {
+                assert!(
+                    module.pipes.is_empty() && module.switch_rules.is_empty(),
+                    "{name} kept state after rollback (batched={batched})"
+                );
+            }
+        }
+        let probes = vec![t.probe(), t.probe2()];
+        (end_state(&mut t, &report, probes), t)
+    };
+    let (batched, _) = run(true);
+    let (per_goal, mut t) = run(false);
+    assert_eq!(batched, per_goal, "identical end state after the crash");
+    assert_eq!(batched.statuses, vec![GoalStatus::Pending; 2]);
+    assert!(batched.probes.iter().all(|&p| !p));
+
+    // The crashed router reboots; the next batched pass converges both.
+    t.mn.net.set_device_up(t.core[1], true);
+    let report = t.mn.reconcile();
+    assert!(report.converged(), "{report:#?}");
+    assert!(t.probe() && t.probe2());
+}
+
+#[test]
+fn one_goal_failing_mid_batch_rolls_back_without_disturbing_siblings() {
+    use conman::core::ids::{ModuleKind, PipeId};
+    use conman::core::nm::{DeviceScript, ScriptSet};
+    use conman::core::primitives::{PipeSpec, Primitive};
+
+    let mut t = managed_chain(3);
+    t.discover();
+    let g1 = t.mn.submit(t.vpn_goal());
+    let g2 = t.mn.submit(t.vpn_goal());
+    let plan1 = t.mn.plan_goal(g1).expect("a path exists");
+
+    // Craft a segment for g2 that *stages* fine (both modules exist on the
+    // egress edge router) but *fails its commit*: a GRE up pipe without the
+    // mandatory performance trade-offs is rejected at execution time.  g1
+    // and g2 then share a CommitBatch on that device, and only g2 may roll
+    // back.
+    let egress = t.core[2];
+    let gre = t.mn.nm.find_module(egress, &ModuleKind::Gre).unwrap();
+    let ip = t.mn.nm.find_module(egress, &ModuleKind::Ip).unwrap();
+    let bad_spec = PipeSpec {
+        pipe: PipeId(5000), // far away from g1's block
+        upper: ip,
+        lower: gre, // a GRE *up* pipe without trade-offs fails at commit
+        peer_upper: None,
+        peer_lower: None,
+        tradeoffs: vec![],
+        initiate: false,
+        resolved: Default::default(),
+    };
+    let bad = ScriptSet {
+        scripts: vec![DeviceScript {
+            device: egress,
+            device_alias: "C".into(),
+            primitives: vec![Primitive::CreatePipe(bad_spec)],
+            rendered: vec!["create (pipe, <GRE,C,?>, ...)".into()],
+        }],
+        pipe_count: 1,
+    };
+
+    let outcome = t.mn.run_batch(&[(g1, &plan1.scripts), (g2, &bad)]);
+    assert_eq!(outcome.committed, vec![g1], "the sibling goal commits");
+    assert_eq!(outcome.failed.len(), 1);
+    assert_eq!(outcome.failed[0].0, g2);
+    assert!(
+        outcome.failed[0].1.contains("commit failed"),
+        "g2 failed at commit: {}",
+        outcome.failed[0].1
+    );
+
+    // g1's configuration is live end to end; g2's partial creates (the ETH
+    // side of the rejected pipe) were rolled back via the teardown mirror.
+    assert!(t.probe(), "the sibling goal carries traffic");
+    let actual = t.mn.show_actual(egress).expect("device answers");
+    for (name, module) in actual {
+        assert!(
+            !module.pipes.contains(&PipeId(5000)),
+            "{name} kept the failed goal's pipe after rollback"
+        );
+    }
+}
+
+#[test]
+fn opposite_direction_goals_fall_back_to_per_goal_transactions() {
+    use conman::core::nm::{DeviceScript, ScriptSet};
+    use conman::core::primitives::Primitive;
+
+    // Two goals traversing the same devices in opposite directions cannot
+    // share one batch commit order (each wants the other's initiator side
+    // committed first); the executor must detect this and run the
+    // conflicting goal as its own strict transaction instead of silently
+    // breaking its peer negotiations.
+    let mut t = managed_chain(3);
+    t.discover();
+    let g1 = t.mn.submit(t.vpn_goal());
+    let g2 = t.mn.submit(t.vpn_goal());
+    let (a, c) = (t.core[0], t.core[2]);
+    let seg = |device, alias: &str| DeviceScript {
+        device,
+        device_alias: alias.into(),
+        primitives: vec![Primitive::ShowActual],
+        rendered: vec!["showActual ()".into()],
+    };
+    let fwd = ScriptSet {
+        scripts: vec![seg(a, "A"), seg(c, "C")],
+        pipe_count: 0,
+    };
+    let rev = ScriptSet {
+        scripts: vec![seg(c, "C"), seg(a, "A")],
+        pipe_count: 0,
+    };
+    let outcome = t.mn.run_batch(&[(g1, &fwd), (g2, &rev)]);
+    assert_eq!(outcome.committed, vec![g1, g2], "both goals commit");
+    assert!(outcome.failed.is_empty());
+    assert_eq!(
+        outcome.fallback.len(),
+        1,
+        "exactly one direction fell back to a per-goal transaction: {outcome:?}"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Identifier-space guard rails at the bench ceiling.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn pipe_space_exhaustion_fails_the_goal_cleanly() {
+    let mut t = managed_chain(3);
+    t.discover();
+    let id = t.mn.submit(t.vpn_goal());
+    // A 512-goal pass worth of blocks stays far below the cap...
+    let per_goal_slots = 32u32;
+    t.mn.goals.reserve_pipes_through(512 * per_goal_slots);
+    assert!(t.mn.goals.check_pipe_block(per_goal_slots).is_ok());
+    // ...but a store near the derived-id cap refuses to plan: the goal
+    // parks Failed with a clean error instead of wrapping route-table ids.
+    t.mn.goals
+        .reserve_pipes_through(conman::core::GoalStore::MAX_PIPE_ID - 2);
+    let err = t.mn.plan_goal(id).expect_err("planning must refuse");
+    assert!(
+        matches!(err, PlanError::PipeSpaceExhausted { .. }),
+        "unexpected error: {err}"
+    );
+    let report = t.mn.reconcile();
+    let outcome = report.outcome(id).expect("goal reconciled");
+    assert_eq!(outcome.action, ReconcileAction::PlanFailed);
+    assert_eq!(t.mn.goals.status(id), Some(GoalStatus::Failed));
+    assert!(outcome
+        .error
+        .as_deref()
+        .unwrap_or_default()
+        .contains("pipe-id space exhausted"));
+    // Nothing was sent for the unplannable goal.
+    assert_eq!(report.transactions, 0);
 }

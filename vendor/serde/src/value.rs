@@ -412,13 +412,31 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
                 }
                 *pos += 1;
             }
-            Some(_) => {
-                // Advance over one UTF-8 encoded character.
-                let rest = std::str::from_utf8(&bytes[*pos..])
+            // ASCII fast path: the overwhelmingly common case in wire
+            // payloads, pushed without any UTF-8 validation.
+            Some(&b) if b < 0x80 => {
+                out.push(b as char);
+                *pos += 1;
+            }
+            Some(&b) => {
+                // Advance over one multi-byte UTF-8 sequence, validating
+                // only that sequence (validating the whole remaining input
+                // per character made parsing O(n²) on large documents).
+                let len = match b {
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    0xF0..=0xF7 => 4,
+                    _ => return Err(Error::custom("invalid UTF-8 in string")),
+                };
+                let end = *pos + len;
+                if end > bytes.len() {
+                    return Err(Error::custom("truncated UTF-8 in string"));
+                }
+                let s = std::str::from_utf8(&bytes[*pos..end])
                     .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
-                let c = rest.chars().next().expect("non-empty by guard");
+                let c = s.chars().next().expect("non-empty by guard");
                 out.push(c);
-                *pos += c.len_utf8();
+                *pos += len;
             }
         }
     }
