@@ -1,0 +1,43 @@
+//! Benchmark: the autonomic control loop — full detect + localise + repair
+//! cycles on the fan-out chain, and the cost of one quiescent tick (which
+//! must stay management-silent however many goals are live).
+
+use conman_bench::{assert_loop_healthy, loop_run, LoopScenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_control_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("control_loop");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+
+    for goals in [3usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("detect_repair_chain4_fleet", goals),
+            &goals,
+            |b, &goals| {
+                b.iter(|| {
+                    let report = loop_run(4, goals, LoopScenario::CoreStateLoss);
+                    assert_loop_healthy(&report, 3);
+                    report.repair_wall_us
+                })
+            },
+        );
+    }
+    group.bench_with_input(
+        BenchmarkId::new("detect_repair_chain4_per_goal", 8usize),
+        &8usize,
+        |b, &goals| {
+            b.iter(|| {
+                let report = loop_run(4, goals, LoopScenario::PerGoalTableFlush);
+                assert_loop_healthy(&report, 3);
+                report.repair_wall_us
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_control_loop);
+criterion_main!(benches);

@@ -1,0 +1,242 @@
+//! The autonomic-loop experiments: ticks-to-detect, ticks-to-repair and
+//! management silence on the 10-router chain under live goal fleets.
+//!
+//! Every goal is backed by a real customer host pair (the fan-out chain),
+//! so per-goal health, flow-attributed localisation and repair
+//! verification all run on genuine end-to-end traffic.  Two fault shapes
+//! are measured:
+//!
+//! * **Core state loss** — the mid-chain router loses its dynamic state
+//!   (label maps *and* policy tables, as after a control-plane reload):
+//!   every goal through it degrades at once, whatever technology it rides,
+//!   and one batched repair pass must re-plan the whole fleet.
+//! * **Per-goal table flush** — exactly one goal's derived route tables
+//!   are flushed at the ingress edge (the only per-goal state not redundant
+//!   with its siblings').  The other goals keep pushing traffic through the
+//!   same devices during diagnosis, so only the per-goal `FlowCounters`
+//!   deltas can blame the right device — the scenario that separates
+//!   flow-attributed localisation from device-total diagnosis.  The repair
+//!   is a *reinstall through* the blamed edge module (no path avoids the
+//!   ingress), which restores the flushed tables.
+
+use crate::diagnosis::chain_limits;
+use conman_core::nm::{script, GoalId, GoalStatus};
+use conman_core::runtime::{ControlLoop, GoalEndpoints, LoopConfig, ManagedNetwork};
+use conman_diagnose::AutonomicClient;
+use conman_modules::{managed_fanout_chain, ManagedChain};
+use mgmt_channel::OutOfBandChannel;
+use netsim::fault::{apply_fault, FaultKind, Misconfiguration};
+use netsim::route::RouteTableId;
+use std::time::Instant;
+
+/// Which fault the loop run injects once the fleet is converged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopScenario {
+    /// The mid-chain router loses its dynamic state (MPLS label maps and
+    /// policy tables, as after a control-plane reload): every goal
+    /// degrades, one batched pass repairs the fleet.
+    CoreStateLoss,
+    /// Flush one goal's derived route tables at the ingress edge: one
+    /// goal degrades, the rest keep carrying traffic — localisation must
+    /// stay correct under their background load, and the repair reinstalls
+    /// through the blamed edge module.
+    PerGoalTableFlush,
+}
+
+impl LoopScenario {
+    /// Stable name for artefact output.
+    pub fn name(self) -> &'static str {
+        match self {
+            LoopScenario::CoreStateLoss => "core-state-loss",
+            LoopScenario::PerGoalTableFlush => "per-goal-table-flush",
+        }
+    }
+}
+
+/// What one autonomic-loop run measured.
+#[derive(Debug, Clone)]
+pub struct LoopBenchReport {
+    /// Chain size (core routers).
+    pub n: usize,
+    /// Live goals.
+    pub goals: usize,
+    /// Scenario injected.
+    pub scenario: LoopScenario,
+    /// Ticks the setup convergence took (includes the submit tick).
+    pub setup_ticks: u64,
+    /// The maximum NM messages any quiescent tick sent (must be 0: a
+    /// converged loop is silent).
+    pub quiescent_nm_sent: u64,
+    /// Ticks from fault injection to the first health round that degraded
+    /// a goal.
+    pub ticks_to_detect: u64,
+    /// Ticks from fault injection to the first repair pass that left every
+    /// goal `Active`.
+    pub ticks_to_repair: u64,
+    /// Goals the detection tick degraded.
+    pub degraded_goals: usize,
+    /// Did every diagnosis blame the faulted device?
+    pub blamed_correct: bool,
+    /// NM messages sent across the detection-to-repair ticks.
+    pub repair_nm_sent: u64,
+    /// Did the run end converged, with every goal's traffic verified
+    /// end to end?
+    pub converged: bool,
+    /// Wall-clock for the whole detect + repair run, microseconds.
+    pub repair_wall_us: u128,
+}
+
+/// The derived route-table range of a goal's applied pipe block (via the
+/// IP module's authoritative numbering).
+fn goal_table_range(
+    mn: &ManagedNetwork<OutOfBandChannel>,
+    id: GoalId,
+) -> (RouteTableId, RouteTableId) {
+    let applied = mn
+        .goals
+        .get(id)
+        .and_then(|r| r.applied())
+        .expect("goal has an applied plan");
+    conman_modules::derived_table_range(applied.pipe_base, script::slot_count(&applied.path))
+}
+
+/// Run the autonomic loop once: converge `goals` goals on an `n`-router
+/// fan-out chain, verify management silence, inject the scenario's fault,
+/// and measure detection and repair in ticks.
+pub fn loop_run(n: usize, goals: usize, scenario: LoopScenario) -> LoopBenchReport {
+    let mut t: ManagedChain<OutOfBandChannel> = managed_fanout_chain(n, goals);
+    t.discover();
+    t.mn.goals.limits = chain_limits(n);
+
+    let mut cl = ControlLoop::new(&t.mn, LoopConfig::default())
+        .with_client(Box::new(AutonomicClient::new(2)));
+    let mut ids = Vec::with_capacity(goals);
+    for k in 0..goals {
+        let (src, dst, dst_ip) = t.fanout_probe(k);
+        let id = t.mn.submit(t.fanout_goal(k));
+        cl.track(id, GoalEndpoints { src, dst, dst_ip });
+        ids.push(id);
+    }
+
+    // ---- Setup: converge the fleet with zero operator calls. ----------
+    let setup = cl.run_until_converged(&mut t.mn, 16);
+    assert!(setup.converged, "fleet must converge during setup");
+    let setup_ticks = setup.ticks.len() as u64;
+
+    // ---- Quiescence: a converged loop is silent. ----------------------
+    let mut quiescent_nm_sent = 0;
+    for _ in 0..3 {
+        let tick = cl.tick(&mut t.mn);
+        quiescent_nm_sent = quiescent_nm_sent.max(tick.nm_sent);
+    }
+
+    // ---- Fault. -------------------------------------------------------
+    // The fleet fault hits a transit router (repair routes around it); the
+    // per-goal fault flushes one goal's derived tables at the *ingress*
+    // edge, the only place per-goal state is not redundant with its
+    // siblings' (all tunnels share the transit endpoints) — repaired by
+    // reinstalling through the blamed edge module.
+    let faulted = match scenario {
+        LoopScenario::CoreStateLoss => t.core[1],
+        LoopScenario::PerGoalTableFlush => t.core[0],
+    };
+    match scenario {
+        LoopScenario::CoreStateLoss => {
+            apply_fault(
+                &mut t.mn.net,
+                FaultKind::Misconfigure(Misconfiguration::ClearMplsState { device: faulted }),
+            );
+            apply_fault(
+                &mut t.mn.net,
+                FaultKind::Misconfigure(Misconfiguration::FlushPolicyRouting { device: faulted }),
+            );
+        }
+        LoopScenario::PerGoalTableFlush => {
+            let (first, last) = goal_table_range(&t.mn, ids[0]);
+            apply_fault(
+                &mut t.mn.net,
+                FaultKind::Misconfigure(Misconfiguration::FlushRouteTables {
+                    device: faulted,
+                    first,
+                    last,
+                }),
+            );
+        }
+    }
+    let fault_tick = cl.ticks();
+
+    // ---- Detect + repair, autonomically. ------------------------------
+    let wall = Instant::now();
+    let run = cl.run_until_converged(&mut t.mn, 12);
+    let repair_wall_us = wall.elapsed().as_micros();
+    let detect = run.first_detection().unwrap_or(0);
+    let repaired = run.first_repair().unwrap_or(0);
+    let detect_report = run.ticks.iter().find(|tk| tk.tick == detect);
+    let degraded_goals = detect_report.map(|tk| tk.degraded.len()).unwrap_or(0);
+    let blamed_correct = detect_report.is_some_and(|tk| {
+        !tk.diagnosed.is_empty() && tk.diagnosed.iter().all(|(_, d)| d.blamed == Some(faulted))
+    });
+    let repair_nm_sent = run.ticks.iter().map(|tk| tk.nm_sent).sum();
+    let all_active = t.mn.goals.iter().all(|r| r.status == GoalStatus::Active);
+    let traffic_ok = (0..goals).all(|k| t.probe_pair(k));
+
+    LoopBenchReport {
+        n,
+        goals,
+        scenario,
+        setup_ticks,
+        quiescent_nm_sent,
+        ticks_to_detect: detect.saturating_sub(fault_tick),
+        ticks_to_repair: repaired.saturating_sub(fault_tick),
+        degraded_goals,
+        blamed_correct,
+        repair_nm_sent,
+        converged: run.converged && all_active && traffic_ok,
+        repair_wall_us,
+    }
+}
+
+/// Sanity-check a run the way CI's smoke pass does: converged, silent when
+/// quiescent, fault blamed on the right device, repair within budget.
+pub fn assert_loop_healthy(report: &LoopBenchReport, max_repair_ticks: u64) {
+    assert!(report.converged, "loop run must converge: {report:?}");
+    assert_eq!(
+        report.quiescent_nm_sent, 0,
+        "a converged loop must send zero NM messages per tick: {report:?}"
+    );
+    assert!(
+        report.blamed_correct,
+        "diagnosis must blame the faulted device: {report:?}"
+    );
+    assert!(
+        report.ticks_to_detect >= 1 && report.ticks_to_detect <= max_repair_ticks,
+        "detection outside tick budget: {report:?}"
+    );
+    assert!(
+        report.ticks_to_repair >= report.ticks_to_detect
+            && report.ticks_to_repair <= max_repair_ticks,
+        "repair outside tick budget: {report:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_fault_detects_and_repairs_within_budget_on_a_short_chain() {
+        let report = loop_run(4, 3, LoopScenario::CoreStateLoss);
+        assert_loop_healthy(&report, 3);
+        assert_eq!(report.degraded_goals, 3, "every goal crossed the dead core");
+    }
+
+    #[test]
+    fn per_goal_fault_is_localised_under_background_traffic() {
+        let report = loop_run(4, 4, LoopScenario::PerGoalTableFlush);
+        assert_loop_healthy(&report, 3);
+        assert_eq!(
+            report.degraded_goals, 1,
+            "only the faulted goal may degrade: {report:?}"
+        );
+    }
+}

@@ -35,6 +35,11 @@ pub struct ManagementAgent {
     /// Per-goal segments staged under a batched transaction id, keyed by
     /// (txn, goal) so each goal can be committed or aborted independently.
     staged_batches: BTreeMap<u64, BTreeMap<u64, Vec<Primitive>>>,
+    /// Flow tags (goal ids) the NM subscribed to with `SubscribeFlows`,
+    /// with the counters as of the last pushed (or initial) report.  After
+    /// any handled exchange that moved a watched tag's counters the agent
+    /// pushes an unsolicited `FlowReport` alongside its regular replies.
+    watched_flows: BTreeMap<u64, netsim::stats::FlowCounters>,
 }
 
 impl ManagementAgent {
@@ -47,6 +52,7 @@ impl ManagementAgent {
             blackboard: BTreeMap::new(),
             staged: BTreeMap::new(),
             staged_batches: BTreeMap::new(),
+            watched_flows: BTreeMap::new(),
         }
     }
 
@@ -169,6 +175,18 @@ impl ManagementAgent {
                     request: *request,
                     snapshots,
                 });
+            }
+            WireMessage::PollFlows { request, tags } => {
+                let flows = tags.iter().map(|t| (*t, device.stats.flow(*t))).collect();
+                out.push(WireMessage::FlowReport {
+                    request: *request,
+                    flows,
+                });
+            }
+            WireMessage::SubscribeFlows { tags } => {
+                // (Re)build the watch set, baselining each tag at its
+                // current counters so only *changes* from here on push.
+                self.watched_flows = tags.iter().map(|t| (*t, device.stats.flow(*t))).collect();
             }
             WireMessage::Stage { txn, primitives } => {
                 // Transactions are serial per NM and txn ids monotonic, so
@@ -317,10 +335,30 @@ impl ManagementAgent {
             | WireMessage::Notify(_)
             | WireMessage::ScriptResult { .. }
             | WireMessage::CounterReport { .. }
+            | WireMessage::FlowReport { .. }
             | WireMessage::StageResult { .. }
             | WireMessage::CommitResult { .. }
             | WireMessage::StageBatchResult { .. }
             | WireMessage::CommitBatchResult { .. } => {}
+        }
+        // Push-mode telemetry: if this exchange moved a watched flow's
+        // counters, report the delta's new totals unsolicited (request 0)
+        // alongside the regular replies.
+        if !self.watched_flows.is_empty() {
+            let mut changed = Vec::new();
+            for (tag, last) in self.watched_flows.iter_mut() {
+                let now = device.stats.flow(*tag);
+                if now != *last {
+                    *last = now;
+                    changed.push((*tag, now));
+                }
+            }
+            if !changed.is_empty() {
+                out.push(WireMessage::FlowReport {
+                    request: 0,
+                    flows: changed,
+                });
+            }
         }
         out
     }
@@ -782,6 +820,65 @@ mod tests {
         assert!(agent.blackboard().contains_key("pipe.10.seen-by"));
         assert!(!agent.blackboard().contains_key("pipe.30.seen-by"));
         assert_eq!(agent.staged_segment_count(), 0);
+    }
+
+    #[test]
+    fn flow_polls_answer_and_subscriptions_push_on_change() {
+        let (mut device, mut agent, _, _) = setup();
+        device.stats.flows.entry(7).or_default().forwarded = 2;
+
+        // Pull: a PollFlows is answered with the tag's counters.
+        let out = agent.handle(
+            &mut device,
+            &WireMessage::PollFlows {
+                request: 9,
+                tags: vec![7, 8],
+            },
+        );
+        match &out[0] {
+            WireMessage::FlowReport { request: 9, flows } => {
+                assert_eq!(flows.len(), 2);
+                assert_eq!(flows[0].0, 7);
+                assert_eq!(flows[0].1.forwarded, 2);
+                assert!(flows[1].1.is_empty(), "unseen tag reports zeroes");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Push: subscribing baselines the tag; only later changes push.
+        let out = agent.handle(&mut device, &WireMessage::SubscribeFlows { tags: vec![7] });
+        assert!(out.is_empty(), "subscribing alone pushes nothing");
+        let out = agent.handle(
+            &mut device,
+            &WireMessage::Script {
+                request: 1,
+                primitives: vec![],
+            },
+        );
+        assert_eq!(out.len(), 1, "no change, no push: {out:?}");
+        device.stats.flows.entry(7).or_default().forwarded = 5;
+        let out = agent.handle(
+            &mut device,
+            &WireMessage::Script {
+                request: 2,
+                primitives: vec![],
+            },
+        );
+        assert!(
+            out.iter().any(|m| matches!(m,
+                WireMessage::FlowReport { request: 0, flows }
+                    if flows == &vec![(7, device.stats.flow(7))])),
+            "a watched change pushes an unsolicited report: {out:?}"
+        );
+        // The push re-baselines: handling another message pushes nothing.
+        let out = agent.handle(
+            &mut device,
+            &WireMessage::Script {
+                request: 3,
+                primitives: vec![],
+            },
+        );
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

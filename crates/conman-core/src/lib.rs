@@ -41,5 +41,6 @@ pub use nm::{
 };
 pub use primitives::{Primitive, WireMessage};
 pub use runtime::{
-    ConfigureOutcome, ManagedNetwork, ReconcileReport, TransactionOutcome, WithdrawOutcome,
+    ConfigureOutcome, ControlLoop, GoalEndpoints, LoopConfig, ManagedNetwork, NmEvent,
+    ReconcileReport, TransactionOutcome, WithdrawOutcome,
 };

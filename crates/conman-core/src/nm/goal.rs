@@ -114,6 +114,14 @@ pub struct GoalRecord {
     pub excluded: BTreeSet<ModuleRef>,
     /// Last planning/execution error, for the manager's eyes.
     pub last_error: Option<String>,
+    /// Consecutive repair attempts that failed (execution rolled back or
+    /// the verification probe found no traffic) since the goal last
+    /// converged.  Reset to zero when the goal becomes `Active`, on
+    /// `update` and on `retry`.  When it reaches
+    /// [`GoalStore::max_repair_attempts`] the reconciler parks the goal
+    /// `Failed` instead of cycling `Pending`/`Degraded` → `Repairing`
+    /// forever (its pipe block is released with the pass as usual).
+    pub repair_attempts: u32,
 }
 
 impl GoalRecord {
@@ -183,7 +191,7 @@ impl std::error::Error for PlanError {}
 
 /// The NM's desired-state store: every declared goal, its status, and the
 /// shared-module bookkeeping.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GoalStore {
     goals: BTreeMap<GoalId, GoalRecord>,
     next_goal: u64,
@@ -197,9 +205,33 @@ pub struct GoalStore {
     /// Path-search limits used when planning (long chains need a larger
     /// step budget and a smaller path budget than the defaults).
     pub limits: PathFinderLimits,
+    /// How many consecutive failed repair attempts park a goal `Failed`
+    /// (see [`GoalRecord::repair_attempts`]).  `0` disables the budget —
+    /// the pre-loop behaviour, where an unrepairable goal cycles between
+    /// `Pending`/`Degraded` and `Repairing` on every pass forever.
+    pub max_repair_attempts: u32,
+}
+
+impl Default for GoalStore {
+    fn default() -> Self {
+        GoalStore {
+            goals: BTreeMap::new(),
+            next_goal: 0,
+            next_txn: 0,
+            next_pipe: 0,
+            module_index: BTreeMap::new(),
+            limits: PathFinderLimits::default(),
+            max_repair_attempts: Self::DEFAULT_MAX_REPAIR_ATTEMPTS,
+        }
+    }
 }
 
 impl GoalStore {
+    /// Default repair-attempt budget: enough for transient races (a fault
+    /// landing mid-pass converges on the next tick) without letting a goal
+    /// whose every candidate path is dead thrash the network indefinitely.
+    pub const DEFAULT_MAX_REPAIR_ATTEMPTS: u32 = 3;
+
     /// An empty store.
     pub fn new() -> Self {
         GoalStore::default()
@@ -219,6 +251,7 @@ impl GoalStore {
                 applied: None,
                 excluded: BTreeSet::new(),
                 last_error: None,
+                repair_attempts: 0,
             },
         );
         id
@@ -233,6 +266,7 @@ impl GoalStore {
                 rec.desired = desired;
                 rec.status = GoalStatus::Pending;
                 rec.last_error = None;
+                rec.repair_attempts = 0;
                 true
             }
             None => false,
@@ -349,9 +383,24 @@ impl GoalStore {
             Some(rec) if rec.status == GoalStatus::Failed => {
                 rec.status = GoalStatus::Pending;
                 rec.last_error = None;
+                rec.repair_attempts = 0;
                 true
             }
             _ => false,
+        }
+    }
+
+    /// Charge one failed repair attempt against `id`'s budget.  Returns
+    /// `true` when the budget is exhausted — the caller must park the goal
+    /// `Failed` instead of re-queueing it for another pass.
+    pub fn charge_repair_attempt(&mut self, id: GoalId) -> bool {
+        let budget = self.max_repair_attempts;
+        match self.goals.get_mut(&id) {
+            Some(rec) => {
+                rec.repair_attempts += 1;
+                budget > 0 && rec.repair_attempts >= budget
+            }
+            None => false,
         }
     }
 

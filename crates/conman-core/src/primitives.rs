@@ -348,6 +348,35 @@ pub enum WireMessage {
         /// The relayed envelopes, in relay order.
         envelopes: Vec<ModuleEnvelope>,
     },
+    /// NM → device: sample the device's per-flow counter attribution for
+    /// the listed flow tags (each tag is an owning goal's id).  The
+    /// flow-delta telemetry the autonomic loop's localisation runs on: one
+    /// message per device covers any number of goals.
+    PollFlows {
+        /// Request identifier for matching reports.
+        request: u64,
+        /// Flow tags (goal ids) to report.
+        tags: Vec<u64>,
+    },
+    /// NM → device: watch the listed flow tags.  After any subsequent
+    /// management exchange that changed a watched tag's counters, the agent
+    /// *pushes* an unsolicited [`WireMessage::FlowReport`] (with
+    /// `request == 0`) alongside its regular replies — the push-mode
+    /// complement to pull-style `PollCounters`/`PollFlows`.  An empty tag
+    /// list cancels the subscription.  No response is expected.
+    SubscribeFlows {
+        /// Flow tags (goal ids) to watch.
+        tags: Vec<u64>,
+    },
+    /// Device → NM: per-flow counter attribution.  `request` matches the
+    /// `PollFlows` that elicited it, or is `0` for a push-mode report from
+    /// a `SubscribeFlows` subscription.
+    FlowReport {
+        /// Request identifier this responds to (0 = unsolicited push).
+        request: u64,
+        /// `(flow tag, counters)` per reported tag, in tag order.
+        flows: Vec<(u64, netsim::stats::FlowCounters)>,
+    },
 }
 
 impl WireMessage {
@@ -394,6 +423,30 @@ mod tests {
         let back = WireMessage::decode(&bytes).unwrap();
         assert_eq!(back, msg);
         assert!(WireMessage::decode(b"not json").is_none());
+    }
+
+    #[test]
+    fn wire_roundtrip_flow_telemetry() {
+        let poll = WireMessage::PollFlows {
+            request: 3,
+            tags: vec![1, 2],
+        };
+        assert_eq!(WireMessage::decode(&poll.encode()).unwrap(), poll);
+        let sub = WireMessage::SubscribeFlows { tags: vec![7] };
+        assert_eq!(WireMessage::decode(&sub.encode()).unwrap(), sub);
+        let report = WireMessage::FlowReport {
+            request: 0,
+            flows: vec![(
+                7,
+                netsim::stats::FlowCounters {
+                    originated: 1,
+                    forwarded: 2,
+                    local_delivered: 3,
+                    drops: 4,
+                },
+            )],
+        };
+        assert_eq!(WireMessage::decode(&report.encode()).unwrap(), report);
     }
 
     #[test]

@@ -1,0 +1,524 @@
+//! The autonomic control loop: an event-driven NM runtime.
+//!
+//! Everything before this module was *call-driven*: an operator invoked
+//! `reconcile()` / the Healer, and the network converged exactly once.  The
+//! [`ControlLoop`] closes the loop the way CONMan's management plane is
+//! meant to run — push-style, continuously, with no operator in the path:
+//!
+//! 1. **Tick** — a [`StepClock`] advances the simulated network by one
+//!    fixed-width tick (`Network::run_until` lands exactly on the
+//!    boundary, so runs replay tick for tick), and the shared
+//!    [`TelemetrySchedule`] converts due rounds into events.
+//! 2. **Events** — the loop drains one unified [`NmEvent`] stream:
+//!    telemetry ticks, push-mode counter deltas from subscribed agents,
+//!    module notifications, operator submissions / updates / withdrawals.
+//!    Withdrawals coalesce into a single batched teardown and always win
+//!    over an in-flight repair.
+//! 3. **Health** — every `Active` goal with known endpoints gets a short
+//!    probe burst inside its own flow-attribution window; the goal is
+//!    marked `Degraded` when its **attributed delivery ratio** (delivered
+//!    vs. sent, from the destination host's per-goal
+//!    [`FlowCounters`](netsim::stats::FlowCounters)) drops below the
+//!    configured threshold — *not* when device totals move, so one goal's
+//!    fault never degrades its healthy neighbours.
+//! 4. **Diagnose** — degraded goals are handed to the pluggable
+//!    [`LoopClient`] (the `conman-diagnose` Diagnoser/Healer pair in the
+//!    full system), which localises the fault from per-goal flow deltas
+//!    under the other goals' live background traffic and reports the
+//!    modules the re-plan must avoid.
+//! 5. **Repair** — one **batched** `reconcile_with` pass re-plans and
+//!    re-executes everything that needs work (each device staged once and
+//!    committed once), verifies each repair with an end-to-end probe, and
+//!    epoch-tags the pass: a fault that lands *while* a pass is committing
+//!    fails that pass's verification and simply converges on the next
+//!    tick's epoch.
+//!
+//! On a converged network a tick sends **zero** management messages: health
+//! is judged from customer-side traffic, so the management plane is silent
+//! until something is actually wrong.
+
+use super::event::{EventQueue, GoalEndpoints, NmEvent};
+use super::reconcile::ReconcileReport;
+use super::ManagedNetwork;
+use crate::ids::ModuleRef;
+use crate::nm::goal::{GoalId, GoalStatus};
+use mgmt_channel::{ManagementChannel, TelemetrySchedule};
+use netsim::clock::{SimDuration, SimTime, StepClock};
+use netsim::device::DeviceId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Event budget for driving one probe (and its encapsulation chain) to
+/// quiescence; matches the testbeds' probe helpers.
+const PROBE_EVENT_BUDGET: u64 = 100_000;
+
+/// Tuning knobs of a [`ControlLoop`].
+#[derive(Debug, Clone, Copy)]
+pub struct LoopConfig {
+    /// Width of one tick of simulated time.
+    pub tick: SimDuration,
+    /// Telemetry period (health rounds fall due on this schedule; defaults
+    /// to one round per tick).
+    pub telemetry_period: SimDuration,
+    /// Probes sent per goal per health round.
+    pub probes_per_goal: u32,
+    /// A goal is `Degraded` when its attributed delivery percentage falls
+    /// *below* this threshold (100 = any loss degrades).
+    pub degraded_below_pct: u8,
+}
+
+impl Default for LoopConfig {
+    fn default() -> Self {
+        let tick = SimDuration::from_millis(100);
+        LoopConfig {
+            tick,
+            telemetry_period: tick,
+            probes_per_goal: 2,
+            degraded_below_pct: 100,
+        }
+    }
+}
+
+/// What the loop's diagnosis client reports for one degraded goal.
+#[derive(Debug, Clone, Default)]
+pub struct LoopDiagnosis {
+    /// Modules the goal's re-plan must avoid.
+    pub excluded: BTreeSet<ModuleRef>,
+    /// Path devices that did not answer telemetry (crashed or unreachable).
+    pub unresponsive: Vec<DeviceId>,
+    /// The device the prime suspect pins the fault to, if any.
+    pub blamed: Option<DeviceId>,
+    /// One-line human-readable verdict.
+    pub summary: String,
+}
+
+/// The loop's pluggable diagnosis stage.  `conman-diagnose` implements
+/// this with its Diagnoser (per-goal flow-delta localisation) and Healer
+/// (suspects → excluded modules) — the two become *clients of the loop*
+/// rather than operator entry points.  Without a client the loop still
+/// repairs by re-planning blind (good enough for transient faults).
+pub trait LoopClient<C: ManagementChannel> {
+    /// Localise why `goal` is not carrying traffic.  `endpoints` names the
+    /// goal's probe endpoints; `background` lists the *other* live goals so
+    /// the client can keep their traffic flowing during the measurement —
+    /// localisation must stay correct under load.
+    fn localise(
+        &mut self,
+        mn: &mut ManagedNetwork<C>,
+        goal: GoalId,
+        endpoints: GoalEndpoints,
+        background: &[(GoalId, GoalEndpoints)],
+    ) -> LoopDiagnosis;
+}
+
+/// What one tick did.
+#[derive(Debug, Clone, Default)]
+pub struct TickReport {
+    /// The tick's ordinal (1-based).
+    pub tick: u64,
+    /// Simulated time at the tick boundary.
+    pub at: SimTime,
+    /// The repair epoch after the tick (increments once per repair pass).
+    pub epoch: u64,
+    /// Events drained this tick.
+    pub events: usize,
+    /// Telemetry rounds that fell due.
+    pub telemetry_rounds: usize,
+    /// Push-mode counter-delta events received.
+    pub counter_deltas: usize,
+    /// Agent notifications received.
+    pub notifications: usize,
+    /// Goals submitted through the event stream this tick.
+    pub submitted: Vec<GoalId>,
+    /// Goals withdrawn this tick (their teardowns ran as one batch).
+    pub withdrawn: Vec<GoalId>,
+    /// Goals the health phase freshly degraded (attributed delivery ratio
+    /// below threshold).
+    pub degraded: Vec<GoalId>,
+    /// Per-goal diagnosis verdicts from the loop client.
+    pub diagnosed: Vec<(GoalId, LoopDiagnosis)>,
+    /// The repair pass, when one ran.
+    pub repair: Option<ReconcileReport>,
+    /// Management messages the NM sent during the tick (0 when converged).
+    pub nm_sent: u64,
+    /// Management messages the NM received during the tick.
+    pub nm_received: u64,
+}
+
+impl TickReport {
+    /// Did this tick leave the management plane silent?
+    pub fn quiescent(&self) -> bool {
+        self.nm_sent == 0 && self.nm_received == 0
+    }
+}
+
+/// A multi-tick run's worth of reports.
+#[derive(Debug, Clone, Default)]
+pub struct LoopReport {
+    /// Per-tick reports, in order.
+    pub ticks: Vec<TickReport>,
+    /// Did the run end with every goal settled (`Active` or `Failed`) and
+    /// the management plane silent?
+    pub converged: bool,
+}
+
+impl LoopReport {
+    /// The first tick (1-based ordinal) whose health phase degraded a goal.
+    pub fn first_detection(&self) -> Option<u64> {
+        self.ticks
+            .iter()
+            .find(|t| !t.degraded.is_empty())
+            .map(|t| t.tick)
+    }
+
+    /// The first tick whose repair pass left every stored goal `Active`.
+    pub fn first_repair(&self) -> Option<u64> {
+        self.ticks
+            .iter()
+            .find(|t| t.repair.as_ref().is_some_and(|r| r.converged()))
+            .map(|t| t.tick)
+    }
+}
+
+/// The autonomic control loop.  Owns the tick clock, the telemetry
+/// schedule, the event queue and the per-goal probe endpoints; drives a
+/// [`ManagedNetwork`]'s goal store to its desired state tick after tick
+/// with no operator in the path.
+pub struct ControlLoop<C: ManagementChannel> {
+    /// Tuning knobs (tick width, probe burst size, degradation threshold).
+    pub config: LoopConfig,
+    clock: StepClock,
+    schedule: TelemetrySchedule,
+    events: EventQueue,
+    client: Option<Box<dyn LoopClient<C>>>,
+    endpoints: BTreeMap<GoalId, GoalEndpoints>,
+    /// Last pushed per-device subscription lists (so quiescent ticks never
+    /// re-send subscriptions).
+    subscriptions: BTreeMap<DeviceId, Vec<u64>>,
+    probe_seq: u64,
+    epoch: u64,
+}
+
+impl<C: ManagementChannel> ControlLoop<C> {
+    /// A loop anchored at the network's current simulated time: tick
+    /// boundaries and telemetry rounds are laid out from "now", shared
+    /// between the [`StepClock`] and the [`TelemetrySchedule`].
+    pub fn new(mn: &ManagedNetwork<C>, config: LoopConfig) -> Self {
+        let now = mn.net.now();
+        let clock = StepClock::starting_at(now, config.tick);
+        let mut schedule = TelemetrySchedule::new(config.telemetry_period);
+        // First round due at the first tick boundary, not at time zero.
+        schedule.align_to(now + config.telemetry_period);
+        ControlLoop {
+            config,
+            clock,
+            schedule,
+            events: EventQueue::new(),
+            client: None,
+            endpoints: BTreeMap::new(),
+            subscriptions: BTreeMap::new(),
+            probe_seq: 0,
+            epoch: 0,
+        }
+    }
+
+    /// Attach a diagnosis client (builder style).
+    pub fn with_client(mut self, client: Box<dyn LoopClient<C>>) -> Self {
+        self.client = Some(client);
+        self
+    }
+
+    /// Completed ticks.
+    pub fn ticks(&self) -> u64 {
+        self.clock.ticks()
+    }
+
+    /// The current repair epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Queue a raw event.
+    pub fn enqueue(&mut self, event: NmEvent) {
+        self.events.push(event);
+    }
+
+    /// Operator intent: declare a goal (applied on the next tick).
+    pub fn submit(&mut self, goal: crate::nm::ConnectivityGoal, endpoints: Option<GoalEndpoints>) {
+        self.events.push(NmEvent::Submit { goal, endpoints });
+    }
+
+    /// Operator intent: withdraw a goal (processed on the next tick, before
+    /// any repair — a withdrawal cancels an in-flight repair cleanly).
+    pub fn withdraw(&mut self, id: GoalId) {
+        self.events.push(NmEvent::Withdraw(id));
+    }
+
+    /// Adopt a goal that was submitted to the store directly, registering
+    /// its probe endpoints with the loop.
+    pub fn track(&mut self, id: GoalId, endpoints: GoalEndpoints) {
+        self.endpoints.insert(id, endpoints);
+    }
+
+    /// Run one tick: advance the network to the tick boundary, drain the
+    /// event stream, and — when a telemetry round fell due — run the
+    /// health → diagnose → repair pipeline.
+    pub fn tick(&mut self, mn: &mut ManagedNetwork<C>) -> TickReport {
+        let before = mn.nm_counters();
+        let deadline = self.clock.advance();
+        mn.net.run_until(deadline);
+        let now = mn.net.now();
+        let mut report = TickReport {
+            tick: self.clock.ticks(),
+            at: now,
+            epoch: self.epoch,
+            ..Default::default()
+        };
+
+        // ---- 1. Event-ify this tick's inputs. -------------------------
+        for at in self.schedule.take_due(now) {
+            self.events.push(NmEvent::TelemetryDue { at });
+        }
+        for n in mn.notifications.drain(..) {
+            self.events.push(NmEvent::AgentNotification(n));
+        }
+        for (device, flows) in mn.take_pushed_flow_reports() {
+            self.events.push(NmEvent::CounterDelta { device, flows });
+        }
+
+        // ---- 2. Drain the stream, in arrival order. -------------------
+        let mut withdraws = Vec::new();
+        for event in self.events.drain() {
+            report.events += 1;
+            match event {
+                NmEvent::TelemetryDue { .. } => report.telemetry_rounds += 1,
+                NmEvent::CounterDelta { .. } => report.counter_deltas += 1,
+                NmEvent::AgentNotification(_) => report.notifications += 1,
+                NmEvent::Submit { goal, endpoints } => {
+                    let id = mn.submit(goal);
+                    if let Some(ep) = endpoints {
+                        self.endpoints.insert(id, ep);
+                    }
+                    report.submitted.push(id);
+                }
+                NmEvent::Update { id, goal } => {
+                    mn.update_goal(id, goal);
+                }
+                NmEvent::Withdraw(id) => withdraws.push(id),
+            }
+        }
+
+        // ---- 3. Withdrawals first: one batched teardown, and an
+        // in-flight repair of a withdrawn goal is simply dropped. --------
+        if !withdraws.is_empty() {
+            for id in &withdraws {
+                self.endpoints.remove(id);
+            }
+            mn.withdraw_many(&withdraws);
+            report.withdrawn = withdraws;
+            // The withdrawn goals' tags must stop being watched even if no
+            // repair pass runs this tick (the tick already carries teardown
+            // messages, so this costs no quiescent-tick silence).
+            self.refresh_subscriptions(mn);
+        }
+
+        if report.telemetry_rounds > 0 {
+            self.health_phase(mn, &mut report);
+            self.diagnose_phase(mn, &mut report);
+            self.repair_phase(mn, &mut report);
+        }
+
+        let after = mn.nm_counters();
+        report.nm_sent = after.sent.saturating_sub(before.sent);
+        report.nm_received = after.received.saturating_sub(before.received);
+        report
+    }
+
+    /// Tick until every stored goal is settled (`Active` or `Failed`), the
+    /// event queue is empty and the management plane went silent for a full
+    /// tick — or `max_ticks` ran out.
+    pub fn run_until_converged(
+        &mut self,
+        mn: &mut ManagedNetwork<C>,
+        max_ticks: u64,
+    ) -> LoopReport {
+        let mut report = LoopReport::default();
+        for _ in 0..max_ticks {
+            let tick = self.tick(mn);
+            let had_round = tick.telemetry_rounds > 0;
+            let silent = tick.nm_sent == 0;
+            report.ticks.push(tick);
+            let settled = mn
+                .goals
+                .iter()
+                .all(|r| matches!(r.status, GoalStatus::Active | GoalStatus::Failed));
+            if had_round && silent && settled && self.events.is_empty() {
+                report.converged = true;
+                return report;
+            }
+        }
+        report
+    }
+
+    /// One end-to-end probe burst for a goal, inside its flow-attribution
+    /// windows.  Returns `(sent, delivered)` with `delivered` read from the
+    /// destination host's per-goal [`FlowCounters`] — window-based
+    /// attribution, not device totals, so concurrent goals never score each
+    /// other's traffic.
+    fn burst(&mut self, mn: &mut ManagedNetwork<C>, id: GoalId, ep: GoalEndpoints) -> (u64, u64) {
+        let sent = u64::from(self.config.probes_per_goal.max(1));
+        let before = mn.net.flow_counters(ep.dst, id.0).local_delivered;
+        for _ in 0..sent {
+            self.probe_seq += 1;
+            let payload = format!("loop-{}-{}", id.0, self.probe_seq).into_bytes();
+            mn.net.begin_flow_window(id.0);
+            let _ = mn.net.send_udp(ep.src, ep.dst_ip, 40000, 7000, &payload);
+            mn.net.run_to_quiescence(PROBE_EVENT_BUDGET);
+            mn.net.end_flow_window();
+        }
+        // Keep the sink host's delivered-packet buffer from growing without
+        // bound across a long run; the verdict comes from the counters.
+        if let Ok(d) = mn.net.device_mut(ep.dst) {
+            let _ = d.take_delivered();
+        }
+        let after = mn.net.flow_counters(ep.dst, id.0).local_delivered;
+        (sent, after.saturating_sub(before))
+    }
+
+    /// Health: probe every `Active` goal with known endpoints; degrade the
+    /// ones whose attributed delivery ratio fell below threshold.
+    fn health_phase(&mut self, mn: &mut ManagedNetwork<C>, report: &mut TickReport) {
+        let active: Vec<GoalId> = mn
+            .goals
+            .ids()
+            .into_iter()
+            .filter(|id| mn.goals.status(*id) == Some(GoalStatus::Active))
+            .collect();
+        for id in active {
+            let Some(ep) = self.endpoints.get(&id).copied() else {
+                continue;
+            };
+            let (sent, delivered) = self.burst(mn, id, ep);
+            if delivered * 100 < u64::from(self.config.degraded_below_pct) * sent {
+                if let Some(rec) = mn.goals.get_mut(id) {
+                    rec.status = GoalStatus::Degraded;
+                    rec.last_error = Some(format!(
+                        "health round: {delivered}/{sent} probe(s) delivered for this goal"
+                    ));
+                }
+                report.degraded.push(id);
+            }
+        }
+    }
+
+    /// Diagnose: hand every degraded goal that still has an applied plan to
+    /// the loop client, with the other live goals as background traffic;
+    /// record the exclusions its re-plan must respect.
+    fn diagnose_phase(&mut self, mn: &mut ManagedNetwork<C>, report: &mut TickReport) {
+        let Some(mut client) = self.client.take() else {
+            return;
+        };
+        let work: Vec<GoalId> = mn
+            .goals
+            .ids()
+            .into_iter()
+            .filter(|id| mn.goals.status(*id).is_some_and(|s| s.needs_work()))
+            .collect();
+        for id in work {
+            if mn.goals.get(id).and_then(|r| r.applied()).is_none() {
+                continue;
+            }
+            let Some(ep) = self.endpoints.get(&id).copied() else {
+                continue;
+            };
+            let background: Vec<(GoalId, GoalEndpoints)> = self
+                .endpoints
+                .iter()
+                .filter(|(g, _)| **g != id && mn.goals.status(**g) == Some(GoalStatus::Active))
+                .map(|(g, e)| (*g, *e))
+                .collect();
+            let diagnosis = client.localise(mn, id, ep, &background);
+            mn.goals.mark_degraded(id, diagnosis.excluded.clone());
+            report.diagnosed.push((id, diagnosis));
+        }
+        self.client = Some(client);
+    }
+
+    /// Repair: one batched reconcile pass over everything that needs work,
+    /// each repair verified with an end-to-end probe.  The pass gets its
+    /// own epoch: a fault racing the pass fails verification and converges
+    /// under the next tick's epoch instead of wedging this one.
+    fn repair_phase(&mut self, mn: &mut ManagedNetwork<C>, report: &mut TickReport) {
+        let needs_work = mn.goals.iter().any(|r| r.status.needs_work());
+        if !needs_work {
+            return;
+        }
+        self.epoch += 1;
+        report.epoch = self.epoch;
+        let endpoints = self.endpoints.clone();
+        let mut seq = self.probe_seq;
+        let outcome = mn.reconcile_with(|mn, id| {
+            let ep = endpoints.get(&id)?;
+            seq += 1;
+            let payload = format!("verify-{}-{seq}", id.0).into_bytes();
+            mn.net
+                .send_udp(ep.src, ep.dst_ip, 40000, 7000, &payload)
+                .ok()?;
+            mn.net.run_to_quiescence(PROBE_EVENT_BUDGET);
+            let delivered = mn
+                .net
+                .device_mut(ep.dst)
+                .map(|d| d.take_delivered().iter().any(|p| p.payload == payload))
+                .unwrap_or(false);
+            Some(delivered)
+        });
+        self.probe_seq = seq;
+        self.refresh_subscriptions(mn);
+        report.repair = Some(outcome);
+    }
+
+    /// Subscribe every device on an active goal's path to push-mode flow
+    /// reports for the goals crossing it.  Only *changed* subscription
+    /// lists are re-sent, and only repair ticks call this — quiescent ticks
+    /// stay silent.
+    fn refresh_subscriptions(&mut self, mn: &mut ManagedNetwork<C>) {
+        let mut wanted: BTreeMap<DeviceId, Vec<u64>> = BTreeMap::new();
+        for rec in mn.goals.iter() {
+            if rec.status != GoalStatus::Active {
+                continue;
+            }
+            let Some(applied) = rec.applied() else {
+                continue;
+            };
+            for device in applied.path.devices() {
+                let tags = wanted.entry(device).or_default();
+                if !tags.contains(&rec.id.0) {
+                    tags.push(rec.id.0);
+                }
+            }
+        }
+        // Cancel before (re)subscribing: a device no active goal's path
+        // crosses any more gets the empty tag list, so its agent stops
+        // watching — otherwise goal churn would grow the watch sets (and
+        // this map) without bound and retired goal ids could keep pushing
+        // phantom reports.
+        let stale: Vec<DeviceId> = self
+            .subscriptions
+            .keys()
+            .filter(|d| !wanted.contains_key(d))
+            .copied()
+            .collect();
+        for device in stale {
+            mn.subscribe_flows(&[device], &[]);
+            self.subscriptions.remove(&device);
+        }
+        let changed: Vec<(DeviceId, Vec<u64>)> = wanted
+            .iter()
+            .filter(|(d, tags)| self.subscriptions.get(d) != Some(tags))
+            .map(|(d, tags)| (*d, tags.clone()))
+            .collect();
+        for (device, tags) in changed {
+            mn.subscribe_flows(&[device], &tags);
+            self.subscriptions.insert(device, tags);
+        }
+    }
+}

@@ -6,6 +6,9 @@
 //! goal to paths → execute the chosen path's scripts while relaying
 //! module-to-module messages and counting everything for Table VI.
 
+#[path = "loop.rs"]
+pub mod control_loop;
+pub mod event;
 pub mod reconcile;
 pub mod txn;
 
@@ -21,11 +24,20 @@ use netsim::device::DeviceId;
 use netsim::network::Network;
 use std::collections::BTreeMap;
 
+pub use control_loop::{
+    ControlLoop, LoopClient, LoopConfig, LoopDiagnosis, LoopReport, TickReport,
+};
+pub use event::{EventQueue, GoalEndpoints, NmEvent};
 pub use reconcile::{ReconcileAction, ReconcileOutcome, ReconcileReport, WithdrawOutcome};
-pub use txn::{BatchOutcome, TransactionOutcome, TxnEvent, TxnHook};
+pub use txn::GoalTeardown;
+pub use txn::{BatchOutcome, TeardownBatchOutcome, TransactionOutcome, TxnEvent, TxnHook};
 
 /// Per-primitive results of one device's commit.
 pub(crate) type CommitResults = Vec<Result<PrimitiveResult, String>>;
+
+/// One device's flow report: `(device, request id, per-tag counters)`;
+/// request 0 marks a push-mode report.
+pub type FlowReportEntry = (DeviceId, u64, Vec<(u64, netsim::stats::FlowCounters)>);
 
 /// Upper bound on relay rounds per management operation; real exchanges
 /// converge in a handful of rounds.
@@ -61,6 +73,12 @@ pub struct ManagedNetwork<C: ManagementChannel> {
     /// Counter reports received by the NM and not yet consumed:
     /// (device, request, snapshots).  Drained by [`Self::poll_counters`].
     pub counter_reports: Vec<(DeviceId, u64, Vec<CounterSnapshot>)>,
+    /// Flow-attribution reports received by the NM and not yet consumed:
+    /// (device, request, per-tag counters).  Solicited reports are drained
+    /// by [`Self::poll_flows`]; push-mode reports (`request == 0`, from
+    /// `SubscribeFlows` subscriptions) accumulate here until the control
+    /// loop drains them into its event stream.
+    pub flow_reports: Vec<FlowReportEntry>,
     /// The NM's declarative goal store (see [`reconcile`]).
     pub goals: GoalStore,
     /// Staging verdicts received by the NM, indexed by (device, txn) so the
@@ -102,6 +120,7 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             notifications: Vec::new(),
             script_results: Vec::new(),
             counter_reports: Vec::new(),
+            flow_reports: Vec::new(),
             goals: GoalStore::new(),
             stage_results: BTreeMap::new(),
             commit_results: BTreeMap::new(),
@@ -159,9 +178,11 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             // envelopes; it is counted once, under the convey category.
             WireMessage::RelayBatch { .. } => MessageCategory::ConveyMessage,
             WireMessage::Notify(_) => MessageCategory::Notification,
-            WireMessage::PollCounters { .. } | WireMessage::CounterReport { .. } => {
-                MessageCategory::Telemetry
-            }
+            WireMessage::PollCounters { .. }
+            | WireMessage::CounterReport { .. }
+            | WireMessage::PollFlows { .. }
+            | WireMessage::SubscribeFlows { .. }
+            | WireMessage::FlowReport { .. } => MessageCategory::Telemetry,
         }
     }
 
@@ -249,6 +270,71 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             }
         }
         out
+    }
+
+    /// Poll the per-flow counter attribution of every listed device for the
+    /// given flow tags (one `PollFlows` each) and return what the answering
+    /// devices reported.  Crashed devices do not answer — their absence is
+    /// itself diagnostic evidence, exactly as with [`Self::poll_counters`].
+    pub fn poll_flows(
+        &mut self,
+        devices: &[DeviceId],
+        tags: &[u64],
+    ) -> BTreeMap<DeviceId, BTreeMap<u64, netsim::stats::FlowCounters>> {
+        let first_request = self.next_request + 1;
+        for id in devices {
+            self.next_request += 1;
+            let msg = WireMessage::PollFlows {
+                request: self.next_request,
+                tags: tags.to_vec(),
+            };
+            self.send(self.nm_host, *id, &msg);
+        }
+        self.run_management();
+        let mut out = BTreeMap::new();
+        // Drain matched reports; push-mode reports (request 0) stay queued
+        // for the control loop's event stream.
+        let mut keep = Vec::new();
+        for (device, request, flows) in self.flow_reports.drain(..) {
+            if request >= first_request && request <= self.next_request {
+                out.insert(device, flows.into_iter().collect());
+            } else if request == 0 {
+                keep.push((device, request, flows));
+            }
+        }
+        self.flow_reports = keep;
+        out
+    }
+
+    /// Subscribe every listed device to push-mode flow reports for the
+    /// given tags (see [`WireMessage::SubscribeFlows`]).  An empty tag list
+    /// cancels the devices' subscriptions.
+    pub fn subscribe_flows(&mut self, devices: &[DeviceId], tags: &[u64]) {
+        for id in devices {
+            let msg = WireMessage::SubscribeFlows {
+                tags: tags.to_vec(),
+            };
+            self.send(self.nm_host, *id, &msg);
+        }
+        self.run_management();
+    }
+
+    /// Drain the push-mode flow reports (`request == 0`) that have
+    /// accumulated since the last drain.
+    pub fn take_pushed_flow_reports(
+        &mut self,
+    ) -> Vec<(DeviceId, Vec<(u64, netsim::stats::FlowCounters)>)> {
+        let mut pushed = Vec::new();
+        let mut keep = Vec::new();
+        for entry in self.flow_reports.drain(..) {
+            if entry.1 == 0 {
+                pushed.push((entry.0, entry.2));
+            } else {
+                keep.push(entry);
+            }
+        }
+        self.flow_reports = keep;
+        pushed
     }
 
     /// Map a goal to paths, choose one, and execute it — the original
@@ -362,6 +448,7 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             | WireMessage::ScriptResult { .. }
             | WireMessage::Notify(_)
             | WireMessage::CounterReport { .. }
+            | WireMessage::FlowReport { .. }
             | WireMessage::StageResult { .. }
             | WireMessage::CommitResult { .. }
             | WireMessage::StageBatchResult { .. }
@@ -369,6 +456,8 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             WireMessage::Module(env) => env.to.device != at,
             WireMessage::Script { .. }
             | WireMessage::PollCounters { .. }
+            | WireMessage::PollFlows { .. }
+            | WireMessage::SubscribeFlows { .. }
             | WireMessage::Stage { .. }
             | WireMessage::Commit { .. }
             | WireMessage::Abort { .. }
@@ -411,6 +500,9 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             WireMessage::CounterReport { request, snapshots } => {
                 self.counter_reports.push((from, request, snapshots));
             }
+            WireMessage::FlowReport { request, flows } => {
+                self.flow_reports.push((from, request, flows));
+            }
             WireMessage::StageResult { txn, errors } => {
                 self.stage_results.insert((from, txn), errors);
             }
@@ -425,6 +517,8 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             }
             WireMessage::Script { .. }
             | WireMessage::PollCounters { .. }
+            | WireMessage::PollFlows { .. }
+            | WireMessage::SubscribeFlows { .. }
             | WireMessage::Stage { .. }
             | WireMessage::Commit { .. }
             | WireMessage::Abort { .. }

@@ -17,7 +17,7 @@
 //! the `goals` bench compares against, and as an equivalence oracle for
 //! the batched path.
 
-use super::txn::TransactionOutcome;
+use super::txn::{GoalTeardown, TransactionOutcome};
 use super::ManagedNetwork;
 use crate::ids::ModuleRef;
 use crate::nm::goal::{AppliedPlan, GoalId, GoalStatus, Plan, PlanError};
@@ -64,8 +64,9 @@ pub struct ReconcileReport {
     pub outcomes: Vec<ReconcileOutcome>,
     /// Transactions executed during the pass (0 on a converged network —
     /// reconcile is idempotent).  A batched pass counts one transaction for
-    /// the whole batch, plus one per stale-configuration teardown and one
-    /// per best-effort restore.
+    /// the whole batch, one for the pass's coalesced stale-configuration
+    /// teardowns (all replaced goals share a single batched lenient
+    /// teardown), and one per best-effort restore.
     pub transactions: usize,
     /// Management messages the NM sent during this pass (counter delta
     /// around the call, so callers no longer diff `nm_counters()`
@@ -168,6 +169,30 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         self.plan_for_path(id, &path)
     }
 
+    /// [`Self::plan_goal`], with the reconciler's suspect-fallback: when no
+    /// path avoids the goal's excluded modules — diagnosis blamed an *edge*
+    /// module every path must traverse — the exclusions are dropped and the
+    /// goal re-planned straight through the suspects.  Lost configuration
+    /// state (flushed tables, wiped label maps) is repaired by
+    /// *reconfiguring* the blamed module; if the module is genuinely dead
+    /// the verification probe fails the reinstall and the repair-attempt
+    /// budget parks the goal `Failed` instead of thrashing.
+    fn plan_goal_or_reinstall(&mut self, id: GoalId) -> Result<Plan, PlanError> {
+        match self.plan_goal(id) {
+            Err(PlanError::NoPath)
+                if self.goals.get(id).is_some_and(|r| !r.excluded.is_empty()) =>
+            {
+                self.goals
+                    .get_mut(id)
+                    .expect("goal exists")
+                    .excluded
+                    .clear();
+                self.plan_goal(id)
+            }
+            other => other,
+        }
+    }
+
     /// Dry-run planning for an explicit path (used by the self-healing
     /// layer, which ranks its own candidate list).
     ///
@@ -262,27 +287,61 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
     /// other goal's applied plan still traverses them) and remove it from
     /// the store.
     pub fn withdraw(&mut self, id: GoalId) -> WithdrawOutcome {
-        let mut outcome = WithdrawOutcome::default();
-        let Some(rec) = self.goals.get(id) else {
-            return outcome;
-        };
-        // Modules only this goal uses — released once it is gone.
-        let users = self.goals.module_users();
-        if let Some(applied) = rec.applied() {
-            let mut seen = BTreeSet::new();
-            for step in &applied.path.steps {
-                if seen.insert(step.module.clone())
-                    && users
+        self.withdraw_many(&[id]).pop().unwrap_or_default()
+    }
+
+    /// Withdraw several goals in one pass: all their teardowns run as
+    /// **one** batched lenient transaction (each touched device staged once
+    /// and committed once for the whole pass, instead of one transaction
+    /// per goal), then the records are removed.  Sharing stays correct
+    /// across the batch: a module is `released` only when no *surviving*
+    /// goal's applied plan traverses it, and it is attributed to the first
+    /// withdrawn goal that used it.
+    pub fn withdraw_many(&mut self, ids: &[GoalId]) -> Vec<WithdrawOutcome> {
+        let removing: BTreeSet<GoalId> = ids.iter().copied().collect();
+        let mut outcomes: Vec<WithdrawOutcome> = Vec::with_capacity(ids.len());
+        let mut teardowns: Vec<GoalTeardown> = Vec::new();
+        let mut released_seen: BTreeSet<ModuleRef> = BTreeSet::new();
+        for &id in ids {
+            let mut outcome = WithdrawOutcome::default();
+            let Some(rec) = self.goals.get(id) else {
+                outcomes.push(outcome);
+                continue;
+            };
+            // Modules no surviving goal uses — released once the batch is
+            // gone.
+            let users = self.goals.module_users();
+            if let Some(applied) = rec.applied() {
+                for step in &applied.path.steps {
+                    if users
                         .get(&step.module)
-                        .is_some_and(|g| g.len() == 1 && g.contains(&id))
-                {
-                    outcome.released.push(step.module.clone());
+                        .is_some_and(|g| g.contains(&id) && g.iter().all(|u| removing.contains(u)))
+                        && released_seen.insert(step.module.clone())
+                    {
+                        outcome.released.push(step.module.clone());
+                    }
+                }
+            }
+            if let Some(applied) = self.goals.take_applied(id) {
+                teardowns.push((id, applied.scripts.teardown()));
+            }
+            outcome.removed = true;
+            outcomes.push(outcome);
+        }
+        if !teardowns.is_empty() {
+            let batch = self.run_teardown_batch(&teardowns, &[]);
+            for (i, &id) in ids.iter().enumerate() {
+                if let Some(count) = batch.per_goal.get(&id) {
+                    outcomes[i].teardown_primitives = *count;
                 }
             }
         }
-        outcome.teardown_primitives = self.teardown_goal(id, &[]);
-        outcome.removed = self.goals.remove(id).is_some();
-        outcome
+        for (i, &id) in ids.iter().enumerate() {
+            if outcomes[i].removed {
+                outcomes[i].removed = self.goals.remove(id).is_some();
+            }
+        }
+        outcomes
     }
 
     /// Drive every stored goal toward its desired state without
@@ -364,8 +423,9 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         // released again below, so failed passes do not leak id space.
         let pipe_floor = self.goals.peek_pipe_base();
         let mut items: Vec<(GoalId, bool, Option<AppliedPlan>, Plan)> = Vec::new();
+        let mut stale: Vec<GoalTeardown> = Vec::new();
         for id in work {
-            let plan = match self.plan_goal(id) {
+            let plan = match self.plan_goal_or_reinstall(id) {
                 Ok(plan) => plan,
                 Err(e) => {
                     let rec = self.goals.get_mut(id).expect("goal exists");
@@ -387,15 +447,22 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             if let Some(rec) = self.goals.get_mut(id) {
                 rec.status = GoalStatus::Repairing;
             }
-            let previous = self.goals.get(id).and_then(|r| r.applied().cloned());
+            // A replacement exists: collect the stale configuration's
+            // teardown; all of the pass's teardowns run below as one
+            // batched lenient transaction.
+            let previous = self.goals.take_applied(id);
             let had_applied = previous.is_some();
-            if had_applied {
-                // A replacement exists: tear the stale configuration down
-                // before the batch applies the new one.
-                self.teardown_goal(id, &[]);
-                report.transactions += 1;
+            if let Some(prev) = &previous {
+                stale.push((id, prev.scripts.teardown()));
             }
             items.push((id, had_applied, previous, plan));
+        }
+        // Tear every replaced goal's stale configuration down as ONE
+        // batched transaction (each device staged once and committed once
+        // for the whole teardown phase), not one per goal.
+        if !stale.is_empty() {
+            self.run_teardown_batch(&stale, &[]);
+            report.transactions += 1;
         }
 
         if !items.is_empty() {
@@ -530,7 +597,7 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         // Plan first — it is a pure dry run, and if no path exists the
         // stale-but-possibly-working configuration must be left standing (a
         // degraded path carrying some traffic beats no path at all).
-        let plan = match self.plan_goal(id) {
+        let plan = match self.plan_goal_or_reinstall(id) {
             Ok(plan) => plan,
             Err(e) => {
                 let rec = self.goals.get_mut(id).expect("goal exists");
@@ -576,26 +643,42 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
     {
         match self.probe_goal(id, probe) {
             Some(false) => {
+                // A committed plan that carries no traffic burns one repair
+                // attempt; past the budget the goal parks `Failed` instead
+                // of cycling Degraded → Repairing forever.
+                let exhausted = self.goals.charge_repair_attempt(id);
                 let rec = self.goals.get_mut(id).expect("goal exists");
-                rec.status = GoalStatus::Degraded;
-                rec.last_error = Some("verification probe failed".into());
+                let status = if exhausted {
+                    rec.last_error = Some(format!(
+                        "verification probe failed; giving up after {} repair attempt(s)",
+                        rec.repair_attempts
+                    ));
+                    GoalStatus::Failed
+                } else {
+                    rec.last_error = Some("verification probe failed".into());
+                    GoalStatus::Degraded
+                };
+                rec.status = status;
                 ReconcileOutcome {
                     goal: id,
                     action: ReconcileAction::ProbeFailed,
-                    status: GoalStatus::Degraded,
+                    status,
                     error: rec.last_error.clone(),
                 }
             }
-            _ => ReconcileOutcome {
-                goal: id,
-                action: if had_applied {
-                    ReconcileAction::Reapplied
-                } else {
-                    ReconcileAction::Applied
-                },
-                status: GoalStatus::Active,
-                error: None,
-            },
+            _ => {
+                self.goals.get_mut(id).expect("goal exists").repair_attempts = 0;
+                ReconcileOutcome {
+                    goal: id,
+                    action: if had_applied {
+                        ReconcileAction::Reapplied
+                    } else {
+                        ReconcileAction::Applied
+                    },
+                    status: GoalStatus::Active,
+                    error: None,
+                }
+            }
         }
     }
 
@@ -617,13 +700,29 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                 self.goals.set_applied(id, Some(prev));
             }
         }
+        // A rolled-back execution burns one repair attempt; past the budget
+        // the goal parks `Failed` instead of re-entering the work list on
+        // every pass (the pipe block it would have used is released with
+        // the pass).
+        let exhausted = self.goals.charge_repair_attempt(id);
         let rec = self.goals.get_mut(id).expect("goal exists");
-        rec.status = GoalStatus::Pending;
+        let (status, error) = if exhausted {
+            (
+                GoalStatus::Failed,
+                format!(
+                    "{error}; giving up after {} repair attempt(s)",
+                    rec.repair_attempts
+                ),
+            )
+        } else {
+            (GoalStatus::Pending, error)
+        };
+        rec.status = status;
         rec.last_error = Some(error.clone());
         ReconcileOutcome {
             goal: id,
             action: ReconcileAction::ExecuteFailed,
-            status: GoalStatus::Pending,
+            status,
             error: Some(error),
         }
     }

@@ -93,6 +93,32 @@ impl BatchOutcome {
     }
 }
 
+/// One goal's teardown work: its delete primitives grouped per device
+/// (the shape `ScriptSet::teardown` returns).
+pub type GoalTeardown = (GoalId, Vec<(DeviceId, Vec<Primitive>)>);
+
+/// What a batched lenient teardown did: every goal's delete scripts in the
+/// pass ran as **one** StageBatch/CommitBatch transaction — each touched
+/// device staged once and committed once for the whole teardown phase,
+/// instead of one lenient transaction per goal (the ROADMAP's batched
+/// teardown item).
+#[derive(Debug, Clone, Default)]
+pub struct TeardownBatchOutcome {
+    /// The transaction id shared by every device in the batch.
+    pub txn: u64,
+    /// Devices that carried at least one teardown segment.
+    pub devices_contacted: usize,
+    /// Total delete primitives committed across all segments.
+    pub primitives: usize,
+    /// Delete primitives committed per goal.
+    pub per_goal: BTreeMap<GoalId, usize>,
+    /// Devices skipped leniently (listed in `skip`, silent, or crashed
+    /// between the phases) — deletes are idempotent and a rebooted device
+    /// comes back with clean state, exactly as with
+    /// [`ManagedNetwork::run_teardown`].
+    pub skipped: Vec<DeviceId>,
+}
+
 /// What a transaction did.
 #[derive(Debug, Clone, Default)]
 pub struct TransactionOutcome {
@@ -353,6 +379,110 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         }
         self.run_management();
         outcome.committed = true;
+        outcome
+    }
+
+    /// Execute many goals' teardown scripts (all-`delete`) as **one**
+    /// batched lenient transaction: every touched device is staged once
+    /// (all goals' delete segments in one `StageBatch`) and committed once,
+    /// so a withdraw- or update-heavy pass costs one stage + one commit
+    /// round-trip per device instead of one transaction per goal.
+    ///
+    /// Teardown semantics stay lenient: devices in `skip` are not contacted
+    /// at all, and a device that does not answer either phase is passed
+    /// over (its staged deletes are aborted so a rebooting agent does not
+    /// hold them forever) — never rolled back, since deletes are idempotent
+    /// and a crashed device loses the state at reboot anyway.
+    pub fn run_teardown_batch(
+        &mut self,
+        items: &[GoalTeardown],
+        skip: &[DeviceId],
+    ) -> TeardownBatchOutcome {
+        let txn = self.goals.next_txn();
+        let mut outcome = TeardownBatchOutcome {
+            txn,
+            ..Default::default()
+        };
+        let mut segments: BTreeMap<DeviceId, Vec<ScriptSegment>> = BTreeMap::new();
+        for (goal, teardown) in items {
+            outcome.per_goal.entry(*goal).or_insert(0);
+            for (device, primitives) in teardown {
+                if skip.contains(device) || primitives.is_empty() {
+                    continue;
+                }
+                segments.entry(*device).or_default().push(ScriptSegment {
+                    goal: goal.0,
+                    primitives: primitives.clone(),
+                });
+            }
+        }
+        outcome.devices_contacted = segments.len();
+        if segments.is_empty() {
+            return outcome;
+        }
+        let prev_batch_relays = self.batch_relays;
+        self.batch_relays = true;
+
+        // ---- Phase 1: stage every device once. ------------------------
+        let goals_by_device: BTreeMap<DeviceId, Vec<u64>> = segments
+            .iter()
+            .map(|(d, segs)| (*d, segs.iter().map(|s| s.goal).collect()))
+            .collect();
+        for (device, segs) in std::mem::take(&mut segments) {
+            let msg = WireMessage::StageBatch {
+                txn,
+                segments: segs,
+            };
+            self.send(self.nm_host(), device, &msg);
+        }
+        self.run_management();
+        // Deletes always validate, so a device either answers (committable)
+        // or is silent (lenient skip).
+        let mut committable = Vec::new();
+        for device in goals_by_device.keys() {
+            match self.take_stage_batch_result(*device, txn) {
+                Some(_) => committable.push(*device),
+                None => outcome.skipped.push(*device),
+            }
+        }
+
+        // ---- Phase 2: commit each answering device once. --------------
+        for device in &committable {
+            self.send(
+                self.nm_host(),
+                *device,
+                &WireMessage::CommitBatch {
+                    txn,
+                    goals: goals_by_device[device].clone(),
+                },
+            );
+        }
+        self.run_management();
+        for device in committable {
+            match self.take_commit_batch_result(device, txn) {
+                Some(segs) => {
+                    for sc in segs {
+                        outcome.primitives += sc.results.len();
+                        *outcome.per_goal.entry(GoalId(sc.goal)).or_insert(0) += sc.results.len();
+                    }
+                }
+                None => {
+                    // Crashed between the phases: abort so the agent does
+                    // not hold the staged deletes forever if it comes back.
+                    self.send(
+                        self.nm_host(),
+                        device,
+                        &WireMessage::AbortBatch {
+                            txn,
+                            goals: goals_by_device[&device].clone(),
+                        },
+                    );
+                    outcome.skipped.push(device);
+                }
+            }
+        }
+        self.run_management();
+        self.batch_relays = prev_batch_relays;
         outcome
     }
 

@@ -1,4 +1,17 @@
-//! Counter-based fault localisation along a configured module path.
+//! Fault localisation along a configured module path from **per-goal**
+//! counter deltas.
+//!
+//! The frontier walk follows the paper's sketch (§III-C): compare counters
+//! along the configured path before and after a burst of end-to-end probes
+//! and find where the traffic disappears.  What changed with the autonomic
+//! loop is *which* counters drive the walk: instead of device-total module
+//! tallies — which a second goal's traffic through the same devices
+//! pollutes — the walk runs on window-based [`FlowCounters`] deltas
+//! attributed to the diagnosed goal's flow tag (`PollFlows` over the
+//! management channel).  Device totals from the module snapshots are still
+//! polled, but only to *refine* a blamed device down to the module whose
+//! drop-reason counters moved (healthy background traffic drops nothing, so
+//! drop deltas stay attributable even under load).
 
 use crate::report::{FaultReport, Suspect, SuspectTarget};
 use crate::telemetry::TelemetryRound;
@@ -8,38 +21,30 @@ use conman_core::nm::ModulePath;
 use conman_core::runtime::ManagedNetwork;
 use mgmt_channel::ManagementChannel;
 use netsim::device::DeviceId;
+use netsim::stats::FlowCounters;
 use std::collections::BTreeMap;
 
-/// Localises faults on a configured path by comparing per-module counter
-/// snapshots taken before and after a burst of end-to-end probes.
+/// Localises faults on a configured path by comparing per-goal flow deltas
+/// taken before and after a burst of end-to-end probes.
 ///
-/// The algorithm is exactly the paper's sketch (§III-C): walk the pipe's
-/// module path, compare per-module counters, and find where the traffic
-/// disappears.  The NM never interprets a protocol field — only generic
-/// rx/tx/drop counters and drop-reason names the modules chose to expose.
-///
-/// ## Known limitation: counter sharing
-///
-/// Several modules (IP, MPLS) derive their snapshots from device-level
-/// tallies, and ETH pipes count all data-plane traffic on their port, so
-/// the counter deltas assume the probe burst dominates the sampling window.
-/// Heavy unrelated traffic through the same devices — a second managed
-/// goal, background flows — can mask a frontier or misattribute drops
-/// between same-kind modules on one device.  Setting [`Diagnoser::flow_tag`]
-/// (or using [`Diagnoser::for_goal`]) runs the burst inside a per-goal
-/// flow-attribution window, so the device-level tallies stay separable per
-/// goal (`netsim::stats::FlowCounters`); feeding those per-goal deltas into
-/// the frontier walk itself is the remaining step — until then, diagnose
-/// during a quiet window or with enough probes to dominate it.
+/// The probe burst runs inside a `netsim` flow-attribution window tagged
+/// with [`Diagnoser::flow_tag`] (the owning goal's id; tag 0 when unset),
+/// and the walk compares each path device's per-tag
+/// `originated`/`forwarded`/`delivered`/`drops` deltas — so the frontier is
+/// found correctly even while dozens of other goals push traffic through
+/// the same devices, as long as that background traffic runs *outside* the
+/// goal's window (which [`Diagnoser::diagnose_with_background`] arranges
+/// when the control loop diagnoses under load).
 #[derive(Debug, Clone, Copy)]
 pub struct Diagnoser {
     /// End-to-end probes sent per diagnosis pass (values below 1 are
     /// treated as 1 — zero probes could only ever produce a vacuous
     /// "healthy" verdict).
     pub probes: u32,
-    /// Flow tag (the owning goal's id) the probe burst runs under.  When
-    /// set, the burst is wrapped in a `netsim` flow-attribution window so
-    /// its per-device counters stay separable from other goals' traffic.
+    /// Flow tag (the owning goal's id) the probe burst runs under.  The
+    /// burst is wrapped in a `netsim` flow-attribution window so its
+    /// per-device counters stay separable from other goals' traffic; when
+    /// unset, tag 0 (never a goal id — goal ids start at 1) is used.
     pub flow_tag: Option<u64>,
 }
 
@@ -68,9 +73,11 @@ impl Diagnoser {
         self
     }
 
-    /// Run one diagnosis pass: snapshot counters along `path`, drive
-    /// `probe` (which must inject one end-to-end datagram for the goal and
-    /// report delivery), snapshot again, and localise any loss.
+    /// Run one diagnosis pass: snapshot per-goal flow counters (and module
+    /// counters, for drop-reason refinement) along `path`, drive `probe`
+    /// (which must inject one end-to-end datagram for the goal and report
+    /// delivery), snapshot again, and localise any loss from the per-goal
+    /// deltas.
     pub fn diagnose<C, P>(
         &self,
         mn: &mut ManagedNetwork<C>,
@@ -81,52 +88,93 @@ impl Diagnoser {
         C: ManagementChannel,
         P: FnMut(&mut ManagedNetwork<C>) -> bool,
     {
+        self.diagnose_with_background(mn, path, probe, &mut |_| {})
+    }
+
+    /// [`Self::diagnose`] under concurrent load: `background` is invoked
+    /// between probes to inject the *other* goals' traffic (each burst in
+    /// its own flow window), so the measurement window contains realistic
+    /// cross-traffic and the per-goal attribution — not probe dominance —
+    /// is what keeps the frontier walk correct.  This is how the autonomic
+    /// control loop diagnoses one degraded goal while the rest of the fleet
+    /// keeps carrying traffic.
+    pub fn diagnose_with_background<C, P, B>(
+        &self,
+        mn: &mut ManagedNetwork<C>,
+        path: &ModulePath,
+        probe: &mut P,
+        background: &mut B,
+    ) -> FaultReport
+    where
+        C: ManagementChannel,
+        P: FnMut(&mut ManagedNetwork<C>) -> bool,
+        B: FnMut(&mut ManagedNetwork<C>),
+    {
         // Clamp: `probes` is a public field, and zero probes would make
         // `delivered == probes` vacuously true for a dead path.
         let probes = self.probes.max(1);
+        let tag = self.flow_tag.unwrap_or(0);
         let devices = path.devices();
-        let before = TelemetryRound {
+        let flows_before = mn.poll_flows(&devices, &[tag]);
+        let mods_before = TelemetryRound {
             at: mn.net.now(),
             snapshots: mn.poll_counters(&devices),
         };
-        if let Some(tag) = self.flow_tag {
-            mn.net.begin_flow_window(tag);
-        }
         let mut delivered = 0u32;
         for _ in 0..probes {
+            // The goal's own probe runs inside its window; the background
+            // traffic runs outside it (in other goals' windows), so the
+            // per-tag deltas stay attributable.
+            mn.net.begin_flow_window(tag);
             if probe(mn) {
                 delivered += 1;
             }
-        }
-        if self.flow_tag.is_some() {
             mn.net.end_flow_window();
+            background(mn);
         }
-        let after = TelemetryRound {
+        let flows_after = mn.poll_flows(&devices, &[tag]);
+        let mods_after = TelemetryRound {
             at: mn.net.now(),
             snapshots: mn.poll_counters(&devices),
         };
         if delivered == probes {
             return FaultReport::healthy(probes);
         }
-        self.localise(mn, path, &devices, &before, &after, delivered)
+        self.localise(
+            mn,
+            path,
+            &devices,
+            tag,
+            &flows_before,
+            &flows_after,
+            &mods_before,
+            &mods_after,
+            delivered,
+        )
     }
 
+    /// The frontier walk over per-goal flow deltas, refined per device by
+    /// module drop-reason deltas.
+    #[allow(clippy::too_many_arguments)]
     fn localise<C: ManagementChannel>(
         &self,
         mn: &ManagedNetwork<C>,
         path: &ModulePath,
         devices: &[DeviceId],
-        before: &TelemetryRound,
-        after: &TelemetryRound,
+        tag: u64,
+        flows_before: &BTreeMap<DeviceId, BTreeMap<u64, FlowCounters>>,
+        flows_after: &BTreeMap<DeviceId, BTreeMap<u64, FlowCounters>>,
+        mods_before: &TelemetryRound,
+        mods_after: &TelemetryRound,
         delivered: u32,
     ) -> FaultReport {
         let mut suspects = Vec::new();
 
-        // Devices that did not answer the telemetry poll at all.
+        // Devices that did not answer the flow poll at all.
         let unresponsive: Vec<DeviceId> = devices
             .iter()
             .copied()
-            .filter(|d| !after.snapshots.contains_key(d))
+            .filter(|d| !flows_after.contains_key(d))
             .collect();
         for d in &unresponsive {
             suspects.push(Suspect {
@@ -139,43 +187,38 @@ impl Diagnoser {
             });
         }
 
-        // Per-module counter deltas for the devices that did answer.
-        let deltas = module_deltas(before, after);
         let need = u64::from(self.probes.max(1));
-
-        // Per-device ingress/egress counters, read off the path's first and
-        // last step on each device (the modules facing the previous and next
-        // hop).
-        let entries = device_entry_exit(path, devices);
-        let advanced = |m: Option<&ModuleRef>, rx: bool| -> Option<u64> {
-            let module = m?;
-            let d = deltas.get(module)?;
-            Some(if rx {
-                d.totals.rx_packets
-            } else {
-                d.totals.tx_packets
+        let mod_deltas = module_deltas(mods_before, mods_after);
+        // Per-device per-goal deltas across the probe burst; a device that
+        // missed the baseline poll contributes no delta at all.
+        let delta = |d: DeviceId| -> Option<FlowCounters> {
+            let before = flows_before.get(&d)?.get(&tag).copied().unwrap_or_default();
+            let after = flows_after.get(&d)?.get(&tag).copied().unwrap_or_default();
+            Some(FlowCounters {
+                originated: after.originated.saturating_sub(before.originated),
+                forwarded: after.forwarded.saturating_sub(before.forwarded),
+                local_delivered: after.local_delivered.saturating_sub(before.local_delivered),
+                drops: after.drops.saturating_sub(before.drops),
             })
         };
+        // Goal traffic that reached the device at all (it was forwarded on,
+        // eaten, or locally delivered) vs. traffic the device moved onward.
+        let arrived = |d: DeviceId| delta(d).map(|f| f.forwarded + f.drops + f.local_delivered);
+        let moved_on = |d: DeviceId| delta(d).map(|f| f.forwarded);
 
         // Walk the device chain looking for the loss frontier.
         for (i, device) in devices.iter().enumerate() {
-            let (entry, exit) = &entries[i];
-            let responded = after.snapshots.contains_key(device);
-            let rx_in = advanced(entry.as_ref(), true);
-            let tx_out = advanced(exit.as_ref(), false);
-
-            // Inter-device check: we forwarded towards the next device —
-            // did its ingress see anything?
-            if let (Some(tx), true) = (tx_out, i + 1 < devices.len()) {
+            // Inter-device check: this device forwarded the goal's frames
+            // towards the next device — did the goal's slice of the next
+            // device's counters see them?
+            if let (Some(tx), true) = (moved_on(*device), i + 1 < devices.len()) {
                 let next = devices[i + 1];
-                let (next_entry, _) = &entries[i + 1];
-                let next_rx = advanced(next_entry.as_ref(), true);
-                // Total blackhole (nothing arrived) is near-certain; partial
-                // loss (fewer frames than were sent) still points at the
-                // link, with lower confidence.
                 if let (true, true, Some(rx)) =
-                    (tx >= need, after.snapshots.contains_key(&next), next_rx)
+                    (tx >= need, flows_after.contains_key(&next), arrived(next))
                 {
+                    // Total blackhole (nothing arrived) is near-certain;
+                    // partial loss still points at the link, with lower
+                    // confidence.
                     if rx < need {
                         suspects.push(Suspect {
                             target: SuspectTarget::Link {
@@ -185,7 +228,7 @@ impl Diagnoser {
                             },
                             confidence_pct: if rx == 0 { 90 } else { 70 },
                             evidence: vec![format!(
-                                "{} transmitted {} frame(s) towards {} but its ingress pipe saw only {}",
+                                "{} forwarded {} of the goal's frame(s) towards {} but only {} arrived there",
                                 mn.nm.device_alias(*device),
                                 tx,
                                 mn.nm.device_alias(next),
@@ -196,23 +239,23 @@ impl Diagnoser {
                 }
             }
 
-            // Intra-device check: traffic entered but never left — blame the
-            // module whose drop counters moved.
-            if !responded {
+            // Intra-device check: the goal's traffic entered but never left
+            // — blame the path module whose drop counters moved.
+            if !flows_after.contains_key(device) {
                 continue;
             }
-            if let (Some(rx), Some(tx)) = (rx_in, tx_out) {
+            if let (Some(rx), Some(tx)) = (arrived(*device), moved_on(*device)) {
                 if rx >= need && tx < need {
-                    if let Some((module, reasons)) = biggest_dropper(path, *device, &deltas) {
+                    if let Some((module, reasons)) = biggest_dropper(path, *device, &mod_deltas) {
                         suspects.push(Suspect {
                             target: SuspectTarget::Module(module.clone()),
                             confidence_pct: 85,
                             evidence: vec![format!(
-                                "{} entered {} ({} frame(s) in, {} out); drop counters moved: {}",
+                                "the goal's traffic entered {} ({} frame(s) in, {} forwarded on) and {}'s drop counters moved: {}",
                                 mn.nm.device_alias(*device),
-                                module,
                                 rx,
                                 tx,
+                                module,
                                 reasons,
                             )],
                         });
@@ -221,7 +264,7 @@ impl Diagnoser {
                             target: SuspectTarget::Device(*device),
                             confidence_pct: 60,
                             evidence: vec![format!(
-                                "traffic entered {} ({} frame(s)) but never left ({}), with no attributable drop counter",
+                                "the goal's traffic entered {} ({} frame(s)) but never left ({}), with no attributable drop counter",
                                 mn.nm.device_alias(*device),
                                 rx,
                                 tx,
@@ -237,7 +280,7 @@ impl Diagnoser {
                 target: SuspectTarget::Unlocated,
                 confidence_pct: 30,
                 evidence: vec![
-                    "every managed module forwarded the probes; the loss is outside the managed path"
+                    "every managed device forwarded the goal's probes; the loss is outside the managed path"
                         .to_string(),
                 ],
             });
@@ -273,33 +316,10 @@ fn module_deltas(
     out
 }
 
-/// For each device on the path, the modules its first and last step touch —
-/// the ingress and egress ends the frontier walk compares.
-fn device_entry_exit(
-    path: &ModulePath,
-    devices: &[DeviceId],
-) -> Vec<(Option<ModuleRef>, Option<ModuleRef>)> {
-    devices
-        .iter()
-        .map(|d| {
-            let entry = path
-                .steps
-                .iter()
-                .find(|s| s.module.device == *d)
-                .map(|s| s.module.clone());
-            let exit = path
-                .steps
-                .iter()
-                .rev()
-                .find(|s| s.module.device == *d)
-                .map(|s| s.module.clone());
-            (entry, exit)
-        })
-        .collect()
-}
-
 /// The module on `device` (anywhere on the path) whose drop counters grew
-/// the most, with a rendered reason list.
+/// the most, with a rendered reason list.  Healthy concurrent goals drop
+/// nothing, so the drop-reason deltas stay attributable to the diagnosed
+/// goal even though module counters are device totals.
 fn biggest_dropper<'a>(
     path: &'a ModulePath,
     device: DeviceId,

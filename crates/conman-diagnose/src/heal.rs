@@ -102,11 +102,11 @@ impl Healer {
         devices.windows(2).any(|w| report.blames_link(w[0], w[1]))
     }
 
-    /// Attempt a repair: register the goal with the reconciler (degraded,
-    /// suspects excluded), tear the failed configuration down through the
-    /// transactional withdraw path, then execute candidate re-plans as
-    /// two-phase transactions best-first, verifying each with end-to-end
-    /// probes until one works (or `max_attempts` is exhausted).
+    /// Attempt a repair of a goal configured outside the store: register it
+    /// with the reconciler ([`ManagedNetwork::adopt_goal`]) and run
+    /// [`Self::repair`] against the stored record.  Kept for the operator
+    /// one-shot flow; the autonomic control loop calls [`Self::repair`] on
+    /// its stored goals directly.
     pub fn heal<C, P>(
         &self,
         mn: &mut ManagedNetwork<C>,
@@ -119,8 +119,48 @@ impl Healer {
         C: ManagementChannel,
         P: FnMut(&mut ManagedNetwork<C>) -> bool,
     {
-        let excluded = Self::excluded_modules(mn, report);
         let id = mn.adopt_goal(goal, failed);
+        self.repair(mn, id, report, probe)
+    }
+
+    /// Attempt a repair of a *stored* goal: mark it degraded with the
+    /// report's suspects excluded, tear the failed configuration down
+    /// through the transactional teardown path, then execute candidate
+    /// re-plans as two-phase transactions best-first, verifying each with
+    /// end-to-end probes until one works (or `max_attempts` is exhausted).
+    ///
+    /// The Healer is a *client* of the goal store and the reconciler — the
+    /// same machinery `reconcile()` and the autonomic loop drive — not a
+    /// separate entry point with its own execution path.
+    pub fn repair<C, P>(
+        &self,
+        mn: &mut ManagedNetwork<C>,
+        id: conman_core::nm::GoalId,
+        report: &FaultReport,
+        probe: &mut P,
+    ) -> HealOutcome
+    where
+        C: ManagementChannel,
+        P: FnMut(&mut ManagedNetwork<C>) -> bool,
+    {
+        let empty = HealOutcome {
+            candidates: 0,
+            replacement: None,
+            replacement_label: None,
+            teardown_primitives: 0,
+            verified: false,
+            original_restored: false,
+        };
+        let Some(rec) = mn.goals.get(id) else {
+            return empty;
+        };
+        let goal = rec.desired.clone();
+        let Some(failed) = rec.applied().map(|a| a.path.clone()) else {
+            return empty;
+        };
+        let failed = &failed;
+        let goal = &goal;
+        let excluded = Self::excluded_modules(mn, report);
         mn.goals.mark_degraded(id, excluded.clone());
 
         let mut candidates: Vec<ModulePath> = mn

@@ -19,7 +19,13 @@
 //!   configuration down through the transactional withdraw path, execute
 //!   candidate re-plans as two-phase transactions (e.g. the GRE-IP
 //!   fallback when the MPLS core dies) and verify the repair with
-//!   end-to-end probes.
+//!   end-to-end probes;
+//! * [`autonomic`] — [`AutonomicClient`], which plugs the Diagnoser/Healer
+//!   pair into `conman-core`'s event-driven
+//!   [`ControlLoop`](conman_core::runtime::ControlLoop) as its diagnosis
+//!   stage: localisation runs on per-goal flow deltas *while the other
+//!   goals keep pushing traffic*, and the loop repairs everything that
+//!   needs work in one batched reconcile pass per tick.
 //!
 //! The companion fault-injection machinery ([`netsim::fault`]) produces the
 //! failures this crate hunts: link cuts and flaps, loss spikes, device
@@ -29,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autonomic;
 pub mod diagnose;
 pub mod heal;
 pub mod report;
 pub mod telemetry;
 
+pub use autonomic::AutonomicClient;
 pub use diagnose::Diagnoser;
 pub use heal::{HealOutcome, Healer};
 pub use report::{FaultReport, Suspect, SuspectTarget};

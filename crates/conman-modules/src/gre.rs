@@ -7,6 +7,14 @@
 //! `conveyMessage` and eventually writes the tunnel into the device
 //! configuration (the equivalent of the `ip tunnel add ... ikey 1001 okey
 //! 2001 icsum ocsum iseq oseq` line of Figure 7(a)).
+//!
+//! One module instance carries **multiple tunnels**, keyed by pipe: each
+//! concurrent goal's path contributes its own up/down pipe pair, gets its
+//! own negotiated key material (derived per pipe, so tunnels between the
+//! same endpoints stay demultiplexable) and its own tunnel in the device
+//! configuration.  Two goals can therefore share an edge GRE module the
+//! same way they share IP and MPLS modules, instead of the second goal
+//! failing its transaction.
 
 use conman_core::abstraction::{
     CounterSnapshot, Dependency, ModuleAbstraction, PerfTradeoff, PerformanceMetric, PipeCounters,
@@ -31,9 +39,10 @@ struct GreParams {
     checksums: bool,
 }
 
-/// The GRE protocol module.
-pub struct GreModule {
-    me: ModuleRef,
+/// One tunnel's worth of state: the up/down pipe pair a goal's path
+/// contributed, the negotiated parameters, and the configured tunnel id.
+#[derive(Debug, Clone)]
+struct TunnelSlot {
     /// The pipe to the payload protocol above (e.g. the customer IP module).
     up_pipe: Option<PipeId>,
     /// The pipe to the delivery protocol below (the ISP IP module).
@@ -47,11 +56,9 @@ pub struct GreModule {
     configured_tunnel: Option<u32>,
 }
 
-impl GreModule {
-    /// Create a GRE module.
-    pub fn new(me: ModuleRef) -> Self {
-        GreModule {
-            me,
+impl TunnelSlot {
+    fn new() -> Self {
+        TunnelSlot {
             up_pipe: None,
             down_pipe: None,
             peer: None,
@@ -63,12 +70,45 @@ impl GreModule {
         }
     }
 
+    fn holds(&self, pipe: PipeId) -> bool {
+        self.up_pipe == Some(pipe) || self.down_pipe == Some(pipe)
+    }
+}
+
+/// The GRE protocol module.
+pub struct GreModule {
+    me: ModuleRef,
+    /// Tunnel slots in creation order.  A goal's segment creates its up and
+    /// down pipes together (segments commit whole, never interleaved with a
+    /// sibling goal's), so "the slot still missing this side" is
+    /// unambiguous while a slot is being assembled.
+    slots: Vec<TunnelSlot>,
+}
+
+impl GreModule {
+    /// Create a GRE module.
+    pub fn new(me: ModuleRef) -> Self {
+        GreModule {
+            me,
+            slots: Vec::new(),
+        }
+    }
+
     /// Deterministic key material derived from the two endpoints' device
-    /// identifiers — the NM never sees or chooses these.
-    fn propose_keys(&self, peer: &ModuleRef) -> (u32, u32) {
-        let a = 1000 + (self.me.device.as_u64() % 997) as u32 + 1;
-        let b = 2000 + (peer.device.as_u64() % 997) as u32 + 1;
+    /// identifiers and the up pipe — the NM never sees or chooses these.
+    /// Mixing the pipe in keeps concurrent tunnels between the *same* two
+    /// devices on distinct keys, which is what lets the receive side
+    /// demultiplex them.
+    fn propose_keys(&self, peer: &ModuleRef, up_pipe: PipeId) -> (u32, u32) {
+        let salt = 7 * up_pipe.0;
+        let a = 1000 + (self.me.device.as_u64() % 997) as u32 + 1 + salt;
+        let b = 2000 + (peer.device.as_u64() % 997) as u32 + 1 + salt;
         (a, b)
+    }
+
+    /// The slot holding `pipe` (either side), if any.
+    fn slot_with_pipe(&mut self, pipe: PipeId) -> Option<&mut TunnelSlot> {
+        self.slots.iter_mut().find(|s| s.holds(pipe))
     }
 }
 
@@ -107,37 +147,44 @@ impl ProtocolModule for GreModule {
 
     fn actual(&self, ctx: &ModuleCtx) -> ModuleActual {
         let mut perf = BTreeMap::new();
-        if let Some(id) = self.configured_tunnel {
-            if let Some(t) = ctx.config.tunnels.get(&id) {
-                perf.insert("tunnel-configured".to_string(), 1);
-                perf.insert("okey".to_string(), t.okey.unwrap_or(0) as u64);
+        let mut switch_rules = Vec::new();
+        let mut configured = 0u64;
+        for slot in &self.slots {
+            if let Some(id) = slot.configured_tunnel {
+                if let Some(t) = ctx.config.tunnels.get(&id) {
+                    configured += 1;
+                    perf.insert(format!("okey:{id}"), t.okey.unwrap_or(0) as u64);
+                }
+                switch_rules.push(format!("{:?} <=> {:?}", slot.up_pipe, slot.down_pipe));
             }
+        }
+        if configured > 0 {
+            perf.insert("tunnels-configured".to_string(), configured);
         }
         ModuleActual {
             pipes: self
-                .up_pipe
+                .slots
                 .iter()
-                .chain(self.down_pipe.iter())
-                .copied()
+                .flat_map(|s| s.up_pipe.iter().chain(s.down_pipe.iter()).copied())
                 .collect(),
-            switch_rules: if self.configured_tunnel.is_some() {
-                vec![format!("{:?} <=> {:?}", self.up_pipe, self.down_pipe)]
-            } else {
-                Vec::new()
-            },
+            switch_rules,
             filters: Vec::new(),
             perf_report: perf,
         }
     }
 
     fn counters(&self, ctx: &ModuleCtx) -> CounterSnapshot {
-        // Table III row x: packets received and transmitted per pipe.  The
-        // up pipe carries decapsulated customer packets (tunnel rx) and the
-        // down pipe carries encapsulated ones (tunnel tx).
+        // Table III row x: packets received and transmitted per pipe.  Each
+        // slot's up pipe carries decapsulated customer packets (tunnel rx)
+        // and its down pipe the encapsulated ones (tunnel tx); totals sum
+        // over every tunnel the module carries.
         let mut snap = CounterSnapshot::empty(self.me.clone());
-        if let Some(id) = self.configured_tunnel {
+        for slot in &self.slots {
+            let Some(id) = slot.configured_tunnel else {
+                continue;
+            };
             let c = ctx.stats.tunnels.get(&id).copied().unwrap_or_default();
-            if let Some(up) = self.up_pipe {
+            if let Some(up) = slot.up_pipe {
                 snap.pipes.insert(
                     format!("up:{up}"),
                     PipeCounters {
@@ -147,7 +194,7 @@ impl ProtocolModule for GreModule {
                     },
                 );
             }
-            if let Some(down) = self.down_pipe {
+            if let Some(down) = slot.down_pipe {
                 snap.pipes.insert(
                     format!("down:{down}"),
                     PipeCounters {
@@ -157,11 +204,9 @@ impl ProtocolModule for GreModule {
                     },
                 );
             }
-            snap.totals = PipeCounters {
-                rx_packets: c.rx_packets,
-                tx_packets: c.tx_packets,
-                drops: c.drops,
-            };
+            snap.totals.rx_packets += c.rx_packets;
+            snap.totals.tx_packets += c.tx_packets;
+            snap.totals.drops += c.drops;
         }
         // Key/sequencing/checksum mismatches are this module's fault domain.
         if let Some(n) = ctx.stats.drops.get(&DropReason::TunnelMismatch) {
@@ -179,21 +224,23 @@ impl ProtocolModule for GreModule {
         let ComponentRef::Pipe(pipe) = component else {
             return Ok(ModuleReaction::none());
         };
-        if Some(*pipe) != self.up_pipe && Some(*pipe) != self.down_pipe {
+        let Some(slot) = self.slot_with_pipe(*pipe) else {
             return Ok(ModuleReaction::none());
-        }
-        // Losing either pipe tears the tunnel down; the module returns to
-        // its unconfigured state so a later path can rebuild it.
-        if let Some(id) = self.configured_tunnel.take() {
+        };
+        // Losing either pipe tears that slot's tunnel down; sibling goals'
+        // tunnels through this module are untouched.
+        if let Some(id) = slot.configured_tunnel.take() {
             ctx.config.tunnels.remove(&id);
         }
-        if Some(*pipe) == self.up_pipe {
-            self.up_pipe = None;
+        if slot.up_pipe == Some(*pipe) {
+            slot.up_pipe = None;
         } else {
-            self.down_pipe = None;
+            slot.down_pipe = None;
         }
-        self.params = None;
-        self.pending_switch = false;
+        slot.params = None;
+        slot.pending_switch = false;
+        self.slots
+            .retain(|s| s.up_pipe.is_some() || s.down_pipe.is_some());
         Ok(ModuleReaction::none())
     }
 
@@ -209,30 +256,37 @@ impl ProtocolModule for GreModule {
                     "performance trade-offs must be specified for a GRE up pipe".to_string(),
                 ));
             }
-            // This module carries a single tunnel: a second concurrent goal
-            // must fail its transaction (and roll back cleanly) rather than
-            // silently hijack the configured tunnel's state.
-            if self.up_pipe.is_some_and(|p| p != spec.pipe) {
-                return Err(ModuleError::Unsupported(
-                    "GRE module already carries a tunnel for another goal".to_string(),
-                ));
-            }
-            self.up_pipe = Some(spec.pipe);
-            self.peer = spec.peer_lower.clone();
-            self.wants_sequencing = spec.tradeoffs.contains(&TradeoffChoice::InOrderDelivery);
-            self.wants_checksums = spec.tradeoffs.contains(&TradeoffChoice::LowErrorRate);
+            // Find the slot this pipe belongs to: re-creation of a known
+            // pipe is idempotent, otherwise fill the slot still missing its
+            // up side (its down pipe arrived first), otherwise start a new
+            // tunnel slot.
+            let idx = self
+                .slots
+                .iter()
+                .position(|s| s.up_pipe == Some(spec.pipe))
+                .or_else(|| self.slots.iter().position(|s| s.up_pipe.is_none()))
+                .unwrap_or_else(|| {
+                    self.slots.push(TunnelSlot::new());
+                    self.slots.len() - 1
+                });
+            let slot = &mut self.slots[idx];
+            slot.up_pipe = Some(spec.pipe);
+            slot.peer = spec.peer_lower.clone();
+            slot.wants_sequencing = spec.tradeoffs.contains(&TradeoffChoice::InOrderDelivery);
+            slot.wants_checksums = spec.tradeoffs.contains(&TradeoffChoice::LowErrorRate);
             if spec.initiate {
-                if let Some(peer) = &self.peer {
-                    let (ikey, okey) = self.propose_keys(peer);
-                    self.params = Some(GreParams {
+                if let Some(peer) = slot.peer.clone() {
+                    let (ikey, okey) = self.propose_keys(&peer, spec.pipe);
+                    let slot = &mut self.slots[idx];
+                    slot.params = Some(GreParams {
                         ikey,
                         okey,
-                        sequencing: self.wants_sequencing,
-                        checksums: self.wants_checksums,
+                        sequencing: slot.wants_sequencing,
+                        checksums: slot.wants_checksums,
                     });
                     return Ok(ModuleReaction::envelope(ModuleEnvelope {
                         from: self.me.clone(),
-                        to: peer.clone(),
+                        to: peer,
                         kind: EnvelopeKind::Convey,
                         body: serde_json::json!({
                             "propose": {
@@ -240,8 +294,8 @@ impl ProtocolModule for GreModule {
                                 "your_okey": ikey,
                                 // The key the responder should accept (proposer's okey)
                                 "your_ikey": okey,
-                                "sequencing": self.wants_sequencing,
-                                "checksums": self.wants_checksums,
+                                "sequencing": self.slots[idx].wants_sequencing,
+                                "checksums": self.slots[idx].wants_checksums,
                             }
                         }),
                     }));
@@ -249,12 +303,16 @@ impl ProtocolModule for GreModule {
             }
         } else if spec.upper == self.me {
             // Our down pipe: the delivery protocol below us.
-            if self.down_pipe.is_some_and(|p| p != spec.pipe) {
-                return Err(ModuleError::Unsupported(
-                    "GRE module already carries a tunnel for another goal".to_string(),
-                ));
-            }
-            self.down_pipe = Some(spec.pipe);
+            let idx = self
+                .slots
+                .iter()
+                .position(|s| s.down_pipe == Some(spec.pipe))
+                .or_else(|| self.slots.iter().position(|s| s.down_pipe.is_none()))
+                .unwrap_or_else(|| {
+                    self.slots.push(TunnelSlot::new());
+                    self.slots.len() - 1
+                });
+            self.slots[idx].down_pipe = Some(spec.pipe);
         }
         Ok(ModuleReaction::none())
     }
@@ -262,9 +320,22 @@ impl ProtocolModule for GreModule {
     fn create_switch(
         &mut self,
         _ctx: &mut ModuleCtx,
-        _spec: &SwitchSpec,
+        spec: &SwitchSpec,
     ) -> Result<ModuleReaction, ModuleError> {
-        self.pending_switch = true;
+        // Arm the slot the switch's pipes belong to (falling back to every
+        // unarmed slot for specs that predate multi-tunnel modules).
+        let mut armed = false;
+        for slot in &mut self.slots {
+            if slot.holds(spec.in_pipe) || slot.holds(spec.out_pipe) {
+                slot.pending_switch = true;
+                armed = true;
+            }
+        }
+        if !armed {
+            for slot in &mut self.slots {
+                slot.pending_switch = true;
+            }
+        }
         Ok(ModuleReaction::none())
     }
 
@@ -284,14 +355,26 @@ impl ProtocolModule for GreModule {
                 .get("checksums")
                 .and_then(|v| v.as_bool())
                 .unwrap_or(false);
-            self.params = Some(GreParams {
+            // Match the proposal to the oldest slot still negotiating with
+            // this peer.  Both ends commit their goals in the same order
+            // (batch segment order is global to the pass), so oldest-first
+            // pairs the k-th proposal with the k-th slot.
+            let Some(slot) = self.slots.iter_mut().find(|s| {
+                s.params.is_none() && s.peer.as_ref().is_none_or(|peer| *peer == env.from)
+            }) else {
+                // No slot is waiting on a proposal (e.g. a stale retransmit
+                // after teardown): acknowledge without state.
+                return Ok(ModuleReaction::none());
+            };
+            slot.params = Some(GreParams {
                 ikey,
                 okey,
                 sequencing,
                 checksums,
             });
-            self.wants_sequencing = sequencing;
-            self.wants_checksums = checksums;
+            slot.wants_sequencing = sequencing;
+            slot.wants_checksums = checksums;
+            slot.peer.get_or_insert_with(|| env.from.clone());
             return Ok(ModuleReaction::envelope(ModuleEnvelope {
                 from: self.me.clone(),
                 to: env.from.clone(),
@@ -305,32 +388,34 @@ impl ProtocolModule for GreModule {
     }
 
     fn poll(&mut self, ctx: &mut ModuleCtx) -> ModuleReaction {
-        if self.configured_tunnel.is_some() || !self.pending_switch {
-            return ModuleReaction::none();
+        for slot in &mut self.slots {
+            if slot.configured_tunnel.is_some() || !slot.pending_switch {
+                continue;
+            }
+            let (Some(up), Some(down), Some(params)) = (slot.up_pipe, slot.down_pipe, slot.params)
+            else {
+                continue;
+            };
+            let (Some(local), Some(remote)) = (
+                ctx.pipe_attr(down, "local_addr")
+                    .and_then(|s| s.parse::<Ipv4Addr>().ok()),
+                ctx.pipe_attr(down, "remote_addr")
+                    .and_then(|s| s.parse::<Ipv4Addr>().ok()),
+            ) else {
+                continue;
+            };
+            let id = ctx.config.tunnels.keys().max().copied().unwrap_or(0) + 1;
+            let mut t = TunnelConfig::gre(id, format!("gre-{}-{}", up, down), local, remote);
+            t.ikey = Some(params.ikey);
+            t.okey = Some(params.okey);
+            t.iseq = params.sequencing;
+            t.oseq = params.sequencing;
+            t.icsum = params.checksums;
+            t.ocsum = params.checksums;
+            ctx.config.tunnels.insert(id, t);
+            ctx.set_pipe_attr(up, "attach", format!("tunnel:{id}"));
+            slot.configured_tunnel = Some(id);
         }
-        let (Some(up), Some(down), Some(params)) = (self.up_pipe, self.down_pipe, self.params)
-        else {
-            return ModuleReaction::none();
-        };
-        let (Some(local), Some(remote)) = (
-            ctx.pipe_attr(down, "local_addr")
-                .and_then(|s| s.parse::<Ipv4Addr>().ok()),
-            ctx.pipe_attr(down, "remote_addr")
-                .and_then(|s| s.parse::<Ipv4Addr>().ok()),
-        ) else {
-            return ModuleReaction::none();
-        };
-        let id = ctx.config.tunnels.keys().max().copied().unwrap_or(0) + 1;
-        let mut t = TunnelConfig::gre(id, format!("gre-{}-{}", up, down), local, remote);
-        t.ikey = Some(params.ikey);
-        t.okey = Some(params.okey);
-        t.iseq = params.sequencing;
-        t.oseq = params.sequencing;
-        t.icsum = params.checksums;
-        t.ocsum = params.checksums;
-        ctx.config.tunnels.insert(id, t);
-        ctx.set_pipe_attr(up, "attach", format!("tunnel:{id}"));
-        self.configured_tunnel = Some(id);
         ModuleReaction::none()
     }
 }

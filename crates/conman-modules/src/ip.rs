@@ -493,6 +493,19 @@ fn priority_for(pipe: PipeId, role: u32) -> u32 {
     100 + pipe.0 * 4 + role
 }
 
+/// The inclusive range of derived route-table ids a goal's pipe block can
+/// produce (`slots` pipe ids from `pipe_base`, every role).  This is the
+/// *authoritative* mapping — per-goal fault injection
+/// (`netsim::fault::Misconfiguration::FlushRouteTables`) and the loop
+/// bench target exactly one goal's tables through it instead of
+/// duplicating the numbering scheme, which has already changed once.
+pub fn derived_table_range(pipe_base: u32, slots: u32) -> (RouteTableId, RouteTableId) {
+    (
+        table_for(PipeId(pipe_base), 0),
+        table_for(PipeId(pipe_base + slots.saturating_sub(1)), 3),
+    )
+}
+
 fn parse_attach(attach: &str) -> Option<RouteTarget> {
     if let Some(id) = attach.strip_prefix("tunnel:") {
         return Some(RouteTarget::Tunnel {
@@ -603,7 +616,17 @@ impl ProtocolModule for IpModule {
                         ctx.config.rib.drop_table(*table);
                     }
                     for dest in &installed.main_routes {
-                        ctx.config.rib.table_mut(RouteTableId::MAIN).remove(*dest);
+                        // Main-table routes can be *shared*: concurrent
+                        // goals tunnelling between the same endpoints each
+                        // register the same /32 host route.  Only drop it
+                        // once no surviving switch still needs it.
+                        let still_needed = self
+                            .installed
+                            .values()
+                            .any(|other| other.main_routes.contains(dest));
+                        if !still_needed {
+                            ctx.config.rib.table_mut(RouteTableId::MAIN).remove(*dest);
+                        }
                     }
                     for tunnel in &installed.tunnels {
                         ctx.config.tunnels.remove(tunnel);

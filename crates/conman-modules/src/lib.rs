@@ -33,10 +33,10 @@ pub use builder::{
 };
 pub use eth::EthModule;
 pub use gre::GreModule;
-pub use ip::IpModule;
+pub use ip::{derived_table_range, IpModule};
 pub use mpls::MplsModule;
 pub use testbed::{
-    managed_chain, managed_chain_with, managed_dual_chain, managed_figure2, managed_vlan_chain,
-    ManagedChain, ManagedFigure2, ManagedVlanChain,
+    managed_chain, managed_chain_with, managed_dual_chain, managed_fanout_chain, managed_figure2,
+    managed_vlan_chain, ManagedChain, ManagedFigure2, ManagedVlanChain,
 };
 pub use vlan::VlanModule;

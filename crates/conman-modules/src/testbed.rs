@@ -35,6 +35,11 @@ pub struct ManagedChain<C: ManagementChannel> {
     /// behind customer router 1 and one in 10.0.4.0/24 behind customer
     /// router 2 — the endpoints of a second concurrent VPN goal.
     pub second_pair: Option<(DeviceId, DeviceId)>,
+    /// Fan-out customer host pairs (fan-out chains only): pair `k`'s hosts
+    /// live in the subnets of [`topology::fanout_pair_subnets`]`(k)` behind
+    /// the shared customer routers — the endpoints of the k-th concurrent
+    /// VPN goal, with real end-to-end traffic for every goal.
+    pub fanout: Vec<(DeviceId, DeviceId)>,
     /// Monotonic probe payload counter (each diagnosis probe is distinct).
     probe_seq: u64,
 }
@@ -51,6 +56,19 @@ pub fn managed_chain(n: usize) -> ManagedChain<OutOfBandChannel> {
 /// different site classes, sharing the ISP core modules.
 pub fn managed_dual_chain(n: usize) -> ManagedChain<OutOfBandChannel> {
     managed_from_topology(topology::isp_chain_dual(n), n, OutOfBandChannel::new())
+}
+
+/// Build a managed ISP chain with `pairs` fan-out customer host pairs (see
+/// [`topology::isp_chain_fanout`]) — the autonomic-loop testbed: one VPN
+/// goal per pair between the same customer-facing interfaces, every goal
+/// backed by real hosts so per-goal health probes and flow-attributed
+/// diagnosis run on genuine end-to-end traffic.
+pub fn managed_fanout_chain(n: usize, pairs: usize) -> ManagedChain<OutOfBandChannel> {
+    managed_from_topology(
+        topology::isp_chain_fanout(n, pairs),
+        n,
+        OutOfBandChannel::new(),
+    )
 }
 
 /// Build a managed ISP chain over an arbitrary management channel.
@@ -71,6 +89,7 @@ fn managed_from_topology<C: ManagementChannel>(
         customer2,
         host2,
         second_pair,
+        fanout_pairs,
         ..
     } = topo;
 
@@ -105,6 +124,7 @@ fn managed_from_topology<C: ManagementChannel>(
         customer2,
         host2,
         second_pair,
+        fanout: fanout_pairs,
         probe_seq: 0,
     }
 }
@@ -168,6 +188,50 @@ impl<C: ManagementChannel> ManagedChain<C> {
         goal.resolved
             .insert("C2-S2".to_string(), "10.0.4.0/24".to_string());
         goal
+    }
+
+    /// The `k`-th fan-out pair's VPN goal (fan-out chains): the same
+    /// customer-facing interfaces as [`Self::vpn_goal`], site classes
+    /// `F<k>-S1`/`F<k>-S2` resolved to the pair's subnets.
+    pub fn fanout_goal(&self, k: usize) -> ConnectivityGoal {
+        assert!(k < self.fanout.len(), "fan-out pair {k} does not exist");
+        let (s1, s2) = topology::fanout_pair_subnets(k);
+        let mut goal = self.vpn_goal();
+        goal.src_class = format!("F{k}-S1");
+        goal.dst_class = format!("F{k}-S2");
+        goal.resolved.remove("C1-S1");
+        goal.resolved.remove("C1-S2");
+        goal.resolved.insert(format!("F{k}-S1"), s1.to_string());
+        goal.resolved.insert(format!("F{k}-S2"), s2.to_string());
+        goal
+    }
+
+    /// The `k`-th fan-out pair's probe endpoints: `(source host,
+    /// destination host, destination address)` — what the autonomic loop
+    /// registers alongside the goal so it can drive per-goal end-to-end
+    /// traffic.
+    pub fn fanout_probe(&self, k: usize) -> (DeviceId, DeviceId, std::net::Ipv4Addr) {
+        let (src, dst) = self.fanout[k];
+        let (_, dst_ip) = topology::fanout_pair_hosts(k);
+        (src, dst, dst_ip)
+    }
+
+    /// One end-to-end probe for the `k`-th fan-out pair; returns whether it
+    /// was delivered.
+    pub fn probe_pair(&mut self, k: usize) -> bool {
+        let (src, dst, dst_ip) = self.fanout_probe(k);
+        self.probe_seq += 1;
+        let payload = format!("fan{k}-probe-{}", self.probe_seq).into_bytes();
+        self.mn
+            .net
+            .send_udp(src, dst_ip, 40000, 7000, &payload)
+            .expect("fan-out host exists");
+        self.mn.net.run_to_quiescence(100_000);
+        self.mn
+            .net
+            .device_mut(dst)
+            .map(|d| d.take_delivered().iter().any(|p| p.payload == payload))
+            .unwrap_or(false)
     }
 
     /// Send a customer datagram from site 1 to site 2 and report whether it

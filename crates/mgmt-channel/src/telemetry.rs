@@ -5,6 +5,13 @@
 //! due against the deterministic simulation clock, so telemetry collection —
 //! like everything else in the reproduction — replays identically from run
 //! to run, over either channel variant.
+//!
+//! Beyond the original pull-style `due_rounds` count, the schedule now acts
+//! as an **event source** for the autonomic control loop: [`take_due`]
+//! returns the due instants themselves, which the loop turns into telemetry
+//! events on its unified event stream instead of polling a counter.
+//!
+//! [`take_due`]: TelemetrySchedule::take_due
 
 use netsim::clock::{SimDuration, SimTime};
 
@@ -40,12 +47,28 @@ impl TelemetrySchedule {
     /// them.  Callers typically collect one snapshot per due round (or one
     /// snapshot total, treating a backlog as a missed-round gap).
     pub fn due_rounds(&mut self, now: SimTime) -> u32 {
-        let mut due = 0;
+        self.take_due(now).len() as u32
+    }
+
+    /// The due instants at time `now`, advancing the schedule past them —
+    /// the event-source form of [`Self::due_rounds`]: each returned instant
+    /// becomes one telemetry event on the control loop's event stream, so a
+    /// backlog after a long quiet stretch is visible as distinct (time
+    /// stamped) events rather than a bare count.
+    pub fn take_due(&mut self, now: SimTime) -> Vec<SimTime> {
+        let mut due = Vec::new();
         while self.next <= now {
+            due.push(self.next);
             self.next += self.period;
-            due += 1;
         }
         due
+    }
+
+    /// Re-anchor the schedule so the next round is due at `next` (used when
+    /// a control loop adopts the schedule mid-run: rounds then land on the
+    /// loop's tick boundaries instead of the schedule's original phase).
+    pub fn align_to(&mut self, next: SimTime) {
+        self.next = next;
     }
 }
 
@@ -64,6 +87,24 @@ mod tests {
         // A long gap yields the backlog.
         assert_eq!(s.due_rounds(SimTime::from_millis(450)), 3);
         assert_eq!(s.next_due(), SimTime::from_millis(500));
+    }
+
+    #[test]
+    fn take_due_yields_the_due_instants_and_align_rephases() {
+        let mut s = TelemetrySchedule::new(SimDuration::from_millis(100));
+        assert_eq!(
+            s.take_due(SimTime::from_millis(250)),
+            vec![
+                SimTime::ZERO,
+                SimTime::from_millis(100),
+                SimTime::from_millis(200)
+            ]
+        );
+        assert!(s.take_due(SimTime::from_millis(250)).is_empty());
+        s.align_to(SimTime::from_millis(333));
+        assert_eq!(s.next_due(), SimTime::from_millis(333));
+        assert_eq!(s.take_due(SimTime::from_millis(333)).len(), 1);
+        assert_eq!(s.next_due(), SimTime::from_millis(433));
     }
 
     #[test]

@@ -137,6 +137,61 @@ impl SimDuration {
     }
 }
 
+/// A steppable tick clock: fixed-width ticks laid out on the simulated
+/// timeline from a start instant.
+///
+/// The autonomic control loop and the telemetry schedule share one of these
+/// so "tick `k`" means exactly the same instant to both — the loop advances
+/// the network to [`StepClock::advance`]'s deadline with
+/// [`Network::run_until`](crate::network::Network::run_until), which always
+/// lands the event queue precisely on the deadline, so every run of the loop
+/// replays tick-for-tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepClock {
+    start: SimTime,
+    tick: SimDuration,
+    ticks: u64,
+}
+
+impl StepClock {
+    /// A clock ticking every `tick`, starting at time zero.
+    pub fn new(tick: SimDuration) -> Self {
+        Self::starting_at(SimTime::ZERO, tick)
+    }
+
+    /// A clock ticking every `tick`, with tick boundaries laid out from
+    /// `start` (usually "now" when the control loop is created mid-run).
+    pub fn starting_at(start: SimTime, tick: SimDuration) -> Self {
+        assert!(tick.as_nanos() > 0, "tick width must be non-zero");
+        StepClock {
+            start,
+            tick,
+            ticks: 0,
+        }
+    }
+
+    /// The tick width.
+    pub fn tick_width(&self) -> SimDuration {
+        self.tick
+    }
+
+    /// Ticks completed so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The deadline of the *next* tick (where the network should be run to).
+    pub fn next_deadline(&self) -> SimTime {
+        self.start + self.tick.saturating_mul(self.ticks + 1)
+    }
+
+    /// Complete one tick, returning its deadline.
+    pub fn advance(&mut self) -> SimTime {
+        self.ticks += 1;
+        self.start + self.tick.saturating_mul(self.ticks)
+    }
+}
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
@@ -214,6 +269,24 @@ mod tests {
         let d = SimDuration::serialization(1500, 1_000_000_000);
         assert_eq!(d.as_micros(), 12);
         assert_eq!(SimDuration::serialization(1500, 0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn step_clock_ticks_are_fixed_width_from_the_start_instant() {
+        let mut c = StepClock::starting_at(SimTime::from_millis(30), SimDuration::from_millis(100));
+        assert_eq!(c.ticks(), 0);
+        assert_eq!(c.next_deadline(), SimTime::from_millis(130));
+        assert_eq!(c.advance(), SimTime::from_millis(130));
+        assert_eq!(c.advance(), SimTime::from_millis(230));
+        assert_eq!(c.ticks(), 2);
+        assert_eq!(c.next_deadline(), SimTime::from_millis(330));
+        assert_eq!(c.tick_width(), SimDuration::from_millis(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn step_clock_rejects_zero_ticks() {
+        let _ = StepClock::new(SimDuration::ZERO);
     }
 
     #[test]

@@ -223,8 +223,13 @@ impl Device {
             return;
         }
         header.ttl -= 1;
-        self.stats.forwarded += 1;
-        self.ip_output(iif, header, payload, 0, out);
+        // Count the forward only if the packet actually left the device (or
+        // entered a tunnel that emitted it): a transit packet that dies on
+        // route lookup is a drop, not a forward — per-goal flow accounting
+        // relies on the two being mutually exclusive.
+        if self.ip_output(iif, header, payload, 0, out) {
+            self.stats.forwarded += 1;
+        }
     }
 
     fn local_input(
@@ -350,6 +355,9 @@ impl Device {
     }
 
     /// Route and transmit an IPv4 packet (already TTL-adjusted).
+    /// Route and emit one packet.  Returns whether it left the device (or
+    /// was parked awaiting ARP resolution) — `false` always comes with a
+    /// recorded drop.
     fn ip_output(
         &mut self,
         iif: IncomingIf,
@@ -357,32 +365,32 @@ impl Device {
         payload: Vec<u8>,
         depth: u8,
         out: &mut EngineOutput,
-    ) {
+    ) -> bool {
         if depth > MAX_ENCAP_DEPTH {
             self.stats.record_drop(DropReason::NoRoute);
-            return;
+            return false;
         }
         let Some(route) = self.config.rib.lookup(header.dst, header.src, iif).copied() else {
             self.stats.record_drop(DropReason::NoRoute);
-            return;
+            return false;
         };
         match route.target {
             RouteTarget::Port { port, via } => {
                 let nexthop = via.unwrap_or(header.dst);
                 let packet = header.encode_packet(&payload);
-                self.transmit_via_arp(PortId(port), nexthop, EtherType::Ipv4, packet, out);
+                self.transmit_via_arp(PortId(port), nexthop, EtherType::Ipv4, packet, out)
             }
             RouteTarget::Tunnel { tunnel } => {
-                self.tunnel_encap(tunnel, header, payload, depth, out);
+                self.tunnel_encap(tunnel, header, payload, depth, out)
             }
             RouteTarget::Mpls { nhlfe } => {
                 let Some(entry) = self.config.mpls.nhlfe_by_key(nhlfe).cloned() else {
                     self.stats.record_drop(DropReason::NoLabel);
-                    return;
+                    return false;
                 };
                 let LabelOp::Push(label) = entry.op else {
                     self.stats.record_drop(DropReason::NoLabel);
-                    return;
+                    return false;
                 };
                 let packet = header.encode_packet(&payload);
                 let mpls_payload =
@@ -393,7 +401,7 @@ impl Device {
                     EtherType::Mpls,
                     mpls_payload,
                     out,
-                );
+                )
             }
         }
     }
@@ -405,10 +413,10 @@ impl Device {
         inner_payload: Vec<u8>,
         depth: u8,
         out: &mut EngineOutput,
-    ) {
+    ) -> bool {
         let Some(tunnel) = self.config.tunnels.get(&tunnel_id).cloned() else {
             self.stats.record_drop(DropReason::NoRoute);
-            return;
+            return false;
         };
         let inner_packet = inner_header.encode_packet(&inner_payload);
         let (outer_payload, proto) = match tunnel.mode {
@@ -440,7 +448,7 @@ impl Device {
             outer_payload,
             depth + 1,
             out,
-        );
+        )
     }
 
     fn mpls_input(&mut self, port: PortId, payload: &[u8], out: &mut EngineOutput) {
@@ -481,16 +489,20 @@ impl Device {
             if entry.nexthop == Ipv4Addr::UNSPECIFIED {
                 // Deliver to the local IP stack which re-routes it (the
                 // CONMan MPLS module uses this form: the IP module above
-                // decides where the packet goes next).
+                // decides where the packet goes next).  That re-routing does
+                // its own forwarded/dropped accounting, so return without
+                // counting here — the tallies must stay mutually exclusive
+                // for per-goal flow attribution.
                 self.ip_input(IncomingIf::Port(port.0), &inner, out);
-            } else {
-                self.transmit_via_arp(
-                    PortId(entry.out_port),
-                    entry.nexthop,
-                    EtherType::Ipv4,
-                    inner,
-                    out,
-                );
+                return;
+            } else if !self.transmit_via_arp(
+                PortId(entry.out_port),
+                entry.nexthop,
+                EtherType::Ipv4,
+                inner,
+                out,
+            ) {
+                return;
             }
         } else {
             // Fix bottom-of-stack flags after editing.
@@ -499,13 +511,15 @@ impl Device {
                 e.bottom = i == last;
             }
             let payload = mpls::encode_stack(&new_stack, &inner);
-            self.transmit_via_arp(
+            if !self.transmit_via_arp(
                 PortId(entry.out_port),
                 entry.nexthop,
                 EtherType::Mpls,
                 payload,
                 out,
-            );
+            ) {
+                return;
+            }
         }
         self.stats.forwarded += 1;
     }
@@ -609,20 +623,20 @@ impl Device {
         ethertype: EtherType,
         payload: Vec<u8>,
         out: &mut EngineOutput,
-    ) {
+    ) -> bool {
         let Some(nic) = self.port(port) else {
             self.stats.record_drop(DropReason::PortDown);
-            return;
+            return false;
         };
         if !nic.is_usable() {
             self.stats.record_drop(DropReason::PortDown);
-            return;
+            return false;
         }
         let our_mac = nic.mac;
         if let Some(mac) = self.arp.lookup(nexthop) {
             let frame = EthernetFrame::new(mac, our_mac, ethertype, payload);
             self.transmit(port, frame.encode(), out);
-            return;
+            return true;
         }
         // Park the packet and emit an ARP request if this is the first one
         // waiting for this next hop.
@@ -649,6 +663,7 @@ impl Device {
             );
             self.transmit(port, frame.encode(), out);
         }
+        true
     }
 
     fn transmit(&mut self, port: PortId, bytes: Vec<u8>, out: &mut EngineOutput) {
@@ -739,6 +754,34 @@ mod tests {
         assert_eq!(delivered.len(), 1);
         assert_eq!(delivered[0].dst_port, Some(592));
         assert_eq!(delivered[0].payload, b"payload");
+    }
+
+    #[test]
+    fn a_transit_packet_is_forwarded_or_dropped_never_both() {
+        // A transit packet with no route is a drop, NOT a forward: per-goal
+        // flow accounting (and the diagnosis frontier walk on top of it)
+        // relies on the two tallies being mutually exclusive.
+        let mut d = router();
+        let frame = EthernetFrame::new(
+            d.port_mac(PortId(0)),
+            MacAddr::for_port(9, 9),
+            EtherType::Ipv4,
+            udp_packet("10.0.1.5", "8.8.8.8", 53),
+        );
+        d.handle_frame(PortId(0), &frame.encode());
+        assert_eq!(d.stats.drops[&DropReason::NoRoute], 1);
+        assert_eq!(d.stats.forwarded, 0, "a routeless packet never 'forwards'");
+        // A routable one forwards (parked behind ARP counts: it will leave
+        // the device once the reply arrives) and records no drop.
+        let frame = EthernetFrame::new(
+            d.port_mac(PortId(0)),
+            MacAddr::for_port(9, 9),
+            EtherType::Ipv4,
+            udp_packet("10.0.1.5", "204.9.168.77", 53),
+        );
+        d.handle_frame(PortId(0), &frame.encode());
+        assert_eq!(d.stats.forwarded, 1);
+        assert_eq!(d.stats.total_drops(), 1, "no new drop for the forward");
     }
 
     #[test]

@@ -40,6 +40,21 @@ pub enum Misconfiguration {
         /// Device whose policy routing is flushed.
         device: DeviceId,
     },
+    /// Flush a contiguous range of non-main route tables (and the policy
+    /// rules pointing at them) on one device.  Because the NM derives a
+    /// goal's table ids from its disjoint pipe-id block, a range covering
+    /// exactly one goal's block is a *per-flow* fault: that goal's transit
+    /// state vanishes while every other goal through the same device keeps
+    /// forwarding — the scenario that separates per-goal counter
+    /// attribution from device-total diagnosis.
+    FlushRouteTables {
+        /// Device whose tables are flushed.
+        device: DeviceId,
+        /// First table id of the flushed range (inclusive).
+        first: RouteTableId,
+        /// Last table id of the flushed range (inclusive).
+        last: RouteTableId,
+    },
 }
 
 impl Misconfiguration {
@@ -48,7 +63,8 @@ impl Misconfiguration {
         match self {
             Misconfiguration::CorruptGreKey { device, .. }
             | Misconfiguration::ClearMplsState { device }
-            | Misconfiguration::FlushPolicyRouting { device } => *device,
+            | Misconfiguration::FlushPolicyRouting { device }
+            | Misconfiguration::FlushRouteTables { device, .. } => *device,
         }
     }
 }
@@ -264,6 +280,30 @@ fn apply_misconfiguration(net: &mut Network, m: Misconfiguration) {
             }
             device.config.rib = rib;
         }
+        Misconfiguration::FlushRouteTables { first, last, .. } => {
+            let in_range = |id: RouteTableId| id != RouteTableId::MAIN && id >= first && id <= last;
+            let tables: Vec<RouteTableId> = device
+                .config
+                .rib
+                .tables()
+                .map(|(id, _)| id)
+                .filter(|id| in_range(*id))
+                .collect();
+            for id in tables {
+                device.config.rib.drop_table(id);
+            }
+            let rules: Vec<(u32, RouteTableId)> = device
+                .config
+                .rib
+                .rules()
+                .iter()
+                .filter(|r| in_range(r.table))
+                .map(|r| (r.priority, r.table))
+                .collect();
+            for (priority, table) in rules {
+                device.config.rib.remove_rule(priority, table);
+            }
+        }
     }
 }
 
@@ -369,5 +409,48 @@ mod tests {
             FaultKind::Misconfigure(Misconfiguration::FlushPolicyRouting { device: r }),
         );
         assert!(net.device(r).unwrap().config.rib.rules().is_empty());
+    }
+
+    #[test]
+    fn flushing_a_table_range_only_hits_that_range() {
+        use crate::route::{PolicyRule, Route, RouteTarget, RuleSelector};
+        let mut net = Network::new();
+        let mut r = Device::new("r", DeviceRole::Router, 1);
+        // Two "goals": tables 1000..1003 and 1004..1007, one rule each,
+        // plus a main-table route that must survive any flush.
+        r.config.rib.add_main(Route {
+            dest: "10.0.0.0/24".parse().unwrap(),
+            target: RouteTarget::Port { port: 0, via: None },
+        });
+        for (table, priority) in [(1000u32, 100u32), (1004, 104)] {
+            r.config.rib.table_mut(RouteTableId(table)).add(Route {
+                dest: "10.9.0.0/24".parse().unwrap(),
+                target: RouteTarget::Port { port: 0, via: None },
+            });
+            r.config.rib.add_rule(PolicyRule {
+                priority,
+                selector: RuleSelector::All,
+                table: RouteTableId(table),
+            });
+        }
+        let r = net.add_device(r);
+
+        apply_fault(
+            &mut net,
+            FaultKind::Misconfigure(Misconfiguration::FlushRouteTables {
+                device: r,
+                first: RouteTableId(1000),
+                last: RouteTableId(1003),
+            }),
+        );
+        let rib = &net.device(r).unwrap().config.rib;
+        assert!(rib.table(RouteTableId(1000)).is_none(), "range flushed");
+        assert!(rib.table(RouteTableId(1004)).is_some(), "sibling survives");
+        assert_eq!(rib.rules().len(), 1);
+        assert_eq!(rib.rules()[0].table, RouteTableId(1004));
+        assert!(
+            rib.table(RouteTableId::MAIN).is_some(),
+            "main is never dropped"
+        );
     }
 }

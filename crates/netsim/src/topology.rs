@@ -65,6 +65,36 @@ pub struct ChainTopology {
     /// ([`isp_chain_dual`]): a host in the 10.0.3.0/24 LAN behind the site-1
     /// customer router and one in 10.0.4.0/24 behind the site-2 router.
     pub second_pair: Option<(DeviceId, DeviceId)>,
+    /// Fan-out customer pairs ([`isp_chain_fanout`]): one `(site-1 host,
+    /// site-2 host)` pair per entry, each on its own LAN behind the shared
+    /// customer routers (subnets from [`fanout_pair_subnets`]).  Empty on
+    /// plain and dual chains.
+    pub fanout_pairs: Vec<(DeviceId, DeviceId)>,
+}
+
+/// The `(site-1, site-2)` /24 subnets of fan-out customer pair `k`
+/// (0-based).  The scheme keeps clear of the first customer's 10.0.x.0/24
+/// LANs and the 192.168.x / 204.9.x ISP addressing, and scales past 256
+/// pairs without overflowing an octet.
+pub fn fanout_pair_subnets(k: usize) -> (Ipv4Cidr, Ipv4Cidr) {
+    let x = 1 + k / 64;
+    let y = (k % 64) * 4;
+    assert!(x <= 255, "fan-out pair index out of addressing range");
+    (
+        Ipv4Cidr::new(Ipv4Addr::new(10, x as u8, y as u8, 0), 24),
+        Ipv4Cidr::new(Ipv4Addr::new(10, x as u8, (y + 1) as u8, 0), 24),
+    )
+}
+
+/// The `(site-1, site-2)` host addresses of fan-out pair `k` (the `.5`
+/// address of each subnet of [`fanout_pair_subnets`]).
+pub fn fanout_pair_hosts(k: usize) -> (Ipv4Addr, Ipv4Addr) {
+    let (s1, s2) = fanout_pair_subnets(k);
+    let host = |c: Ipv4Cidr| -> Ipv4Addr {
+        let base: u32 = c.network().into();
+        Ipv4Addr::from(base + 5)
+    };
+    (host(s1), host(s2))
 }
 
 impl ChainTopology {
@@ -99,7 +129,7 @@ impl ChainTopology {
 /// Build the ISP chain with `n >= 2` core routers.  Core routers are named
 /// `RouterA`, `RouterB`, ... (wrapping to `Router<k>` beyond 26).
 pub fn isp_chain(n: usize) -> ChainTopology {
-    build_isp_chain(n, false)
+    build_isp_chain(n, false, 0)
 }
 
 /// Build the ISP chain with a *second* customer pair: each customer router
@@ -108,13 +138,25 @@ pub fn isp_chain(n: usize) -> ChainTopology {
 /// with the first, which is exactly the multi-goal scenario: two VPN goals
 /// between the same customer-facing interfaces for different site classes.
 pub fn isp_chain_dual(n: usize) -> ChainTopology {
-    build_isp_chain(n, true)
+    build_isp_chain(n, true, 0)
 }
 
-fn build_isp_chain(n: usize, dual: bool) -> ChainTopology {
+/// Build the ISP chain with `pairs` fan-out customer pairs: each customer
+/// router grows one extra LAN per pair (subnets from
+/// [`fanout_pair_subnets`]) with a single host in it.  Every pair shares
+/// the customer routers, uplinks and ISP core — the data-plane substrate
+/// for running *hundreds* of concurrent VPN goals with real end-to-end
+/// traffic, which the autonomic control loop's per-goal health probes and
+/// flow-attributed diagnosis need.
+pub fn isp_chain_fanout(n: usize, pairs: usize) -> ChainTopology {
+    build_isp_chain(n, false, pairs)
+}
+
+fn build_isp_chain(n: usize, dual: bool, fanout: usize) -> ChainTopology {
     assert!(n >= 2, "the chain needs at least two core routers");
     let mut net = Network::new();
-    let customer_ports = if dual { 3 } else { 2 };
+    let extra_ports = if dual { 1 } else { fanout };
+    let customer_ports = 2 + extra_ports as u32;
 
     // Customer site 1.
     let mut host1 = Device::new("Host1", DeviceRole::Host, 1);
@@ -134,6 +176,12 @@ fn build_isp_chain(n: usize, dual: bool) -> ChainTopology {
     d.config.assign_address(1, cidr("192.168.0.1/24")); // uplink to ingress
     if dual {
         d.config.assign_address(2, cidr("10.0.3.1/24")); // site 1 second LAN
+    }
+    for k in 0..fanout {
+        let (s1, _) = fanout_pair_subnets(k);
+        let gw: u32 = s1.network().into();
+        d.config
+            .assign_address(2 + k as u32, Ipv4Cidr::new(Ipv4Addr::from(gw + 1), 24));
     }
     d.config.rib.add_main(Route {
         dest: Ipv4Cidr::DEFAULT,
@@ -202,6 +250,12 @@ fn build_isp_chain(n: usize, dual: bool) -> ChainTopology {
     e.config.assign_address(1, cidr("192.168.2.1/24"));
     if dual {
         e.config.assign_address(2, cidr("10.0.4.1/24")); // site 2 second LAN
+    }
+    for k in 0..fanout {
+        let (_, s2) = fanout_pair_subnets(k);
+        let gw: u32 = s2.network().into();
+        e.config
+            .assign_address(2 + k as u32, Ipv4Cidr::new(Ipv4Addr::from(gw + 1), 24));
     }
     e.config.rib.add_main(Route {
         dest: Ipv4Cidr::DEFAULT,
@@ -288,6 +342,51 @@ fn build_isp_chain(n: usize, dual: bool) -> ChainTopology {
         None
     };
 
+    // Fan-out pairs: one host per extra LAN on each side, default-routed
+    // through the shared customer router.
+    let mut fanout_pairs = Vec::with_capacity(fanout);
+    for k in 0..fanout {
+        let (s1, s2) = fanout_pair_subnets(k);
+        let (h1_addr, h2_addr) = fanout_pair_hosts(k);
+        let gw = |subnet: Ipv4Cidr| -> Ipv4Addr {
+            let base: u32 = subnet.network().into();
+            Ipv4Addr::from(base + 1)
+        };
+        let mut a = Device::new(format!("FanHost{k}S1"), DeviceRole::Host, 1);
+        a.config.assign_address(0, Ipv4Cidr::new(h1_addr, 24));
+        a.config.rib.add_main(Route {
+            dest: Ipv4Cidr::DEFAULT,
+            target: RouteTarget::Port {
+                port: 0,
+                via: Some(gw(s1)),
+            },
+        });
+        let a = net.add_device(a);
+        let mut b = Device::new(format!("FanHost{k}S2"), DeviceRole::Host, 1);
+        b.config.assign_address(0, Ipv4Cidr::new(h2_addr, 24));
+        b.config.rib.add_main(Route {
+            dest: Ipv4Cidr::DEFAULT,
+            target: RouteTarget::Port {
+                port: 0,
+                via: Some(gw(s2)),
+            },
+        });
+        let b = net.add_device(b);
+        net.connect(
+            (a, PortId(0)),
+            (customer1, PortId(2 + k as u32)),
+            LinkProperties::lan(),
+        )
+        .unwrap();
+        net.connect(
+            (b, PortId(0)),
+            (customer2, PortId(2 + k as u32)),
+            LinkProperties::lan(),
+        )
+        .unwrap();
+        fanout_pairs.push((a, b));
+    }
+
     ChainTopology {
         net,
         host1,
@@ -297,6 +396,7 @@ fn build_isp_chain(n: usize, dual: bool) -> ChainTopology {
         host2,
         core_link_addresses,
         second_pair,
+        fanout_pairs,
     }
 }
 
@@ -528,6 +628,52 @@ mod tests {
             .unwrap();
         t.net.run_to_quiescence(10_000);
         assert!(t.net.device_mut(h4).unwrap().take_delivered().is_empty());
+    }
+
+    #[test]
+    fn fanout_chain_adds_a_pair_per_lan_with_disjoint_subnets() {
+        let t = isp_chain_fanout(3, 70); // crosses the 64-per-octet boundary
+        assert_eq!(t.fanout_pairs.len(), 70);
+        // 3 core + 2 customer routers + 2 base hosts + 140 fan-out hosts.
+        assert_eq!(t.net.device_ids().len(), 147);
+        let (h1, _) = t.fanout_pairs[0];
+        let (h65a, h65b) = t.fanout_pairs[64];
+        assert!(t
+            .net
+            .device(h1)
+            .unwrap()
+            .config
+            .is_local_address(ip("10.1.0.5")));
+        assert!(t
+            .net
+            .device(h65a)
+            .unwrap()
+            .config
+            .is_local_address(ip("10.2.0.5")));
+        assert!(t
+            .net
+            .device(h65b)
+            .unwrap()
+            .config
+            .is_local_address(ip("10.2.1.5")));
+        // Subnets are pairwise disjoint.
+        let mut seen = std::collections::BTreeSet::new();
+        for k in 0..70 {
+            let (a, b) = fanout_pair_subnets(k);
+            assert!(seen.insert(a.network()));
+            assert!(seen.insert(b.network()));
+        }
+        // A fan-out host reaches its own gateway...
+        let mut t = t;
+        t.net.send_ping(h1, ip("10.1.0.1"), 1, 1).unwrap();
+        t.net.run_to_quiescence(10_000);
+        assert_eq!(t.net.device_mut(h1).unwrap().take_delivered().len(), 1);
+        // ...but not its peer before any VPN is configured.
+        let (src, dst) = t.fanout_pairs[1];
+        let (_, dst_ip) = fanout_pair_hosts(1);
+        t.net.send_udp(src, dst_ip, 1, 2, b"before-vpn").unwrap();
+        t.net.run_to_quiescence(10_000);
+        assert!(t.net.device_mut(dst).unwrap().take_delivered().is_empty());
     }
 
     #[test]

@@ -147,6 +147,139 @@ fn mid_commit_device_crash_rolls_back_cleanly_and_reconcile_retries() {
 }
 
 #[test]
+fn two_goals_share_one_edge_gre_module_and_withdraw_stays_isolated() {
+    use conman::core::ids::ModuleKind;
+
+    // Force both goals onto GRE-IP paths so they *must* share the edge GRE
+    // modules: the multi-tunnel GRE module carries one tunnel per goal
+    // (keyed by pipe, distinct key material per tunnel) instead of failing
+    // the second goal's transaction.
+    let mut t = managed_dual_chain(3);
+    t.discover();
+    let g1 = t.mn.submit(t.vpn_goal());
+    let g2 = t.mn.submit(t.vpn_goal2());
+    for id in [g1, g2] {
+        let desired = t.mn.goals.get(id).unwrap().desired.clone();
+        let paths = t.mn.nm.find_paths(&desired);
+        let gre = paths
+            .iter()
+            .find(|p| p.technology_label() == "GRE-IP")
+            .expect("a GRE-IP path exists")
+            .clone();
+        let plan = t.mn.plan_for_path(id, &gre).expect("plan");
+        assert!(t.mn.execute_plan(plan).committed, "goal {id} commits");
+    }
+    assert!(t.probe(), "goal 1 carries traffic");
+    assert!(t.probe2(), "goal 2 carries traffic");
+
+    // Both goals reference the same edge GRE module instances.
+    for core in [t.core[0], t.core[2]] {
+        let gre = t.mn.nm.find_module(core, &ModuleKind::Gre).unwrap();
+        assert_eq!(
+            t.mn.goals.module_refcount(&gre),
+            2,
+            "both goals share the GRE module on {core}"
+        );
+    }
+    // Two distinct tunnels (distinct keys) are configured on each edge.
+    let ingress = t.mn.net.device(t.core[0]).unwrap();
+    assert_eq!(ingress.config.tunnels.len(), 2);
+    let keys: std::collections::BTreeSet<_> = ingress
+        .config
+        .tunnels
+        .values()
+        .map(|tun| tun.okey)
+        .collect();
+    assert_eq!(keys.len(), 2, "concurrent tunnels use distinct keys");
+
+    // Withdrawing one goal tears down only its own tunnel: the sibling
+    // keeps its pipe, its key and its traffic.
+    let w = t.mn.withdraw(g1);
+    assert!(w.removed);
+    assert!(w.teardown_primitives > 0);
+    assert!(t.probe2(), "goal 2 survives goal 1's withdraw");
+    assert!(!t.probe(), "goal 1's VPN is gone");
+    let ingress = t.mn.net.device(t.core[0]).unwrap();
+    assert_eq!(ingress.config.tunnels.len(), 1, "one tunnel survives");
+    let gre = t.mn.nm.find_module(t.core[0], &ModuleKind::Gre).unwrap();
+    assert_eq!(t.mn.goals.module_refcount(&gre), 1);
+}
+
+#[test]
+fn withdraw_heavy_pass_stages_each_device_once_for_the_whole_batch() {
+    use mgmt_channel::MessageCategory;
+
+    // Eight goals over the same three devices; withdrawing them all at
+    // once must coalesce every teardown into ONE StageBatch/CommitBatch
+    // pair per device — commands proportional to devices, not goals.
+    let mut t = managed_chain(3);
+    t.discover();
+    let ids: Vec<_> = (0..8)
+        .map(|k| t.mn.submit(conman_bench_goal(&t, k)))
+        .collect();
+    let report = t.mn.reconcile();
+    assert!(report.converged());
+    let devices_touched = 3;
+
+    t.mn.reset_counters();
+    let outcomes = t.mn.withdraw_many(&ids);
+    assert!(outcomes.iter().all(|o| o.removed));
+    assert!(outcomes.iter().all(|o| o.teardown_primitives > 0));
+    let commands =
+        t.mn.nm_counters()
+            .sent_by_category
+            .get(&MessageCategory::Command)
+            .copied()
+            .unwrap_or(0);
+    assert_eq!(
+        commands,
+        2 * devices_touched,
+        "one StageBatch + one CommitBatch per device for all 8 teardowns"
+    );
+    assert!(t.mn.goals.is_empty());
+}
+
+/// A synthetic goal between the chain's edge interfaces for a distinct
+/// site-class pair (mirrors `conman-bench`'s generator without the crate
+/// dependency).
+fn conman_bench_goal(t: &Chain, k: usize) -> conman::core::nm::ConnectivityGoal {
+    let mut goal = t.vpn_goal();
+    let k = k + 1;
+    goal.src_class = format!("C{k}-S1");
+    goal.dst_class = format!("C{k}-S2");
+    goal.resolved.remove("C1-S1");
+    goal.resolved.remove("C1-S2");
+    goal.resolved
+        .insert(format!("C{k}-S1"), format!("10.{k}.1.0/24"));
+    goal.resolved
+        .insert(format!("C{k}-S2"), format!("10.{k}.2.0/24"));
+    goal
+}
+
+#[test]
+fn update_heavy_pass_coalesces_stale_teardowns_into_one_batch() {
+    let mut t = managed_chain(3);
+    t.discover();
+    let ids: Vec<_> = (0..4)
+        .map(|k| t.mn.submit(conman_bench_goal(&t, k)))
+        .collect();
+    assert!(t.mn.reconcile().converged());
+
+    // Update every goal: the next pass tears all four stale configurations
+    // down as ONE batched lenient transaction and applies the replacements
+    // as ONE batched configuration transaction.
+    for (k, id) in ids.iter().enumerate() {
+        assert!(t.mn.update_goal(*id, conman_bench_goal(&t, k + 20)));
+    }
+    let report = t.mn.reconcile();
+    assert!(report.converged(), "{report:#?}");
+    assert_eq!(
+        report.transactions, 2,
+        "one coalesced teardown batch + one configuration batch"
+    );
+}
+
+#[test]
 fn reconcile_is_idempotent_on_a_converged_network() {
     let mut t = managed_dual_chain(3);
     t.discover();
@@ -255,8 +388,10 @@ fn goal_lifecycle_plan_failure_update_and_retry() {
     t.discover();
     let id = t.mn.submit(t.vpn_goal());
 
-    // Exclude every module of the (unavoidable) middle router: planning
-    // must fail and the goal parks as Failed.
+    // Exclude every module of the (unavoidable) middle router: no path can
+    // avoid the suspects, so the reconciler's suspect-fallback drops the
+    // exclusions and *reinstalls through* them — the autonomic answer to a
+    // blamed module whose state was lost rather than whose hardware died.
     let excluded: std::collections::BTreeSet<_> = t.mn.nm.abstractions[&t.core[1]]
         .iter()
         .map(|a| a.name.clone())
@@ -264,18 +399,18 @@ fn goal_lifecycle_plan_failure_update_and_retry() {
     t.mn.goals.mark_degraded(id, excluded);
     let report = t.mn.reconcile();
     let outcome = report.outcome(id).unwrap();
-    assert_eq!(outcome.action, ReconcileAction::PlanFailed);
-    assert_eq!(t.mn.goals.status(id), Some(GoalStatus::Failed));
-    // Failed goals are left alone by later passes.
+    assert_eq!(outcome.action, ReconcileAction::Applied);
+    assert_eq!(t.mn.goals.status(id), Some(GoalStatus::Active));
+    assert!(
+        t.mn.goals.get(id).unwrap().excluded.is_empty(),
+        "the reinstall cleared the unavoidable exclusions"
+    );
+    assert!(t.probe());
+    // Converged goals are left alone by later passes, and `retry` has
+    // nothing to re-arm.
     let report = t.mn.reconcile();
     assert_eq!(report.transactions, 0);
-
-    // Clearing the exclusions and retrying converges the goal.
-    t.mn.goals.get_mut(id).unwrap().excluded.clear();
-    assert!(t.mn.goals.retry(id));
-    let report = t.mn.reconcile();
-    assert!(report.converged());
-    assert!(t.probe());
+    assert!(!t.mn.goals.retry(id));
 
     // An update returns the goal to Pending and the next reconcile
     // re-applies it (teardown + fresh transaction).

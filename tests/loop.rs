@@ -1,0 +1,271 @@
+//! Deterministic tick-by-tick tests for the autonomic control loop.
+//!
+//! Everything here runs on the simulated clock: a fault injected after
+//! tick `T` is detected by tick `T+1`'s health round and repaired within a
+//! bounded tick budget, a converged loop sends zero management messages,
+//! simultaneous faults on different goals heal independently, an operator
+//! withdraw cancels an in-flight repair cleanly, and a goal whose every
+//! repair fails lands in `Failed` instead of thrashing forever.
+
+use conman::core::nm::{GoalId, GoalStatus, PathFinderLimits};
+use conman::core::runtime::{ControlLoop, GoalEndpoints, LoopConfig, ManagedNetwork};
+use conman::diagnose::AutonomicClient;
+use conman::modules::{managed_fanout_chain, ManagedChain};
+use conman::netsim::fault::{apply_fault, FaultKind, Misconfiguration};
+use conman::netsim::route::RouteTableId;
+use mgmt_channel::OutOfBandChannel;
+
+type Chain = ManagedChain<OutOfBandChannel>;
+
+/// A discovered fan-out chain with `goals` goals submitted and tracked by a
+/// fresh control loop (not yet converged).
+fn looped_chain(n: usize, goals: usize) -> (Chain, ControlLoop<OutOfBandChannel>, Vec<GoalId>) {
+    let mut t = managed_fanout_chain(n, goals);
+    t.discover();
+    t.mn.goals.limits = PathFinderLimits {
+        max_steps: 3 * n + 16,
+        max_paths: 32,
+    };
+    let mut cl = ControlLoop::new(&t.mn, LoopConfig::default())
+        .with_client(Box::new(AutonomicClient::new(2)));
+    let mut ids = Vec::new();
+    for k in 0..goals {
+        let (src, dst, dst_ip) = t.fanout_probe(k);
+        let id = t.mn.submit(t.fanout_goal(k));
+        cl.track(id, GoalEndpoints { src, dst, dst_ip });
+        ids.push(id);
+    }
+    (t, cl, ids)
+}
+
+/// The derived route-table range of a goal's applied pipe block (via the
+/// IP module's authoritative numbering).
+fn goal_tables(mn: &ManagedNetwork<OutOfBandChannel>, id: GoalId) -> (RouteTableId, RouteTableId) {
+    let applied = mn.goals.get(id).and_then(|r| r.applied()).expect("applied");
+    conman::modules::derived_table_range(
+        applied.pipe_base,
+        conman::core::nm::script::slot_count(&applied.path),
+    )
+}
+
+#[test]
+fn fault_after_tick_t_is_detected_and_repaired_within_two_ticks() {
+    let (mut t, mut cl, _ids) = looped_chain(4, 2);
+    let setup = cl.run_until_converged(&mut t.mn, 10);
+    assert!(setup.converged, "setup converges");
+    let fault_tick = cl.ticks();
+
+    // Core state loss on the mid-chain router, injected between ticks.
+    apply_fault(
+        &mut t.mn.net,
+        FaultKind::Misconfigure(Misconfiguration::ClearMplsState { device: t.core[1] }),
+    );
+    apply_fault(
+        &mut t.mn.net,
+        FaultKind::Misconfigure(Misconfiguration::FlushPolicyRouting { device: t.core[1] }),
+    );
+
+    let run = cl.run_until_converged(&mut t.mn, 6);
+    assert!(run.converged, "the loop re-converges: {run:#?}");
+    let detect = run.first_detection().expect("a health round detected");
+    let repair = run.first_repair().expect("a repair pass converged");
+    assert_eq!(detect, fault_tick + 1, "the very next health round detects");
+    assert!(
+        repair <= fault_tick + 2,
+        "repair within two ticks of the fault (got tick {repair})"
+    );
+    assert!(
+        (0..2).all(|k| t.probe_pair(k)),
+        "traffic verified end to end"
+    );
+}
+
+#[test]
+fn a_converged_loop_sends_zero_reconfiguration_messages() {
+    let (mut t, mut cl, _ids) = looped_chain(4, 3);
+    assert!(cl.run_until_converged(&mut t.mn, 10).converged);
+    for _ in 0..5 {
+        let tick = cl.tick(&mut t.mn);
+        assert_eq!(tick.nm_sent, 0, "a quiescent tick sends nothing: {tick:#?}");
+        assert_eq!(tick.nm_received, 0);
+        assert!(tick.quiescent());
+        assert!(tick.repair.is_none(), "no repair pass runs when converged");
+    }
+    // The goals are still healthy — silence is convergence, not neglect.
+    assert!((0..3).all(|k| t.probe_pair(k)));
+}
+
+#[test]
+fn simultaneous_faults_on_different_goals_heal_independently() {
+    let (mut t, mut cl, ids) = looped_chain(4, 3);
+    assert!(cl.run_until_converged(&mut t.mn, 10).converged);
+
+    // Two simultaneous per-goal faults: goals 0 and 1 each lose their own
+    // derived route tables at the ingress edge (disjoint pipe blocks, so
+    // disjoint table ranges).  Goal 2 keeps carrying traffic throughout —
+    // per-goal state is the blast radius.
+    for &id in &ids[..2] {
+        let (first, last) = goal_tables(&t.mn, id);
+        apply_fault(
+            &mut t.mn.net,
+            FaultKind::Misconfigure(Misconfiguration::FlushRouteTables {
+                device: t.core[0],
+                first,
+                last,
+            }),
+        );
+    }
+
+    let run = cl.run_until_converged(&mut t.mn, 6);
+    assert!(run.converged, "both repairs land: {run:#?}");
+    let detect_tick = run
+        .ticks
+        .iter()
+        .find(|tk| !tk.degraded.is_empty())
+        .expect("detection happened");
+    assert_eq!(
+        detect_tick.degraded,
+        vec![ids[0], ids[1]],
+        "exactly the two faulted goals degrade — goal 2's health is judged \
+         from its own attributed counters, not device totals"
+    );
+    // Each goal got its own diagnosis, and each blamed the faulted edge.
+    let blamed = |goal: GoalId| {
+        detect_tick
+            .diagnosed
+            .iter()
+            .find(|(g, _)| *g == goal)
+            .and_then(|(_, d)| d.blamed)
+    };
+    assert_eq!(blamed(ids[0]), Some(t.core[0]));
+    assert_eq!(blamed(ids[1]), Some(t.core[0]));
+    // The healthy bystander was never dragged into the repair.
+    let repair = detect_tick.repair.as_ref().expect("a repair pass ran");
+    assert!(
+        repair
+            .outcome(ids[2])
+            .is_none_or(|o| o.action == conman::core::runtime::ReconcileAction::Unchanged),
+        "goal 2 rode through untouched"
+    );
+    assert!(
+        (0..3).all(|k| t.probe_pair(k)),
+        "all three goals carry traffic"
+    );
+    assert!(t.mn.goals.iter().all(|r| r.status == GoalStatus::Active));
+}
+
+#[test]
+fn operator_withdraw_mid_repair_cancels_the_repair_cleanly() {
+    let (mut t, mut cl, ids) = looped_chain(4, 2);
+    assert!(cl.run_until_converged(&mut t.mn, 10).converged);
+
+    // An unrepairable fault: cut the first core link — every candidate
+    // path crosses it, so the repair machinery can only thrash.
+    let link = t.core_link(0).expect("core link");
+    apply_fault(&mut t.mn.net, FaultKind::LinkCut(link));
+
+    // One tick of failing repair (both goals degrade, reinstall commits,
+    // verification fails).
+    let tick = cl.tick(&mut t.mn);
+    assert_eq!(tick.degraded.len(), 2);
+    assert!(tick.repair.is_some());
+    assert!(
+        t.mn.goals.iter().all(|r| r.status.needs_work()),
+        "repairs are in flight"
+    );
+
+    // The operator withdraws goal 0 mid-repair.  The withdrawal is
+    // processed before any repair work next tick: the goal is gone, its
+    // endpoints dropped, and no pass ever resurrects it.
+    cl.withdraw(ids[0]);
+    let tick = cl.tick(&mut t.mn);
+    assert_eq!(tick.withdrawn, vec![ids[0]]);
+    assert!(t.mn.goals.get(ids[0]).is_none(), "the record is gone");
+    assert!(
+        tick.repair
+            .as_ref()
+            .is_none_or(|r| r.outcome(ids[0]).is_none()),
+        "the repair pass no longer carries the withdrawn goal"
+    );
+    // Restore the link: the surviving goal repairs; the withdrawn one
+    // stays gone.
+    apply_fault(&mut t.mn.net, FaultKind::LinkRestore(link));
+    let run = cl.run_until_converged(&mut t.mn, 8);
+    assert!(run.converged);
+    assert_eq!(t.mn.goals.len(), 1);
+    assert_eq!(t.mn.goals.status(ids[1]), Some(GoalStatus::Active));
+    assert!(!t.probe_pair(0), "withdrawn goal's traffic stays down");
+    assert!(t.probe_pair(1));
+}
+
+#[test]
+fn repeated_repair_failure_parks_the_goal_failed_not_repairing() {
+    let (mut t, mut cl, ids) = looped_chain(4, 1);
+    assert!(cl.run_until_converged(&mut t.mn, 10).converged);
+    let budget = t.mn.goals.max_repair_attempts;
+    assert!(budget > 0, "the repair budget is armed by default");
+
+    let link = t.core_link(1).expect("core link");
+    apply_fault(&mut t.mn.net, FaultKind::LinkCut(link));
+
+    // Tick until the goal settles: it must land `Failed` — never stuck in
+    // `Repairing` — once the budget is exhausted.
+    let run = cl.run_until_converged(&mut t.mn, (budget + 4) as u64);
+    assert!(run.converged, "the loop settles even though repair failed");
+    let rec = t.mn.goals.get(ids[0]).expect("still stored");
+    assert_eq!(rec.status, GoalStatus::Failed, "budget exhausted => Failed");
+    assert!(rec
+        .last_error
+        .as_deref()
+        .unwrap_or_default()
+        .contains("giving up"));
+
+    // Failed goals are left alone: the pipe allocator stops moving and the
+    // management plane goes silent again.
+    let base = t.mn.goals.peek_pipe_base();
+    for _ in 0..3 {
+        let tick = cl.tick(&mut t.mn);
+        assert_eq!(tick.nm_sent, 0, "failed goals are not re-attempted");
+        assert!(tick.repair.is_none());
+    }
+    assert_eq!(t.mn.goals.peek_pipe_base(), base, "no pipe-block leak");
+
+    // The operator can re-arm it: restore the link, retry, and the loop
+    // picks it up on the next tick.
+    apply_fault(&mut t.mn.net, FaultKind::LinkRestore(link));
+    assert!(t.mn.goals.retry(ids[0]));
+    let run = cl.run_until_converged(&mut t.mn, 6);
+    assert!(run.converged);
+    assert_eq!(t.mn.goals.status(ids[0]), Some(GoalStatus::Active));
+    assert!(t.probe_pair(0));
+}
+
+#[test]
+fn push_mode_flow_reports_surface_as_counter_delta_events() {
+    let (mut t, mut cl, _ids) = looped_chain(4, 2);
+    assert!(cl.run_until_converged(&mut t.mn, 10).converged);
+
+    // The repair tick subscribed the path devices to the goals' flow tags.
+    // A faulty tick's telemetry polls give the agents a chance to push:
+    // the watched counters moved (health probes), so unsolicited reports
+    // ride back alongside the poll replies...
+    apply_fault(
+        &mut t.mn.net,
+        FaultKind::Misconfigure(Misconfiguration::FlushPolicyRouting { device: t.core[1] }),
+    );
+    apply_fault(
+        &mut t.mn.net,
+        FaultKind::Misconfigure(Misconfiguration::ClearMplsState { device: t.core[1] }),
+    );
+    let faulty = cl.tick(&mut t.mn);
+    assert!(!faulty.degraded.is_empty());
+
+    // ...and surface as CounterDelta events on the next tick's stream —
+    // which stays management-silent: the pushes were already on the wire.
+    let next = cl.tick(&mut t.mn);
+    assert!(
+        next.counter_deltas > 0,
+        "pushed flow reports become events: {next:#?}"
+    );
+    assert_eq!(next.nm_sent, 0, "draining pushed reports costs nothing");
+}
