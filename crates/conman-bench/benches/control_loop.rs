@@ -2,7 +2,9 @@
 //! cycles on the fan-out chain, and the cost of one quiescent tick (which
 //! must stay management-silent however many goals are live).
 
-use conman_bench::{assert_loop_healthy, loop_run, LoopScenario};
+use conman_bench::{
+    assert_loop_healthy, assert_one_pass_reroute, loop_run, mesh_loop_run, LoopScenario,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 
@@ -32,6 +34,20 @@ fn bench_control_loop(c: &mut Criterion) {
             b.iter(|| {
                 let report = loop_run(4, goals, LoopScenario::PerGoalTableFlush);
                 assert_loop_healthy(&report, 3);
+                report.repair_wall_us
+            })
+        },
+    );
+    // The link-suspect-aware reroute: a cut core link on the 2×2 mesh is
+    // diagnosed to the link and the fleet rerouted onto the redundant row
+    // in one batched pass (no repair-budget burn).
+    group.bench_with_input(
+        BenchmarkId::new("detect_reroute_mesh2_link_cut", 8usize),
+        &8usize,
+        |b, &goals| {
+            b.iter(|| {
+                let report = mesh_loop_run(2, goals, LoopScenario::MeshLinkCut);
+                assert_one_pass_reroute(&report);
                 report.repair_wall_us
             })
         },

@@ -8,8 +8,9 @@
 
 use conman_bench::{
     closed_loop_run, configure_and_count, configure_vlan_and_count, discovered_chain,
-    discovered_vlan_chain, loop_run, multi_goal_run_mode, path_labelled, DiagnosisScenario,
-    LoopBenchReport, LoopScenario, MultiGoalReport, ReconcileMode,
+    discovered_vlan_chain, loop_run, loop_run_inband, mesh_loop_run, multi_goal_run_mode,
+    path_labelled, DiagnosisScenario, LoopBenchReport, LoopScenario, MultiGoalReport,
+    ReconcileMode,
 };
 use conman_core::ids::ModuleKind;
 use legacy_config::{
@@ -397,42 +398,55 @@ fn goals() {
 }
 
 fn autonomic_loop() {
-    heading("Autonomic control loop — ticks-to-detect / ticks-to-repair on the 10-router chain (beyond the paper)");
+    heading("Autonomic control loop — ticks-to-detect / ticks-to-repair on the 10-router chain and the 2x3 multipath mesh (beyond the paper)");
     println!("Every goal is backed by a real customer host pair; the event-driven loop");
     println!("health-probes each goal per 100ms tick inside its flow-attribution window,");
     println!("localises faults from per-goal FlowCounters deltas under the other goals'");
     println!("live traffic, and repairs everything needing work in one batched pass.");
-    println!("A converged tick sends ZERO management messages.\n");
-    println!(
-        "{:>22} {:>6} {:>7} {:>8} {:>8} {:>9} {:>9} {:>8} {:>10} {:>10}",
-        "scenario",
-        "goals",
-        "setup",
-        "quiet-NM",
-        "degraded",
-        "detect-tk",
-        "repair-tk",
-        "blamed",
-        "repair-NM",
-        "wall"
-    );
+    println!("On the mesh a blamed core *link* is rerouted around in ONE repair attempt");
+    println!("(no budget burn); a converged tick sends ZERO management messages.\n");
+    let header = || {
+        println!(
+            "{:>22} {:>8} {:>6} {:>7} {:>8} {:>8} {:>9} {:>9} {:>8} {:>7} {:>7} {:>10} {:>10}",
+            "scenario",
+            "channel",
+            "goals",
+            "setup",
+            "quiet-NM",
+            "degraded",
+            "detect-tk",
+            "repair-tk",
+            "blamed",
+            "passes",
+            "failed",
+            "repair-NM",
+            "wall"
+        );
+    };
+    header();
+    let print_row = |r: &LoopBenchReport| {
+        println!(
+            "{:>22} {:>8} {:>6} {:>7} {:>8} {:>8} {:>9} {:>9} {:>8} {:>7} {:>7} {:>10} {:>7} µs",
+            r.scenario.name(),
+            r.channel,
+            r.goals,
+            r.setup_ticks,
+            r.quiescent_nm_sent,
+            r.degraded_goals,
+            r.ticks_to_detect,
+            r.ticks_to_repair,
+            r.blamed_correct,
+            r.repair_passes,
+            r.failed_attempts,
+            r.repair_nm_sent,
+            r.repair_wall_us,
+        );
+    };
     let mut rows: Vec<LoopBenchReport> = Vec::new();
     for scenario in [LoopScenario::CoreStateLoss, LoopScenario::PerGoalTableFlush] {
         for goals in [8usize, 64, 256] {
             let r = loop_run(10, goals, scenario);
-            println!(
-                "{:>22} {:>6} {:>7} {:>8} {:>8} {:>9} {:>9} {:>8} {:>10} {:>7} µs",
-                r.scenario.name(),
-                r.goals,
-                r.setup_ticks,
-                r.quiescent_nm_sent,
-                r.degraded_goals,
-                r.ticks_to_detect,
-                r.ticks_to_repair,
-                r.blamed_correct,
-                r.repair_nm_sent,
-                r.repair_wall_us,
-            );
+            print_row(&r);
             // The smoke gates CI enforces: converged, silent when
             // quiescent, the right device blamed, repair within budget.
             conman_bench::assert_loop_healthy(&r, 3);
@@ -450,6 +464,28 @@ fn autonomic_loop() {
             rows.push(r);
         }
     }
+    // Mesh rows: a blamed core link has a genuine alternative, so the smoke
+    // gate is the one-pass reroute — exactly one batched pass, zero failed
+    // attempts, the *link* (not just a device) blamed.
+    for scenario in [LoopScenario::MeshLinkCut, LoopScenario::MeshLinkLoss] {
+        for goals in [8usize, 64, 256] {
+            let r = mesh_loop_run(3, goals, scenario);
+            print_row(&r);
+            conman_bench::assert_one_pass_reroute(&r);
+            assert_eq!(
+                r.degraded_goals, r.goals,
+                "every goal crossed the dead link"
+            );
+            rows.push(r);
+        }
+    }
+    // The in-band message-budget row: the loop over the flooding channel
+    // must stay silent when quiescent, and the faulty ticks' flooded
+    // telemetry cost is recorded for trend tracking.
+    let r = loop_run_inband(10, 8, LoopScenario::CoreStateLoss);
+    print_row(&r);
+    conman_bench::assert_loop_healthy(&r, 3);
+    rows.push(r);
 
     // Machine-readable artefact so CI tracks the loop trajectory across PRs.
     let series: Vec<serde_json::Value> = rows
@@ -457,6 +493,9 @@ fn autonomic_loop() {
         .map(|r| {
             serde_json::json!({
                 "scenario": r.scenario.name(),
+                "topology": r.topology,
+                "channel": r.channel,
+                "n": r.n,
                 "goals": r.goals,
                 "setup_ticks": r.setup_ticks,
                 "quiescent_nm_sent": r.quiescent_nm_sent,
@@ -464,7 +503,10 @@ fn autonomic_loop() {
                 "ticks_to_repair": r.ticks_to_repair,
                 "degraded_goals": r.degraded_goals,
                 "blamed_correct": r.blamed_correct,
+                "repair_passes": r.repair_passes,
+                "failed_repair_attempts": r.failed_attempts,
                 "repair_nm_sent": r.repair_nm_sent,
+                "repair_frames": r.repair_frames,
                 "converged": r.converged,
                 "repair_wall_us": r.repair_wall_us as u64,
             })
@@ -473,6 +515,7 @@ fn autonomic_loop() {
     let artefact = serde_json::json!({
         "bench": "loop",
         "chain_routers": 10,
+        "mesh_stages": 3,
         "tick_ms": 100,
         "series": series,
     });

@@ -1,30 +1,43 @@
 //! The autonomic-loop experiments: ticks-to-detect, ticks-to-repair and
-//! management silence on the 10-router chain under live goal fleets.
+//! management silence under live goal fleets — on the 10-router chain and
+//! on the multipath mesh.
 //!
-//! Every goal is backed by a real customer host pair (the fan-out chain),
-//! so per-goal health, flow-attributed localisation and repair
-//! verification all run on genuine end-to-end traffic.  Two fault shapes
+//! Every goal is backed by a real customer host pair (the fan-out
+//! topologies), so per-goal health, flow-attributed localisation and repair
+//! verification all run on genuine end-to-end traffic.  Four fault shapes
 //! are measured:
 //!
-//! * **Core state loss** — the mid-chain router loses its dynamic state
-//!   (label maps *and* policy tables, as after a control-plane reload):
-//!   every goal through it degrades at once, whatever technology it rides,
-//!   and one batched repair pass must re-plan the whole fleet.
-//! * **Per-goal table flush** — exactly one goal's derived route tables
-//!   are flushed at the ingress edge (the only per-goal state not redundant
-//!   with its siblings').  The other goals keep pushing traffic through the
-//!   same devices during diagnosis, so only the per-goal `FlowCounters`
-//!   deltas can blame the right device — the scenario that separates
-//!   flow-attributed localisation from device-total diagnosis.  The repair
-//!   is a *reinstall through* the blamed edge module (no path avoids the
-//!   ingress), which restores the flushed tables.
+//! * **Core state loss** (chain) — the mid-chain router loses its dynamic
+//!   state (label maps *and* policy tables, as after a control-plane
+//!   reload): every goal through it degrades at once and one batched repair
+//!   pass must re-plan the whole fleet.
+//! * **Per-goal table flush** (chain) — exactly one goal's derived route
+//!   tables are flushed at the ingress edge.  The other goals keep pushing
+//!   traffic through the same devices during diagnosis, so only the
+//!   per-goal `FlowCounters` deltas can blame the right device.
+//! * **Mesh link cut / link loss** (mesh) — a core link of the applied
+//!   path is cut (or spikes to 100% loss while staying administratively
+//!   up).  Diagnosis must blame the *link*, and because the 2×k mesh keeps
+//!   a redundant row, the batched pass must reroute the whole fleet in
+//!   **one** repair attempt — no repair-budget burn, no goal ever `Failed`.
+//!   This is the link-suspect-aware-planning scenario a chain cannot
+//!   express.
+//!
+//! The chain rows also run over the **in-band** management channel, whose
+//! flooded telemetry during faulty ticks gets its own message-budget row in
+//! `BENCH_loop.json`.
 
 use crate::diagnosis::chain_limits;
-use conman_core::nm::{script, GoalId, GoalStatus};
-use conman_core::runtime::{ControlLoop, GoalEndpoints, LoopConfig, ManagedNetwork};
+use conman_core::nm::{script, GoalId, GoalStatus, PathFinderLimits};
+use conman_core::runtime::{
+    ControlLoop, GoalEndpoints, LoopConfig, LoopReport, ManagedNetwork, ReconcileAction,
+};
 use conman_diagnose::AutonomicClient;
-use conman_modules::{managed_fanout_chain, ManagedChain};
-use mgmt_channel::OutOfBandChannel;
+use conman_modules::{
+    managed_fanout_chain, managed_fanout_chain_with, managed_mesh_fanout, ManagedChain, ManagedMesh,
+};
+use mgmt_channel::{InBandChannel, ManagementChannel, OutOfBandChannel};
+use netsim::device::DeviceId;
 use netsim::fault::{apply_fault, FaultKind, Misconfiguration};
 use netsim::route::RouteTableId;
 use std::time::Instant;
@@ -32,15 +45,23 @@ use std::time::Instant;
 /// Which fault the loop run injects once the fleet is converged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LoopScenario {
-    /// The mid-chain router loses its dynamic state (MPLS label maps and
-    /// policy tables, as after a control-plane reload): every goal
+    /// Chain: the mid-chain router loses its dynamic state (MPLS label maps
+    /// and policy tables, as after a control-plane reload): every goal
     /// degrades, one batched pass repairs the fleet.
     CoreStateLoss,
-    /// Flush one goal's derived route tables at the ingress edge: one
-    /// goal degrades, the rest keep carrying traffic — localisation must
-    /// stay correct under their background load, and the repair reinstalls
-    /// through the blamed edge module.
+    /// Chain: flush one goal's derived route tables at the ingress edge:
+    /// one goal degrades, the rest keep carrying traffic — localisation
+    /// must stay correct under their background load, and the repair
+    /// reinstalls through the blamed edge module.
     PerGoalTableFlush,
+    /// Mesh: administratively cut a core link of the applied path.  The
+    /// diagnosis must blame the link and the batched pass must reroute the
+    /// whole fleet onto the redundant row in one repair attempt.
+    MeshLinkCut,
+    /// Mesh: 100% loss spike on a core link of the applied path (the link
+    /// stays administratively up, so only counters reveal it).  Same
+    /// one-pass-reroute obligation as the cut.
+    MeshLinkLoss,
 }
 
 impl LoopScenario {
@@ -49,14 +70,25 @@ impl LoopScenario {
         match self {
             LoopScenario::CoreStateLoss => "core-state-loss",
             LoopScenario::PerGoalTableFlush => "per-goal-table-flush",
+            LoopScenario::MeshLinkCut => "mesh-link-cut",
+            LoopScenario::MeshLinkLoss => "mesh-link-loss",
         }
+    }
+
+    /// Does this scenario run on the multipath mesh?
+    pub fn on_mesh(self) -> bool {
+        matches!(self, LoopScenario::MeshLinkCut | LoopScenario::MeshLinkLoss)
     }
 }
 
 /// What one autonomic-loop run measured.
 #[derive(Debug, Clone)]
 pub struct LoopBenchReport {
-    /// Chain size (core routers).
+    /// Topology family the run used (`chain` or `mesh`).
+    pub topology: &'static str,
+    /// Management channel the run used (`oob` or `in-band`).
+    pub channel: &'static str,
+    /// Chain size (core routers) or mesh stages.
     pub n: usize,
     /// Live goals.
     pub goals: usize,
@@ -75,10 +107,25 @@ pub struct LoopBenchReport {
     pub ticks_to_repair: u64,
     /// Goals the detection tick degraded.
     pub degraded_goals: usize,
-    /// Did every diagnosis blame the faulted device?
+    /// Did every diagnosis blame the faulted component — the device for the
+    /// chain scenarios, the *link* (not just a device) for the mesh ones?
     pub blamed_correct: bool,
+    /// Repair passes that actually touched a goal across the
+    /// detect-to-repair run.  A one-pass reroute shows `1`.
+    pub repair_passes: u64,
+    /// Failed repair attempts (`ProbeFailed` / `ExecuteFailed` /
+    /// `PlanFailed` outcomes) across the run — the repair-budget burn.  A
+    /// link-suspect-aware reroute shows `0`; the pre-link-exclusion planner
+    /// burned one per goal per pass re-planning over the cut link.
+    pub failed_attempts: u64,
     /// NM messages sent across the detection-to-repair ticks.
     pub repair_nm_sent: u64,
+    /// Link-level frames delivered across the detection-to-repair ticks —
+    /// the wire cost.  Out-of-band runs only carry data-plane (probe)
+    /// frames here; the in-band rows additionally pay for every flooded
+    /// copy of every management message, which is exactly the budget the
+    /// in-band row exists to track.
+    pub repair_frames: u64,
     /// Did the run end converged, with every goal's traffic verified
     /// end to end?
     pub converged: bool,
@@ -86,10 +133,20 @@ pub struct LoopBenchReport {
     pub repair_wall_us: u128,
 }
 
+/// Path-finder limits for the 2×k mesh (longer module paths than a chain of
+/// the same nominal size, and genuinely alternative routes worth keeping in
+/// the enumeration budget).
+pub fn mesh_limits(k: usize) -> PathFinderLimits {
+    PathFinderLimits {
+        max_steps: 3 * (k + 2) + 16,
+        max_paths: 64,
+    }
+}
+
 /// The derived route-table range of a goal's applied pipe block (via the
 /// IP module's authoritative numbering).
-fn goal_table_range(
-    mn: &ManagedNetwork<OutOfBandChannel>,
+fn goal_table_range<C: ManagementChannel>(
+    mn: &ManagedNetwork<C>,
     id: GoalId,
 ) -> (RouteTableId, RouteTableId) {
     let applied = mn
@@ -100,11 +157,95 @@ fn goal_table_range(
     conman_modules::derived_table_range(applied.pipe_base, script::slot_count(&applied.path))
 }
 
-/// Run the autonomic loop once: converge `goals` goals on an `n`-router
-/// fan-out chain, verify management silence, inject the scenario's fault,
-/// and measure detection and repair in ticks.
+/// Detect/repair metrics shared by the chain and mesh runs, derived from
+/// the post-fault tick reports.
+struct RunMetrics {
+    detect: u64,
+    repaired: u64,
+    degraded_goals: usize,
+    repair_passes: u64,
+    failed_attempts: u64,
+    repair_nm_sent: u64,
+}
+
+fn run_metrics(run: &LoopReport) -> RunMetrics {
+    let detect = run.first_detection().unwrap_or(0);
+    let repaired = run.first_repair().unwrap_or(0);
+    let degraded_goals = run
+        .ticks
+        .iter()
+        .find(|tk| tk.tick == detect)
+        .map(|tk| tk.degraded.len())
+        .unwrap_or(0);
+    let repair_passes = run
+        .ticks
+        .iter()
+        .filter(|tk| {
+            tk.repair.as_ref().is_some_and(|r| {
+                r.outcomes
+                    .iter()
+                    .any(|o| o.action != ReconcileAction::Unchanged)
+            })
+        })
+        .count() as u64;
+    let failed_attempts = run
+        .ticks
+        .iter()
+        .filter_map(|tk| tk.repair.as_ref())
+        .flat_map(|r| r.outcomes.iter())
+        .filter(|o| {
+            matches!(
+                o.action,
+                ReconcileAction::ProbeFailed
+                    | ReconcileAction::ExecuteFailed
+                    | ReconcileAction::PlanFailed
+            )
+        })
+        .count() as u64;
+    RunMetrics {
+        detect,
+        repaired,
+        degraded_goals,
+        repair_passes,
+        failed_attempts,
+        repair_nm_sent: run.ticks.iter().map(|tk| tk.nm_sent).sum(),
+    }
+}
+
+/// Run the autonomic loop once on the fan-out chain over the out-of-band
+/// channel: converge `goals` goals on an `n`-router chain, verify management
+/// silence, inject the scenario's fault, and measure detection and repair
+/// in ticks.
 pub fn loop_run(n: usize, goals: usize, scenario: LoopScenario) -> LoopBenchReport {
-    let mut t: ManagedChain<OutOfBandChannel> = managed_fanout_chain(n, goals);
+    chain_loop_run(managed_fanout_chain(n, goals), n, goals, scenario, "oob")
+}
+
+/// [`loop_run`] over the **in-band** flooding channel — the message-budget
+/// row: quiescent ticks must still be silent, and `repair_nm_sent` records
+/// what the flooded telemetry and repair transactions cost during the
+/// faulty ticks.
+pub fn loop_run_inband(n: usize, goals: usize, scenario: LoopScenario) -> LoopBenchReport {
+    chain_loop_run(
+        managed_fanout_chain_with(n, goals, InBandChannel::new()),
+        n,
+        goals,
+        scenario,
+        "in-band",
+    )
+}
+
+fn chain_loop_run<C: ManagementChannel>(
+    mut t: ManagedChain<C>,
+    n: usize,
+    goals: usize,
+    scenario: LoopScenario,
+    channel: &'static str,
+) -> LoopBenchReport {
+    assert!(
+        !scenario.on_mesh(),
+        "{} runs on the mesh (use mesh_loop_run)",
+        scenario.name()
+    );
     t.discover();
     t.mn.goals.limits = chain_limits(n);
 
@@ -139,6 +280,7 @@ pub fn loop_run(n: usize, goals: usize, scenario: LoopScenario) -> LoopBenchRepo
     let faulted = match scenario {
         LoopScenario::CoreStateLoss => t.core[1],
         LoopScenario::PerGoalTableFlush => t.core[0],
+        _ => unreachable!("mesh scenarios rejected above"),
     };
     match scenario {
         LoopScenario::CoreStateLoss => {
@@ -162,42 +304,157 @@ pub fn loop_run(n: usize, goals: usize, scenario: LoopScenario) -> LoopBenchRepo
                 }),
             );
         }
+        _ => unreachable!(),
     }
     let fault_tick = cl.ticks();
 
     // ---- Detect + repair, autonomically. ------------------------------
+    let frames_before = t.mn.net.frames_delivered();
     let wall = Instant::now();
     let run = cl.run_until_converged(&mut t.mn, 12);
     let repair_wall_us = wall.elapsed().as_micros();
-    let detect = run.first_detection().unwrap_or(0);
-    let repaired = run.first_repair().unwrap_or(0);
-    let detect_report = run.ticks.iter().find(|tk| tk.tick == detect);
-    let degraded_goals = detect_report.map(|tk| tk.degraded.len()).unwrap_or(0);
+    let repair_frames = t.mn.net.frames_delivered() - frames_before;
+    let m = run_metrics(&run);
+    let detect_report = run.ticks.iter().find(|tk| tk.tick == m.detect);
     let blamed_correct = detect_report.is_some_and(|tk| {
         !tk.diagnosed.is_empty() && tk.diagnosed.iter().all(|(_, d)| d.blamed == Some(faulted))
     });
-    let repair_nm_sent = run.ticks.iter().map(|tk| tk.nm_sent).sum();
     let all_active = t.mn.goals.iter().all(|r| r.status == GoalStatus::Active);
     let traffic_ok = (0..goals).all(|k| t.probe_pair(k));
 
     LoopBenchReport {
+        topology: "chain",
+        channel,
         n,
         goals,
         scenario,
         setup_ticks,
         quiescent_nm_sent,
-        ticks_to_detect: detect.saturating_sub(fault_tick),
-        ticks_to_repair: repaired.saturating_sub(fault_tick),
-        degraded_goals,
+        ticks_to_detect: m.detect.saturating_sub(fault_tick),
+        ticks_to_repair: m.repaired.saturating_sub(fault_tick),
+        degraded_goals: m.degraded_goals,
         blamed_correct,
-        repair_nm_sent,
+        repair_passes: m.repair_passes,
+        failed_attempts: m.failed_attempts,
+        repair_nm_sent: m.repair_nm_sent,
+        repair_frames,
         converged: run.converged && all_active && traffic_ok,
         repair_wall_us,
     }
 }
 
+/// Run the autonomic loop once on the 2×k multipath mesh: converge `goals`
+/// goals, cut (or blackhole) a core link of the applied path, and measure
+/// the link-suspect-aware reroute — the diagnosis must blame the *link* and
+/// the batched pass must move the whole fleet onto the redundant row in one
+/// repair attempt.
+pub fn mesh_loop_run(k: usize, goals: usize, scenario: LoopScenario) -> LoopBenchReport {
+    assert!(
+        scenario.on_mesh(),
+        "{} runs on the chain (use loop_run)",
+        scenario.name()
+    );
+    let mut t: ManagedMesh<OutOfBandChannel> = managed_mesh_fanout(k, goals);
+    t.discover();
+    t.mn.goals.limits = mesh_limits(k);
+
+    let mut cl = ControlLoop::new(&t.mn, LoopConfig::default())
+        .with_client(Box::new(AutonomicClient::new(2)));
+    let mut ids = Vec::with_capacity(goals);
+    for g in 0..goals {
+        let (src, dst, dst_ip) = t.fanout_probe(g);
+        let id = t.mn.submit(t.fanout_goal(g));
+        cl.track(id, GoalEndpoints { src, dst, dst_ip });
+        ids.push(id);
+    }
+
+    let setup = cl.run_until_converged(&mut t.mn, 16);
+    assert!(setup.converged, "fleet must converge during setup");
+    let setup_ticks = setup.ticks.len() as u64;
+
+    let mut quiescent_nm_sent = 0;
+    for _ in 0..3 {
+        let tick = cl.tick(&mut t.mn);
+        quiescent_nm_sent = quiescent_nm_sent.max(tick.nm_sent);
+    }
+
+    // ---- Fault: kill the first core-to-core link of the applied path. --
+    let hop = t
+        .applied_core_hop(ids[0])
+        .expect("the applied path crosses the core");
+    let link = t.link(hop.0, hop.1).expect("the hop is a physical link");
+    match scenario {
+        LoopScenario::MeshLinkCut => apply_fault(&mut t.mn.net, FaultKind::LinkCut(link)),
+        LoopScenario::MeshLinkLoss => apply_fault(
+            &mut t.mn.net,
+            FaultKind::LossSpike {
+                link,
+                loss_ppm: 1_000_000,
+            },
+        ),
+        _ => unreachable!(),
+    }
+    let fault_tick = cl.ticks();
+
+    let frames_before = t.mn.net.frames_delivered();
+    let wall = Instant::now();
+    let run = cl.run_until_converged(&mut t.mn, 12);
+    let repair_wall_us = wall.elapsed().as_micros();
+    let repair_frames = t.mn.net.frames_delivered() - frames_before;
+    let m = run_metrics(&run);
+    let detect_report = run.ticks.iter().find(|tk| tk.tick == m.detect);
+    // The mesh bar is higher than the chain's: the *link* must be blamed,
+    // not merely some device near it.
+    let want_link = if hop.0 <= hop.1 {
+        (hop.0, hop.1)
+    } else {
+        (hop.1, hop.0)
+    };
+    let blamed_correct = detect_report.is_some_and(|tk| {
+        !tk.diagnosed.is_empty()
+            && tk
+                .diagnosed
+                .iter()
+                .all(|(_, d)| d.blamed_link == Some(want_link))
+    });
+    let all_active = t.mn.goals.iter().all(|r| r.status == GoalStatus::Active);
+    // Every repaired path must genuinely avoid the dead link.
+    let avoids_link = |devices: &[DeviceId]| {
+        !devices
+            .windows(2)
+            .any(|w| (w[0], w[1]) == hop || (w[1], w[0]) == hop)
+    };
+    let rerouted = ids.iter().all(|id| {
+        t.mn.goals
+            .get(*id)
+            .and_then(|r| r.applied())
+            .is_some_and(|a| avoids_link(&a.path.devices()))
+    });
+    let traffic_ok = (0..goals).all(|g| t.probe_pair(g));
+
+    LoopBenchReport {
+        topology: "mesh",
+        channel: "oob",
+        n: k,
+        goals,
+        scenario,
+        setup_ticks,
+        quiescent_nm_sent,
+        ticks_to_detect: m.detect.saturating_sub(fault_tick),
+        ticks_to_repair: m.repaired.saturating_sub(fault_tick),
+        degraded_goals: m.degraded_goals,
+        blamed_correct,
+        repair_passes: m.repair_passes,
+        failed_attempts: m.failed_attempts,
+        repair_nm_sent: m.repair_nm_sent,
+        repair_frames,
+        converged: run.converged && all_active && rerouted && traffic_ok,
+        repair_wall_us,
+    }
+}
+
 /// Sanity-check a run the way CI's smoke pass does: converged, silent when
-/// quiescent, fault blamed on the right device, repair within budget.
+/// quiescent, fault blamed on the right component, repair within budget.
 pub fn assert_loop_healthy(report: &LoopBenchReport, max_repair_ticks: u64) {
     assert!(report.converged, "loop run must converge: {report:?}");
     assert_eq!(
@@ -206,7 +463,7 @@ pub fn assert_loop_healthy(report: &LoopBenchReport, max_repair_ticks: u64) {
     );
     assert!(
         report.blamed_correct,
-        "diagnosis must blame the faulted device: {report:?}"
+        "diagnosis must blame the faulted component: {report:?}"
     );
     assert!(
         report.ticks_to_detect >= 1 && report.ticks_to_detect <= max_repair_ticks,
@@ -216,6 +473,24 @@ pub fn assert_loop_healthy(report: &LoopBenchReport, max_repair_ticks: u64) {
         report.ticks_to_repair >= report.ticks_to_detect
             && report.ticks_to_repair <= max_repair_ticks,
         "repair outside tick budget: {report:?}"
+    );
+}
+
+/// The mesh smoke gate: on top of [`assert_loop_healthy`], the repair must
+/// be a **one-pass reroute** — exactly one batched pass touched the fleet
+/// and zero attempts failed, so the repair budget was never burned and no
+/// goal ever parked `Failed`.  (The pre-link-exclusion planner failed this:
+/// it re-planned over the cut link, burned `max_repair_attempts` and parked
+/// the goals.)
+pub fn assert_one_pass_reroute(report: &LoopBenchReport) {
+    assert_loop_healthy(report, 3);
+    assert_eq!(
+        report.repair_passes, 1,
+        "the reroute must land in one batched pass: {report:?}"
+    );
+    assert_eq!(
+        report.failed_attempts, 0,
+        "a link-suspect-aware reroute burns no repair budget: {report:?}"
     );
 }
 
@@ -237,6 +512,37 @@ mod tests {
         assert_eq!(
             report.degraded_goals, 1,
             "only the faulted goal may degrade: {report:?}"
+        );
+    }
+
+    #[test]
+    fn mesh_link_cut_is_a_one_pass_reroute() {
+        let report = mesh_loop_run(2, 3, LoopScenario::MeshLinkCut);
+        assert_one_pass_reroute(&report);
+        assert_eq!(report.degraded_goals, 3, "every goal crossed the cut link");
+    }
+
+    #[test]
+    fn mesh_link_loss_is_a_one_pass_reroute() {
+        let report = mesh_loop_run(2, 3, LoopScenario::MeshLinkLoss);
+        assert_one_pass_reroute(&report);
+    }
+
+    #[test]
+    fn in_band_loop_stays_silent_when_quiescent_and_pays_its_flood_in_frames() {
+        let oob = loop_run(4, 3, LoopScenario::CoreStateLoss);
+        let inband = loop_run_inband(4, 3, LoopScenario::CoreStateLoss);
+        assert_loop_healthy(&inband, 3);
+        assert!(
+            inband.repair_nm_sent > 0,
+            "the faulty ticks carry the repair message budget: {inband:?}"
+        );
+        assert!(
+            inband.repair_frames > oob.repair_frames,
+            "flooding the same NM messages over real links must cost extra \
+             frames: in-band {} vs oob {}",
+            inband.repair_frames,
+            oob.repair_frames
         );
     }
 }

@@ -8,7 +8,10 @@ pub mod control_loop;
 pub mod diagnosis;
 pub mod goals;
 
-pub use control_loop::{assert_loop_healthy, loop_run, LoopBenchReport, LoopScenario};
+pub use control_loop::{
+    assert_loop_healthy, assert_one_pass_reroute, loop_run, loop_run_inband, mesh_loop_run,
+    LoopBenchReport, LoopScenario,
+};
 pub use diagnosis::{closed_loop_run, ClosedLoopReport, DiagnosisScenario};
 pub use goals::{
     multi_goal_run, multi_goal_run_mode, synthetic_goal, MultiGoalReport, ReconcileMode,

@@ -22,6 +22,7 @@ use super::pathfinder::PathFinderLimits;
 use super::script::ScriptSet;
 use super::{ConnectivityGoal, ModulePath};
 use crate::ids::ModuleRef;
+use netsim::device::DeviceId;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -35,6 +36,46 @@ pub struct GoalId(pub u64);
 impl fmt::Display for GoalId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "G{}", self.0)
+    }
+}
+
+/// Something a goal's planner must route around, as recorded from
+/// diagnosis.
+///
+/// The original self-healing story could only avoid *modules*; a diagnosis
+/// that blamed a link (cut, loss spike) never reached the path search, so
+/// the re-plan would happily cross the dead link again.  Typing the
+/// exclusion lets the traversal prune both: an excluded module is never
+/// entered, and an excluded link's physical pipes are never crossed — so on
+/// multipath topologies a blamed core link is rerouted around in one pass.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Exclusion {
+    /// Avoid a specific module.
+    Module(ModuleRef),
+    /// Avoid every physical pipe between the two (adjacent) devices,
+    /// whichever direction the path would cross it.  Stored with the
+    /// smaller device id first — build it through [`Exclusion::link`] so
+    /// `(a, b)` and `(b, a)` compare equal.
+    Link(DeviceId, DeviceId),
+}
+
+impl Exclusion {
+    /// A link exclusion, normalised so the endpoint order never matters.
+    pub fn link(a: DeviceId, b: DeviceId) -> Self {
+        if a <= b {
+            Exclusion::Link(a, b)
+        } else {
+            Exclusion::Link(b, a)
+        }
+    }
+}
+
+impl fmt::Display for Exclusion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exclusion::Module(m) => write!(f, "module {m}"),
+            Exclusion::Link(a, b) => write!(f, "link {a}--{b}"),
+        }
     }
 }
 
@@ -110,8 +151,10 @@ pub struct GoalRecord {
     /// [`GoalStore::take_applied`] and the incremental module-usage index
     /// cannot silently go stale; read via [`GoalRecord::applied`].
     applied: Option<AppliedPlan>,
-    /// Modules the planner must avoid for this goal (diagnosed suspects).
-    pub excluded: BTreeSet<ModuleRef>,
+    /// Modules and links the planner must avoid for this goal (diagnosed
+    /// suspects).  Cleared once a repair verifies, so a transiently blamed
+    /// component is not avoided forever.
+    pub excluded: BTreeSet<Exclusion>,
     /// Last planning/execution error, for the manager's eyes.
     pub last_error: Option<String>,
     /// Consecutive repair attempts that failed (execution rolled back or
@@ -363,9 +406,9 @@ impl GoalStore {
     }
 
     /// Mark a goal degraded (e.g. after a failed probe or a diagnosis),
-    /// recording modules its next plan must avoid.  Returns false for an
-    /// unknown id.
-    pub fn mark_degraded(&mut self, id: GoalId, excluded: BTreeSet<ModuleRef>) -> bool {
+    /// recording the modules and links its next plan must avoid.  Returns
+    /// false for an unknown id.
+    pub fn mark_degraded(&mut self, id: GoalId, excluded: BTreeSet<Exclusion>) -> bool {
         match self.goals.get_mut(&id) {
             Some(rec) => {
                 rec.status = GoalStatus::Degraded;
@@ -552,6 +595,23 @@ mod tests {
         assert_eq!(store.status(b), Some(GoalStatus::Pending));
         assert!(store.remove(a).is_some());
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn link_exclusions_are_direction_agnostic() {
+        let a = DeviceId::from_raw(3);
+        let b = DeviceId::from_raw(7);
+        assert_eq!(Exclusion::link(a, b), Exclusion::link(b, a));
+        let mut set = BTreeSet::new();
+        set.insert(Exclusion::link(b, a));
+        assert!(set.contains(&Exclusion::link(a, b)));
+        // Module and link exclusions coexist in one typed set.
+        set.insert(Exclusion::Module(ModuleRef::new(
+            ModuleKind::Gre,
+            ModuleId(1),
+            a,
+        )));
+        assert_eq!(set.len(), 2);
     }
 
     #[test]

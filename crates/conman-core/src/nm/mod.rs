@@ -18,7 +18,9 @@ use netsim::device::{DeviceId, PortId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-pub use goal::{AppliedPlan, GoalId, GoalRecord, GoalStatus, GoalStore, Plan, PlanError};
+pub use goal::{
+    AppliedPlan, Exclusion, GoalId, GoalRecord, GoalStatus, GoalStore, Plan, PlanError,
+};
 pub use graph::PotentialGraph;
 pub use pathfinder::{Entry, ModulePath, PathFinder, PathFinderLimits, PathStep};
 pub use script::{DeviceScript, ScriptSet};
@@ -192,19 +194,33 @@ impl NetworkManager {
         PathFinder::new(&graph).with_limits(limits).find(goal)
     }
 
-    /// Enumerate paths that avoid the given modules — the re-planning step
-    /// of self-healing: suspects reported by the diagnoser are excluded from
-    /// the traversal itself (§III-C's "route around the faulty module").
+    /// Enumerate paths that avoid the given exclusions — the re-planning
+    /// step of self-healing: suspects reported by the diagnoser are excluded
+    /// from the traversal itself (§III-C's "route around the faulty
+    /// component").  Excluded *modules* are never entered and excluded
+    /// *links* are never crossed, so a diagnosis that blames a physical link
+    /// reroutes onto a genuine alternative where the topology offers one.
     pub fn find_paths_avoiding(
         &self,
         goal: &ConnectivityGoal,
-        excluded: &std::collections::BTreeSet<ModuleRef>,
+        excluded: &std::collections::BTreeSet<goal::Exclusion>,
         limits: pathfinder::PathFinderLimits,
     ) -> Vec<ModulePath> {
+        let mut modules = std::collections::BTreeSet::new();
+        let mut links = Vec::new();
+        for e in excluded {
+            match e {
+                goal::Exclusion::Module(m) => {
+                    modules.insert(m.clone());
+                }
+                goal::Exclusion::Link(a, b) => links.push((*a, *b)),
+            }
+        }
         let graph = self.build_graph();
         PathFinder::new(&graph)
             .with_limits(limits)
-            .excluding(excluded.clone())
+            .excluding(modules)
+            .excluding_links(links)
             .find(goal)
     }
 

@@ -11,6 +11,7 @@ use super::graph::PotentialGraph;
 use super::ConnectivityGoal;
 use crate::abstraction::SwitchKind;
 use crate::ids::{ModuleKind, ModuleRef};
+use netsim::device::DeviceId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 
@@ -145,6 +146,9 @@ pub struct PathFinder<'a> {
     graph: &'a PotentialGraph,
     limits: PathFinderLimits,
     excluded: BTreeSet<ModuleRef>,
+    /// Device pairs whose physical pipes must never be crossed, normalised
+    /// with the smaller device id first (see [`PathFinder::excluding_links`]).
+    excluded_links: BTreeSet<(DeviceId, DeviceId)>,
 }
 
 impl<'a> PathFinder<'a> {
@@ -154,6 +158,7 @@ impl<'a> PathFinder<'a> {
             graph,
             limits: PathFinderLimits::default(),
             excluded: BTreeSet::new(),
+            excluded_links: BTreeSet::new(),
         }
     }
 
@@ -170,6 +175,36 @@ impl<'a> PathFinder<'a> {
     pub fn excluding(mut self, excluded: BTreeSet<ModuleRef>) -> Self {
         self.excluded = excluded;
         self
+    }
+
+    /// Never cross a physical pipe between the given device pairs (either
+    /// direction).  This is the link-level counterpart of
+    /// [`PathFinder::excluding`]: a diagnosis that blames a *link* (cut or
+    /// loss) prunes the traversal at the physical hop itself, so on a
+    /// multipath topology the search only ever enumerates genuine
+    /// alternatives instead of filtering complete paths afterwards.
+    pub fn excluding_links(
+        mut self,
+        links: impl IntoIterator<Item = (DeviceId, DeviceId)>,
+    ) -> Self {
+        self.excluded_links = links
+            .into_iter()
+            .map(|(a, b)| if a <= b { (a, b) } else { (b, a) })
+            .collect();
+        self
+    }
+
+    /// Is the physical hop from `from`'s device to `to`'s device excluded?
+    fn link_excluded(&self, from: &ModuleRef, to: &ModuleRef) -> bool {
+        if self.excluded_links.is_empty() {
+            return false;
+        }
+        let (a, b) = if from.device <= to.device {
+            (from.device, to.device)
+        } else {
+            (to.device, from.device)
+        };
+        self.excluded_links.contains(&(a, b))
     }
 
     /// Enumerate every path satisfying `goal`.
@@ -267,6 +302,9 @@ impl<'a> PathFinder<'a> {
                                 depth,
                             });
                             for next in self.graph.phys(module).to_vec() {
+                                if self.link_excluded(module, &next) {
+                                    continue;
+                                }
                                 self.explore(goal, state, &next, Entry::Phys, expected_final);
                             }
                             state.steps.pop();
@@ -340,6 +378,9 @@ impl<'a> PathFinder<'a> {
                         }
                     } else {
                         for next in self.graph.phys(module).to_vec() {
+                            if self.link_excluded(module, &next) {
+                                continue;
+                            }
                             self.explore(goal, state, &next, Entry::Phys, expected_final);
                         }
                     }
@@ -489,6 +530,25 @@ mod tests {
         // path that would touch the customer header.
         let paths = finder.find(&goal);
         assert!(paths.is_empty());
+    }
+
+    #[test]
+    fn excluding_the_only_link_prunes_every_path() {
+        let (graph, from, to) = two_router_world();
+        let goal = ConnectivityGoal::vpn(from, to);
+        let d1 = DeviceId::from_raw(1);
+        let d2 = DeviceId::from_raw(2);
+        // Exclusion is direction-agnostic: either endpoint order prunes the
+        // traversal at the physical hop.
+        for pair in [(d1, d2), (d2, d1)] {
+            let paths = PathFinder::new(&graph).excluding_links([pair]).find(&goal);
+            assert!(paths.is_empty(), "no path may cross the excluded link");
+        }
+        // An unrelated link exclusion prunes nothing.
+        let paths = PathFinder::new(&graph)
+            .excluding_links([(DeviceId::from_raw(8), DeviceId::from_raw(9))])
+            .find(&goal);
+        assert_eq!(paths.len(), 2);
     }
 
     #[test]

@@ -40,8 +40,7 @@
 use super::event::{EventQueue, GoalEndpoints, NmEvent};
 use super::reconcile::ReconcileReport;
 use super::ManagedNetwork;
-use crate::ids::ModuleRef;
-use crate::nm::goal::{GoalId, GoalStatus};
+use crate::nm::goal::{Exclusion, GoalId, GoalStatus};
 use mgmt_channel::{ManagementChannel, TelemetrySchedule};
 use netsim::clock::{SimDuration, SimTime, StepClock};
 use netsim::device::DeviceId;
@@ -81,12 +80,18 @@ impl Default for LoopConfig {
 /// What the loop's diagnosis client reports for one degraded goal.
 #[derive(Debug, Clone, Default)]
 pub struct LoopDiagnosis {
-    /// Modules the goal's re-plan must avoid.
-    pub excluded: BTreeSet<ModuleRef>,
+    /// Modules and links the goal's re-plan must avoid.  Link exclusions
+    /// reach the path finder's traversal, so the batched repair pass
+    /// reroutes around a blamed link in one epoch wherever the topology
+    /// offers an alternative.
+    pub excluded: BTreeSet<Exclusion>,
     /// Path devices that did not answer telemetry (crashed or unreachable).
     pub unresponsive: Vec<DeviceId>,
     /// The device the prime suspect pins the fault to, if any.
     pub blamed: Option<DeviceId>,
+    /// The physical link a suspect pins the fault to, if any (normalised
+    /// with the smaller device id first).
+    pub blamed_link: Option<(DeviceId, DeviceId)>,
     /// One-line human-readable verdict.
     pub summary: String,
 }

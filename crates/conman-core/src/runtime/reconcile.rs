@@ -170,13 +170,17 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
     }
 
     /// [`Self::plan_goal`], with the reconciler's suspect-fallback: when no
-    /// path avoids the goal's excluded modules — diagnosis blamed an *edge*
-    /// module every path must traverse — the exclusions are dropped and the
-    /// goal re-planned straight through the suspects.  Lost configuration
-    /// state (flushed tables, wiped label maps) is repaired by
-    /// *reconfiguring* the blamed module; if the module is genuinely dead
-    /// the verification probe fails the reinstall and the repair-attempt
-    /// budget parks the goal `Failed` instead of thrashing.
+    /// path avoids the goal's exclusions — diagnosis blamed an *edge*
+    /// module every path must traverse, or (on a chain) a *link* with no
+    /// physical alternative — the exclusions are dropped and the goal
+    /// re-planned straight through the suspects.  Lost configuration state
+    /// (flushed tables, wiped label maps) is repaired by *reconfiguring*
+    /// the blamed module; a transient link fault heals on a later pass once
+    /// the link returns.  If the component is genuinely dead the
+    /// verification probe fails the reinstall and the repair-attempt budget
+    /// parks the goal `Failed` instead of thrashing.  Blamed links and
+    /// blamed edge modules are handled symmetrically: both fall back to
+    /// reinstall-through rather than an instant `PlanFailed`.
     fn plan_goal_or_reinstall(&mut self, id: GoalId) -> Result<Plan, PlanError> {
         match self.plan_goal(id) {
             Err(PlanError::NoPath)
@@ -667,7 +671,13 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                 }
             }
             _ => {
-                self.goals.get_mut(id).expect("goal exists").repair_attempts = 0;
+                let rec = self.goals.get_mut(id).expect("goal exists");
+                rec.repair_attempts = 0;
+                // The repair verified: stop avoiding the suspects.  A
+                // transiently blamed link or module must not be excluded
+                // forever — a later fault on the *new* path may have no
+                // route around it except back over the recovered original.
+                rec.excluded.clear();
                 ReconcileOutcome {
                     goal: id,
                     action: if had_applied {

@@ -96,12 +96,19 @@ impl<C: ManagementChannel> LoopClient<C> for AutonomicClient {
             }
         };
         let report = diagnoser.diagnose_with_background(mn, &path, &mut probe, &mut background);
-        let excluded = Healer::excluded_modules(mn, &report);
+        // The one shared suspect→exclusion mapping (Healer::exclusions):
+        // blamed links become traversal-level link exclusions, so the
+        // loop's batched repair pass reroutes around them in one epoch.
+        let excluded = Healer::exclusions(mn, &report);
         let blamed = report.prime_suspect().and_then(|s| match &s.target {
             SuspectTarget::Module(m) => Some(m.device),
             SuspectTarget::Device(d) => Some(*d),
             SuspectTarget::Link { a, .. } => Some(*a),
             SuspectTarget::Unlocated => None,
+        });
+        let blamed_link = report.suspects.iter().find_map(|s| match &s.target {
+            SuspectTarget::Link { a, b, .. } => Some(if a <= b { (*a, *b) } else { (*b, *a) }),
+            _ => None,
         });
         let summary = report
             .prime_suspect()
@@ -111,6 +118,7 @@ impl<C: ManagementChannel> LoopClient<C> for AutonomicClient {
             excluded,
             unresponsive: report.unresponsive.clone(),
             blamed,
+            blamed_link,
             summary,
         }
     }

@@ -8,8 +8,7 @@
 //! `ManagedNetwork::reconcile` uses for every stored goal.
 
 use crate::report::{FaultReport, SuspectTarget};
-use conman_core::ids::ModuleRef;
-use conman_core::nm::{ConnectivityGoal, GoalStatus, ModulePath, PathFinderLimits};
+use conman_core::nm::{ConnectivityGoal, Exclusion, GoalStatus, ModulePath, PathFinderLimits};
 use conman_core::runtime::ManagedNetwork;
 use mgmt_channel::ManagementChannel;
 use netsim::device::DeviceId;
@@ -73,33 +72,37 @@ impl Healer {
         }
     }
 
-    /// The modules the path search must avoid, derived from the report:
-    /// suspected modules directly, and every module of a suspected device.
-    pub fn excluded_modules<C: ManagementChannel>(
+    /// The exclusions the path search must respect, derived from the
+    /// report: suspected modules directly, every module of a suspected
+    /// device, and suspected *links* as traversal-level link exclusions.
+    ///
+    /// This is the **single** suspect→exclusion mapping in the system: the
+    /// operator-driven [`Healer`] and the control loop's
+    /// [`AutonomicClient`](crate::AutonomicClient) both call it, so the two
+    /// repair paths cannot drift apart on how a diagnosis constrains the
+    /// re-plan.
+    pub fn exclusions<C: ManagementChannel>(
         mn: &ManagedNetwork<C>,
         report: &FaultReport,
-    ) -> BTreeSet<ModuleRef> {
+    ) -> BTreeSet<Exclusion> {
         let mut excluded = BTreeSet::new();
         for suspect in &report.suspects {
             match &suspect.target {
                 SuspectTarget::Module(m) => {
-                    excluded.insert(m.clone());
+                    excluded.insert(Exclusion::Module(m.clone()));
                 }
                 SuspectTarget::Device(d) => {
                     if let Some(mods) = mn.nm.abstractions.get(d) {
-                        excluded.extend(mods.iter().map(|a| a.name.clone()));
+                        excluded.extend(mods.iter().map(|a| Exclusion::Module(a.name.clone())));
                     }
                 }
-                SuspectTarget::Link { .. } | SuspectTarget::Unlocated => {}
+                SuspectTarget::Link { a, b, .. } => {
+                    excluded.insert(Exclusion::link(*a, *b));
+                }
+                SuspectTarget::Unlocated => {}
             }
         }
         excluded
-    }
-
-    /// Does `path` cross any suspected link (as a consecutive device pair)?
-    fn crosses_suspect_link(path: &ModulePath, report: &FaultReport) -> bool {
-        let devices = path.devices();
-        devices.windows(2).any(|w| report.blames_link(w[0], w[1]))
     }
 
     /// Attempt a repair of a goal configured outside the store: register it
@@ -160,14 +163,17 @@ impl Healer {
         };
         let failed = &failed;
         let goal = &goal;
-        let excluded = Self::excluded_modules(mn, report);
+        let excluded = Self::exclusions(mn, report);
         mn.goals.mark_degraded(id, excluded.clone());
 
+        // Suspected links are excluded inside the traversal itself (no
+        // post-filtering of complete paths): every candidate the finder
+        // bothers to enumerate is already routable around the blamed links.
         let mut candidates: Vec<ModulePath> = mn
             .nm
             .find_paths_avoiding(goal, &excluded, self.limits)
             .into_iter()
-            .filter(|p| p != failed && !Self::crosses_suspect_link(p, report))
+            .filter(|p| p != failed)
             .collect();
         // Best first: the NM's usual metric — fewest pipes, then prefer
         // fast-forwarding modules.
@@ -218,6 +224,13 @@ impl Healer {
             let verified = probe(mn) && probe(mn);
             mn.net.end_flow_window();
             if verified {
+                // The repair verified: stop avoiding the suspects — the
+                // same exclusion ageing the reconciler's verify step
+                // performs, so a transiently blamed component can be
+                // routed back over later.
+                if let Some(rec) = mn.goals.get_mut(id) {
+                    rec.excluded.clear();
+                }
                 outcome.replacement_label = Some(candidate.technology_label());
                 outcome.replacement = Some(candidate);
                 outcome.verified = true;

@@ -36,7 +36,9 @@ pub use gre::GreModule;
 pub use ip::{derived_table_range, IpModule};
 pub use mpls::MplsModule;
 pub use testbed::{
-    managed_chain, managed_chain_with, managed_dual_chain, managed_fanout_chain, managed_figure2,
-    managed_vlan_chain, ManagedChain, ManagedFigure2, ManagedVlanChain,
+    managed_chain, managed_chain_with, managed_dual_chain, managed_fanout_chain,
+    managed_fanout_chain_with, managed_figure2, managed_mesh_fanout, managed_mesh_fanout_with,
+    managed_ring_fanout, managed_vlan_chain, ManagedChain, ManagedFigure2, ManagedMesh,
+    ManagedVlanChain,
 };
 pub use vlan::VlanModule;

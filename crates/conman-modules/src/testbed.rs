@@ -15,7 +15,7 @@ use conman_core::runtime::ManagedNetwork;
 use mgmt_channel::{ManagementChannel, OutOfBandChannel};
 use netsim::device::{Device, DeviceId, DeviceRole, PortId};
 use netsim::link::LinkProperties;
-use netsim::topology::{self, ChainTopology, VlanChain};
+use netsim::topology::{self, ChainTopology, MeshTopology, VlanChain};
 
 /// A managed version of the Figure 4 / chain VPN testbed.
 pub struct ManagedChain<C: ManagementChannel> {
@@ -64,11 +64,18 @@ pub fn managed_dual_chain(n: usize) -> ManagedChain<OutOfBandChannel> {
 /// backed by real hosts so per-goal health probes and flow-attributed
 /// diagnosis run on genuine end-to-end traffic.
 pub fn managed_fanout_chain(n: usize, pairs: usize) -> ManagedChain<OutOfBandChannel> {
-    managed_from_topology(
-        topology::isp_chain_fanout(n, pairs),
-        n,
-        OutOfBandChannel::new(),
-    )
+    managed_fanout_chain_with(n, pairs, OutOfBandChannel::new())
+}
+
+/// [`managed_fanout_chain`] over an arbitrary management channel — e.g. the
+/// in-band flooding channel, whose per-message fan-out the loop bench's
+/// message-budget row measures.
+pub fn managed_fanout_chain_with<C: ManagementChannel>(
+    n: usize,
+    pairs: usize,
+    channel: C,
+) -> ManagedChain<C> {
+    managed_from_topology(topology::isp_chain_fanout(n, pairs), n, channel)
 }
 
 /// Build a managed ISP chain over an arbitrary management channel.
@@ -142,6 +149,58 @@ fn device_core_ports(i: usize, n: usize) -> Vec<u32> {
     ports
 }
 
+/// The paper's high-level VPN goal between the customer-facing ETH modules
+/// (port 0) of two edge routers — shared by the chain and mesh testbeds.
+fn vpn_goal_between<C: ManagementChannel>(
+    mn: &ManagedNetwork<C>,
+    ingress: DeviceId,
+    egress: DeviceId,
+) -> ConnectivityGoal {
+    let from = mn
+        .nm
+        .find_eth_on_port(ingress, PortId(0))
+        .expect("ingress customer-facing ETH module (run discover() first)");
+    let to = mn
+        .nm
+        .find_eth_on_port(egress, PortId(0))
+        .expect("egress customer-facing ETH module (run discover() first)");
+    ConnectivityGoal::vpn(from, to)
+        .resolve("C1-S1", "10.0.1.0/24")
+        .resolve("C1-S2", "10.0.2.0/24")
+        .resolve("S1-gateway", "192.168.0.1")
+        .resolve("S2-gateway", "192.168.2.1")
+}
+
+/// Rewrite a base VPN goal onto fan-out pair `k`'s site classes and subnets.
+fn fanout_classes(mut goal: ConnectivityGoal, k: usize) -> ConnectivityGoal {
+    let (s1, s2) = topology::fanout_pair_subnets(k);
+    goal.src_class = format!("F{k}-S1");
+    goal.dst_class = format!("F{k}-S2");
+    goal.resolved.remove("C1-S1");
+    goal.resolved.remove("C1-S2");
+    goal.resolved.insert(format!("F{k}-S1"), s1.to_string());
+    goal.resolved.insert(format!("F{k}-S2"), s2.to_string());
+    goal
+}
+
+/// One end-to-end datagram between a fan-out host pair; reports delivery.
+fn probe_host_pair<C: ManagementChannel>(
+    mn: &mut ManagedNetwork<C>,
+    src: DeviceId,
+    dst: DeviceId,
+    dst_ip: std::net::Ipv4Addr,
+    payload: Vec<u8>,
+) -> bool {
+    mn.net
+        .send_udp(src, dst_ip, 40000, 7000, &payload)
+        .expect("fan-out host exists");
+    mn.net.run_to_quiescence(100_000);
+    mn.net
+        .device_mut(dst)
+        .map(|d| d.take_delivered().iter().any(|p| p.payload == payload))
+        .unwrap_or(false)
+}
+
 impl<C: ManagementChannel> ManagedChain<C> {
     /// Run the announce + discovery phase.
     pub fn discover(&mut self) {
@@ -153,23 +212,9 @@ impl<C: ManagementChannel> ManagedChain<C> {
     /// facing interfaces of the first and last core router for traffic
     /// between customer-1 site 1 and site 2.
     pub fn vpn_goal(&self) -> ConnectivityGoal {
-        let ingress = self.core.first().expect("at least one core router");
-        let egress = self.core.last().expect("at least one core router");
-        let from = self
-            .mn
-            .nm
-            .find_eth_on_port(*ingress, PortId(0))
-            .expect("ingress customer-facing ETH module (run discover() first)");
-        let to = self
-            .mn
-            .nm
-            .find_eth_on_port(*egress, PortId(0))
-            .expect("egress customer-facing ETH module (run discover() first)");
-        ConnectivityGoal::vpn(from, to)
-            .resolve("C1-S1", "10.0.1.0/24")
-            .resolve("C1-S2", "10.0.2.0/24")
-            .resolve("S1-gateway", "192.168.0.1")
-            .resolve("S2-gateway", "192.168.2.1")
+        let ingress = *self.core.first().expect("at least one core router");
+        let egress = *self.core.last().expect("at least one core router");
+        vpn_goal_between(&self.mn, ingress, egress)
     }
 
     /// The second customer's VPN goal (dual chains): the same customer
@@ -195,15 +240,7 @@ impl<C: ManagementChannel> ManagedChain<C> {
     /// `F<k>-S1`/`F<k>-S2` resolved to the pair's subnets.
     pub fn fanout_goal(&self, k: usize) -> ConnectivityGoal {
         assert!(k < self.fanout.len(), "fan-out pair {k} does not exist");
-        let (s1, s2) = topology::fanout_pair_subnets(k);
-        let mut goal = self.vpn_goal();
-        goal.src_class = format!("F{k}-S1");
-        goal.dst_class = format!("F{k}-S2");
-        goal.resolved.remove("C1-S1");
-        goal.resolved.remove("C1-S2");
-        goal.resolved.insert(format!("F{k}-S1"), s1.to_string());
-        goal.resolved.insert(format!("F{k}-S2"), s2.to_string());
-        goal
+        fanout_classes(self.vpn_goal(), k)
     }
 
     /// The `k`-th fan-out pair's probe endpoints: `(source host,
@@ -222,16 +259,7 @@ impl<C: ManagementChannel> ManagedChain<C> {
         let (src, dst, dst_ip) = self.fanout_probe(k);
         self.probe_seq += 1;
         let payload = format!("fan{k}-probe-{}", self.probe_seq).into_bytes();
-        self.mn
-            .net
-            .send_udp(src, dst_ip, 40000, 7000, &payload)
-            .expect("fan-out host exists");
-        self.mn.net.run_to_quiescence(100_000);
-        self.mn
-            .net
-            .device_mut(dst)
-            .map(|d| d.take_delivered().iter().any(|p| p.payload == payload))
-            .unwrap_or(false)
+        probe_host_pair(&mut self.mn, src, dst, dst_ip, payload)
     }
 
     /// Send a customer datagram from site 1 to site 2 and report whether it
@@ -344,6 +372,189 @@ impl<C: ManagementChannel> ManagedChain<C> {
         let ingress = self.core[0];
         let paths = self.mn.net.protocol_paths_from(ingress);
         (delivered, paths)
+    }
+}
+
+/// A managed version of the multipath mesh / ring testbeds
+/// ([`netsim::topology::isp_mesh_fanout`] / [`isp_ring_fanout`]): the first
+/// topology family on which link-suspect-aware planning has a genuine
+/// alternative to reroute onto when diagnosis blames a core link.
+pub struct ManagedMesh<C: ManagementChannel> {
+    /// The managed network (data plane + agents + NM + channel).
+    pub mn: ManagedNetwork<C>,
+    /// Host in customer site 1.
+    pub host1: DeviceId,
+    /// Customer router at site 1 (unmanaged by the ISP's NM).
+    pub customer1: DeviceId,
+    /// ISP ingress edge router.
+    pub ingress: DeviceId,
+    /// Upper core row (meshes; empty on rings).
+    pub upper: Vec<DeviceId>,
+    /// Lower core row (meshes; empty on rings).
+    pub lower: Vec<DeviceId>,
+    /// Ring core routers in cycle order (rings; empty on meshes).
+    pub ring: Vec<DeviceId>,
+    /// ISP egress edge router.
+    pub egress: DeviceId,
+    /// Customer router at site 2 (unmanaged).
+    pub customer2: DeviceId,
+    /// Host in customer site 2.
+    pub host2: DeviceId,
+    /// Fan-out customer host pairs — the endpoints of the k-th concurrent
+    /// VPN goal, with real end-to-end traffic for every goal.
+    pub fanout: Vec<(DeviceId, DeviceId)>,
+    /// Every ISP router in the topology's own ordering
+    /// ([`MeshTopology::routers`], captured at build time so the two crates
+    /// cannot drift).
+    routers: Vec<DeviceId>,
+    /// Monotonic probe payload counter (each probe is distinct).
+    probe_seq: u64,
+}
+
+/// Build a managed 2×k mesh with `pairs` fan-out customer host pairs over
+/// the out-of-band management channel.
+pub fn managed_mesh_fanout(k: usize, pairs: usize) -> ManagedMesh<OutOfBandChannel> {
+    managed_mesh_fanout_with(k, pairs, OutOfBandChannel::new())
+}
+
+/// [`managed_mesh_fanout`] over an arbitrary management channel.
+pub fn managed_mesh_fanout_with<C: ManagementChannel>(
+    k: usize,
+    pairs: usize,
+    channel: C,
+) -> ManagedMesh<C> {
+    managed_from_mesh(topology::isp_mesh_fanout(k, pairs), channel)
+}
+
+/// Build a managed core ring (edges attached on opposite arcs) with `pairs`
+/// fan-out customer host pairs.
+pub fn managed_ring_fanout(k: usize, pairs: usize) -> ManagedMesh<OutOfBandChannel> {
+    managed_from_mesh(topology::isp_ring_fanout(k, pairs), OutOfBandChannel::new())
+}
+
+fn managed_from_mesh<C: ManagementChannel>(topo: MeshTopology, channel: C) -> ManagedMesh<C> {
+    let routers = topo.routers();
+    let MeshTopology {
+        mut net,
+        host1,
+        customer1,
+        ingress,
+        upper,
+        lower,
+        ring,
+        egress,
+        customer2,
+        host2,
+        fanout_pairs,
+        core_ports,
+    } = topo;
+
+    // The NM's management station hangs off the ingress edge's free port,
+    // like the chain's (the in-band channel floods over real links, so the
+    // station needs a physical attachment).
+    let station = net.add_device(Device::new("NMStation", DeviceRole::Host, 1));
+    net.connect(
+        (station, PortId(0)),
+        (ingress, PortId(1)),
+        LinkProperties::lan(),
+    )
+    .expect("the ingress edge keeps port 1 free for the station");
+
+    let mut mn = ManagedNetwork::new(net, station, channel);
+    for (&router, ports) in &core_ports {
+        let device = mn.net.device(router).expect("ISP router exists");
+        let plan = if router == ingress || router == egress {
+            RouterPlan::edge(0, ports.clone())
+        } else {
+            RouterPlan::core(ports.clone())
+        };
+        let agent = build_router_agent(device, &plan);
+        mn.add_agent(agent);
+    }
+    ManagedMesh {
+        mn,
+        host1,
+        customer1,
+        ingress,
+        upper,
+        lower,
+        ring,
+        egress,
+        customer2,
+        host2,
+        fanout: fanout_pairs,
+        routers,
+        probe_seq: 0,
+    }
+}
+
+impl<C: ManagementChannel> ManagedMesh<C> {
+    /// Run the announce + discovery phase.
+    pub fn discover(&mut self) {
+        self.mn.announce_all();
+        self.mn.discover();
+    }
+
+    /// The VPN goal between the edges' customer-facing interfaces (the same
+    /// high-level goal as the chain's — the topology underneath is what
+    /// changed).
+    pub fn vpn_goal(&self) -> ConnectivityGoal {
+        vpn_goal_between(&self.mn, self.ingress, self.egress)
+    }
+
+    /// The `k`-th fan-out pair's VPN goal.
+    pub fn fanout_goal(&self, k: usize) -> ConnectivityGoal {
+        assert!(k < self.fanout.len(), "fan-out pair {k} does not exist");
+        fanout_classes(self.vpn_goal(), k)
+    }
+
+    /// The `k`-th fan-out pair's probe endpoints: `(source host,
+    /// destination host, destination address)`.
+    pub fn fanout_probe(&self, k: usize) -> (DeviceId, DeviceId, std::net::Ipv4Addr) {
+        let (src, dst) = self.fanout[k];
+        let (_, dst_ip) = topology::fanout_pair_hosts(k);
+        (src, dst, dst_ip)
+    }
+
+    /// One end-to-end probe for the `k`-th fan-out pair; returns whether it
+    /// was delivered.
+    pub fn probe_pair(&mut self, k: usize) -> bool {
+        let (src, dst, dst_ip) = self.fanout_probe(k);
+        self.probe_seq += 1;
+        let payload = format!("mesh{k}-probe-{}", self.probe_seq).into_bytes();
+        probe_host_pair(&mut self.mn, src, dst, dst_ip, payload)
+    }
+
+    /// All ISP routers (edges + core rows / ring), in the topology's order.
+    pub fn routers(&self) -> &[DeviceId] {
+        &self.routers
+    }
+
+    /// The first core-to-core hop of a goal's applied path, in path order —
+    /// the natural target for a link-cut fault that a multipath repair must
+    /// route around.  Falls back to any ISP-to-ISP hop (edge included) when
+    /// the path has no core-to-core hop.
+    pub fn applied_core_hop(&self, id: conman_core::nm::GoalId) -> Option<(DeviceId, DeviceId)> {
+        let applied = self.mn.goals.get(id).and_then(|r| r.applied())?;
+        let devices = applied.path.devices();
+        let routers: std::collections::BTreeSet<DeviceId> = self.routers.iter().copied().collect();
+        let core: std::collections::BTreeSet<DeviceId> = routers
+            .iter()
+            .copied()
+            .filter(|d| *d != self.ingress && *d != self.egress)
+            .collect();
+        let hop = |set: &std::collections::BTreeSet<DeviceId>| {
+            devices
+                .windows(2)
+                .find(|w| set.contains(&w[0]) && set.contains(&w[1]))
+                .map(|w| (w[0], w[1]))
+        };
+        hop(&core).or_else(|| hop(&routers))
+    }
+
+    /// The simulator link between two adjacent ISP routers.
+    pub fn link(&self, a: DeviceId, b: DeviceId) -> Option<netsim::link::LinkId> {
+        self.mn.net.link_between(a, b)
     }
 }
 

@@ -10,6 +10,7 @@ use crate::link::LinkProperties;
 use crate::network::Network;
 use crate::route::{Route, RouteTarget};
 use crate::vlan::VlanId;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 fn cidr(s: &str) -> Ipv4Cidr {
@@ -152,13 +153,12 @@ pub fn isp_chain_fanout(n: usize, pairs: usize) -> ChainTopology {
     build_isp_chain(n, false, pairs)
 }
 
-fn build_isp_chain(n: usize, dual: bool, fanout: usize) -> ChainTopology {
-    assert!(n >= 2, "the chain needs at least two core routers");
-    let mut net = Network::new();
+/// Build customer site 1 (one host in 10.0.1.0/24 behind router D, which
+/// uplinks towards the ISP ingress at 192.168.0.2), with the extra LANs a
+/// dual or fan-out variant asks for.  Returns `(host1, customer1)`.
+fn build_site1(net: &mut Network, dual: bool, fanout: usize) -> (DeviceId, DeviceId) {
     let extra_ports = if dual { 1 } else { fanout };
     let customer_ports = 2 + extra_ports as u32;
-
-    // Customer site 1.
     let mut host1 = Device::new("Host1", DeviceRole::Host, 1);
     host1.config.assign_address(0, cidr("10.0.1.5/24"));
     host1.config.rib.add_main(Route {
@@ -191,6 +191,110 @@ fn build_isp_chain(n: usize, dual: bool, fanout: usize) -> ChainTopology {
         },
     });
     let customer1 = net.add_device(d);
+    (host1, customer1)
+}
+
+/// Build customer site 2 (router E uplinking towards the ISP egress at
+/// 192.168.2.2, one host in 10.0.2.0/24 behind it).  Returns
+/// `(customer2, host2)`.
+fn build_site2(net: &mut Network, dual: bool, fanout: usize) -> (DeviceId, DeviceId) {
+    let extra_ports = if dual { 1 } else { fanout };
+    let customer_ports = 2 + extra_ports as u32;
+    let mut e = Device::new("CustomerRouterE", DeviceRole::Router, customer_ports);
+    e.config.ip_forwarding = true;
+    e.config.assign_address(0, cidr("10.0.2.1/24"));
+    e.config.assign_address(1, cidr("192.168.2.1/24"));
+    if dual {
+        e.config.assign_address(2, cidr("10.0.4.1/24")); // site 2 second LAN
+    }
+    for k in 0..fanout {
+        let (_, s2) = fanout_pair_subnets(k);
+        let gw: u32 = s2.network().into();
+        e.config
+            .assign_address(2 + k as u32, Ipv4Cidr::new(Ipv4Addr::from(gw + 1), 24));
+    }
+    e.config.rib.add_main(Route {
+        dest: Ipv4Cidr::DEFAULT,
+        target: RouteTarget::Port {
+            port: 1,
+            via: Some(ip("192.168.2.2")),
+        },
+    });
+    let customer2 = net.add_device(e);
+
+    let mut host2 = Device::new("Host2", DeviceRole::Host, 1);
+    host2.config.assign_address(0, cidr("10.0.2.5/24"));
+    host2.config.rib.add_main(Route {
+        dest: Ipv4Cidr::DEFAULT,
+        target: RouteTarget::Port {
+            port: 0,
+            via: Some(ip("10.0.2.1")),
+        },
+    });
+    let host2 = net.add_device(host2);
+    (customer2, host2)
+}
+
+/// Attach `fanout` extra host pairs (one per LAN from
+/// [`fanout_pair_subnets`]) behind the shared customer routers, each
+/// default-routed through its gateway.
+fn attach_fanout_hosts(
+    net: &mut Network,
+    customer1: DeviceId,
+    customer2: DeviceId,
+    fanout: usize,
+) -> Vec<(DeviceId, DeviceId)> {
+    let mut fanout_pairs = Vec::with_capacity(fanout);
+    for k in 0..fanout {
+        let (s1, s2) = fanout_pair_subnets(k);
+        let (h1_addr, h2_addr) = fanout_pair_hosts(k);
+        let gw = |subnet: Ipv4Cidr| -> Ipv4Addr {
+            let base: u32 = subnet.network().into();
+            Ipv4Addr::from(base + 1)
+        };
+        let mut a = Device::new(format!("FanHost{k}S1"), DeviceRole::Host, 1);
+        a.config.assign_address(0, Ipv4Cidr::new(h1_addr, 24));
+        a.config.rib.add_main(Route {
+            dest: Ipv4Cidr::DEFAULT,
+            target: RouteTarget::Port {
+                port: 0,
+                via: Some(gw(s1)),
+            },
+        });
+        let a = net.add_device(a);
+        let mut b = Device::new(format!("FanHost{k}S2"), DeviceRole::Host, 1);
+        b.config.assign_address(0, Ipv4Cidr::new(h2_addr, 24));
+        b.config.rib.add_main(Route {
+            dest: Ipv4Cidr::DEFAULT,
+            target: RouteTarget::Port {
+                port: 0,
+                via: Some(gw(s2)),
+            },
+        });
+        let b = net.add_device(b);
+        net.connect(
+            (a, PortId(0)),
+            (customer1, PortId(2 + k as u32)),
+            LinkProperties::lan(),
+        )
+        .unwrap();
+        net.connect(
+            (b, PortId(0)),
+            (customer2, PortId(2 + k as u32)),
+            LinkProperties::lan(),
+        )
+        .unwrap();
+        fanout_pairs.push((a, b));
+    }
+    fanout_pairs
+}
+
+fn build_isp_chain(n: usize, dual: bool, fanout: usize) -> ChainTopology {
+    assert!(n >= 2, "the chain needs at least two core routers");
+    let mut net = Network::new();
+
+    // Customer site 1.
+    let (host1, customer1) = build_site1(&mut net, dual, fanout);
 
     // Core routers.  Port plan: port 0 = customer-facing (edges only),
     // port 1 = towards the previous core router, port 2 = towards the next.
@@ -244,38 +348,7 @@ fn build_isp_chain(n: usize, dual: bool, fanout: usize) -> ChainTopology {
     }
 
     // Customer site 2.
-    let mut e = Device::new("CustomerRouterE", DeviceRole::Router, customer_ports);
-    e.config.ip_forwarding = true;
-    e.config.assign_address(0, cidr("10.0.2.1/24"));
-    e.config.assign_address(1, cidr("192.168.2.1/24"));
-    if dual {
-        e.config.assign_address(2, cidr("10.0.4.1/24")); // site 2 second LAN
-    }
-    for k in 0..fanout {
-        let (_, s2) = fanout_pair_subnets(k);
-        let gw: u32 = s2.network().into();
-        e.config
-            .assign_address(2 + k as u32, Ipv4Cidr::new(Ipv4Addr::from(gw + 1), 24));
-    }
-    e.config.rib.add_main(Route {
-        dest: Ipv4Cidr::DEFAULT,
-        target: RouteTarget::Port {
-            port: 1,
-            via: Some(ip("192.168.2.2")),
-        },
-    });
-    let customer2 = net.add_device(e);
-
-    let mut host2 = Device::new("Host2", DeviceRole::Host, 1);
-    host2.config.assign_address(0, cidr("10.0.2.5/24"));
-    host2.config.rib.add_main(Route {
-        dest: Ipv4Cidr::DEFAULT,
-        target: RouteTarget::Port {
-            port: 0,
-            via: Some(ip("10.0.2.1")),
-        },
-    });
-    let host2 = net.add_device(host2);
+    let (customer2, host2) = build_site2(&mut net, dual, fanout);
 
     // Edge links.
     net.connect(
@@ -344,48 +417,7 @@ fn build_isp_chain(n: usize, dual: bool, fanout: usize) -> ChainTopology {
 
     // Fan-out pairs: one host per extra LAN on each side, default-routed
     // through the shared customer router.
-    let mut fanout_pairs = Vec::with_capacity(fanout);
-    for k in 0..fanout {
-        let (s1, s2) = fanout_pair_subnets(k);
-        let (h1_addr, h2_addr) = fanout_pair_hosts(k);
-        let gw = |subnet: Ipv4Cidr| -> Ipv4Addr {
-            let base: u32 = subnet.network().into();
-            Ipv4Addr::from(base + 1)
-        };
-        let mut a = Device::new(format!("FanHost{k}S1"), DeviceRole::Host, 1);
-        a.config.assign_address(0, Ipv4Cidr::new(h1_addr, 24));
-        a.config.rib.add_main(Route {
-            dest: Ipv4Cidr::DEFAULT,
-            target: RouteTarget::Port {
-                port: 0,
-                via: Some(gw(s1)),
-            },
-        });
-        let a = net.add_device(a);
-        let mut b = Device::new(format!("FanHost{k}S2"), DeviceRole::Host, 1);
-        b.config.assign_address(0, Ipv4Cidr::new(h2_addr, 24));
-        b.config.rib.add_main(Route {
-            dest: Ipv4Cidr::DEFAULT,
-            target: RouteTarget::Port {
-                port: 0,
-                via: Some(gw(s2)),
-            },
-        });
-        let b = net.add_device(b);
-        net.connect(
-            (a, PortId(0)),
-            (customer1, PortId(2 + k as u32)),
-            LinkProperties::lan(),
-        )
-        .unwrap();
-        net.connect(
-            (b, PortId(0)),
-            (customer2, PortId(2 + k as u32)),
-            LinkProperties::lan(),
-        )
-        .unwrap();
-        fanout_pairs.push((a, b));
-    }
+    let fanout_pairs = attach_fanout_hosts(&mut net, customer1, customer2, fanout);
 
     ChainTopology {
         net,
@@ -404,6 +436,297 @@ fn build_isp_chain(n: usize, dual: bool, fanout: usize) -> ChainTopology {
 /// routers D (site 1) and E (site 2) and one host per site.
 pub fn figure4() -> ChainTopology {
     isp_chain(3)
+}
+
+/// A multipath ISP topology: the first testbed family on which a blamed
+/// core *link* has a genuine alternative, so link-suspect-aware planning can
+/// actually route around it instead of reinstalling through.
+///
+/// Two shapes share the struct:
+///
+/// * **Mesh** ([`isp_mesh_fanout`]) — a 2×k redundant core: two parallel
+///   rows of `k` routers with a cross-link at every stage, both rows
+///   reachable from a dedicated ingress and egress edge router.
+///
+/// ```text
+///                  U1 -- U2 -- ... -- Uk
+///                 /  |     |           |  \
+/// host1 -- D -- In   |     |           |   Out -- E -- host2
+///                 \  |     |           |  /
+///                  L1 -- L2 -- ... -- Lk
+/// ```
+///
+/// * **Ring** ([`isp_ring_fanout`]) — `k` core routers in a cycle, the
+///   ingress and egress edges attached at opposite points, giving exactly
+///   two disjoint arcs between them.
+///
+/// Customer sites, addressing and the fan-out host pairs are identical to
+/// the chain's ([`isp_chain_fanout`]), so every goal again runs real
+/// end-to-end traffic.
+#[derive(Debug)]
+pub struct MeshTopology {
+    /// The network.
+    pub net: Network,
+    /// Host in customer site 1 (10.0.1.5).
+    pub host1: DeviceId,
+    /// Customer router at site 1.
+    pub customer1: DeviceId,
+    /// ISP ingress edge router (customer-facing port 0, 192.168.0.2; port 1
+    /// is left free for an NM station).
+    pub ingress: DeviceId,
+    /// Upper core row, in path order (empty on rings).
+    pub upper: Vec<DeviceId>,
+    /// Lower core row, in path order (empty on rings).
+    pub lower: Vec<DeviceId>,
+    /// Ring core routers, in cycle order (empty on meshes).
+    pub ring: Vec<DeviceId>,
+    /// ISP egress edge router (customer-facing port 0, 192.168.2.2).
+    pub egress: DeviceId,
+    /// Customer router at site 2.
+    pub customer2: DeviceId,
+    /// Host in customer site 2 (10.0.2.5).
+    pub host2: DeviceId,
+    /// Fan-out customer host pairs (see [`fanout_pair_subnets`]).
+    pub fanout_pairs: Vec<(DeviceId, DeviceId)>,
+    /// Core-facing ports of every ISP router, in the order they were wired —
+    /// what a managed testbed needs to build the right router agents.
+    pub core_ports: BTreeMap<DeviceId, Vec<u32>>,
+}
+
+impl MeshTopology {
+    /// Every ISP router (edges first, then the core), in creation order.
+    pub fn routers(&self) -> Vec<DeviceId> {
+        let mut out = vec![self.ingress];
+        out.extend(&self.upper);
+        out.extend(&self.lower);
+        out.extend(&self.ring);
+        out.push(self.egress);
+        out
+    }
+
+    /// The core routers only (no edges).
+    pub fn core_routers(&self) -> Vec<DeviceId> {
+        let mut out = Vec::new();
+        out.extend(&self.upper);
+        out.extend(&self.lower);
+        out.extend(&self.ring);
+        out
+    }
+}
+
+/// Assign a fresh /24 (204.9.`(168 + link_no)`.0/24) to both ends of a core
+/// link and connect it.  Every core link gets its own subnet, like the
+/// chain's.
+fn connect_core_link(net: &mut Network, link_no: &mut u32, a: (DeviceId, u32), b: (DeviceId, u32)) {
+    let third = 168 + *link_no;
+    assert!(third <= 255, "core-link subnet space exhausted");
+    *link_no += 1;
+    let a_addr = Ipv4Addr::new(204, 9, third as u8, 1);
+    let b_addr = Ipv4Addr::new(204, 9, third as u8, 2);
+    net.device_mut(a.0)
+        .unwrap()
+        .config
+        .assign_address(a.1, Ipv4Cidr::new(a_addr, 24));
+    net.device_mut(b.0)
+        .unwrap()
+        .config
+        .assign_address(b.1, Ipv4Cidr::new(b_addr, 24));
+    net.connect(
+        (a.0, PortId(a.1)),
+        (b.0, PortId(b.1)),
+        LinkProperties::wan(),
+    )
+    .unwrap();
+}
+
+/// An ISP router for the mesh family: forwarding on, addresses assigned per
+/// link as it is wired.
+fn mesh_router(net: &mut Network, name: &str, ports: u32) -> DeviceId {
+    let mut r = Device::new(name, DeviceRole::Router, ports);
+    r.config.ip_forwarding = true;
+    net.add_device(r)
+}
+
+/// Build the 2×k redundant-core mesh with `pairs` fan-out customer host
+/// pairs.  `k >= 2` stages; see [`MeshTopology`] for the shape.
+///
+/// Port plan — ingress/egress: 0 customer-facing, 1 free (NM station),
+/// 2 upper row, 3 lower row; row router `U_i`/`L_i`: 0 previous hop,
+/// 1 next hop, 2 cross-link to the other row.
+pub fn isp_mesh_fanout(k: usize, pairs: usize) -> MeshTopology {
+    assert!(k >= 2, "the mesh needs at least two core stages");
+    let mut net = Network::new();
+    let (host1, customer1) = build_site1(&mut net, false, pairs);
+
+    let ingress = mesh_router(&mut net, "RouterIn", 4);
+    net.device_mut(ingress)
+        .unwrap()
+        .config
+        .assign_address(0, cidr("192.168.0.2/24"));
+    let upper: Vec<DeviceId> = (0..k)
+        .map(|i| mesh_router(&mut net, &format!("RouterU{}", i + 1), 3))
+        .collect();
+    let lower: Vec<DeviceId> = (0..k)
+        .map(|i| mesh_router(&mut net, &format!("RouterL{}", i + 1), 3))
+        .collect();
+    let egress = mesh_router(&mut net, "RouterOut", 4);
+    net.device_mut(egress)
+        .unwrap()
+        .config
+        .assign_address(0, cidr("192.168.2.2/24"));
+
+    let mut link_no = 0u32;
+    // Edge fan-in: the ingress reaches both rows, so do the rows the egress.
+    connect_core_link(&mut net, &mut link_no, (ingress, 2), (upper[0], 0));
+    connect_core_link(&mut net, &mut link_no, (ingress, 3), (lower[0], 0));
+    // Row links.
+    for i in 0..k - 1 {
+        connect_core_link(&mut net, &mut link_no, (upper[i], 1), (upper[i + 1], 0));
+        connect_core_link(&mut net, &mut link_no, (lower[i], 1), (lower[i + 1], 0));
+    }
+    // Cross-links: every stage can hop between the rows.
+    for i in 0..k {
+        connect_core_link(&mut net, &mut link_no, (upper[i], 2), (lower[i], 2));
+    }
+    connect_core_link(&mut net, &mut link_no, (upper[k - 1], 1), (egress, 2));
+    connect_core_link(&mut net, &mut link_no, (lower[k - 1], 1), (egress, 3));
+
+    let mut core_ports = BTreeMap::new();
+    core_ports.insert(ingress, vec![2, 3]);
+    core_ports.insert(egress, vec![2, 3]);
+    for &u in upper.iter().chain(lower.iter()) {
+        core_ports.insert(u, vec![0, 1, 2]);
+    }
+
+    let (customer2, host2) = build_site2(&mut net, false, pairs);
+    net.connect(
+        (host1, PortId(0)),
+        (customer1, PortId(0)),
+        LinkProperties::lan(),
+    )
+    .unwrap();
+    net.connect(
+        (customer1, PortId(1)),
+        (ingress, PortId(0)),
+        LinkProperties::lan(),
+    )
+    .unwrap();
+    net.connect(
+        (egress, PortId(0)),
+        (customer2, PortId(1)),
+        LinkProperties::lan(),
+    )
+    .unwrap();
+    net.connect(
+        (customer2, PortId(0)),
+        (host2, PortId(0)),
+        LinkProperties::lan(),
+    )
+    .unwrap();
+    let fanout_pairs = attach_fanout_hosts(&mut net, customer1, customer2, pairs);
+
+    MeshTopology {
+        net,
+        host1,
+        customer1,
+        ingress,
+        upper,
+        lower,
+        ring: Vec::new(),
+        egress,
+        customer2,
+        host2,
+        fanout_pairs,
+        core_ports,
+    }
+}
+
+/// Build the ring variant: `k >= 4` core routers in a cycle, the ingress
+/// edge attached at `R1` and the egress edge at `R(k/2 + 1)` — two disjoint
+/// arcs between the edges, so any single ring-link cut leaves a route.
+///
+/// Port plan — edges: 0 customer-facing, 1 free (NM station), 2 ring
+/// attach; ring router `R_i`: 0 previous in the cycle, 1 next, 2 edge
+/// attach (only wired on the two attachment routers).
+pub fn isp_ring_fanout(k: usize, pairs: usize) -> MeshTopology {
+    assert!(k >= 4, "the ring needs at least four core routers");
+    let mut net = Network::new();
+    let (host1, customer1) = build_site1(&mut net, false, pairs);
+
+    let ingress = mesh_router(&mut net, "RouterIn", 3);
+    net.device_mut(ingress)
+        .unwrap()
+        .config
+        .assign_address(0, cidr("192.168.0.2/24"));
+    let ring: Vec<DeviceId> = (0..k)
+        .map(|i| mesh_router(&mut net, &format!("RouterR{}", i + 1), 3))
+        .collect();
+    let egress = mesh_router(&mut net, "RouterOut", 3);
+    net.device_mut(egress)
+        .unwrap()
+        .config
+        .assign_address(0, cidr("192.168.2.2/24"));
+
+    let mut link_no = 0u32;
+    let attach = k / 2;
+    connect_core_link(&mut net, &mut link_no, (ingress, 2), (ring[0], 2));
+    connect_core_link(&mut net, &mut link_no, (egress, 2), (ring[attach], 2));
+    for i in 0..k {
+        connect_core_link(&mut net, &mut link_no, (ring[i], 1), (ring[(i + 1) % k], 0));
+    }
+
+    let mut core_ports = BTreeMap::new();
+    core_ports.insert(ingress, vec![2]);
+    core_ports.insert(egress, vec![2]);
+    for (i, &r) in ring.iter().enumerate() {
+        if i == 0 || i == attach {
+            core_ports.insert(r, vec![0, 1, 2]);
+        } else {
+            core_ports.insert(r, vec![0, 1]);
+        }
+    }
+
+    let (customer2, host2) = build_site2(&mut net, false, pairs);
+    net.connect(
+        (host1, PortId(0)),
+        (customer1, PortId(0)),
+        LinkProperties::lan(),
+    )
+    .unwrap();
+    net.connect(
+        (customer1, PortId(1)),
+        (ingress, PortId(0)),
+        LinkProperties::lan(),
+    )
+    .unwrap();
+    net.connect(
+        (egress, PortId(0)),
+        (customer2, PortId(1)),
+        LinkProperties::lan(),
+    )
+    .unwrap();
+    net.connect(
+        (customer2, PortId(0)),
+        (host2, PortId(0)),
+        LinkProperties::lan(),
+    )
+    .unwrap();
+    let fanout_pairs = attach_fanout_hosts(&mut net, customer1, customer2, pairs);
+
+    MeshTopology {
+        net,
+        host1,
+        customer1,
+        ingress,
+        upper: Vec::new(),
+        lower: Vec::new(),
+        ring,
+        egress,
+        customer2,
+        host2,
+        fanout_pairs,
+        core_ports,
+    }
 }
 
 /// The Figure 2 GRE-tunnel testbed: two end devices A and B, a layer-2
@@ -674,6 +997,75 @@ mod tests {
         t.net.send_udp(src, dst_ip, 1, 2, b"before-vpn").unwrap();
         t.net.run_to_quiescence(10_000);
         assert!(t.net.device_mut(dst).unwrap().take_delivered().is_empty());
+    }
+
+    #[test]
+    fn mesh_has_a_redundant_core_with_cross_links() {
+        let t = isp_mesh_fanout(2, 3);
+        assert_eq!(t.upper.len(), 2);
+        assert_eq!(t.lower.len(), 2);
+        assert!(t.ring.is_empty());
+        // 6 ISP routers + 2 customer routers + 2 base hosts + 6 fan-out hosts.
+        assert_eq!(t.net.device_ids().len(), 16);
+        // Core links: 2 edge-in + 2 row + 2 cross + 2 edge-out = 8, plus the
+        // 4 customer-side links and 6 fan-out host links.
+        assert_eq!(t.net.links().len(), 18);
+        // Every advertised core link exists, and each end got an address in
+        // the link's own /24.
+        for (dev, ports) in &t.core_ports {
+            for p in ports {
+                assert!(
+                    t.net
+                        .device(*dev)
+                        .unwrap()
+                        .config
+                        .address_on_port(*p)
+                        .is_some(),
+                    "core port {p} of {dev} must be addressed"
+                );
+            }
+        }
+        // The redundancy that matters: cutting any single upper-row link
+        // leaves the lower row (and the cross-links) intact.
+        assert!(t.net.link_between(t.upper[0], t.upper[1]).is_some());
+        assert!(t.net.link_between(t.lower[0], t.lower[1]).is_some());
+        assert!(t.net.link_between(t.upper[0], t.lower[0]).is_some());
+        assert!(t.net.link_between(t.ingress, t.upper[0]).is_some());
+        assert!(t.net.link_between(t.ingress, t.lower[0]).is_some());
+        assert!(t.net.link_between(t.upper[1], t.egress).is_some());
+        assert!(t.net.link_between(t.lower[1], t.egress).is_some());
+        assert_eq!(t.routers().len(), 6);
+        assert_eq!(t.core_routers().len(), 4);
+    }
+
+    #[test]
+    fn mesh_fanout_hosts_cannot_cross_before_vpn_configuration() {
+        let mut t = isp_mesh_fanout(2, 2);
+        let (src, dst) = t.fanout_pairs[0];
+        let (_, dst_ip) = fanout_pair_hosts(0);
+        // A fan-out host reaches its own gateway...
+        t.net.send_ping(src, ip("10.1.0.1"), 1, 1).unwrap();
+        t.net.run_to_quiescence(10_000);
+        assert_eq!(t.net.device_mut(src).unwrap().take_delivered().len(), 1);
+        // ...but not its peer: the ISP mesh has no customer routes yet.
+        t.net.send_udp(src, dst_ip, 1, 2, b"before-vpn").unwrap();
+        t.net.run_to_quiescence(10_000);
+        assert!(t.net.device_mut(dst).unwrap().take_delivered().is_empty());
+    }
+
+    #[test]
+    fn ring_attaches_the_edges_on_opposite_arcs() {
+        let t = isp_ring_fanout(4, 1);
+        assert_eq!(t.ring.len(), 4);
+        assert!(t.upper.is_empty() && t.lower.is_empty());
+        // Ring cycle closed, edges on R1 and R3.
+        for i in 0..4 {
+            assert!(t.net.link_between(t.ring[i], t.ring[(i + 1) % 4]).is_some());
+        }
+        assert!(t.net.link_between(t.ingress, t.ring[0]).is_some());
+        assert!(t.net.link_between(t.egress, t.ring[2]).is_some());
+        // 6 ISP routers + 2 customer routers + 2 hosts + 2 fan-out hosts.
+        assert_eq!(t.net.device_ids().len(), 12);
     }
 
     #[test]

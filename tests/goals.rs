@@ -7,7 +7,7 @@
 //! back cleanly leaving no partially-configured modules; and `reconcile()`
 //! is idempotent on a converged network.
 
-use conman::core::nm::{GoalStatus, PlanError};
+use conman::core::nm::{Exclusion, GoalStatus, PlanError};
 use conman::core::runtime::{ReconcileAction, ReconcileReport, TxnEvent};
 use conman::modules::{managed_chain, managed_dual_chain};
 use mgmt_channel::OutOfBandChannel;
@@ -394,7 +394,7 @@ fn goal_lifecycle_plan_failure_update_and_retry() {
     // blamed module whose state was lost rather than whose hardware died.
     let excluded: std::collections::BTreeSet<_> = t.mn.nm.abstractions[&t.core[1]]
         .iter()
-        .map(|a| a.name.clone())
+        .map(|a| Exclusion::Module(a.name.clone()))
         .collect();
     t.mn.goals.mark_degraded(id, excluded);
     let report = t.mn.reconcile();

@@ -6,16 +6,25 @@
 //! simultaneous faults on different goals heal independently, an operator
 //! withdraw cancels an in-flight repair cleanly, and a goal whose every
 //! repair fails lands in `Failed` instead of thrashing forever.
+//!
+//! The mesh scenarios exercise link-suspect-aware planning: on the
+//! multipath topologies a blamed core link is rerouted around in **one**
+//! batched pass (no repair-budget burn), while the same blame on a chain —
+//! which has no alternative — falls back to reinstall-through instead of
+//! parking the goal `Failed`.
 
 use conman::core::nm::{GoalId, GoalStatus, PathFinderLimits};
-use conman::core::runtime::{ControlLoop, GoalEndpoints, LoopConfig, ManagedNetwork};
+use conman::core::runtime::{
+    ControlLoop, GoalEndpoints, LoopConfig, ManagedNetwork, ReconcileAction,
+};
 use conman::diagnose::AutonomicClient;
-use conman::modules::{managed_fanout_chain, ManagedChain};
+use conman::modules::{managed_fanout_chain, managed_mesh_fanout, ManagedChain, ManagedMesh};
 use conman::netsim::fault::{apply_fault, FaultKind, Misconfiguration};
 use conman::netsim::route::RouteTableId;
 use mgmt_channel::OutOfBandChannel;
 
 type Chain = ManagedChain<OutOfBandChannel>;
+type Mesh = ManagedMesh<OutOfBandChannel>;
 
 /// A discovered fan-out chain with `goals` goals submitted and tracked by a
 /// fresh control loop (not yet converged).
@@ -32,6 +41,34 @@ fn looped_chain(n: usize, goals: usize) -> (Chain, ControlLoop<OutOfBandChannel>
     for k in 0..goals {
         let (src, dst, dst_ip) = t.fanout_probe(k);
         let id = t.mn.submit(t.fanout_goal(k));
+        cl.track(id, GoalEndpoints { src, dst, dst_ip });
+        ids.push(id);
+    }
+    (t, cl, ids)
+}
+
+/// Path-finder limits for a multipath core of `k` stages (k + 2 ISP
+/// routers on the longest row path, alternatives worth an enumeration
+/// budget beyond the chain's).
+fn mesh_limits(k: usize) -> PathFinderLimits {
+    PathFinderLimits {
+        max_steps: 3 * (k + 2) + 16,
+        max_paths: 64,
+    }
+}
+
+/// A discovered 2×k mesh with `goals` goals submitted and tracked by a
+/// fresh control loop (not yet converged).
+fn looped_mesh(k: usize, goals: usize) -> (Mesh, ControlLoop<OutOfBandChannel>, Vec<GoalId>) {
+    let mut t = managed_mesh_fanout(k, goals);
+    t.discover();
+    t.mn.goals.limits = mesh_limits(k);
+    let mut cl = ControlLoop::new(&t.mn, LoopConfig::default())
+        .with_client(Box::new(AutonomicClient::new(2)));
+    let mut ids = Vec::new();
+    for g in 0..goals {
+        let (src, dst, dst_ip) = t.fanout_probe(g);
+        let id = t.mn.submit(t.fanout_goal(g));
         cl.track(id, GoalEndpoints { src, dst, dst_ip });
         ids.push(id);
     }
@@ -268,4 +305,297 @@ fn push_mode_flow_reports_surface_as_counter_delta_events() {
         "pushed flow reports become events: {next:#?}"
     );
     assert_eq!(next.nm_sent, 0, "draining pushed reports costs nothing");
+}
+
+#[test]
+fn mesh_core_link_cut_is_rerouted_in_one_batched_pass() {
+    let (mut t, mut cl, ids) = looped_mesh(2, 2);
+    assert!(cl.run_until_converged(&mut t.mn, 10).converged);
+    let fault_tick = cl.ticks();
+
+    // Cut the first core-to-core link of the applied path.  The 2×k mesh
+    // keeps a whole second row (plus cross-links), so a genuine alternative
+    // exists — this is the scenario the chain could never express.
+    let hop = t.applied_core_hop(ids[0]).expect("a core hop exists");
+    let link = t.link(hop.0, hop.1).expect("the hop is a physical link");
+    apply_fault(&mut t.mn.net, FaultKind::LinkCut(link));
+
+    let run = cl.run_until_converged(&mut t.mn, 6);
+    assert!(run.converged, "the loop re-converges: {run:#?}");
+    let detect = run.first_detection().expect("a health round detected");
+    let repair = run.first_repair().expect("a repair pass converged");
+    assert_eq!(detect, fault_tick + 1, "the very next health round detects");
+    assert!(
+        repair <= fault_tick + 2,
+        "reroute within two ticks of the cut (got tick {repair})"
+    );
+
+    // Diagnosis blamed the *link* (not just a device), and the repair was
+    // ONE batched pass: every goal Reapplied on its first attempt — no
+    // ProbeFailed / ExecuteFailed / PlanFailed outcome anywhere, so the
+    // repair budget is untouched and no goal ever parked `Failed`.
+    let detect_tick = run
+        .ticks
+        .iter()
+        .find(|tk| !tk.degraded.is_empty())
+        .expect("detection tick");
+    let want = if hop.0 <= hop.1 {
+        (hop.0, hop.1)
+    } else {
+        (hop.1, hop.0)
+    };
+    for (g, d) in &detect_tick.diagnosed {
+        assert_eq!(
+            d.blamed_link,
+            Some(want),
+            "goal {g}'s diagnosis must blame the cut link: {}",
+            d.summary
+        );
+    }
+    let repair_passes: usize = run
+        .ticks
+        .iter()
+        .filter(|tk| {
+            tk.repair.as_ref().is_some_and(|r| {
+                r.outcomes
+                    .iter()
+                    .any(|o| o.action != ReconcileAction::Unchanged)
+            })
+        })
+        .count();
+    assert_eq!(
+        repair_passes, 1,
+        "one batched pass reroutes the whole fleet"
+    );
+    for tk in &run.ticks {
+        if let Some(r) = &tk.repair {
+            for o in &r.outcomes {
+                assert!(
+                    matches!(
+                        o.action,
+                        ReconcileAction::Unchanged | ReconcileAction::Reapplied
+                    ),
+                    "no failed repair attempt may burn budget: {o:?}"
+                );
+            }
+        }
+    }
+    for &id in &ids {
+        let rec = t.mn.goals.get(id).expect("stored");
+        assert_eq!(rec.status, GoalStatus::Active);
+        assert_eq!(rec.repair_attempts, 0, "no repair-budget burn");
+        // The replacement path genuinely routes around the cut link.
+        let devices = rec.applied().expect("applied").path.devices();
+        assert!(
+            !devices
+                .windows(2)
+                .any(|w| (w[0], w[1]) == hop || (w[1], w[0]) == hop),
+            "the new path must avoid the cut link: {devices:?}"
+        );
+    }
+    assert!(
+        (0..2).all(|g| t.probe_pair(g)),
+        "traffic verified end to end"
+    );
+}
+
+#[test]
+fn mesh_blamed_link_is_diagnosed_under_background_traffic() {
+    use conman::diagnose::{Diagnoser, SuspectTarget};
+
+    let (mut t, mut cl, ids) = looped_mesh(2, 4);
+    assert!(cl.run_until_converged(&mut t.mn, 10).converged);
+    let hop = t.applied_core_hop(ids[0]).expect("core hop");
+    let link = t.link(hop.0, hop.1).expect("link");
+    apply_fault(&mut t.mn.net, FaultKind::LinkCut(link));
+
+    // Diagnose goal 0 exactly the way the loop client does — its own probe
+    // inside its flow window, every *other* goal pushing a datagram inside
+    // its own window between probes.  The background bursts die on the same
+    // cut link, ballooning the shared devices' drop tallies; only per-goal
+    // flow attribution keeps the frontier walk pointed at the *link* rather
+    // than at whichever device dropped the most.
+    let path =
+        t.mn.goals
+            .get(ids[0])
+            .and_then(|r| r.applied())
+            .map(|a| a.path.clone())
+            .expect("applied path");
+    let endpoints: Vec<(
+        GoalId,
+        (conman::netsim::device::DeviceId, std::net::Ipv4Addr),
+    )> = ids
+        .iter()
+        .enumerate()
+        .map(|(k, &id)| {
+            let (src, _, dst_ip) = t.fanout_probe(k);
+            (id, (src, dst_ip))
+        })
+        .collect();
+    let (probe_src, probe_dst, probe_ip) = t.fanout_probe(0);
+    let mut seq = 0u64;
+    let mut probe = |mn: &mut ManagedNetwork<OutOfBandChannel>| {
+        seq += 1;
+        let payload = format!("mesh-diag-{seq}").into_bytes();
+        mn.net
+            .send_udp(probe_src, probe_ip, 40000, 7000, &payload)
+            .unwrap();
+        mn.net.run_to_quiescence(100_000);
+        mn.net
+            .device_mut(probe_dst)
+            .map(|d| d.take_delivered().iter().any(|p| p.payload == payload))
+            .unwrap_or(false)
+    };
+    let mut bg_seq = 0u64;
+    let mut background = |mn: &mut ManagedNetwork<OutOfBandChannel>| {
+        for (g, (src, dst_ip)) in endpoints.iter().skip(1) {
+            bg_seq += 1;
+            mn.net.begin_flow_window(g.0);
+            let _ = mn.net.send_udp(
+                *src,
+                *dst_ip,
+                40000,
+                7000,
+                format!("bg-{}-{bg_seq}", g.0).into_bytes().as_slice(),
+            );
+            mn.net.run_to_quiescence(100_000);
+            mn.net.end_flow_window();
+        }
+    };
+    let report = Diagnoser::new(2).for_goal(ids[0]).diagnose_with_background(
+        &mut t.mn,
+        &path,
+        &mut probe,
+        &mut background,
+    );
+    assert!(!report.healthy);
+    assert!(
+        report.blames_link(hop.0, hop.1),
+        "the cut core link must be blamed under background load: {:#?}",
+        report.suspects
+    );
+    match &report.prime_suspect().expect("suspect").target {
+        SuspectTarget::Link { link: found, .. } => assert_eq!(*found, Some(link)),
+        other => panic!("the prime suspect must be the link, not {other:?}"),
+    }
+}
+
+#[test]
+fn chain_blamed_link_falls_back_to_reinstall_instead_of_failing() {
+    // On a chain the same link blame has no alternative: the planner's
+    // suspect-fallback must drop the link exclusion and reinstall through —
+    // symmetric with blamed edge modules — not park the goal `Failed` with
+    // an instant `PlanFailed`.
+    let (mut t, mut cl, ids) = looped_chain(4, 1);
+    assert!(cl.run_until_converged(&mut t.mn, 10).converged);
+    let link = t.core_link(1).expect("core link");
+    apply_fault(&mut t.mn.net, FaultKind::LinkCut(link));
+
+    let tick = cl.tick(&mut t.mn);
+    assert_eq!(tick.degraded, ids, "the cut degrades the goal");
+    let outcome = tick
+        .repair
+        .as_ref()
+        .and_then(|r| r.outcome(ids[0]))
+        .expect("a repair pass ran");
+    assert_eq!(
+        outcome.action,
+        ReconcileAction::ProbeFailed,
+        "the reinstall-through committed and only the verification failed"
+    );
+    let rec = t.mn.goals.get(ids[0]).expect("stored");
+    assert_eq!(
+        rec.status,
+        GoalStatus::Degraded,
+        "one failed attempt, not Failed"
+    );
+    assert_eq!(rec.repair_attempts, 1);
+
+    // The link flap ends: the next pass reinstalls over the restored link
+    // and the goal converges — exactly what parking it `Failed` would have
+    // forfeited.
+    apply_fault(&mut t.mn.net, FaultKind::LinkRestore(link));
+    let run = cl.run_until_converged(&mut t.mn, 6);
+    assert!(run.converged, "{run:#?}");
+    assert_eq!(t.mn.goals.status(ids[0]), Some(GoalStatus::Active));
+    assert!(t.probe_pair(0));
+}
+
+#[test]
+fn verified_repair_ages_out_exclusions_so_the_recovered_path_is_routable_again() {
+    let (mut t, mut cl, ids) = looped_mesh(2, 1);
+    assert!(cl.run_until_converged(&mut t.mn, 10).converged);
+
+    // First fault: cut the original path's core link; the goal reroutes
+    // onto the other row in one pass.
+    let hop1 = t.applied_core_hop(ids[0]).expect("core hop");
+    let link1 = t.link(hop1.0, hop1.1).expect("link");
+    apply_fault(&mut t.mn.net, FaultKind::LinkCut(link1));
+    assert!(cl.run_until_converged(&mut t.mn, 6).converged);
+    let rec = t.mn.goals.get(ids[0]).expect("stored");
+    assert!(
+        rec.excluded.is_empty(),
+        "a verified repair clears the exclusion set: {:?}",
+        rec.excluded
+    );
+    let hop2 = t.applied_core_hop(ids[0]).expect("new core hop");
+    assert_ne!(hop1, hop2, "the goal moved onto the other row");
+
+    // The original link recovers; then the *new* path's core link dies.
+    // Routing back over the recovered original must still be possible —
+    // a permanently remembered exclusion would wrongly rule it out.
+    apply_fault(&mut t.mn.net, FaultKind::LinkRestore(link1));
+    let link2 = t.link(hop2.0, hop2.1).expect("link");
+    apply_fault(&mut t.mn.net, FaultKind::LinkCut(link2));
+    let run = cl.run_until_converged(&mut t.mn, 6);
+    assert!(run.converged, "{run:#?}");
+    let rec = t.mn.goals.get(ids[0]).expect("stored");
+    assert_eq!(rec.status, GoalStatus::Active);
+    assert_eq!(rec.repair_attempts, 0, "second reroute burned no budget");
+    let devices = rec.applied().expect("applied").path.devices();
+    assert!(
+        devices
+            .windows(2)
+            .any(|w| (w[0], w[1]) == hop1 || (w[1], w[0]) == hop1),
+        "the goal routed back over the recovered original link: {devices:?}"
+    );
+    assert!(t.probe_pair(0));
+}
+
+#[test]
+fn ring_link_cut_heals_onto_the_other_arc() {
+    use conman::modules::managed_ring_fanout;
+
+    let mut t = managed_ring_fanout(4, 2);
+    t.discover();
+    t.mn.goals.limits = mesh_limits(4);
+    let mut cl = ControlLoop::new(&t.mn, LoopConfig::default())
+        .with_client(Box::new(AutonomicClient::new(2)));
+    let mut ids = Vec::new();
+    for g in 0..2 {
+        let (src, dst, dst_ip) = t.fanout_probe(g);
+        let id = t.mn.submit(t.fanout_goal(g));
+        cl.track(id, GoalEndpoints { src, dst, dst_ip });
+        ids.push(id);
+    }
+    assert!(cl.run_until_converged(&mut t.mn, 10).converged);
+
+    let hop = t.applied_core_hop(ids[0]).expect("ring hop");
+    let link = t.link(hop.0, hop.1).expect("link");
+    apply_fault(&mut t.mn.net, FaultKind::LinkCut(link));
+    let run = cl.run_until_converged(&mut t.mn, 6);
+    assert!(run.converged, "{run:#?}");
+    for &id in &ids {
+        let rec = t.mn.goals.get(id).expect("stored");
+        assert_eq!(rec.status, GoalStatus::Active);
+        assert_eq!(rec.repair_attempts, 0, "the other arc took over cleanly");
+        let devices = rec.applied().expect("applied").path.devices();
+        assert!(
+            !devices
+                .windows(2)
+                .any(|w| (w[0], w[1]) == hop || (w[1], w[0]) == hop),
+            "the repaired path must use the other arc: {devices:?}"
+        );
+    }
+    assert!((0..2).all(|g| t.probe_pair(g)));
 }
