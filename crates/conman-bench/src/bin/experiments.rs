@@ -16,6 +16,7 @@ use conman_core::ids::ModuleKind;
 use legacy_config::{
     classify_conman_script, gre_script_today, mpls_script_today, vlan_script_today, GreVpnParams,
 };
+use serde::Serialize;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
@@ -49,6 +50,9 @@ fn main() {
     }
     if all || which == "loop" {
         autonomic_loop();
+    }
+    if all || which == "obs" {
+        obs();
     }
 }
 
@@ -487,31 +491,11 @@ fn autonomic_loop() {
     conman_bench::assert_loop_healthy(&r, 3);
     rows.push(r);
 
-    // Machine-readable artefact so CI tracks the loop trajectory across PRs.
-    let series: Vec<serde_json::Value> = rows
-        .iter()
-        .map(|r| {
-            serde_json::json!({
-                "scenario": r.scenario.name(),
-                "topology": r.topology,
-                "channel": r.channel,
-                "n": r.n,
-                "goals": r.goals,
-                "setup_ticks": r.setup_ticks,
-                "quiescent_nm_sent": r.quiescent_nm_sent,
-                "ticks_to_detect": r.ticks_to_detect,
-                "ticks_to_repair": r.ticks_to_repair,
-                "degraded_goals": r.degraded_goals,
-                "blamed_correct": r.blamed_correct,
-                "repair_passes": r.repair_passes,
-                "failed_repair_attempts": r.failed_attempts,
-                "repair_nm_sent": r.repair_nm_sent,
-                "repair_frames": r.repair_frames,
-                "converged": r.converged,
-                "repair_wall_us": r.repair_wall_us as u64,
-            })
-        })
-        .collect();
+    // Machine-readable artefact so CI tracks the loop trajectory across
+    // PRs.  `LoopBenchReport` derives `Serialize`, so the artefact shares
+    // the same encoding path as the flight-recorder snapshot instead of a
+    // hand-assembled JSON object per row.
+    let series: Vec<serde_json::Value> = rows.iter().map(|r| r.serialize()).collect();
     let artefact = serde_json::json!({
         "bench": "loop",
         "chain_routers": 10,
@@ -520,6 +504,92 @@ fn autonomic_loop() {
         "series": series,
     });
     let path = "BENCH_loop.json";
+    match std::fs::write(
+        path,
+        serde_json::to_string(&artefact).expect("artefact serializes"),
+    ) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}
+
+fn obs() {
+    heading("Flight recorder — journal determinism, post-mortem reconstruction and recorder overhead (beyond the paper)");
+    println!("The recorder journals every loop span (tick → health probe → diagnosis →");
+    println!("repair → stage/commit → verify) with simulated-time stamps only, so the same");
+    println!("seeded scenario always yields a byte-identical journal.  The overhead rows");
+    println!("drive the same converged fleet through quiescent ticks with the recorder");
+    println!("disabled vs enabled; the statistic is the minimum tick wall time.\n");
+
+    // ---- Recorded mesh link-cut: the journal must carry the whole story.
+    let rec = conman_bench::recorded_mesh_link_cut(3, 8);
+    assert!(rec.converged, "the recorded mesh run must converge");
+    let pm = conman_obs::Postmortem::from_json(&rec.journal).expect("journal parses");
+    assert!(
+        pm.blamed_links.contains(&rec.cut_link),
+        "the journal must name the cut link {:?}: {:?}",
+        rec.cut_link,
+        pm.blamed_links
+    );
+    println!(
+        "recorded mesh-link-cut (2x3, 8 goals): {} journal events, blamed link {:?}, \
+         {} repair pass(es), {} staged device(s) reconstructed from the dump",
+        rec.snapshot.journal_events,
+        rec.cut_link,
+        rec.repair_passes,
+        pm.staged_devices.len(),
+    );
+
+    // ---- Overhead rows; the 256-goal row is the CI smoke gate. ---------
+    println!(
+        "\n{:>6} {:>6} {:>14} {:>14} {:>10} {:>10}",
+        "n", "goals", "disabled-tick", "enabled-tick", "overhead", "events"
+    );
+    let mut rows = Vec::new();
+    for goals in [64usize, 256] {
+        let r = conman_bench::loop_overhead(10, goals);
+        println!(
+            "{:>6} {:>6} {:>11} µs {:>11} µs {:>9.1}% {:>10}",
+            r.n,
+            r.goals,
+            r.disabled_tick_ns / 1_000,
+            r.enabled_tick_ns / 1_000,
+            r.overhead_pct,
+            r.journal_events
+        );
+        rows.push(r);
+    }
+    let gate = rows
+        .iter()
+        .find(|r| r.goals == 256)
+        .expect("256-goal overhead row");
+    assert!(
+        gate.overhead_pct <= 105.0,
+        "recorder overhead on the 256-goal loop row must stay within 5% \
+         (enabled {} ns vs disabled {} ns = {:.1}%)",
+        gate.enabled_tick_ns,
+        gate.disabled_tick_ns,
+        gate.overhead_pct
+    );
+
+    // Machine-readable artefact: the overhead rows plus the recorded run's
+    // metrics snapshot, all through the derived serialisation path.
+    let artefact = serde_json::json!({
+        "bench": "obs",
+        "chain_routers": 10,
+        "mesh_stages": 3,
+        "overhead_ticks_measured": 8,
+        "overhead": rows.iter().map(|r| r.serialize()).collect::<Vec<_>>(),
+        "recorded_mesh_link_cut": {
+            "converged": rec.converged,
+            "cut_link": rec.cut_link,
+            "repair_passes": rec.repair_passes,
+            "journal_events": rec.snapshot.journal_events,
+            "postmortem_staged_devices": pm.staged_devices.len() as u64,
+            "snapshot": rec.snapshot.serialize(),
+        },
+    });
+    let path = "BENCH_obs.json";
     match std::fs::write(
         path,
         serde_json::to_string(&artefact).expect("artefact serializes"),

@@ -40,6 +40,7 @@ use mgmt_channel::{InBandChannel, ManagementChannel, OutOfBandChannel};
 use netsim::device::DeviceId;
 use netsim::fault::{apply_fault, FaultKind, Misconfiguration};
 use netsim::route::RouteTableId;
+use serde::Serialize;
 use std::time::Instant;
 
 /// Which fault the loop run injects once the fleet is converged.
@@ -81,8 +82,14 @@ impl LoopScenario {
     }
 }
 
+impl Serialize for LoopScenario {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::String(self.name().to_string())
+    }
+}
+
 /// What one autonomic-loop run measured.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct LoopBenchReport {
     /// Topology family the run used (`chain` or `mesh`).
     pub topology: &'static str,
@@ -130,7 +137,7 @@ pub struct LoopBenchReport {
     /// end to end?
     pub converged: bool,
     /// Wall-clock for the whole detect + repair run, microseconds.
-    pub repair_wall_us: u128,
+    pub repair_wall_us: u64,
 }
 
 /// Path-finder limits for the 2×k mesh (longer module paths than a chain of
@@ -309,11 +316,12 @@ fn chain_loop_run<C: ManagementChannel>(
     let fault_tick = cl.ticks();
 
     // ---- Detect + repair, autonomically. ------------------------------
-    let frames_before = t.mn.net.frames_delivered();
     let wall = Instant::now();
     let run = cl.run_until_converged(&mut t.mn, 12);
-    let repair_wall_us = wall.elapsed().as_micros();
-    let repair_frames = t.mn.net.frames_delivered() - frames_before;
+    let repair_wall_us = wall.elapsed().as_micros() as u64;
+    // The wire cost now comes from the tick reports themselves (each tick
+    // carries its frame budget) instead of a hand-diffed network counter.
+    let repair_frames = run.frames();
     let m = run_metrics(&run);
     let detect_report = run.ticks.iter().find(|tk| tk.tick == m.detect);
     let blamed_correct = detect_report.is_some_and(|tk| {
@@ -396,11 +404,10 @@ pub fn mesh_loop_run(k: usize, goals: usize, scenario: LoopScenario) -> LoopBenc
     }
     let fault_tick = cl.ticks();
 
-    let frames_before = t.mn.net.frames_delivered();
     let wall = Instant::now();
     let run = cl.run_until_converged(&mut t.mn, 12);
-    let repair_wall_us = wall.elapsed().as_micros();
-    let repair_frames = t.mn.net.frames_delivered() - frames_before;
+    let repair_wall_us = wall.elapsed().as_micros() as u64;
+    let repair_frames = run.frames();
     let m = run_metrics(&run);
     let detect_report = run.ticks.iter().find(|tk| tk.tick == m.detect);
     // The mesh bar is higher than the chain's: the *link* must be blamed,

@@ -1,0 +1,222 @@
+//! Flight-recorder experiments: what the recorder costs and what its
+//! journal can reconstruct.
+//!
+//! Two artefacts back the `obs` row of the reproduction harness:
+//!
+//! * **Overhead** — the same converged goal fleet is driven through
+//!   quiescent control-loop ticks twice, once with [`Recorder::disabled`]
+//!   (the default: a single `Option` branch per hook) and once with an
+//!   enabled recorder journalling every span.  The statistic is the
+//!   *minimum* tick wall time over a handful of ticks — minima are far
+//!   more stable than means under scheduler noise, which is what lets CI
+//!   hold the enabled/disabled ratio to a tight budget.
+//! * **Recorded mesh link-cut** — the link-suspect-aware reroute scenario
+//!   (`mesh_loop_run`'s cut) re-run with an enabled recorder, returning
+//!   both the live ground truth (which link was cut, where the fleet
+//!   landed) and the trace journal, so tests and the `flightrecorder`
+//!   example can prove the whole story is reconstructible from the dump
+//!   alone.
+
+use crate::control_loop::mesh_limits;
+use crate::diagnosis::chain_limits;
+use conman_core::nm::GoalStatus;
+use conman_core::runtime::{ControlLoop, GoalEndpoints, LoopConfig, LoopReport, ReconcileAction};
+use conman_diagnose::AutonomicClient;
+use conman_modules::{managed_fanout_chain, managed_mesh_fanout, ManagedMesh};
+use conman_obs::{ObsSnapshot, Recorder};
+use mgmt_channel::OutOfBandChannel;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Quiescent ticks measured per mode; the row reports the minimum.
+const OVERHEAD_TICKS: usize = 8;
+
+/// One recorder-overhead row: the minimum quiescent tick wall time with
+/// the recorder disabled vs enabled, on the same chain/goal-count shape.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObsOverheadReport {
+    /// Chain size (core routers).
+    pub n: usize,
+    /// Live goals the loop health-probes per tick.
+    pub goals: usize,
+    /// Minimum quiescent tick wall time with `Recorder::disabled()`,
+    /// nanoseconds.
+    pub disabled_tick_ns: u64,
+    /// Minimum quiescent tick wall time with an enabled recorder,
+    /// nanoseconds.
+    pub enabled_tick_ns: u64,
+    /// `enabled / disabled`, in percent (100.0 = parity).
+    pub overhead_pct: f64,
+    /// Journal events the enabled run accumulated (setup + measured
+    /// ticks) — evidence the recorder was genuinely on.
+    pub journal_events: u64,
+}
+
+/// Converge `goals` goals on an `n`-router fan-out chain, then measure the
+/// minimum wall time of [`OVERHEAD_TICKS`] quiescent control-loop ticks.
+/// Returns `(min_tick_ns, journal_events)`.
+fn quiescent_tick_ns(n: usize, goals: usize, recorder: Recorder) -> (u64, u64) {
+    let mut t = managed_fanout_chain(n, goals);
+    t.discover();
+    t.mn.goals.limits = chain_limits(n);
+    t.mn.set_recorder(recorder);
+    let mut cl = ControlLoop::new(&t.mn, LoopConfig::default())
+        .with_client(Box::new(AutonomicClient::new(2)));
+    for k in 0..goals {
+        let (src, dst, dst_ip) = t.fanout_probe(k);
+        let id = t.mn.submit(t.fanout_goal(k));
+        cl.track(id, GoalEndpoints { src, dst, dst_ip });
+    }
+    let setup = cl.run_until_converged(&mut t.mn, 16);
+    assert!(
+        setup.converged,
+        "fleet must converge before measuring ticks"
+    );
+    let mut best = u64::MAX;
+    for _ in 0..OVERHEAD_TICKS {
+        let wall = Instant::now();
+        let tick = cl.tick(&mut t.mn);
+        best = best.min(wall.elapsed().as_nanos() as u64);
+        assert_eq!(tick.nm_sent, 0, "a converged loop tick must stay silent");
+    }
+    (best, t.mn.recorder.journal_len() as u64)
+}
+
+/// Measure recorder overhead on quiescent loop ticks: the same topology and
+/// fleet, once with the recorder disabled and once enabled.
+pub fn loop_overhead(n: usize, goals: usize) -> ObsOverheadReport {
+    let (disabled_tick_ns, _) = quiescent_tick_ns(n, goals, Recorder::disabled());
+    let (enabled_tick_ns, journal_events) = quiescent_tick_ns(n, goals, Recorder::new());
+    assert!(journal_events > 0, "the enabled run must journal events");
+    ObsOverheadReport {
+        n,
+        goals,
+        disabled_tick_ns,
+        enabled_tick_ns,
+        overhead_pct: 100.0 * enabled_tick_ns as f64 / disabled_tick_ns.max(1) as f64,
+        journal_events,
+    }
+}
+
+/// A recorded mesh link-cut run: the trace journal plus the live ground
+/// truth it must be able to reconstruct.
+#[derive(Debug, Clone)]
+pub struct RecordedMeshRun {
+    /// The post-fault loop run (detection → repair → convergence).
+    pub run: LoopReport,
+    /// The trace journal as JSON, cleared at fault-injection time so it
+    /// contains exactly the fault story (detect, diagnose, repair, verify).
+    pub journal: String,
+    /// The metrics/history snapshot at the end of the run.
+    pub snapshot: ObsSnapshot,
+    /// The cut core link, smaller raw device id first.
+    pub cut_link: (u64, u64),
+    /// Devices (raw ids) on the fleet's repaired paths — every one of them
+    /// was staged by the repair transaction.
+    pub new_path_devices: Vec<u64>,
+    /// Repair passes that actually touched a goal (the one-pass-reroute
+    /// ground truth: exactly 1).
+    pub repair_passes: u64,
+    /// Did the run end converged with every goal's traffic verified?
+    pub converged: bool,
+}
+
+/// Re-run the `mesh-link-cut` scenario from the loop bench with an enabled
+/// recorder: converge `goals` goals on the 2×k mesh, clear the journal, cut
+/// a core link of the applied path, and let the loop detect, localise and
+/// reroute — everything it does landing in the trace journal.
+///
+/// The scenario is fully seeded (the simulator is deterministic and the
+/// journal is timestamped with simulated time only), so two invocations
+/// with the same arguments produce **byte-identical** journals.
+pub fn recorded_mesh_link_cut(k: usize, goals: usize) -> RecordedMeshRun {
+    let mut t: ManagedMesh<OutOfBandChannel> = managed_mesh_fanout(k, goals);
+    t.discover();
+    t.mn.goals.limits = mesh_limits(k);
+    t.mn.set_recorder(Recorder::new());
+
+    let mut cl = ControlLoop::new(&t.mn, LoopConfig::default())
+        .with_client(Box::new(AutonomicClient::new(2)));
+    let mut ids = Vec::with_capacity(goals);
+    for g in 0..goals {
+        let (src, dst, dst_ip) = t.fanout_probe(g);
+        let id = t.mn.submit(t.fanout_goal(g));
+        cl.track(id, GoalEndpoints { src, dst, dst_ip });
+        ids.push(id);
+    }
+    let setup = cl.run_until_converged(&mut t.mn, 16);
+    assert!(setup.converged, "fleet must converge during setup");
+
+    // The journal restarts at the fault: the post-mortem story is the
+    // fault story, not the (much longer) setup transcript.
+    t.mn.recorder.clear();
+
+    let hop = t
+        .applied_core_hop(ids[0])
+        .expect("the applied path crosses the core");
+    let link = t.link(hop.0, hop.1).expect("the hop is a physical link");
+    netsim::fault::apply_fault(&mut t.mn.net, netsim::fault::FaultKind::LinkCut(link));
+
+    let run = cl.run_until_converged(&mut t.mn, 12);
+    let repair_passes = run
+        .ticks
+        .iter()
+        .filter(|tk| {
+            tk.repair.as_ref().is_some_and(|r| {
+                r.outcomes
+                    .iter()
+                    .any(|o| o.action != ReconcileAction::Unchanged)
+            })
+        })
+        .count() as u64;
+    let all_active = t.mn.goals.iter().all(|r| r.status == GoalStatus::Active);
+    let traffic_ok = (0..goals).all(|g| t.probe_pair(g));
+    let cut_link = {
+        let (a, b) = (hop.0.as_u64(), hop.1.as_u64());
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    };
+    let mut new_path_devices: Vec<u64> = ids
+        .iter()
+        .filter_map(|id| t.mn.goals.get(*id).and_then(|r| r.applied()))
+        .flat_map(|a| a.path.devices())
+        .map(|d| d.as_u64())
+        .collect();
+    new_path_devices.sort_unstable();
+    new_path_devices.dedup();
+
+    RecordedMeshRun {
+        converged: run.converged && all_active && traffic_ok,
+        journal: t.mn.recorder.journal_json(),
+        snapshot: t.mn.recorder.snapshot(),
+        cut_link,
+        new_path_devices,
+        repair_passes,
+        run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conman_obs::Postmortem;
+
+    #[test]
+    fn recorded_mesh_run_converges_and_journals_the_cut() {
+        let rec = recorded_mesh_link_cut(2, 2);
+        assert!(rec.converged);
+        assert_eq!(rec.repair_passes, 1, "one-pass reroute");
+        let pm = Postmortem::from_json(&rec.journal).expect("journal parses");
+        assert!(pm.blamed_links.contains(&rec.cut_link));
+    }
+
+    #[test]
+    fn overhead_row_measures_both_modes() {
+        let r = loop_overhead(4, 8);
+        assert!(r.disabled_tick_ns > 0 && r.enabled_tick_ns > 0);
+        assert!(r.journal_events > 0);
+    }
+}

@@ -41,10 +41,13 @@ use super::event::{EventQueue, GoalEndpoints, NmEvent};
 use super::reconcile::ReconcileReport;
 use super::ManagedNetwork;
 use crate::nm::goal::{Exclusion, GoalId, GoalStatus};
+use conman_obs::TraceKind;
 use mgmt_channel::{ManagementChannel, TelemetrySchedule};
 use netsim::clock::{SimDuration, SimTime, StepClock};
 use netsim::device::DeviceId;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 /// Event budget for driving one probe (and its encapsulation chain) to
 /// quiescence; matches the testbeds' probe helpers.
@@ -78,7 +81,7 @@ impl Default for LoopConfig {
 }
 
 /// What the loop's diagnosis client reports for one degraded goal.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LoopDiagnosis {
     /// Modules and links the goal's re-plan must avoid.  Link exclusions
     /// reach the path finder's traversal, so the batched repair pass
@@ -116,7 +119,7 @@ pub trait LoopClient<C: ManagementChannel> {
 }
 
 /// What one tick did.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TickReport {
     /// The tick's ordinal (1-based).
     pub tick: u64,
@@ -147,6 +150,11 @@ pub struct TickReport {
     pub nm_sent: u64,
     /// Management messages the NM received during the tick.
     pub nm_received: u64,
+    /// Link-level frames the network delivered during the tick (probe
+    /// traffic, and — on the in-band channel — every flooded management
+    /// frame: the tick's frame budget, previously visible only inside the
+    /// bench harness).
+    pub frames: u64,
 }
 
 impl TickReport {
@@ -157,7 +165,7 @@ impl TickReport {
 }
 
 /// A multi-tick run's worth of reports.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LoopReport {
     /// Per-tick reports, in order.
     pub ticks: Vec<TickReport>,
@@ -181,6 +189,47 @@ impl LoopReport {
             .iter()
             .find(|t| t.repair.as_ref().is_some_and(|r| r.converged()))
             .map(|t| t.tick)
+    }
+
+    /// The first tick (1-based ordinal) whose health phase degraded *this*
+    /// goal — its per-goal ticks-to-detect, relative to the run.
+    pub fn detection_tick(&self, id: GoalId) -> Option<u64> {
+        self.ticks
+            .iter()
+            .find(|t| t.degraded.contains(&id))
+            .map(|t| t.tick)
+    }
+
+    /// The first tick whose repair pass left *this* goal `Active` — its
+    /// per-goal ticks-to-repair, relative to the run.
+    pub fn repair_tick(&self, id: GoalId) -> Option<u64> {
+        self.ticks
+            .iter()
+            .find(|t| {
+                t.repair.as_ref().is_some_and(|r| {
+                    r.outcome(id)
+                        .is_some_and(|o| o.status == GoalStatus::Active)
+                })
+            })
+            .map(|t| t.tick)
+    }
+
+    /// Link-level frames delivered across the whole run (sum of the ticks'
+    /// frame budgets).
+    pub fn frames(&self) -> u64 {
+        self.ticks.iter().map(|t| t.frames).sum()
+    }
+
+    /// Frames delivered from the first detection tick to the end of the
+    /// run — the wire cost of detect + repair (equals [`Self::frames`]
+    /// when the fault was already present at the run's first tick).
+    pub fn repair_frames(&self) -> u64 {
+        let from = self.first_detection().unwrap_or(u64::MAX);
+        self.ticks
+            .iter()
+            .filter(|t| t.tick >= from)
+            .map(|t| t.frames)
+            .sum()
     }
 }
 
@@ -269,6 +318,7 @@ impl<C: ManagementChannel> ControlLoop<C> {
     /// health → diagnose → repair pipeline.
     pub fn tick(&mut self, mn: &mut ManagedNetwork<C>) -> TickReport {
         let before = mn.nm_counters();
+        let frames_before = mn.net.frames_delivered();
         let deadline = self.clock.advance();
         mn.net.run_until(deadline);
         let now = mn.net.now();
@@ -278,6 +328,14 @@ impl<C: ManagementChannel> ControlLoop<C> {
             epoch: self.epoch,
             ..Default::default()
         };
+        mn.recorder.enter(
+            now.as_nanos(),
+            TraceKind::TickStart {
+                tick: report.tick,
+                epoch: self.epoch,
+            },
+        );
+        mn.recorder.inc("loop.ticks", 1);
 
         // ---- 1. Event-ify this tick's inputs. -------------------------
         for at in self.schedule.take_due(now) {
@@ -287,6 +345,14 @@ impl<C: ManagementChannel> ControlLoop<C> {
             self.events.push(NmEvent::AgentNotification(n));
         }
         for (device, flows) in mn.take_pushed_flow_reports() {
+            // The push report feeds the telemetry history store *and* the
+            // event stream: the loop reacts to the event, the flight
+            // recorder keeps the window queryable after the fact.
+            for (tag, counters) in &flows {
+                mn.recorder
+                    .record_flow(device.as_u64(), *tag, now.as_nanos(), *counters);
+            }
+            mn.recorder.inc("flow.push_reports", 1);
             self.events.push(NmEvent::CounterDelta { device, flows });
         }
 
@@ -303,6 +369,8 @@ impl<C: ManagementChannel> ControlLoop<C> {
                     if let Some(ep) = endpoints {
                         self.endpoints.insert(id, ep);
                     }
+                    mn.recorder
+                        .event(now.as_nanos(), TraceKind::Submit { goal: id.0 });
                     report.submitted.push(id);
                 }
                 NmEvent::Update { id, goal } => {
@@ -317,6 +385,8 @@ impl<C: ManagementChannel> ControlLoop<C> {
         if !withdraws.is_empty() {
             for id in &withdraws {
                 self.endpoints.remove(id);
+                mn.recorder
+                    .event(now.as_nanos(), TraceKind::Withdraw { goal: id.0 });
             }
             mn.withdraw_many(&withdraws);
             report.withdrawn = withdraws;
@@ -335,6 +405,17 @@ impl<C: ManagementChannel> ControlLoop<C> {
         let after = mn.nm_counters();
         report.nm_sent = after.sent.saturating_sub(before.sent);
         report.nm_received = after.received.saturating_sub(before.received);
+        report.frames = mn.net.frames_delivered().saturating_sub(frames_before);
+        mn.recorder.event(
+            mn.net.now().as_nanos(),
+            TraceKind::TickEnd {
+                events: report.events as u64,
+                nm_sent: report.nm_sent,
+                nm_received: report.nm_received,
+                frames: report.frames,
+            },
+        );
+        mn.recorder.exit();
         report
     }
 
@@ -403,13 +484,24 @@ impl<C: ManagementChannel> ControlLoop<C> {
                 continue;
             };
             let (sent, delivered) = self.burst(mn, id, ep);
-            if delivered * 100 < u64::from(self.config.degraded_below_pct) * sent {
+            let healthy = delivered * 100 >= u64::from(self.config.degraded_below_pct) * sent;
+            mn.recorder.event(
+                mn.net.now().as_nanos(),
+                TraceKind::HealthProbe {
+                    goal: id.0,
+                    sent,
+                    delivered,
+                    healthy,
+                },
+            );
+            if !healthy {
                 if let Some(rec) = mn.goals.get_mut(id) {
                     rec.status = GoalStatus::Degraded;
                     rec.last_error = Some(format!(
                         "health round: {delivered}/{sent} probe(s) delivered for this goal"
                     ));
                 }
+                mn.recorder.inc("health.degraded", 1);
                 report.degraded.push(id);
             }
         }
@@ -441,7 +533,24 @@ impl<C: ManagementChannel> ControlLoop<C> {
                 .filter(|(g, _)| **g != id && mn.goals.status(**g) == Some(GoalStatus::Active))
                 .map(|(g, e)| (*g, *e))
                 .collect();
+            mn.recorder.enter(
+                mn.net.now().as_nanos(),
+                TraceKind::DiagnoseStart { goal: id.0 },
+            );
             let diagnosis = client.localise(mn, id, ep, &background);
+            mn.recorder.event(
+                mn.net.now().as_nanos(),
+                TraceKind::Diagnosed {
+                    goal: id.0,
+                    blamed_device: diagnosis.blamed.map(|d| d.as_u64()),
+                    blamed_link: diagnosis.blamed_link.map(|(a, b)| (a.as_u64(), b.as_u64())),
+                    exclusions: diagnosis.excluded.len() as u64,
+                    summary: diagnosis.summary.clone(),
+                },
+            );
+            mn.recorder.exit();
+            mn.recorder
+                .observe("diagnose.exclusions", diagnosis.excluded.len() as f64);
             mn.goals.mark_degraded(id, diagnosis.excluded.clone());
             report.diagnosed.push((id, diagnosis));
         }
@@ -453,12 +562,20 @@ impl<C: ManagementChannel> ControlLoop<C> {
     /// own epoch: a fault racing the pass fails verification and converges
     /// under the next tick's epoch instead of wedging this one.
     fn repair_phase(&mut self, mn: &mut ManagedNetwork<C>, report: &mut TickReport) {
-        let needs_work = mn.goals.iter().any(|r| r.status.needs_work());
-        if !needs_work {
+        let needing = mn.goals.iter().filter(|r| r.status.needs_work()).count();
+        if needing == 0 {
             return;
         }
         self.epoch += 1;
         report.epoch = self.epoch;
+        mn.recorder.enter(
+            mn.net.now().as_nanos(),
+            TraceKind::RepairStart {
+                epoch: self.epoch,
+                goals: needing as u64,
+            },
+        );
+        let wall = Instant::now();
         let endpoints = self.endpoints.clone();
         let mut seq = self.probe_seq;
         let outcome = mn.reconcile_with(|mn, id| {
@@ -477,6 +594,18 @@ impl<C: ManagementChannel> ControlLoop<C> {
             Some(delivered)
         });
         self.probe_seq = seq;
+        mn.recorder.inc("repair.passes", 1);
+        mn.recorder
+            .observe("repair.wall_us", wall.elapsed().as_micros() as f64);
+        mn.recorder.observe("repair.pass.goals", needing as f64);
+        mn.recorder.event(
+            mn.net.now().as_nanos(),
+            TraceKind::RepairEnd {
+                epoch: self.epoch,
+                transactions: outcome.transactions as u64,
+            },
+        );
+        mn.recorder.exit();
         self.refresh_subscriptions(mn);
         report.repair = Some(outcome);
     }

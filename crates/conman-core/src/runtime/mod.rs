@@ -19,6 +19,7 @@ use crate::primitives::{
     EnvelopeKind, ModuleEnvelope, Notification, Primitive, PrimitiveResult, SegmentCommit,
     SegmentVerdict, WireMessage,
 };
+use conman_obs::Recorder;
 use mgmt_channel::{ChannelCounters, ManagementChannel, MessageCategory, MgmtMessage};
 use netsim::device::DeviceId;
 use netsim::network::Network;
@@ -105,6 +106,9 @@ pub struct ManagedNetwork<C: ManagementChannel> {
     /// phases (see [`TxnEvent`]); used by tests and the fault experiments to
     /// crash devices mid-commit.
     pub txn_hook: Option<TxnHook>,
+    /// Flight recorder every management layer writes into (disabled by
+    /// default — attach an enabled one with [`Self::set_recorder`]).
+    pub recorder: Recorder,
 }
 
 impl<C: ManagementChannel> ManagedNetwork<C> {
@@ -129,12 +133,20 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             batch_relays: false,
             pending_relays: BTreeMap::new(),
             txn_hook: None,
+            recorder: Recorder::disabled(),
         }
     }
 
     /// The device hosting the NM.
     pub fn nm_host(&self) -> DeviceId {
         self.nm_host
+    }
+
+    /// Attach a flight recorder: the runtime, the transaction executors and
+    /// the channel's message tap all write into it from here on.
+    pub fn set_recorder(&mut self, recorder: Recorder) {
+        self.channel.attach_recorder(recorder.clone());
+        self.recorder = recorder;
     }
 
     /// Register a management agent (a managed device).

@@ -22,12 +22,14 @@ use super::ManagedNetwork;
 use crate::ids::ModuleRef;
 use crate::nm::goal::{AppliedPlan, GoalId, GoalStatus, Plan, PlanError};
 use crate::nm::{script, ConnectivityGoal, ModulePath};
+use conman_obs::TraceKind;
 use mgmt_channel::ManagementChannel;
 use netsim::device::DeviceId;
+use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What `reconcile()` did for one goal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ReconcileAction {
     /// The goal was already converged; nothing was sent.
     Unchanged,
@@ -45,7 +47,7 @@ pub enum ReconcileAction {
 }
 
 /// Per-goal reconcile result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReconcileOutcome {
     /// The goal.
     pub goal: GoalId,
@@ -58,7 +60,7 @@ pub struct ReconcileOutcome {
 }
 
 /// The result of one reconcile pass.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ReconcileReport {
     /// One outcome per stored goal, in id order.
     pub outcomes: Vec<ReconcileOutcome>,
@@ -448,6 +450,18 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                 }
             };
             self.goals.take_pipe_block(script::slot_count(&plan.path));
+            let excluded = self.goals.get(id).map_or(0, |r| r.excluded.len());
+            self.recorder.event(
+                self.net.now().as_nanos(),
+                TraceKind::PlanChosen {
+                    goal: id.0,
+                    path_len: plan.path.steps.len() as u64,
+                    excluded: excluded as u64,
+                },
+            );
+            self.recorder
+                .observe("plan.path_len", plan.path.steps.len() as f64);
+            self.recorder.observe("plan.exclusions", excluded as f64);
             if let Some(rec) = self.goals.get_mut(id) {
                 rec.status = GoalStatus::Repairing;
             }
@@ -513,6 +527,18 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             }
         }
         report.outcomes = ids.iter().filter_map(|id| outcomes.remove(id)).collect();
+        for o in &report.outcomes {
+            if o.action != ReconcileAction::Unchanged {
+                self.recorder.event(
+                    self.net.now().as_nanos(),
+                    TraceKind::GoalOutcome {
+                        goal: o.goal.0,
+                        action: format!("{:?}", o.action),
+                        status: format!("{:?}", o.status),
+                    },
+                );
+            }
+        }
         let after = self.nm_counters();
         report.nm_sent = after.sent.saturating_sub(before.sent);
         report.nm_received = after.received.saturating_sub(before.received);
@@ -645,7 +671,15 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
     where
         P: FnMut(&mut Self, GoalId) -> Option<bool>,
     {
-        match self.probe_goal(id, probe) {
+        let verdict = self.probe_goal(id, probe);
+        self.recorder.event(
+            self.net.now().as_nanos(),
+            TraceKind::Verify {
+                goal: id.0,
+                ok: verdict != Some(false),
+            },
+        );
+        match verdict {
             Some(false) => {
                 // A committed plan that carries no traffic burns one repair
                 // attempt; past the budget the goal parks `Failed` instead

@@ -25,6 +25,7 @@ use super::ManagedNetwork;
 use crate::nm::goal::GoalId;
 use crate::nm::ScriptSet;
 use crate::primitives::{Primitive, ScriptSegment, SegmentCommit, SegmentVerdict, WireMessage};
+use conman_obs::TraceKind;
 use mgmt_channel::ManagementChannel;
 use netsim::device::DeviceId;
 use netsim::network::Network;
@@ -233,8 +234,11 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         }
         self.run_management();
         for ds in &scripts.scripts {
-            match self.take_stage_result(ds.device, txn) {
-                Some(errors) if errors.is_empty() => outcome.staged.push(ds.device),
+            let ok = match self.take_stage_result(ds.device, txn) {
+                Some(errors) if errors.is_empty() => {
+                    outcome.staged.push(ds.device);
+                    true
+                }
                 // First failure in path order wins, so the reported device
                 // and errors stay consistent when several devices fail.
                 Some(errors) => {
@@ -242,20 +246,38 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                         outcome.failed_device = Some(ds.device);
                         outcome.errors = errors;
                     }
+                    false
                 }
                 None => {
                     // Silence: crashed or unreachable.
                     if outcome.failed_device.is_none() {
                         outcome.failed_device = Some(ds.device);
                     }
+                    false
                 }
-            }
+            };
+            self.recorder.event(
+                self.net.now().as_nanos(),
+                TraceKind::StageDevice {
+                    txn,
+                    device: ds.device.as_u64(),
+                    segments: 1,
+                    ok,
+                },
+            );
         }
         if outcome.staged.len() < scripts.scripts.len() {
             // Abort everything that staged; nothing was applied anywhere.
             let staged = outcome.staged.clone();
             for device in staged {
                 self.send(self.nm_host(), device, &WireMessage::Abort { txn });
+                self.recorder.event(
+                    self.net.now().as_nanos(),
+                    TraceKind::AbortDevice {
+                        txn,
+                        device: device.as_u64(),
+                    },
+                );
             }
             self.run_management();
             return outcome;
@@ -288,6 +310,14 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                 }
                 None => false,
             };
+            self.recorder.event(
+                self.net.now().as_nanos(),
+                TraceKind::CommitDevice {
+                    txn,
+                    device: device.as_u64(),
+                    ok,
+                },
+            );
             if ok {
                 outcome.committed_devices.push(device);
                 self.fire_hook(TxnEvent::Committed { txn, device });
@@ -311,6 +341,13 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             }
             for ds in &scripts.scripts[..i] {
                 self.send(self.nm_host(), ds.device, &WireMessage::Abort { txn });
+                self.recorder.event(
+                    self.net.now().as_nanos(),
+                    TraceKind::AbortDevice {
+                        txn,
+                        device: ds.device.as_u64(),
+                    },
+                );
             }
             self.run_management();
             return outcome;
@@ -439,11 +476,26 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         // Deletes always validate, so a device either answers (committable)
         // or is silent (lenient skip).
         let mut committable = Vec::new();
-        for device in goals_by_device.keys() {
-            match self.take_stage_batch_result(*device, txn) {
-                Some(_) => committable.push(*device),
-                None => outcome.skipped.push(*device),
-            }
+        for (device, goals) in &goals_by_device {
+            let ok = match self.take_stage_batch_result(*device, txn) {
+                Some(_) => {
+                    committable.push(*device);
+                    true
+                }
+                None => {
+                    outcome.skipped.push(*device);
+                    false
+                }
+            };
+            self.recorder.event(
+                self.net.now().as_nanos(),
+                TraceKind::StageDevice {
+                    txn,
+                    device: device.as_u64(),
+                    segments: goals.len() as u64,
+                    ok,
+                },
+            );
         }
 
         // ---- Phase 2: commit each answering device once. --------------
@@ -459,12 +511,13 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         }
         self.run_management();
         for device in committable {
-            match self.take_commit_batch_result(device, txn) {
+            let ok = match self.take_commit_batch_result(device, txn) {
                 Some(segs) => {
                     for sc in segs {
                         outcome.primitives += sc.results.len();
                         *outcome.per_goal.entry(GoalId(sc.goal)).or_insert(0) += sc.results.len();
                     }
+                    true
                 }
                 None => {
                     // Crashed between the phases: abort so the agent does
@@ -477,9 +530,25 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                             goals: goals_by_device[&device].clone(),
                         },
                     );
+                    self.recorder.event(
+                        self.net.now().as_nanos(),
+                        TraceKind::AbortDevice {
+                            txn,
+                            device: device.as_u64(),
+                        },
+                    );
                     outcome.skipped.push(device);
+                    false
                 }
-            }
+            };
+            self.recorder.event(
+                self.net.now().as_nanos(),
+                TraceKind::CommitDevice {
+                    txn,
+                    device: device.as_u64(),
+                    ok,
+                },
+            );
         }
         self.run_management();
         self.batch_relays = prev_batch_relays;
@@ -572,6 +641,9 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         let mut alive: BTreeSet<GoalId> = batchable.iter().map(|(g, _)| *g).collect();
         let mut errors: BTreeMap<GoalId, String> = BTreeMap::new();
         outcome.devices_contacted = goals_by_device.len();
+        self.recorder.inc("txn.batches", 1);
+        self.recorder
+            .observe("txn.batch.devices", outcome.devices_contacted as f64);
         if goals_by_device.is_empty() && fallback.is_empty() {
             outcome.committed = alive.into_iter().collect();
             return outcome;
@@ -592,12 +664,14 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         }
         let mut silent: BTreeSet<DeviceId> = BTreeSet::new();
         for (device, goals) in &goals_by_device {
-            match self.take_stage_batch_result(*device, txn) {
+            let ok = match self.take_stage_batch_result(*device, txn) {
                 Some(verdicts) => {
+                    let mut clean = true;
                     for v in verdicts {
                         if v.errors.is_empty() {
                             continue;
                         }
+                        clean = false;
                         let goal = GoalId(v.goal);
                         if alive.remove(&goal) {
                             errors.insert(
@@ -606,6 +680,7 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                             );
                         }
                     }
+                    clean
                 }
                 None => {
                     // Silence: crashed or unreachable — every segment it
@@ -619,8 +694,18 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                             );
                         }
                     }
+                    false
                 }
-            }
+            };
+            self.recorder.event(
+                self.net.now().as_nanos(),
+                TraceKind::StageDevice {
+                    txn,
+                    device: device.as_u64(),
+                    segments: goals.len() as u64,
+                    ok,
+                },
+            );
         }
         // Abort dead goals' segments still held on answering devices.
         let mut aborted_any = false;
@@ -638,6 +723,13 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                     self.nm_host(),
                     *device,
                     &WireMessage::AbortBatch { txn, goals: dead },
+                );
+                self.recorder.event(
+                    self.net.now().as_nanos(),
+                    TraceKind::AbortDevice {
+                        txn,
+                        device: device.as_u64(),
+                    },
                 );
                 aborted_any = true;
             }
@@ -683,7 +775,7 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             );
             self.run_management();
             let mut newly_failed: Vec<GoalId> = Vec::new();
-            match self.take_commit_batch_result(device, txn) {
+            let commit_ok = match self.take_commit_batch_result(device, txn) {
                 Some(segs) => {
                     let mut clean = true;
                     for sc in segs {
@@ -707,6 +799,7 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                     if clean {
                         self.fire_hook(TxnEvent::Committed { txn, device });
                     }
+                    clean
                 }
                 None => {
                     // The whole device went silent mid-commit: every goal it
@@ -719,8 +812,17 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                             newly_failed.push(goal);
                         }
                     }
+                    false
                 }
-            }
+            };
+            self.recorder.event(
+                self.net.now().as_nanos(),
+                TraceKind::CommitDevice {
+                    txn,
+                    device: device.as_u64(),
+                    ok: commit_ok,
+                },
+            );
             for goal in newly_failed {
                 self.rollback_goal_in_batch(txn, goal, items, &order[..=idx], &order[idx + 1..]);
             }
@@ -792,6 +894,13 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                     &WireMessage::AbortBatch {
                         txn,
                         goals: vec![goal.0],
+                    },
+                );
+                self.recorder.event(
+                    self.net.now().as_nanos(),
+                    TraceKind::AbortDevice {
+                        txn,
+                        device: device.as_u64(),
                     },
                 );
             }

@@ -19,6 +19,7 @@ use conman_core::abstraction::CounterSnapshot;
 use conman_core::ids::ModuleRef;
 use conman_core::nm::ModulePath;
 use conman_core::runtime::ManagedNetwork;
+use conman_obs::TraceKind;
 use mgmt_channel::ManagementChannel;
 use netsim::device::DeviceId;
 use netsim::stats::FlowCounters;
@@ -208,6 +209,20 @@ impl Diagnoser {
 
         // Walk the device chain looking for the loss frontier.
         for (i, device) in devices.iter().enumerate() {
+            // One FrontierHop trace event per inspected device, whether or
+            // not it turns into a suspect — the journal alone must let a
+            // post-mortem replay where the traffic disappeared.
+            let f = delta(*device).unwrap_or_default();
+            mn.recorder.event(
+                mn.net.now().as_nanos(),
+                TraceKind::FrontierHop {
+                    goal: tag,
+                    device: device.as_u64(),
+                    arrived: f.forwarded + f.drops + f.local_delivered,
+                    moved_on: f.forwarded,
+                    dropped: f.drops,
+                },
+            );
             // Inter-device check: this device forwarded the goal's frames
             // towards the next device — did the goal's slice of the next
             // device's counters see them?
@@ -286,6 +301,19 @@ impl Diagnoser {
             });
         }
         suspects.sort_by_key(|s| std::cmp::Reverse(s.confidence_pct));
+        for s in &suspects {
+            mn.recorder.event(
+                mn.net.now().as_nanos(),
+                TraceKind::Suspect {
+                    goal: tag,
+                    target: s.target.describe(),
+                    confidence: format!("{}%", s.confidence_pct),
+                },
+            );
+        }
+        mn.recorder.inc("diagnose.passes", 1);
+        mn.recorder
+            .observe("diagnose.suspects", suspects.len() as f64);
 
         FaultReport {
             probes_sent: self.probes.max(1),

@@ -164,6 +164,9 @@ impl Healer {
         let failed = &failed;
         let goal = &goal;
         let excluded = Self::exclusions(mn, report);
+        mn.recorder.inc("heal.repairs", 1);
+        mn.recorder
+            .observe("heal.exclusions", excluded.len() as f64);
         mn.goals.mark_degraded(id, excluded.clone());
 
         // Suspected links are excluded inside the traversal itself (no
@@ -199,6 +202,8 @@ impl Healer {
             verified: false,
             original_restored: false,
         };
+        mn.recorder
+            .observe("heal.candidates", outcome.candidates as f64);
         if candidates.is_empty() {
             return outcome;
         }
@@ -234,6 +239,7 @@ impl Healer {
                 outcome.replacement_label = Some(candidate.technology_label());
                 outcome.replacement = Some(candidate);
                 outcome.verified = true;
+                mn.recorder.inc("heal.verified", 1);
                 return outcome;
             }
             // This candidate did not carry traffic either: tear it down
@@ -258,6 +264,9 @@ impl Healer {
             rec.excluded = excluded;
             rec.last_error =
                 Some("no replacement path verified; original configuration restored".into());
+        }
+        if restored {
+            mn.recorder.inc("heal.restored", 1);
         }
         outcome.original_restored = restored;
         outcome

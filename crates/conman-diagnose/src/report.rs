@@ -27,6 +27,18 @@ pub enum SuspectTarget {
     Unlocated,
 }
 
+impl SuspectTarget {
+    /// A compact human-readable rendering for trace events and logs.
+    pub fn describe(&self) -> String {
+        match self {
+            SuspectTarget::Module(m) => format!("module {m}"),
+            SuspectTarget::Link { a, b, .. } => format!("link {a}-{b}"),
+            SuspectTarget::Device(d) => format!("device {d}"),
+            SuspectTarget::Unlocated => "unlocated".to_string(),
+        }
+    }
+}
+
 /// One ranked fault hypothesis.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Suspect {

@@ -1,0 +1,344 @@
+//! Telemetry history: fixed-size ring buffers over per-goal/per-device
+//! [`FlowCounters`] deltas, with slope/variance queries.
+//!
+//! The autonomic loop's `SubscribeFlows` push reports used to be consumed
+//! as bare "something changed" events and discarded.  The
+//! [`HistoryStore`] turns them into a queryable store: each
+//! `(device, goal)` pair keeps a bounded window of counter *deltas* (the
+//! store differences consecutive cumulative reports itself), and the
+//! slope/variance queries give trend-triggered pre-emptive diagnosis a
+//! substrate — a drop counter whose delta slope is rising is a component
+//! worth probing before its goal degrades.
+
+use netsim::stats::FlowCounters;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A bounded FIFO window: pushing beyond capacity evicts the oldest entry.
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Index of the oldest element once the buffer has wrapped.
+    start: usize,
+}
+
+impl<T: Clone> Ring<T> {
+    /// An empty ring holding at most `cap` entries (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Ring {
+            buf: Vec::with_capacity(cap),
+            cap,
+            start: 0,
+        }
+    }
+
+    /// Append `v`, evicting the oldest entry when full.
+    pub fn push(&mut self, v: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.start] = v;
+            self.start = (self.start + 1) % self.cap;
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the window empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The bound this ring was created with.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Iterate oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        let n = self.buf.len();
+        (0..n).map(move |i| &self.buf[(self.start + i) % n.max(1)])
+    }
+
+    /// The most recently pushed entry.
+    pub fn last(&self) -> Option<&T> {
+        let n = self.buf.len();
+        (n > 0).then(|| &self.buf[(self.start + n - 1) % n])
+    }
+}
+
+/// One history sample: the counter delta between two consecutive reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSample {
+    /// Simulated time the report arrived, nanoseconds.
+    pub at_ns: u64,
+    /// Counter movement since the previous report from the same device for
+    /// the same goal (the first report counts from zero).
+    pub delta: FlowCounters,
+    /// The cumulative counters as reported.
+    pub cumulative: FlowCounters,
+}
+
+/// Which [`FlowCounters`] field a query inspects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowField {
+    /// Packets the device originated for the flow.
+    Originated,
+    /// Packets forwarded through the device for the flow.
+    Forwarded,
+    /// Packets delivered to a local sink for the flow.
+    Delivered,
+    /// Packets dropped during the flow's windows.
+    Drops,
+}
+
+impl FlowField {
+    /// Extract the field's value from a counter sample.
+    pub fn of(self, c: &FlowCounters) -> u64 {
+        match self {
+            FlowField::Originated => c.originated,
+            FlowField::Forwarded => c.forwarded,
+            FlowField::Delivered => c.local_delivered,
+            FlowField::Drops => c.drops,
+        }
+    }
+}
+
+/// Default per-series window size.
+pub const DEFAULT_WINDOW: usize = 64;
+
+/// Ring-buffered [`FlowCounters`]-delta history, keyed by
+/// `(device, goal-tag)`.
+#[derive(Debug, Clone)]
+pub struct HistoryStore {
+    window: usize,
+    series: BTreeMap<(u64, u64), Series>,
+}
+
+#[derive(Debug, Clone)]
+struct Series {
+    last_cumulative: FlowCounters,
+    ring: Ring<FlowSample>,
+}
+
+impl Default for HistoryStore {
+    fn default() -> Self {
+        HistoryStore::new(DEFAULT_WINDOW)
+    }
+}
+
+impl HistoryStore {
+    /// A store whose series each hold at most `window` samples.
+    pub fn new(window: usize) -> Self {
+        HistoryStore {
+            window: window.max(1),
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// Record a cumulative counter report from `device` for goal tag
+    /// `goal`; the stored sample is the delta against the previous report
+    /// (fields that moved backwards — e.g. after an agent reset — clamp to
+    /// zero movement).
+    pub fn record(&mut self, device: u64, goal: u64, at_ns: u64, cumulative: FlowCounters) {
+        let window = self.window;
+        let s = self.series.entry((device, goal)).or_insert_with(|| Series {
+            last_cumulative: FlowCounters::default(),
+            ring: Ring::new(window),
+        });
+        let prev = s.last_cumulative;
+        let delta = FlowCounters {
+            originated: cumulative.originated.saturating_sub(prev.originated),
+            forwarded: cumulative.forwarded.saturating_sub(prev.forwarded),
+            local_delivered: cumulative
+                .local_delivered
+                .saturating_sub(prev.local_delivered),
+            drops: cumulative.drops.saturating_sub(prev.drops),
+        };
+        s.last_cumulative = cumulative;
+        s.ring.push(FlowSample {
+            at_ns,
+            delta,
+            cumulative,
+        });
+    }
+
+    /// The sample window for one `(device, goal)` series.
+    pub fn series(&self, device: u64, goal: u64) -> Option<&Ring<FlowSample>> {
+        self.series.get(&(device, goal)).map(|s| &s.ring)
+    }
+
+    /// Every `(device, goal)` key with recorded history, in order.
+    pub fn keys(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.series.keys().copied()
+    }
+
+    /// Number of series held.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Least-squares slope of `field`'s **deltas** over simulated seconds
+    /// (units: packets per second per report interval trend).  `None` with
+    /// fewer than two samples or a zero time span.
+    pub fn slope(&self, device: u64, goal: u64, field: FlowField) -> Option<f64> {
+        let ring = self.series(device, goal)?;
+        let pts: Vec<(f64, f64)> = ring
+            .iter()
+            .map(|s| (s.at_ns as f64 / 1e9, field.of(&s.delta) as f64))
+            .collect();
+        slope_of(&pts)
+    }
+
+    /// Population variance of `field`'s deltas across the window (`None`
+    /// when the series is empty).
+    pub fn variance(&self, device: u64, goal: u64, field: FlowField) -> Option<f64> {
+        let ring = self.series(device, goal)?;
+        if ring.is_empty() {
+            return None;
+        }
+        let vals: Vec<f64> = ring.iter().map(|s| field.of(&s.delta) as f64).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        Some(vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / vals.len() as f64)
+    }
+
+    /// Mean of `field`'s deltas across the window (`None` when empty).
+    pub fn mean(&self, device: u64, goal: u64, field: FlowField) -> Option<f64> {
+        let ring = self.series(device, goal)?;
+        if ring.is_empty() {
+            return None;
+        }
+        let vals: Vec<f64> = ring.iter().map(|s| field.of(&s.delta) as f64).collect();
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+
+    /// Drop all history.
+    pub fn clear(&mut self) {
+        self.series.clear();
+    }
+}
+
+/// Least-squares slope of `(x, y)` points; `None` if fewer than two points
+/// or all `x` coincide.
+fn slope_of(pts: &[(f64, f64)]) -> Option<f64> {
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx = pts.iter().map(|p| (p.0 - mx).powi(2)).sum::<f64>();
+    if sxx == 0.0 {
+        return None;
+    }
+    let sxy = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum::<f64>();
+    Some(sxy / sxx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn counters(drops: u64, forwarded: u64) -> FlowCounters {
+        FlowCounters {
+            originated: 0,
+            forwarded,
+            local_delivered: 0,
+            drops,
+        }
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_the_newest_entries() {
+        let mut r: Ring<u32> = Ring::new(4);
+        for v in 0..10u32 {
+            r.push(v);
+            assert!(r.len() <= 4);
+        }
+        let got: Vec<u32> = r.iter().copied().collect();
+        assert_eq!(got, vec![6, 7, 8, 9]);
+        assert_eq!(r.last(), Some(&9));
+        assert_eq!(r.capacity(), 4);
+    }
+
+    #[test]
+    fn store_differences_cumulative_reports() {
+        let mut h = HistoryStore::new(8);
+        h.record(1, 7, 1_000, counters(2, 10));
+        h.record(1, 7, 2_000, counters(5, 30));
+        h.record(1, 7, 3_000, counters(5, 45));
+        let ring = h.series(1, 7).unwrap();
+        let deltas: Vec<u64> = ring.iter().map(|s| s.delta.drops).collect();
+        assert_eq!(deltas, vec![2, 3, 0]);
+        let fwd: Vec<u64> = ring.iter().map(|s| s.delta.forwarded).collect();
+        assert_eq!(fwd, vec![10, 20, 15]);
+        // A counter that moves backwards (agent reset) clamps to zero.
+        h.record(1, 7, 4_000, counters(1, 0));
+        assert_eq!(h.series(1, 7).unwrap().last().unwrap().delta.drops, 0);
+    }
+
+    #[test]
+    fn slope_sees_a_rising_drop_trend_and_variance_sees_stability() {
+        let mut h = HistoryStore::new(16);
+        // Drop deltas rise by 2 per second; forwarded deltas are constant.
+        let mut cum_drops = 0;
+        for i in 0..5u64 {
+            cum_drops += 2 * i;
+            h.record(3, 1, i * 1_000_000_000, counters(cum_drops, 10 * (i + 1)));
+        }
+        let slope = h.slope(3, 1, FlowField::Drops).unwrap();
+        assert!((slope - 2.0).abs() < 1e-9, "got slope {slope}");
+        let var = h.variance(3, 1, FlowField::Forwarded).unwrap();
+        assert!(
+            var.abs() < 1e-9,
+            "constant deltas have zero variance: {var}"
+        );
+        assert_eq!(h.mean(3, 1, FlowField::Forwarded), Some(10.0));
+        // Too little data for a trend.
+        let mut h2 = HistoryStore::new(4);
+        h2.record(1, 1, 0, counters(1, 1));
+        assert_eq!(h2.slope(1, 1, FlowField::Drops), None);
+        assert_eq!(h2.slope(9, 9, FlowField::Drops), None);
+    }
+
+    #[test]
+    fn windowed_queries_only_see_the_retained_samples() {
+        let mut h = HistoryStore::new(3);
+        // Early huge drop deltas are evicted by later quiet ones.
+        h.record(1, 1, 0, counters(1_000, 0));
+        for i in 1..=3u64 {
+            h.record(1, 1, i * 1_000_000_000, counters(1_000, 0));
+        }
+        assert_eq!(h.mean(1, 1, FlowField::Drops), Some(0.0));
+        assert_eq!(h.series(1, 1).unwrap().len(), 3);
+    }
+
+    proptest! {
+        /// Capacity invariants: the ring never exceeds its bound and always
+        /// holds exactly the newest `min(cap, pushed)` items, in order.
+        #[test]
+        fn ring_capacity_invariants(cap in 1usize..32, items in proptest::collection::vec(any::<u16>(), 0..100)) {
+            let mut r: Ring<u16> = Ring::new(cap);
+            for (i, v) in items.iter().enumerate() {
+                r.push(*v);
+                prop_assert!(r.len() <= cap);
+                prop_assert_eq!(r.len(), (i + 1).min(cap));
+            }
+            let got: Vec<u16> = r.iter().copied().collect();
+            let expect: Vec<u16> = items[items.len().saturating_sub(cap)..].to_vec();
+            prop_assert_eq!(got, expect);
+            prop_assert_eq!(r.last().copied(), items.last().copied());
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Post-mortem reconstruction: rebuild what a run did from its journal
+//! dump alone — no simulation, no live `ManagedNetwork`.
+//!
+//! The [`Postmortem`] walks a dumped event list and recovers the facts an
+//! operator asks after a failure: which component was blamed, how many
+//! repair passes ran and what each staged/committed, which goals verified.
+//! This is the acceptance check for the journal's purpose: a failed
+//! scenario must be explainable from its dump.
+
+use crate::journal::{TraceEvent, TraceKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One reconstructed repair pass.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RepairPass {
+    /// The pass's repair epoch.
+    pub epoch: u64,
+    /// Devices the pass staged.
+    pub staged: BTreeSet<u64>,
+    /// Devices the pass committed.
+    pub committed: BTreeSet<u64>,
+    /// Devices whose staged state the pass aborted.
+    pub aborted: BTreeSet<u64>,
+    /// Per-goal `(goal, action, status)` outcomes of the pass, in order.
+    pub outcomes: Vec<(u64, String, String)>,
+}
+
+impl RepairPass {
+    /// Did the pass change anything (any outcome beyond `Unchanged`)?
+    pub fn touched(&self) -> bool {
+        self.outcomes
+            .iter()
+            .any(|(_, action, _)| action != "Unchanged")
+    }
+}
+
+/// Facts reconstructed from a journal dump.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Postmortem {
+    /// Ticks the journal covers.
+    pub ticks: u64,
+    /// Goals the health phase ever reported unhealthy.
+    pub degraded_goals: BTreeSet<u64>,
+    /// Devices any diagnosis blamed.
+    pub blamed_devices: BTreeSet<u64>,
+    /// Links any diagnosis blamed (smaller device id first).
+    pub blamed_links: BTreeSet<(u64, u64)>,
+    /// Every repair pass, in order.
+    pub repair_passes: Vec<RepairPass>,
+    /// Union of devices staged across all passes.
+    pub staged_devices: BTreeSet<u64>,
+    /// Goals whose end-to-end verification probe succeeded at least once.
+    pub verified_goals: BTreeSet<u64>,
+}
+
+impl Postmortem {
+    /// Reconstruct from a journal dump (the JSON array produced by
+    /// `Recorder::journal_json`).
+    pub fn from_json(dump: &str) -> Result<Self, serde::Error> {
+        let events: Vec<TraceEvent> = serde_json::from_str(dump)?;
+        Ok(Self::from_events(&events))
+    }
+
+    /// Parse a journal dump back into its raw event list, for callers that
+    /// want to walk the causal chain themselves.
+    pub fn events_from_json(dump: &str) -> Result<Vec<TraceEvent>, serde::Error> {
+        serde_json::from_str(dump)
+    }
+
+    /// Reconstruct from an in-memory event list.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut pm = Postmortem::default();
+        let mut pass: Option<RepairPass> = None;
+        for e in events {
+            match &e.kind {
+                TraceKind::TickStart { tick, .. } => pm.ticks = pm.ticks.max(*tick),
+                TraceKind::HealthProbe { goal, healthy, .. } if !healthy => {
+                    pm.degraded_goals.insert(*goal);
+                }
+                TraceKind::Diagnosed {
+                    blamed_device,
+                    blamed_link,
+                    ..
+                } => {
+                    if let Some(d) = blamed_device {
+                        pm.blamed_devices.insert(*d);
+                    }
+                    if let Some(l) = blamed_link {
+                        pm.blamed_links.insert(*l);
+                    }
+                }
+                TraceKind::RepairStart { epoch, .. } => {
+                    if let Some(done) = pass.take() {
+                        pm.repair_passes.push(done);
+                    }
+                    pass = Some(RepairPass {
+                        epoch: *epoch,
+                        ..Default::default()
+                    });
+                }
+                TraceKind::StageDevice { device, ok, .. } if *ok => {
+                    pm.staged_devices.insert(*device);
+                    if let Some(p) = pass.as_mut() {
+                        p.staged.insert(*device);
+                    }
+                }
+                TraceKind::CommitDevice { device, ok, .. } if *ok => {
+                    if let Some(p) = pass.as_mut() {
+                        p.committed.insert(*device);
+                    }
+                }
+                TraceKind::AbortDevice { device, .. } => {
+                    if let Some(p) = pass.as_mut() {
+                        p.aborted.insert(*device);
+                    }
+                }
+                TraceKind::GoalOutcome {
+                    goal,
+                    action,
+                    status,
+                } => {
+                    if let Some(p) = pass.as_mut() {
+                        p.outcomes.push((*goal, action.clone(), status.clone()));
+                    }
+                }
+                TraceKind::Verify { goal, ok } if *ok => {
+                    pm.verified_goals.insert(*goal);
+                }
+                TraceKind::RepairEnd { .. } => {
+                    if let Some(done) = pass.take() {
+                        pm.repair_passes.push(done);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(done) = pass.take() {
+            pm.repair_passes.push(done);
+        }
+        pm
+    }
+
+    /// Repair passes that actually changed something.
+    pub fn effective_passes(&self) -> usize {
+        self.repair_passes.iter().filter(|p| p.touched()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Journal;
+
+    #[test]
+    fn reconstructs_blame_passes_and_staged_devices_from_a_dump() {
+        let mut j = Journal::default();
+        j.enter(1, TraceKind::TickStart { tick: 1, epoch: 0 });
+        j.record(
+            1,
+            TraceKind::HealthProbe {
+                goal: 5,
+                sent: 2,
+                delivered: 0,
+                healthy: false,
+            },
+        );
+        j.record(
+            1,
+            TraceKind::Diagnosed {
+                goal: 5,
+                blamed_device: None,
+                blamed_link: Some((10, 11)),
+                exclusions: 1,
+                summary: "link (10,11)".into(),
+            },
+        );
+        j.enter(2, TraceKind::RepairStart { epoch: 1, goals: 1 });
+        for d in [10, 12, 13] {
+            j.record(
+                2,
+                TraceKind::StageDevice {
+                    txn: 1,
+                    device: d,
+                    segments: 1,
+                    ok: true,
+                },
+            );
+        }
+        for d in [13, 12, 10] {
+            j.record(
+                2,
+                TraceKind::CommitDevice {
+                    txn: 1,
+                    device: d,
+                    ok: true,
+                },
+            );
+        }
+        j.record(2, TraceKind::Verify { goal: 5, ok: true });
+        j.record(
+            2,
+            TraceKind::GoalOutcome {
+                goal: 5,
+                action: "Applied".into(),
+                status: "Active".into(),
+            },
+        );
+        j.record(
+            2,
+            TraceKind::RepairEnd {
+                epoch: 1,
+                transactions: 1,
+            },
+        );
+        j.exit();
+        j.exit();
+
+        let pm = Postmortem::from_json(&j.to_json()).unwrap();
+        assert_eq!(pm.ticks, 1);
+        assert_eq!(pm.degraded_goals, BTreeSet::from([5]));
+        assert_eq!(pm.blamed_links, BTreeSet::from([(10, 11)]));
+        assert!(pm.blamed_devices.is_empty());
+        assert_eq!(pm.repair_passes.len(), 1);
+        assert_eq!(pm.effective_passes(), 1);
+        assert_eq!(pm.staged_devices, BTreeSet::from([10, 12, 13]));
+        assert_eq!(pm.repair_passes[0].committed, BTreeSet::from([10, 12, 13]));
+        assert_eq!(pm.verified_goals, BTreeSet::from([5]));
+    }
+}

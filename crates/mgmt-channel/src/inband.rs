@@ -11,6 +11,7 @@
 use crate::counters::{ChannelCounters, CounterBoard};
 use crate::message::MgmtMessage;
 use crate::ManagementChannel;
+use conman_obs::{MessageDirection, Recorder};
 use netsim::clock::SimDuration;
 use netsim::device::{DeviceId, PortId};
 use netsim::ether::{EtherType, EthernetFrame};
@@ -47,6 +48,8 @@ pub struct InBandChannel {
     /// the overhead of not having any configuration, reported by the channel
     /// benchmarks).
     pub frames_flooded: u64,
+    /// Flight-recorder message tap (disabled by default).
+    recorder: Recorder,
 }
 
 impl InBandChannel {
@@ -95,6 +98,7 @@ impl InBandChannel {
             );
             let _ = net.send_raw_frame(device, port, &eth);
             self.frames_flooded += 1;
+            self.recorder.inc("inband.frames_flooded", 1);
         }
     }
 
@@ -120,6 +124,11 @@ impl InBandChannel {
                 if flood.msg.to == id {
                     self.counters
                         .record_received(id, flood.msg.category, flood.msg.payload_len());
+                    self.recorder.on_message(
+                        MessageDirection::Received,
+                        flood.msg.category.name(),
+                        flood.msg.payload_len(),
+                    );
                     self.mailboxes
                         .entry(id)
                         .or_default()
@@ -143,12 +152,22 @@ impl ManagementChannel for InBandChannel {
         msg.seq = self.next_flood_id;
         self.counters
             .record_sent(msg.from, msg.category, msg.payload_len());
+        self.recorder.on_message(
+            MessageDirection::Sent,
+            msg.category.name(),
+            msg.payload_len(),
+        );
         let origin = msg.from;
         // Local delivery without touching the wire when a device messages
         // itself (the NM talking to modules on its own host).
         if msg.to == origin {
             self.counters
                 .record_received(origin, msg.category, msg.payload_len());
+            self.recorder.on_message(
+                MessageDirection::Received,
+                msg.category.name(),
+                msg.payload_len(),
+            );
             self.mailboxes.entry(origin).or_default().push_back(msg);
             return;
         }
@@ -195,6 +214,10 @@ impl ManagementChannel for InBandChannel {
 
     fn variant(&self) -> &'static str {
         "in-band-flooding"
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 }
 

@@ -58,6 +58,11 @@ pub trait ManagementChannel {
 
     /// Human-readable name of the channel variant (for experiment output).
     fn variant(&self) -> &'static str;
+
+    /// Attach a flight recorder whose message tap accounts every message
+    /// the channel moves (by direction and wire category).  Channels that
+    /// do not implement the tap silently ignore the recorder.
+    fn attach_recorder(&mut self, _recorder: conman_obs::Recorder) {}
 }
 
 #[cfg(test)]

@@ -30,6 +30,22 @@ pub enum MessageCategory {
     Telemetry,
 }
 
+impl MessageCategory {
+    /// Stable name, used as the metrics key of the channel's recorder tap
+    /// (`msg.sent.<name>` / `msg.received.<name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            MessageCategory::Announcement => "Announcement",
+            MessageCategory::Command => "Command",
+            MessageCategory::Response => "Response",
+            MessageCategory::ConveyMessage => "ConveyMessage",
+            MessageCategory::FieldQuery => "FieldQuery",
+            MessageCategory::Notification => "Notification",
+            MessageCategory::Telemetry => "Telemetry",
+        }
+    }
+}
+
 /// One management message.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MgmtMessage {

@@ -10,6 +10,7 @@
 use crate::counters::{ChannelCounters, CounterBoard};
 use crate::message::MgmtMessage;
 use crate::ManagementChannel;
+use conman_obs::{MessageDirection, Recorder};
 use netsim::device::DeviceId;
 use netsim::network::Network;
 use std::collections::BTreeMap;
@@ -24,6 +25,8 @@ pub struct OutOfBandChannel {
     /// Simulated one-way latency accounting: number of messages delivered,
     /// exposed for the channel benchmarks.
     pub deliveries: u64,
+    /// Flight-recorder message tap (disabled by default).
+    recorder: Recorder,
 }
 
 impl OutOfBandChannel {
@@ -44,6 +47,11 @@ impl ManagementChannel for OutOfBandChannel {
         msg.seq = self.next_seq;
         self.counters
             .record_sent(msg.from, msg.category, msg.payload_len());
+        self.recorder.on_message(
+            MessageDirection::Sent,
+            msg.category.name(),
+            msg.payload_len(),
+        );
         self.mailboxes.entry(msg.to).or_default().push_back(msg);
     }
 
@@ -61,6 +69,11 @@ impl ManagementChannel for OutOfBandChannel {
             self.deliveries += 1;
             self.counters
                 .record_received(device, m.category, m.payload_len());
+            self.recorder.on_message(
+                MessageDirection::Received,
+                m.category.name(),
+                m.payload_len(),
+            );
         }
         msgs
     }
@@ -75,6 +88,10 @@ impl ManagementChannel for OutOfBandChannel {
 
     fn variant(&self) -> &'static str {
         "out-of-band"
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = recorder;
     }
 }
 

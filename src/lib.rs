@@ -12,6 +12,7 @@
 //! | `conman-core` | [`core`] | Protocol-independent CONMan: module abstraction (Table II) with per-pipe [`CounterSnapshot`](core::CounterSnapshot)s, primitives (Table I) plus the Stage/Commit/Abort transaction wire protocol — its batched extension (StageBatch/CommitBatch/AbortBatch carrying per-goal [`ScriptSegment`](core::primitives::ScriptSegment)s, RelayBatch coalescing, batched lenient teardowns) and the flow-telemetry messages (`PollFlows` pull, `SubscribeFlows`/`FlowReport` push) — management agents, the NM (topology map, potential graph, path finder with suspect exclusion at both granularities — excluded modules are never entered and excluded *links* never crossed, see [`Exclusion`](core::nm::Exclusion) — script generation) and the declarative runtime: a [`GoalStore`](core::GoalStore) of goals with identity, lifecycle (`Pending → Active → Degraded → Repairing → Failed`, with a repair-attempt budget so unrepairable goals park `Failed`), per-goal typed exclusion sets that age out once a repair verifies and an incrementally maintained module→goals index; dry-run [`Plan`](core::Plan)s in guarded pipe-id blocks; [`reconcile()`](core::ManagedNetwork::reconcile) executing every pass as one batched two-phase transaction (stale teardowns and `withdraw_many` coalesce the same way); and the **autonomic layer** — [`runtime::event`](core::runtime::event)'s unified [`NmEvent`](core::NmEvent) stream and the event-driven [`ControlLoop`](core::ControlLoop) (per-goal health from window-based flow counters, pluggable diagnosis, epoch-tagged batched repair, zero management messages when converged). |
 //! | `conman-modules` | [`modules`] | The ETH / IP / GRE / MPLS / VLAN protocol modules over the simulated data plane, plus the managed testbeds of Figures 2, 4 and 9 (including the dual-customer multi-goal chain) and the multipath mesh/ring testbeds (`managed_mesh_fanout` / `managed_ring_fanout`) with diagnosis probe hooks. |
 //! | `conman-diagnose` | [`diagnose`] | The closed-loop manager of §III-C: telemetry collection, **per-goal flow-delta fault localisation** ([`diagnose::Diagnoser`] frontier-walks the goal's own `FlowCounters` deltas, so the right device is blamed even under other goals' background traffic; module counters only refine the drop reason), self-healing as a reconciler client ([`diagnose::Healer`], whose `exclusions` is the **single** suspect→exclusion mapping — blamed links become traversal-level link exclusions) and [`diagnose::AutonomicClient`], which plugs the pair into the control loop as its diagnosis stage and reports the blamed link for the loop's reroute. |
+//! | `conman-obs` | [`obs`] | The flight recorder: a causally-linked structured trace journal (tick → health probe → diagnosis frontier walk → repair pass → per-device stage/commit → verify spans, timestamped with **simulated** time so the same seeded scenario dumps byte-identical journals), a metrics registry (counters / gauges / log₂-bucket histograms) with a serialisable [`ObsSnapshot`](obs::ObsSnapshot), per-goal/per-device telemetry history ring buffers with windowed slope/variance queries, and [`Postmortem`](obs::Postmortem) — which reconstructs the blamed link, the repair passes and every staged device from a journal dump alone. [`Recorder::disabled()`](obs::Recorder::disabled) is the default no-op hot path; `experiments obs` proves its cost envelope in `BENCH_obs.json`. |
 //! | `legacy-config` | [`legacy`] | The "today" configuration baseline (Figures 7a/8a/9a) and the Table V generic-vs-specific classifier. |
 //!
 //! ## Tours
@@ -32,6 +33,10 @@
 //!   detects, localises (per-goal flow deltas under live background
 //!   traffic) and repairs everything in one batched pass — zero operator
 //!   calls.
+//! * `examples/flightrecorder.rs` — post-mortem from the dump alone: run
+//!   the recorded mesh link-cut scenario, throw the live state away, and
+//!   reconstruct the blamed link, the one-pass reroute and every staged
+//!   device purely from the trace journal JSON.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +44,7 @@
 pub use conman_core as core;
 pub use conman_diagnose as diagnose;
 pub use conman_modules as modules;
+pub use conman_obs as obs;
 pub use legacy_config as legacy;
 pub use mgmt_channel;
 pub use netsim;
