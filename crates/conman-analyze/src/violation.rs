@@ -1,0 +1,274 @@
+//! The typed findings both analysis passes return.
+//!
+//! Every variant carries enough provenance (goal / device / pipe /
+//! sequence number) to point at the offending artefact without re-running
+//! anything.  [`Violation::severity`] separates hard invariant breaks from
+//! advisories that merely predict a runtime fallback.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Legal but costly: the runtime will handle it by falling back to a
+    /// slower path (today: demoting a goal from the batched transaction to
+    /// a strict per-goal one).
+    Advisory,
+    /// Breaks an invariant the runtime relies on; executing or accepting
+    /// the artefact as-is is a bug.
+    Fatal,
+}
+
+/// One finding of the plan verifier or the journal conformance checker.
+///
+/// Goal and device identifiers are raw integers (`GoalId.0`,
+/// `DeviceId::as_u64()`), module keys are display strings — the same
+/// neutral vocabulary the trace journal uses, so findings are meaningful
+/// without the management layers loaded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    // ---- pre-flight plan/batch verifier -----------------------------
+    /// Two goals' pipe-id blocks overlap: their derived identifiers
+    /// (route tables, policy priorities) would collide on shared devices.
+    PipeOverlap {
+        /// First goal of the overlapping pair.
+        goal_a: u64,
+        /// Second goal of the overlapping pair.
+        goal_b: u64,
+    },
+    /// A goal's pipe block crosses the derived-identifier cap: the u32
+    /// spaces derived from pipe ids would wrap.
+    PipeSpaceExceeded {
+        /// The goal whose block crosses the cap.
+        goal: u64,
+        /// Largest pipe id the block would use.
+        last_pipe: u32,
+        /// The cap (`GoalStore::MAX_PIPE_ID`).
+        max: u32,
+    },
+    /// A script's teardown is not the exact reverse-order mirror of its
+    /// creates: withdrawing the goal would leak or mis-delete state.
+    TeardownMismatch {
+        /// The goal whose script is unbalanced.
+        goal: u64,
+        /// The device whose create/delete footprints disagree (0 when the
+        /// mismatch is in the device order itself).
+        device: u64,
+        /// What disagrees.
+        detail: String,
+    },
+    /// The goal's script visits devices in an order incompatible with the
+    /// batch's single per-device commit sequence (the opposite-direction
+    /// paths case).  Advisory: the batch executor detects this too and
+    /// demotes the goal to a strict per-goal transaction.
+    CommitOrderConflict {
+        /// The goal the batch executor would demote.
+        goal: u64,
+    },
+    /// A plan's created/reused module classification disagrees with the
+    /// module → goal index: refcount bookkeeping would corrupt on
+    /// apply or withdraw.
+    RefcountMismatch {
+        /// The goal whose classification is wrong.
+        goal: u64,
+        /// The module key (its display string).
+        module: String,
+        /// What disagrees.
+        detail: String,
+    },
+    /// A plan traverses a module or link its own goal excluded: the
+    /// re-planner routed straight through the component diagnosis blamed.
+    ExclusionCrossed {
+        /// The goal whose exclusion is crossed.
+        goal: u64,
+        /// The excluded component the path traverses.
+        target: String,
+    },
+
+    // ---- journal conformance checker --------------------------------
+    /// An event's sequence number breaks the 1-based dense numbering.
+    BadSequence {
+        /// Zero-based position of the event in the dump.
+        index: usize,
+        /// The sequence number found there (expected `index + 1`).
+        seq: u64,
+    },
+    /// Simulated time went backwards between consecutive events.
+    TimeRegression {
+        /// The event recorded before its predecessor's timestamp.
+        seq: u64,
+        /// Its timestamp.
+        at_ns: u64,
+        /// The latest timestamp seen before it.
+        prev_ns: u64,
+    },
+    /// An event's parent is not an open span (unknown, already closed, or
+    /// not yet recorded).
+    BadParent {
+        /// The mis-parented event.
+        seq: u64,
+        /// The parent it claims.
+        parent: u64,
+    },
+    /// A span opened or closed out of protocol: a closing event outside
+    /// its span kind, events after a span's closing event, or a span
+    /// never closed (`TickStart` without `TickEnd`, `DiagnoseStart`
+    /// without `Diagnosed`, `RepairStart` without `RepairEnd`).
+    UnbalancedSpan {
+        /// The event (or span opener) at fault.
+        seq: u64,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Tick ordinals did not strictly increase across the journal.
+    TickOrder {
+        /// The offending `TickStart`.
+        seq: u64,
+        /// Its tick ordinal.
+        tick: u64,
+        /// The highest ordinal seen before it.
+        prev: u64,
+    },
+    /// Repair epochs broke monotonicity, or a `RepairEnd` closed a pass
+    /// under a different epoch than its `RepairStart` opened.
+    EpochViolation {
+        /// The offending event.
+        seq: u64,
+        /// The epoch it carries.
+        epoch: u64,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A commit or abort arrived for a `(txn, device)` pair that was never
+    /// staged.
+    UnstagedResolution {
+        /// The offending commit/abort event.
+        seq: u64,
+        /// Its transaction id.
+        txn: u64,
+        /// Its device.
+        device: u64,
+    },
+    /// A device accepted a stage but its pass ended without a commit or
+    /// abort resolving it: staged state leaked.
+    UnresolvedStage {
+        /// The transaction that staged it.
+        txn: u64,
+        /// The device left holding staged state.
+        device: u64,
+    },
+    /// A `(txn, device)` pair was committed more than once.
+    DuplicateCommit {
+        /// The second (or later) commit event.
+        seq: u64,
+        /// Its transaction id.
+        txn: u64,
+        /// Its device.
+        device: u64,
+    },
+    /// A verification probe ran before its pass committed anything: the
+    /// probe could only have measured the pre-repair configuration.
+    VerifyBeforeCommit {
+        /// The premature `Verify` event.
+        seq: u64,
+        /// The goal it probed.
+        goal: u64,
+    },
+}
+
+impl Violation {
+    /// How serious the finding is.  Only [`Violation::CommitOrderConflict`]
+    /// is advisory — the batch executor legitimately resolves it at runtime
+    /// by demoting the goal to a strict transaction; everything else breaks
+    /// an invariant.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Violation::CommitOrderConflict { .. } => Severity::Advisory,
+            _ => Severity::Fatal,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::PipeOverlap { goal_a, goal_b } => {
+                write!(f, "pipe blocks of goals {goal_a} and {goal_b} overlap")
+            }
+            Violation::PipeSpaceExceeded {
+                goal,
+                last_pipe,
+                max,
+            } => write!(
+                f,
+                "goal {goal}'s pipe block reaches id {last_pipe}, past the cap {max}"
+            ),
+            Violation::TeardownMismatch {
+                goal,
+                device,
+                detail,
+            } => write!(
+                f,
+                "goal {goal}'s teardown does not mirror its script on device {device}: {detail}"
+            ),
+            Violation::CommitOrderConflict { goal } => write!(
+                f,
+                "goal {goal}'s device order conflicts with the batch commit order \
+                 (the executor will fall back to a strict transaction)"
+            ),
+            Violation::RefcountMismatch {
+                goal,
+                module,
+                detail,
+            } => write!(
+                f,
+                "goal {goal}'s classification of module {module} is inconsistent: {detail}"
+            ),
+            Violation::ExclusionCrossed { goal, target } => {
+                write!(f, "goal {goal}'s plan crosses its own exclusion {target}")
+            }
+            Violation::BadSequence { index, seq } => write!(
+                f,
+                "event at position {index} carries seq {seq} (expected {})",
+                index + 1
+            ),
+            Violation::TimeRegression {
+                seq,
+                at_ns,
+                prev_ns,
+            } => write!(
+                f,
+                "event {seq} at {at_ns}ns is earlier than its predecessor ({prev_ns}ns)"
+            ),
+            Violation::BadParent { seq, parent } => {
+                write!(f, "event {seq}'s parent {parent} is not an open span")
+            }
+            Violation::UnbalancedSpan { seq, detail } => {
+                write!(f, "span protocol broken at event {seq}: {detail}")
+            }
+            Violation::TickOrder { seq, tick, prev } => write!(
+                f,
+                "tick ordinal {tick} at event {seq} does not exceed the previous tick {prev}"
+            ),
+            Violation::EpochViolation { seq, epoch, detail } => {
+                write!(f, "epoch {epoch} at event {seq}: {detail}")
+            }
+            Violation::UnstagedResolution { seq, txn, device } => write!(
+                f,
+                "event {seq} resolves txn {txn} on device {device}, which was never staged"
+            ),
+            Violation::UnresolvedStage { txn, device } => write!(
+                f,
+                "txn {txn} staged device {device} but no commit or abort resolved it"
+            ),
+            Violation::DuplicateCommit { seq, txn, device } => write!(
+                f,
+                "event {seq} commits txn {txn} on device {device} a second time"
+            ),
+            Violation::VerifyBeforeCommit { seq, goal } => write!(
+                f,
+                "goal {goal} verified at event {seq} before its pass committed anything"
+            ),
+        }
+    }
+}

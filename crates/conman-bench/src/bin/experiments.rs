@@ -491,6 +491,28 @@ fn autonomic_loop() {
     conman_bench::assert_loop_healthy(&r, 3);
     rows.push(r);
 
+    // Recorded re-runs of one chain and one mesh scenario: the full-run
+    // trace journals (setup convergence included) are linted against the
+    // conformance checker in-process and persisted so CI's `analyze` step
+    // can replay them offline.
+    let (chain_rec, chain_journal) =
+        conman_bench::recorded_loop_run(10, 8, LoopScenario::CoreStateLoss);
+    conman_bench::assert_loop_healthy(&chain_rec, 3);
+    conman_bench::assert_journal_conforms(&chain_journal, "recorded chain loop journal");
+    let (mesh_rec, mesh_journal) =
+        conman_bench::recorded_mesh_loop_run(3, 8, LoopScenario::MeshLinkCut);
+    conman_bench::assert_one_pass_reroute(&mesh_rec);
+    conman_bench::assert_journal_conforms(&mesh_journal, "recorded mesh loop journal");
+    for (path, journal) in [
+        ("JOURNAL_loop_chain.json", &chain_journal),
+        ("JOURNAL_loop_mesh.json", &mesh_journal),
+    ] {
+        match std::fs::write(path, journal) {
+            Ok(()) => println!("wrote {path} (conforms)"),
+            Err(e) => println!("could not write {path}: {e}"),
+        }
+    }
+
     // Machine-readable artefact so CI tracks the loop trajectory across
     // PRs.  `LoopBenchReport` derives `Serialize`, so the artefact shares
     // the same encoding path as the flight-recorder snapshot instead of a
@@ -539,6 +561,13 @@ fn obs() {
         rec.repair_passes,
         pm.staged_devices.len(),
     );
+    // The journal must also pass the protocol conformance checker, and is
+    // persisted for CI's offline `analyze` step.
+    conman_bench::assert_journal_conforms(&rec.journal, "recorded mesh link-cut journal");
+    match std::fs::write("JOURNAL_obs.json", &rec.journal) {
+        Ok(()) => println!("wrote JOURNAL_obs.json (conforms)"),
+        Err(e) => println!("could not write JOURNAL_obs.json: {e}"),
+    }
 
     // ---- Overhead rows; the 256-goal row is the CI smoke gate. ---------
     println!(

@@ -36,6 +36,7 @@ use conman_diagnose::AutonomicClient;
 use conman_modules::{
     managed_fanout_chain, managed_fanout_chain_with, managed_mesh_fanout, ManagedChain, ManagedMesh,
 };
+use conman_obs::Recorder;
 use mgmt_channel::{InBandChannel, ManagementChannel, OutOfBandChannel};
 use netsim::device::DeviceId;
 use netsim::fault::{apply_fault, FaultKind, Misconfiguration};
@@ -224,7 +225,25 @@ fn run_metrics(run: &LoopReport) -> RunMetrics {
 /// silence, inject the scenario's fault, and measure detection and repair
 /// in ticks.
 pub fn loop_run(n: usize, goals: usize, scenario: LoopScenario) -> LoopBenchReport {
-    chain_loop_run(managed_fanout_chain(n, goals), n, goals, scenario, "oob")
+    let mut t = managed_fanout_chain(n, goals);
+    chain_loop_run(&mut t, n, goals, scenario, "oob")
+}
+
+/// [`loop_run`] with an enabled flight recorder: the same chain scenario,
+/// but every span of the run (setup convergence included) lands in the
+/// trace journal.  Returns the report plus the journal dump, so the
+/// harness can lint the journal with the conformance checker and persist
+/// it as a CI artefact.
+pub fn recorded_loop_run(
+    n: usize,
+    goals: usize,
+    scenario: LoopScenario,
+) -> (LoopBenchReport, String) {
+    let mut t = managed_fanout_chain(n, goals);
+    t.mn.set_recorder(Recorder::new());
+    let report = chain_loop_run(&mut t, n, goals, scenario, "oob");
+    let journal = t.mn.recorder.journal_json();
+    (report, journal)
 }
 
 /// [`loop_run`] over the **in-band** flooding channel — the message-budget
@@ -232,17 +251,12 @@ pub fn loop_run(n: usize, goals: usize, scenario: LoopScenario) -> LoopBenchRepo
 /// what the flooded telemetry and repair transactions cost during the
 /// faulty ticks.
 pub fn loop_run_inband(n: usize, goals: usize, scenario: LoopScenario) -> LoopBenchReport {
-    chain_loop_run(
-        managed_fanout_chain_with(n, goals, InBandChannel::new()),
-        n,
-        goals,
-        scenario,
-        "in-band",
-    )
+    let mut t = managed_fanout_chain_with(n, goals, InBandChannel::new());
+    chain_loop_run(&mut t, n, goals, scenario, "in-band")
 }
 
 fn chain_loop_run<C: ManagementChannel>(
-    mut t: ManagedChain<C>,
+    t: &mut ManagedChain<C>,
     n: usize,
     goals: usize,
     scenario: LoopScenario,
@@ -357,12 +371,35 @@ fn chain_loop_run<C: ManagementChannel>(
 /// the batched pass must move the whole fleet onto the redundant row in one
 /// repair attempt.
 pub fn mesh_loop_run(k: usize, goals: usize, scenario: LoopScenario) -> LoopBenchReport {
+    let mut t: ManagedMesh<OutOfBandChannel> = managed_mesh_fanout(k, goals);
+    mesh_loop_run_with(&mut t, k, goals, scenario)
+}
+
+/// [`mesh_loop_run`] with an enabled flight recorder, returning the report
+/// plus the full-run journal dump for conformance linting.
+pub fn recorded_mesh_loop_run(
+    k: usize,
+    goals: usize,
+    scenario: LoopScenario,
+) -> (LoopBenchReport, String) {
+    let mut t: ManagedMesh<OutOfBandChannel> = managed_mesh_fanout(k, goals);
+    t.mn.set_recorder(Recorder::new());
+    let report = mesh_loop_run_with(&mut t, k, goals, scenario);
+    let journal = t.mn.recorder.journal_json();
+    (report, journal)
+}
+
+fn mesh_loop_run_with(
+    t: &mut ManagedMesh<OutOfBandChannel>,
+    k: usize,
+    goals: usize,
+    scenario: LoopScenario,
+) -> LoopBenchReport {
     assert!(
         scenario.on_mesh(),
         "{} runs on the chain (use loop_run)",
         scenario.name()
     );
-    let mut t: ManagedMesh<OutOfBandChannel> = managed_mesh_fanout(k, goals);
     t.discover();
     t.mn.goals.limits = mesh_limits(k);
 

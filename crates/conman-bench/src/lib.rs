@@ -11,13 +11,16 @@ pub mod obs;
 
 pub use control_loop::{
     assert_loop_healthy, assert_one_pass_reroute, loop_run, loop_run_inband, mesh_loop_run,
-    LoopBenchReport, LoopScenario,
+    recorded_loop_run, recorded_mesh_loop_run, LoopBenchReport, LoopScenario,
 };
 pub use diagnosis::{closed_loop_run, ClosedLoopReport, DiagnosisScenario};
 pub use goals::{
     multi_goal_run, multi_goal_run_mode, synthetic_goal, MultiGoalReport, ReconcileMode,
 };
-pub use obs::{loop_overhead, recorded_mesh_link_cut, ObsOverheadReport, RecordedMeshRun};
+pub use obs::{
+    assert_journal_conforms, loop_overhead, recorded_mesh_link_cut, ObsOverheadReport,
+    RecordedMeshRun,
+};
 
 use conman_core::nm::ModulePath;
 use conman_core::runtime::ManagedNetwork;

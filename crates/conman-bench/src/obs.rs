@@ -31,6 +31,28 @@ use std::time::Instant;
 /// Quiescent ticks measured per mode; the row reports the minimum.
 const OVERHEAD_TICKS: usize = 8;
 
+/// Parse a journal dump strictly and run the protocol conformance checker
+/// over it, panicking with the full violation list on failure.  The smoke
+/// harness and the integration tests lint every journal they produce
+/// through this single gate, so a recorder emission bug (unbalanced span,
+/// unresolved stage, verify before commit...) fails the run that produced
+/// the journal, not just the offline `analyze` pass.
+pub fn assert_journal_conforms(journal: &str, what: &str) {
+    let events =
+        conman_obs::Postmortem::events_from_json(journal).unwrap_or_else(|e| panic!("{what}: {e}"));
+    let violations = conman_analyze::check_journal(&events);
+    assert!(
+        violations.is_empty(),
+        "{what}: journal fails conformance ({} violation(s)):\n{}",
+        violations.len(),
+        violations
+            .iter()
+            .map(|v| format!("  - {v}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
 /// One recorder-overhead row: the minimum quiescent tick wall time with
 /// the recorder disabled vs enabled, on the same chain/goal-count shape.
 #[derive(Debug, Clone, Serialize)]
@@ -211,6 +233,7 @@ mod tests {
         assert_eq!(rec.repair_passes, 1, "one-pass reroute");
         let pm = Postmortem::from_json(&rec.journal).expect("journal parses");
         assert!(pm.blamed_links.contains(&rec.cut_link));
+        assert_journal_conforms(&rec.journal, "recorded mesh link-cut journal");
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod control_loop;
 pub mod event;
 pub mod reconcile;
 pub mod txn;
+pub mod verify;
 
 use crate::abstraction::CounterSnapshot;
 use crate::agent::ManagementAgent;

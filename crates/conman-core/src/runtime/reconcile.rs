@@ -430,6 +430,13 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         let pipe_floor = self.goals.peek_pipe_base();
         let mut items: Vec<(GoalId, bool, Option<AppliedPlan>, Plan)> = Vec::new();
         let mut stale: Vec<GoalTeardown> = Vec::new();
+        // Pre-flight verification (debug builds): every plan the pass
+        // produces is modelled for the static analyzer; refcount claims are
+        // checked per goal here, while the index still reflects
+        // classification time, and the batch-level invariants below once
+        // all blocks are taken.
+        #[cfg(debug_assertions)]
+        let mut preflight: Vec<conman_analyze::GoalModel> = Vec::new();
         for id in work {
             let plan = match self.plan_goal_or_reinstall(id) {
                 Ok(plan) => plan,
@@ -450,6 +457,20 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                 }
             };
             self.goals.take_pipe_block(script::slot_count(&plan.path));
+            #[cfg(debug_assertions)]
+            {
+                let model = super::verify::plan_model(&self.goals, &plan);
+                let refcounts = conman_analyze::plan::check_goal_refcounts(
+                    &model,
+                    &super::verify::module_users_model(&self.goals),
+                );
+                debug_assert!(
+                    refcounts.is_empty(),
+                    "pre-flight: goal {} fails refcount verification: {refcounts:?}",
+                    id.0
+                );
+                preflight.push(model);
+            }
             let excluded = self.goals.get(id).map_or(0, |r| r.excluded.len());
             self.recorder.event(
                 self.net.now().as_nanos(),
@@ -474,6 +495,26 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
                 stale.push((id, prev.scripts.teardown()));
             }
             items.push((id, had_applied, previous, plan));
+        }
+        // Batch-level pre-flight: disjoint pipe blocks under the cap,
+        // teardown mirrors, no plan crossing its goal's exclusions.
+        // Commit-order conflicts are deliberately not asserted on —
+        // they are advisory, and `run_batch` resolves them by demoting
+        // the goal to a strict fallback transaction.
+        #[cfg(debug_assertions)]
+        {
+            let batch = conman_analyze::BatchModel {
+                max_pipe_id: crate::nm::GoalStore::MAX_PIPE_ID,
+                goals: preflight,
+                module_users: Default::default(),
+            };
+            let mut violations = conman_analyze::plan::check_pipes(&batch);
+            violations.extend(conman_analyze::plan::check_teardowns(&batch));
+            violations.extend(conman_analyze::plan::check_exclusions(&batch));
+            debug_assert!(
+                violations.is_empty(),
+                "pre-flight: planned batch fails verification: {violations:?}"
+            );
         }
         // Tear every replaced goal's stale configuration down as ONE
         // batched transaction (each device staged once and committed once

@@ -574,6 +574,20 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
     /// own strict transaction afterwards — correctness first, batching
     /// where it is sound (`BatchOutcome::fallback` records them).
     pub fn run_batch(&mut self, items: &[(GoalId, &ScriptSet)]) -> BatchOutcome {
+        // Execution-time verification (debug builds): every script set
+        // handed to the batch executor must carry an exact teardown mirror,
+        // or the rollback/withdraw paths below would leak staged state.
+        // (Commit-order conflicts are *not* asserted — the fixed-point
+        // partition below resolves them via the strict fallback.)
+        #[cfg(debug_assertions)]
+        {
+            let model = super::verify::scripts_model(items);
+            let violations = conman_analyze::plan::check_teardowns(&model);
+            debug_assert!(
+                violations.is_empty(),
+                "batch scripts fail teardown-mirror verification: {violations:?}"
+            );
+        }
         let txn = self.goals.next_txn();
         let mut outcome = BatchOutcome {
             txn,

@@ -34,5 +34,5 @@ pub mod recorder;
 pub use history::{FlowField, FlowSample, HistoryStore, Ring};
 pub use journal::{Journal, TraceEvent, TraceKind};
 pub use metrics::{Histogram, MetricsRegistry};
-pub use postmortem::{Postmortem, RepairPass};
+pub use postmortem::{DumpError, Postmortem, RepairPass};
 pub use recorder::{HistorySummary, MessageDirection, ObsSnapshot, Recorder};

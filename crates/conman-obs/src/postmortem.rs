@@ -10,6 +10,35 @@
 use crate::journal::{TraceEvent, TraceKind};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a journal dump was rejected.
+///
+/// Parsing is **strict**: an unknown event kind, a malformed field, a
+/// non-dense sequence numbering or a parent pointing at a not-yet-recorded
+/// event all fail the whole dump.  Silent skips would mask exactly the
+/// corruption the conformance checker exists to catch, so the reconstruction
+/// refuses to guess.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpError {
+    /// Zero-based position of the offending event in the dump, when the
+    /// failure is attributable to one (`None`: the dump is not a JSON
+    /// array of events at all).
+    pub event: Option<usize>,
+    /// What was wrong.
+    pub detail: String,
+}
+
+impl fmt::Display for DumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.event {
+            Some(i) => write!(f, "journal dump rejected at event {i}: {}", self.detail),
+            None => write!(f, "journal dump rejected: {}", self.detail),
+        }
+    }
+}
+
+impl std::error::Error for DumpError {}
 
 /// One reconstructed repair pass.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -56,16 +85,47 @@ pub struct Postmortem {
 
 impl Postmortem {
     /// Reconstruct from a journal dump (the JSON array produced by
-    /// `Recorder::journal_json`).
-    pub fn from_json(dump: &str) -> Result<Self, serde::Error> {
-        let events: Vec<TraceEvent> = serde_json::from_str(dump)?;
-        Ok(Self::from_events(&events))
+    /// `Recorder::journal_json`).  Strict: any unknown or malformed event
+    /// rejects the dump with the offending event's position (see
+    /// [`DumpError`]).
+    pub fn from_json(dump: &str) -> Result<Self, DumpError> {
+        Ok(Self::from_events(&Self::events_from_json(dump)?))
     }
 
     /// Parse a journal dump back into its raw event list, for callers that
-    /// want to walk the causal chain themselves.
-    pub fn events_from_json(dump: &str) -> Result<Vec<TraceEvent>, serde::Error> {
-        serde_json::from_str(dump)
+    /// want to walk the causal chain themselves.  Each event is decoded
+    /// individually so corruption is reported by position, and the list's
+    /// structure is validated: sequence numbers dense and 1-based, every
+    /// parent pointer referencing an earlier event (or 0).
+    pub fn events_from_json(dump: &str) -> Result<Vec<TraceEvent>, DumpError> {
+        let values: Vec<serde_json::Value> = serde_json::from_str(dump).map_err(|e| DumpError {
+            event: None,
+            detail: e.to_string(),
+        })?;
+        let mut events: Vec<TraceEvent> = Vec::with_capacity(values.len());
+        for (i, v) in values.iter().enumerate() {
+            let ev = serde_json::from_value(v).map_err(|e| DumpError {
+                event: Some(i),
+                detail: e.to_string(),
+            })?;
+            events.push(ev);
+        }
+        for (i, e) in events.iter().enumerate() {
+            let expected = i as u64 + 1;
+            if e.seq != expected {
+                return Err(DumpError {
+                    event: Some(i),
+                    detail: format!("sequence number {} (expected {expected})", e.seq),
+                });
+            }
+            if e.parent >= e.seq {
+                return Err(DumpError {
+                    event: Some(i),
+                    detail: format!("parent {} does not reference an earlier event", e.parent),
+                });
+            }
+        }
+        Ok(events)
     }
 
     /// Reconstruct from an in-memory event list.
@@ -226,5 +286,64 @@ mod tests {
         assert_eq!(pm.staged_devices, BTreeSet::from([10, 12, 13]));
         assert_eq!(pm.repair_passes[0].committed, BTreeSet::from([10, 12, 13]));
         assert_eq!(pm.verified_goals, BTreeSet::from([5]));
+    }
+
+    /// A small genuine dump to corrupt by hand.
+    fn valid_dump() -> String {
+        let mut j = Journal::default();
+        j.enter(1, TraceKind::TickStart { tick: 1, epoch: 0 });
+        j.record(2, TraceKind::Submit { goal: 3 });
+        j.record(
+            2,
+            TraceKind::TickEnd {
+                events: 1,
+                nm_sent: 0,
+                nm_received: 0,
+                frames: 0,
+            },
+        );
+        j.exit();
+        j.to_json()
+    }
+
+    #[test]
+    fn an_unknown_event_kind_rejects_the_dump_with_its_position() {
+        let corrupted = valid_dump().replace("\"Submit\"", "\"SubmitFromTheFuture\"");
+        let err = Postmortem::from_json(&corrupted).expect_err("unknown kinds must not parse");
+        assert_eq!(err.event, Some(1), "the corrupt event is at position 1");
+        let err2 = Postmortem::events_from_json(&corrupted).expect_err("same for the raw list");
+        assert_eq!(err2, err);
+    }
+
+    #[test]
+    fn a_malformed_field_rejects_the_dump_with_its_position() {
+        let corrupted = valid_dump().replace("{\"goal\":3}", "{\"goal\":\"three\"}");
+        assert_ne!(corrupted, valid_dump(), "the corruption must have landed");
+        let err = Postmortem::from_json(&corrupted).expect_err("malformed fields must not parse");
+        assert_eq!(err.event, Some(1));
+    }
+
+    #[test]
+    fn non_json_input_is_rejected_without_an_event_position() {
+        let err = Postmortem::from_json("not a journal").expect_err("garbage must not parse");
+        assert_eq!(err.event, None);
+    }
+
+    #[test]
+    fn a_gap_in_sequence_numbers_rejects_the_dump() {
+        // Renumber the second event: the dump's events are no longer dense.
+        let corrupted = valid_dump().replace("\"seq\":2", "\"seq\":7");
+        let err = Postmortem::from_json(&corrupted).expect_err("gaps must not parse");
+        assert_eq!(err.event, Some(1));
+        assert!(err.detail.contains("expected 2"), "got: {err}");
+    }
+
+    #[test]
+    fn a_forward_parent_pointer_rejects_the_dump() {
+        // Event 2's parent claims event 9, which does not exist yet.
+        let corrupted = valid_dump().replace("\"parent\":1,\"seq\":2", "\"parent\":9,\"seq\":2");
+        assert_ne!(corrupted, valid_dump(), "the corruption must have landed");
+        let err = Postmortem::from_json(&corrupted).expect_err("forward parents must not parse");
+        assert_eq!(err.event, Some(1));
     }
 }

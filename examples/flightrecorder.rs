@@ -30,6 +30,18 @@ fn main() {
         rec.snapshot.journal_events
     );
 
+    // Before trusting the dump, lint it: the conformance checker replays
+    // the event stream through the loop's protocol state machine (spans
+    // balanced, every staged device resolved exactly once in its epoch, no
+    // verify before its pass's commits, time monotone).
+    let events = Postmortem::events_from_json(&dump).expect("journal dump parses");
+    let violations = conman::analyze::check_journal(&events);
+    assert!(
+        violations.is_empty(),
+        "the recorded run's journal must conform: {violations:?}"
+    );
+    println!("conformance check: {} events, 0 violations", events.len());
+
     // Reconstruct the story purely from the dump.
     let pm = Postmortem::from_json(&dump).expect("journal dump parses");
     println!("post-mortem (from the dump alone):");
@@ -58,7 +70,6 @@ fn main() {
 
     // A few raw spans, to show the causal chain the post-mortem walks.
     println!("\nsample of the causal chain:");
-    let events = Postmortem::events_from_json(&dump).expect("dump parses");
     for ev in events.iter().filter(|e| {
         matches!(
             e.kind,

@@ -13,6 +13,7 @@
 //! | `conman-modules` | [`modules`] | The ETH / IP / GRE / MPLS / VLAN protocol modules over the simulated data plane, plus the managed testbeds of Figures 2, 4 and 9 (including the dual-customer multi-goal chain) and the multipath mesh/ring testbeds (`managed_mesh_fanout` / `managed_ring_fanout`) with diagnosis probe hooks. |
 //! | `conman-diagnose` | [`diagnose`] | The closed-loop manager of §III-C: telemetry collection, **per-goal flow-delta fault localisation** ([`diagnose::Diagnoser`] frontier-walks the goal's own `FlowCounters` deltas, so the right device is blamed even under other goals' background traffic; module counters only refine the drop reason), self-healing as a reconciler client ([`diagnose::Healer`], whose `exclusions` is the **single** suspect→exclusion mapping — blamed links become traversal-level link exclusions) and [`diagnose::AutonomicClient`], which plugs the pair into the control loop as its diagnosis stage and reports the blamed link for the loop's reroute. |
 //! | `conman-obs` | [`obs`] | The flight recorder: a causally-linked structured trace journal (tick → health probe → diagnosis frontier walk → repair pass → per-device stage/commit → verify spans, timestamped with **simulated** time so the same seeded scenario dumps byte-identical journals), a metrics registry (counters / gauges / log₂-bucket histograms) with a serialisable [`ObsSnapshot`](obs::ObsSnapshot), per-goal/per-device telemetry history ring buffers with windowed slope/variance queries, and [`Postmortem`](obs::Postmortem) — which reconstructs the blamed link, the repair passes and every staged device from a journal dump alone. [`Recorder::disabled()`](obs::Recorder::disabled) is the default no-op hot path; `experiments obs` proves its cost envelope in `BENCH_obs.json`. |
+//! | `conman-analyze` | [`analyze`] | Static analysis over the management plane's artefacts, with no runtime dependency beyond `conman-obs`: the **pre-flight batch verifier** ([`analyze::verify_batch`] — pipe-id blocks pairwise disjoint and within budget, every script set mirrored by its teardown in reverse order, per-device commit order acyclic across the batch, module refcount claims consistent with the store's module→goals index, no planned path crossing its own exclusion set) and the **journal conformance checker** ([`analyze::check_journal`] — a protocol state machine over the flight recorder's dump: spans balanced, every staged device resolved exactly once within its epoch, no verify before its pass's commits, timestamps monotone, epochs strictly increasing).  Both return typed [`analyze::Violation`] lists with provenance.  `reconcile()` and `run_batch` self-check through the verifier under `debug_assertions`; [`core::ManagedNetwork::verify_plans`] is the explicit entry point; CI's `analyze` step replays every smoke-dumped journal through the checker. |
 //! | `legacy-config` | [`legacy`] | The "today" configuration baseline (Figures 7a/8a/9a) and the Table V generic-vs-specific classifier. |
 //!
 //! ## Tours
@@ -41,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use conman_analyze as analyze;
 pub use conman_core as core;
 pub use conman_diagnose as diagnose;
 pub use conman_modules as modules;

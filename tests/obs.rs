@@ -1,10 +1,11 @@
 //! Flight-recorder integration tests: journal determinism on a seeded
-//! scenario, post-mortem reconstruction from the dump alone, and the
-//! telemetry history store filling from the loop's flow push reports.
+//! scenario, post-mortem reconstruction from the dump alone, the telemetry
+//! history store filling from the loop's flow push reports — and every
+//! journal produced here passing the `conman-analyze` conformance checker.
 
 use conman::core::runtime::{ControlLoop, GoalEndpoints, LoopConfig};
 use conman::modules::{managed_fanout_chain, ManagedChain};
-use conman_bench::recorded_mesh_link_cut;
+use conman_bench::{assert_journal_conforms, recorded_mesh_link_cut};
 use conman_diagnose::AutonomicClient;
 use conman_obs::{Postmortem, Recorder};
 use mgmt_channel::OutOfBandChannel;
@@ -24,6 +25,7 @@ fn same_seeded_scenario_yields_byte_identical_journals() {
         first.journal, second.journal,
         "the trace journal must be deterministic across identical runs"
     );
+    assert_journal_conforms(&first.journal, "recorded mesh link-cut journal");
 }
 
 /// The acceptance scenario: from the journal dump alone — no live state,
@@ -100,6 +102,13 @@ fn flow_push_reports_populate_the_history_store() {
     );
     let run = cl.run_until_converged(&mut t.mn, 12);
     assert!(run.converged, "the loop must repair the fleet");
+
+    // The full-run journal (setup, fault, repair) must conform to the
+    // loop's span protocol.
+    assert_journal_conforms(
+        &t.mn.recorder.journal_json(),
+        "chain fault-and-repair journal",
+    );
 
     let series =
         t.mn.recorder

@@ -1,6 +1,8 @@
 //! Property-based tests on the substrate's core data structures and
 //! invariants: wire-format round-trips, checksum detection, longest-prefix
-//! match consistency and path-finder sanity.
+//! match consistency, path-finder sanity — and the pre-flight verifier's
+//! soundness on honestly-planned goal fleets (random fleet shapes on the
+//! fan-out chain and the multipath mesh must produce zero violations).
 
 use conman::netsim::ether::{EtherType, EthernetFrame};
 use conman::netsim::gre::GreHeader;
@@ -141,5 +143,55 @@ proptest! {
             prop_assert_eq!(&p.steps.first().unwrap().module, &goal.from);
             prop_assert_eq!(&p.steps.last().unwrap().module, &goal.to);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Soundness of the pre-flight batch verifier: a fleet planned the way
+    /// the batched reconcile pass plans it — each goal's pipe block
+    /// consumed before the next goal plans — produces **zero** violations,
+    /// for any fleet size on any small fan-out chain.  (The verifier's
+    /// completeness — that every violation variant actually fires on bad
+    /// input — is covered by conman-analyze's unit tests.)
+    #[test]
+    fn planned_chain_fleets_pass_the_preflight_verifier(n in 3usize..6, goals in 1usize..5) {
+        use conman::core::nm::script;
+        let mut t = conman::modules::managed_fanout_chain(n, goals);
+        t.discover();
+        t.mn.goals.limits = conman_bench::diagnosis::chain_limits(n);
+        let mut plans = Vec::new();
+        for k in 0..goals {
+            let id = t.mn.submit(t.fanout_goal(k));
+            let plan = t.mn.plan_goal(id).expect("a path exists for every fan-out pair");
+            // Consume the block so the next plan gets a disjoint base, the
+            // way reconcile() numbers a batch.
+            t.mn.goals.take_pipe_block(script::slot_count(&plan.path));
+            plans.push(plan);
+        }
+        let violations = t.mn.verify_plans(&plans);
+        prop_assert!(violations.is_empty(), "chain fleet must verify clean: {violations:?}");
+    }
+
+    /// The same soundness property on the 2×k multipath mesh, whose longer
+    /// paths and genuine alternatives exercise the link/exclusion model.
+    #[test]
+    fn planned_mesh_fleets_pass_the_preflight_verifier(k in 2usize..4, goals in 1usize..4) {
+        use conman::core::nm::script;
+        use mgmt_channel::OutOfBandChannel;
+        let mut t: conman::modules::ManagedMesh<OutOfBandChannel> =
+            conman::modules::managed_mesh_fanout(k, goals);
+        t.discover();
+        t.mn.goals.limits = conman_bench::control_loop::mesh_limits(k);
+        let mut plans = Vec::new();
+        for g in 0..goals {
+            let id = t.mn.submit(t.fanout_goal(g));
+            let plan = t.mn.plan_goal(id).expect("a path exists for every fan-out pair");
+            t.mn.goals.take_pipe_block(script::slot_count(&plan.path));
+            plans.push(plan);
+        }
+        let violations = t.mn.verify_plans(&plans);
+        prop_assert!(violations.is_empty(), "mesh fleet must verify clean: {violations:?}");
     }
 }
