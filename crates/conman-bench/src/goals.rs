@@ -16,7 +16,9 @@
 
 use crate::diagnosis::chain_limits;
 use conman_core::nm::{ConnectivityGoal, GoalId};
+use conman_core::WireCodec;
 use conman_modules::{managed_chain, ManagedChain};
+use conman_obs::Recorder;
 use mgmt_channel::{ManagementChannel, OutOfBandChannel};
 use std::time::Instant;
 
@@ -40,6 +42,45 @@ impl ReconcileMode {
     }
 }
 
+/// Which planning engine drives a batched pass (ignored by the per-goal
+/// baseline, whose planning loop predates both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannerEngine {
+    /// `reconcile` — parallel path selection over one hoisted potential
+    /// graph with per-worker scratch reuse.
+    Parallel,
+    /// `reconcile_sequential` — per-goal graph rebuild and fresh search
+    /// state; the pre-raw-speed cost profile kept as the baseline.
+    Sequential,
+}
+
+impl PlannerEngine {
+    /// Short label for artefact output.
+    pub fn label(self) -> &'static str {
+        match self {
+            PlannerEngine::Parallel => "parallel",
+            PlannerEngine::Sequential => "sequential",
+        }
+    }
+}
+
+/// Full configuration of one multi-goal run: the topology and goal-count
+/// axes plus the executor, planning-engine and wire-codec axes the
+/// raw-speed work measures against each other.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiGoalConfig {
+    /// Chain size (core routers).
+    pub n: usize,
+    /// Goals to submit.
+    pub goals: usize,
+    /// Batched pass or per-goal baseline.
+    pub mode: ReconcileMode,
+    /// Planning engine for the batched pass.
+    pub engine: PlannerEngine,
+    /// Wire codec for the management payloads.
+    pub codec: WireCodec,
+}
+
 /// What one multi-goal run measured.
 #[derive(Debug, Clone)]
 pub struct MultiGoalReport {
@@ -49,6 +90,14 @@ pub struct MultiGoalReport {
     pub goals: usize,
     /// Which executor ran the pass.
     pub mode: ReconcileMode,
+    /// Which planning engine the batched pass used.
+    pub engine: PlannerEngine,
+    /// Which wire codec the management payloads used.
+    pub codec: WireCodec,
+    /// Bytes of batch-transaction wire encoding produced during the pass
+    /// (the `txn.encode_bytes` counter) — how the zero-copy codec's size
+    /// win is tracked.
+    pub encode_bytes: u64,
     /// Goals `Active` after the reconcile pass.
     pub active: usize,
     /// Transactions the pass executed (one per goal for the per-goal
@@ -100,20 +149,47 @@ pub fn multi_goal_run(n: usize, goals: usize) -> MultiGoalReport {
 }
 
 /// Submit `goals` concurrent goals on an `n`-router chain and reconcile
-/// them in one pass with the chosen executor, measuring the pass.
+/// them in one pass with the chosen executor, measuring the pass (parallel
+/// engine, JSON codec — the historical signature, kept for the criterion
+/// harness).
 pub fn multi_goal_run_mode(n: usize, goals: usize, mode: ReconcileMode) -> MultiGoalReport {
-    assert!((1..=512).contains(&goals), "goal count out of range");
+    multi_goal_run_cfg(MultiGoalConfig {
+        n,
+        goals,
+        mode,
+        engine: PlannerEngine::Parallel,
+        codec: WireCodec::Json,
+    })
+}
+
+/// Submit and reconcile goals under a full [`MultiGoalConfig`], measuring
+/// the pass.
+pub fn multi_goal_run_cfg(cfg: MultiGoalConfig) -> MultiGoalReport {
+    assert!((1..=16384).contains(&cfg.goals), "goal count out of range");
+    let MultiGoalConfig {
+        n,
+        goals,
+        mode,
+        engine,
+        codec,
+    } = cfg;
     let mut t: ManagedChain<OutOfBandChannel> = managed_chain(n);
     t.discover();
     t.mn.goals.limits = chain_limits(n);
+    t.mn.codec = codec;
+    // An enabled recorder supplies the `txn.encode_bytes` reading; attached
+    // after discovery so only the measured pass counts.
+    let recorder = Recorder::new();
+    t.mn.set_recorder(recorder.clone());
     let ids: Vec<GoalId> = (0..goals)
         .map(|k| t.mn.submit(synthetic_goal(&t, k)))
         .collect();
     t.mn.reset_counters();
     let start = Instant::now();
-    let report = match mode {
-        ReconcileMode::Batched => t.mn.reconcile(),
-        ReconcileMode::PerGoal => t.mn.reconcile_per_goal(),
+    let report = match (mode, engine) {
+        (ReconcileMode::Batched, PlannerEngine::Parallel) => t.mn.reconcile(),
+        (ReconcileMode::Batched, PlannerEngine::Sequential) => t.mn.reconcile_sequential(),
+        (ReconcileMode::PerGoal, _) => t.mn.reconcile_per_goal(),
     };
     let reconcile_wall_us = start.elapsed().as_micros();
     let shared_modules =
@@ -127,6 +203,9 @@ pub fn multi_goal_run_mode(n: usize, goals: usize, mode: ReconcileMode) -> Multi
         n,
         goals,
         mode,
+        engine,
+        codec,
+        encode_bytes: recorder.counter("txn.encode_bytes"),
         active: report.active(),
         transactions: report.transactions,
         reconcile_wall_us,

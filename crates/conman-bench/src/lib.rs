@@ -15,7 +15,8 @@ pub use control_loop::{
 };
 pub use diagnosis::{closed_loop_run, ClosedLoopReport, DiagnosisScenario};
 pub use goals::{
-    multi_goal_run, multi_goal_run_mode, synthetic_goal, MultiGoalReport, ReconcileMode,
+    multi_goal_run, multi_goal_run_cfg, multi_goal_run_mode, synthetic_goal, MultiGoalConfig,
+    MultiGoalReport, PlannerEngine, ReconcileMode,
 };
 pub use obs::{
     assert_journal_conforms, loop_overhead, recorded_mesh_link_cut, ObsOverheadReport,

@@ -341,26 +341,86 @@ impl ManagementAgent {
             | WireMessage::StageBatchResult { .. }
             | WireMessage::CommitBatchResult { .. } => {}
         }
-        // Push-mode telemetry: if this exchange moved a watched flow's
-        // counters, report the delta's new totals unsolicited (request 0)
-        // alongside the regular replies.
-        if !self.watched_flows.is_empty() {
-            let mut changed = Vec::new();
-            for (tag, last) in self.watched_flows.iter_mut() {
-                let now = device.stats.flow(*tag);
-                if now != *last {
-                    *last = now;
-                    changed.push((*tag, now));
+        self.push_watched_flow_report(device, &mut out);
+        out
+    }
+
+    /// Handle a binary-coded `StageBatch` payload *in place*: walk the
+    /// length-prefixed segment slices out of the wire bytes, validating each
+    /// primitive as it decodes, without materialising a [`WireMessage`]
+    /// first.  Behaviourally identical to the `StageBatch` arm of
+    /// [`Self::handle`]; a segment whose encoding is corrupt fails its own
+    /// verdict instead of sinking the whole batch.  Returns `None` when the
+    /// payload is not a parseable binary `StageBatch` frame (the caller
+    /// falls back to the generic decoder, which drops it).
+    pub fn handle_stage_batch_in_place(
+        &mut self,
+        device: &mut Device,
+        payload: &[u8],
+    ) -> Option<Vec<WireMessage>> {
+        let view = crate::wire::StageBatchView::parse(payload)?;
+        let txn = view.txn;
+        // Same staleness rule as `Stage`: a newer transaction makes older
+        // held entries dead.
+        self.staged.retain(|held, _| *held >= txn);
+        self.staged_batches.retain(|held, _| *held >= txn);
+        let mut verdicts = Vec::with_capacity(view.segment_count());
+        let mut held = BTreeMap::new();
+        for seg in view.segments() {
+            let mut errors = Vec::new();
+            let mut primitives = Vec::new();
+            for p in seg.primitives() {
+                match p {
+                    Ok(p) => {
+                        if let Some(e) = self.validate_primitive(&p) {
+                            errors.push(e);
+                        }
+                        primitives.push(p);
+                    }
+                    Err(_) => {
+                        errors.push(format!(
+                            "goal {}: malformed primitive encoding in staged segment",
+                            seg.goal
+                        ));
+                        break;
+                    }
                 }
             }
-            if !changed.is_empty() {
-                out.push(WireMessage::FlowReport {
-                    request: 0,
-                    flows: changed,
-                });
+            if errors.is_empty() {
+                held.insert(seg.goal, primitives);
+            }
+            verdicts.push(SegmentVerdict {
+                goal: seg.goal,
+                errors,
+            });
+        }
+        self.staged_batches.insert(txn, held);
+        let mut out = vec![WireMessage::StageBatchResult { txn, verdicts }];
+        self.push_watched_flow_report(device, &mut out);
+        Some(out)
+    }
+
+    /// Push-mode telemetry: if this exchange moved a watched flow's
+    /// counters, report the delta's new totals unsolicited (request 0)
+    /// alongside the regular replies.
+    fn push_watched_flow_report(&mut self, device: &Device, out: &mut Vec<WireMessage>) {
+        if self.watched_flows.is_empty() {
+            return;
+        }
+        let mut changed = Vec::new();
+        for (tag, last) in self.watched_flows.iter_mut() {
+            let now = device.stats.flow(*tag);
+            if now != *last {
+                *last = now;
+                changed.push((*tag, now));
             }
         }
-        out
+        if !changed.is_empty() {
+            out.push(WireMessage::FlowReport {
+                request: 0,
+                flows: changed,
+            });
+        }
     }
 
     fn push_reaction(out: &mut Vec<WireMessage>, reaction: ModuleReaction) {

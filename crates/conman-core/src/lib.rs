@@ -30,6 +30,7 @@ pub mod module;
 pub mod nm;
 pub mod primitives;
 pub mod runtime;
+pub mod wire;
 
 pub use abstraction::{CounterSnapshot, ModuleAbstraction, PipeCounters, SwitchKind};
 pub use agent::ManagementAgent;
@@ -44,3 +45,4 @@ pub use runtime::{
     ConfigureOutcome, ControlLoop, GoalEndpoints, LoopConfig, ManagedNetwork, NmEvent,
     ReconcileReport, TransactionOutcome, WithdrawOutcome,
 };
+pub use wire::WireCodec;

@@ -22,7 +22,7 @@ pub use goal::{
     AppliedPlan, Exclusion, GoalId, GoalRecord, GoalStatus, GoalStore, Plan, PlanError,
 };
 pub use graph::PotentialGraph;
-pub use pathfinder::{Entry, ModulePath, PathFinder, PathFinderLimits, PathStep};
+pub use pathfinder::{Entry, ModulePath, PathFinder, PathFinderLimits, PathStep, SearchScratch};
 pub use script::{DeviceScript, ScriptSet};
 
 /// A high-level connectivity goal: "configure connectivity between the
@@ -206,6 +206,29 @@ impl NetworkManager {
         excluded: &std::collections::BTreeSet<goal::Exclusion>,
         limits: pathfinder::PathFinderLimits,
     ) -> Vec<ModulePath> {
+        let graph = self.build_graph();
+        self.find_paths_avoiding_in(
+            &graph,
+            goal,
+            excluded,
+            limits,
+            &mut pathfinder::SearchScratch::default(),
+        )
+    }
+
+    /// Like [`NetworkManager::find_paths_avoiding`], but searching a
+    /// caller-built [`PotentialGraph`] with caller-owned scratch buffers.
+    /// This is the planner's hot path: one graph build and one scratch per
+    /// planning worker amortised over every goal in a reconcile pass,
+    /// instead of a graph rebuild and fresh buffers per goal.
+    pub fn find_paths_avoiding_in(
+        &self,
+        graph: &PotentialGraph,
+        goal: &ConnectivityGoal,
+        excluded: &std::collections::BTreeSet<goal::Exclusion>,
+        limits: pathfinder::PathFinderLimits,
+        scratch: &mut pathfinder::SearchScratch,
+    ) -> Vec<ModulePath> {
         let mut modules = std::collections::BTreeSet::new();
         let mut links = Vec::new();
         for e in excluded {
@@ -216,12 +239,11 @@ impl NetworkManager {
                 goal::Exclusion::Link(a, b) => links.push((*a, *b)),
             }
         }
-        let graph = self.build_graph();
-        PathFinder::new(&graph)
+        PathFinder::new(graph)
             .with_limits(limits)
             .excluding(modules)
             .excluding_links(links)
-            .find(goal)
+            .find_with(scratch, goal)
     }
 
     /// Choose the best path among candidates.

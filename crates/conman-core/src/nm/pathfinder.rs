@@ -209,11 +209,22 @@ impl<'a> PathFinder<'a> {
 
     /// Enumerate every path satisfying `goal`.
     pub fn find(&self, goal: &ConnectivityGoal) -> Vec<ModulePath> {
+        self.find_with(&mut SearchScratch::default(), goal)
+    }
+
+    /// Like [`PathFinder::find`], but reusing caller-owned search buffers.
+    /// The reconcile planner calls the finder once per goal per pass;
+    /// threading one [`SearchScratch`] through keeps the visited set, the
+    /// step buffer and the header stack warm instead of re-allocating them
+    /// for every goal.
+    pub fn find_with(
+        &self,
+        scratch: &mut SearchScratch,
+        goal: &ConnectivityGoal,
+    ) -> Vec<ModulePath> {
+        scratch.clear();
         let mut state = SearchState {
-            steps: Vec::new(),
-            stack: Vec::new(),
-            visited: BTreeSet::new(),
-            next_header: 0,
+            scratch,
             results: Vec::new(),
         };
         // The customer traffic entering the ingress physical pipe: an
@@ -230,6 +241,7 @@ impl<'a> PathFinder<'a> {
         }
         state.push_header(ModuleKind::Eth, None);
         let expected_final: Vec<(ModuleKind, Option<String>)> = state
+            .scratch
             .stack
             .iter()
             .map(|h| (h.kind.clone(), h.domain.clone()))
@@ -243,14 +255,14 @@ impl<'a> PathFinder<'a> {
     fn explore(
         &self,
         goal: &ConnectivityGoal,
-        state: &mut SearchState,
+        state: &mut SearchState<'_>,
         module: &ModuleRef,
         entered: Entry,
         expected_final: &[(ModuleKind, Option<String>)],
     ) {
         if state.results.len() >= self.limits.max_paths
-            || state.steps.len() >= self.limits.max_steps
-            || state.visited.contains(module)
+            || state.scratch.steps.len() >= self.limits.max_steps
+            || state.scratch.visited.contains(module)
             || self.excluded.contains(module)
         {
             return;
@@ -258,7 +270,7 @@ impl<'a> PathFinder<'a> {
         let Some(abs) = self.graph.abstraction(module) else {
             return;
         };
-        state.visited.insert(module.clone());
+        state.scratch.visited.insert(module.clone());
 
         match entered {
             Entry::Phys | Entry::Below => {
@@ -269,22 +281,22 @@ impl<'a> PathFinder<'a> {
                 };
                 // Option 1: decapsulate and move up.
                 if abs.can_switch(decap_kind) {
-                    if let Some(top) = state.stack.last().cloned() {
+                    if let Some(top) = state.scratch.stack.last().cloned() {
                         if top.kind == module.kind && self.domain_ok(abs, &top) {
-                            let depth = state.stack.len();
-                            state.stack.pop();
-                            state.steps.push(PathStep {
+                            let depth = state.scratch.stack.len();
+                            state.scratch.stack.pop();
+                            state.scratch.steps.push(PathStep {
                                 module: module.clone(),
                                 switch: decap_kind,
                                 entered,
                                 header: top.id,
                                 depth,
                             });
-                            for next in self.graph.ups(module).to_vec() {
-                                self.explore(goal, state, &next, Entry::Below, expected_final);
+                            for next in self.graph.ups(module) {
+                                self.explore(goal, state, next, Entry::Below, expected_final);
                             }
-                            state.steps.pop();
-                            state.stack.push(top);
+                            state.scratch.steps.pop();
+                            state.scratch.stack.push(top);
                         }
                     }
                 }
@@ -292,41 +304,41 @@ impl<'a> PathFinder<'a> {
                 if entered == Entry::Phys {
                     // [phy => phy]: a layer-2 switch carries the frame across.
                     if abs.can_switch(SwitchKind::PhyPhy) {
-                        if let Some(top) = state.stack.last().cloned() {
-                            let depth = state.stack.len();
-                            state.steps.push(PathStep {
+                        if let Some(top) = state.scratch.stack.last().cloned() {
+                            let depth = state.scratch.stack.len();
+                            state.scratch.steps.push(PathStep {
                                 module: module.clone(),
                                 switch: SwitchKind::PhyPhy,
                                 entered,
                                 header: top.id,
                                 depth,
                             });
-                            for next in self.graph.phys(module).to_vec() {
-                                if self.link_excluded(module, &next) {
+                            for next in self.graph.phys(module) {
+                                if self.link_excluded(module, next) {
                                     continue;
                                 }
-                                self.explore(goal, state, &next, Entry::Phys, expected_final);
+                                self.explore(goal, state, next, Entry::Phys, expected_final);
                             }
-                            state.steps.pop();
+                            state.scratch.steps.pop();
                         }
                     }
                 } else if abs.can_switch(SwitchKind::DownDown) {
                     // [down => down]: process the header and forward downwards.
-                    if let Some(top) = state.stack.last().cloned() {
+                    if let Some(top) = state.scratch.stack.last().cloned() {
                         let transparent = module.kind == ModuleKind::Vlan;
                         if (top.kind == module.kind && self.domain_ok(abs, &top)) || transparent {
-                            let depth = state.stack.len();
-                            state.steps.push(PathStep {
+                            let depth = state.scratch.stack.len();
+                            state.scratch.steps.push(PathStep {
                                 module: module.clone(),
                                 switch: SwitchKind::DownDown,
                                 entered,
                                 header: top.id,
                                 depth,
                             });
-                            for next in self.graph.downs(module).to_vec() {
-                                self.explore(goal, state, &next, Entry::Above, expected_final);
+                            for next in self.graph.downs(module) {
+                                self.explore(goal, state, next, Entry::Above, expected_final);
                             }
-                            state.steps.pop();
+                            state.scratch.steps.pop();
                         }
                     }
                 }
@@ -334,26 +346,26 @@ impl<'a> PathFinder<'a> {
             Entry::Above => {
                 // Option 1: encapsulate and continue downwards.
                 if abs.can_switch(SwitchKind::UpDown) {
-                    let depth = state.stack.len();
+                    let depth = state.scratch.stack.len();
                     let id = state.push_header(module.kind.clone(), abs.address_domain.clone());
-                    state.steps.push(PathStep {
+                    state.scratch.steps.push(PathStep {
                         module: module.clone(),
                         switch: SwitchKind::UpDown,
                         entered,
                         header: id,
                         depth,
                     });
-                    for next in self.graph.downs(module).to_vec() {
-                        self.explore(goal, state, &next, Entry::Above, expected_final);
+                    for next in self.graph.downs(module) {
+                        self.explore(goal, state, next, Entry::Above, expected_final);
                     }
-                    state.steps.pop();
-                    state.stack.pop();
+                    state.scratch.steps.pop();
+                    state.scratch.stack.pop();
                 }
                 // Option 2: encapsulate onto a physical pipe.
                 if abs.can_switch(SwitchKind::UpPhy) {
-                    let depth = state.stack.len();
+                    let depth = state.scratch.stack.len();
                     let id = state.push_header(ModuleKind::Eth, None);
-                    state.steps.push(PathStep {
+                    state.scratch.steps.push(PathStep {
                         module: module.clone(),
                         switch: SwitchKind::UpPhy,
                         entered,
@@ -365,6 +377,7 @@ impl<'a> PathFinder<'a> {
                         // if every header the ISP added has been removed again
                         // (the customer sees the same packet it sent).
                         let final_stack: Vec<(ModuleKind, Option<String>)> = state
+                            .scratch
                             .stack
                             .iter()
                             .map(|h| (h.kind.clone(), h.domain.clone()))
@@ -373,24 +386,24 @@ impl<'a> PathFinder<'a> {
                             && state.results.len() < self.limits.max_paths
                         {
                             state.results.push(ModulePath {
-                                steps: state.steps.clone(),
+                                steps: state.scratch.steps.clone(),
                             });
                         }
                     } else {
-                        for next in self.graph.phys(module).to_vec() {
-                            if self.link_excluded(module, &next) {
+                        for next in self.graph.phys(module) {
+                            if self.link_excluded(module, next) {
                                 continue;
                             }
-                            self.explore(goal, state, &next, Entry::Phys, expected_final);
+                            self.explore(goal, state, next, Entry::Phys, expected_final);
                         }
                     }
-                    state.steps.pop();
-                    state.stack.pop();
+                    state.scratch.steps.pop();
+                    state.scratch.stack.pop();
                 }
             }
         }
 
-        state.visited.remove(module);
+        state.scratch.visited.remove(module);
     }
 
     fn domain_ok(&self, abs: &crate::abstraction::ModuleAbstraction, header: &HeaderInst) -> bool {
@@ -404,19 +417,38 @@ impl<'a> PathFinder<'a> {
     }
 }
 
-struct SearchState {
+/// Reusable buffers for the depth-first traversal: the step buffer, the
+/// simulated header stack and the visited set.  One scratch serves any
+/// number of consecutive [`PathFinder::find_with`] calls — the planner
+/// allocates one per planning worker and reuses it across goals instead of
+/// re-allocating per goal.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
     steps: Vec<PathStep>,
     stack: Vec<HeaderInst>,
     visited: BTreeSet<ModuleRef>,
     next_header: usize,
+}
+
+impl SearchScratch {
+    fn clear(&mut self) {
+        self.steps.clear();
+        self.stack.clear();
+        self.visited.clear();
+        self.next_header = 0;
+    }
+}
+
+struct SearchState<'s> {
+    scratch: &'s mut SearchScratch,
     results: Vec<ModulePath>,
 }
 
-impl SearchState {
+impl SearchState<'_> {
     fn push_header(&mut self, kind: ModuleKind, domain: Option<String>) -> usize {
-        let id = self.next_header;
-        self.next_header += 1;
-        self.stack.push(HeaderInst { id, kind, domain });
+        let id = self.scratch.next_header;
+        self.scratch.next_header += 1;
+        self.scratch.stack.push(HeaderInst { id, kind, domain });
         id
     }
 }

@@ -385,9 +385,12 @@ impl WireMessage {
         serde_json::to_vec(self).expect("wire messages always serialize")
     }
 
-    /// Deserialize from a management channel payload.
+    /// Deserialize from a management channel payload.  The codec is
+    /// auto-detected from the first byte: binary batch frames (tags
+    /// `0x81..=0x86`) dispatch to [`crate::wire`], everything else parses
+    /// as vendored JSON.
     pub fn decode(bytes: &[u8]) -> Option<WireMessage> {
-        serde_json::from_slice(bytes).ok()
+        crate::wire::decode(bytes)
     }
 }
 

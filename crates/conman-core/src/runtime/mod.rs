@@ -17,9 +17,10 @@ use crate::abstraction::CounterSnapshot;
 use crate::agent::ManagementAgent;
 use crate::nm::{ConnectivityGoal, GoalStore, ModulePath, NetworkManager, ScriptSet};
 use crate::primitives::{
-    EnvelopeKind, ModuleEnvelope, Notification, Primitive, PrimitiveResult, SegmentCommit,
-    SegmentVerdict, WireMessage,
+    EnvelopeKind, ModuleEnvelope, Notification, Primitive, PrimitiveResult, ScriptSegment,
+    SegmentCommit, SegmentVerdict, WireMessage,
 };
+use crate::wire::{self, WireCodec};
 use conman_obs::Recorder;
 use mgmt_channel::{ChannelCounters, ManagementChannel, MessageCategory, MgmtMessage};
 use netsim::device::DeviceId;
@@ -110,6 +111,11 @@ pub struct ManagedNetwork<C: ManagementChannel> {
     /// Flight recorder every management layer writes into (disabled by
     /// default — attach an enabled one with [`Self::set_recorder`]).
     pub recorder: Recorder,
+    /// Wire codec for management payloads.  Defaults to vendored JSON
+    /// (paper parity); switch to [`WireCodec::Binary`] to put the batch
+    /// messages on the zero-copy binary framing.  Decoding always
+    /// auto-detects, so the codec can be flipped at any time.
+    pub codec: WireCodec,
 }
 
 impl<C: ManagementChannel> ManagedNetwork<C> {
@@ -135,6 +141,7 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             pending_relays: BTreeMap::new(),
             txn_hook: None,
             recorder: Recorder::disabled(),
+            codec: WireCodec::default(),
         }
     }
 
@@ -200,7 +207,40 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
     }
 
     fn send(&mut self, from: DeviceId, to: DeviceId, msg: &WireMessage) {
-        let m = MgmtMessage::new(from, to, Self::category_for(msg), msg.encode());
+        let payload = msg.encode_with(self.codec);
+        if wire::is_batch_txn_message(msg) {
+            self.recorder.inc("txn.encode_bytes", payload.len() as u64);
+        }
+        let m = MgmtMessage::new(from, to, Self::category_for(msg), payload);
+        self.channel.send(&mut self.net, m);
+    }
+
+    /// Send a `StageBatch` straight from borrowed per-goal primitive
+    /// slices.  Under the binary codec this is the zero-copy hot path — no
+    /// owned [`ScriptSegment`]s, no JSON value tree; under JSON the
+    /// segments are materialised once, here, and nowhere else.
+    pub(crate) fn send_stage_batch(
+        &mut self,
+        to: DeviceId,
+        txn: u64,
+        segments: &[(u64, &[Primitive])],
+    ) {
+        let payload = match self.codec {
+            WireCodec::Binary => wire::encode_stage_batch(txn, segments),
+            WireCodec::Json => WireMessage::StageBatch {
+                txn,
+                segments: segments
+                    .iter()
+                    .map(|(goal, primitives)| ScriptSegment {
+                        goal: *goal,
+                        primitives: primitives.to_vec(),
+                    })
+                    .collect(),
+            }
+            .encode(),
+        };
+        self.recorder.inc("txn.encode_bytes", payload.len() as u64);
+        let m = MgmtMessage::new(self.nm_host, to, MessageCategory::Command, payload);
         self.channel.send(&mut self.net, m);
     }
 
@@ -452,6 +492,21 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         // is lost, exactly as with a powered-off box.
         if !self.net.device(at).map(|d| d.up).unwrap_or(false) {
             return;
+        }
+        // Zero-copy fast path: a binary StageBatch is always agent-bound,
+        // so hand the raw payload to the agent for in-place validation
+        // instead of materialising a message tree first.
+        if wire::is_binary_stage_batch(&msg.payload) {
+            if let (Some(agent), Ok(device)) = (self.agents.get_mut(&at), self.net.device_mut(at)) {
+                if let Some(outputs) = agent.handle_stage_batch_in_place(device, &msg.payload) {
+                    for out in outputs {
+                        self.send(at, self.nm_host, &out);
+                    }
+                    return;
+                }
+            }
+            // No agent or unparseable framing: fall through to the generic
+            // decoder, which drops it like any other malformed payload.
         }
         let Some(wire) = WireMessage::decode(&msg.payload) else {
             return;

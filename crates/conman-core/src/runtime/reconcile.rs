@@ -16,12 +16,26 @@
 //! (one full two-phase transaction per goal) as the message-count baseline
 //! the `goals` bench compares against, and as an equivalence oracle for
 //! the batched path.
+//!
+//! Planning inside the batched pass runs **in parallel**: path search is a
+//! pure read of the goal store and the potential graph, and pipe-id blocks
+//! are disjoint by construction, so the per-goal searches fan out across a
+//! small `std::thread::scope` worker pool and the chosen paths are merged
+//! back into the batch in deterministic goal-id order.  Everything with a
+//! side effect — pipe-block allocation, journal events, store mutation —
+//! happens in the merge, on the calling thread, so journals, transcripts
+//! and reports are byte-identical to the sequential engine.
+//! [`ManagedNetwork::reconcile_sequential`] keeps that sequential engine
+//! (per-goal graph rebuild and fresh search state, exactly the pre-PR-10
+//! planning loop) as the equivalence oracle and bench baseline.
 
 use super::txn::{GoalTeardown, TransactionOutcome};
 use super::ManagedNetwork;
 use crate::ids::ModuleRef;
 use crate::nm::goal::{AppliedPlan, GoalId, GoalStatus, Plan, PlanError};
-use crate::nm::{script, ConnectivityGoal, ModulePath};
+use crate::nm::{
+    script, ConnectivityGoal, GoalStore, ModulePath, NetworkManager, PotentialGraph, SearchScratch,
+};
 use conman_obs::TraceKind;
 use mgmt_channel::ManagementChannel;
 use netsim::device::DeviceId;
@@ -109,6 +123,83 @@ pub struct WithdrawOutcome {
     /// goal uses them any more.  Modules still referenced by other goals'
     /// applied plans are *not* touched (shared-module semantics).
     pub released: Vec<ModuleRef>,
+}
+
+/// A planning worker's verdict for one goal: the chosen path plus whether
+/// the suspect-fallback (re-search with the exclusions dropped) produced
+/// it — the merge must clear the goal's exclusions in that case, exactly
+/// like the sequential `plan_goal_or_reinstall`.
+type PathChoice = Result<(ModulePath, bool), PlanError>;
+
+/// Everything the path search reads from a goal record: the endpoint
+/// modules, the layer-2 flag, the traffic domain (domain pruning) and the
+/// exclusion set.  Two goals with equal keys get byte-identical search
+/// results, so each planning worker memoises its searches under this key —
+/// a fleet of same-shaped goals (the common case: many VPNs between the
+/// same edge interfaces) costs one traversal instead of one per goal.
+type SearchKey = (
+    ModuleRef,
+    ModuleRef,
+    bool,
+    String,
+    BTreeSet<crate::nm::goal::Exclusion>,
+);
+
+/// [`choose_goal_path`] behind a per-worker memo.  Correct because the
+/// search is a pure function of the key (see [`SearchKey`]), the hoisted
+/// graph and the store-wide limits — all constant within one pass.
+fn choose_goal_path_memo(
+    nm: &NetworkManager,
+    goals: &GoalStore,
+    graph: &PotentialGraph,
+    id: GoalId,
+    scratch: &mut SearchScratch,
+    memo: &mut BTreeMap<SearchKey, PathChoice>,
+) -> PathChoice {
+    let Some(rec) = goals.get(id) else {
+        return Err(PlanError::UnknownGoal(id));
+    };
+    let key = (
+        rec.desired.from.clone(),
+        rec.desired.to.clone(),
+        rec.desired.l2_only,
+        rec.desired.traffic_domain.clone(),
+        rec.excluded.clone(),
+    );
+    if let Some(hit) = memo.get(&key) {
+        return hit.clone();
+    }
+    let choice = choose_goal_path(nm, goals, graph, id, scratch);
+    memo.insert(key, choice.clone());
+    choice
+}
+
+/// The read-only half of planning one goal: enumerate paths avoiding the
+/// goal's exclusions, fall back to a search straight through the suspects
+/// when nothing avoids them, and pick the best candidate.  Runs on the
+/// planning workers, so it touches nothing mutable — the store-side
+/// effects of a fallback happen later, in the merge, in goal-id order.
+fn choose_goal_path(
+    nm: &NetworkManager,
+    goals: &GoalStore,
+    graph: &PotentialGraph,
+    id: GoalId,
+    scratch: &mut SearchScratch,
+) -> PathChoice {
+    let rec = goals.get(id).ok_or(PlanError::UnknownGoal(id))?;
+    let paths =
+        nm.find_paths_avoiding_in(graph, &rec.desired, &rec.excluded, goals.limits, scratch);
+    if let Some(path) = nm.choose_path(&paths) {
+        return Ok((path.clone(), false));
+    }
+    if !rec.excluded.is_empty() {
+        let paths =
+            nm.find_paths_avoiding_in(graph, &rec.desired, &BTreeSet::new(), goals.limits, scratch);
+        if let Some(path) = nm.choose_path(&paths) {
+            return Ok((path.clone(), true));
+        }
+    }
+    Err(PlanError::NoPath)
 }
 
 impl<C: ManagementChannel> ManagedNetwork<C> {
@@ -371,7 +462,38 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
     /// two-phase transaction (per-goal atomicity inside the batch — a goal
     /// whose segment fails anywhere is rolled back via its teardown mirror
     /// without disturbing siblings), then verify each committed goal.
-    pub fn reconcile_with<P>(&mut self, mut probe: P) -> ReconcileReport
+    pub fn reconcile_with<P>(&mut self, probe: P) -> ReconcileReport
+    where
+        P: FnMut(&mut Self, GoalId) -> Option<bool>,
+    {
+        self.reconcile_engine(probe, true)
+    }
+
+    /// Batched reconcile with the planning loop forced sequential: one
+    /// graph rebuild and fresh search state per goal, exactly the pre-
+    /// parallel-planning engine.  Kept as the equivalence oracle for
+    /// [`Self::reconcile`] (which plans in parallel) and as the wall-time
+    /// baseline the `goals` bench measures the raw-speed work against.
+    pub fn reconcile_sequential(&mut self) -> ReconcileReport {
+        self.reconcile_sequential_with(|_, _| None)
+    }
+
+    /// [`Self::reconcile_sequential`] with per-goal verification probes
+    /// (see [`Self::reconcile_with`]).
+    pub fn reconcile_sequential_with<P>(&mut self, probe: P) -> ReconcileReport
+    where
+        P: FnMut(&mut Self, GoalId) -> Option<bool>,
+    {
+        self.reconcile_engine(probe, false)
+    }
+
+    /// The batched reconcile engine behind both entry points.  `parallel`
+    /// selects how the pass chooses paths: fanned out across a scoped
+    /// worker pool over a single hoisted potential graph, or goal-by-goal
+    /// with a per-goal graph rebuild (the historical cost profile).  Both
+    /// arms feed the same sequential merge, which performs every side
+    /// effect in goal-id order, so all observable outputs are identical.
+    fn reconcile_engine<P>(&mut self, mut probe: P, parallel: bool) -> ReconcileReport
     where
         P: FnMut(&mut Self, GoalId) -> Option<bool>,
     {
@@ -437,8 +559,42 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         // all blocks are taken.
         #[cfg(debug_assertions)]
         let mut preflight: Vec<conman_analyze::GoalModel> = Vec::new();
-        for id in work {
-            let plan = match self.plan_goal_or_reinstall(id) {
+        // Path selection: the read-only half of planning.  The parallel arm
+        // fans the searches out over the worker pool *before* the merge
+        // loop; the sequential arm resolves each goal inline, per-goal
+        // graph rebuild included.  Either way the merge below runs on this
+        // thread, in goal-id order (`work` comes from the sorted store).
+        let mut choices = if parallel {
+            Some(self.plan_paths_parallel(&work).into_iter())
+        } else {
+            None
+        };
+        let mut last_merged: Option<GoalId> = None;
+        for &id in &work {
+            if let Some(prev) = last_merged {
+                debug_assert!(prev < id, "merged plans must arrive in goal-id order");
+            }
+            last_merged = Some(id);
+            let planned = match choices.as_mut() {
+                Some(it) => match it.next().expect("one path choice per goal") {
+                    Ok((path, used_fallback)) => {
+                        if used_fallback {
+                            // The suspect-fallback chose a path straight
+                            // through the exclusions; clear them exactly as
+                            // `plan_goal_or_reinstall` does before re-planning.
+                            self.goals
+                                .get_mut(id)
+                                .expect("goal exists")
+                                .excluded
+                                .clear();
+                        }
+                        self.plan_for_path(id, &path)
+                    }
+                    Err(e) => Err(e),
+                },
+                None => self.plan_goal_or_reinstall(id),
+            };
+            let plan = match planned {
                 Ok(plan) => plan,
                 Err(e) => {
                     let rec = self.goals.get_mut(id).expect("goal exists");
@@ -584,6 +740,69 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         report.nm_sent = after.sent.saturating_sub(before.sent);
         report.nm_received = after.received.saturating_sub(before.received);
         report
+    }
+
+    /// Choose a path (with the suspect-fallback re-search) for every goal
+    /// in `work`, fanning the searches out across a `std::thread::scope`
+    /// worker pool.  Path search is a pure read of the goal store, the NM
+    /// and one hoisted potential graph, so workers share them immutably;
+    /// each worker reuses one [`SearchScratch`] across its goals and
+    /// memoises searches by [`SearchKey`], so same-shaped goals cost one
+    /// traversal.  Results come back positionally, so the caller merges
+    /// them in `work` order — nothing about thread scheduling can leak
+    /// into the outputs.
+    fn plan_paths_parallel(&self, work: &[GoalId]) -> Vec<PathChoice> {
+        let started = std::time::Instant::now();
+        let graph = self.nm.build_graph();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+            .min(work.len().max(1));
+        self.recorder.gauge("plan.parallel_workers", workers as f64);
+        let mut results: Vec<PathChoice> = Vec::with_capacity(work.len());
+        results.resize_with(work.len(), || Err(PlanError::NoPath));
+        if workers <= 1 {
+            // Degenerate pool (single-core host or single goal): search
+            // inline, still with the hoisted graph, reused scratch and
+            // search memo.
+            let mut scratch = SearchScratch::default();
+            let mut memo = BTreeMap::new();
+            for (slot, &id) in results.iter_mut().zip(work) {
+                *slot = choose_goal_path_memo(
+                    &self.nm,
+                    &self.goals,
+                    &graph,
+                    id,
+                    &mut scratch,
+                    &mut memo,
+                );
+            }
+        } else {
+            let chunk = work.len().div_ceil(workers);
+            let (nm, goals, graph) = (&self.nm, &self.goals, &graph);
+            std::thread::scope(|s| {
+                for (ids, slots) in work.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                    s.spawn(move || {
+                        let mut scratch = SearchScratch::default();
+                        let mut memo = BTreeMap::new();
+                        for (slot, &id) in slots.iter_mut().zip(ids) {
+                            *slot = choose_goal_path_memo(
+                                nm,
+                                goals,
+                                graph,
+                                id,
+                                &mut scratch,
+                                &mut memo,
+                            );
+                        }
+                    });
+                }
+            });
+        }
+        self.recorder
+            .observe("plan.wall_us", started.elapsed().as_micros() as f64);
+        results
     }
 
     /// The pre-batching reconcile loop: one full two-phase transaction per

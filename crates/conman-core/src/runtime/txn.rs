@@ -24,7 +24,7 @@
 use super::ManagedNetwork;
 use crate::nm::goal::GoalId;
 use crate::nm::ScriptSet;
-use crate::primitives::{Primitive, ScriptSegment, SegmentCommit, SegmentVerdict, WireMessage};
+use crate::primitives::{Primitive, SegmentCommit, SegmentVerdict, WireMessage};
 use conman_obs::TraceKind;
 use mgmt_channel::ManagementChannel;
 use netsim::device::DeviceId;
@@ -440,17 +440,19 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
             txn,
             ..Default::default()
         };
-        let mut segments: BTreeMap<DeviceId, Vec<ScriptSegment>> = BTreeMap::new();
+        // Borrow each goal's primitive list straight out of `items` — the
+        // segments are never cloned; the encoder reads the slices in place.
+        let mut segments: BTreeMap<DeviceId, Vec<(u64, &[Primitive])>> = BTreeMap::new();
         for (goal, teardown) in items {
             outcome.per_goal.entry(*goal).or_insert(0);
             for (device, primitives) in teardown {
                 if skip.contains(device) || primitives.is_empty() {
                     continue;
                 }
-                segments.entry(*device).or_default().push(ScriptSegment {
-                    goal: goal.0,
-                    primitives: primitives.clone(),
-                });
+                segments
+                    .entry(*device)
+                    .or_default()
+                    .push((goal.0, primitives.as_slice()));
             }
         }
         outcome.devices_contacted = segments.len();
@@ -463,15 +465,12 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
         // ---- Phase 1: stage every device once. ------------------------
         let goals_by_device: BTreeMap<DeviceId, Vec<u64>> = segments
             .iter()
-            .map(|(d, segs)| (*d, segs.iter().map(|s| s.goal).collect()))
+            .map(|(d, segs)| (*d, segs.iter().map(|(g, _)| *g).collect()))
             .collect();
-        for (device, segs) in std::mem::take(&mut segments) {
-            let msg = WireMessage::StageBatch {
-                txn,
-                segments: segs,
-            };
-            self.send(self.nm_host(), device, &msg);
+        for (device, segs) in &segments {
+            self.send_stage_batch(*device, txn, segs);
         }
+        drop(segments);
         self.run_management();
         // Deletes always validate, so a device either answers (committable)
         // or is silent (lenient skip).
@@ -639,16 +638,17 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
 
         // Coalesce: one segment list per device (goal order preserved) for
         // the StageBatch messages, plus a lighter per-device goal-id list
-        // for the bookkeeping that follows (so the primitives are cloned
-        // once, into the messages, not twice).
-        let mut segments: BTreeMap<DeviceId, Vec<ScriptSegment>> = BTreeMap::new();
+        // for the bookkeeping that follows.  Each goal's primitives are
+        // *borrowed* straight out of its plan — the stage encoder reads the
+        // slices in place, so nothing is cloned at all.
+        let mut segments: BTreeMap<DeviceId, Vec<(u64, &[Primitive])>> = BTreeMap::new();
         let mut goals_by_device: BTreeMap<DeviceId, Vec<u64>> = BTreeMap::new();
         for (goal, scripts) in &batchable {
             for ds in &scripts.scripts {
-                segments.entry(ds.device).or_default().push(ScriptSegment {
-                    goal: goal.0,
-                    primitives: ds.primitives.clone(),
-                });
+                segments
+                    .entry(ds.device)
+                    .or_default()
+                    .push((goal.0, ds.primitives.as_slice()));
                 goals_by_device.entry(ds.device).or_default().push(goal.0);
             }
         }
@@ -667,14 +667,13 @@ impl<C: ManagementChannel> ManagedNetwork<C> {
 
         // ---- Phase 1: stage every device once. ------------------------
         if !segments.is_empty() {
-            for (device, segs) in std::mem::take(&mut segments) {
-                let msg = WireMessage::StageBatch {
-                    txn,
-                    segments: segs,
-                };
-                self.send(self.nm_host(), device, &msg);
+            for (device, segs) in &segments {
+                self.send_stage_batch(*device, txn, segs);
             }
+            drop(segments);
             self.run_management();
+        } else {
+            drop(segments);
         }
         let mut silent: BTreeSet<DeviceId> = BTreeSet::new();
         for (device, goals) in &goals_by_device {

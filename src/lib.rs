@@ -8,8 +8,8 @@
 //! | Crate | Re-export | What lives there |
 //! |-------|-----------|------------------|
 //! | `netsim` | [`netsim`] | Deterministic packet-level simulator: codecs (ETH/ARP/IP/GRE/MPLS/VLAN/UDP/ICMP), forwarding engine, topologies (the fan-out chain backing hundreds of goals with real host pairs, and the multipath family — [`netsim::topology::isp_mesh_fanout`]'s 2×k redundant core with cross-links and [`netsim::topology::isp_ring_fanout`]'s core cycle — on which a blamed link has a genuine alternative), packet traces, per-goal flow-attribution windows ([`netsim::stats::FlowCounters`]), the steppable tick clock ([`netsim::clock::StepClock`]) the autonomic loop and telemetry schedule share — and [`netsim::fault`], the deterministic fault-injection layer (link cuts/flaps, loss spikes, device crashes, device-wide and *per-goal* misconfigurations). |
-//! | `mgmt-channel` | [`mgmt_channel`] | The out-of-band and in-band management channels, per-device message accounting (Table VI) and the periodic telemetry schedule — now an *event source* (`take_due` hands the loop its telemetry events). |
-//! | `conman-core` | [`core`] | Protocol-independent CONMan: module abstraction (Table II) with per-pipe [`CounterSnapshot`](core::CounterSnapshot)s, primitives (Table I) plus the Stage/Commit/Abort transaction wire protocol — its batched extension (StageBatch/CommitBatch/AbortBatch carrying per-goal [`ScriptSegment`](core::primitives::ScriptSegment)s, RelayBatch coalescing, batched lenient teardowns) and the flow-telemetry messages (`PollFlows` pull, `SubscribeFlows`/`FlowReport` push) — management agents, the NM (topology map, potential graph, path finder with suspect exclusion at both granularities — excluded modules are never entered and excluded *links* never crossed, see [`Exclusion`](core::nm::Exclusion) — script generation) and the declarative runtime: a [`GoalStore`](core::GoalStore) of goals with identity, lifecycle (`Pending → Active → Degraded → Repairing → Failed`, with a repair-attempt budget so unrepairable goals park `Failed`), per-goal typed exclusion sets that age out once a repair verifies and an incrementally maintained module→goals index; dry-run [`Plan`](core::Plan)s in guarded pipe-id blocks; [`reconcile()`](core::ManagedNetwork::reconcile) executing every pass as one batched two-phase transaction (stale teardowns and `withdraw_many` coalesce the same way); and the **autonomic layer** — [`runtime::event`](core::runtime::event)'s unified [`NmEvent`](core::NmEvent) stream and the event-driven [`ControlLoop`](core::ControlLoop) (per-goal health from window-based flow counters, pluggable diagnosis, epoch-tagged batched repair, zero management messages when converged). |
+//! | `mgmt-channel` | [`mgmt_channel`] | The out-of-band and in-band management channels, per-device message accounting (Table VI) and the periodic telemetry schedule — now an *event source* (`take_due` hands the loop its telemetry events) — plus [`mgmt_channel::codec`], the little-endian length-prefixed [`Writer`](mgmt_channel::codec::Writer)/[`Reader`](mgmt_channel::codec::Reader) primitives under the zero-copy batch wire format. |
+//! | `conman-core` | [`core`] | Protocol-independent CONMan: module abstraction (Table II) with per-pipe [`CounterSnapshot`](core::CounterSnapshot)s, primitives (Table I) plus the Stage/Commit/Abort transaction wire protocol — its batched extension (StageBatch/CommitBatch/AbortBatch carrying per-goal [`ScriptSegment`](core::primitives::ScriptSegment)s, RelayBatch coalescing, batched lenient teardowns) and the flow-telemetry messages (`PollFlows` pull, `SubscribeFlows`/`FlowReport` push) — management agents, the NM (topology map, potential graph, path finder with suspect exclusion at both granularities — excluded modules are never entered and excluded *links* never crossed, see [`Exclusion`](core::nm::Exclusion) — script generation) and the declarative runtime: a [`GoalStore`](core::GoalStore) of goals with identity, lifecycle (`Pending → Active → Degraded → Repairing → Failed`, with a repair-attempt budget so unrepairable goals park `Failed`), per-goal typed exclusion sets that age out once a repair verifies and an incrementally maintained module→goals index; dry-run [`Plan`](core::Plan)s in guarded pipe-id blocks; [`reconcile()`](core::ManagedNetwork::reconcile) executing every pass as one batched two-phase transaction (stale teardowns and `withdraw_many` coalesce the same way); and the **autonomic layer** — [`runtime::event`](core::runtime::event)'s unified [`NmEvent`](core::NmEvent) stream and the event-driven [`ControlLoop`](core::ControlLoop) (per-goal health from window-based flow counters, pluggable diagnosis, epoch-tagged batched repair, zero management messages when converged).  The hot path is the **raw-speed engine**: [`reconcile()`](core::ManagedNetwork::reconcile) plans goals in parallel over one hoisted potential graph (`std::thread::scope` workers with reusable search scratch and per-worker search memoisation, merged in deterministic goal-id order; [`reconcile_sequential`](core::ManagedNetwork::reconcile_sequential) is the kept byte-equivalence oracle, `tests/raw_speed.rs` the proof), and [`core::wire`] is the zero-copy length-prefixed binary codec for the six batch wire messages, selected per network by [`WireCodec`](core::WireCodec) and auto-detected on decode — borrowed `&[Primitive]` segments are encoded straight to the wire and validated in place by the agent. |
 //! | `conman-modules` | [`modules`] | The ETH / IP / GRE / MPLS / VLAN protocol modules over the simulated data plane, plus the managed testbeds of Figures 2, 4 and 9 (including the dual-customer multi-goal chain) and the multipath mesh/ring testbeds (`managed_mesh_fanout` / `managed_ring_fanout`) with diagnosis probe hooks. |
 //! | `conman-diagnose` | [`diagnose`] | The closed-loop manager of §III-C: telemetry collection, **per-goal flow-delta fault localisation** ([`diagnose::Diagnoser`] frontier-walks the goal's own `FlowCounters` deltas, so the right device is blamed even under other goals' background traffic; module counters only refine the drop reason), self-healing as a reconciler client ([`diagnose::Healer`], whose `exclusions` is the **single** suspect→exclusion mapping — blamed links become traversal-level link exclusions) and [`diagnose::AutonomicClient`], which plugs the pair into the control loop as its diagnosis stage and reports the blamed link for the loop's reroute. |
 //! | `conman-obs` | [`obs`] | The flight recorder: a causally-linked structured trace journal (tick → health probe → diagnosis frontier walk → repair pass → per-device stage/commit → verify spans, timestamped with **simulated** time so the same seeded scenario dumps byte-identical journals), a metrics registry (counters / gauges / log₂-bucket histograms) with a serialisable [`ObsSnapshot`](obs::ObsSnapshot), per-goal/per-device telemetry history ring buffers with windowed slope/variance queries, and [`Postmortem`](obs::Postmortem) — which reconstructs the blamed link, the repair passes and every staged device from a journal dump alone. [`Recorder::disabled()`](obs::Recorder::disabled) is the default no-op hot path; `experiments obs` proves its cost envelope in `BENCH_obs.json`. |
